@@ -1,0 +1,48 @@
+#pragma once
+
+// Shared helpers for the experiment harnesses in bench/. Each binary
+// regenerates one experiment from DESIGN.md's index (E1..E12) and prints a
+// self-describing table; absolute numbers are simulator rounds, the *shape*
+// (who wins, scaling exponents, concentration) is the reproduction target.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace cliquest::bench {
+
+/// Scales sample counts down via CLIQUEST_BENCH_QUICK=1 (used in smoke runs).
+inline int scaled(int samples) {
+  const char* quick = std::getenv("CLIQUEST_BENCH_QUICK");
+  if (quick != nullptr && quick[0] == '1') return samples / 10 + 1;
+  return samples;
+}
+
+inline void header(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+inline void row(const std::vector<std::string>& cells) {
+  for (const std::string& cell : cells) std::printf("%-16s", cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double x, int precision = 3) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, x);
+  return buffer;
+}
+
+inline std::string fmt_sci(double x) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3e", x);
+  return buffer;
+}
+
+inline std::string fmt_int(long long x) { return std::to_string(x); }
+
+}  // namespace cliquest::bench

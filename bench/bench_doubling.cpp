@@ -1,0 +1,46 @@
+// E2 (Theorem 2): a length-tau walk costs O((tau/n) log tau log n) rounds
+// when tau >= n/log n and O(log tau) rounds below that. Sweep tau at fixed n
+// and print measured rounds alongside both formula references; the crossover
+// should sit near tau ~ n/log n.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "cclique/meter.hpp"
+#include "doubling/doubling.hpp"
+#include "graph/generators.hpp"
+
+using namespace cliquest;
+
+int main() {
+  bench::header("E2 bench_doubling",
+                "Theorem 2: rounds ~ log(tau) below tau = n/log n, "
+                "~ (tau/n) log tau log n above it");
+
+  const int n = 256;
+  util::Rng gen(2);
+  const graph::Graph g = graph::gnp_connected(n, 0.08, gen);
+  const double log_n = std::log2(static_cast<double>(n));
+  std::printf("n = %d, crossover tau ~ n/log n = %.0f\n\n", n, n / log_n);
+
+  bench::row({"tau", "rounds", "log(tau)", "(tau/n)logT*logN", "max_tuples",
+              "lemma10_bound"});
+  for (int log_tau = 4; log_tau <= 14; ++log_tau) {
+    const std::int64_t tau = std::int64_t{1} << log_tau;
+    doubling::DoublingOptions options;
+    options.tau = tau;
+    cclique::Meter meter;
+    util::Rng rng(3);
+    const doubling::DoublingResult r = doubling::run_doubling(g, options, rng, meter);
+    const double upper_formula =
+        static_cast<double>(tau) / n * log_tau * log_n;
+    bench::row({bench::fmt_int(tau), bench::fmt_int(r.rounds),
+                bench::fmt_int(log_tau), bench::fmt(upper_formula, 1),
+                bench::fmt_int(r.max_tuples_received),
+                bench::fmt_int(doubling::lemma10_bound(n, tau, options.hash_c))});
+  }
+  std::printf(
+      "\nexpected shape: flat-ish rounds (~log tau regime) up to the\n"
+      "crossover, then growth proportional to (tau/n) log tau log n.\n");
+  return 0;
+}

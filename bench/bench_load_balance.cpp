@@ -1,0 +1,60 @@
+// E4 (Lemmas 10-11): with t-wise hash routing every machine receives at most
+// 16 c k log n tuples whp, and the doubling iteration completes in
+// O(max(k eta log n / n, 1)) rounds. The route-to-endpoint ablation (the
+// naive Bahmani-Chakrabarti-Xin port the paper critiques in Section 3)
+// hot-spots high-stationary-mass machines: on a star the hub receives a
+// constant fraction of all tuples.
+
+#include "bench_common.hpp"
+#include "cclique/meter.hpp"
+#include "doubling/doubling.hpp"
+#include "graph/generators.hpp"
+
+using namespace cliquest;
+
+int main() {
+  bench::header("E4 bench_load_balance",
+                "Lemma 10: hashed routing keeps max tuples <= 16 c k log n; "
+                "the unbalanced ablation congests on irregular graphs");
+
+  const int n = 256;
+  const std::int64_t tau = 512;
+  util::Rng gen(6);
+
+  struct Family {
+    const char* name;
+    graph::Graph g;
+  };
+  std::vector<Family> families;
+  families.push_back({"star", graph::star(n)});
+  families.push_back({"gnp(0.1)", graph::gnp_connected(n, 0.1, gen)});
+  families.push_back({"lollipop", graph::lollipop(n / 2, n / 2)});
+
+  bench::row({"graph", "routing", "max_tuples", "lemma10_bound", "max_load_w",
+              "rounds"});
+  for (const Family& family : families) {
+    for (const bool balanced : {true, false}) {
+      doubling::DoublingOptions options;
+      options.tau = tau;
+      options.load_balanced = balanced;
+      cclique::Meter meter;
+      util::Rng rng(7);
+      const doubling::DoublingResult r =
+          doubling::run_doubling(family.g, options, rng, meter);
+      bench::row({family.name, balanced ? "hashed" : "endpoint",
+                  bench::fmt_int(r.max_tuples_received),
+                  balanced
+                      ? bench::fmt_int(doubling::lemma10_bound(n, tau, options.hash_c))
+                      : "-",
+                  bench::fmt_int(r.max_load_words), bench::fmt_int(r.rounds)});
+    }
+  }
+  std::printf(
+      "\nexpected shape: hashed max_tuples sits well under the Lemma 10 bound on\n"
+      "every family and is structure-independent (it carries both merge halves).\n"
+      "Endpoint routing's worst case is Theta(k * n * max stationary mass): the\n"
+      "star hub receives ~half of ALL walk tuples (two orders beyond hashed),\n"
+      "while near-regular families escape the hotspot — exactly the paper's\n"
+      "motivation for adding the load-balancing component in Section 3.\n");
+  return 0;
+}

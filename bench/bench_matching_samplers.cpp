@@ -1,0 +1,60 @@
+// E12 (Lemma 3 / §1.8): cost of the weighted-perfect-matching placement
+// samplers as the instance grows. google-benchmark micro-bench: the
+// Metropolis chain scales polynomially (m log m transpositions) while the
+// Ryser-backed exact sampler is exponential — the reason JSV-style sampling
+// (here: the Metropolis strategy) is the default and the exact sampler is a
+// test oracle. Distributional agreement is covered by matching_test.
+
+#include <benchmark/benchmark.h>
+
+#include "linalg/matrix.hpp"
+#include "matching/samplers.hpp"
+#include "util/rng.hpp"
+
+using namespace cliquest;
+
+namespace {
+
+linalg::Matrix instance(int m, std::uint64_t seed) {
+  util::Rng rng(seed);
+  linalg::Matrix w(m, m);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < m; ++j) w(i, j) = rng.next_double() + 0.05;
+  return w;
+}
+
+void BM_MetropolisMatching(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const linalg::Matrix w = instance(m, 1);
+  matching::MetropolisMatchingSampler sampler(60);
+  util::Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.sample(w, rng));
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_MetropolisMatching)->RangeMultiplier(2)->Range(4, 256)->Complexity();
+
+void BM_ExactPermanentMatching(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const linalg::Matrix w = instance(m, 3);
+  matching::ExactPermanentSampler sampler;
+  util::Rng rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.sample(w, rng));
+  state.SetComplexityN(m);
+}
+BENCHMARK(BM_ExactPermanentMatching)->DenseRange(4, 14, 2)->Complexity();
+
+void BM_PhaseMatrixMultiply(benchmark::State& state) {
+  // The local cost of one power-table step, the simulator's hot loop.
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(5);
+  linalg::Matrix p(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) p(i, j) = rng.next_double() / n;
+  for (auto _ : state) benchmark::DoNotOptimize(p.multiply(p));
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_PhaseMatrixMultiply)->RangeMultiplier(2)->Range(32, 256)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// E7 (phase structure + Barnes-Feige): the main sampler uses at most 2 sqrt n
+// phases, each non-final phase contributing rho - 1 = floor(sqrt n) - 1 new
+// first-visit edges (Lemma 6); and a length-n walk visits Omega(n^{1/3})
+// distinct vertices on unweighted graphs (§1.4 Direction 4, Barnes-Feige).
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/tree_sampler.hpp"
+#include "graph/generators.hpp"
+#include "util/statistics.hpp"
+#include "walk/random_walk.hpp"
+
+using namespace cliquest;
+
+int main() {
+  bench::header("E7 bench_phases",
+                "Lemma 6: <= 2 sqrt(n) phases of sqrt(n)-1 new vertices; "
+                "Barnes-Feige: length-n walks visit Omega(n^{1/3}) vertices");
+
+  std::printf("-- phase structure of the main sampler --\n");
+  bench::row({"n", "rho", "phases", "bound(2sqrt n)", "mean_walk_len",
+              "mean_new/phase"});
+  util::Rng gen(9);
+  for (int n : {36, 64, 100, 144, 196}) {
+    const graph::Graph g = graph::gnp_connected(n, 0.3, gen);
+    const core::CongestedCliqueTreeSampler sampler(g, core::SamplerOptions{});
+    util::Rng rng(10);
+    const core::TreeSample s = sampler.sample(rng);
+    util::RunningStat walk_len, new_vertices;
+    for (const auto& phase : s.report.phases) {
+      walk_len.add(static_cast<double>(phase.walk_length));
+      new_vertices.add(phase.new_vertices);
+    }
+    bench::row({bench::fmt_int(n), bench::fmt_int(sampler.rho()),
+                bench::fmt_int(static_cast<long long>(s.report.phases.size())),
+                bench::fmt(2 * std::sqrt(static_cast<double>(n)), 1),
+                bench::fmt(walk_len.mean(), 1), bench::fmt(new_vertices.mean(), 1)});
+  }
+
+  std::printf("\n-- Barnes-Feige distinct vertices of a length-n walk --\n");
+  bench::row({"graph", "n", "mean_distinct", "n^(1/3)", "ratio"});
+  util::Rng rng(11);
+  struct Family {
+    const char* name;
+    graph::Graph g;
+  };
+  std::vector<Family> families;
+  families.push_back({"path", graph::path(512)});
+  families.push_back({"lollipop", graph::lollipop(86, 426)});
+  families.push_back({"cycle", graph::cycle(512)});
+  families.push_back({"gnp(0.05)", graph::gnp_connected(512, 0.05, rng)});
+  for (const Family& family : families) {
+    const int n = family.g.vertex_count();
+    util::RunningStat stat;
+    for (int i = 0; i < bench::scaled(200); ++i)
+      stat.add(walk::distinct_in_walk(family.g, 0, n, rng));
+    const double floor = std::cbrt(static_cast<double>(n));
+    bench::row({family.name, bench::fmt_int(n), bench::fmt(stat.mean(), 1),
+                bench::fmt(floor, 1), bench::fmt(stat.mean() / floor, 2)});
+  }
+  std::printf(
+      "\nexpected shape: phases track n/(sqrt n - 1) well under 2 sqrt n; every\n"
+      "family's mean distinct count sits above n^(1/3) (ratio > 1).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// E6 (Lemma 7 / §2.5): matrix powers computed with entries truncated to b
+// fractional bits have one-sided (subtractive) error bounded by the
+// recurrence E(k) <= (n+1) E(k/2) + 2^-b. Sweep bits and k and print the
+// measured max error against the bound; error decays geometrically in bits.
+
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "linalg/matrix_power.hpp"
+#include "walk/transition.hpp"
+
+using namespace cliquest;
+
+int main() {
+  bench::header("E6 bench_precision",
+                "Lemma 7: truncated powering has subtractive error within "
+                "E(k) <= (n+1) E(k/2) + delta; decays with entry bits");
+
+  const int n = 48;
+  util::Rng gen(8);
+  const graph::Graph g = graph::gnp_connected(n, 0.15, gen);
+  const linalg::Matrix p = walk::transition_matrix(g);
+
+  bench::row({"bits", "k", "max_error", "lemma7_bound", "within", "one_sided"});
+  bool all_ok = true;
+  for (int bits : {16, 24, 32, 44}) {
+    for (int log_k : {2, 5, 8}) {
+      const long long k = 1LL << log_k;
+      const linalg::Matrix approx = linalg::rounded_power(p, k, bits);
+      const linalg::Matrix exact = linalg::matrix_power(p, k);
+      double max_error = 0.0;
+      bool one_sided = true;
+      for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j) {
+          const double err = exact(i, j) - approx(i, j);
+          if (err < -1e-12) one_sided = false;
+          max_error = std::max(max_error, err);
+        }
+      const double delta = std::ldexp(1.0, -bits);
+      double bound = delta;
+      for (long long step = 2; step <= k; step *= 2) bound = (n + 1) * bound + delta;
+      const bool ok = max_error <= bound && one_sided;
+      all_ok = all_ok && ok;
+      bench::row({bench::fmt_int(bits), bench::fmt_int(k),
+                  bench::fmt_sci(max_error), bench::fmt_sci(bound),
+                  ok ? "yes" : "NO", one_sided ? "yes" : "NO"});
+    }
+  }
+  std::printf("\n%s\n", all_ok ? "PASS: all configurations within the Lemma 7 bound"
+                               : "FAIL");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Personalized PageRank with doubling walks — the application that motivated
+// the bottom-up walk constructions of Bahmani-Chakrabarti-Xin and
+// Lacki-Mitrovic-Onak-Sankowski which Section 3 load-balances.
+//
+// PPR with restart probability a from source s is the stationary law of
+// "restart at s w.p. a, else step". Equivalently: the endpoint distribution
+// of a walk from s whose length is Geometric(a). We estimate it by building
+// length-L doubling walks (L >> typical geometric draws), slicing geometric
+// prefixes out of them, and comparing against power iteration.
+//
+//   ./pagerank_walks [n] [walks]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "cclique/meter.hpp"
+#include "doubling/doubling.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "walk/transition.hpp"
+
+using namespace cliquest;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 128;
+  const int walk_count = argc > 2 ? std::atoi(argv[2]) : 200;
+  const double alpha = 0.2;  // restart probability
+  const int source = 0;
+
+  util::Rng rng(7);
+  const graph::Graph g = graph::gnp_connected(n, 8.0 / n, rng);
+
+  // Reference: power iteration on ppr = a e_s + (1 - a) ppr P.
+  const linalg::Matrix p = walk::transition_matrix(g);
+  std::vector<double> ppr(static_cast<std::size_t>(n), 0.0);
+  ppr[source] = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    std::vector<double> next(static_cast<std::size_t>(n), 0.0);
+    next[source] = alpha;
+    for (int u = 0; u < n; ++u)
+      for (int v = 0; v < n; ++v)
+        next[static_cast<std::size_t>(v)] +=
+            (1 - alpha) * ppr[static_cast<std::size_t>(u)] * p(u, v);
+    ppr = std::move(next);
+  }
+
+  // Monte Carlo estimate from doubling walks: ppr(v) =
+  // a * sum_k (1-a)^k P^k[s, v], so each length-L walk from s contributes an
+  // unbiased geometric-discounted occupancy profile (truncation error
+  // (1-a)^{L+1} is negligible at L = 256).
+  const std::int64_t length = 256;
+  std::vector<double> estimate(static_cast<std::size_t>(n), 0.0);
+  cclique::Meter meter;
+  double total_weight = 0.0;
+  for (int w = 0; w < walk_count; ++w) {
+    doubling::DoublingOptions options;
+    options.tau = length;
+    const doubling::DoublingResult run = doubling::run_doubling(g, options, rng, meter);
+    const std::vector<int>& walk = run.walks[source];
+    double discount = alpha;
+    for (int v : walk) {
+      estimate[static_cast<std::size_t>(v)] += discount;
+      total_weight += discount;
+      discount *= (1.0 - alpha);
+    }
+  }
+  for (double& x : estimate) x /= total_weight;
+  const std::int64_t samples = walk_count;
+
+  double tv = 0.0;
+  for (int v = 0; v < n; ++v)
+    tv += std::abs(estimate[static_cast<std::size_t>(v)] - ppr[static_cast<std::size_t>(v)]);
+  tv /= 2.0;
+
+  std::printf("personalized PageRank from vertex %d (alpha = %.2f, n = %d)\n",
+              source, alpha, n);
+  std::printf("doubling-walk estimate from %lld discounted walks\n",
+              static_cast<long long>(samples));
+  std::printf("TV distance to power iteration: %.4f\n", tv);
+  std::printf("simulated rounds for all walks:  %lld\n",
+              static_cast<long long>(meter.total_rounds()));
+  std::printf("\ntop vertices (estimate vs reference):\n");
+  for (int v = 0; v < n && v < 8; ++v)
+    std::printf("  v=%d  %.4f  vs  %.4f\n", v, estimate[static_cast<std::size_t>(v)],
+                ppr[static_cast<std::size_t>(v)]);
+  return tv < 0.1 ? 0 : 1;
+}

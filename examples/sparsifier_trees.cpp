@@ -1,0 +1,75 @@
+// Graph sparsification from random spanning trees — one of the applications
+// the paper's introduction cites (Goyal-Rademacher-Vempala; Fung et al.).
+// The union of k uniform spanning trees is a sparse subgraph that already
+// approximates the spectral behaviour of the original graph; we measure the
+// quality by comparing Laplacian quadratic forms on random test vectors.
+//
+//   ./sparsifier_trees [n] [k]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "core/tree_sampler.hpp"
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "util/rng.hpp"
+
+using namespace cliquest;
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 64;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 12;
+
+  util::Rng rng(11);
+  const graph::Graph g = graph::gnp_connected(n, 0.5, rng);
+  std::printf("input: G(%d, 0.5) with %d edges\n", n, g.edge_count());
+
+  // Sample k uniform spanning trees and count edge multiplicities.
+  const core::CongestedCliqueTreeSampler sampler(g, core::SamplerOptions{});
+  std::map<std::pair<int, int>, int> multiplicity;
+  std::int64_t rounds = 0;
+  for (int i = 0; i < k; ++i) {
+    const core::TreeSample s = sampler.sample(rng);
+    rounds += s.report.total_rounds();
+    for (const auto& e : s.tree) ++multiplicity[e];
+  }
+
+  // Sparsifier: edge weight = multiplicity * (m / ((n-1) k)) so the expected
+  // total weight matches the original graph's edge mass.
+  graph::Graph sparse(n);
+  const double scale = static_cast<double>(g.edge_count()) /
+                       (static_cast<double>(n - 1) * static_cast<double>(k));
+  for (const auto& [edge, count] : multiplicity)
+    sparse.add_edge(edge.first, edge.second, count * scale);
+
+  const linalg::Matrix l_full = graph::laplacian(g);
+  const linalg::Matrix l_sparse = graph::laplacian(sparse);
+
+  // Quadratic-form agreement on random +/-1 test vectors.
+  double worst = 0.0, mean = 0.0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> x(static_cast<std::size_t>(n));
+    for (double& xi : x) xi = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    double qf = 0.0, qs = 0.0;
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j) {
+        qf += x[static_cast<std::size_t>(i)] * l_full(i, j) * x[static_cast<std::size_t>(j)];
+        qs += x[static_cast<std::size_t>(i)] * l_sparse(i, j) * x[static_cast<std::size_t>(j)];
+      }
+    const double ratio = qs / qf;
+    worst = std::max(worst, std::abs(ratio - 1.0));
+    mean += std::abs(ratio - 1.0) / trials;
+  }
+
+  std::printf("sparsifier: %d distinct edges (%.1f%% of original), %d trees\n",
+              sparse.edge_count(),
+              100.0 * sparse.edge_count() / g.edge_count(), k);
+  std::printf("quadratic form error: mean %.3f, worst %.3f over %d vectors\n", mean,
+              worst, trials);
+  std::printf("simulated rounds for all %d samples: %lld\n", k,
+              static_cast<long long>(rounds));
+  return 0;
+}

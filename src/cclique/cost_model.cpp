@@ -1,0 +1,25 @@
+#include "cclique/cost_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cliquest::cclique {
+
+std::int64_t CostModel::routing_rounds(std::int64_t max_load) const {
+  if (max_load < 0) throw std::invalid_argument("routing_rounds: negative load");
+  if (max_load == 0) return 0;
+  return (max_load + n - 1) / n;
+}
+
+std::int64_t CostModel::matmul_rounds() const {
+  const double base = std::pow(static_cast<double>(n), alpha);
+  return static_cast<std::int64_t>(std::ceil(base)) * words_per_entry;
+}
+
+std::int64_t CostModel::broadcast_rounds(std::int64_t words) const {
+  if (words < 0) throw std::invalid_argument("broadcast_rounds: negative size");
+  if (words == 0) return 0;
+  return (words + n - 1) / n + 1;
+}
+
+}  // namespace cliquest::cclique

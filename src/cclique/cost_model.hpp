@@ -1,0 +1,43 @@
+#pragma once
+
+// Round-cost formulas for the Congested Clique model (paper §1.6).
+//
+// The model: n machines, synchronous rounds, each machine sends and receives
+// n-1 messages of O(log n) bits per round. Lenzen's routing theorem lets any
+// communication pattern in which every machine sends and receives at most
+// O(n) messages complete in O(1) rounds; we charge ceil(load / n) rounds for
+// a maximum per-machine load of `load` words.
+//
+// Matrix multiplication of n x n matrices distributed row-per-machine costs
+// O(n^alpha) rounds with alpha = 1 - 2/omega = 0.157 (Censor-Hillel et al.);
+// entries wider than one O(log n)-bit word multiply the cost by their word
+// count (the paper's §2.5 uses O(log^2 n)-bit entries, i.e. O(log n) words).
+
+#include <cstdint>
+
+namespace cliquest::cclique {
+
+struct CostModel {
+  /// Number of machines (= vertices of the input graph).
+  int n = 1;
+
+  /// Congested Clique matrix-multiplication exponent (currently 0.157).
+  double alpha = 0.157;
+
+  /// Words per matrix entry; 1 models O(log n)-bit entries, log n models the
+  /// §2.5 fixed-point precision regime.
+  int words_per_entry = 1;
+
+  /// Rounds for routing a pattern whose maximum per-machine send or receive
+  /// load is max_load words (Lenzen). Zero load costs zero rounds.
+  std::int64_t routing_rounds(std::int64_t max_load) const;
+
+  /// Rounds for one n x n matrix multiplication.
+  std::int64_t matmul_rounds() const;
+
+  /// Rounds for one machine broadcasting `words` words to everyone
+  /// (pipelined binary-tree style broadcast: ceil(words / n) + 1).
+  std::int64_t broadcast_rounds(std::int64_t words) const;
+};
+
+}  // namespace cliquest::cclique

@@ -1,0 +1,60 @@
+#include "cclique/meter.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace cliquest::cclique {
+
+void Meter::charge(std::string_view label, std::int64_t rounds, std::int64_t messages) {
+  if (rounds < 0 || messages < 0) throw std::invalid_argument("Meter::charge: negative");
+  CategoryTotals& totals = categories_[std::string(label)];
+  totals.rounds += rounds;
+  totals.messages += messages;
+  totals.events += 1;
+}
+
+std::int64_t Meter::total_rounds() const {
+  std::int64_t total = 0;
+  for (const auto& [label, totals] : categories_) total += totals.rounds;
+  return total;
+}
+
+std::int64_t Meter::total_messages() const {
+  std::int64_t total = 0;
+  for (const auto& [label, totals] : categories_) total += totals.messages;
+  return total;
+}
+
+CategoryTotals Meter::category(std::string_view label) const {
+  auto it = categories_.find(std::string(label));
+  return it == categories_.end() ? CategoryTotals{} : it->second;
+}
+
+void Meter::merge(const Meter& other) {
+  for (const auto& [label, totals] : other.categories_) {
+    CategoryTotals& mine = categories_[label];
+    mine.rounds += totals.rounds;
+    mine.messages += totals.messages;
+    mine.events += totals.events;
+  }
+}
+
+std::string Meter::report() const {
+  std::vector<std::pair<std::string, CategoryTotals>> rows(categories_.begin(),
+                                                           categories_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.rounds > b.second.rounds;
+  });
+  std::ostringstream out;
+  out << "rounds      messages    events  category\n";
+  for (const auto& [label, totals] : rows) {
+    out << totals.rounds;
+    out.width(0);
+    out << "\t" << totals.messages << "\t" << totals.events << "\t" << label << "\n";
+  }
+  out << total_rounds() << "\t" << total_messages() << "\t-\tTOTAL\n";
+  return out.str();
+}
+
+}  // namespace cliquest::cclique

@@ -1,0 +1,43 @@
+#pragma once
+
+// Round/message accounting, broken down by labelled category.
+//
+// Every simulated communication or charged primitive records into a Meter so
+// benches can report both total rounds and their anatomy (e.g. how much of a
+// phase is matrix multiplication vs. binary search; experiment E11).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cliquest::cclique {
+
+struct CategoryTotals {
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;  // total words moved under this label
+  std::int64_t events = 0;    // number of charges/flushes
+};
+
+class Meter {
+ public:
+  void charge(std::string_view label, std::int64_t rounds, std::int64_t messages = 0);
+
+  std::int64_t total_rounds() const;
+  std::int64_t total_messages() const;
+
+  const std::map<std::string, CategoryTotals>& categories() const { return categories_; }
+  CategoryTotals category(std::string_view label) const;
+
+  /// Merges another meter's categories into this one (phase -> run rollups).
+  void merge(const Meter& other);
+
+  /// Multi-line human-readable table, sorted by descending rounds.
+  std::string report() const;
+
+ private:
+  std::map<std::string, CategoryTotals> categories_;
+};
+
+}  // namespace cliquest::cclique

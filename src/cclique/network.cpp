@@ -1,0 +1,74 @@
+#include "cclique/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cliquest::cclique {
+
+Network::Network(CostModel model, Meter* meter)
+    : model_(model), meter_(meter), inboxes_(static_cast<std::size_t>(model.n)) {
+  if (model.n < 1) throw std::invalid_argument("Network: need at least one machine");
+  if (meter == nullptr) throw std::invalid_argument("Network: meter is required");
+}
+
+void Network::check_machine(int m) const {
+  if (m < 0 || m >= model_.n) throw std::out_of_range("Network: bad machine id");
+}
+
+void Network::post(int src, int dst, std::int64_t tag, std::vector<std::int64_t> words) {
+  check_machine(src);
+  check_machine(dst);
+  pending_.push_back(Message{src, dst, tag, std::move(words)});
+}
+
+void Network::post(int src, int dst, std::int64_t tag, std::int64_t word) {
+  post(src, dst, tag, std::vector<std::int64_t>{word});
+}
+
+std::int64_t Network::flush(std::string_view label) {
+  std::vector<std::int64_t> sent(static_cast<std::size_t>(model_.n), 0);
+  std::vector<std::int64_t> received(static_cast<std::size_t>(model_.n), 0);
+  std::int64_t total_words = 0;
+  for (auto& box : inboxes_) box.clear();
+  for (Message& m : pending_) {
+    // A message occupies at least one word on the wire (its header).
+    const std::int64_t words = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(m.words.size()));
+    sent[static_cast<std::size_t>(m.src)] += words;
+    received[static_cast<std::size_t>(m.dst)] += words;
+    total_words += words;
+    inboxes_[static_cast<std::size_t>(m.dst)].push_back(std::move(m));
+  }
+  pending_.clear();
+
+  std::int64_t max_load = 0;
+  for (int i = 0; i < model_.n; ++i)
+    max_load = std::max({max_load, sent[static_cast<std::size_t>(i)],
+                         received[static_cast<std::size_t>(i)]});
+  max_flush_load_ = std::max(max_flush_load_, max_load);
+
+  const std::int64_t rounds = model_.routing_rounds(max_load);
+  meter_->charge(label, rounds, total_words);
+  return rounds;
+}
+
+const std::vector<Message>& Network::inbox(int machine) const {
+  check_machine(machine);
+  return inboxes_[static_cast<std::size_t>(machine)];
+}
+
+std::int64_t Network::broadcast(int src, std::int64_t tag,
+                                std::vector<std::int64_t> words,
+                                std::string_view label) {
+  check_machine(src);
+  const std::int64_t rounds =
+      model_.broadcast_rounds(static_cast<std::int64_t>(words.size()));
+  for (auto& box : inboxes_) box.clear();
+  for (int dst = 0; dst < model_.n; ++dst)
+    inboxes_[static_cast<std::size_t>(dst)].push_back(Message{src, dst, tag, words});
+  meter_->charge(label, rounds,
+                 static_cast<std::int64_t>(words.size()) * model_.n);
+  return rounds;
+}
+
+}  // namespace cliquest::cclique

@@ -1,0 +1,71 @@
+#pragma once
+
+// Bulk-synchronous Congested Clique message simulator.
+//
+// Algorithms post messages (vectors of 64-bit words, each word standing for
+// one O(log n)-bit Congested Clique message) between machines; flush()
+// delivers everything posted since the previous flush and charges
+// routing_rounds(max per-machine send/recv load) rounds to the meter — this
+// is Lenzen's routing theorem made operational. Payloads really move, so the
+// logic of a distributed algorithm cannot use information its machines never
+// received without the meter noticing the traffic.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cclique/cost_model.hpp"
+#include "cclique/meter.hpp"
+
+namespace cliquest::cclique {
+
+struct Message {
+  int src = 0;
+  int dst = 0;
+  /// Application-defined tag for demultiplexing within a flush.
+  std::int64_t tag = 0;
+  std::vector<std::int64_t> words;
+};
+
+class Network {
+ public:
+  Network(CostModel model, Meter* meter);
+
+  int machine_count() const { return model_.n; }
+  const CostModel& cost_model() const { return model_; }
+
+  /// Queues a message for the next flush.
+  void post(int src, int dst, std::int64_t tag, std::vector<std::int64_t> words);
+
+  /// One-word convenience overload.
+  void post(int src, int dst, std::int64_t tag, std::int64_t word);
+
+  /// Delivers all queued messages, charging Lenzen routing rounds under
+  /// `label`. Returns the rounds charged. Inboxes are replaced (not
+  /// appended): a flush models one routing super-step.
+  std::int64_t flush(std::string_view label);
+
+  /// Messages delivered to `machine` by the most recent flush.
+  const std::vector<Message>& inbox(int machine) const;
+
+  /// Broadcast from one machine to all; charges broadcast rounds and places
+  /// the payload in every inbox (including the sender's own, for uniformity).
+  std::int64_t broadcast(int src, std::int64_t tag, std::vector<std::int64_t> words,
+                         std::string_view label);
+
+  /// Maximum per-machine load (max of send and receive, in words) seen in any
+  /// single flush so far; used by load-balance experiments (E4).
+  std::int64_t max_flush_load() const { return max_flush_load_; }
+
+ private:
+  void check_machine(int m) const;
+
+  CostModel model_;
+  Meter* meter_;
+  std::vector<Message> pending_;
+  std::vector<std::vector<Message>> inboxes_;
+  std::int64_t max_flush_load_ = 0;
+};
+
+}  // namespace cliquest::cclique

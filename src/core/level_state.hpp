@@ -1,0 +1,53 @@
+#pragma once
+
+// Shared state of one level of the walk-filling process, as distributed
+// across the simulated machines (paper §2.1.3):
+//  * the leader M holds the partial walk W_i (`Segment::entries`, dense at
+//    the current stride);
+//  * each distinct consecutive (start, end) pair is owned by a midpoint
+//    machine holding its sampled sequence Pi_{p,q} (Algorithm 2);
+//  * slot metadata maps each consecutive pair of W_i to its machine and to
+//    its occurrence index within the machine's sequence.
+
+#include <cstdint>
+#include <vector>
+
+namespace cliquest::core {
+
+/// A Las Vegas segment: a partial walk dense at the current stride.
+/// entries[j] is the vertex at walk position j * gap; the target length of
+/// the segment is (entries.size() - 1) * gap.
+struct Segment {
+  std::vector<int> entries;
+  std::int64_t gap = 1;
+};
+
+/// Per-level state of the midpoint machines.
+struct LevelMidpoints {
+  /// pair_of_slot[j]: index into `machines` for the j-th consecutive pair.
+  std::vector<int> pair_of_slot;
+  /// occurrence_of_slot[j]: how many earlier slots share the same pair.
+  std::vector<int> occurrence_of_slot;
+
+  struct PairMachine {
+    int p = 0;
+    int q = 0;
+    std::vector<int> sequence;  // Pi_{p,q}
+  };
+  std::vector<PairMachine> machines;
+
+  int midpoint_at(std::size_t slot) const {
+    const PairMachine& m = machines[static_cast<std::size_t>(pair_of_slot[slot])];
+    return m.sequence[static_cast<std::size_t>(occurrence_of_slot[slot])];
+  }
+};
+
+/// Walk value at W+ index t (0 .. 2 * pairs): even indices come from the
+/// segment, odd ones from the midpoint machines.
+inline int wplus_at(const Segment& segment, const LevelMidpoints& level,
+                    std::int64_t t) {
+  if (t % 2 == 0) return segment.entries[static_cast<std::size_t>(t / 2)];
+  return level.midpoint_at(static_cast<std::size_t>((t - 1) / 2));
+}
+
+}  // namespace cliquest::core

@@ -1,0 +1,72 @@
+#pragma once
+
+// Configuration for the Congested Clique spanning-tree sampler.
+
+#include <cstdint>
+
+namespace cliquest::core {
+
+/// Which variant of the paper's algorithm to run.
+enum class SamplingMode {
+  /// Theorem 1: rho = floor(sqrt(n)) distinct vertices per phase; midpoints
+  /// are compressed to a global multiset and re-placed by sampling a weighted
+  /// perfect matching (~O(n^{1/2+alpha}) rounds, eps TV error).
+  approximate,
+  /// Appendix §5: rho = ceil(n^{1/3}); every pair machine ships its own
+  /// midpoint multiset and the leader applies uniform per-pair shuffles
+  /// (~O(n^{2/3+alpha}) rounds, exact sampling).
+  exact,
+};
+
+/// How the leader re-samples midpoint placement in approximate mode.
+enum class MatchingStrategy {
+  /// Transposition-move Metropolis chain (practical stand-in for the JSV
+  /// FPRAS; see DESIGN.md §2).
+  metropolis,
+  /// Ryser-permanent sequential sampling; exact but exponential, for tests
+  /// and small graphs only.
+  exact_permanent,
+  /// Uniform shuffle of each pair's own multiset (the Appendix §5.3 scheme;
+  /// exact, but requires per-pair multiset communication).
+  group_shuffle,
+  /// Place the sampled sequences verbatim (the sequential §2.1.2 behaviour;
+  /// ignores the compression step). Reference for differential testing.
+  verbatim,
+};
+
+struct SamplerOptions {
+  SamplingMode mode = SamplingMode::approximate;
+  MatchingStrategy matching = MatchingStrategy::metropolis;
+
+  /// Target total-variation distance (the paper's eps = Omega(1/n^c)).
+  double epsilon = 1e-3;
+
+  /// Vertex where the walk (and hence the tree's implicit root) starts.
+  int start_vertex = 0;
+
+  /// true: per-phase target length l = smallest power of two at least
+  /// log2(4 sqrt(n)/eps) * n^3 (the paper's choice, §2.1). false: a
+  /// practical l >= length_factor * n * log2(n)^2; the always-on Las Vegas
+  /// extension (Appendix §5.1) preserves correctness for any l.
+  bool paper_cubic_length = false;
+  double length_factor = 8.0;
+
+  /// Overrides the per-phase distinct-vertex budget rho (0 = mode default:
+  /// floor(sqrt(n)) for approximate, ceil(n^{1/3}) for exact).
+  int rho_override = 0;
+
+  /// Metropolis chain length per matching-instance site.
+  int metropolis_steps_per_site = 60;
+
+  /// Las Vegas guard: abort a phase after this many walk extensions.
+  int max_extensions_per_phase = 30;
+
+  /// Cost-model knob: words per matrix entry charged to matmul rounds
+  /// (1 = single-word entries; ~log2(n) models the §2.5 precision regime).
+  int words_per_entry = 1;
+
+  /// Safety cap on materialized partial-walk entries per segment.
+  std::int64_t max_segment_entries = std::int64_t{1} << 22;
+};
+
+}  // namespace cliquest::core

@@ -1,0 +1,427 @@
+#include "core/phase.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/level_state.hpp"
+#include "core/truncation.hpp"
+#include "linalg/matrix_power.hpp"
+#include "matching/samplers.hpp"
+#include "util/discrete.hpp"
+
+namespace cliquest::core {
+namespace {
+
+int ceil_log2_i64(std::int64_t x) {
+  int bits = 0;
+  while ((std::int64_t{1} << bits) < x) ++bits;
+  return bits;
+}
+
+/// Samples Pi_{p,q} for every distinct consecutive pair of `segment`
+/// (Algorithm 2). `half` = A^{gap/2}.
+LevelMidpoints generate_midpoints(const Segment& segment, const linalg::Matrix& half,
+                                  util::Rng& rng) {
+  LevelMidpoints level;
+  const std::size_t pairs = segment.entries.size() - 1;
+  level.pair_of_slot.resize(pairs);
+  level.occurrence_of_slot.resize(pairs);
+
+  std::map<std::pair<int, int>, int> machine_of_pair;
+  for (std::size_t j = 0; j < pairs; ++j) {
+    const std::pair<int, int> key{segment.entries[j], segment.entries[j + 1]};
+    auto [it, inserted] =
+        machine_of_pair.emplace(key, static_cast<int>(level.machines.size()));
+    if (inserted)
+      level.machines.push_back(
+          LevelMidpoints::PairMachine{key.first, key.second, {}});
+    level.pair_of_slot[j] = it->second;
+    level.occurrence_of_slot[j] =
+        static_cast<int>(level.machines[static_cast<std::size_t>(it->second)]
+                             .sequence.size());
+    // Reserve the occurrence slot; actual sampling happens below per machine.
+    level.machines[static_cast<std::size_t>(it->second)].sequence.push_back(-1);
+  }
+
+  // Each pair machine receives the unnormalized distribution
+  // (A^{gap/2}[p, j] * A^{gap/2}[j, q])_j from the vertex machines and samples
+  // its sequence i.i.d.; an alias table makes long sequences O(1) per draw.
+  const int n = half.rows();
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  for (auto& machine : level.machines) {
+    for (int j = 0; j < n; ++j)
+      weights[static_cast<std::size_t>(j)] = half(machine.p, j) * half(j, machine.q);
+    const util::AliasTable table(weights);
+    // Degenerate all-zero rows are impossible: (p, q) occur at distance gap
+    // in a positive-probability walk, so A^gap[p, q] > 0.
+    for (int& slot : machine.sequence) slot = table.sample(rng);
+  }
+  return level;
+}
+
+/// Reference truncation rule for the debug cross-check: the smallest W+
+/// index t at which the phase has seen rho_t distinct vertices, or -1 when
+/// the whole W+ stays below the budget. distributed_truncation_search must
+/// return exactly this (see also tests/truncation_test.cpp).
+[[maybe_unused]] std::int64_t find_truncation_index(
+    const Segment& segment, const LevelMidpoints& level,
+    const std::unordered_set<int>& committed, int target_distinct) {
+  std::unordered_set<int> seen = committed;
+  const std::int64_t top = 2 * (static_cast<std::int64_t>(segment.entries.size()) - 1);
+  for (std::int64_t t = 0; t <= top; ++t) {
+    const int v = wplus_at(segment, level, t);
+    if (seen.insert(v).second &&
+        static_cast<int>(seen.size()) >= target_distinct)
+      return t;
+  }
+  return -1;
+}
+
+/// Weighted-bipartite placement instance (approximate mode): rows = midpoint
+/// instances of the multiset (final midpoint excluded), columns = midpoint
+/// positions (final position excluded), weight = Formula 1 for the position's
+/// pair. Lemma 3: a perfect matching drawn proportional to its weight places
+/// the compressed multiset with the law of the original sequences.
+///
+/// `instances` arrive in verbatim order (instance i was sampled for position
+/// i), which provides a guaranteed positive-weight starting assignment for
+/// the Metropolis chain. In the real protocol the leader only holds the
+/// multiset and would compute *some* positive start with a poly-time
+/// bipartite matching on the support pattern; the chain's stationary law is
+/// identical either way.
+std::vector<int> place_by_matching(const std::vector<int>& instances,
+                                   const std::vector<std::pair<int, int>>& position_pairs,
+                                   const linalg::Matrix& half,
+                                   const SamplerOptions& options, util::Rng& rng) {
+  const int m = static_cast<int>(instances.size());
+  // Degenerate instances the leader can resolve locally without a sampler:
+  //  * all instances share one value — the assignment is forced;
+  //  * all positions share one (p, q) pair — every matching has the same
+  //    weight prod_x w(x), so a uniform placement of the multiset is exact.
+  // Both arise routinely (e.g. near-periodic Schur phases on bipartite
+  // remnants) and can involve tens of thousands of positions.
+  const bool one_value =
+      std::all_of(instances.begin(), instances.end(),
+                  [&](int v) { return v == instances.front(); });
+  if (one_value) return instances;
+  const bool one_pair =
+      std::all_of(position_pairs.begin(), position_pairs.end(),
+                  [&](const std::pair<int, int>& pq) {
+                    return pq == position_pairs.front();
+                  });
+  if (one_pair) {
+    std::vector<int> shuffled = instances;
+    for (std::size_t i = shuffled.size(); i > 1; --i)
+      std::swap(shuffled[i - 1], shuffled[rng.uniform_below(i)]);
+    return shuffled;
+  }
+
+  if (options.matching == MatchingStrategy::exact_permanent) {
+    // Exact path: materializes the m x m weight matrix (test/small-graph
+    // tool; guarded by the Ryser dimension limit inside the sampler).
+    linalg::Matrix weights(m, m, 0.0);
+    for (int r = 0; r < m; ++r)
+      for (int c = 0; c < m; ++c) {
+        const auto& [p, q] = position_pairs[static_cast<std::size_t>(c)];
+        weights(r, c) = half(p, instances[static_cast<std::size_t>(r)]) *
+                        half(instances[static_cast<std::size_t>(r)], q);
+      }
+    matching::ExactPermanentSampler sampler;
+    const std::vector<int> sigma = sampler.sample(weights, rng);
+    std::vector<int> placed(static_cast<std::size_t>(m), -1);
+    for (int r = 0; r < m; ++r)
+      placed[static_cast<std::size_t>(sigma[static_cast<std::size_t>(r)])] =
+          instances[static_cast<std::size_t>(r)];
+    return placed;
+  }
+
+  // Metropolis transposition chain with on-demand weights: w(x, position)
+  // depends only on (x, pair(position)), so no m x m matrix is needed —
+  // essential when bipartite-parity phases make m as large as the segment.
+  auto weight = [&](int instance_vertex, std::size_t position) {
+    const auto& [p, q] = position_pairs[position];
+    return half(p, instance_vertex) * half(instance_vertex, q);
+  };
+  std::vector<int> assign(static_cast<std::size_t>(m));  // position -> instance id
+  for (int i = 0; i < m; ++i) assign[static_cast<std::size_t>(i)] = i;
+  const long long sweeps =
+      static_cast<long long>(options.metropolis_steps_per_site) * m *
+      std::max(1, static_cast<int>(std::ceil(std::log2(std::max(2, m)))));
+  for (long long step = 0; step < sweeps; ++step) {
+    const std::size_t a = rng.uniform_below(static_cast<std::uint64_t>(m));
+    std::size_t b = rng.uniform_below(static_cast<std::uint64_t>(m - 1));
+    if (b >= a) ++b;
+    const int xa = instances[static_cast<std::size_t>(assign[a])];
+    const int xb = instances[static_cast<std::size_t>(assign[b])];
+    const double current = weight(xa, a) * weight(xb, b);
+    const double proposed = weight(xa, b) * weight(xb, a);
+    if (proposed <= 0.0) continue;
+    if (proposed >= current || rng.next_double() * current < proposed)
+      std::swap(assign[a], assign[b]);
+  }
+  std::vector<int> placed(static_cast<std::size_t>(m), -1);
+  for (int y = 0; y < m; ++y)
+    placed[static_cast<std::size_t>(y)] =
+        instances[static_cast<std::size_t>(assign[static_cast<std::size_t>(y)])];
+  return placed;
+}
+
+/// Charges the paper's per-level communication to the meter: midpoint
+/// requests/distributions (Lenzen O(1) rounds each), multiset collection,
+/// and the S' x S' submatrix transfer. The binary-search probes charge
+/// themselves inside distributed_truncation_search.
+void charge_level_costs(cclique::Meter& meter, const cclique::CostModel& model,
+                        std::int64_t pair_machines, std::int64_t n_active,
+                        std::int64_t support_size, bool exact_mode,
+                        std::int64_t rho) {
+  // M -> pair machines: one count word each.
+  meter.charge("phase/midpoint_requests", model.routing_rounds(pair_machines),
+               pair_machines);
+  // Vertex machines -> pair machines: n_active words per pair machine.
+  meter.charge("phase/midpoint_distributions",
+               model.routing_rounds(std::max(pair_machines, n_active)),
+               pair_machines * n_active);
+  if (exact_mode) {
+    // Appendix §5.3: every pair machine ships its truncated multiset
+    // (O(rho) words) to M.
+    meter.charge("phase/pair_multisets",
+                 model.routing_rounds(pair_machines * rho), pair_machines * rho);
+  } else {
+    // Vertex machines -> M: one count word each (the global multiset).
+    meter.charge("phase/multiset_collect", model.routing_rounds(n_active), n_active);
+    // M broadcasts S' and receives the S' x S' submatrix of A^{gap/2}.
+    meter.charge("phase/submatrix",
+                 model.broadcast_rounds(support_size) +
+                     model.routing_rounds(support_size * support_size),
+                 support_size + support_size * support_size);
+  }
+}
+
+}  // namespace
+
+std::int64_t choose_target_length(int n, const SamplerOptions& options) {
+  const double log2n = std::log2(std::max(2.0, static_cast<double>(n)));
+  double target;
+  if (options.paper_cubic_length) {
+    const double factor =
+        std::log2(std::max(2.0, 4.0 * std::sqrt(static_cast<double>(n)) /
+                                    options.epsilon));
+    target = factor * std::pow(static_cast<double>(n), 3.0);
+  } else {
+    target = options.length_factor * static_cast<double>(n) * log2n * log2n;
+  }
+  std::int64_t length = 2;
+  while (static_cast<double>(length) < target) length *= 2;
+  return length;
+}
+
+PhaseWalkResult build_phase_walk(const linalg::Matrix& transition, int start,
+                                 int target_distinct, std::int64_t target_length,
+                                 int clique_n, const SamplerOptions& options,
+                                 util::Rng& rng, cclique::Meter& meter) {
+  const int n_active = transition.rows();
+  if (transition.cols() != n_active)
+    throw std::invalid_argument("build_phase_walk: transition not square");
+  if (start < 0 || start >= n_active)
+    throw std::out_of_range("build_phase_walk: bad start");
+  if (target_distinct < 2 || target_distinct > n_active)
+    throw std::invalid_argument("build_phase_walk: bad target_distinct");
+  if (target_length < 2 || (target_length & (target_length - 1)) != 0)
+    throw std::invalid_argument("build_phase_walk: target_length must be a power of two >= 2");
+
+  cclique::CostModel model;
+  model.n = clique_n;
+  model.words_per_entry = options.words_per_entry;
+
+  PhaseWalkResult result;
+  std::vector<int> phase_walk{start};
+  std::unordered_set<int> committed{start};
+
+  std::int64_t segment_length = target_length;
+  const bool exact_mode = options.mode == SamplingMode::exact;
+
+  while (static_cast<int>(committed.size()) < target_distinct) {
+    if (result.extensions > options.max_extensions_per_phase)
+      throw std::runtime_error("build_phase_walk: too many Las Vegas extensions");
+
+    const int levels_here = ceil_log2_i64(segment_length);
+    // Initialization Step: the power table A, A^2, ..., A^l (one matmul per
+    // level) plus the per-machine row/column exchange (O(1) rounds each).
+    const std::vector<linalg::Matrix> powers =
+        linalg::power_table(transition, levels_here);
+    meter.charge("phase/matmul_powers",
+                 static_cast<std::int64_t>(levels_here) * model.matmul_rounds(),
+                 static_cast<std::int64_t>(levels_here) * n_active);
+
+    Segment segment;
+    segment.gap = segment_length;
+    segment.entries = {phase_walk.back(),
+                       util::sample_unnormalized(
+                           powers[static_cast<std::size_t>(levels_here)].row(
+                               phase_walk.back()),
+                           rng)};
+    meter.charge("phase/walk_init", 1, 1);
+
+    // Level loop: halve the gap until the segment is a dense walk.
+    std::int64_t truncated_at = -1;  // W+ index of the rho_t-th distinct vertex
+    while (segment.gap >= 2) {
+      ++result.levels;
+      const linalg::Matrix& half =
+          powers[static_cast<std::size_t>(ceil_log2_i64(segment.gap) - 1)];
+      LevelMidpoints level = generate_midpoints(segment, half, rng);
+
+      // Algorithm 3: the distributed binary search locates the truncation
+      // point; every probe's routing loads are charged inside.
+      const TruncationResult truncation = distributed_truncation_search(
+          segment, level, committed, target_distinct, n_active, model, meter);
+      assert(truncation.index ==
+             [&] {
+               const std::int64_t reference =
+                   find_truncation_index(segment, level, committed, target_distinct);
+               return reference >= 0
+                          ? reference
+                          : 2 * (static_cast<std::int64_t>(segment.entries.size()) - 1);
+             }());
+      const std::int64_t keep = truncation.index;
+
+      // Midpoint positions inside the kept prefix are the odd W+ indices.
+      std::vector<std::int64_t> midpoint_positions;
+      for (std::int64_t t = 1; t <= keep; t += 2) midpoint_positions.push_back(t);
+
+      charge_level_costs(meter, model,
+                         static_cast<std::int64_t>(level.machines.size()), n_active,
+                         /*support_size=*/static_cast<std::int64_t>(target_distinct) +
+                             static_cast<std::int64_t>(midpoint_positions.size() ? 1 : 0) +
+                             static_cast<std::int64_t>(committed.size()),
+                         exact_mode || options.matching == MatchingStrategy::group_shuffle,
+                         target_distinct);
+
+      std::vector<int> next_entries;
+      next_entries.reserve(static_cast<std::size_t>(keep) + 1);
+
+      if (midpoint_positions.empty()) {
+        // Prefix contains no midpoints (keep == 0): the level only truncates.
+        for (std::int64_t t = 0; t <= keep; t += 2)
+          next_entries.push_back(segment.entries[static_cast<std::size_t>(t / 2)]);
+      } else {
+        // The chronologically final midpoint is pinned to its true position
+        // (Lemma 4); the rest are re-placed by the configured strategy.
+        const std::int64_t final_pos = midpoint_positions.back();
+        const int final_midpoint = wplus_at(segment, level, final_pos);
+
+        std::unordered_map<std::int64_t, int> placement;
+        placement[final_pos] = final_midpoint;
+
+        const bool shuffle_mode =
+            exact_mode || options.matching == MatchingStrategy::group_shuffle;
+        if (options.matching == MatchingStrategy::verbatim) {
+          for (std::int64_t t : midpoint_positions)
+            placement[t] = wplus_at(segment, level, t);
+        } else if (shuffle_mode) {
+          // Appendix §5.3: uniformly permute each pair machine's truncated
+          // multiset; the final midpoint stays pinned in its own pair.
+          std::vector<std::vector<std::int64_t>> positions_of_pair(
+              level.machines.size());
+          std::vector<std::vector<int>> values_of_pair(level.machines.size());
+          for (std::int64_t t : midpoint_positions) {
+            const int pair = level.pair_of_slot[static_cast<std::size_t>((t - 1) / 2)];
+            if (t != final_pos)
+              positions_of_pair[static_cast<std::size_t>(pair)].push_back(t);
+            values_of_pair[static_cast<std::size_t>(pair)].push_back(
+                wplus_at(segment, level, t));
+          }
+          const int final_pair =
+              level.pair_of_slot[static_cast<std::size_t>((final_pos - 1) / 2)];
+          // Remove one instance of the final midpoint from its pair multiset.
+          auto& final_values = values_of_pair[static_cast<std::size_t>(final_pair)];
+          final_values.erase(
+              std::find(final_values.begin(), final_values.end(), final_midpoint));
+          for (std::size_t pair = 0; pair < level.machines.size(); ++pair) {
+            auto& values = values_of_pair[pair];
+            for (std::size_t i = values.size(); i > 1; --i)
+              std::swap(values[i - 1], values[rng.uniform_below(i)]);
+            const auto& slots = positions_of_pair[pair];
+            for (std::size_t i = 0; i < slots.size(); ++i)
+              placement[slots[i]] = values[i];
+          }
+        } else {
+          // Approximate mode (Lemma 3/4): global multiset + weighted perfect
+          // matching over the complete bipartite instance.
+          std::vector<int> instances;
+          std::vector<std::pair<int, int>> position_pairs;
+          for (std::int64_t t : midpoint_positions) {
+            if (t == final_pos) continue;
+            instances.push_back(wplus_at(segment, level, t));
+            const auto& machine = level.machines[static_cast<std::size_t>(
+                level.pair_of_slot[static_cast<std::size_t>((t - 1) / 2)])];
+            position_pairs.emplace_back(machine.p, machine.q);
+          }
+          if (!instances.empty()) {
+            // Instances stay in verbatim order: the identity assignment is a
+            // positive-weight matching to start the chain from (the leader
+            // only needs the multiset; see place_by_matching's doc comment).
+            const std::vector<int> placed = place_by_matching(
+                instances, position_pairs, half, options, rng);
+            std::size_t idx = 0;
+            for (std::int64_t t : midpoint_positions) {
+              if (t == final_pos) continue;
+              placement[t] = placed[idx++];
+            }
+          }
+        }
+
+        for (std::int64_t t = 0; t <= keep; ++t) {
+          if (t % 2 == 0) {
+            next_entries.push_back(segment.entries[static_cast<std::size_t>(t / 2)]);
+          } else {
+            next_entries.push_back(placement.at(t));
+          }
+        }
+      }
+
+      segment.entries = std::move(next_entries);
+      segment.gap /= 2;
+      if (static_cast<std::int64_t>(segment.entries.size()) >
+          options.max_segment_entries)
+        throw std::runtime_error("build_phase_walk: segment entry cap exceeded");
+      if (truncation.budget_reached) truncated_at = truncation.index;
+
+      // Lemma 4 invariant: after placement the truncation property still
+      // holds — the prefix strictly before the cut misses exactly one of the
+      // rho_t distinct vertices, and the final entry supplies it.
+      if (truncation.budget_reached) {
+        std::unordered_set<int> seen = committed;
+        for (std::size_t i = 0; i + 1 < segment.entries.size(); ++i)
+          seen.insert(segment.entries[i]);
+        assert(static_cast<int>(seen.size()) == target_distinct - 1);
+        assert(seen.insert(segment.entries.back()).second);
+      }
+    }
+
+    // Commit the segment onto the phase walk (drop the shared first vertex).
+    phase_walk.insert(phase_walk.end(), segment.entries.begin() + 1,
+                      segment.entries.end());
+    for (int v : segment.entries) committed.insert(v);
+
+    if (static_cast<int>(committed.size()) < target_distinct) {
+      // Appendix §5.1: double the target length and continue the walk from
+      // its current endpoint.
+      ++result.extensions;
+      segment_length *= 2;
+    } else if (truncated_at < 0) {
+      throw std::logic_error(
+          "build_phase_walk: reached target distinct without a truncation cut");
+    }
+  }
+
+  result.walk = std::move(phase_walk);
+  result.final_length = static_cast<std::int64_t>(result.walk.size()) - 1;
+  return result;
+}
+
+}  // namespace cliquest::core

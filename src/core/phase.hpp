@@ -1,0 +1,65 @@
+#pragma once
+
+// One phase of the Congested Clique sampler (paper Outline 3, §2.1).
+//
+// The engine builds a random walk on the *active* transition matrix A (the
+// input graph's walk in phase 1; the Schur complement's walk afterwards),
+// truncated at the first visit to the rho_t-th distinct vertex of the phase.
+// The walk is constructed top-down: the endpoint is sampled from A^l[s, *],
+// then midpoints are filled level by level from the Bayes product
+// A^{d/2}[p, m] * A^{d/2}[m, q] (Formula 1), with
+//   * per-(start,end)-pair midpoint machines holding the sampled sequences
+//     Pi_{p,q} (Algorithm 2),
+//   * the truncation point found by the distributed binary search of
+//     Algorithm 3 (core/truncation.hpp), every CheckTruncationPoint probe
+//     executing its three routing steps with measured loads charged to the
+//     meter — tests/truncation_test.cpp validates it against an independent
+//     literal model and the direct-scan rule,
+//   * placement of the compressed midpoint multiset by the configured
+//     strategy (weighted-perfect-matching sampling per Lemma 3/4, per-pair
+//     shuffles per Appendix §5.3, or verbatim placement for testing),
+//   * the Las Vegas extension of Appendix §5.1 whenever the target length is
+//     exhausted before rho_t distinct vertices are seen.
+//
+// Communication is charged per the paper's own load analysis (Lemma 5);
+// labels break the cost into meter categories.
+
+#include <cstdint>
+#include <vector>
+
+#include "cclique/cost_model.hpp"
+#include "cclique/meter.hpp"
+#include "core/options.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::core {
+
+struct PhaseWalkResult {
+  /// The phase walk in local (active-matrix) vertex ids; starts at the given
+  /// start vertex and ends at the first occurrence of the rho_t-th distinct
+  /// vertex (or covers the whole active set if it is smaller).
+  std::vector<int> walk;
+
+  int levels = 0;      // total level iterations across segments
+  int extensions = 0;  // Las Vegas segments beyond the first
+  std::int64_t final_length = 0;
+};
+
+/// Builds one phase walk.
+///
+/// `transition` is the active row-stochastic matrix (size n_active), `start`
+/// a local id, `target_distinct` = rho_t in [2, n_active]. `clique_n` is the
+/// size of the surrounding Congested Clique (the original n), which sets the
+/// bandwidth of the cost model. Rounds are charged to `meter`.
+PhaseWalkResult build_phase_walk(const linalg::Matrix& transition, int start,
+                                 int target_distinct, std::int64_t target_length,
+                                 int clique_n, const SamplerOptions& options,
+                                 util::Rng& rng, cclique::Meter& meter);
+
+/// The paper's per-phase target length: the smallest power of two at least
+/// log2(4 sqrt(n) / eps) * n^3 when paper_cubic_length is set, otherwise
+/// length_factor * n * log2(n)^2 (Las Vegas extensions cover the shortfall).
+std::int64_t choose_target_length(int n, const SamplerOptions& options);
+
+}  // namespace cliquest::core

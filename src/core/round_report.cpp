@@ -1,0 +1,19 @@
+#include "core/round_report.hpp"
+
+#include <sstream>
+
+namespace cliquest::core {
+
+std::string RoundReport::summary() const {
+  std::ostringstream out;
+  out << "phase  |S|    rho_t  new    levels ext  walk_len   rounds\n";
+  for (const PhaseStats& p : phases) {
+    out << p.phase_index << "\t" << p.active_vertices << "\t" << p.target_distinct
+        << "\t" << p.new_vertices << "\t" << p.levels << "\t" << p.extensions << "\t"
+        << p.walk_length << "\t" << p.rounds << "\n";
+  }
+  out << "\n" << meter.report();
+  return out.str();
+}
+
+}  // namespace cliquest::core

@@ -1,0 +1,34 @@
+#pragma once
+
+// Per-run and per-phase round accounting for the main sampler.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cclique/meter.hpp"
+
+namespace cliquest::core {
+
+struct PhaseStats {
+  int phase_index = 0;
+  int active_vertices = 0;    // |S| at phase start
+  int target_distinct = 0;    // rho_t for this phase
+  int new_vertices = 0;       // first-visit edges produced
+  std::int64_t walk_length = 0;  // length of the phase walk actually built
+  int levels = 0;             // level iterations across all segments
+  int extensions = 0;         // Las Vegas extensions used
+  std::int64_t rounds = 0;    // rounds charged during this phase
+};
+
+struct RoundReport {
+  cclique::Meter meter;
+  std::vector<PhaseStats> phases;
+
+  std::int64_t total_rounds() const { return meter.total_rounds(); }
+
+  /// Human-readable run anatomy: per-phase table plus the meter categories.
+  std::string summary() const;
+};
+
+}  // namespace cliquest::core

@@ -1,0 +1,153 @@
+#include "core/tree_sampler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "cclique/cost_model.hpp"
+#include "core/phase.hpp"
+#include "graph/connectivity.hpp"
+#include "schur/schur_complement.hpp"
+#include "schur/shortcut.hpp"
+#include "walk/transition.hpp"
+
+namespace cliquest::core {
+namespace {
+
+int default_rho(int n, SamplingMode mode) {
+  if (mode == SamplingMode::approximate)
+    return std::max(2, static_cast<int>(std::floor(std::sqrt(static_cast<double>(n)))));
+  // Appendix: rho = n^{1/3} keeps the per-pair multiset traffic within the
+  // leader's bandwidth.
+  return std::max(2, static_cast<int>(std::ceil(std::cbrt(static_cast<double>(n)))));
+}
+
+/// Matmul-round charge for building the Schur and shortcut transition
+/// matrices of one phase (Corollaries 2-3): powering the 2n-state auxiliary
+/// chain to k = O(n^3 log(1/beta)) needs log2(k) squarings, plus one product
+/// for QR.
+std::int64_t derivative_graph_matmuls(int n) {
+  const double log2n = std::log2(std::max(2.0, static_cast<double>(n)));
+  return static_cast<std::int64_t>(std::ceil(3.0 * log2n + log2n)) + 1;
+}
+
+}  // namespace
+
+CongestedCliqueTreeSampler::CongestedCliqueTreeSampler(graph::Graph g,
+                                                       SamplerOptions options)
+    : graph_(std::move(g)), options_(options) {
+  if (graph_.vertex_count() < 1)
+    throw std::invalid_argument("CongestedCliqueTreeSampler: empty graph");
+  if (!graph::is_connected(graph_))
+    throw std::invalid_argument("CongestedCliqueTreeSampler: graph disconnected");
+  if (options_.start_vertex < 0 || options_.start_vertex >= graph_.vertex_count())
+    throw std::out_of_range("CongestedCliqueTreeSampler: bad start vertex");
+  rho_ = options_.rho_override > 0 ? options_.rho_override
+                                   : default_rho(graph_.vertex_count(), options_.mode);
+  if (rho_ < 2) throw std::invalid_argument("CongestedCliqueTreeSampler: rho < 2");
+  if (options_.mode == SamplingMode::exact &&
+      options_.matching != MatchingStrategy::group_shuffle &&
+      options_.matching != MatchingStrategy::verbatim) {
+    // Exact mode is only exact with the per-pair shuffle placement.
+    options_.matching = MatchingStrategy::group_shuffle;
+  }
+}
+
+TreeSample CongestedCliqueTreeSampler::sample(util::Rng& rng) const {
+  const int n = graph_.vertex_count();
+  TreeSample result;
+  if (n == 1) return result;
+
+  cclique::CostModel model;
+  model.n = n;
+  model.words_per_entry = options_.words_per_entry;
+
+  const std::int64_t target_length = choose_target_length(n, options_);
+
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  visited[static_cast<std::size_t>(options_.start_vertex)] = 1;
+  int visited_count = 1;
+  int frontier = options_.start_vertex;  // last vertex of the previous phase
+
+  int phase_index = 0;
+  while (visited_count < n) {
+    ++phase_index;
+    // S = unvisited vertices + the frontier, in ascending vertex order with
+    // the frontier's local index recorded.
+    std::vector<int> active;  // local id -> vertex of G
+    active.reserve(static_cast<std::size_t>(n - visited_count + 1));
+    for (int v = 0; v < n; ++v)
+      if (!visited[static_cast<std::size_t>(v)] || v == frontier) active.push_back(v);
+    std::unordered_map<int, int> local_of;
+    local_of.reserve(active.size());
+    for (std::size_t i = 0; i < active.size(); ++i)
+      local_of.emplace(active[i], static_cast<int>(i));
+
+    const std::int64_t phase_rounds_before = result.report.meter.total_rounds();
+
+    // Derivative graphs. Phase 1 has S = V, where Schur(G, V) = G and the
+    // shortcut matrix reduces to "predecessor = previous walk vertex"; the
+    // generic code handles that case, and the matmul charge is skipped since
+    // no derivative graphs need to be built.
+    linalg::Matrix active_transition =
+        static_cast<int>(active.size()) == n
+            ? walk::transition_matrix(graph_)
+            : schur::schur_transition(graph_, active);
+    if (static_cast<int>(active.size()) != n) {
+      result.report.meter.charge(
+          "phase/matmul_schur_shortcut",
+          derivative_graph_matmuls(n) * model.matmul_rounds(),
+          static_cast<std::int64_t>(active.size()));
+    }
+    const linalg::Matrix shortcut_q = schur::shortcut_transition(graph_, active);
+
+    std::vector<char> in_s(static_cast<std::size_t>(n), 0);
+    for (int v : active) in_s[static_cast<std::size_t>(v)] = 1;
+
+    const int target_distinct =
+        std::min<int>(rho_, static_cast<int>(active.size()));
+
+    PhaseWalkResult walk = build_phase_walk(
+        active_transition, local_of.at(frontier), target_distinct, target_length, n,
+        options_, rng, result.report.meter);
+
+    // Algorithm 4: first-visit edges for each newly visited vertex, in
+    // first-visit order, sampled through the shortcut graph.
+    int new_edges = 0;
+    std::vector<char> seen_local(active.size(), 0);
+    seen_local[static_cast<std::size_t>(walk.walk.front())] = 1;
+    for (std::size_t i = 1; i < walk.walk.size(); ++i) {
+      const int local = walk.walk[i];
+      if (seen_local[static_cast<std::size_t>(local)]) continue;
+      seen_local[static_cast<std::size_t>(local)] = 1;
+      const int v = active[static_cast<std::size_t>(local)];
+      const int prev = active[static_cast<std::size_t>(walk.walk[i - 1])];
+      const int u = schur::sample_first_visit_neighbor(graph_, in_s, shortcut_q,
+                                                       prev, v, rng);
+      result.tree.emplace_back(u, v);
+      visited[static_cast<std::size_t>(v)] = 1;
+      ++visited_count;
+      ++new_edges;
+    }
+    result.report.meter.charge("phase/first_visit_edges", 2,
+                               static_cast<std::int64_t>(new_edges));
+
+    frontier = active[static_cast<std::size_t>(walk.walk.back())];
+
+    PhaseStats stats;
+    stats.phase_index = phase_index;
+    stats.active_vertices = static_cast<int>(active.size());
+    stats.target_distinct = target_distinct;
+    stats.new_vertices = new_edges;
+    stats.walk_length = walk.final_length;
+    stats.levels = walk.levels;
+    stats.extensions = walk.extensions;
+    stats.rounds = result.report.meter.total_rounds() - phase_rounds_before;
+    result.report.phases.push_back(stats);
+  }
+
+  result.tree = graph::canonical_tree(std::move(result.tree));
+  return result;
+}
+
+}  // namespace cliquest::core

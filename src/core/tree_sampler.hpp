@@ -1,0 +1,56 @@
+#pragma once
+
+// The paper's headline algorithm: uniform spanning tree sampling in the
+// Congested Clique in ~O(n^{1/2+alpha}) rounds (Theorem 1), with the exact
+// ~O(n^{2/3+alpha}) variant of the Appendix.
+//
+// The sampler proceeds in phases (Outline 3). Each phase:
+//   1. forms S = {unvisited} + {last vertex of the previous phase},
+//   2. computes the Schur complement transition matrix of G onto S and the
+//      shortcut transition matrix (charged at the paper's §2.4 matmul
+//      counts),
+//   3. builds a walk on Schur(G, S) visiting rho_t distinct vertices via the
+//      top-down filling engine (core/phase.hpp),
+//   4. samples each newly visited vertex's first-visit edge in G through the
+//      shortcut graph by Bayes' rule (Algorithm 4).
+// The union of first-visit edges over all phases is the spanning tree; by
+// Aldous-Broder it is uniform (up to the matching-sampler error in
+// approximate mode; exactly in exact mode).
+
+#include <cstdint>
+
+#include "core/options.hpp"
+#include "core/round_report.hpp"
+#include "graph/graph.hpp"
+#include "graph/spanning.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::core {
+
+struct TreeSample {
+  graph::TreeEdges tree;
+  RoundReport report;
+};
+
+class CongestedCliqueTreeSampler {
+ public:
+  /// The graph must be connected with at least one vertex. The sampler owns
+  /// a copy, so temporaries are safe to pass.
+  CongestedCliqueTreeSampler(graph::Graph g, SamplerOptions options);
+
+  /// Draws one spanning tree with full round accounting.
+  TreeSample sample(util::Rng& rng) const;
+
+  /// Per-phase distinct-vertex budget rho for this instance.
+  int rho() const { return rho_; }
+
+  const SamplerOptions& options() const { return options_; }
+  const graph::Graph& graph() const { return graph_; }
+
+ private:
+  graph::Graph graph_;
+  SamplerOptions options_;
+  int rho_;
+};
+
+}  // namespace cliquest::core

@@ -1,0 +1,114 @@
+#include "core/truncation.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cliquest::core {
+
+bool check_truncation_point(const Segment& segment, const LevelMidpoints& level,
+                            const std::unordered_set<int>& committed, int rho,
+                            std::int64_t l_prime, int n_active,
+                            const cclique::CostModel& model, cclique::Meter& meter) {
+  const std::int64_t pair_machines =
+      static_cast<std::int64_t>(level.machines.size());
+
+  // Step 1: leader -> pair machines: c_{p,q}(l'). A pair slot j contributes
+  // when its midpoint position 2j + 1 lies inside the prefix.
+  std::vector<int> request(level.machines.size(), 0);
+  const std::int64_t slots_in_prefix = l_prime >= 1 ? (l_prime - 1) / 2 + 1 : 0;
+  for (std::int64_t j = 0; j < slots_in_prefix; ++j)
+    ++request[static_cast<std::size_t>(
+        level.pair_of_slot[static_cast<std::size_t>(j)])];
+  meter.charge("phase/truncation_search", model.routing_rounds(pair_machines),
+               pair_machines);
+
+  // Step 2: pair machines -> vertex machines: Count(p, q, j, l'). Each pair
+  // machine scans its truncated prefix and sends one word per distinct vertex
+  // it saw; the per-machine loads drive the Lenzen charge.
+  std::unordered_map<int, std::int64_t> count;  // vertex -> Count(j, l')
+  std::int64_t max_sent = 0;
+  std::int64_t total_words = 0;
+  std::vector<std::int64_t> received(static_cast<std::size_t>(n_active), 0);
+  for (std::size_t m = 0; m < level.machines.size(); ++m) {
+    std::unordered_map<int, std::int64_t> local;
+    const auto& sequence = level.machines[m].sequence;
+    for (int i = 0; i < request[m]; ++i) ++local[sequence[static_cast<std::size_t>(i)]];
+    max_sent = std::max(max_sent, static_cast<std::int64_t>(local.size()));
+    for (const auto& [vertex, c] : local) {
+      count[vertex] += c;
+      ++received[static_cast<std::size_t>(vertex)];
+      ++total_words;
+    }
+  }
+  std::int64_t max_received = 0;
+  for (std::int64_t r : received) max_received = std::max(max_received, r);
+  meter.charge("phase/truncation_search",
+               model.routing_rounds(std::max(max_sent, max_received)), total_words);
+
+  // Step 3: vertex machines -> leader: Count(j, l') (one word per vertex
+  // machine holding a nonzero count).
+  meter.charge("phase/truncation_search",
+               model.routing_rounds(static_cast<std::int64_t>(count.size())),
+               static_cast<std::int64_t>(count.size()));
+
+  // Step 4: Dist — distinct vertices in the committed phase prefix, in
+  // W_i[0..l'], or with a positive midpoint count.
+  std::unordered_set<int> distinct = committed;
+  for (std::int64_t t = 0; t <= l_prime; t += 2)
+    distinct.insert(segment.entries[static_cast<std::size_t>(t / 2)]);
+  for (const auto& [vertex, c] : count)
+    if (c > 0) distinct.insert(vertex);
+
+  // Step 5.
+  if (static_cast<int>(distinct.size()) > rho) return false;
+
+  // Step 6: CountLast — occurrences of W+[l'] in the phase prefix. The
+  // leader knows W_i and the committed walk; the midpoint contribution is
+  // Count(W+[l'], l'). Committed membership counts as a prior occurrence.
+  const int last = wplus_at(segment, level, l_prime);
+  std::int64_t count_last = committed.count(last) ? 1 : 0;
+  for (std::int64_t t = 0; t <= l_prime; t += 2)
+    count_last += (segment.entries[static_cast<std::size_t>(t / 2)] == last);
+  const auto it = count.find(last);
+  if (it != count.end()) count_last += it->second;
+
+  // Step 7.
+  return (static_cast<int>(distinct.size()) < rho) || (count_last == 1);
+}
+
+TruncationResult distributed_truncation_search(
+    const Segment& segment, const LevelMidpoints& level,
+    const std::unordered_set<int>& committed, int rho, int n_active,
+    const cclique::CostModel& model, cclique::Meter& meter) {
+  TruncationResult result;
+  const std::int64_t top =
+      2 * (static_cast<std::int64_t>(segment.entries.size()) - 1);
+
+  // Binary search for the largest true index. Index 0 is true by the engine
+  // invariant (a segment only starts while the phase is below budget).
+  std::int64_t lo = 0;
+  std::int64_t hi = top;
+  while (lo < hi) {
+    const std::int64_t mid = (lo + hi + 1) / 2;
+    ++result.probes;
+    if (check_truncation_point(segment, level, committed, rho, mid, n_active, model,
+                               meter))
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  result.index = lo;
+
+  // The walk is truncated iff the budget is met at the found index: one more
+  // probe-sized exchange tells the leader the distinct count at `lo`. (The
+  // final CheckTruncationPoint already moved this information; we recompute
+  // locally and charge the O(1)-round W+ query.)
+  std::unordered_set<int> distinct = committed;
+  for (std::int64_t t = 0; t <= result.index; ++t)
+    distinct.insert(wplus_at(segment, level, t));
+  result.budget_reached = static_cast<int>(distinct.size()) >= rho;
+  meter.charge("phase/truncation_search", 1, 1);  // W+[l_{i+1}] lookup
+  return result;
+}
+
+}  // namespace cliquest::core

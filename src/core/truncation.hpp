@@ -1,0 +1,60 @@
+#pragma once
+
+// Distributed walk truncation (paper Algorithm 3 + the binary search of
+// §2.1.3), executed over the simulated machine roles with every probe's
+// communication loads charged to the meter.
+//
+// A probe CheckTruncationPoint(l') runs three Lenzen routing steps:
+//   1. leader -> pair machines: the truncated request counts c_{p,q}(l');
+//   2. pair machines -> vertex machines: Count(p, q, j, l') for each vertex j
+//      appearing in the truncated prefix of Pi_{p,q};
+//   3. vertex machines -> leader: the aggregated Count(j, l').
+// The leader then evaluates Dist and CountLast and the two-clause predicate.
+// The predicate is true exactly for l' <= l_{i+1} (the first W+ index at
+// which the phase walk holds rho distinct vertices), so a binary search over
+// the O(log l) candidates finds the truncation point.
+//
+// With Las Vegas extensions (Appendix §5.1), vertices committed by earlier
+// segments of the same phase count toward Dist and CountLast.
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "cclique/cost_model.hpp"
+#include "cclique/meter.hpp"
+#include "core/level_state.hpp"
+
+namespace cliquest::core {
+
+struct TruncationResult {
+  /// The largest W+ index whose prefix stays within the distinct budget: the
+  /// truncation point l_{i+1} when the budget is reached, or the final W+
+  /// index when the whole level stays below budget.
+  std::int64_t index = 0;
+
+  /// True when the prefix at `index` holds exactly rho distinct vertices
+  /// (i.e. the walk is truncated and ends at `index`).
+  bool budget_reached = false;
+
+  /// Probes issued by the binary search (reported for cost analysis).
+  int probes = 0;
+};
+
+/// One literal CheckTruncationPoint(l') evaluation; charges its three
+/// routing steps to `meter` under "phase/truncation_search". `n_active` is
+/// the active-graph vertex count (the number of vertex machines involved).
+bool check_truncation_point(const Segment& segment, const LevelMidpoints& level,
+                            const std::unordered_set<int>& committed, int rho,
+                            std::int64_t l_prime, int n_active,
+                            const cclique::CostModel& model, cclique::Meter& meter);
+
+/// The leader's binary search for the truncation point over the nonempty W+
+/// indices (plus the O(1)-round query of the vertex at the found index).
+TruncationResult distributed_truncation_search(const Segment& segment,
+                                               const LevelMidpoints& level,
+                                               const std::unordered_set<int>& committed,
+                                               int rho, int n_active,
+                                               const cclique::CostModel& model,
+                                               cclique::Meter& meter);
+
+}  // namespace cliquest::core

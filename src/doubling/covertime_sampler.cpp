@@ -1,0 +1,66 @@
+#include "doubling/covertime_sampler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cliquest::doubling {
+
+CoverTimeSamplerResult sample_tree_by_doubling(const graph::Graph& g,
+                                               const CoverTimeSamplerOptions& options,
+                                               util::Rng& rng, cclique::Meter& meter) {
+  const int n = g.vertex_count();
+  if (n < 1) throw std::invalid_argument("sample_tree_by_doubling: empty graph");
+  if (options.root < 0 || options.root >= n)
+    throw std::out_of_range("sample_tree_by_doubling: bad root");
+
+  std::int64_t tau = options.initial_tau;
+  if (tau <= 0) {
+    int log_n = 1;
+    while ((1 << log_n) < n) ++log_n;
+    tau = std::int64_t{4} * n * log_n;
+  }
+
+  // Las Vegas extension (not restart): if the walk fails to cover, a fresh
+  // doubling run is made and the walk of the machine where the previous
+  // segment *ended* is appended. By the Markov property the concatenation is
+  // one long random walk, so no conditioning bias is introduced — restarting
+  // from scratch would condition on "covers within tau" and skew the tree law.
+  CoverTimeSamplerResult result;
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  visited[static_cast<std::size_t>(options.root)] = 1;
+  int distinct = 1;
+  int current = options.root;
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<std::size_t>(n) - 1);
+  std::int64_t total_length = 0;
+
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt, tau *= 2) {
+    ++result.attempts;
+    DoublingOptions doubling = options.doubling;
+    doubling.tau = tau;
+    const DoublingResult run = run_doubling(g, doubling, rng, meter);
+    result.rounds += run.rounds;
+
+    // Aldous-Broder extraction: first-entry edges of the concatenated walk.
+    const std::vector<int>& walk = run.walks[static_cast<std::size_t>(current)];
+    result.built_walk_length += static_cast<std::int64_t>(walk.size()) - 1;
+    for (std::size_t i = 1; i < walk.size() && distinct < n; ++i) {
+      const int v = walk[i];
+      ++total_length;
+      if (visited[static_cast<std::size_t>(v)]) continue;
+      visited[static_cast<std::size_t>(v)] = 1;
+      ++distinct;
+      edges.emplace_back(walk[i - 1], v);
+    }
+    if (distinct == n) {
+      result.tree = graph::canonical_tree(std::move(edges));
+      result.final_tau = total_length;
+      return result;
+    }
+    current = walk.back();
+  }
+  throw std::runtime_error(
+      "sample_tree_by_doubling: walk failed to cover after max_attempts doublings");
+}
+
+}  // namespace cliquest::doubling

@@ -1,0 +1,54 @@
+#pragma once
+
+// Spanning-tree sampling via doubling walks (paper Corollary 1).
+//
+// For a graph with cover time tau, running the Section 3 doubling
+// construction with walk length ~tau and applying Aldous-Broder to the
+// resulting walk samples a uniform spanning tree in ~O(tau/n) rounds. The
+// sampler is Las Vegas: if the walk fails to cover, the target length is
+// doubled and the construction repeated (the failure probability halves per
+// unit of cover time by Markov's inequality, so expected extra work is O(1)).
+
+#include <cstdint>
+
+#include "cclique/meter.hpp"
+#include "doubling/doubling.hpp"
+#include "graph/graph.hpp"
+#include "graph/spanning.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::doubling {
+
+struct CoverTimeSamplerOptions {
+  /// Initial walk-length target; 0 selects 4 * n * ceil(log2 n), the right
+  /// scale for the O(n log n)-cover-time families the corollary addresses.
+  std::int64_t initial_tau = 0;
+
+  /// Root machine whose walk is used for tree extraction.
+  int root = 0;
+
+  /// Give up after this many doublings of tau (diagnoses non-covering runs
+  /// on pathological inputs rather than looping forever).
+  int max_attempts = 12;
+
+  DoublingOptions doubling;
+};
+
+struct CoverTimeSamplerResult {
+  graph::TreeEdges tree;
+  std::int64_t rounds = 0;
+  std::int64_t final_tau = 0;  // steps of the concatenated walk until coverage
+  /// Total walk length actually constructed across attempts (each attempt
+  /// builds a power-of-two-length walk whether or not it ends up covering);
+  /// this is the tau that Theorem 2's round formula is measured against.
+  std::int64_t built_walk_length = 0;
+  int attempts = 0;
+};
+
+/// Samples a uniform spanning tree of a connected graph; rounds accumulate in
+/// `meter` across attempts.
+CoverTimeSamplerResult sample_tree_by_doubling(const graph::Graph& g,
+                                               const CoverTimeSamplerOptions& options,
+                                               util::Rng& rng, cclique::Meter& meter);
+
+}  // namespace cliquest::doubling

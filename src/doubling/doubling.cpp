@@ -1,0 +1,196 @@
+#include "doubling/doubling.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "cclique/network.hpp"
+#include "util/discrete.hpp"
+#include "util/hash_family.hpp"
+
+namespace cliquest::doubling {
+namespace {
+
+int ceil_log2(std::int64_t x) {
+  int bits = 0;
+  while ((std::int64_t{1} << bits) < x) ++bits;
+  return bits;
+}
+
+/// Tag layout for walk tuples: (origin vertex, walk index, prefix flag).
+std::int64_t encode_tag(int origin, std::int64_t index, bool prefix) {
+  return (static_cast<std::int64_t>(origin) << 32) | (index << 1) |
+         (prefix ? 1 : 0);
+}
+
+int tag_origin(std::int64_t tag) { return static_cast<int>(tag >> 32); }
+std::int64_t tag_index(std::int64_t tag) { return (tag & 0xffffffff) >> 1; }
+bool tag_is_prefix(std::int64_t tag) { return (tag & 1) != 0; }
+
+}  // namespace
+
+std::int64_t lemma10_bound(int n, std::int64_t k, int hash_c) {
+  const double log_n = std::log2(std::max(2, n));
+  return static_cast<std::int64_t>(std::ceil(16.0 * hash_c * static_cast<double>(k) * log_n));
+}
+
+DoublingResult run_doubling(const graph::Graph& g, const DoublingOptions& options,
+                            util::Rng& rng, cclique::Meter& meter) {
+  const int n = g.vertex_count();
+  if (n < 1) throw std::invalid_argument("run_doubling: empty graph");
+  if (options.tau < 1) throw std::invalid_argument("run_doubling: tau must be >= 1");
+  for (int v = 0; v < n; ++v)
+    if (g.degree(v) == 0) throw std::invalid_argument("run_doubling: isolated vertex");
+
+  const int iterations = ceil_log2(options.tau);
+  std::int64_t k = std::int64_t{1} << iterations;
+
+  // walks[v] holds machine v's k walks, each a vertex sequence. Machines'
+  // private randomness comes from split streams.
+  std::vector<util::Rng> machine_rng;
+  machine_rng.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) machine_rng.push_back(rng.split());
+
+  std::vector<std::vector<std::vector<int>>> walks(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    walks[static_cast<std::size_t>(v)].resize(static_cast<std::size_t>(k));
+    const auto nbs = g.neighbors(v);
+    // Length-1 walks are single random-walk steps: weight-proportional for
+    // weighted graphs (uniform when all incident weights are equal). An alias
+    // table keeps the k draws O(1) each.
+    std::vector<double> weights;
+    weights.reserve(nbs.size());
+    for (const graph::Neighbor& nb : nbs) weights.push_back(nb.weight);
+    const util::AliasTable step(weights);
+    for (std::int64_t i = 0; i < k; ++i) {
+      const int to =
+          nbs[static_cast<std::size_t>(
+                  step.sample(machine_rng[static_cast<std::size_t>(v)]))]
+              .to;
+      walks[static_cast<std::size_t>(v)][static_cast<std::size_t>(i)] = {v, to};
+    }
+  }
+
+  cclique::CostModel model;
+  model.n = n;
+  cclique::Meter local;
+  cclique::Network net(model, &local);
+
+  DoublingResult result;
+  result.iterations = iterations;
+
+  const int t_independence =
+      std::max(2, static_cast<int>(std::ceil(8.0 * options.hash_c *
+                                             std::log2(std::max(2, n)))));
+
+  while (k > 1) {
+    // Step 1: machine 1 draws and broadcasts the hash seed; every machine
+    // reconstructs the same t-wise independent function.
+    util::Rng hash_rng = machine_rng[0].split();
+    util::KWiseHash hash(t_independence, static_cast<std::uint64_t>(n), hash_rng);
+    if (options.load_balanced) {
+      // O(log^2 n) random bits = t words of the broadcast.
+      net.broadcast(0, 0,
+                    std::vector<std::int64_t>(static_cast<std::size_t>(t_independence), 0),
+                    "doubling/hash_broadcast");
+    }
+
+    // Steps 2-3: route prefix tuples (i <= k/2) keyed by (endpoint, k-i+1)
+    // and suffix tuples (i > k/2) keyed by (origin, i) to the same rendezvous
+    // machine. The unbalanced ablation routes prefixes to the endpoint
+    // machine itself and keeps suffixes at home.
+    for (int v = 0; v < n; ++v) {
+      for (std::int64_t i = 1; i <= k; ++i) {
+        auto& walk = walks[static_cast<std::size_t>(v)][static_cast<std::size_t>(i - 1)];
+        const bool prefix = i <= k / 2;
+        int dst;
+        if (prefix) {
+          const int end = walk.back();
+          dst = options.load_balanced
+                    ? static_cast<int>(hash(static_cast<std::uint64_t>(end),
+                                            static_cast<std::uint64_t>(k - i + 1)))
+                    : end;
+        } else {
+          dst = options.load_balanced
+                    ? static_cast<int>(hash(static_cast<std::uint64_t>(v),
+                                            static_cast<std::uint64_t>(i)))
+                    : v;
+        }
+        std::vector<std::int64_t> payload(walk.begin(), walk.end());
+        if (!prefix && dst == v && !options.load_balanced) {
+          // Unbalanced variant: suffixes stay home; model no traffic.
+          continue;
+        }
+        net.post(v, dst, encode_tag(v, i, prefix), std::move(payload));
+      }
+    }
+    net.flush(options.load_balanced ? "doubling/route_balanced"
+                                    : "doubling/route_endpoint");
+
+    // Track the Lemma 10 quantity: tuples received per machine this step.
+    for (int m = 0; m < n; ++m) {
+      const std::int64_t tuples =
+          static_cast<std::int64_t>(net.inbox(m).size());
+      if (tuples > result.max_tuples_received) result.max_tuples_received = tuples;
+    }
+
+    // Step 4: each rendezvous machine indexes suffixes by (origin, index) and
+    // concatenates every matching prefix, sending the merged walk back.
+    for (int m = 0; m < n; ++m) {
+      std::unordered_map<std::int64_t, const cclique::Message*> suffixes;
+      for (const cclique::Message& msg : net.inbox(m))
+        if (!tag_is_prefix(msg.tag))
+          suffixes[encode_tag(tag_origin(msg.tag), tag_index(msg.tag), false)] = &msg;
+      // Unbalanced variant: machine m's own suffixes never left home.
+      auto find_suffix = [&](int origin, std::int64_t index) -> const std::vector<int>* {
+        if (!options.load_balanced) {
+          if (origin != m) return nullptr;
+          return &walks[static_cast<std::size_t>(m)][static_cast<std::size_t>(index - 1)];
+        }
+        auto it = suffixes.find(encode_tag(origin, index, false));
+        if (it == suffixes.end()) return nullptr;
+        static thread_local std::vector<int> scratch;
+        scratch.assign(it->second->words.begin(), it->second->words.end());
+        return &scratch;
+      };
+      for (const cclique::Message& msg : net.inbox(m)) {
+        if (!tag_is_prefix(msg.tag)) continue;
+        const std::int64_t i = tag_index(msg.tag);
+        const int origin = tag_origin(msg.tag);
+        const int end = static_cast<int>(msg.words.back());
+        const std::vector<int>* suffix = find_suffix(end, k - i + 1);
+        if (suffix == nullptr)
+          throw std::logic_error("run_doubling: missing suffix for merge");
+        std::vector<std::int64_t> merged(msg.words.begin(), msg.words.end());
+        // Drop the duplicated junction vertex.
+        merged.insert(merged.end(), suffix->begin() + 1, suffix->end());
+        net.post(m, origin, encode_tag(origin, i, true), std::move(merged));
+      }
+    }
+    net.flush("doubling/return_merged");
+
+    // Step 5: machines install their merged walks.
+    for (int v = 0; v < n; ++v) {
+      walks[static_cast<std::size_t>(v)].resize(static_cast<std::size_t>(k / 2));
+      for (const cclique::Message& msg : net.inbox(v)) {
+        const std::int64_t i = tag_index(msg.tag);
+        auto& slot = walks[static_cast<std::size_t>(v)][static_cast<std::size_t>(i - 1)];
+        slot.assign(msg.words.begin(), msg.words.end());
+      }
+    }
+    k /= 2;
+  }
+
+  result.max_load_words = net.max_flush_load();
+  result.rounds = local.total_rounds();
+  meter.merge(local);
+
+  result.walks.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v)
+    result.walks[static_cast<std::size_t>(v)] =
+        std::move(walks[static_cast<std::size_t>(v)][0]);
+  return result;
+}
+
+}  // namespace cliquest::doubling

@@ -1,0 +1,66 @@
+#pragma once
+
+// Load-balanced doubling walk construction (paper Section 3, Theorem 2).
+//
+// Every machine starts with k = 2^ceil(log2 tau) length-1 walks (random
+// incident edges). Each iteration halves k and doubles walk length eta by
+// merging prefix walks (indices 1..k/2) with suffix walks (indices
+// k/2+1..k): a prefix W_u^i ending at v merges with suffix W_v^{k-i+1}.
+// The load-balancing component routes both tuples of a merge pair to the
+// machine h_s(v, k-i+1) chosen by an (8c log n)-wise independent hash drawn
+// and broadcast once per iteration; Lemma 10 shows every machine then
+// receives O(k log n) tuples whp.
+//
+// The non-load-balanced ablation (`load_balanced = false`) routes prefixes
+// straight to their endpoint's machine, reproducing the congestion bottleneck
+// the paper attributes to the direct port of Bahmani-Chakrabarti-Xin.
+
+#include <cstdint>
+#include <vector>
+
+#include "cclique/meter.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::doubling {
+
+struct DoublingOptions {
+  /// Desired walk length; rounded up to the next power of two.
+  std::int64_t tau = 0;
+
+  /// Hash-based routing (Section 3) vs. the naive route-to-endpoint port.
+  bool load_balanced = true;
+
+  /// The constant c in the t = 8 c log n independence of the hash family.
+  int hash_c = 2;
+};
+
+struct DoublingResult {
+  /// walks[v] is the final random walk of machine v: tau'+1 vertices
+  /// starting at v, where tau' is tau rounded up to a power of two.
+  std::vector<std::vector<int>> walks;
+
+  /// Rounds charged to the meter by this run (also present in the meter).
+  std::int64_t rounds = 0;
+
+  /// Maximum number of tuples any machine received in any single routing
+  /// step (the Lemma 10 quantity).
+  std::int64_t max_tuples_received = 0;
+
+  /// Maximum per-machine word load of any flush (send or receive).
+  std::int64_t max_load_words = 0;
+
+  /// Number of doubling iterations executed (= log2 of the rounded tau).
+  int iterations = 0;
+};
+
+/// Runs the doubling construction on g. Requires a graph with no isolated
+/// vertices and tau >= 1. Rounds are charged to `meter` under
+/// "doubling/..." labels.
+DoublingResult run_doubling(const graph::Graph& g, const DoublingOptions& options,
+                            util::Rng& rng, cclique::Meter& meter);
+
+/// The Lemma 10 bound 16 c k log2(n) on tuples received per machine.
+std::int64_t lemma10_bound(int n, std::int64_t k, int hash_c);
+
+}  // namespace cliquest::doubling

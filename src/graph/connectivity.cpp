@@ -1,0 +1,73 @@
+#include "graph/connectivity.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace cliquest::graph {
+
+bool is_connected(const Graph& g) {
+  if (g.vertex_count() == 0) return true;
+  const std::vector<int> dist = bfs_distances(g, 0);
+  for (int d : dist)
+    if (d < 0) return false;
+  return true;
+}
+
+std::vector<int> bfs_distances(const Graph& g, int source) {
+  std::vector<int> dist(static_cast<std::size_t>(g.vertex_count()), -1);
+  if (g.vertex_count() == 0) return dist;
+  std::queue<int> frontier;
+  dist[static_cast<std::size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop();
+    for (const Neighbor& nb : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(nb.to)] >= 0) continue;
+      dist[static_cast<std::size_t>(nb.to)] = dist[static_cast<std::size_t>(u)] + 1;
+      frontier.push(nb.to);
+    }
+  }
+  return dist;
+}
+
+DisjointSets::DisjointSets(int n)
+    : parent_(static_cast<std::size_t>(n)), size_(static_cast<std::size_t>(n), 1), sets_(n) {
+  if (n < 0) throw std::invalid_argument("DisjointSets: negative size");
+  for (int i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+}
+
+int DisjointSets::find(int x) {
+  while (parent_[static_cast<std::size_t>(x)] != x) {
+    parent_[static_cast<std::size_t>(x)] =
+        parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+    x = parent_[static_cast<std::size_t>(x)];
+  }
+  return x;
+}
+
+bool DisjointSets::unite(int a, int b) {
+  int ra = find(a);
+  int rb = find(b);
+  if (ra == rb) return false;
+  if (size_[static_cast<std::size_t>(ra)] < size_[static_cast<std::size_t>(rb)])
+    std::swap(ra, rb);
+  parent_[static_cast<std::size_t>(rb)] = ra;
+  size_[static_cast<std::size_t>(ra)] += size_[static_cast<std::size_t>(rb)];
+  --sets_;
+  return true;
+}
+
+bool is_spanning_tree(const Graph& g, const std::vector<std::pair<int, int>>& edges) {
+  const int n = g.vertex_count();
+  if (static_cast<int>(edges.size()) != n - 1) return false;
+  DisjointSets dsu(n);
+  for (const auto& [u, v] : edges) {
+    if (u < 0 || u >= n || v < 0 || v >= n) return false;
+    if (!g.has_edge(u, v)) return false;
+    if (!dsu.unite(u, v)) return false;  // cycle
+  }
+  return dsu.set_count() == 1;
+}
+
+}  // namespace cliquest::graph

@@ -1,0 +1,36 @@
+#pragma once
+
+// Connectivity utilities: BFS reachability, connectedness, and a disjoint-set
+// forest used by the Kruskal baseline and spanning-tree validation.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cliquest::graph {
+
+bool is_connected(const Graph& g);
+
+/// BFS distances from source; unreachable vertices get -1.
+std::vector<int> bfs_distances(const Graph& g, int source);
+
+/// Union-find with path compression and union by size.
+class DisjointSets {
+ public:
+  explicit DisjointSets(int n);
+  int find(int x);
+  /// Merges the sets of a and b; returns false if already joined.
+  bool unite(int a, int b);
+  int set_count() const { return sets_; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  int sets_;
+};
+
+/// True if `edges` (as vertex pairs) forms a spanning tree of g: n-1 edges,
+/// all present in g, and acyclic/connected.
+bool is_spanning_tree(const Graph& g, const std::vector<std::pair<int, int>>& edges);
+
+}  // namespace cliquest::graph

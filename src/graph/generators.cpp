@@ -1,0 +1,177 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/connectivity.hpp"
+
+namespace cliquest::graph {
+
+Graph complete(int n) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u)
+    for (int v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+Graph path(int n) {
+  Graph g(n);
+  for (int v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph cycle(int n) {
+  if (n < 3) throw std::invalid_argument("cycle: need n >= 3");
+  Graph g = path(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph star(int n) {
+  if (n < 2) throw std::invalid_argument("star: need n >= 2");
+  Graph g(n);
+  for (int v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph wheel(int n) {
+  if (n < 4) throw std::invalid_argument("wheel: need n >= 4");
+  Graph g(n);
+  const int hub = n - 1;
+  for (int v = 0; v + 1 < hub; ++v) g.add_edge(v, v + 1);
+  g.add_edge(hub - 1, 0);
+  for (int v = 0; v < hub; ++v) g.add_edge(hub, v);
+  return g;
+}
+
+Graph grid(int rows, int cols) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("grid: bad shape");
+  Graph g(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  return g;
+}
+
+Graph complete_bipartite(int a, int b) {
+  if (a < 1 || b < 1) throw std::invalid_argument("complete_bipartite: bad sizes");
+  Graph g(a + b);
+  for (int u = 0; u < a; ++u)
+    for (int v = 0; v < b; ++v) g.add_edge(u, a + v);
+  return g;
+}
+
+Graph unbalanced_bipartite(int n) {
+  const int small = static_cast<int>(std::floor(std::sqrt(static_cast<double>(n))));
+  if (small < 1 || n - small < 1)
+    throw std::invalid_argument("unbalanced_bipartite: n too small");
+  return complete_bipartite(n - small, small);
+}
+
+Graph barbell(int k) {
+  if (k < 2) throw std::invalid_argument("barbell: need k >= 2");
+  Graph g(2 * k);
+  for (int u = 0; u < k; ++u)
+    for (int v = u + 1; v < k; ++v) {
+      g.add_edge(u, v);
+      g.add_edge(k + u, k + v);
+    }
+  g.add_edge(k - 1, k);
+  return g;
+}
+
+Graph lollipop(int k, int tail) {
+  if (k < 2 || tail < 1) throw std::invalid_argument("lollipop: bad shape");
+  Graph g(k + tail);
+  for (int u = 0; u < k; ++u)
+    for (int v = u + 1; v < k; ++v) g.add_edge(u, v);
+  for (int t = 0; t < tail; ++t) g.add_edge(k - 1 + t, k + t);
+  return g;
+}
+
+Graph gnp_connected(int n, double p, util::Rng& rng) {
+  if (n < 2) throw std::invalid_argument("gnp_connected: need n >= 2");
+  if (p <= 0.0 || p > 1.0) throw std::invalid_argument("gnp_connected: bad p");
+  constexpr int kMaxAttempts = 200;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Graph g(n);
+    for (int u = 0; u < n; ++u)
+      for (int v = u + 1; v < n; ++v)
+        if (rng.bernoulli(p)) g.add_edge(u, v);
+    if (is_connected(g)) return g;
+  }
+  throw std::runtime_error("gnp_connected: failed to draw a connected graph");
+}
+
+Graph random_regular(int n, int d, util::Rng& rng) {
+  if (d < 1 || d >= n) throw std::invalid_argument("random_regular: bad degree");
+  if ((static_cast<long long>(n) * d) % 2 != 0)
+    throw std::invalid_argument("random_regular: n*d must be even");
+  // Incremental pairing with local retry (Steger-Wormald style): draw random
+  // stub pairs and skip loop/multi-edge pairs instead of restarting the whole
+  // pairing. Asymptotically near-uniform and succeeds whp for d = o(n^{1/3}),
+  // unlike full-restart rejection whose acceptance decays like e^{-Theta(d^2)}.
+  constexpr int kMaxAttempts = 200;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    std::vector<int> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+    for (int v = 0; v < n; ++v)
+      for (int i = 0; i < d; ++i) stubs.push_back(v);
+    Graph g(n);
+    bool stuck = false;
+    while (!stubs.empty() && !stuck) {
+      // Try a few random pairs from the remaining stubs before declaring the
+      // partial pairing unextendable.
+      constexpr int kPairTries = 64;
+      bool paired = false;
+      for (int t = 0; t < kPairTries && !paired; ++t) {
+        const std::size_t i = rng.uniform_below(stubs.size());
+        std::size_t j = rng.uniform_below(stubs.size() - 1);
+        if (j >= i) ++j;
+        const int u = stubs[i];
+        const int v = stubs[j];
+        if (u == v || g.has_edge(u, v)) continue;
+        g.add_edge(u, v);
+        // Remove the two stubs (larger index first).
+        const std::size_t hi = std::max(i, j), lo = std::min(i, j);
+        stubs[hi] = stubs.back();
+        stubs.pop_back();
+        stubs[lo] = stubs.back();
+        stubs.pop_back();
+        paired = true;
+      }
+      stuck = !paired;
+    }
+    if (!stuck && is_connected(g)) return g;
+  }
+  throw std::runtime_error("random_regular: failed to draw a simple connected graph");
+}
+
+Graph theta(int inner_a, int inner_b, int inner_c) {
+  if (inner_a < 0 || inner_b < 0 || inner_c < 0)
+    throw std::invalid_argument("theta: negative inner length");
+  // Two terminals 0, 1; each path contributes its internal vertices in order.
+  Graph g(2 + inner_a + inner_b + inner_c);
+  int next = 2;
+  auto add_path = [&g, &next](int inner) {
+    if (inner == 0) {
+      if (!g.has_edge(0, 1)) g.add_edge(0, 1);
+      return;
+    }
+    int prev = 0;
+    for (int i = 0; i < inner; ++i) {
+      g.add_edge(prev, next);
+      prev = next++;
+    }
+    g.add_edge(prev, 1);
+  };
+  add_path(inner_a);
+  add_path(inner_b);
+  add_path(inner_c);
+  return g;
+}
+
+}  // namespace cliquest::graph

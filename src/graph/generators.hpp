@@ -1,0 +1,55 @@
+#pragma once
+
+// Graph families used across tests, examples and benches.
+//
+// The paper's claims are exercised on: dense random graphs and expanders
+// (G(n,p) with p >= log n / n, random regular), the highly irregular
+// K_{n-sqrt(n), sqrt(n)} family with O(n log n) cover time (§1.2), slow-cover
+// families (path, lollipop: the Theta(mn) cover-time worst case), and the
+// star of Figure 2.
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::graph {
+
+Graph complete(int n);
+Graph path(int n);
+Graph cycle(int n);
+
+/// Star with center 0 and n-1 leaves.
+Graph star(int n);
+
+/// Wheel: cycle 0..n-2 plus hub n-1 joined to all cycle vertices.
+Graph wheel(int n);
+
+Graph grid(int rows, int cols);
+
+/// Complete bipartite K_{a,b}: left part 0..a-1, right part a..a+b-1.
+Graph complete_bipartite(int a, int b);
+
+/// The paper's K_{n-sqrt(n), sqrt(n)} example of a dense irregular graph with
+/// O(n log n) cover time.
+Graph unbalanced_bipartite(int n);
+
+/// Two cliques of size k bridged by a single edge.
+Graph barbell(int k);
+
+/// Lollipop: clique of size k with a path of length tail attached; the
+/// classic Theta(n^3) cover-time family.
+Graph lollipop(int k, int tail);
+
+/// Erdos-Renyi G(n, p) conditioned on being connected (resamples; throws
+/// after too many failures, so choose p comfortably above the threshold).
+Graph gnp_connected(int n, double p, util::Rng& rng);
+
+/// Random d-regular-ish graph via the pairing model with collision retries;
+/// conditioned on connectivity. Requires n*d even, d >= 3 for whp success.
+Graph random_regular(int n, int d, util::Rng& rng);
+
+/// Theta graph: two endpoints joined by three disjoint paths of the given
+/// inner lengths (number of internal vertices per path). Small tree-count
+/// family convenient for exact distribution tests.
+Graph theta(int inner_a, int inner_b, int inner_c);
+
+}  // namespace cliquest::graph

@@ -1,0 +1,72 @@
+#include "graph/graph.hpp"
+
+#include <stdexcept>
+
+namespace cliquest::graph {
+
+Graph::Graph(int vertex_count) : adjacency_(static_cast<std::size_t>(vertex_count)) {
+  if (vertex_count < 0) throw std::invalid_argument("Graph: negative vertex count");
+}
+
+void Graph::check_vertex(int v) const {
+  if (v < 0 || v >= vertex_count()) throw std::out_of_range("Graph: bad vertex id");
+}
+
+void Graph::add_edge(int u, int v, double weight) {
+  check_vertex(u);
+  check_vertex(v);
+  if (u == v) throw std::invalid_argument("Graph::add_edge: self loop");
+  if (weight <= 0.0) throw std::invalid_argument("Graph::add_edge: nonpositive weight");
+  if (has_edge(u, v)) throw std::invalid_argument("Graph::add_edge: duplicate edge");
+  edges_.push_back(Edge{u, v, weight});
+  adjacency_[static_cast<std::size_t>(u)].push_back(Neighbor{v, weight});
+  adjacency_[static_cast<std::size_t>(v)].push_back(Neighbor{u, weight});
+}
+
+bool Graph::has_edge(int u, int v) const {
+  check_vertex(u);
+  check_vertex(v);
+  const auto& shorter = degree(u) <= degree(v) ? adjacency_[static_cast<std::size_t>(u)]
+                                               : adjacency_[static_cast<std::size_t>(v)];
+  const int target = degree(u) <= degree(v) ? v : u;
+  for (const Neighbor& nb : shorter)
+    if (nb.to == target) return true;
+  return false;
+}
+
+double Graph::edge_weight(int u, int v) const {
+  check_vertex(u);
+  check_vertex(v);
+  for (const Neighbor& nb : adjacency_[static_cast<std::size_t>(u)])
+    if (nb.to == v) return nb.weight;
+  return 0.0;
+}
+
+std::span<const Neighbor> Graph::neighbors(int v) const {
+  check_vertex(v);
+  return adjacency_[static_cast<std::size_t>(v)];
+}
+
+int Graph::degree(int v) const {
+  check_vertex(v);
+  return static_cast<int>(adjacency_[static_cast<std::size_t>(v)].size());
+}
+
+double Graph::weighted_degree(int v) const {
+  check_vertex(v);
+  double total = 0.0;
+  for (const Neighbor& nb : adjacency_[static_cast<std::size_t>(v)]) total += nb.weight;
+  return total;
+}
+
+int Graph::degree_within(int u, std::span<const char> in_set) const {
+  check_vertex(u);
+  if (static_cast<int>(in_set.size()) != vertex_count())
+    throw std::invalid_argument("Graph::degree_within: mask size mismatch");
+  int count = 0;
+  for (const Neighbor& nb : adjacency_[static_cast<std::size_t>(u)])
+    if (in_set[static_cast<std::size_t>(nb.to)]) ++count;
+  return count;
+}
+
+}  // namespace cliquest::graph

@@ -1,0 +1,69 @@
+#pragma once
+
+// Simple undirected weighted graph.
+//
+// Vertices are 0..n-1; edges carry positive weights (the paper allows
+// positive integer weights bounded by a polynomial; the Schur complement
+// graphs that arise after phase 1 are real-weighted, so weights are doubles).
+// The representation is an edge list plus an adjacency index, which matches
+// both the Congested Clique hosting model (machine i holds vertex i and its
+// incident edges) and the linear-algebra consumers.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace cliquest::graph {
+
+struct Edge {
+  int u = 0;
+  int v = 0;
+  double weight = 1.0;
+};
+
+/// Half-edge stored in adjacency lists: the far endpoint plus the weight.
+struct Neighbor {
+  int to = 0;
+  double weight = 1.0;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int vertex_count);
+
+  int vertex_count() const { return static_cast<int>(adjacency_.size()); }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds an undirected edge; requires u != v, valid ids, weight > 0, and no
+  /// existing {u, v} edge (the graph is simple).
+  void add_edge(int u, int v, double weight = 1.0);
+
+  bool has_edge(int u, int v) const;
+
+  /// Weight of edge {u, v}; 0 if absent.
+  double edge_weight(int u, int v) const;
+
+  std::span<const Neighbor> neighbors(int v) const;
+
+  /// Number of incident edges.
+  int degree(int v) const;
+
+  /// Sum of incident edge weights.
+  double weighted_degree(int v) const;
+
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// Number of neighbors of u inside the vertex set marked by in_set.
+  /// This is the deg_S(u) quantity of the shortcut-graph sampler (§2.2).
+  int degree_within(int u, std::span<const char> in_set) const;
+
+ private:
+  void check_vertex(int v) const;
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Neighbor>> adjacency_;
+};
+
+}  // namespace cliquest::graph

@@ -1,0 +1,42 @@
+#include "graph/laplacian.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cliquest::graph {
+
+linalg::Matrix laplacian(const Graph& g) {
+  const int n = g.vertex_count();
+  linalg::Matrix l(n, n, 0.0);
+  for (const Edge& e : g.edges()) {
+    l(e.u, e.u) += e.weight;
+    l(e.v, e.v) += e.weight;
+    l(e.u, e.v) -= e.weight;
+    l(e.v, e.u) -= e.weight;
+  }
+  return l;
+}
+
+Graph graph_from_laplacian(const linalg::Matrix& l, double tol) {
+  if (l.rows() != l.cols()) throw std::invalid_argument("graph_from_laplacian: not square");
+  const int n = l.rows();
+  for (int i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (std::abs(l(i, j) - l(j, i)) > tol)
+        throw std::invalid_argument("graph_from_laplacian: not symmetric");
+      row_sum += l(i, j);
+    }
+    if (std::abs(row_sum) > tol * std::max(1.0, l.max_abs()))
+      throw std::invalid_argument("graph_from_laplacian: row sums not zero");
+  }
+  Graph g(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) {
+      const double w = -l(i, j);
+      if (w > tol) g.add_edge(i, j, w);
+    }
+  return g;
+}
+
+}  // namespace cliquest::graph

@@ -1,0 +1,19 @@
+#pragma once
+
+// Graph Laplacians (§1.7): L[i][i] = weighted degree, L[i][j] = -w(i,j).
+// The Laplacian is the bridge between graphs and the Schur complement
+// machinery, and its minors count spanning trees (Matrix-Tree theorem).
+
+#include "graph/graph.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cliquest::graph {
+
+linalg::Matrix laplacian(const Graph& g);
+
+/// Reconstructs the unique simple weighted graph whose Laplacian is l.
+/// Off-diagonal entries above -tol are treated as absent edges. Throws if l
+/// is not (numerically) a Laplacian: symmetric with near-zero row sums.
+Graph graph_from_laplacian(const linalg::Matrix& l, double tol = 1e-9);
+
+}  // namespace cliquest::graph

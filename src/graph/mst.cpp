@@ -1,0 +1,31 @@
+#include "graph/mst.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/connectivity.hpp"
+
+namespace cliquest::graph {
+
+TreeEdges random_weight_mst(const Graph& g, util::Rng& rng) {
+  const int n = g.vertex_count();
+  if (n == 0) return {};
+  std::vector<std::pair<double, std::size_t>> order;
+  order.reserve(g.edges().size());
+  for (std::size_t i = 0; i < g.edges().size(); ++i)
+    order.emplace_back(rng.next_double(), i);
+  std::sort(order.begin(), order.end());
+
+  DisjointSets dsu(n);
+  std::vector<std::pair<int, int>> picked;
+  picked.reserve(static_cast<std::size_t>(n) - 1);
+  for (const auto& [w, idx] : order) {
+    const Edge& e = g.edges()[idx];
+    if (dsu.unite(e.u, e.v)) picked.emplace_back(e.u, e.v);
+  }
+  if (static_cast<int>(picked.size()) != n - 1)
+    throw std::invalid_argument("random_weight_mst: graph disconnected");
+  return canonical_tree(std::move(picked));
+}
+
+}  // namespace cliquest::graph

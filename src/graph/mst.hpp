@@ -1,0 +1,20 @@
+#pragma once
+
+// Random-weight minimum spanning tree baseline.
+//
+// Section 1.4 of the paper warns that the tempting O(1)-round approach —
+// assign i.i.d. uniform weights and take the MST — does NOT sample spanning
+// trees uniformly. This module implements that candidate so the E10 bench can
+// demonstrate the bias empirically (the negative control).
+
+#include "graph/graph.hpp"
+#include "graph/spanning.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::graph {
+
+/// Kruskal MST after assigning each edge an independent U[0,1) weight.
+/// Requires a connected graph.
+TreeEdges random_weight_mst(const Graph& g, util::Rng& rng);
+
+}  // namespace cliquest::graph

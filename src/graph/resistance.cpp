@@ -1,0 +1,87 @@
+#include "graph/resistance.hpp"
+
+#include <stdexcept>
+
+#include "graph/connectivity.hpp"
+#include "graph/laplacian.hpp"
+#include "linalg/decompose.hpp"
+
+namespace cliquest::graph {
+namespace {
+
+/// Inverse of the Laplacian grounded at vertex 0, padded back to n x n with
+/// zeros in row/column 0. This is a generalized inverse adequate for
+/// resistance computations: R(u, v) = M[u,u] + M[v,v] - 2 M[u,v].
+linalg::Matrix grounded_inverse(const Graph& g) {
+  const int n = g.vertex_count();
+  if (n < 1) throw std::invalid_argument("resistance: empty graph");
+  if (!is_connected(g)) throw std::invalid_argument("resistance: graph disconnected");
+  linalg::Matrix padded(n, n, 0.0);
+  if (n == 1) return padded;
+  const linalg::Matrix l = laplacian(g);
+  std::vector<int> keep;
+  keep.reserve(static_cast<std::size_t>(n) - 1);
+  for (int v = 1; v < n; ++v) keep.push_back(v);
+  // The grounded Laplacian is SPD on a connected graph.
+  const linalg::Matrix reduced = l.submatrix(keep, keep);
+  const linalg::Matrix inv =
+      linalg::cholesky_solve(reduced, linalg::Matrix::identity(n - 1));
+  for (int i = 0; i < n - 1; ++i)
+    for (int j = 0; j < n - 1; ++j) padded(i + 1, j + 1) = inv(i, j);
+  return padded;
+}
+
+}  // namespace
+
+linalg::Matrix effective_resistance_matrix(const Graph& g) {
+  const int n = g.vertex_count();
+  const linalg::Matrix m = grounded_inverse(g);
+  linalg::Matrix r(n, n, 0.0);
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v) r(u, v) = m(u, u) + m(v, v) - 2.0 * m(u, v);
+  return r;
+}
+
+double effective_resistance(const Graph& g, int u, int v) {
+  const int n = g.vertex_count();
+  if (u < 0 || u >= n || v < 0 || v >= n)
+    throw std::out_of_range("effective_resistance: bad vertex");
+  if (u == v) return 0.0;
+  // One grounded solve: current injected at u, extracted at v, ground at u.
+  if (!is_connected(g)) throw std::invalid_argument("resistance: graph disconnected");
+  const linalg::Matrix l = laplacian(g);
+  std::vector<int> keep;
+  keep.reserve(static_cast<std::size_t>(n) - 1);
+  for (int w = 0; w < n; ++w)
+    if (w != u) keep.push_back(w);
+  std::vector<double> rhs(static_cast<std::size_t>(n) - 1, 0.0);
+  for (std::size_t i = 0; i < keep.size(); ++i)
+    if (keep[i] == v) rhs[i] = 1.0;
+  const linalg::Lu lu(l.submatrix(keep, keep));
+  const std::vector<double> x = lu.solve(rhs);
+  for (std::size_t i = 0; i < keep.size(); ++i)
+    if (keep[i] == v) return x[i];  // potential difference v - u with phi_u = 0
+  throw std::logic_error("effective_resistance: vertex lookup failed");
+}
+
+double commute_time(const Graph& g, int u, int v) {
+  double total_weight = 0.0;
+  for (const Edge& e : g.edges()) total_weight += e.weight;
+  return 2.0 * total_weight * effective_resistance(g, u, v);
+}
+
+std::vector<double> spanning_tree_edge_marginals(const Graph& g) {
+  const linalg::Matrix r = effective_resistance_matrix(g);
+  std::vector<double> marginals;
+  marginals.reserve(g.edges().size());
+  for (const Edge& e : g.edges()) marginals.push_back(e.weight * r(e.u, e.v));
+  return marginals;
+}
+
+double foster_sum(const Graph& g) {
+  double total = 0.0;
+  for (double m : spanning_tree_edge_marginals(g)) total += m;
+  return total;
+}
+
+}  // namespace cliquest::graph

@@ -1,0 +1,38 @@
+#pragma once
+
+// Electrical quantities of a graph: effective resistances, commute times and
+// Kirchhoff's spanning-tree edge marginals.
+//
+// These back three validation tools for the samplers:
+//  * Pr[e in UST] = w(e) * R_eff(e) (Kirchhoff), checkable without
+//    enumerating trees, so sampler laws can be tested at larger n;
+//  * Foster's theorem sum_e w(e) R_eff(e) = n - 1 as a global invariant;
+//  * Schur complements preserve effective resistance between retained
+//    vertices — a sharp correctness check of the §1.7 machinery.
+
+#include "graph/graph.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cliquest::graph {
+
+/// All-pairs effective resistance matrix (symmetric, zero diagonal).
+/// Requires a connected graph. O(n^3).
+linalg::Matrix effective_resistance_matrix(const Graph& g);
+
+/// Effective resistance between one pair (one linear solve).
+double effective_resistance(const Graph& g, int u, int v);
+
+/// Expected commute time u -> v -> u of the natural random walk:
+/// C(u, v) = 2 W R_eff(u, v) with W the total edge weight
+/// (Chandra-Raghavan-Ruzzo-Smolensky).
+double commute_time(const Graph& g, int u, int v);
+
+/// Kirchhoff marginal Pr[e in uniform spanning tree] for every edge,
+/// indexed like g.edges().
+std::vector<double> spanning_tree_edge_marginals(const Graph& g);
+
+/// Foster's theorem check value: sum_e w(e) R_eff(e); equals n - 1 exactly
+/// on any connected graph.
+double foster_sum(const Graph& g);
+
+}  // namespace cliquest::graph

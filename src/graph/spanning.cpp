@@ -1,0 +1,106 @@
+#include "graph/spanning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/connectivity.hpp"
+#include "graph/laplacian.hpp"
+#include "linalg/decompose.hpp"
+
+namespace cliquest::graph {
+
+double log_tree_count(const Graph& g) {
+  const int n = g.vertex_count();
+  if (n < 1) throw std::invalid_argument("log_tree_count: empty graph");
+  if (n == 1) return 0.0;
+  if (!is_connected(g)) throw std::invalid_argument("log_tree_count: graph disconnected");
+  const linalg::Matrix l = laplacian(g);
+  // Minor: delete the last row and column.
+  std::vector<int> ids(static_cast<std::size_t>(n - 1));
+  for (int i = 0; i < n - 1; ++i) ids[static_cast<std::size_t>(i)] = i;
+  const linalg::Lu lu(l.submatrix(ids, ids));
+  if (lu.singular() || lu.det_sign() <= 0)
+    throw std::runtime_error("log_tree_count: Laplacian minor not positive definite");
+  return lu.log_abs_det();
+}
+
+long long tree_count(const Graph& g) {
+  const double log_count = log_tree_count(g);
+  if (log_count > 42.9)  // ln(2^62)
+    throw std::overflow_error("tree_count: too many trees; use log_tree_count");
+  return static_cast<long long>(std::llround(std::exp(log_count)));
+}
+
+TreeEdges canonical_tree(std::vector<std::pair<int, int>> edges) {
+  for (auto& [u, v] : edges)
+    if (u > v) std::swap(u, v);
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+std::string tree_key(const TreeEdges& edges) {
+  std::string key;
+  key.reserve(edges.size() * 8);
+  for (const auto& [u, v] : edges) {
+    key += std::to_string(u);
+    key += '-';
+    key += std::to_string(v);
+    key += ';';
+  }
+  return key;
+}
+
+namespace {
+
+// Depth-first enumeration over edges: each edge is either included (if it
+// joins two components) or excluded (if the remaining edges can still span).
+struct Enumerator {
+  const Graph& g;
+  std::size_t max_trees;
+  std::vector<TreeEdges>& out;
+  std::vector<std::pair<int, int>> chosen;
+
+  // Returns the number of components if we union `from..end` edges onto the
+  // current partial forest; used to prune branches that cannot span.
+  bool can_span(DisjointSets dsu, std::size_t from) const {
+    const auto all = g.edges();
+    for (std::size_t i = from; i < all.size(); ++i) dsu.unite(all[i].u, all[i].v);
+    return dsu.set_count() == 1;
+  }
+
+  void recurse(std::size_t edge_index, DisjointSets dsu) {
+    if (dsu.set_count() == 1) {
+      out.push_back(canonical_tree(chosen));
+      if (out.size() > max_trees)
+        throw std::overflow_error("enumerate_spanning_trees: too many trees");
+      return;
+    }
+    if (edge_index >= g.edges().size()) return;
+    const Edge& e = g.edges()[edge_index];
+
+    // Branch 1: include the edge when it joins two components.
+    DisjointSets with = dsu;
+    if (with.unite(e.u, e.v)) {
+      chosen.emplace_back(e.u, e.v);
+      recurse(edge_index + 1, with);
+      chosen.pop_back();
+    }
+    // Branch 2: exclude the edge, but only if spanning is still achievable.
+    if (can_span(dsu, edge_index + 1)) recurse(edge_index + 1, dsu);
+  }
+};
+
+}  // namespace
+
+std::vector<TreeEdges> enumerate_spanning_trees(const Graph& g, std::size_t max_trees) {
+  if (g.vertex_count() == 0) return {};
+  if (!is_connected(g))
+    throw std::invalid_argument("enumerate_spanning_trees: graph disconnected");
+  std::vector<TreeEdges> out;
+  Enumerator e{g, max_trees, out, {}};
+  e.recurse(0, DisjointSets(g.vertex_count()));
+  return out;
+}
+
+}  // namespace cliquest::graph

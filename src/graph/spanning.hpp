@@ -1,0 +1,40 @@
+#pragma once
+
+// Spanning-tree counting, enumeration, and canonical encoding.
+//
+// The Matrix-Tree theorem (determinant of any Laplacian minor) provides the
+// exact number of spanning trees; enumeration provides the full support for
+// small graphs so that sampler outputs can be tested against the uniform
+// distribution by total variation distance.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace cliquest::graph {
+
+/// log of the weighted spanning tree count (Matrix-Tree; weight of a tree =
+/// product of its edge weights). Requires a connected graph with >= 1 vertex.
+double log_tree_count(const Graph& g);
+
+/// Exact spanning-tree count rounded to the nearest integer; throws if the
+/// count exceeds 2^62 (use log_tree_count instead).
+long long tree_count(const Graph& g);
+
+/// A spanning tree as a sorted list of (min, max) vertex pairs.
+using TreeEdges = std::vector<std::pair<int, int>>;
+
+/// Canonical string key for a tree, suitable for frequency tables.
+std::string tree_key(const TreeEdges& edges);
+
+/// Normalizes arbitrary edge ordering/orientation into a canonical TreeEdges.
+TreeEdges canonical_tree(std::vector<std::pair<int, int>> edges);
+
+/// Enumerates every spanning tree of g (as canonical TreeEdges). Throws if
+/// the count exceeds max_trees — callers choose graphs that are small enough.
+std::vector<TreeEdges> enumerate_spanning_trees(const Graph& g,
+                                                std::size_t max_trees = 200000);
+
+}  // namespace cliquest::graph

@@ -1,0 +1,119 @@
+#include "linalg/decompose.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cliquest::linalg {
+
+Lu::Lu(Matrix a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols()) throw std::invalid_argument("Lu: matrix not square");
+  const int n = lu_.rows();
+  pivots_.resize(static_cast<std::size_t>(n));
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    double best = std::abs(lu_(col, col));
+    for (int r = col + 1; r < n; ++r) {
+      const double cand = std::abs(lu_(r, col));
+      if (cand > best) {
+        best = cand;
+        pivot = r;
+      }
+    }
+    pivots_[static_cast<std::size_t>(col)] = pivot;
+    if (best == 0.0) {
+      singular_ = true;
+      det_sign_ = 0;
+      continue;
+    }
+    if (pivot != col) {
+      for (int j = 0; j < n; ++j) std::swap(lu_(col, j), lu_(pivot, j));
+      det_sign_ = -det_sign_;
+    }
+    const double d = lu_(col, col);
+    log_abs_det_ += std::log(std::abs(d));
+    if (d < 0.0) det_sign_ = -det_sign_;
+    for (int r = col + 1; r < n; ++r) {
+      const double f = lu_(r, col) / d;
+      lu_(r, col) = f;
+      if (f == 0.0) continue;
+      for (int j = col + 1; j < n; ++j) lu_(r, j) -= f * lu_(col, j);
+    }
+  }
+}
+
+std::vector<double> Lu::solve(std::span<const double> b) const {
+  if (singular_) throw std::domain_error("Lu::solve: singular matrix");
+  const int n = lu_.rows();
+  if (static_cast<int>(b.size()) != n)
+    throw std::invalid_argument("Lu::solve: rhs size mismatch");
+  std::vector<double> x(b.begin(), b.end());
+  for (int i = 0; i < n; ++i) {
+    std::swap(x[static_cast<std::size_t>(i)],
+              x[static_cast<std::size_t>(pivots_[static_cast<std::size_t>(i)])]);
+    for (int j = 0; j < i; ++j) x[static_cast<std::size_t>(i)] -= lu_(i, j) * x[static_cast<std::size_t>(j)];
+  }
+  for (int i = n - 1; i >= 0; --i) {
+    for (int j = i + 1; j < n; ++j)
+      x[static_cast<std::size_t>(i)] -= lu_(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] /= lu_(i, i);
+  }
+  return x;
+}
+
+Matrix Lu::inverse() const {
+  if (singular_) throw std::domain_error("Lu::inverse: singular matrix");
+  const int n = lu_.rows();
+  Matrix inv(n, n);
+  std::vector<double> e(static_cast<std::size_t>(n), 0.0);
+  for (int c = 0; c < n; ++c) {
+    e[static_cast<std::size_t>(c)] = 1.0;
+    const std::vector<double> col = solve(e);
+    e[static_cast<std::size_t>(c)] = 0.0;
+    for (int r = 0; r < n; ++r) inv(r, c) = col[static_cast<std::size_t>(r)];
+  }
+  return inv;
+}
+
+Matrix cholesky(const Matrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("cholesky: matrix not square");
+  const int n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (int k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0) throw std::domain_error("cholesky: matrix not positive definite");
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Matrix cholesky_solve(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("cholesky_solve: shape mismatch");
+  const Matrix l = cholesky(a);
+  const int n = a.rows();
+  const int m = b.cols();
+  Matrix x = b;
+  // Forward substitution: L y = b.
+  for (int c = 0; c < m; ++c) {
+    for (int i = 0; i < n; ++i) {
+      double v = x(i, c);
+      for (int k = 0; k < i; ++k) v -= l(i, k) * x(k, c);
+      x(i, c) = v / l(i, i);
+    }
+    // Back substitution: L^T x = y.
+    for (int i = n - 1; i >= 0; --i) {
+      double v = x(i, c);
+      for (int k = i + 1; k < n; ++k) v -= l(k, i) * x(k, c);
+      x(i, c) = v / l(i, i);
+    }
+  }
+  return x;
+}
+
+}  // namespace cliquest::linalg

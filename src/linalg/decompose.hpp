@@ -1,0 +1,47 @@
+#pragma once
+
+// Dense factorizations: LU with partial pivoting (determinants, solves,
+// inverses) and Cholesky (used for the Schur-complement block elimination of
+// the Laplacian, whose eliminated block is symmetric positive definite on a
+// connected graph).
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cliquest::linalg {
+
+/// LU factorization with partial pivoting of a square matrix.
+class Lu {
+ public:
+  explicit Lu(Matrix a);
+
+  bool singular() const { return singular_; }
+
+  /// log|det A| and sign(det A); sign is 0 when singular.
+  double log_abs_det() const { return log_abs_det_; }
+  int det_sign() const { return det_sign_; }
+
+  /// Solves A x = b. Throws if singular.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// A^{-1}. Throws if singular.
+  Matrix inverse() const;
+
+ private:
+  Matrix lu_;
+  std::vector<int> pivots_;
+  bool singular_ = false;
+  double log_abs_det_ = 0.0;
+  int det_sign_ = 1;
+};
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+/// Throws std::domain_error when the matrix is not (numerically) SPD.
+Matrix cholesky(const Matrix& a);
+
+/// Solves A X = B via Cholesky for SPD A; returns X. B may have many columns.
+Matrix cholesky_solve(const Matrix& a, const Matrix& b);
+
+}  // namespace cliquest::linalg

@@ -1,0 +1,124 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cliquest::linalg {
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), fill) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("Matrix: negative shape");
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n, 0.0);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::span<double> Matrix::row(int r) {
+  return std::span<double>(data_.data() + index(r, 0), static_cast<std::size_t>(cols_));
+}
+
+std::span<const double> Matrix::row(int r) const {
+  return std::span<const double>(data_.data() + index(r, 0),
+                                 static_cast<std::size_t>(cols_));
+}
+
+Matrix Matrix::multiply(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) throw std::invalid_argument("Matrix::multiply: shape mismatch");
+  Matrix out(rows_, rhs.cols_, 0.0);
+  // i-k-j loop order with a column block keeps the rhs rows streaming.
+  constexpr int kBlock = 64;
+  for (int jb = 0; jb < rhs.cols_; jb += kBlock) {
+    const int je = std::min(rhs.cols_, jb + kBlock);
+    for (int i = 0; i < rows_; ++i) {
+      double* out_row = out.data_.data() + out.index(i, 0);
+      const double* lhs_row = data_.data() + index(i, 0);
+      for (int k = 0; k < cols_; ++k) {
+        const double a = lhs_row[k];
+        if (a == 0.0) continue;
+        const double* rhs_row = rhs.data_.data() + rhs.index(k, 0);
+        for (int j = jb; j < je; ++j) out_row[j] += a * rhs_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (int i = 0; i < rows_; ++i)
+    for (int j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix::operator+: shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix::operator-: shape mismatch");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::scaled(double factor) const {
+  Matrix out = *this;
+  for (double& x : out.data_) x *= factor;
+  return out;
+}
+
+Matrix Matrix::submatrix(std::span<const int> row_ids,
+                         std::span<const int> col_ids) const {
+  Matrix out(static_cast<int>(row_ids.size()), static_cast<int>(col_ids.size()));
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    if (row_ids[i] < 0 || row_ids[i] >= rows_)
+      throw std::out_of_range("Matrix::submatrix: row id");
+    for (std::size_t j = 0; j < col_ids.size(); ++j) {
+      if (col_ids[j] < 0 || col_ids[j] >= cols_)
+        throw std::out_of_range("Matrix::submatrix: col id");
+      out(static_cast<int>(i), static_cast<int>(j)) = (*this)(row_ids[i], col_ids[j]);
+    }
+  }
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("Matrix::max_abs_diff: shape mismatch");
+  double best = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    best = std::max(best, std::abs(data_[i] - other.data_[i]));
+  return best;
+}
+
+double Matrix::max_abs() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::abs(x));
+  return best;
+}
+
+bool Matrix::is_row_stochastic(double tol) const {
+  for (int i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < cols_; ++j) {
+      const double x = (*this)(i, j);
+      if (x < -tol) return false;
+      sum += x;
+    }
+    if (std::abs(sum - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace cliquest::linalg

@@ -1,0 +1,68 @@
+#pragma once
+
+// Dense row-major matrix of doubles.
+//
+// The Congested Clique algorithms in the paper treat n x n transition
+// matrices as first-class objects distributed row-per-machine; this class is
+// the local stand-in. Multiplication is cache-blocked because the main
+// sampler performs O(sqrt(n) * log n) multiplications of size up to n.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cliquest::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(int rows, int cols, double fill = 0.0);
+
+  static Matrix identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int r, int c) { return data_[index(r, c)]; }
+  double operator()(int r, int c) const { return data_[index(r, c)]; }
+
+  std::span<double> row(int r);
+  std::span<const double> row(int r) const;
+
+  /// Matrix product; requires cols() == rhs.rows().
+  Matrix multiply(const Matrix& rhs) const;
+
+  Matrix transpose() const;
+
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix scaled(double factor) const;
+
+  /// Extracts the submatrix with the given row and column index lists.
+  Matrix submatrix(std::span<const int> row_ids, std::span<const int> col_ids) const;
+
+  /// Largest |a_ij - b_ij|; requires equal shapes.
+  double max_abs_diff(const Matrix& other) const;
+
+  /// Largest |a_ij|.
+  double max_abs() const;
+
+  /// True if every row sums to 1 within tol and entries are >= -tol.
+  bool is_row_stochastic(double tol = 1e-9) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t index(int r, int c) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+           static_cast<std::size_t>(c);
+  }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace cliquest::linalg

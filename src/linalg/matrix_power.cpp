@@ -1,0 +1,51 @@
+#include "linalg/matrix_power.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cliquest::linalg {
+
+std::vector<Matrix> power_table(const Matrix& p, int levels) {
+  if (p.rows() != p.cols()) throw std::invalid_argument("power_table: matrix not square");
+  if (levels < 0) throw std::invalid_argument("power_table: negative level count");
+  std::vector<Matrix> table;
+  table.reserve(static_cast<std::size_t>(levels) + 1);
+  table.push_back(p);
+  for (int i = 0; i < levels; ++i) table.push_back(table.back().multiply(table.back()));
+  return table;
+}
+
+Matrix truncate_entries(const Matrix& m, int fractional_bits) {
+  if (fractional_bits < 1 || fractional_bits > 62)
+    throw std::invalid_argument("truncate_entries: fractional_bits out of range");
+  const double scale = std::ldexp(1.0, fractional_bits);
+  Matrix out = m;
+  for (int i = 0; i < out.rows(); ++i)
+    for (int j = 0; j < out.cols(); ++j)
+      out(i, j) = std::floor(out(i, j) * scale) / scale;
+  return out;
+}
+
+Matrix rounded_power(const Matrix& p, long long k, int fractional_bits) {
+  if (k < 1 || (k & (k - 1)) != 0)
+    throw std::invalid_argument("rounded_power: k must be a positive power of two");
+  Matrix m = truncate_entries(p, fractional_bits);
+  for (long long step = 1; step < k; step *= 2)
+    m = truncate_entries(m.multiply(m), fractional_bits);
+  return m;
+}
+
+Matrix matrix_power(const Matrix& p, long long k) {
+  if (p.rows() != p.cols()) throw std::invalid_argument("matrix_power: matrix not square");
+  if (k < 0) throw std::invalid_argument("matrix_power: negative exponent");
+  Matrix result = Matrix::identity(p.rows());
+  Matrix base = p;
+  while (k > 0) {
+    if (k & 1) result = result.multiply(base);
+    k >>= 1;
+    if (k > 0) base = base.multiply(base);
+  }
+  return result;
+}
+
+}  // namespace cliquest::linalg

@@ -1,0 +1,34 @@
+#pragma once
+
+// Powers of transition matrices.
+//
+// The paper's Initialization Step computes P, P^2, P^4, ..., P^l by repeated
+// squaring (Algorithm 1 step 2). Lemma 7 additionally shows the powers can be
+// computed with bounded *subtractive* error when every entry is truncated to
+// O(log 1/delta) bits after each squaring; rounded_power implements exactly
+// that truncation scheme so the error recurrence E(k) <= (n+1) E(k/2) + delta
+// can be measured (bench: E6).
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace cliquest::linalg {
+
+/// Returns {P^(2^0), P^(2^1), ..., P^(2^levels)} (levels+1 matrices).
+std::vector<Matrix> power_table(const Matrix& p, int levels);
+
+/// Truncates every entry of m down to `fractional_bits` binary digits.
+/// Truncation (not rounding-to-nearest) keeps the error one-sided, matching
+/// the paper's "subtractive error" convention in Section 2.4.
+Matrix truncate_entries(const Matrix& m, int fractional_bits);
+
+/// Lemma 7 powering: M'(1) = round(M), M'(k) = round(M'(k/2)^2) for k a power
+/// of two, every round() truncating to `fractional_bits` fractional bits.
+/// k must be a power of two.
+Matrix rounded_power(const Matrix& p, long long k, int fractional_bits);
+
+/// Exact P^k by square-and-multiply (k >= 0).
+Matrix matrix_power(const Matrix& p, long long k);
+
+}  // namespace cliquest::linalg

@@ -1,0 +1,64 @@
+#include "linalg/permanent.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace cliquest::linalg {
+
+double permanent_ryser(const Matrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("permanent_ryser: not square");
+  const int n = a.rows();
+  if (n == 0) return 1.0;
+  if (n > kMaxExactPermanentDim)
+    throw std::invalid_argument("permanent_ryser: dimension too large for exact method");
+
+  // Ryser: per(A) = (-1)^n * sum over column subsets S of (-1)^{|S|}
+  // prod_i sum_{j in S} a_ij. Gray-code enumeration updates row sums in O(n)
+  // per subset.
+  std::vector<double> row_sums(static_cast<std::size_t>(n), 0.0);
+  double total = 0.0;
+  const std::uint64_t subsets = std::uint64_t{1} << n;
+  std::uint64_t gray_prev = 0;
+  for (std::uint64_t iter = 1; iter < subsets; ++iter) {
+    const std::uint64_t gray = iter ^ (iter >> 1);
+    const std::uint64_t changed = gray ^ gray_prev;
+    const int col = std::countr_zero(changed);
+    const double sign_col = (gray & changed) ? 1.0 : -1.0;
+    for (int i = 0; i < n; ++i)
+      row_sums[static_cast<std::size_t>(i)] += sign_col * a(i, col);
+    gray_prev = gray;
+
+    double prod = 1.0;
+    for (int i = 0; i < n; ++i) prod *= row_sums[static_cast<std::size_t>(i)];
+    const int popcount = std::popcount(gray);
+    total += ((n - popcount) % 2 == 0 ? 1.0 : -1.0) * prod;
+  }
+  return total;
+}
+
+namespace {
+
+double permanent_rec(const Matrix& a, int row, std::uint32_t used_cols) {
+  const int n = a.rows();
+  if (row == n) return 1.0;
+  double acc = 0.0;
+  for (int c = 0; c < n; ++c) {
+    if (used_cols & (std::uint32_t{1} << c)) continue;
+    const double w = a(row, c);
+    if (w == 0.0) continue;
+    acc += w * permanent_rec(a, row + 1, used_cols | (std::uint32_t{1} << c));
+  }
+  return acc;
+}
+
+}  // namespace
+
+double permanent_naive(const Matrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("permanent_naive: not square");
+  if (a.rows() > 9) throw std::invalid_argument("permanent_naive: dimension too large");
+  return permanent_rec(a, 0, 0);
+}
+
+}  // namespace cliquest::linalg

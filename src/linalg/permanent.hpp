@@ -1,0 +1,26 @@
+#pragma once
+
+// Matrix permanents.
+//
+// The paper samples weighted perfect matchings of a complete bipartite graph
+// whose total weight is the permanent of the biadjacency matrix (Section 1.8,
+// via Jerrum-Sinclair-Vigoda / Jerrum-Valiant-Vazirani). The simulator's
+// exact sampler uses Ryser's O(2^n n) formula for the small instances where
+// exactness is required; see matching/samplers.hpp for the samplers.
+
+#include "linalg/matrix.hpp"
+
+namespace cliquest::linalg {
+
+/// Maximum dimension accepted by permanent_ryser; beyond this the 2^n cost is
+/// not sensible on a single machine.
+inline constexpr int kMaxExactPermanentDim = 26;
+
+/// Permanent of a square matrix via Ryser's inclusion-exclusion formula with
+/// Gray-code updates. Throws for dimensions above kMaxExactPermanentDim.
+double permanent_ryser(const Matrix& a);
+
+/// Reference O(n!) expansion used to cross-check Ryser in tests (n <= 9).
+double permanent_naive(const Matrix& a);
+
+}  // namespace cliquest::linalg

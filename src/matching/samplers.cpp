@@ -1,0 +1,150 @@
+#include "matching/samplers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/permanent.hpp"
+#include "util/discrete.hpp"
+
+namespace cliquest::matching {
+namespace {
+
+void check_weights(const linalg::Matrix& weights) {
+  if (weights.rows() != weights.cols())
+    throw std::invalid_argument("MatchingSampler: weight matrix must be square");
+  for (int i = 0; i < weights.rows(); ++i)
+    for (int j = 0; j < weights.cols(); ++j)
+      if (weights(i, j) < 0.0)
+        throw std::invalid_argument("MatchingSampler: negative weight");
+}
+
+/// Greedy initial matching on positive weights (max weight first); falls
+/// back to Hungarian-style augmentation on the positivity pattern so a valid
+/// start exists whenever a positive-weight perfect matching exists.
+std::vector<int> initial_matching(const linalg::Matrix& w) {
+  const int m = w.rows();
+  std::vector<int> row_to_col(static_cast<std::size_t>(m), -1);
+  std::vector<int> col_to_row(static_cast<std::size_t>(m), -1);
+
+  // Kuhn's augmenting-path matching over the positive entries.
+  std::vector<char> visited;
+  auto try_augment = [&](auto&& self, int row) -> bool {
+    for (int c = 0; c < m; ++c) {
+      if (w(row, c) <= 0.0 || visited[static_cast<std::size_t>(c)]) continue;
+      visited[static_cast<std::size_t>(c)] = 1;
+      if (col_to_row[static_cast<std::size_t>(c)] < 0 ||
+          self(self, col_to_row[static_cast<std::size_t>(c)])) {
+        col_to_row[static_cast<std::size_t>(c)] = row;
+        row_to_col[static_cast<std::size_t>(row)] = c;
+        return true;
+      }
+    }
+    return false;
+  };
+  for (int r = 0; r < m; ++r) {
+    visited.assign(static_cast<std::size_t>(m), 0);
+    if (!try_augment(try_augment, r))
+      throw std::invalid_argument("MatchingSampler: no positive-weight perfect matching");
+  }
+  return row_to_col;
+}
+
+}  // namespace
+
+std::vector<int> ExactPermanentSampler::sample(const linalg::Matrix& weights,
+                                               util::Rng& rng) {
+  check_weights(weights);
+  const int m = weights.rows();
+  if (m == 0) return {};
+  if (m > linalg::kMaxExactPermanentDim)
+    throw std::invalid_argument("ExactPermanentSampler: instance too large");
+
+  // Sequential sampling: the marginal probability that row r matches column
+  // c is w(r, c) * per(minor(r, c)) / per(remaining).
+  std::vector<int> rows(static_cast<std::size_t>(m));
+  std::vector<int> cols(static_cast<std::size_t>(m));
+  std::iota(rows.begin(), rows.end(), 0);
+  std::iota(cols.begin(), cols.end(), 0);
+  std::vector<int> sigma(static_cast<std::size_t>(m), -1);
+
+  std::vector<int> remaining_cols = cols;
+  for (int r = 0; r < m; ++r) {
+    std::vector<int> remaining_rows;
+    for (int rr = r + 1; rr < m; ++rr) remaining_rows.push_back(rr);
+    std::vector<double> weights_for_col(remaining_cols.size(), 0.0);
+    for (std::size_t ci = 0; ci < remaining_cols.size(); ++ci) {
+      const int c = remaining_cols[ci];
+      const double w = weights(r, c);
+      if (w <= 0.0) continue;
+      std::vector<int> minor_cols;
+      for (int cc : remaining_cols)
+        if (cc != c) minor_cols.push_back(cc);
+      const double per = remaining_rows.empty()
+                             ? 1.0
+                             : linalg::permanent_ryser(
+                                   weights.submatrix(remaining_rows, minor_cols));
+      weights_for_col[ci] = w * per;
+    }
+    const int pick = util::sample_unnormalized(weights_for_col, rng);
+    const int c = remaining_cols[static_cast<std::size_t>(pick)];
+    sigma[static_cast<std::size_t>(r)] = c;
+    remaining_cols.erase(
+        std::find(remaining_cols.begin(), remaining_cols.end(), c));
+  }
+  return sigma;
+}
+
+MetropolisMatchingSampler::MetropolisMatchingSampler(int steps_per_site)
+    : steps_per_site_(steps_per_site) {
+  if (steps_per_site < 1)
+    throw std::invalid_argument("MetropolisMatchingSampler: steps_per_site >= 1");
+}
+
+std::vector<int> MetropolisMatchingSampler::sample(const linalg::Matrix& weights,
+                                                   util::Rng& rng) {
+  check_weights(weights);
+  const int m = weights.rows();
+  if (m == 0) return {};
+  if (m == 1) {
+    if (weights(0, 0) <= 0.0)
+      throw std::invalid_argument("MetropolisMatchingSampler: zero instance");
+    return {0};
+  }
+  std::vector<int> sigma = initial_matching(weights);
+
+  const long long sweeps =
+      static_cast<long long>(steps_per_site_) * m *
+      std::max(1, static_cast<int>(std::ceil(std::log2(static_cast<double>(m)))));
+  for (long long step = 0; step < sweeps; ++step) {
+    // Propose swapping the columns matched to two distinct rows.
+    const int a = static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(m)));
+    int b = static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(m - 1)));
+    if (b >= a) ++b;
+    const int ca = sigma[static_cast<std::size_t>(a)];
+    const int cb = sigma[static_cast<std::size_t>(b)];
+    const double current = weights(a, ca) * weights(b, cb);
+    const double proposed = weights(a, cb) * weights(b, ca);
+    if (proposed <= 0.0) continue;
+    if (proposed >= current || rng.next_double() * current < proposed) {
+      sigma[static_cast<std::size_t>(a)] = cb;
+      sigma[static_cast<std::size_t>(b)] = ca;
+    }
+  }
+  return sigma;
+}
+
+double matching_probability(const linalg::Matrix& weights, const std::vector<int>& sigma) {
+  check_weights(weights);
+  const int m = weights.rows();
+  if (static_cast<int>(sigma.size()) != m)
+    throw std::invalid_argument("matching_probability: sigma size mismatch");
+  const double per = linalg::permanent_ryser(weights);
+  if (per <= 0.0) throw std::invalid_argument("matching_probability: zero permanent");
+  double prod = 1.0;
+  for (int r = 0; r < m; ++r) prod *= weights(r, sigma[static_cast<std::size_t>(r)]);
+  return prod / per;
+}
+
+}  // namespace cliquest::matching

@@ -1,0 +1,62 @@
+#pragma once
+
+// Weighted perfect-matching samplers for complete bipartite graphs.
+//
+// The phase engine places the collected midpoint multiset into midpoint
+// positions by sampling a perfect matching of a complete bipartite graph B
+// with probability proportional to the product of the matched edge weights
+// (paper §1.8, §2.1.3, Lemma 3). Because B is complete, perfect matchings
+// are exactly permutations of [m].
+//
+// The paper's worst-case-polynomial sampler is Jerrum-Sinclair-Vigoda +
+// Jerrum-Valiant-Vazirani. The simulator exposes the sampler as a strategy:
+//  * ExactPermanentSampler — sequentially samples sigma(0), sigma(1), ...,
+//    each marginal computed with a Ryser permanent of the remaining minor;
+//    exact, exponential in m, intended for m <= ~18.
+//  * MetropolisMatchingSampler — a transposition-move Metropolis chain whose
+//    stationary law is the target; the practical default. This substitutes
+//    for the JSV chain (documented in DESIGN.md §2); tests compare it against
+//    the exact sampler.
+
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::matching {
+
+/// Strategy interface. `weights` is the m x m biadjacency matrix (row = left
+/// vertex, column = right vertex), entries >= 0; the returned vector sigma
+/// maps each row to its matched column, drawn with probability proportional
+/// to prod_i weights(i, sigma(i)). Throws if no positive-weight perfect
+/// matching exists.
+class MatchingSampler {
+ public:
+  virtual ~MatchingSampler() = default;
+  virtual std::vector<int> sample(const linalg::Matrix& weights, util::Rng& rng) = 0;
+};
+
+class ExactPermanentSampler final : public MatchingSampler {
+ public:
+  std::vector<int> sample(const linalg::Matrix& weights, util::Rng& rng) override;
+};
+
+class MetropolisMatchingSampler final : public MatchingSampler {
+ public:
+  /// The chain runs steps_per_site * m * max(1, log2(m)) transposition
+  /// proposals from a greedy start.
+  explicit MetropolisMatchingSampler(int steps_per_site = 60);
+
+  std::vector<int> sample(const linalg::Matrix& weights, util::Rng& rng) override;
+
+ private:
+  int steps_per_site_;
+};
+
+/// Probability of a specific matching under the product-weight law,
+/// normalized by the permanent (exact; m bounded by the Ryser limit).
+/// Used by tests to compare samplers against ground truth.
+double matching_probability(const linalg::Matrix& weights, const std::vector<int>& sigma);
+
+}  // namespace cliquest::matching

@@ -1,0 +1,115 @@
+#include "schur/schur_complement.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/laplacian.hpp"
+#include "linalg/decompose.hpp"
+#include "schur/shortcut.hpp"
+
+namespace cliquest::schur {
+namespace {
+
+void check_subset(const graph::Graph& g, const std::vector<int>& s) {
+  if (s.empty()) throw std::invalid_argument("schur: empty subset");
+  std::vector<char> seen(static_cast<std::size_t>(g.vertex_count()), 0);
+  for (int v : s) {
+    if (v < 0 || v >= g.vertex_count()) throw std::out_of_range("schur: bad vertex id");
+    if (seen[static_cast<std::size_t>(v)])
+      throw std::invalid_argument("schur: duplicate vertex in subset");
+    seen[static_cast<std::size_t>(v)] = 1;
+  }
+}
+
+std::vector<int> complement_of(const graph::Graph& g, const std::vector<int>& s) {
+  std::vector<char> in_s(static_cast<std::size_t>(g.vertex_count()), 0);
+  for (int v : s) in_s[static_cast<std::size_t>(v)] = 1;
+  std::vector<int> c;
+  c.reserve(static_cast<std::size_t>(g.vertex_count() - static_cast<int>(s.size())));
+  for (int v = 0; v < g.vertex_count(); ++v)
+    if (!in_s[static_cast<std::size_t>(v)]) c.push_back(v);
+  return c;
+}
+
+linalg::Matrix schur_laplacian(const graph::Graph& g, const std::vector<int>& s) {
+  const linalg::Matrix l = graph::laplacian(g);
+  const std::vector<int> c = complement_of(g, s);
+  const linalg::Matrix l_ss = l.submatrix(s, s);
+  if (c.empty()) return l_ss;
+  const linalg::Matrix l_cc = l.submatrix(c, c);
+  const linalg::Matrix l_cs = l.submatrix(c, s);
+  const linalg::Matrix l_sc = l.submatrix(s, c);
+  // L_CC is SPD when G is connected and C is a proper subset, so Cholesky is
+  // both fast and a structural sanity check.
+  const linalg::Matrix solved = linalg::cholesky_solve(l_cc, l_cs);
+  return l_ss - l_sc.multiply(solved);
+}
+
+}  // namespace
+
+graph::Graph schur_complement(const graph::Graph& g, const std::vector<int>& s) {
+  check_subset(g, s);
+  return graph::graph_from_laplacian(schur_laplacian(g, s), 1e-9);
+}
+
+linalg::Matrix schur_transition(const graph::Graph& g, const std::vector<int>& s) {
+  check_subset(g, s);
+  const linalg::Matrix h = schur_laplacian(g, s);
+  const int k = static_cast<int>(s.size());
+  linalg::Matrix t(k, k, 0.0);
+  for (int i = 0; i < k; ++i) {
+    const double degree = h(i, i);
+    if (degree <= 0.0) {
+      if (k == 1) {
+        // Single-vertex Schur graph: no transitions exist.
+        continue;
+      }
+      throw std::runtime_error("schur_transition: zero degree in Schur graph");
+    }
+    for (int j = 0; j < k; ++j) {
+      if (i == j) continue;
+      const double w = -h(i, j);
+      t(i, j) = w > 0.0 ? w / degree : 0.0;
+    }
+  }
+  return t;
+}
+
+linalg::Matrix schur_transition_iterative(const graph::Graph& g,
+                                          const std::vector<int>& s, int squarings) {
+  check_subset(g, s);
+  const int k = static_cast<int>(s.size());
+  // Corollary 3: with Q the shortcut transition matrix and R[u,v] =
+  // 1/deg_S(u) for edges {u,v} into S, the matrix QR restricted to S gives
+  // (up to row normalization that removes the diagonal) the Schur transition.
+  const linalg::Matrix q = shortcut_transition_iterative(g, s, squarings);
+  std::vector<char> in_s(static_cast<std::size_t>(g.vertex_count()), 0);
+  for (int v : s) in_s[static_cast<std::size_t>(v)] = 1;
+
+  const int n = g.vertex_count();
+  linalg::Matrix r(n, n, 0.0);
+  for (int u = 0; u < n; ++u) {
+    const int ds = g.degree_within(u, in_s);
+    if (ds == 0) {
+      r(u, u) = 1.0;
+      continue;
+    }
+    for (const graph::Neighbor& nb : g.neighbors(u))
+      if (in_s[static_cast<std::size_t>(nb.to)]) r(u, nb.to) = 1.0 / ds;
+  }
+  const linalg::Matrix qr = q.multiply(r);
+
+  linalg::Matrix t(k, k, 0.0);
+  for (int i = 0; i < k; ++i) {
+    const int u = s[static_cast<std::size_t>(i)];
+    double off_diagonal = 0.0;
+    for (int j = 0; j < k; ++j)
+      if (j != i) off_diagonal += qr(u, s[static_cast<std::size_t>(j)]);
+    if (off_diagonal <= 0.0) continue;  // isolated-in-S vertex (|S| == 1)
+    for (int j = 0; j < k; ++j)
+      if (j != i) t(i, j) = qr(u, s[static_cast<std::size_t>(j)]) / off_diagonal;
+  }
+  return t;
+}
+
+}  // namespace cliquest::schur

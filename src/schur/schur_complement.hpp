@@ -1,0 +1,46 @@
+#pragma once
+
+// Schur complement graphs (paper §1.7, Definitions 1-2).
+//
+// For a connected weighted graph G and vertex subset S, Schur(G, S) is the
+// weighted graph on S whose Laplacian is the Schur complement of L(G) onto S:
+//     Schur(L, S) = L_SS - L_SC * (L_CC)^{-1} * L_CS,   C = V \ S.
+// A random walk on Schur(G, S) is distributed exactly as the walk on G
+// watched on S (Definition 2: S[u,v] = probability that v is the first
+// vertex of S \ {u} visited by a G-walk from u).
+//
+// Two construction routes are provided:
+//  * schur_complement: exact block elimination (Cholesky of L_CC, which is
+//    SPD for a connected graph and proper subset C).
+//  * schur_transition_iterative: the paper's §2.4 route (Corollary 3), which
+//    builds the shortcut matrix Q by powering an absorbing chain and then
+//    normalizes Q*R; used to validate the algebra and to charge the paper's
+//    matmul round counts.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cliquest::schur {
+
+/// The Schur complement graph of g onto the vertices listed in s (indices
+/// into g). Vertex i of the result corresponds to s[i]. Requires |s| >= 1,
+/// distinct ids, and a connected g.
+graph::Graph schur_complement(const graph::Graph& g, const std::vector<int>& s);
+
+/// Transition matrix of the random walk on Schur(G, S), indexed like s.
+/// Equivalent to transition_matrix(schur_complement(g, s)) but computed
+/// directly; kept separate so callers can skip building the graph.
+linalg::Matrix schur_transition(const graph::Graph& g, const std::vector<int>& s);
+
+/// Definition-2 transition matrix via the paper's iterative route (§2.4
+/// Corollary 3): S[u,v] proportional to (QR)[u,v] off-diagonal with
+/// row-normalization removing self transitions. `iterations` bounds the
+/// absorbing-chain powering (the paper uses O(n^3 log 1/delta) implicit
+/// steps; powering needs only log2 of that many squarings).
+linalg::Matrix schur_transition_iterative(const graph::Graph& g,
+                                          const std::vector<int>& s,
+                                          int squarings = 64);
+
+}  // namespace cliquest::schur

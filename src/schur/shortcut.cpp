@@ -1,0 +1,131 @@
+#include "schur/shortcut.hpp"
+
+#include <stdexcept>
+
+#include "linalg/decompose.hpp"
+#include "util/discrete.hpp"
+#include "walk/transition.hpp"
+
+namespace cliquest::schur {
+namespace {
+
+std::vector<char> subset_mask(const graph::Graph& g, const std::vector<int>& s) {
+  if (s.empty()) throw std::invalid_argument("shortcut: empty subset");
+  std::vector<char> in_s(static_cast<std::size_t>(g.vertex_count()), 0);
+  for (int v : s) {
+    if (v < 0 || v >= g.vertex_count())
+      throw std::out_of_range("shortcut: bad vertex id");
+    in_s[static_cast<std::size_t>(v)] = 1;
+  }
+  return in_s;
+}
+
+}  // namespace
+
+linalg::Matrix shortcut_transition(const graph::Graph& g, const std::vector<int>& s) {
+  const std::vector<char> in_s = subset_mask(g, s);
+  const int n = g.vertex_count();
+  const linalg::Matrix p = walk::transition_matrix(g);
+
+  std::vector<int> outside;  // V \ S
+  for (int v = 0; v < n; ++v)
+    if (!in_s[static_cast<std::size_t>(v)]) outside.push_back(v);
+  const int t_dim = static_cast<int>(outside.size());
+
+  // One-step absorption probabilities b[x] = P[x -> S] for x outside S.
+  std::vector<double> absorb(static_cast<std::size_t>(t_dim), 0.0);
+  for (int i = 0; i < t_dim; ++i)
+    for (const graph::Neighbor& nb : g.neighbors(outside[static_cast<std::size_t>(i)]))
+      if (in_s[static_cast<std::size_t>(nb.to)])
+        absorb[static_cast<std::size_t>(i)] += p(outside[static_cast<std::size_t>(i)], nb.to);
+
+  linalg::Matrix q(n, n, 0.0);
+
+  // j = 1 term: the walk's very first step lands in S, so the predecessor is
+  // the start vertex itself.
+  for (int u = 0; u < n; ++u)
+    for (const graph::Neighbor& nb : g.neighbors(u))
+      if (in_s[static_cast<std::size_t>(nb.to)]) q(u, u) += p(u, nb.to);
+
+  if (t_dim == 0) return q;
+
+  // N = (I - T)^{-1} over V \ S; N[a, y] is the expected number of visits to
+  // y before absorption starting from a.
+  linalg::Matrix i_minus_t(t_dim, t_dim, 0.0);
+  for (int a = 0; a < t_dim; ++a) {
+    i_minus_t(a, a) = 1.0;
+    for (int y = 0; y < t_dim; ++y)
+      i_minus_t(a, y) -= p(outside[static_cast<std::size_t>(a)],
+                           outside[static_cast<std::size_t>(y)]);
+  }
+  const linalg::Matrix fundamental = linalg::Lu(i_minus_t).inverse();
+
+  for (int u = 0; u < n; ++u) {
+    for (int y = 0; y < t_dim; ++y) {
+      double reach = 0.0;  // sum_a P[u, a] N[a, y] over a outside S
+      for (int a = 0; a < t_dim; ++a) {
+        const double step = p(u, outside[static_cast<std::size_t>(a)]);
+        if (step != 0.0) reach += step * fundamental(a, y);
+      }
+      q(u, outside[static_cast<std::size_t>(y)]) +=
+          reach * absorb[static_cast<std::size_t>(y)];
+    }
+  }
+  return q;
+}
+
+linalg::Matrix shortcut_transition_iterative(const graph::Graph& g,
+                                             const std::vector<int>& s,
+                                             int squarings) {
+  if (squarings < 1 || squarings > 200)
+    throw std::invalid_argument("shortcut_transition_iterative: bad squaring count");
+  const std::vector<char> in_s = subset_mask(g, s);
+  const int n = g.vertex_count();
+  const linalg::Matrix p = walk::transition_matrix(g);
+
+  // Corollary 2 auxiliary chain over L + R copies: index v' = v (left copy,
+  // still walking) and v'' = n + v (right copy, absorbed). A left copy of u
+  // moves to the left copy of v when v is outside S, and to its *own* right
+  // copy with the total probability of stepping into S (recording u as the
+  // predecessor of the S-entry).
+  linalg::Matrix r(2 * n, 2 * n, 0.0);
+  for (int u = 0; u < n; ++u) {
+    r(n + u, n + u) = 1.0;
+    double into_s = 0.0;
+    for (const graph::Neighbor& nb : g.neighbors(u)) {
+      if (in_s[static_cast<std::size_t>(nb.to)])
+        into_s += p(u, nb.to);
+      else
+        r(u, nb.to) = p(u, nb.to);
+    }
+    r(u, n + u) = into_s;
+  }
+  for (int step = 0; step < squarings; ++step) r = r.multiply(r);
+
+  linalg::Matrix q(n, n, 0.0);
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v) q(u, v) = r(u, n + v);
+  return q;
+}
+
+int sample_first_visit_neighbor(const graph::Graph& g, std::span<const char> in_s,
+                                const linalg::Matrix& q, int prev, int v,
+                                util::Rng& rng) {
+  const auto nbs = g.neighbors(v);
+  if (nbs.empty()) throw std::invalid_argument("sample_first_visit_neighbor: isolated v");
+  std::vector<double> weights(nbs.size(), 0.0);
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    const int u = nbs[i].to;
+    // Pr[entered v | penultimate u] = w(u,v) / w_S(u); for unweighted graphs
+    // this is the paper's 1 / deg_S(u).
+    double w_into_s = 0.0;
+    for (const graph::Neighbor& nb : g.neighbors(u))
+      if (in_s[static_cast<std::size_t>(nb.to)]) w_into_s += nb.weight;
+    // v in S is a neighbor of u, so w_S(u) > 0 whenever Q[prev, u] > 0.
+    if (w_into_s > 0.0) weights[i] = q(prev, u) * (nbs[i].weight / w_into_s);
+  }
+  const int pick = util::sample_unnormalized(weights, rng);
+  return nbs[static_cast<std::size_t>(pick)].to;
+}
+
+}  // namespace cliquest::schur

@@ -1,0 +1,44 @@
+#pragma once
+
+// Shortcut graphs (paper §1.7, Definition 3) and first-visit-edge sampling
+// (paper §2.2, Algorithm 4).
+//
+// For a G-walk from u, let j = min{i > 0 : x_i in S}. The shortcut
+// transition matrix is Q[u, v] = Pr[x_{j-1} = v]: the distribution of the
+// vertex visited immediately before the walk's first return to S. When the
+// phase walk on Schur(G, S) first visits a vertex v from predecessor w, the
+// first-visit edge (u, v) in G is sampled with probability proportional to
+//     Q[w, u] * 1 / deg_S(u)        over neighbors u of v       (Bayes).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::schur {
+
+/// Exact Q via the absorbing-chain fundamental matrix: with T the transition
+/// block over V \ S and b[x] the one-step probability of entering S from x,
+///   Q[u, y] = (sum_a P[u,a] N[a,y]) * b[y]  for y in V \ S,  N = (I-T)^{-1},
+///   Q[u, u] += P[u -> S]                    (the j = 1 term).
+/// Requires s non-empty; rows are defined for every u in V.
+linalg::Matrix shortcut_transition(const graph::Graph& g, const std::vector<int>& s);
+
+/// The paper's §2.4 (Corollary 2) construction: power the 2n-state auxiliary
+/// absorbing chain R (L-copies keep walking until they step into S, R-copies
+/// absorb) and read Q[u, v] = R^inf[u', v'']. `squarings` repeated squarings
+/// approximate the limit; 64 squarings reach k = 2^64 steps, far past any
+/// polynomial cover time.
+linalg::Matrix shortcut_transition_iterative(const graph::Graph& g,
+                                             const std::vector<int>& s,
+                                             int squarings = 64);
+
+/// Algorithm 4 sampling step: the first-visit edge of v, given the walk on
+/// Schur(G, S) moved to v from `prev` (both vertex ids of g, in S). Returns
+/// the neighbor u of v such that (u, v) is the sampled first-visit edge.
+int sample_first_visit_neighbor(const graph::Graph& g, std::span<const char> in_s,
+                                const linalg::Matrix& q, int prev, int v,
+                                util::Rng& rng);
+
+}  // namespace cliquest::schur

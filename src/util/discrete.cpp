@@ -1,0 +1,76 @@
+#include "util/discrete.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace cliquest::util {
+
+int sample_unnormalized(std::span<const double> weights, Rng& rng) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("sample_unnormalized: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("sample_unnormalized: zero total weight");
+  double target = rng.next_double() * total;
+  double acc = 0.0;
+  int last_positive = -1;
+  for (int i = 0; i < static_cast<int>(weights.size()); ++i) {
+    if (weights[i] <= 0.0) continue;
+    last_positive = i;
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  // Floating-point slack: fall back to the last positive-weight index.
+  return last_positive;
+}
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const int n = static_cast<int>(weights.size());
+  if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasTable: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("AliasTable: zero total weight");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (int i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<int> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (int i = 0; i < n; ++i) (scaled[i] < 1.0 ? small : large).push_back(i);
+
+  while (!small.empty() && !large.empty()) {
+    const int s = small.back();
+    small.pop_back();
+    const int l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (int l : large) {
+    prob_[l] = 1.0;
+    alias_[l] = l;
+  }
+  for (int s : small) {  // only reachable through rounding slack
+    prob_[s] = 1.0;
+    alias_[s] = s;
+  }
+}
+
+int AliasTable::sample(Rng& rng) const {
+  const int n = static_cast<int>(prob_.size());
+  const int column = static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(n)));
+  return rng.next_double() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace cliquest::util

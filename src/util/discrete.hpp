@@ -1,0 +1,41 @@
+#pragma once
+
+// Sampling from finite discrete distributions.
+//
+// Two tools: a one-shot linear/binary-search sampler over unnormalized
+// weights, and an alias table for repeated draws from the same distribution
+// (used by midpoint-generation machines that must emit c_{p,q} i.i.d.
+// midpoints from one distribution; see paper Algorithm 2, step 5).
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cliquest::util {
+
+/// Samples an index i with probability weights[i] / sum(weights).
+///
+/// Weights must be nonnegative with a strictly positive sum. O(n) per draw.
+int sample_unnormalized(std::span<const double> weights, Rng& rng);
+
+/// Walker's alias method: O(n) construction, O(1) per draw.
+///
+/// Suited to the midpoint machines, which sample up to ~Theta(n^3) i.i.d.
+/// values from a single unnormalized distribution per level.
+class AliasTable {
+ public:
+  /// Builds the table. Weights must be nonnegative with a positive sum.
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Draws an index with probability proportional to its weight.
+  int sample(Rng& rng) const;
+
+  int size() const { return static_cast<int>(prob_.size()); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<int> alias_;
+};
+
+}  // namespace cliquest::util

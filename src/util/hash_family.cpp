@@ -1,0 +1,49 @@
+#include "util/hash_family.hpp"
+
+#include <stdexcept>
+
+namespace cliquest::util {
+namespace {
+
+constexpr std::uint64_t kMersenne61 = (std::uint64_t{1} << 61) - 1;
+
+std::uint64_t mod_mersenne61(unsigned __int128 x) {
+  // Fast reduction modulo 2^61 - 1: fold high bits onto low bits twice.
+  std::uint64_t lo = static_cast<std::uint64_t>(x & kMersenne61);
+  std::uint64_t hi = static_cast<std::uint64_t>(x >> 61);
+  std::uint64_t r = lo + hi;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b) {
+  return mod_mersenne61(static_cast<unsigned __int128>(a) * b);
+}
+
+}  // namespace
+
+KWiseHash::KWiseHash(int t, std::uint64_t range, Rng& rng) : range_(range) {
+  if (t < 1) throw std::invalid_argument("KWiseHash: independence t must be >= 1");
+  if (range < 1) throw std::invalid_argument("KWiseHash: range must be >= 1");
+  coeffs_.reserve(static_cast<std::size_t>(t));
+  for (int i = 0; i < t; ++i) coeffs_.push_back(rng.uniform_below(kMersenne61));
+}
+
+std::uint64_t KWiseHash::operator()(std::uint64_t key) const {
+  const std::uint64_t x = key % kMersenne61;
+  // Horner evaluation of the degree-(t-1) polynomial over GF(2^61 - 1).
+  std::uint64_t acc = 0;
+  for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) {
+    acc = mul_mod(acc, x);
+    acc += *it;
+    if (acc >= kMersenne61) acc -= kMersenne61;
+  }
+  return acc % range_;
+}
+
+std::uint64_t KWiseHash::operator()(std::uint64_t a, std::uint64_t b) const {
+  // Injective pairing for the (vertex, walk-index) domain of Section 3.
+  return (*this)((a << 32) ^ b);
+}
+
+}  // namespace cliquest::util

@@ -1,0 +1,43 @@
+#pragma once
+
+// t-wise independent hash family over a Mersenne-prime field.
+//
+// Section 3 (load-balanced doubling) routes walk tuples through a hash
+// function drawn from an (8c log n)-wise independent family
+// H = {h : [n] x [k] -> [n]}, sampled with O(t log N) random bits.
+// The classical construction is a uniformly random degree-(t-1) polynomial
+// over GF(p); we use p = 2^61 - 1 so that products fit in 128-bit arithmetic.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cliquest::util {
+
+/// Hash function drawn from a t-wise independent family mapping u64 keys to
+/// [0, range). Drawing the coefficients consumes t draws from rng, matching
+/// the paper's "machine 1 broadcasts a random string s" step: broadcasting the
+/// seed lets every machine reconstruct the same function.
+class KWiseHash {
+ public:
+  /// Requires t >= 1 and range >= 1.
+  KWiseHash(int t, std::uint64_t range, Rng& rng);
+
+  /// Evaluates the polynomial hash at key.
+  std::uint64_t operator()(std::uint64_t key) const;
+
+  /// Convenience for 2-argument domains like (vertex, walk-index).
+  std::uint64_t operator()(std::uint64_t a, std::uint64_t b) const;
+
+  int independence() const { return static_cast<int>(coeffs_.size()); }
+
+  /// Number of random bits consumed to draw the function, O(t log p).
+  int random_bits() const { return independence() * 61; }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;  // polynomial coefficients in GF(p)
+  std::uint64_t range_;
+};
+
+}  // namespace cliquest::util

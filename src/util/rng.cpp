@@ -1,0 +1,43 @@
+#include "util/rng.hpp"
+
+#include <stdexcept>
+
+namespace cliquest::util {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : engine_(splitmix64(seed)) {}
+
+std::uint64_t Rng::next_u64() { return engine_(); }
+
+double Rng::next_double() {
+  // 53 random bits mapped to [0, 1); the standard bit-shift construction.
+  return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  return static_cast<int>(
+      lo + static_cast<long long>(uniform_below(
+               static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1)));
+}
+
+std::uint64_t Rng::uniform_below(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::uniform_below: n == 0");
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t draw = engine_();
+  while (draw >= limit) draw = engine_();
+  return draw % n;
+}
+
+bool Rng::bernoulli(double p) { return next_double() < p; }
+
+Rng Rng::split() { return Rng(engine_()); }
+
+}  // namespace cliquest::util

@@ -1,0 +1,49 @@
+#pragma once
+
+// Deterministic, splittable random number generation.
+//
+// Every randomized component in cliquest takes an explicit Rng so that runs are
+// reproducible from a single seed. Rng::split() derives an independent child
+// stream, which lets simulated machines own private randomness without sharing
+// a mutable generator.
+
+#include <cstdint>
+#include <random>
+
+namespace cliquest::util {
+
+/// Wrapper around a 64-bit Mersenne Twister with convenience draws.
+///
+/// The wrapper exists so the library controls seeding discipline (SplitMix64
+/// seed scrambling, split()) and so the engine can be swapped in one place.
+class Rng {
+ public:
+  /// Seeds the stream; equal seeds give equal streams on every platform.
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform draw over all 64-bit values.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Uniform 64-bit integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_below(std::uint64_t n);
+
+  /// Bernoulli draw with success probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Derives an independent child stream. The parent advances by one draw.
+  Rng split();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// SplitMix64 finalizer: scrambles a seed into a well-mixed 64-bit value.
+std::uint64_t splitmix64(std::uint64_t x);
+
+}  // namespace cliquest::util

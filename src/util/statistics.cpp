@@ -1,0 +1,150 @@
+#include "util/statistics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace cliquest::util {
+namespace {
+
+double checked_sum(std::span<const double> v, const char* what) {
+  double s = 0.0;
+  for (double x : v) {
+    if (x < 0.0) throw std::invalid_argument(std::string(what) + ": negative entry");
+    s += x;
+  }
+  if (s <= 0.0) throw std::invalid_argument(std::string(what) + ": zero total");
+  return s;
+}
+
+}  // namespace
+
+double total_variation(std::span<const double> p, std::span<const double> q) {
+  if (p.size() != q.size())
+    throw std::invalid_argument("total_variation: size mismatch");
+  const double sp = checked_sum(p, "total_variation(p)");
+  const double sq = checked_sum(q, "total_variation(q)");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) acc += std::abs(p[i] / sp - q[i] / sq);
+  return acc / 2.0;
+}
+
+double total_variation_counts(std::span<const std::int64_t> counts,
+                              std::span<const double> expected) {
+  if (counts.size() != expected.size())
+    throw std::invalid_argument("total_variation_counts: size mismatch");
+  std::vector<double> p(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) p[i] = static_cast<double>(counts[i]);
+  return total_variation(p, expected);
+}
+
+double chi_square(std::span<const std::int64_t> counts,
+                  std::span<const double> expected) {
+  if (counts.size() != expected.size())
+    throw std::invalid_argument("chi_square: size mismatch");
+  const double se = checked_sum(expected, "chi_square(expected)");
+  std::int64_t n = std::accumulate(counts.begin(), counts.end(), std::int64_t{0});
+  if (n <= 0) throw std::invalid_argument("chi_square: no observations");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double e = static_cast<double>(n) * expected[i] / se;
+    if (e <= 0.0) {
+      if (counts[i] != 0) return std::numeric_limits<double>::infinity();
+      continue;
+    }
+    const double d = static_cast<double>(counts[i]) - e;
+    stat += d * d / e;
+  }
+  return stat;
+}
+
+double chi_square_critical(int degrees_of_freedom, double z) {
+  if (degrees_of_freedom <= 0)
+    throw std::invalid_argument("chi_square_critical: dof must be positive");
+  // Wilson-Hilferty: chi2_k is approximately k * (1 - 2/(9k) + z sqrt(2/(9k)))^3.
+  const double k = static_cast<double>(degrees_of_freedom);
+  const double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * t * t * t;
+}
+
+void FrequencyTable::add(const std::string& key) {
+  ++counts_[key];
+  ++total_;
+}
+
+std::int64_t FrequencyTable::count(const std::string& key) const {
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double FrequencyTable::tv_to_uniform(std::span<const std::string> support) const {
+  if (support.empty()) throw std::invalid_argument("tv_to_uniform: empty support");
+  if (total_ <= 0) throw std::invalid_argument("tv_to_uniform: no observations");
+  const double uniform = 1.0 / static_cast<double>(support.size());
+  double acc = 0.0;
+  std::int64_t seen = 0;
+  for (const auto& key : support) {
+    const std::int64_t c = count(key);
+    seen += c;
+    acc += std::abs(static_cast<double>(c) / static_cast<double>(total_) - uniform);
+  }
+  // Observations outside the support are pure error mass.
+  acc += static_cast<double>(total_ - seen) / static_cast<double>(total_);
+  return acc / 2.0;
+}
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("fit_line: need >= 2 paired points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) throw std::invalid_argument("fit_line: degenerate x values");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double r = y[i] - (fit.slope * x[i] + fit.intercept);
+    ss_res += r * r;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+LinearFit fit_loglog(std::span<const double> x, std::span<const double> y) {
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0)
+      throw std::invalid_argument("fit_loglog: nonpositive sample");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return fit_line(lx, ly);
+}
+
+void RunningStat::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x > max_) max_ = x;
+  if (x < min_) min_ = x;
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace cliquest::util

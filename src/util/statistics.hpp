@@ -1,0 +1,80 @@
+#pragma once
+
+// Statistical helpers shared by tests and benchmark harnesses: total
+// variation distance, chi-square statistics, empirical frequency tables, and
+// log-log regression used to fit round-complexity exponents.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cliquest::util {
+
+/// Total variation distance between two distributions of equal support size.
+/// Inputs need not be normalized; each is normalized by its own sum.
+double total_variation(std::span<const double> p, std::span<const double> q);
+
+/// TV distance between an empirical count table and an expected distribution.
+double total_variation_counts(std::span<const std::int64_t> counts,
+                              std::span<const double> expected);
+
+/// Pearson chi-square statistic of counts against expected probabilities.
+/// expected is normalized internally; zero-probability cells must have zero
+/// counts or the statistic is infinite.
+double chi_square(std::span<const std::int64_t> counts, std::span<const double> expected);
+
+/// 99.9%-ish chi-square critical value via the Wilson-Hilferty approximation;
+/// good enough for loose, non-flaky test thresholds.
+double chi_square_critical(int degrees_of_freedom, double z = 3.1);
+
+/// Accumulates observations keyed by string (e.g. canonical tree encodings).
+class FrequencyTable {
+ public:
+  void add(const std::string& key);
+  std::int64_t total() const { return total_; }
+  std::int64_t count(const std::string& key) const;
+  const std::map<std::string, std::int64_t>& counts() const { return counts_; }
+
+  /// TV distance to the uniform distribution over `support` keys. Keys that
+  /// were observed but lie outside the support contribute their full mass.
+  double tv_to_uniform(std::span<const std::string> support) const;
+
+ private:
+  std::map<std::string, std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+/// Least-squares line fit of y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+LinearFit fit_line(std::span<const double> x, std::span<const double> y);
+
+/// Fits log(y) = slope * log(x) + c; the slope estimates a power-law exponent.
+LinearFit fit_loglog(std::span<const double> x, std::span<const double> y);
+
+/// Running mean / variance accumulator (Welford).
+class RunningStat {
+ public:
+  void add(double x);
+  std::int64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double max() const { return max_; }
+  double min() const { return min_; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double max_ = -1e300;
+  double min_ = 1e300;
+};
+
+}  // namespace cliquest::util

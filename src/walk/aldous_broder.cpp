@@ -1,0 +1,43 @@
+#include "walk/aldous_broder.hpp"
+
+#include <stdexcept>
+
+#include "util/discrete.hpp"
+
+namespace cliquest::walk {
+
+AldousBroderResult aldous_broder(const graph::Graph& g, int start, util::Rng& rng) {
+  const int n = g.vertex_count();
+  if (n < 1) throw std::invalid_argument("aldous_broder: empty graph");
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  visited[static_cast<std::size_t>(start)] = 1;
+  int remaining = n - 1;
+  int at = start;
+  AldousBroderResult result;
+  result.tree.reserve(static_cast<std::size_t>(n) - 1);
+
+  while (remaining > 0) {
+    const auto nbs = g.neighbors(at);
+    if (nbs.empty()) throw std::invalid_argument("aldous_broder: isolated vertex");
+    int next;
+    if (nbs.size() == 1) {
+      next = nbs[0].to;
+    } else {
+      std::vector<double> weights;
+      weights.reserve(nbs.size());
+      for (const graph::Neighbor& nb : nbs) weights.push_back(nb.weight);
+      next = nbs[static_cast<std::size_t>(util::sample_unnormalized(weights, rng))].to;
+    }
+    ++result.steps;
+    if (!visited[static_cast<std::size_t>(next)]) {
+      visited[static_cast<std::size_t>(next)] = 1;
+      --remaining;
+      result.tree.emplace_back(at, next);
+    }
+    at = next;
+  }
+  result.tree = graph::canonical_tree(std::move(result.tree));
+  return result;
+}
+
+}  // namespace cliquest::walk

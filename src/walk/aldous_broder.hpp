@@ -1,0 +1,27 @@
+#pragma once
+
+// Aldous-Broder uniform spanning tree sampler (sequential baseline).
+//
+// Aldous (1990) / Broder (1989): run a random walk until it covers the graph;
+// the first-entry edge of every vertex other than the start forms a uniform
+// spanning tree. Expected time O(mn). This is the ground-truth algorithm the
+// paper's distributed sampler implements; it doubles as the reference
+// distribution in uniformity experiments (E5).
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/spanning.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::walk {
+
+struct AldousBroderResult {
+  graph::TreeEdges tree;
+  std::int64_t steps = 0;  // walk length used (one cover-time sample)
+};
+
+/// Samples a uniform spanning tree. Requires a connected graph.
+AldousBroderResult aldous_broder(const graph::Graph& g, int start, util::Rng& rng);
+
+}  // namespace cliquest::walk

@@ -1,0 +1,81 @@
+#include "walk/cover_time.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/connectivity.hpp"
+#include "linalg/decompose.hpp"
+#include "walk/transition.hpp"
+
+namespace cliquest::walk {
+namespace {
+
+/// Expected hitting times into a single target: h = 1 + P_{-v} h, solved on
+/// the system (I - P restricted to V \ {v}).
+std::vector<double> hitting_into(const linalg::Matrix& p, int target) {
+  const int n = p.rows();
+  std::vector<int> keep;
+  keep.reserve(static_cast<std::size_t>(n) - 1);
+  for (int v = 0; v < n; ++v)
+    if (v != target) keep.push_back(v);
+  linalg::Matrix system(n - 1, n - 1, 0.0);
+  for (int i = 0; i < n - 1; ++i) {
+    system(i, i) = 1.0;
+    for (int j = 0; j < n - 1; ++j) system(i, j) -= p(keep[static_cast<std::size_t>(i)], keep[static_cast<std::size_t>(j)]);
+  }
+  const std::vector<double> ones(static_cast<std::size_t>(n) - 1, 1.0);
+  const linalg::Lu lu(system);
+  const std::vector<double> h = lu.solve(ones);
+  std::vector<double> full(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n - 1; ++i)
+    full[static_cast<std::size_t>(keep[static_cast<std::size_t>(i)])] =
+        h[static_cast<std::size_t>(i)];
+  return full;
+}
+
+}  // namespace
+
+linalg::Matrix hitting_time_matrix(const graph::Graph& g) {
+  const int n = g.vertex_count();
+  if (n < 1) throw std::invalid_argument("hitting_time_matrix: empty graph");
+  if (!graph::is_connected(g))
+    throw std::invalid_argument("hitting_time_matrix: graph disconnected");
+  linalg::Matrix h(n, n, 0.0);
+  if (n == 1) return h;
+  const linalg::Matrix p = transition_matrix(g);
+  for (int target = 0; target < n; ++target) {
+    const std::vector<double> column = hitting_into(p, target);
+    for (int u = 0; u < n; ++u) h(u, target) = column[static_cast<std::size_t>(u)];
+  }
+  return h;
+}
+
+double hitting_time(const graph::Graph& g, int u, int v) {
+  const int n = g.vertex_count();
+  if (u < 0 || u >= n || v < 0 || v >= n)
+    throw std::out_of_range("hitting_time: bad vertex");
+  if (u == v) return 0.0;
+  if (!graph::is_connected(g))
+    throw std::invalid_argument("hitting_time: graph disconnected");
+  return hitting_into(transition_matrix(g), v)[static_cast<std::size_t>(u)];
+}
+
+CoverTimeBounds matthews_bounds(const graph::Graph& g) {
+  const int n = g.vertex_count();
+  const linalg::Matrix h = hitting_time_matrix(g);
+  CoverTimeBounds bounds;
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v) bounds.lower = std::max(bounds.lower, h(u, v));
+  double harmonic = 0.0;
+  for (int i = 1; i < n; ++i) harmonic += 1.0 / i;
+  if (n <= 1) harmonic = 1.0;
+  bounds.upper = bounds.lower * harmonic;
+  return bounds;
+}
+
+std::int64_t suggested_cover_walk_length(const graph::Graph& g) {
+  const CoverTimeBounds bounds = matthews_bounds(g);
+  return static_cast<std::int64_t>(std::ceil(std::max(1.0, bounds.upper)));
+}
+
+}  // namespace cliquest::walk

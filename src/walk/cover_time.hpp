@@ -1,0 +1,38 @@
+#pragma once
+
+// Exact hitting times and cover-time bounds.
+//
+// Corollary 1 parameterizes the doubling sampler by the graph's cover time;
+// this module supplies principled choices: the exact expected hitting-time
+// matrix (one linear solve per target), and Matthews' bounds
+//     max_{u,v} H(u, v)  <=  t_cov  <=  H_max * H_n   (harmonic number H_n),
+// which sandwich the cover time within a log factor. The paper's O(n log n)
+// cover-time families (expanders, K_{n-sqrt n, sqrt n}) are recognizable from
+// these bounds without simulation.
+
+#include "graph/graph.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cliquest::walk {
+
+/// H[u][v] = expected steps for the natural random walk from u to first reach
+/// v; H[v][v] = 0. Requires a connected graph. O(n^4) (n dense solves) — a
+/// diagnostic tool, not a per-round primitive.
+linalg::Matrix hitting_time_matrix(const graph::Graph& g);
+
+/// Expected hitting time from u to v (one linear solve).
+double hitting_time(const graph::Graph& g, int u, int v);
+
+struct CoverTimeBounds {
+  double lower = 0.0;  // max_{u,v} H(u, v)
+  double upper = 0.0;  // Matthews: H_max * H_{n-1}
+};
+
+/// Matthews' cover-time sandwich from the exact hitting-time matrix.
+CoverTimeBounds matthews_bounds(const graph::Graph& g);
+
+/// A walk-length target for the Corollary 1 sampler: the Matthews upper
+/// bound (rounded up), guaranteeing coverage in O(1) expected attempts.
+std::int64_t suggested_cover_walk_length(const graph::Graph& g);
+
+}  // namespace cliquest::walk

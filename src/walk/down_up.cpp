@@ -1,0 +1,109 @@
+#include "walk/down_up.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/connectivity.hpp"
+#include "util/discrete.hpp"
+
+namespace cliquest::walk {
+namespace {
+
+/// Two-colors the vertices by the forest component left after deleting
+/// `skip` from the tree; returns the side of each vertex (0 or 1).
+std::vector<char> split_components(int n, const graph::TreeEdges& tree,
+                                   std::size_t skip) {
+  std::vector<std::vector<int>> adjacency(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    if (i == skip) continue;
+    adjacency[static_cast<std::size_t>(tree[i].first)].push_back(tree[i].second);
+    adjacency[static_cast<std::size_t>(tree[i].second)].push_back(tree[i].first);
+  }
+  std::vector<char> side(static_cast<std::size_t>(n), 0);
+  // BFS from one endpoint of the removed edge; its side is 1.
+  std::vector<int> stack{tree[skip].first};
+  side[static_cast<std::size_t>(tree[skip].first)] = 1;
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (int v : adjacency[static_cast<std::size_t>(u)]) {
+      if (side[static_cast<std::size_t>(v)]) continue;
+      side[static_cast<std::size_t>(v)] = 1;
+      stack.push_back(v);
+    }
+  }
+  return side;
+}
+
+}  // namespace
+
+graph::TreeEdges down_up_step(const graph::Graph& g, const graph::TreeEdges& tree,
+                              util::Rng& rng) {
+  const int n = g.vertex_count();
+  if (static_cast<int>(tree.size()) != n - 1)
+    throw std::invalid_argument("down_up_step: not a spanning tree");
+
+  // Down: drop a uniformly random tree edge, splitting V into two sides.
+  const std::size_t drop = rng.uniform_below(tree.size());
+  const std::vector<char> side = split_components(n, tree, drop);
+
+  // Up: among edges of g crossing the cut, pick one with probability
+  // proportional to its weight (the dropped edge is a candidate again).
+  std::vector<std::size_t> crossing;
+  std::vector<double> weights;
+  for (std::size_t e = 0; e < g.edges().size(); ++e) {
+    const graph::Edge& edge = g.edges()[e];
+    if (side[static_cast<std::size_t>(edge.u)] !=
+        side[static_cast<std::size_t>(edge.v)]) {
+      crossing.push_back(e);
+      weights.push_back(edge.weight);
+    }
+  }
+  const std::size_t pick =
+      crossing[static_cast<std::size_t>(util::sample_unnormalized(weights, rng))];
+
+  graph::TreeEdges next = tree;
+  next[drop] = {std::min(g.edges()[pick].u, g.edges()[pick].v),
+                std::max(g.edges()[pick].u, g.edges()[pick].v)};
+  return next;
+}
+
+std::int64_t down_up_steps(const graph::Graph& g, const DownUpOptions& options) {
+  if (options.steps > 0) return options.steps;
+  const double m = static_cast<double>(g.edge_count());
+  return static_cast<std::int64_t>(
+      std::ceil(options.mixing_multiplier * m * std::max(1.0, std::log2(m))));
+}
+
+graph::TreeEdges sample_tree_down_up(const graph::Graph& g,
+                                     const DownUpOptions& options, util::Rng& rng) {
+  const int n = g.vertex_count();
+  if (n < 1) throw std::invalid_argument("sample_tree_down_up: empty graph");
+  if (!graph::is_connected(g))
+    throw std::invalid_argument("sample_tree_down_up: graph disconnected");
+  if (n == 1) return {};
+
+  // Deterministic initial tree: BFS from vertex 0.
+  graph::TreeEdges tree;
+  {
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    std::vector<int> frontier{0};
+    seen[0] = 1;
+    while (!frontier.empty()) {
+      const int u = frontier.back();
+      frontier.pop_back();
+      for (const graph::Neighbor& nb : g.neighbors(u)) {
+        if (seen[static_cast<std::size_t>(nb.to)]) continue;
+        seen[static_cast<std::size_t>(nb.to)] = 1;
+        tree.emplace_back(std::min(u, nb.to), std::max(u, nb.to));
+        frontier.push_back(nb.to);
+      }
+    }
+  }
+
+  const std::int64_t steps = down_up_steps(g, options);
+  for (std::int64_t i = 0; i < steps; ++i) tree = down_up_step(g, tree, rng);
+  return graph::canonical_tree(std::move(tree));
+}
+
+}  // namespace cliquest::walk

@@ -1,0 +1,45 @@
+#pragma once
+
+// The down-up (bases-exchange) Markov chain on spanning trees — the MCMC
+// approach of Anari, Liu, Oveis Gharan, Vinzant and Vuong [4] that the
+// paper's conclusion singles out as the natural alternative direction for
+// distributed sampling.
+//
+// One step from tree T: remove a uniformly random edge of T (down), then add
+// an edge crossing the resulting cut with probability proportional to its
+// weight (up; the removed edge is a candidate again). The chain is
+// irreducible and reversible with stationary distribution proportional to
+// the product of tree edge weights — uniform for unweighted graphs — and
+// mixes in O(m log m) steps by the log-concavity results of [4].
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "graph/spanning.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::walk {
+
+/// One down-up transition from `tree` (which must be a spanning tree of g).
+/// Returns the next tree; O(n + m) per step.
+graph::TreeEdges down_up_step(const graph::Graph& g, const graph::TreeEdges& tree,
+                              util::Rng& rng);
+
+struct DownUpOptions {
+  /// Chain length as a multiple of m log2(m) (the [4] mixing scale).
+  double mixing_multiplier = 4.0;
+
+  /// Explicit step count; overrides mixing_multiplier when positive.
+  std::int64_t steps = 0;
+};
+
+/// Samples a (approximately) weight-proportional random spanning tree by
+/// running the chain from a deterministic initial tree. Requires a connected
+/// graph.
+graph::TreeEdges sample_tree_down_up(const graph::Graph& g,
+                                     const DownUpOptions& options, util::Rng& rng);
+
+/// Number of steps sample_tree_down_up will run for these options.
+std::int64_t down_up_steps(const graph::Graph& g, const DownUpOptions& options);
+
+}  // namespace cliquest::walk

@@ -1,0 +1,131 @@
+#include "walk/fill.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/discrete.hpp"
+
+namespace cliquest::walk {
+namespace {
+
+void check_powers(const std::vector<linalg::Matrix>& powers) {
+  if (powers.empty()) throw std::invalid_argument("fill: empty power table");
+  const int n = powers[0].rows();
+  for (const auto& m : powers)
+    if (m.rows() != n || m.cols() != n)
+      throw std::invalid_argument("fill: inconsistent power table shapes");
+  const std::int64_t length = std::int64_t{1} << (powers.size() - 1);
+  if (length > kMaxSequentialFillLength)
+    throw std::invalid_argument("fill: walk length too large for dense filling");
+}
+
+int sample_end(const linalg::Matrix& full_power, int start, util::Rng& rng) {
+  return util::sample_unnormalized(full_power.row(start), rng);
+}
+
+}  // namespace
+
+int sample_midpoint(const linalg::Matrix& half_power, int p, int q, util::Rng& rng) {
+  const int n = half_power.rows();
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  for (int m = 0; m < n; ++m)
+    weights[static_cast<std::size_t>(m)] = half_power(p, m) * half_power(m, q);
+  return util::sample_unnormalized(weights, rng);
+}
+
+std::vector<int> fill_walk(const std::vector<linalg::Matrix>& powers, int start,
+                           util::Rng& rng) {
+  check_powers(powers);
+  const int levels = static_cast<int>(powers.size()) - 1;
+  const std::int64_t length = std::int64_t{1} << levels;
+  std::vector<int> walk(static_cast<std::size_t>(length) + 1, -1);
+  walk.front() = start;
+  walk.back() = sample_end(powers[static_cast<std::size_t>(levels)], start, rng);
+
+  for (int level = 1; level <= levels; ++level) {
+    const std::int64_t gap = length >> (level - 1);
+    const auto& half = powers[static_cast<std::size_t>(levels - level)];
+    for (std::int64_t pos = 0; pos + gap <= length; pos += gap) {
+      const int p = walk[static_cast<std::size_t>(pos)];
+      const int q = walk[static_cast<std::size_t>(pos + gap)];
+      walk[static_cast<std::size_t>(pos + gap / 2)] = sample_midpoint(half, p, q, rng);
+    }
+  }
+  return walk;
+}
+
+std::vector<int> fill_walk_truncated(const std::vector<linalg::Matrix>& powers,
+                                     int start, int rho, util::Rng& rng) {
+  check_powers(powers);
+  if (rho < 1) throw std::invalid_argument("fill_walk_truncated: rho must be >= 1");
+  const int levels = static_cast<int>(powers.size()) - 1;
+  const std::int64_t full_length = std::int64_t{1} << levels;
+
+  std::vector<int> walk(static_cast<std::size_t>(full_length) + 1, -1);
+  walk.front() = start;
+  std::int64_t target = full_length;  // current target length l_i
+  walk[static_cast<std::size_t>(target)] =
+      sample_end(powers[static_cast<std::size_t>(levels)], start, rng);
+
+  // Occurrence counts over the filled prefix [0, target].
+  std::unordered_map<int, std::int64_t> counts;
+  auto rebuild_counts = [&]() {
+    counts.clear();
+    for (std::int64_t i = 0; i <= target; ++i)
+      if (walk[static_cast<std::size_t>(i)] >= 0) ++counts[walk[static_cast<std::size_t>(i)]];
+  };
+  rebuild_counts();
+
+  // Truncates at the first occurrence of the rho-th distinct vertex, if the
+  // prefix holds >= rho distinct vertices (paper §2.1.2 truncation rule).
+  auto truncate_if_needed = [&]() {
+    if (static_cast<int>(counts.size()) < rho) return;
+    std::unordered_map<int, char> seen;
+    std::int64_t cut = target;
+    for (std::int64_t i = 0; i <= target; ++i) {
+      const int v = walk[static_cast<std::size_t>(i)];
+      if (v < 0) continue;
+      if (!seen.count(v)) {
+        seen.emplace(v, 1);
+        if (static_cast<int>(seen.size()) == rho) {
+          cut = i;
+          break;
+        }
+      }
+    }
+    if (cut == target) return;
+    for (std::int64_t i = cut + 1; i <= target; ++i) walk[static_cast<std::size_t>(i)] = -1;
+    target = cut;
+    rebuild_counts();
+  };
+  truncate_if_needed();
+
+  for (int level = 1; level <= levels; ++level) {
+    const std::int64_t gap = full_length >> (level - 1);
+    if (gap < 2) break;
+    const auto& half = powers[static_cast<std::size_t>(levels - level)];
+    // Chronological insertion; `target` may shrink mid-level, which drops the
+    // remaining midpoint positions of this level automatically.
+    for (std::int64_t pos = 0; pos + gap <= target; pos += gap) {
+      const int p = walk[static_cast<std::size_t>(pos)];
+      const int q = walk[static_cast<std::size_t>(pos + gap)];
+      const int m = sample_midpoint(half, p, q, rng);
+      walk[static_cast<std::size_t>(pos + gap / 2)] = m;
+      ++counts[m];
+      truncate_if_needed();
+    }
+  }
+
+  // After all levels the prefix [0, target] is dense; `target` can only be
+  // non-final if the walk never reached rho distinct vertices.
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(target) + 1);
+  for (std::int64_t i = 0; i <= target; ++i) {
+    if (walk[static_cast<std::size_t>(i)] < 0)
+      throw std::logic_error("fill_walk_truncated: hole left in final walk");
+    out.push_back(walk[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace cliquest::walk

@@ -1,0 +1,43 @@
+#pragma once
+
+// Sequential top-down walk filling (paper Outline 1 / §2.1.1) and the
+// sequential truncated variant (§2.1.2).
+//
+// These are the reference algorithms: the end vertex of an l-length walk is
+// sampled from P^l[s, *], then midpoints are filled level by level, each
+// sampled from the Bayes / Markov-property product
+//     P^{d/2}[p, m] * P^{d/2}[m, q]            (paper Formula 1)
+// for consecutive pair (p, q) at gap d. Lemma 1 states the result is an
+// exact l-length random walk; Lemma 2 states the truncated variant stops the
+// walk at time tau = min(l, first visit to the rho-th distinct vertex).
+//
+// The distributed phase engine (src/core) is tested against these.
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::walk {
+
+/// Maximum supported walk length for the dense sequential representation.
+inline constexpr std::int64_t kMaxSequentialFillLength = std::int64_t{1} << 22;
+
+/// Samples one midpoint m for pair (p, q) at gap `gap` (a power of two >= 2)
+/// using `half_power` = P^{gap/2}. Exposed for reuse and direct testing.
+int sample_midpoint(const linalg::Matrix& half_power, int p, int q, util::Rng& rng);
+
+/// Outline 1: exact l-length random walk, l = 2^(powers.size()-1), where
+/// powers[k] = P^(2^k). Returns l+1 vertices.
+std::vector<int> fill_walk(const std::vector<linalg::Matrix>& powers, int start,
+                           util::Rng& rng);
+
+/// §2.1.2: truncated filling. Fills midpoints in chronological order and
+/// truncates whenever the partial walk holds >= rho distinct vertices, ending
+/// the walk at the first occurrence of the rho-th distinct vertex. Returns
+/// the truncated walk (which ends at stopping time tau <= l).
+std::vector<int> fill_walk_truncated(const std::vector<linalg::Matrix>& powers,
+                                     int start, int rho, util::Rng& rng);
+
+}  // namespace cliquest::walk

@@ -1,0 +1,88 @@
+#include "walk/random_walk.hpp"
+
+#include <stdexcept>
+
+#include "util/discrete.hpp"
+
+namespace cliquest::walk {
+namespace {
+
+int step(const graph::Graph& g, int at, util::Rng& rng) {
+  const auto nbs = g.neighbors(at);
+  if (nbs.empty()) throw std::invalid_argument("random walk: isolated vertex");
+  // Unweighted fast path: uniform neighbor.
+  bool uniform = true;
+  for (const graph::Neighbor& nb : nbs)
+    if (nb.weight != nbs[0].weight) {
+      uniform = false;
+      break;
+    }
+  if (uniform)
+    return nbs[rng.uniform_below(nbs.size())].to;
+  std::vector<double> weights;
+  weights.reserve(nbs.size());
+  for (const graph::Neighbor& nb : nbs) weights.push_back(nb.weight);
+  return nbs[static_cast<std::size_t>(util::sample_unnormalized(weights, rng))].to;
+}
+
+}  // namespace
+
+std::vector<int> simulate_walk(const graph::Graph& g, int start, std::int64_t steps,
+                               util::Rng& rng) {
+  if (steps < 0) throw std::invalid_argument("simulate_walk: negative length");
+  std::vector<int> walk;
+  walk.reserve(static_cast<std::size_t>(steps) + 1);
+  walk.push_back(start);
+  for (std::int64_t i = 0; i < steps; ++i) walk.push_back(step(g, walk.back(), rng));
+  return walk;
+}
+
+std::int64_t cover_time_sample(const graph::Graph& g, int start, util::Rng& rng,
+                               std::int64_t cap) {
+  return steps_to_distinct(g, start, g.vertex_count(), rng, cap);
+}
+
+std::int64_t steps_to_distinct(const graph::Graph& g, int start, int target_distinct,
+                               util::Rng& rng, std::int64_t cap) {
+  if (target_distinct < 1 || target_distinct > g.vertex_count())
+    throw std::invalid_argument("steps_to_distinct: bad target");
+  std::vector<char> seen(static_cast<std::size_t>(g.vertex_count()), 0);
+  seen[static_cast<std::size_t>(start)] = 1;
+  int distinct = 1;
+  int at = start;
+  std::int64_t steps = 0;
+  while (distinct < target_distinct) {
+    if (steps >= cap) throw std::runtime_error("steps_to_distinct: step cap exceeded");
+    at = step(g, at, rng);
+    ++steps;
+    if (!seen[static_cast<std::size_t>(at)]) {
+      seen[static_cast<std::size_t>(at)] = 1;
+      ++distinct;
+    }
+  }
+  return steps;
+}
+
+int distinct_in_walk(const graph::Graph& g, int start, std::int64_t steps,
+                     util::Rng& rng) {
+  std::vector<char> seen(static_cast<std::size_t>(g.vertex_count()), 0);
+  seen[static_cast<std::size_t>(start)] = 1;
+  int distinct = 1;
+  int at = start;
+  for (std::int64_t i = 0; i < steps; ++i) {
+    at = step(g, at, rng);
+    if (!seen[static_cast<std::size_t>(at)]) {
+      seen[static_cast<std::size_t>(at)] = 1;
+      ++distinct;
+    }
+  }
+  return distinct;
+}
+
+bool is_walk_in_graph(const graph::Graph& g, const std::vector<int>& walk) {
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i)
+    if (!g.has_edge(walk[i], walk[i + 1])) return false;
+  return true;
+}
+
+}  // namespace cliquest::walk

@@ -1,0 +1,39 @@
+#pragma once
+
+// Step-by-step random walks and walk statistics.
+//
+// These are reference tools: cover-time estimation backs the choice of the
+// target length l, and the distinct-vertex prefix statistics reproduce the
+// Barnes-Feige experiment (a length-n walk visits Omega(n^{1/3}) distinct
+// vertices; paper §1.4, Direction 4).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::walk {
+
+/// A length-`steps` walk: returns steps+1 vertices starting at `start`.
+std::vector<int> simulate_walk(const graph::Graph& g, int start, std::int64_t steps,
+                               util::Rng& rng);
+
+/// Walks from `start` until all vertices are visited; returns the number of
+/// steps taken (one sample of the cover time). Throws after `cap` steps.
+std::int64_t cover_time_sample(const graph::Graph& g, int start, util::Rng& rng,
+                               std::int64_t cap = std::int64_t{1} << 40);
+
+/// Walks until `target_distinct` distinct vertices (including start) have
+/// been seen; returns the number of steps taken.
+std::int64_t steps_to_distinct(const graph::Graph& g, int start, int target_distinct,
+                               util::Rng& rng, std::int64_t cap = std::int64_t{1} << 40);
+
+/// Number of distinct vertices in a walk of `steps` steps from `start`.
+int distinct_in_walk(const graph::Graph& g, int start, std::int64_t steps,
+                     util::Rng& rng);
+
+/// True if consecutive entries of `walk` are all edges of g.
+bool is_walk_in_graph(const graph::Graph& g, const std::vector<int>& walk);
+
+}  // namespace cliquest::walk

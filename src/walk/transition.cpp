@@ -1,0 +1,32 @@
+#include "walk/transition.hpp"
+
+#include <stdexcept>
+
+namespace cliquest::walk {
+
+linalg::Matrix transition_matrix(const graph::Graph& g) {
+  const int n = g.vertex_count();
+  linalg::Matrix p(n, n, 0.0);
+  for (int u = 0; u < n; ++u) {
+    const double total = g.weighted_degree(u);
+    if (total <= 0.0)
+      throw std::invalid_argument("transition_matrix: isolated vertex");
+    for (const graph::Neighbor& nb : g.neighbors(u)) p(u, nb.to) = nb.weight / total;
+  }
+  return p;
+}
+
+std::vector<double> stationary_distribution(const graph::Graph& g) {
+  const int n = g.vertex_count();
+  std::vector<double> pi(static_cast<std::size_t>(n), 0.0);
+  double total = 0.0;
+  for (int v = 0; v < n; ++v) {
+    pi[static_cast<std::size_t>(v)] = g.weighted_degree(v);
+    total += pi[static_cast<std::size_t>(v)];
+  }
+  if (total <= 0.0) throw std::invalid_argument("stationary_distribution: empty graph");
+  for (double& x : pi) x /= total;
+  return pi;
+}
+
+}  // namespace cliquest::walk

@@ -1,0 +1,18 @@
+#pragma once
+
+// Random-walk transition matrices (paper §1.1): from vertex a, the walk moves
+// to neighbor b with probability w(a,b) / weighted_degree(a).
+
+#include "graph/graph.hpp"
+#include "linalg/matrix.hpp"
+
+namespace cliquest::walk {
+
+/// Row-stochastic transition matrix of the natural random walk on g.
+/// Requires every vertex to have at least one neighbor.
+linalg::Matrix transition_matrix(const graph::Graph& g);
+
+/// Stationary distribution pi(v) = weighted_degree(v) / total.
+std::vector<double> stationary_distribution(const graph::Graph& g);
+
+}  // namespace cliquest::walk

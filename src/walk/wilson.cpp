@@ -1,0 +1,49 @@
+#include "walk/wilson.hpp"
+
+#include <stdexcept>
+
+#include "util/discrete.hpp"
+
+namespace cliquest::walk {
+
+graph::TreeEdges wilson(const graph::Graph& g, int root, util::Rng& rng) {
+  const int n = g.vertex_count();
+  if (n < 1) throw std::invalid_argument("wilson: empty graph");
+  std::vector<char> in_tree(static_cast<std::size_t>(n), 0);
+  // next[v] = successor of v on the loop-erased path toward the tree.
+  std::vector<int> next(static_cast<std::size_t>(n), -1);
+  in_tree[static_cast<std::size_t>(root)] = 1;
+
+  auto walk_step = [&](int at) {
+    const auto nbs = g.neighbors(at);
+    if (nbs.empty()) throw std::invalid_argument("wilson: isolated vertex");
+    if (nbs.size() == 1) return nbs[0].to;
+    std::vector<double> weights;
+    weights.reserve(nbs.size());
+    for (const graph::Neighbor& nb : nbs) weights.push_back(nb.weight);
+    return nbs[static_cast<std::size_t>(util::sample_unnormalized(weights, rng))].to;
+  };
+
+  graph::TreeEdges edges;
+  edges.reserve(static_cast<std::size_t>(n) - 1);
+  for (int v = 0; v < n; ++v) {
+    if (in_tree[static_cast<std::size_t>(v)]) continue;
+    // Random walk from v; next[] records the latest exit edge, which
+    // implicitly performs the loop erasure.
+    int at = v;
+    while (!in_tree[static_cast<std::size_t>(at)]) {
+      next[static_cast<std::size_t>(at)] = walk_step(at);
+      at = next[static_cast<std::size_t>(at)];
+    }
+    // Retrace the loop-erased path and attach it to the tree.
+    at = v;
+    while (!in_tree[static_cast<std::size_t>(at)]) {
+      in_tree[static_cast<std::size_t>(at)] = 1;
+      edges.emplace_back(at, next[static_cast<std::size_t>(at)]);
+      at = next[static_cast<std::size_t>(at)];
+    }
+  }
+  return graph::canonical_tree(std::move(edges));
+}
+
+}  // namespace cliquest::walk

@@ -1,0 +1,18 @@
+#pragma once
+
+// Wilson's loop-erased random walk sampler (STOC 1996): the second classical
+// exact uniform spanning tree sampler, with expected runtime equal to the
+// mean hitting time. Used as an independent exact baseline in E5 so the two
+// reference samplers cross-validate each other.
+
+#include "graph/graph.hpp"
+#include "graph/spanning.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::walk {
+
+/// Samples a uniform spanning tree rooted at `root` (the root choice does not
+/// affect the distribution). Requires a connected graph.
+graph::TreeEdges wilson(const graph::Graph& g, int root, util::Rng& rng);
+
+}  // namespace cliquest::walk

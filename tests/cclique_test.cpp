@@ -1,0 +1,175 @@
+// Unit tests for src/cclique: cost model formulas, meter accounting, and the
+// bulk-synchronous network with Lenzen-style round charging.
+
+#include <gtest/gtest.h>
+
+#include "cclique/cost_model.hpp"
+#include "cclique/meter.hpp"
+#include "cclique/network.hpp"
+
+namespace cliquest::cclique {
+namespace {
+
+TEST(CostModelTest, RoutingRoundsIsCeilDivision) {
+  CostModel model;
+  model.n = 10;
+  EXPECT_EQ(model.routing_rounds(0), 0);
+  EXPECT_EQ(model.routing_rounds(1), 1);
+  EXPECT_EQ(model.routing_rounds(10), 1);
+  EXPECT_EQ(model.routing_rounds(11), 2);
+  EXPECT_EQ(model.routing_rounds(100), 10);
+  EXPECT_THROW(model.routing_rounds(-1), std::invalid_argument);
+}
+
+TEST(CostModelTest, MatmulRoundsScalesWithAlpha) {
+  CostModel small;
+  small.n = 16;
+  CostModel large;
+  large.n = 4096;
+  // 16^0.157 ~= 1.55 -> 2; 4096^0.157 ~= 3.7 -> 4.
+  EXPECT_EQ(small.matmul_rounds(), 2);
+  EXPECT_EQ(large.matmul_rounds(), 4);
+}
+
+TEST(CostModelTest, MatmulRoundsScalesWithEntryWidth) {
+  CostModel model;
+  model.n = 256;
+  const std::int64_t base = model.matmul_rounds();
+  model.words_per_entry = 8;
+  EXPECT_EQ(model.matmul_rounds(), 8 * base);
+}
+
+TEST(CostModelTest, BroadcastRounds) {
+  CostModel model;
+  model.n = 8;
+  EXPECT_EQ(model.broadcast_rounds(0), 0);
+  EXPECT_EQ(model.broadcast_rounds(1), 2);   // ceil(1/8) + 1
+  EXPECT_EQ(model.broadcast_rounds(8), 2);
+  EXPECT_EQ(model.broadcast_rounds(9), 3);
+}
+
+TEST(MeterTest, ChargesAccumulateByLabel) {
+  Meter meter;
+  meter.charge("a", 3, 10);
+  meter.charge("a", 2, 5);
+  meter.charge("b", 1);
+  EXPECT_EQ(meter.total_rounds(), 6);
+  EXPECT_EQ(meter.total_messages(), 15);
+  EXPECT_EQ(meter.category("a").rounds, 5);
+  EXPECT_EQ(meter.category("a").events, 2);
+  EXPECT_EQ(meter.category("b").rounds, 1);
+  EXPECT_EQ(meter.category("missing").rounds, 0);
+}
+
+TEST(MeterTest, MergeCombines) {
+  Meter a, b;
+  a.charge("x", 1, 2);
+  b.charge("x", 3, 4);
+  b.charge("y", 5);
+  a.merge(b);
+  EXPECT_EQ(a.category("x").rounds, 4);
+  EXPECT_EQ(a.category("x").messages, 6);
+  EXPECT_EQ(a.category("y").rounds, 5);
+}
+
+TEST(MeterTest, RejectsNegativeCharges) {
+  Meter meter;
+  EXPECT_THROW(meter.charge("a", -1), std::invalid_argument);
+}
+
+TEST(MeterTest, ReportMentionsCategories) {
+  Meter meter;
+  meter.charge("matmul", 7, 3);
+  const std::string report = meter.report();
+  EXPECT_NE(report.find("matmul"), std::string::npos);
+  EXPECT_NE(report.find("TOTAL"), std::string::npos);
+}
+
+Network make_network(int n, Meter& meter) {
+  CostModel model;
+  model.n = n;
+  return Network(model, &meter);
+}
+
+TEST(NetworkTest, DeliversMessages) {
+  Meter meter;
+  Network net = make_network(4, meter);
+  net.post(0, 2, 7, std::vector<std::int64_t>{10, 20});
+  net.post(1, 2, 8, std::int64_t{30});
+  net.flush("test");
+  ASSERT_EQ(net.inbox(2).size(), 2u);
+  EXPECT_TRUE(net.inbox(0).empty());
+  const Message& first = net.inbox(2)[0];
+  EXPECT_EQ(first.src, 0);
+  EXPECT_EQ(first.tag, 7);
+  ASSERT_EQ(first.words.size(), 2u);
+  EXPECT_EQ(first.words[1], 20);
+}
+
+TEST(NetworkTest, RoundsEqualCeilOfMaxLoadOverN) {
+  Meter meter;
+  Network net = make_network(4, meter);
+  // Machine 0 sends 9 words total; cap is n = 4 words/round -> 3 rounds.
+  for (int i = 0; i < 3; ++i)
+    net.post(0, 1 + i, 0, std::vector<std::int64_t>{1, 2, 3});
+  const std::int64_t rounds = net.flush("load");
+  EXPECT_EQ(rounds, 3);
+  EXPECT_EQ(meter.category("load").rounds, 3);
+  EXPECT_EQ(net.max_flush_load(), 9);
+}
+
+TEST(NetworkTest, ReceiveLoadCountsToo) {
+  Meter meter;
+  Network net = make_network(4, meter);
+  // Every machine sends 2 words to machine 3: receive load 8 -> 2 rounds.
+  for (int src = 0; src < 4; ++src)
+    net.post(src, 3, 0, std::vector<std::int64_t>{1, 2});
+  EXPECT_EQ(net.flush("recv"), 2);
+}
+
+TEST(NetworkTest, EmptyMessageStillCostsAWord) {
+  Meter meter;
+  Network net = make_network(2, meter);
+  net.post(0, 1, 0, std::vector<std::int64_t>{});
+  EXPECT_EQ(net.flush("hdr"), 1);
+}
+
+TEST(NetworkTest, InboxesClearBetweenFlushes) {
+  Meter meter;
+  Network net = make_network(2, meter);
+  net.post(0, 1, 0, std::int64_t{1});
+  net.flush("first");
+  EXPECT_EQ(net.inbox(1).size(), 1u);
+  net.flush("second");  // nothing pending
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(NetworkTest, BroadcastReachesEveryone) {
+  Meter meter;
+  Network net = make_network(5, meter);
+  const std::int64_t rounds =
+      net.broadcast(2, 9, std::vector<std::int64_t>{1, 2, 3}, "bcast");
+  EXPECT_GE(rounds, 1);
+  for (int m = 0; m < 5; ++m) {
+    ASSERT_EQ(net.inbox(m).size(), 1u);
+    EXPECT_EQ(net.inbox(m)[0].tag, 9);
+    EXPECT_EQ(net.inbox(m)[0].src, 2);
+  }
+}
+
+TEST(NetworkTest, ValidatesMachineIds) {
+  Meter meter;
+  Network net = make_network(3, meter);
+  EXPECT_THROW(net.post(0, 5, 0, std::int64_t{1}), std::out_of_range);
+  EXPECT_THROW(net.post(-1, 0, 0, std::int64_t{1}), std::out_of_range);
+  EXPECT_THROW(net.inbox(3), std::out_of_range);
+}
+
+TEST(NetworkTest, RequiresMeter) {
+  CostModel model;
+  model.n = 2;
+  EXPECT_THROW(Network(model, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cliquest::cclique

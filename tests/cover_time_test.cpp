@@ -1,0 +1,138 @@
+// Tests for hitting times and Matthews cover-time bounds, including the
+// closed forms the paper's cover-time discussion relies on and the link to
+// commute times through effective resistance.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cclique/meter.hpp"
+#include "doubling/covertime_sampler.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/resistance.hpp"
+#include "graph/spanning.hpp"
+#include "util/statistics.hpp"
+#include "walk/cover_time.hpp"
+#include "walk/random_walk.hpp"
+
+namespace cliquest::walk {
+namespace {
+
+TEST(HittingTimeTest, PathEndpointsQuadratic) {
+  // On a path, H(0, k) = k^2.
+  const graph::Graph g = graph::path(7);
+  for (int k = 1; k < 7; ++k)
+    EXPECT_NEAR(hitting_time(g, 0, k), static_cast<double>(k) * k, 1e-8);
+}
+
+TEST(HittingTimeTest, CompleteGraphGeometric) {
+  // On K_n, hitting any other vertex is Geometric(1/(n-1)): H = n - 1.
+  const graph::Graph g = graph::complete(9);
+  EXPECT_NEAR(hitting_time(g, 0, 5), 8.0, 1e-8);
+}
+
+TEST(HittingTimeTest, CycleProductForm) {
+  // On a cycle, H(0, k) = k (n - k).
+  const int n = 10;
+  const graph::Graph g = graph::cycle(n);
+  for (int k = 1; k < n; ++k)
+    EXPECT_NEAR(hitting_time(g, 0, k), static_cast<double>(k) * (n - k), 1e-8);
+}
+
+TEST(HittingTimeTest, MatrixMatchesSingleSolves) {
+  util::Rng rng(1);
+  const graph::Graph g = graph::gnp_connected(11, 0.4, rng);
+  const linalg::Matrix h = hitting_time_matrix(g);
+  for (int u = 0; u < 11; u += 2)
+    for (int v = 1; v < 11; v += 3)
+      EXPECT_NEAR(h(u, v), hitting_time(g, u, v), 1e-8);
+  for (int v = 0; v < 11; ++v) EXPECT_EQ(h(v, v), 0.0);
+}
+
+TEST(HittingTimeTest, CommuteIdentityWithResistance) {
+  // H(u,v) + H(v,u) = 2 W R_eff(u,v) (Chandra et al.).
+  util::Rng rng(2);
+  const graph::Graph g = graph::gnp_connected(12, 0.35, rng);
+  const linalg::Matrix h = hitting_time_matrix(g);
+  for (int u = 0; u < 12; u += 3)
+    for (int v = u + 1; v < 12; v += 2)
+      EXPECT_NEAR(h(u, v) + h(v, u), graph::commute_time(g, u, v), 1e-7);
+}
+
+TEST(HittingTimeTest, MonteCarloAgreement) {
+  const graph::Graph g = graph::lollipop(4, 4);
+  const double exact = hitting_time(g, 0, 7);
+  util::Rng rng(3);
+  util::RunningStat stat;
+  for (int trial = 0; trial < 4000; ++trial) {
+    int at = 0;
+    std::int64_t steps = 0;
+    while (at != 7) {
+      at = simulate_walk(g, at, 1, rng)[1];
+      ++steps;
+    }
+    stat.add(static_cast<double>(steps));
+  }
+  EXPECT_NEAR(stat.mean(), exact, 5 * stat.stddev() / std::sqrt(4000.0));
+}
+
+TEST(CoverTimeBoundsTest, SandwichEmpiricalCoverTime) {
+  util::Rng rng(4);
+  for (const graph::Graph& g :
+       {graph::complete(12), graph::cycle(14), graph::gnp_connected(16, 0.3, rng),
+        graph::lollipop(6, 6)}) {
+    const CoverTimeBounds bounds = matthews_bounds(g);
+    EXPECT_GT(bounds.lower, 0.0);
+    EXPECT_GE(bounds.upper, bounds.lower);
+    util::RunningStat stat;
+    for (int i = 0; i < 300; ++i)
+      stat.add(static_cast<double>(cover_time_sample(g, 0, rng)));
+    // Mean cover time must respect the sandwich (generous slack for noise;
+    // the Matthews lower bound max H(u,v) is a bound on the *worst start*,
+    // so compare against the max over starts implicitly via slack).
+    EXPECT_LT(stat.mean(), 1.3 * bounds.upper);
+    EXPECT_GT(stat.mean(), 0.45 * bounds.lower);
+  }
+}
+
+TEST(CoverTimeBoundsTest, RecognizesNLogNFamilies) {
+  // The paper's Corollary 1 families have Matthews upper bound O(n log n);
+  // the lollipop's is Theta(n^3)-scale.
+  util::Rng rng(5);
+  const int n = 64;
+  const double nlogn = n * std::log2(static_cast<double>(n));
+  EXPECT_LT(matthews_bounds(graph::gnp_connected(n, 0.2, rng)).upper, 3 * nlogn);
+  EXPECT_LT(matthews_bounds(graph::unbalanced_bipartite(n)).upper, 6 * nlogn);
+  EXPECT_GT(matthews_bounds(graph::lollipop(n / 2, n / 2)).upper, 20 * nlogn);
+}
+
+TEST(CoverTimeBoundsTest, SuggestedLengthCoversQuickly) {
+  // Feeding the Matthews bound into the Corollary 1 sampler should cover in
+  // one attempt most of the time.
+  util::Rng rng(6);
+  const graph::Graph g = graph::gnp_connected(48, 0.2, rng);
+  doubling::CoverTimeSamplerOptions options;
+  options.initial_tau = suggested_cover_walk_length(g);
+  cclique::Meter meter;
+  int first_try = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto r = doubling::sample_tree_by_doubling(g, options, rng, meter);
+    EXPECT_TRUE(graph::is_spanning_tree(g, r.tree));
+    first_try += (r.attempts == 1);
+  }
+  EXPECT_GE(first_try, 15);
+}
+
+TEST(CoverTimeBoundsTest, RejectsInvalidInput) {
+  graph::Graph disconnected(4);
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(2, 3);
+  EXPECT_THROW(hitting_time(disconnected, 0, 2), std::invalid_argument);
+  const graph::Graph g = graph::complete(3);
+  EXPECT_THROW(hitting_time(g, 0, 7), std::out_of_range);
+  EXPECT_EQ(hitting_time(g, 1, 1), 0.0);
+}
+
+}  // namespace
+}  // namespace cliquest::walk

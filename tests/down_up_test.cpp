@@ -1,0 +1,149 @@
+// Tests for the down-up (bases-exchange) MCMC spanning-tree sampler — the
+// future-work direction named in the paper's conclusion, implemented as a
+// third independent sampler family.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning.hpp"
+#include "util/statistics.hpp"
+#include "walk/down_up.hpp"
+#include "walk/wilson.hpp"
+
+namespace cliquest::walk {
+namespace {
+
+TEST(DownUpTest, StepPreservesSpanningTreeProperty) {
+  util::Rng rng(1);
+  const graph::Graph g = graph::gnp_connected(14, 0.35, rng);
+  graph::TreeEdges tree = wilson(g, 0, rng);
+  for (int i = 0; i < 500; ++i) {
+    tree = down_up_step(g, tree, rng);
+    ASSERT_TRUE(graph::is_spanning_tree(g, graph::canonical_tree(tree)));
+  }
+}
+
+TEST(DownUpTest, StationaryLawIsUniform) {
+  const graph::Graph g = graph::theta(1, 2, 0);
+  const auto trees = graph::enumerate_spanning_trees(g);
+  std::vector<std::string> support;
+  for (const auto& t : trees) support.push_back(graph::tree_key(t));
+  util::Rng rng(2);
+  util::FrequencyTable freq;
+  const int n = 8000;
+  DownUpOptions options;
+  for (int i = 0; i < n; ++i)
+    freq.add(graph::tree_key(sample_tree_down_up(g, options, rng)));
+  std::vector<std::int64_t> counts;
+  for (const auto& key : support) counts.push_back(freq.count(key));
+  const std::vector<double> uniform(support.size(), 1.0);
+  EXPECT_LT(util::chi_square(counts, uniform),
+            util::chi_square_critical(static_cast<int>(support.size()) - 1));
+}
+
+TEST(DownUpTest, WeightedStationaryLaw) {
+  // Weighted triangle: trees drawn with probability proportional to the
+  // product of edge weights.
+  graph::Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 3.0);
+  const auto trees = graph::enumerate_spanning_trees(g);
+  std::map<std::string, double> law;
+  double total = 0.0;
+  for (const auto& t : trees) {
+    double w = 1.0;
+    for (const auto& [u, v] : t) w *= g.edge_weight(u, v);
+    law[graph::tree_key(t)] = w;
+    total += w;
+  }
+  util::Rng rng(3);
+  util::FrequencyTable freq;
+  const int n = 20000;
+  DownUpOptions options;
+  for (int i = 0; i < n; ++i)
+    freq.add(graph::tree_key(sample_tree_down_up(g, options, rng)));
+  double tv = 0.0;
+  for (const auto& [key, w] : law)
+    tv += std::abs(static_cast<double>(freq.count(key)) / n - w / total);
+  EXPECT_LT(tv / 2.0, 0.02);
+}
+
+TEST(DownUpTest, AgreesWithWilson) {
+  graph::Graph h(5);
+  const graph::Graph k5 = graph::complete(5);
+  for (const graph::Edge& e : k5.edges())
+    if (!(e.u == 1 && e.v == 3)) h.add_edge(e.u, e.v);
+  util::Rng rng(4);
+  util::FrequencyTable fd, fw;
+  const int n = 6000;
+  DownUpOptions options;
+  for (int i = 0; i < n; ++i) {
+    fd.add(graph::tree_key(sample_tree_down_up(h, options, rng)));
+    fw.add(graph::tree_key(wilson(h, 0, rng)));
+  }
+  const auto trees = graph::enumerate_spanning_trees(h);
+  std::vector<double> pd, pw;
+  for (const auto& t : trees) {
+    pd.push_back(static_cast<double>(fd.count(graph::tree_key(t))) + 1e-9);
+    pw.push_back(static_cast<double>(fw.count(graph::tree_key(t))) + 1e-9);
+  }
+  EXPECT_LT(util::total_variation(pd, pw), 0.06);
+}
+
+TEST(DownUpTest, MixingImprovesWithSteps) {
+  // A 1-step chain from the deterministic BFS start is far from uniform; the
+  // default budget is close. Measures the convergence direction.
+  const graph::Graph g = graph::complete(5);
+  const auto trees = graph::enumerate_spanning_trees(g);
+  std::vector<std::string> support;
+  for (const auto& t : trees) support.push_back(graph::tree_key(t));
+  util::Rng rng(5);
+
+  auto tv_at = [&](std::int64_t steps) {
+    DownUpOptions options;
+    options.steps = steps;
+    util::FrequencyTable freq;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i)
+      freq.add(graph::tree_key(sample_tree_down_up(g, options, rng)));
+    return freq.tv_to_uniform(support);
+  };
+  const double early = tv_at(1);
+  const double late = tv_at(200);
+  EXPECT_GT(early, 0.3);
+  EXPECT_LT(late, 0.08);
+}
+
+TEST(DownUpTest, StepCountFormula) {
+  const graph::Graph g = graph::complete(8);  // m = 28
+  DownUpOptions by_multiplier;
+  by_multiplier.mixing_multiplier = 2.0;
+  EXPECT_EQ(down_up_steps(g, by_multiplier),
+            static_cast<std::int64_t>(std::ceil(2.0 * 28 * std::log2(28.0))));
+  DownUpOptions fixed;
+  fixed.steps = 77;
+  EXPECT_EQ(down_up_steps(g, fixed), 77);
+}
+
+TEST(DownUpTest, RejectsBadInput) {
+  util::Rng rng(6);
+  graph::Graph disconnected(4);
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(2, 3);
+  DownUpOptions options;
+  EXPECT_THROW(sample_tree_down_up(disconnected, options, rng),
+               std::invalid_argument);
+  const graph::Graph g = graph::complete(4);
+  const graph::TreeEdges bogus{{0, 1}};
+  EXPECT_THROW(down_up_step(g, bogus, rng), std::invalid_argument);
+  // Single vertex: the empty tree.
+  EXPECT_TRUE(sample_tree_down_up(graph::Graph(1), options, rng).empty());
+}
+
+}  // namespace
+}  // namespace cliquest::walk

@@ -1,0 +1,281 @@
+// Unit tests for src/graph: graph class, generators, connectivity,
+// Laplacians, Matrix-Tree counting, enumeration, random-weight MST.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/laplacian.hpp"
+#include "graph/mst.hpp"
+#include "graph/spanning.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::graph {
+namespace {
+
+TEST(GraphTest, AddEdgeBasics) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_weight(0, 1), 2.0);
+  EXPECT_EQ(g.edge_weight(0, 2), 0.0);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.weighted_degree(0), 2.0);
+}
+
+TEST(GraphTest, RejectsBadEdges) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);       // self loop
+  EXPECT_THROW(g.add_edge(0, 5), std::out_of_range);           // bad id
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), std::invalid_argument);  // zero weight
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);  // duplicate
+}
+
+TEST(GraphTest, DegreeWithin) {
+  const Graph g = star(5);  // center 0
+  std::vector<char> mask{0, 1, 1, 0, 0};
+  EXPECT_EQ(g.degree_within(0, mask), 2);
+  EXPECT_EQ(g.degree_within(1, mask), 0);
+  mask[0] = 1;
+  EXPECT_EQ(g.degree_within(1, mask), 1);
+}
+
+TEST(GeneratorsTest, SizesAndDegrees) {
+  EXPECT_EQ(complete(6).edge_count(), 15);
+  EXPECT_EQ(path(5).edge_count(), 4);
+  EXPECT_EQ(cycle(5).edge_count(), 5);
+  EXPECT_EQ(star(7).degree(0), 6);
+  EXPECT_EQ(wheel(6).degree(5), 5);
+  EXPECT_EQ(grid(3, 4).vertex_count(), 12);
+  EXPECT_EQ(grid(3, 4).edge_count(), 3 * 3 + 2 * 4);
+  EXPECT_EQ(complete_bipartite(3, 4).edge_count(), 12);
+  EXPECT_EQ(barbell(4).vertex_count(), 8);
+  EXPECT_EQ(barbell(4).edge_count(), 2 * 6 + 1);
+  EXPECT_EQ(lollipop(4, 3).vertex_count(), 7);
+  EXPECT_EQ(theta(1, 2, 0).vertex_count(), 5);
+}
+
+TEST(GeneratorsTest, UnbalancedBipartiteShape) {
+  const Graph g = unbalanced_bipartite(100);
+  EXPECT_EQ(g.vertex_count(), 100);
+  // K_{90,10}: left side degree 10, right side degree 90.
+  EXPECT_EQ(g.degree(0), 10);
+  EXPECT_EQ(g.degree(99), 90);
+}
+
+TEST(GeneratorsTest, AllFamiliesConnected) {
+  util::Rng rng(17);
+  EXPECT_TRUE(is_connected(complete(8)));
+  EXPECT_TRUE(is_connected(path(8)));
+  EXPECT_TRUE(is_connected(cycle(8)));
+  EXPECT_TRUE(is_connected(star(8)));
+  EXPECT_TRUE(is_connected(wheel(8)));
+  EXPECT_TRUE(is_connected(grid(4, 5)));
+  EXPECT_TRUE(is_connected(barbell(5)));
+  EXPECT_TRUE(is_connected(lollipop(5, 6)));
+  EXPECT_TRUE(is_connected(unbalanced_bipartite(64)));
+  EXPECT_TRUE(is_connected(gnp_connected(40, 0.2, rng)));
+  EXPECT_TRUE(is_connected(random_regular(30, 4, rng)));
+  EXPECT_TRUE(is_connected(theta(2, 3, 4)));
+}
+
+TEST(GeneratorsTest, RandomRegularDegrees) {
+  util::Rng rng(18);
+  const Graph g = random_regular(24, 5, rng);
+  for (int v = 0; v < 24; ++v) EXPECT_EQ(g.degree(v), 5);
+}
+
+TEST(GeneratorsTest, RandomRegularRejectsOddProduct) {
+  util::Rng rng(18);
+  EXPECT_THROW(random_regular(5, 3, rng), std::invalid_argument);
+}
+
+TEST(ConnectivityTest, BfsDistancesOnPath) {
+  const Graph g = path(5);
+  const std::vector<int> d = bfs_distances(g, 0);
+  for (int v = 0; v < 5; ++v) EXPECT_EQ(d[static_cast<std::size_t>(v)], v);
+}
+
+TEST(ConnectivityTest, DisconnectedDetected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(is_connected(g));
+  const std::vector<int> d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], -1);
+}
+
+TEST(ConnectivityTest, DisjointSetsMergeAndCount) {
+  DisjointSets dsu(5);
+  EXPECT_EQ(dsu.set_count(), 5);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(1, 2));
+  EXPECT_FALSE(dsu.unite(0, 2));
+  EXPECT_EQ(dsu.set_count(), 3);
+  EXPECT_EQ(dsu.find(2), dsu.find(0));
+}
+
+TEST(ConnectivityTest, SpanningTreeValidation) {
+  const Graph g = complete(4);
+  EXPECT_TRUE(is_spanning_tree(g, {{0, 1}, {1, 2}, {2, 3}}));
+  EXPECT_FALSE(is_spanning_tree(g, {{0, 1}, {1, 2}}));           // too few
+  EXPECT_FALSE(is_spanning_tree(g, {{0, 1}, {1, 2}, {0, 2}}));   // cycle
+  const Graph p = path(4);
+  EXPECT_FALSE(is_spanning_tree(p, {{0, 1}, {1, 2}, {0, 3}}));   // edge not in g
+}
+
+TEST(LaplacianTest, RowSumsZeroAndSymmetry) {
+  util::Rng rng(19);
+  const Graph g = gnp_connected(12, 0.4, rng);
+  const linalg::Matrix l = laplacian(g);
+  for (int i = 0; i < 12; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 12; ++j) {
+      sum += l(i, j);
+      EXPECT_EQ(l(i, j), l(j, i));
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+  }
+}
+
+TEST(LaplacianTest, RoundTripThroughGraph) {
+  Graph g(4);
+  g.add_edge(0, 1, 2.5);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 0.25);
+  g.add_edge(0, 3, 4.0);
+  const Graph back = graph_from_laplacian(laplacian(g));
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  EXPECT_NEAR(back.edge_weight(0, 1), 2.5, 1e-12);
+  EXPECT_NEAR(back.edge_weight(2, 3), 0.25, 1e-12);
+}
+
+TEST(LaplacianTest, RejectsNonLaplacian) {
+  linalg::Matrix m(2, 2, 1.0);  // row sums 2, not a Laplacian
+  EXPECT_THROW(graph_from_laplacian(m), std::invalid_argument);
+}
+
+TEST(SpanningTest, KnownTreeCounts) {
+  // Cayley: K_n has n^{n-2} spanning trees.
+  EXPECT_EQ(tree_count(complete(4)), 16);
+  EXPECT_EQ(tree_count(complete(5)), 125);
+  EXPECT_EQ(tree_count(complete(6)), 1296);
+  // A cycle has n trees, a tree has exactly one.
+  EXPECT_EQ(tree_count(cycle(7)), 7);
+  EXPECT_EQ(tree_count(path(9)), 1);
+  EXPECT_EQ(tree_count(star(9)), 1);
+  // K_{a,b} has a^{b-1} * b^{a-1} spanning trees: K_{3,4} = 3^3 * 4^2 = 432.
+  EXPECT_EQ(tree_count(complete_bipartite(3, 4)), 432);
+}
+
+TEST(SpanningTest, CompleteBipartiteFormula) {
+  // K_{a,b}: a^{b-1} b^{a-1}.
+  const auto expect = [](long long a, long long b) {
+    long long result = 1;
+    for (int i = 0; i < b - 1; ++i) result *= a;
+    for (int i = 0; i < a - 1; ++i) result *= b;
+    return result;
+  };
+  EXPECT_EQ(tree_count(complete_bipartite(2, 3)), expect(2, 3));
+  EXPECT_EQ(tree_count(complete_bipartite(3, 3)), expect(3, 3));
+  EXPECT_EQ(tree_count(complete_bipartite(4, 2)), expect(4, 2));
+}
+
+TEST(SpanningTest, WeightedTreeCount) {
+  // Triangle with one weighted edge: trees are the three 2-edge subsets;
+  // total weight = w01*w12 + w01*w02 + w12*w02.
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  g.add_edge(0, 2, 5.0);
+  EXPECT_NEAR(std::exp(log_tree_count(g)), 2 * 3 + 2 * 5 + 3 * 5, 1e-9);
+}
+
+TEST(SpanningTest, EnumerationMatchesMatrixTree) {
+  util::Rng rng(20);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = gnp_connected(7, 0.5, rng);
+    const auto trees = enumerate_spanning_trees(g);
+    EXPECT_EQ(static_cast<long long>(trees.size()), tree_count(g));
+    for (const TreeEdges& t : trees) EXPECT_TRUE(is_spanning_tree(g, t));
+  }
+}
+
+TEST(SpanningTest, EnumerationDistinctKeys) {
+  const auto trees = enumerate_spanning_trees(complete(5));
+  std::set<std::string> keys;
+  for (const TreeEdges& t : trees) keys.insert(tree_key(t));
+  EXPECT_EQ(keys.size(), trees.size());
+}
+
+TEST(SpanningTest, CanonicalTreeNormalizes) {
+  const TreeEdges a = canonical_tree({{2, 1}, {0, 1}});
+  const TreeEdges b = canonical_tree({{1, 0}, {1, 2}});
+  EXPECT_EQ(tree_key(a), tree_key(b));
+}
+
+TEST(SpanningTest, DisconnectedThrows) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_THROW(log_tree_count(g), std::invalid_argument);
+  EXPECT_THROW(enumerate_spanning_trees(g), std::invalid_argument);
+}
+
+TEST(MstTest, ProducesValidTrees) {
+  util::Rng rng(21);
+  const Graph g = gnp_connected(20, 0.3, rng);
+  for (int i = 0; i < 20; ++i) {
+    const TreeEdges t = random_weight_mst(g, rng);
+    EXPECT_TRUE(is_spanning_tree(g, t));
+  }
+}
+
+TEST(MstTest, DisconnectedThrows) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  util::Rng rng(21);
+  EXPECT_THROW(random_weight_mst(g, rng), std::invalid_argument);
+}
+
+// Property sweep: enumeration count equals the Matrix-Tree determinant on
+// assorted structured families.
+struct NamedGraph {
+  const char* name;
+  Graph (*make)();
+};
+
+Graph make_theta() { return theta(1, 2, 3); }
+Graph make_wheel() { return wheel(6); }
+Graph make_grid() { return grid(2, 4); }
+Graph make_barbell() { return barbell(3); }
+Graph make_lollipop() { return lollipop(4, 2); }
+Graph make_kb() { return complete_bipartite(3, 3); }
+
+class MatrixTreeSweep : public ::testing::TestWithParam<NamedGraph> {};
+
+TEST_P(MatrixTreeSweep, EnumerationAgrees) {
+  const Graph g = GetParam().make();
+  const auto trees = enumerate_spanning_trees(g);
+  EXPECT_EQ(static_cast<long long>(trees.size()), tree_count(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, MatrixTreeSweep,
+    ::testing::Values(NamedGraph{"theta", make_theta}, NamedGraph{"wheel", make_wheel},
+                      NamedGraph{"grid", make_grid},
+                      NamedGraph{"barbell", make_barbell},
+                      NamedGraph{"lollipop", make_lollipop},
+                      NamedGraph{"K33", make_kb}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace cliquest::graph

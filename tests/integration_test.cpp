@@ -1,0 +1,191 @@
+// Cross-module integration tests: sampler-vs-sampler agreement, the §1.4
+// random-weight MST negative control, and end-to-end consistency checks that
+// span the walk, schur, matching, doubling and core subsystems.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cclique/meter.hpp"
+#include "core/tree_sampler.hpp"
+#include "doubling/covertime_sampler.hpp"
+#include "graph/generators.hpp"
+#include "graph/mst.hpp"
+#include "graph/spanning.hpp"
+#include "util/statistics.hpp"
+#include "walk/aldous_broder.hpp"
+#include "walk/random_walk.hpp"
+#include "walk/wilson.hpp"
+
+namespace cliquest {
+namespace {
+
+std::vector<double> empirical(const util::FrequencyTable& freq,
+                              const std::vector<graph::TreeEdges>& trees) {
+  std::vector<double> p;
+  p.reserve(trees.size());
+  for (const auto& t : trees)
+    p.push_back(static_cast<double>(freq.count(graph::tree_key(t))) + 1e-9);
+  return p;
+}
+
+TEST(IntegrationTest, FourSamplersAgreeOnTheta) {
+  const graph::Graph g = graph::theta(2, 1, 0);
+  const auto trees = graph::enumerate_spanning_trees(g);
+
+  util::Rng rng(1);
+  util::FrequencyTable f_core, f_ab, f_wilson, f_doubling;
+  const int n = 5000;
+
+  const core::CongestedCliqueTreeSampler core_sampler(g, core::SamplerOptions{});
+  doubling::CoverTimeSamplerOptions doubling_options;
+  cclique::Meter meter;
+  for (int i = 0; i < n; ++i) {
+    f_core.add(graph::tree_key(core_sampler.sample(rng).tree));
+    f_ab.add(graph::tree_key(walk::aldous_broder(g, 0, rng).tree));
+    f_wilson.add(graph::tree_key(walk::wilson(g, 0, rng)));
+    f_doubling.add(graph::tree_key(
+        doubling::sample_tree_by_doubling(g, doubling_options, rng, meter).tree));
+  }
+  const auto pc = empirical(f_core, trees);
+  const auto pa = empirical(f_ab, trees);
+  const auto pw = empirical(f_wilson, trees);
+  const auto pd = empirical(f_doubling, trees);
+  EXPECT_LT(util::total_variation(pc, pa), 0.05);
+  EXPECT_LT(util::total_variation(pc, pw), 0.05);
+  EXPECT_LT(util::total_variation(pd, pa), 0.05);
+  EXPECT_LT(util::total_variation(pw, pd), 0.05);
+}
+
+TEST(IntegrationTest, ExactAndApproximateModesAgree) {
+  const graph::Graph g = graph::complete(4);
+  const auto trees = graph::enumerate_spanning_trees(g);
+  core::SamplerOptions approx;
+  core::SamplerOptions exact;
+  exact.mode = core::SamplingMode::exact;
+  const core::CongestedCliqueTreeSampler sa(g, approx);
+  const core::CongestedCliqueTreeSampler se(g, exact);
+  util::Rng r1(2), r2(3);
+  util::FrequencyTable fa, fe;
+  const int n = 7000;
+  for (int i = 0; i < n; ++i) {
+    fa.add(graph::tree_key(sa.sample(r1).tree));
+    fe.add(graph::tree_key(se.sample(r2).tree));
+  }
+  EXPECT_LT(util::total_variation(empirical(fa, trees), empirical(fe, trees)), 0.05);
+}
+
+// E10: the random-weight MST candidate from §1.4 does NOT sample uniformly —
+// on K4 its star-tree frequency measurably exceeds the uniform 1/4, while the
+// true UST samplers sit at 1/4.
+TEST(IntegrationTest, RandomWeightMstIsBiasedNegativeControl) {
+  const graph::Graph g = graph::complete(4);
+  util::Rng rng(4);
+  const int n = 30000;
+
+  auto star_fraction = [&](auto&& draw) {
+    int stars = 0;
+    for (int i = 0; i < n; ++i) {
+      const graph::TreeEdges t = draw();
+      int degree[4] = {0, 0, 0, 0};
+      for (const auto& [u, v] : t) {
+        ++degree[u];
+        ++degree[v];
+      }
+      stars += (degree[0] == 3 || degree[1] == 3 || degree[2] == 3 || degree[3] == 3);
+    }
+    return static_cast<double>(stars) / n;
+  };
+
+  const double mst_stars =
+      star_fraction([&] { return graph::random_weight_mst(g, rng); });
+  const double ust_stars =
+      star_fraction([&] { return walk::wilson(g, 0, rng); });
+
+  const double sigma = std::sqrt(0.25 * 0.75 / n);  // ~0.0025
+  EXPECT_GT(std::abs(mst_stars - 0.25), 4 * sigma)
+      << "random-weight MST should be measurably non-uniform";
+  EXPECT_LT(std::abs(ust_stars - 0.25), 4 * sigma);
+  // Empirically the MST star frequency is ~0.266 on K4.
+  EXPECT_GT(mst_stars, 0.25);
+}
+
+TEST(IntegrationTest, RoundsScaleSublinearlyAcrossSizes) {
+  // Mini E1: fitted exponent of total rounds vs n on G(n, 0.3) must sit well
+  // below 1 (the full bench sweeps further sizes).
+  util::Rng gen(5);
+  std::vector<double> ns, rounds;
+  for (int n : {16, 32, 64, 128}) {
+    const graph::Graph g = graph::gnp_connected(n, 0.3, gen);
+    const core::CongestedCliqueTreeSampler sampler(g, core::SamplerOptions{});
+    util::Rng rng(6);
+    const core::TreeSample s = sampler.sample(rng);
+    ns.push_back(static_cast<double>(n));
+    rounds.push_back(static_cast<double>(s.report.total_rounds()));
+  }
+  const util::LinearFit fit = util::fit_loglog(ns, rounds);
+  EXPECT_LT(fit.slope, 0.95);
+  EXPECT_GT(fit.slope, 0.2);
+}
+
+TEST(IntegrationTest, ExactModeCostsMoreRoundsThanApproximate) {
+  // Appendix trade-off: rho = n^{1/3} means more phases, hence more rounds.
+  util::Rng gen(7);
+  const graph::Graph g = graph::gnp_connected(64, 0.2, gen);
+  core::SamplerOptions approx;
+  core::SamplerOptions exact;
+  exact.mode = core::SamplingMode::exact;
+  util::Rng r1(8), r2(8);
+  const auto a = core::CongestedCliqueTreeSampler(g, approx).sample(r1);
+  const auto e = core::CongestedCliqueTreeSampler(g, exact).sample(r2);
+  EXPECT_GT(e.report.phases.size(), a.report.phases.size());
+  EXPECT_GT(e.report.total_rounds(), a.report.total_rounds());
+}
+
+TEST(IntegrationTest, MatmulDominatesPhaseCosts) {
+  // Lemma 5 / E11: per phase the matrix-multiplication charges dominate the
+  // level machinery. At simulated sizes n^alpha is barely 2, so dominance
+  // only appears under the paper's own precision regime (§2.5): matrix
+  // entries are O(log^2 n) bits = O(log n) machine words.
+  util::Rng gen(9);
+  const graph::Graph g = graph::gnp_connected(100, 0.15, gen);
+
+  core::SamplerOptions narrow;  // single-word entries
+  util::Rng r1(10);
+  const core::TreeSample a =
+      core::CongestedCliqueTreeSampler(g, narrow).sample(r1);
+  const std::int64_t matmul_narrow =
+      a.report.meter.category("phase/matmul_powers").rounds +
+      a.report.meter.category("phase/matmul_schur_shortcut").rounds;
+  // Even with single-word entries matmul must be a major cost component.
+  EXPECT_GT(matmul_narrow, a.report.total_rounds() / 5);
+
+  core::SamplerOptions paper;  // O(log n)-word entries, the §2.5 regime
+  paper.words_per_entry = 7;   // ceil(log2(100))
+  util::Rng r2(10);
+  const core::TreeSample b =
+      core::CongestedCliqueTreeSampler(g, paper).sample(r2);
+  const std::int64_t matmul_paper =
+      b.report.meter.category("phase/matmul_powers").rounds +
+      b.report.meter.category("phase/matmul_schur_shortcut").rounds;
+  EXPECT_GT(matmul_paper, b.report.total_rounds() / 2);
+}
+
+TEST(IntegrationTest, BarnesFeigeDistinctVertices) {
+  // §1.4 Direction 4: a length-n walk visits Omega(n^{1/3}) distinct
+  // vertices on any unweighted graph. Check the floor on the adversarial
+  // families (path, lollipop) where walks linger.
+  util::Rng rng(11);
+  for (const graph::Graph& g :
+       {graph::path(216), graph::lollipop(36, 180), graph::cycle(216)}) {
+    const int n = g.vertex_count();
+    const double floor = std::cbrt(static_cast<double>(n));
+    util::RunningStat stat;
+    for (int i = 0; i < 30; ++i)
+      stat.add(walk::distinct_in_walk(g, 0, n, rng));
+    EXPECT_GT(stat.mean(), floor) << "mean distinct below Barnes-Feige floor";
+  }
+}
+
+}  // namespace
+}  // namespace cliquest

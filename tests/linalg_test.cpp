@@ -1,0 +1,297 @@
+// Unit tests for src/linalg: Matrix, factorizations, powers (incl. the
+// Lemma 7 truncated-precision scheme), permanents.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/decompose.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/matrix_power.hpp"
+#include "linalg/permanent.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::linalg {
+namespace {
+
+Matrix random_matrix(int n, util::Rng& rng, double scale = 1.0) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) m(i, j) = (rng.next_double() - 0.5) * scale;
+  return m;
+}
+
+Matrix random_stochastic(int n, util::Rng& rng) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (int j = 0; j < n; ++j) {
+      m(i, j) = rng.next_double() + 0.01;
+      total += m(i, j);
+    }
+    for (int j = 0; j < n; ++j) m(i, j) /= total;
+  }
+  return m;
+}
+
+TEST(MatrixTest, IdentityMultiplication) {
+  util::Rng rng(1);
+  const Matrix a = random_matrix(7, rng);
+  const Matrix i = Matrix::identity(7);
+  EXPECT_LT(a.multiply(i).max_abs_diff(a), 1e-14);
+  EXPECT_LT(i.multiply(a).max_abs_diff(a), 1e-14);
+}
+
+TEST(MatrixTest, MultiplyMatchesNaive) {
+  util::Rng rng(2);
+  const Matrix a = random_matrix(5, rng);
+  const Matrix b = random_matrix(5, rng);
+  const Matrix c = a.multiply(b);
+  for (int i = 0; i < 5; ++i)
+    for (int j = 0; j < 5; ++j) {
+      double expect = 0.0;
+      for (int k = 0; k < 5; ++k) expect += a(i, k) * b(k, j);
+      EXPECT_NEAR(c(i, j), expect, 1e-12);
+    }
+}
+
+TEST(MatrixTest, MultiplyRectangular) {
+  Matrix a(2, 3), b(3, 4);
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j) a(i, j) = i + j;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 4; ++j) b(i, j) = i * j + 1;
+  const Matrix c = a.multiply(b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 4);
+  EXPECT_NEAR(c(1, 2), 1 * 1 + 2 * 3 + 3 * 5, 1e-12);
+}
+
+TEST(MatrixTest, MultiplyShapeMismatchThrows) {
+  const Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  util::Rng rng(3);
+  const Matrix a = random_matrix(6, rng);
+  EXPECT_LT(a.transpose().transpose().max_abs_diff(a), 1e-15);
+}
+
+TEST(MatrixTest, SubmatrixSelects) {
+  Matrix a(4, 4);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) a(i, j) = 10 * i + j;
+  const std::vector<int> rows{1, 3}, cols{0, 2};
+  const Matrix s = a.submatrix(rows, cols);
+  EXPECT_EQ(s(0, 0), 10.0);
+  EXPECT_EQ(s(0, 1), 12.0);
+  EXPECT_EQ(s(1, 0), 30.0);
+  EXPECT_EQ(s(1, 1), 32.0);
+}
+
+TEST(MatrixTest, SubmatrixValidatesIds) {
+  const Matrix a(3, 3);
+  const std::vector<int> bad{5};
+  const std::vector<int> ok{0};
+  EXPECT_THROW(a.submatrix(bad, ok), std::out_of_range);
+  EXPECT_THROW(a.submatrix(ok, bad), std::out_of_range);
+}
+
+TEST(MatrixTest, RowStochasticDetection) {
+  util::Rng rng(4);
+  EXPECT_TRUE(random_stochastic(8, rng).is_row_stochastic());
+  Matrix bad = Matrix::identity(3);
+  bad(0, 0) = 0.5;
+  EXPECT_FALSE(bad.is_row_stochastic());
+}
+
+TEST(LuTest, SolveKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 3;
+  const std::vector<double> b{5.0, 10.0};
+  const Lu lu(a);
+  const std::vector<double> x = lu.solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantOfKnownMatrix) {
+  Matrix a(3, 3);
+  // det = 2*(3*1 - 0) - 1*(0 - 0) + 0 = 6 for a lower-triangularish matrix.
+  a(0, 0) = 2;
+  a(1, 0) = 5;
+  a(1, 1) = 3;
+  a(2, 0) = -1;
+  a(2, 1) = 4;
+  a(2, 2) = 1;
+  const Lu lu(a);
+  EXPECT_FALSE(lu.singular());
+  EXPECT_EQ(lu.det_sign(), 1);
+  EXPECT_NEAR(std::exp(lu.log_abs_det()), 6.0, 1e-9);
+}
+
+TEST(LuTest, SingularDetected) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  const Lu lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_EQ(lu.det_sign(), 0);
+  EXPECT_THROW(lu.solve(std::vector<double>{1.0, 1.0}), std::domain_error);
+  EXPECT_THROW(lu.inverse(), std::domain_error);
+}
+
+TEST(LuTest, InverseTimesSelfIsIdentity) {
+  util::Rng rng(5);
+  const Matrix a = random_matrix(9, rng, 2.0);
+  const Lu lu(a);
+  ASSERT_FALSE(lu.singular());
+  EXPECT_LT(a.multiply(lu.inverse()).max_abs_diff(Matrix::identity(9)), 1e-9);
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  util::Rng rng(6);
+  const Matrix b = random_matrix(6, rng);
+  Matrix spd = b.multiply(b.transpose());
+  for (int i = 0; i < 6; ++i) spd(i, i) += 6.0;  // ensure positive definite
+  const Matrix l = cholesky(spd);
+  EXPECT_LT(l.multiply(l.transpose()).max_abs_diff(spd), 1e-9);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a = Matrix::identity(2);
+  a(1, 1) = -1.0;
+  EXPECT_THROW(cholesky(a), std::domain_error);
+}
+
+TEST(CholeskyTest, SolveMatchesLu) {
+  util::Rng rng(7);
+  const Matrix b = random_matrix(5, rng);
+  Matrix spd = b.multiply(b.transpose());
+  for (int i = 0; i < 5; ++i) spd(i, i) += 5.0;
+  const Matrix rhs = random_matrix(5, rng);
+  const Matrix x = cholesky_solve(spd, rhs);
+  EXPECT_LT(spd.multiply(x).max_abs_diff(rhs), 1e-9);
+}
+
+TEST(PowerTest, TableMatchesRepeatedSquaring) {
+  util::Rng rng(8);
+  const Matrix p = random_stochastic(6, rng);
+  const auto table = power_table(p, 4);
+  ASSERT_EQ(table.size(), 5u);
+  EXPECT_LT(table[1].max_abs_diff(p.multiply(p)), 1e-12);
+  EXPECT_LT(table[2].max_abs_diff(table[1].multiply(table[1])), 1e-12);
+  EXPECT_LT(table[4].max_abs_diff(matrix_power(p, 16)), 1e-9);
+}
+
+TEST(PowerTest, PowersOfStochasticStayStochastic) {
+  util::Rng rng(9);
+  const Matrix p = random_stochastic(10, rng);
+  for (const Matrix& m : power_table(p, 6)) EXPECT_TRUE(m.is_row_stochastic(1e-8));
+}
+
+TEST(PowerTest, MatrixPowerSmallCases) {
+  util::Rng rng(10);
+  const Matrix p = random_stochastic(4, rng);
+  EXPECT_LT(matrix_power(p, 0).max_abs_diff(Matrix::identity(4)), 1e-15);
+  EXPECT_LT(matrix_power(p, 1).max_abs_diff(p), 1e-15);
+  EXPECT_LT(matrix_power(p, 3).max_abs_diff(p.multiply(p).multiply(p)), 1e-12);
+}
+
+TEST(PowerTest, TruncationIsOneSided) {
+  util::Rng rng(11);
+  const Matrix p = random_stochastic(8, rng);
+  const Matrix t = truncate_entries(p, 10);
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_LE(t(i, j), p(i, j));                   // subtractive only
+      EXPECT_LE(p(i, j) - t(i, j), std::ldexp(1.0, -10));  // at most 2^-bits
+    }
+}
+
+// Lemma 7 property sweep: the measured subtractive error of the truncated
+// powering stays within the recurrence bound E(k) <= (n+1) E(k/2) + delta.
+class RoundedPowerSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RoundedPowerSweep, ErrorWithinRecurrenceBound) {
+  const auto [bits, log_k] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(bits * 100 + log_k));
+  const int n = 8;
+  const Matrix p = random_stochastic(n, rng);
+  const long long k = 1LL << log_k;
+
+  const Matrix approx = rounded_power(p, k, bits);
+  const Matrix exact = matrix_power(p, k);
+
+  const double delta = std::ldexp(1.0, -bits);
+  double bound = delta;  // E(1) <= delta
+  for (long long step = 2; step <= k; step *= 2) bound = (n + 1) * bound + delta;
+
+  double max_subtractive = 0.0;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) {
+      const double err = exact(i, j) - approx(i, j);
+      EXPECT_GE(err, -1e-12) << "error must be subtractive";
+      max_subtractive = std::max(max_subtractive, err);
+    }
+  EXPECT_LE(max_subtractive, bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsAndPowers, RoundedPowerSweep,
+    ::testing::Combine(::testing::Values(16, 24, 32, 40),
+                       ::testing::Values(1, 2, 4, 6)));
+
+TEST(PowerTest, RoundedPowerRejectsNonPowerOfTwo) {
+  util::Rng rng(12);
+  const Matrix p = random_stochastic(3, rng);
+  EXPECT_THROW(rounded_power(p, 3, 20), std::invalid_argument);
+  EXPECT_THROW(rounded_power(p, 0, 20), std::invalid_argument);
+}
+
+TEST(PermanentTest, KnownValues) {
+  // Permanent of the all-ones n x n matrix is n!.
+  Matrix ones(4, 4, 1.0);
+  EXPECT_NEAR(permanent_ryser(ones), 24.0, 1e-9);
+  // Permutation matrix has permanent 1.
+  Matrix perm(3, 3, 0.0);
+  perm(0, 1) = perm(1, 2) = perm(2, 0) = 1.0;
+  EXPECT_NEAR(permanent_ryser(perm), 1.0, 1e-12);
+  // Identity-like with a zero row has permanent 0.
+  Matrix zero_row(3, 3, 1.0);
+  zero_row(1, 0) = zero_row(1, 1) = zero_row(1, 2) = 0.0;
+  EXPECT_NEAR(permanent_ryser(zero_row), 0.0, 1e-12);
+  // Empty matrix: permanent 1 by convention.
+  EXPECT_NEAR(permanent_ryser(Matrix(0, 0)), 1.0, 1e-12);
+}
+
+class PermanentSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PermanentSweep, RyserMatchesNaive) {
+  const int n = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(n) * 31);
+  for (int trial = 0; trial < 5; ++trial) {
+    Matrix a(n, n);
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < n; ++j)
+        a(i, j) = rng.bernoulli(0.3) ? 0.0 : rng.next_double();
+    const double naive = permanent_naive(a);
+    EXPECT_NEAR(permanent_ryser(a), naive, 1e-9 * std::max(1.0, std::abs(naive)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermanentSweep, ::testing::Values(1, 2, 3, 5, 7, 8));
+
+TEST(PermanentTest, DimensionGuard) {
+  const Matrix big(linalg::kMaxExactPermanentDim + 1, linalg::kMaxExactPermanentDim + 1, 1.0);
+  EXPECT_THROW(permanent_ryser(big), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cliquest::linalg

@@ -1,0 +1,233 @@
+// Unit tests for src/matching: the exact permanent-based sampler, the
+// Metropolis chain, and their agreement (DESIGN.md substitution validation).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "linalg/permanent.hpp"
+#include "matching/samplers.hpp"
+#include "util/statistics.hpp"
+
+namespace cliquest::matching {
+namespace {
+
+linalg::Matrix random_weights(int m, util::Rng& rng, double zero_prob = 0.0) {
+  linalg::Matrix w(m, m);
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < m; ++j)
+      w(i, j) = rng.bernoulli(zero_prob) ? 0.0 : rng.next_double() + 0.05;
+  return w;
+}
+
+std::string sigma_key(const std::vector<int>& sigma) {
+  std::string key;
+  for (int c : sigma) {
+    key += std::to_string(c);
+    key += ',';
+  }
+  return key;
+}
+
+/// All m! permutations with their exact probabilities under the product law.
+std::map<std::string, double> exact_law(const linalg::Matrix& w) {
+  const int m = w.rows();
+  std::vector<int> sigma(static_cast<std::size_t>(m));
+  std::iota(sigma.begin(), sigma.end(), 0);
+  std::map<std::string, double> law;
+  const double per = linalg::permanent_ryser(w);
+  do {
+    double prod = 1.0;
+    for (int i = 0; i < m; ++i) prod *= w(i, sigma[static_cast<std::size_t>(i)]);
+    if (prod > 0.0) law[sigma_key(sigma)] = prod / per;
+  } while (std::next_permutation(sigma.begin(), sigma.end()));
+  return law;
+}
+
+void expect_sampler_matches_law(MatchingSampler& sampler, const linalg::Matrix& w,
+                                int samples, double tv_budget, std::uint64_t seed) {
+  const auto law = exact_law(w);
+  util::Rng rng(seed);
+  std::map<std::string, std::int64_t> counts;
+  for (int i = 0; i < samples; ++i) ++counts[sigma_key(sampler.sample(w, rng))];
+
+  double tv = 0.0;
+  double law_mass_seen = 0.0;
+  for (const auto& [key, prob] : law) {
+    const auto it = counts.find(key);
+    const double freq =
+        it == counts.end() ? 0.0 : static_cast<double>(it->second) / samples;
+    tv += std::abs(freq - prob);
+    law_mass_seen += prob;
+  }
+  // Any sampled permutation outside the law's support is pure error.
+  std::int64_t outside = samples;
+  for (const auto& [key, prob] : law) {
+    const auto it = counts.find(key);
+    if (it != counts.end()) outside -= it->second;
+  }
+  tv += static_cast<double>(outside) / samples;
+  EXPECT_NEAR(law_mass_seen, 1.0, 1e-9);
+  EXPECT_LT(tv / 2.0, tv_budget);
+  EXPECT_EQ(outside, 0) << "sampler produced a zero-probability matching";
+}
+
+TEST(ExactSamplerTest, MatchesLawSize3) {
+  util::Rng wrng(1);
+  const linalg::Matrix w = random_weights(3, wrng);
+  ExactPermanentSampler sampler;
+  expect_sampler_matches_law(sampler, w, 30000, 0.02, 11);
+}
+
+TEST(ExactSamplerTest, MatchesLawSize4WithZeros) {
+  util::Rng wrng(2);
+  const linalg::Matrix w = random_weights(4, wrng, 0.3);
+  ExactPermanentSampler sampler;
+  expect_sampler_matches_law(sampler, w, 40000, 0.03, 12);
+}
+
+TEST(MetropolisSamplerTest, MatchesLawSize3) {
+  util::Rng wrng(3);
+  const linalg::Matrix w = random_weights(3, wrng);
+  MetropolisMatchingSampler sampler(200);
+  expect_sampler_matches_law(sampler, w, 20000, 0.03, 13);
+}
+
+TEST(MetropolisSamplerTest, MatchesLawSize4) {
+  util::Rng wrng(4);
+  const linalg::Matrix w = random_weights(4, wrng);
+  MetropolisMatchingSampler sampler(200);
+  expect_sampler_matches_law(sampler, w, 20000, 0.035, 14);
+}
+
+TEST(MetropolisSamplerTest, MatchesExactOnSkewedWeights) {
+  // Heavily skewed instance: one permutation dominates.
+  linalg::Matrix w(3, 3, 0.01);
+  w(0, 0) = w(1, 1) = w(2, 2) = 10.0;
+  MetropolisMatchingSampler sampler(300);
+  expect_sampler_matches_law(sampler, w, 15000, 0.02, 15);
+}
+
+TEST(MetropolisSamplerTest, RespectsZeroPattern) {
+  // Zero diagonal: derangements only.
+  util::Rng wrng(5);
+  linalg::Matrix w = random_weights(4, wrng);
+  for (int i = 0; i < 4; ++i) w(i, i) = 0.0;
+  MetropolisMatchingSampler sampler(100);
+  util::Rng rng(16);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::vector<int> sigma = sampler.sample(w, rng);
+    for (int i = 0; i < 4; ++i) EXPECT_NE(sigma[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(MatchingSamplersTest, SingletonAndEmpty) {
+  linalg::Matrix w1(1, 1, 2.0);
+  ExactPermanentSampler exact;
+  MetropolisMatchingSampler metro(10);
+  util::Rng rng(17);
+  EXPECT_EQ(exact.sample(w1, rng), std::vector<int>{0});
+  EXPECT_EQ(metro.sample(w1, rng), std::vector<int>{0});
+  const linalg::Matrix w0(0, 0);
+  EXPECT_TRUE(exact.sample(w0, rng).empty());
+  EXPECT_TRUE(metro.sample(w0, rng).empty());
+}
+
+TEST(MatchingSamplersTest, NoPerfectMatchingThrows) {
+  // A zero column kills every permutation.
+  linalg::Matrix w(3, 3, 1.0);
+  w(0, 1) = w(1, 1) = w(2, 1) = 0.0;
+  util::Rng rng(18);
+  MetropolisMatchingSampler metro(10);
+  EXPECT_THROW(metro.sample(w, rng), std::invalid_argument);
+  ExactPermanentSampler exact;
+  EXPECT_THROW(exact.sample(w, rng), std::invalid_argument);
+}
+
+TEST(MatchingSamplersTest, NegativeWeightThrows) {
+  linalg::Matrix w(2, 2, 1.0);
+  w(0, 0) = -1.0;
+  util::Rng rng(19);
+  MetropolisMatchingSampler metro(10);
+  EXPECT_THROW(metro.sample(w, rng), std::invalid_argument);
+}
+
+TEST(MatchingProbabilityTest, SumsToOne) {
+  util::Rng wrng(6);
+  const linalg::Matrix w = random_weights(4, wrng);
+  std::vector<int> sigma{0, 1, 2, 3};
+  double total = 0.0;
+  do {
+    total += matching_probability(w, sigma);
+  } while (std::next_permutation(sigma.begin(), sigma.end()));
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// The phase engine's instances: weights depend only on (row value, column
+// group) — positions in the same group are exchangeable. Both samplers must
+// produce the same *group-assignment* law.
+TEST(MatchingSamplersTest, GroupStructureAgreement) {
+  // 4 positions in 2 groups (columns 0,1 = group A; 2,3 = group B);
+  // 4 instances with 2 distinct values (rows 0,1 = x; 2,3 = y).
+  linalg::Matrix w(4, 4);
+  const double wxa = 0.7, wxb = 0.1, wya = 0.4, wyb = 0.9;
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c) {
+      const bool x = r < 2, a = c < 2;
+      w(r, c) = x ? (a ? wxa : wxb) : (a ? wya : wyb);
+    }
+  ExactPermanentSampler exact;
+  MetropolisMatchingSampler metro(150);
+  util::Rng r1(20), r2(21);
+  // Count how many x-instances land in group A (0, 1, or 2).
+  std::vector<std::int64_t> exact_counts(3, 0), metro_counts(3, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto se = exact.sample(w, r1);
+    const auto sm = metro.sample(w, r2);
+    int xe = 0, xm = 0;
+    for (int r = 0; r < 2; ++r) {
+      xe += (se[static_cast<std::size_t>(r)] < 2);
+      xm += (sm[static_cast<std::size_t>(r)] < 2);
+    }
+    ++exact_counts[static_cast<std::size_t>(xe)];
+    ++metro_counts[static_cast<std::size_t>(xm)];
+  }
+  std::vector<double> pe(3), pm(3);
+  for (int i = 0; i < 3; ++i) {
+    pe[static_cast<std::size_t>(i)] = static_cast<double>(exact_counts[static_cast<std::size_t>(i)]);
+    pm[static_cast<std::size_t>(i)] = static_cast<double>(metro_counts[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_LT(util::total_variation(pe, pm), 0.02);
+}
+
+class MetropolisSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetropolisSweep, AgreesWithExactSampler) {
+  const int m = GetParam();
+  util::Rng wrng(static_cast<std::uint64_t>(m) * 7);
+  const linalg::Matrix w = random_weights(m, wrng, 0.15);
+  ExactPermanentSampler exact;
+  MetropolisMatchingSampler metro(200);
+  util::Rng r1(30), r2(31);
+  std::map<std::string, std::int64_t> ce, cm;
+  const int n = 12000;
+  for (int i = 0; i < n; ++i) {
+    ++ce[sigma_key(exact.sample(w, r1))];
+    ++cm[sigma_key(metro.sample(w, r2))];
+  }
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> merged;
+  for (const auto& [k, c] : ce) merged[k].first = c;
+  for (const auto& [k, c] : cm) merged[k].second = c;
+  double tv = 0.0;
+  for (const auto& [k, pair] : merged)
+    tv += std::abs(static_cast<double>(pair.first - pair.second)) / n;
+  EXPECT_LT(tv / 2.0, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MetropolisSweep, ::testing::Values(2, 3, 4, 5));
+
+}  // namespace
+}  // namespace cliquest::matching

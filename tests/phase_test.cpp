@@ -1,0 +1,193 @@
+// Unit tests for the phase engine (core/phase.hpp): walk validity, stopping
+// rule, Las Vegas extensions, and — the key distributional property — that
+// every placement strategy reproduces the sequential truncated-walk law.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "cclique/meter.hpp"
+#include "core/phase.hpp"
+#include "graph/generators.hpp"
+#include "linalg/matrix_power.hpp"
+#include "util/statistics.hpp"
+#include "walk/fill.hpp"
+#include "walk/transition.hpp"
+
+namespace cliquest::core {
+namespace {
+
+std::string walk_key(const std::vector<int>& walk) {
+  std::string key;
+  for (int v : walk) {
+    key += std::to_string(v);
+    key += ',';
+  }
+  return key;
+}
+
+SamplerOptions options_for(MatchingStrategy strategy) {
+  SamplerOptions options;
+  options.matching = strategy;
+  options.metropolis_steps_per_site = 150;
+  return options;
+}
+
+TEST(PhaseTest, WalkShapeAndStoppingRule) {
+  util::Rng rng(1);
+  const graph::Graph g = graph::gnp_connected(12, 0.35, rng);
+  const linalg::Matrix p = walk::transition_matrix(g);
+  cclique::Meter meter;
+  for (int trial = 0; trial < 15; ++trial) {
+    const PhaseWalkResult r = build_phase_walk(p, 3, 5, 256, 12,
+                                               options_for(MatchingStrategy::metropolis),
+                                               rng, meter);
+    EXPECT_EQ(r.walk.front(), 3);
+    std::set<int> distinct(r.walk.begin(), r.walk.end());
+    EXPECT_EQ(distinct.size(), 5u);
+    // The walk ends at the *first* occurrence of the 5th distinct vertex.
+    const int last = r.walk.back();
+    for (std::size_t i = 0; i + 1 < r.walk.size(); ++i) EXPECT_NE(r.walk[i], last);
+    // Each transition must be possible under p.
+    for (std::size_t i = 0; i + 1 < r.walk.size(); ++i)
+      EXPECT_GT(p(r.walk[i], r.walk[i + 1]), 0.0);
+    EXPECT_EQ(r.final_length, static_cast<std::int64_t>(r.walk.size()) - 1);
+  }
+}
+
+TEST(PhaseTest, LasVegasExtensionTriggersOnShortTarget) {
+  // A length-4 initial target cannot reach 6 distinct vertices on a path, so
+  // the engine must extend (Appendix §5.1) and still finish correctly.
+  util::Rng rng(2);
+  const graph::Graph g = graph::path(10);
+  const linalg::Matrix p = walk::transition_matrix(g);
+  cclique::Meter meter;
+  bool extended = false;
+  for (int trial = 0; trial < 10; ++trial) {
+    const PhaseWalkResult r = build_phase_walk(p, 0, 6, 4, 10,
+                                               options_for(MatchingStrategy::metropolis),
+                                               rng, meter);
+    std::set<int> distinct(r.walk.begin(), r.walk.end());
+    EXPECT_EQ(distinct.size(), 6u);
+    extended = extended || r.extensions > 0;
+  }
+  EXPECT_TRUE(extended);
+}
+
+TEST(PhaseTest, CoversWholeActiveSetWhenTargetEqualsSize) {
+  util::Rng rng(3);
+  const graph::Graph g = graph::cycle(7);
+  const linalg::Matrix p = walk::transition_matrix(g);
+  cclique::Meter meter;
+  const PhaseWalkResult r = build_phase_walk(p, 0, 7, 512, 7,
+                                             options_for(MatchingStrategy::group_shuffle),
+                                             rng, meter);
+  std::set<int> distinct(r.walk.begin(), r.walk.end());
+  EXPECT_EQ(distinct.size(), 7u);
+}
+
+TEST(PhaseTest, ChargesExpectedCategories) {
+  util::Rng rng(4);
+  const graph::Graph g = graph::gnp_connected(10, 0.4, rng);
+  const linalg::Matrix p = walk::transition_matrix(g);
+  cclique::Meter meter;
+  build_phase_walk(p, 0, 4, 128, 10, options_for(MatchingStrategy::metropolis), rng,
+                   meter);
+  EXPECT_GT(meter.category("phase/matmul_powers").rounds, 0);
+  EXPECT_GT(meter.category("phase/truncation_search").rounds, 0);
+  EXPECT_GT(meter.category("phase/midpoint_requests").rounds, 0);
+  EXPECT_GT(meter.category("phase/multiset_collect").rounds, 0);
+  EXPECT_GT(meter.category("phase/submatrix").rounds, 0);
+  EXPECT_EQ(meter.category("phase/pair_multisets").rounds, 0);
+
+  // Exact mode replaces the multiset+submatrix path with per-pair multisets.
+  cclique::Meter exact_meter;
+  SamplerOptions exact = options_for(MatchingStrategy::group_shuffle);
+  exact.mode = SamplingMode::exact;
+  build_phase_walk(p, 0, 4, 128, 10, exact, rng, exact_meter);
+  EXPECT_GT(exact_meter.category("phase/pair_multisets").rounds, 0);
+  EXPECT_EQ(exact_meter.category("phase/multiset_collect").rounds, 0);
+}
+
+TEST(PhaseTest, RejectsBadArguments) {
+  util::Rng rng(5);
+  const graph::Graph g = graph::complete(5);
+  const linalg::Matrix p = walk::transition_matrix(g);
+  cclique::Meter meter;
+  const SamplerOptions options = options_for(MatchingStrategy::metropolis);
+  EXPECT_THROW(build_phase_walk(p, -1, 3, 64, 5, options, rng, meter),
+               std::out_of_range);
+  EXPECT_THROW(build_phase_walk(p, 0, 1, 64, 5, options, rng, meter),
+               std::invalid_argument);
+  EXPECT_THROW(build_phase_walk(p, 0, 9, 64, 5, options, rng, meter),
+               std::invalid_argument);
+  EXPECT_THROW(build_phase_walk(p, 0, 3, 100, 5, options, rng, meter),
+               std::invalid_argument);  // not a power of two
+}
+
+// Distributional core test: the phase walk's law must match the sequential
+// truncated fill (Lemma 2 reference) for every placement strategy. This is
+// the Lemma 3/4 "compression does not change the law" claim, checked end to
+// end on an asymmetric graph.
+class PhaseLawSweep : public ::testing::TestWithParam<MatchingStrategy> {};
+
+TEST_P(PhaseLawSweep, MatchesSequentialTruncatedFill) {
+  // Asymmetric 4-vertex graph: triangle 0-1-2 plus pendant 3 on vertex 2.
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  const linalg::Matrix p = walk::transition_matrix(g);
+  const int rho = 3;
+  const std::int64_t length = 16;
+  const auto powers = linalg::power_table(p, 4);
+
+  SamplerOptions options = options_for(GetParam());
+  if (GetParam() == MatchingStrategy::group_shuffle) options.mode = SamplingMode::exact;
+
+  const int n = 12000;
+  util::Rng r1(100 + static_cast<int>(GetParam()));
+  util::Rng r2(999);
+  std::map<std::string, std::int64_t> engine_counts, reference_counts;
+  cclique::Meter meter;
+  for (int i = 0; i < n; ++i) {
+    const PhaseWalkResult r =
+        build_phase_walk(p, 0, rho, length, 4, options, r1, meter);
+    ++engine_counts[walk_key(r.walk)];
+    ++reference_counts[walk_key(walk::fill_walk_truncated(powers, 0, rho, r2))];
+  }
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> merged;
+  for (const auto& [k, c] : engine_counts) merged[k].first = c;
+  for (const auto& [k, c] : reference_counts) merged[k].second = c;
+  double tv = 0.0;
+  for (const auto& [k, pair] : merged)
+    tv += std::abs(static_cast<double>(pair.first - pair.second)) / n;
+  EXPECT_LT(tv / 2.0, 0.05) << "strategy " << static_cast<int>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, PhaseLawSweep,
+                         ::testing::Values(MatchingStrategy::verbatim,
+                                           MatchingStrategy::metropolis,
+                                           MatchingStrategy::exact_permanent,
+                                           MatchingStrategy::group_shuffle));
+
+TEST(PhaseTest, ChooseTargetLengthShapes) {
+  SamplerOptions practical;
+  const std::int64_t lp = choose_target_length(64, practical);
+  EXPECT_GE(lp, 8 * 64 * 6 * 6);
+  EXPECT_EQ(lp & (lp - 1), 0);  // power of two
+
+  SamplerOptions cubic;
+  cubic.paper_cubic_length = true;
+  cubic.epsilon = 1e-3;
+  const std::int64_t lc = choose_target_length(64, cubic);
+  EXPECT_GE(lc, 64LL * 64 * 64);
+  EXPECT_EQ(lc & (lc - 1), 0);
+  EXPECT_GT(lc, lp);
+}
+
+}  // namespace
+}  // namespace cliquest::core

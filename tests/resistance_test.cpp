@@ -1,0 +1,167 @@
+// Tests for the electrical substrate (effective resistance, commute times,
+// Kirchhoff marginals) and its cross-validation duties: Schur complements
+// preserve resistance (§1.7), and every sampler's edge marginals must match
+// w(e) * R_eff(e) — a uniformity test that scales past tree enumeration.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/tree_sampler.hpp"
+#include "graph/generators.hpp"
+#include "graph/resistance.hpp"
+#include "graph/spanning.hpp"
+#include "schur/schur_complement.hpp"
+#include "util/statistics.hpp"
+#include "walk/random_walk.hpp"
+#include "walk/wilson.hpp"
+
+namespace cliquest::graph {
+namespace {
+
+TEST(ResistanceTest, SeriesLawOnPath) {
+  const Graph g = path(6);
+  for (int k = 1; k < 6; ++k)
+    EXPECT_NEAR(effective_resistance(g, 0, k), static_cast<double>(k), 1e-9);
+}
+
+TEST(ResistanceTest, ParallelLawOnTheta) {
+  // Terminals joined by three paths of resistance 2, 3 and 1:
+  // R = 1 / (1/2 + 1/3 + 1) = 6/11.
+  const Graph g = theta(1, 2, 0);
+  EXPECT_NEAR(effective_resistance(g, 0, 1), 6.0 / 11.0, 1e-9);
+}
+
+TEST(ResistanceTest, WeightedEdgesActAsConductances) {
+  Graph g(2);
+  g.add_edge(0, 1, 4.0);  // conductance 4 -> resistance 1/4
+  EXPECT_NEAR(effective_resistance(g, 0, 1), 0.25, 1e-12);
+}
+
+TEST(ResistanceTest, MatrixMatchesPairwiseSolves) {
+  util::Rng rng(1);
+  const Graph g = gnp_connected(12, 0.4, rng);
+  const linalg::Matrix r = effective_resistance_matrix(g);
+  for (int u = 0; u < 12; u += 3)
+    for (int v = u + 1; v < 12; v += 2)
+      EXPECT_NEAR(r(u, v), effective_resistance(g, u, v), 1e-9);
+  for (int u = 0; u < 12; ++u) EXPECT_NEAR(r(u, u), 0.0, 1e-12);
+}
+
+TEST(ResistanceTest, FosterTheorem) {
+  util::Rng rng(2);
+  // sum_e w(e) R_eff(e) = n - 1 on every connected graph.
+  EXPECT_NEAR(foster_sum(complete(7)), 6.0, 1e-9);
+  EXPECT_NEAR(foster_sum(grid(3, 4)), 11.0, 1e-9);
+  EXPECT_NEAR(foster_sum(gnp_connected(15, 0.3, rng)), 14.0, 1e-9);
+  Graph weighted(4);
+  weighted.add_edge(0, 1, 2.5);
+  weighted.add_edge(1, 2, 0.5);
+  weighted.add_edge(2, 3, 3.0);
+  weighted.add_edge(3, 0, 1.0);
+  EXPECT_NEAR(foster_sum(weighted), 3.0, 1e-9);
+}
+
+TEST(ResistanceTest, CommuteTimeMatchesSimulation) {
+  // C(0, k) = 2 m R(0, k); on a path C(0, 4) = 2 * 4 * 4 = 32.
+  const Graph g = path(5);
+  EXPECT_NEAR(commute_time(g, 0, 4), 32.0, 1e-9);
+  util::Rng rng(3);
+  util::RunningStat stat;
+  for (int trial = 0; trial < 3000; ++trial) {
+    // Simulate 0 -> 4 -> 0.
+    std::int64_t steps = 0;
+    int at = 0;
+    int target = 4;
+    while (true) {
+      at = walk::simulate_walk(g, at, 1, rng)[1];
+      ++steps;
+      if (at == target) {
+        if (target == 0) break;
+        target = 0;
+      }
+    }
+    stat.add(static_cast<double>(steps));
+  }
+  EXPECT_NEAR(stat.mean(), 32.0, 1.5);
+}
+
+TEST(ResistanceTest, SchurComplementPreservesResistance) {
+  // §1.7: Schur(G, S) is electrically equivalent on S.
+  util::Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = gnp_connected(14, 0.3, rng);
+    const std::vector<int> s{0, 3, 7, 11};
+    const Graph h = schur::schur_complement(g, s);
+    for (std::size_t i = 0; i < s.size(); ++i)
+      for (std::size_t j = i + 1; j < s.size(); ++j)
+        EXPECT_NEAR(effective_resistance(g, s[i], s[j]),
+                    effective_resistance(h, static_cast<int>(i), static_cast<int>(j)),
+                    1e-8);
+  }
+}
+
+TEST(ResistanceTest, MarginalsMatchEnumerationOnSmallGraph) {
+  const Graph g = theta(1, 2, 0);
+  const auto trees = enumerate_spanning_trees(g);
+  const auto marginals = spanning_tree_edge_marginals(g);
+  for (std::size_t e = 0; e < g.edges().size(); ++e) {
+    const auto& edge = g.edges()[e];
+    int containing = 0;
+    for (const auto& t : trees)
+      for (const auto& [u, v] : t)
+        if ((u == std::min(edge.u, edge.v)) && (v == std::max(edge.u, edge.v)))
+          ++containing;
+    EXPECT_NEAR(marginals[e], static_cast<double>(containing) / trees.size(), 1e-9)
+        << "edge " << edge.u << "-" << edge.v;
+  }
+}
+
+TEST(ResistanceTest, RejectsInvalidInput) {
+  Graph disconnected(4);
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(2, 3);
+  EXPECT_THROW(effective_resistance(disconnected, 0, 2), std::invalid_argument);
+  const Graph g = complete(3);
+  EXPECT_THROW(effective_resistance(g, 0, 9), std::out_of_range);
+  EXPECT_NEAR(effective_resistance(g, 1, 1), 0.0, 1e-12);
+}
+
+// Kirchhoff-marginal uniformity tests: empirical edge frequencies of each
+// sampler vs w(e) R_eff(e), at a size (n = 16) far beyond enumeration.
+class MarginalSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MarginalSweep, SamplerEdgeMarginalsMatchKirchhoff) {
+  const std::string which = GetParam();
+  util::Rng gen(5);
+  const Graph g = gnp_connected(16, 0.3, gen);
+  const auto marginals = spanning_tree_edge_marginals(g);
+
+  std::map<std::pair<int, int>, std::size_t> edge_index;
+  for (std::size_t e = 0; e < g.edges().size(); ++e)
+    edge_index[{std::min(g.edges()[e].u, g.edges()[e].v),
+                std::max(g.edges()[e].u, g.edges()[e].v)}] = e;
+
+  util::Rng rng(6);
+  const int samples = which == "core" ? 2500 : 20000;
+  std::vector<std::int64_t> counts(g.edges().size(), 0);
+
+  const core::CongestedCliqueTreeSampler sampler(g, core::SamplerOptions{});
+  for (int i = 0; i < samples; ++i) {
+    const TreeEdges tree = which == "core" ? sampler.sample(rng).tree
+                                           : walk::wilson(g, 0, rng);
+    for (const auto& e : tree) ++counts[edge_index.at(e)];
+  }
+  // Each edge frequency must sit within a generous binomial band.
+  for (std::size_t e = 0; e < counts.size(); ++e) {
+    const double p = marginals[e];
+    const double freq = static_cast<double>(counts[e]) / samples;
+    const double sigma = std::sqrt(p * (1 - p) / samples);
+    EXPECT_NEAR(freq, p, 5 * sigma + 0.01) << "edge index " << e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Samplers, MarginalSweep, ::testing::Values("core", "wilson"));
+
+}  // namespace
+}  // namespace cliquest::graph

@@ -1,0 +1,268 @@
+// Unit tests for src/schur: Schur complement graphs (Definitions 1-2),
+// shortcut graphs (Definition 3), the Figure 2 worked example, Monte Carlo
+// validation of both definitions, and the Algorithm 4 first-visit sampler.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/laplacian.hpp"
+#include "schur/schur_complement.hpp"
+#include "schur/shortcut.hpp"
+#include "util/statistics.hpp"
+#include "walk/random_walk.hpp"
+#include "walk/transition.hpp"
+
+namespace cliquest::schur {
+namespace {
+
+/// Star graph with center C = 0 and leaves A=1, B=2, D=3 (Figure 2 layout).
+graph::Graph figure2_star() { return graph::star(4); }
+
+TEST(SchurTest, Figure2SchurIsUniformTriangle) {
+  const graph::Graph g = figure2_star();
+  const std::vector<int> s{1, 2, 3};  // A, B, D
+  const linalg::Matrix t = schur_transition(g, s);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j)
+      EXPECT_NEAR(t(i, j), i == j ? 0.0 : 0.5, 1e-9) << i << "," << j;
+}
+
+TEST(SchurTest, Figure2SchurGraphWeights) {
+  const graph::Graph g = figure2_star();
+  const graph::Graph h = schur_complement(g, {1, 2, 3});
+  EXPECT_EQ(h.vertex_count(), 3);
+  EXPECT_EQ(h.edge_count(), 3);
+  // Eliminating the center spreads its unit edges: w = 1 * 1 / 3.
+  EXPECT_NEAR(h.edge_weight(0, 1), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(h.edge_weight(1, 2), 1.0 / 3.0, 1e-9);
+}
+
+TEST(ShortcutTest, Figure2EveryVertexTransitionsToC) {
+  const graph::Graph g = figure2_star();
+  const std::vector<int> s{1, 2, 3};
+  const linalg::Matrix q = shortcut_transition(g, s);
+  // From any leaf the walk steps to C, whose next step is always in S.
+  for (int leaf : {1, 2, 3}) {
+    EXPECT_NEAR(q(leaf, 0), 1.0, 1e-9);
+    EXPECT_NEAR(q(leaf, leaf), 0.0, 1e-9);
+  }
+  // From C itself the first step lands in S, so the predecessor is C.
+  EXPECT_NEAR(q(0, 0), 1.0, 1e-9);
+}
+
+TEST(SchurTest, PathCollapsesToSingleEdge) {
+  // A - c - B with S = {A, B}: eliminating c gives one edge of weight 1/2.
+  const graph::Graph g = graph::path(3);
+  const graph::Graph h = schur_complement(g, {0, 2});
+  EXPECT_EQ(h.edge_count(), 1);
+  EXPECT_NEAR(h.edge_weight(0, 1), 0.5, 1e-9);
+  const linalg::Matrix t = schur_transition(g, {0, 2});
+  EXPECT_NEAR(t(0, 1), 1.0, 1e-9);
+}
+
+TEST(SchurTest, SchurOfFullSetIsOriginal) {
+  util::Rng rng(1);
+  const graph::Graph g = graph::gnp_connected(10, 0.4, rng);
+  std::vector<int> all;
+  for (int v = 0; v < 10; ++v) all.push_back(v);
+  const graph::Graph h = schur_complement(g, all);
+  EXPECT_EQ(h.edge_count(), g.edge_count());
+  for (const graph::Edge& e : g.edges())
+    EXPECT_NEAR(h.edge_weight(e.u, e.v), e.weight, 1e-9);
+}
+
+TEST(SchurTest, ResultIsLaplacianGraph) {
+  util::Rng rng(2);
+  const graph::Graph g = graph::gnp_connected(14, 0.3, rng);
+  const std::vector<int> s{0, 3, 5, 9, 13};
+  const graph::Graph h = schur_complement(g, s);
+  // Reconstructible through its own Laplacian without throwing.
+  EXPECT_NO_THROW(graph::graph_from_laplacian(graph::laplacian(h)));
+  EXPECT_EQ(h.vertex_count(), 5);
+}
+
+TEST(SchurTest, TransitivityOfElimination) {
+  // Schur(Schur(G, S1), S2-relabelled) == Schur(G, S2) for S2 within S1.
+  util::Rng rng(3);
+  const graph::Graph g = graph::gnp_connected(12, 0.4, rng);
+  const std::vector<int> s1{0, 2, 4, 6, 8, 10};
+  const std::vector<int> s2{0, 4, 8};
+  const graph::Graph h1 = schur_complement(g, s1);
+  // Positions of s2 inside s1: indices 0, 2, 4.
+  const graph::Graph h12 = schur_complement(h1, {0, 2, 4});
+  const graph::Graph h2 = schur_complement(g, s2);
+  for (int i = 0; i < 3; ++i)
+    for (int j = i + 1; j < 3; ++j)
+      EXPECT_NEAR(h12.edge_weight(i, j), h2.edge_weight(i, j), 1e-8);
+}
+
+TEST(SchurTest, Definition2MonteCarlo) {
+  // S[u, v] = Pr[v is the first vertex of S \ {u} visited by a G-walk from u].
+  util::Rng rng(4);
+  const graph::Graph g = graph::gnp_connected(9, 0.35, rng);
+  const std::vector<int> s{1, 4, 7};
+  const linalg::Matrix t = schur_transition(g, s);
+
+  const int trials = 40000;
+  for (std::size_t si = 0; si < s.size(); ++si) {
+    std::vector<std::int64_t> counts(s.size(), 0);
+    for (int trial = 0; trial < trials / 10; ++trial) {
+      int at = s[si];
+      while (true) {
+        at = walk::simulate_walk(g, at, 1, rng)[1];
+        auto it = std::find(s.begin(), s.end(), at);
+        if (it != s.end() && at != s[si]) {
+          ++counts[static_cast<std::size_t>(it - s.begin())];
+          break;
+        }
+      }
+    }
+    std::vector<double> expected(s.size());
+    for (std::size_t j = 0; j < s.size(); ++j)
+      expected[j] = t(static_cast<int>(si), static_cast<int>(j));
+    EXPECT_LT(util::total_variation_counts(counts, expected), 0.03);
+  }
+}
+
+TEST(ShortcutTest, Definition3MonteCarlo) {
+  // Q[u, v] = Pr[the vertex before the walk's first S-visit (t > 0) is v].
+  util::Rng rng(5);
+  const graph::Graph g = graph::gnp_connected(8, 0.4, rng);
+  const std::vector<int> s{0, 5};
+  const linalg::Matrix q = shortcut_transition(g, s);
+
+  for (int u = 0; u < 8; ++u) {
+    std::vector<std::int64_t> counts(8, 0);
+    const int trials = 4000;
+    for (int trial = 0; trial < trials; ++trial) {
+      int prev = u;
+      int at = u;
+      while (true) {
+        const int next = walk::simulate_walk(g, at, 1, rng)[1];
+        prev = at;
+        at = next;
+        if (at == 0 || at == 5) break;
+      }
+      ++counts[static_cast<std::size_t>(prev)];
+    }
+    std::vector<double> expected(8);
+    for (int v = 0; v < 8; ++v) expected[static_cast<std::size_t>(v)] = q(u, v);
+    EXPECT_LT(util::total_variation_counts(counts, expected), 0.04) << "row " << u;
+  }
+}
+
+TEST(ShortcutTest, IterativeMatchesExact) {
+  util::Rng rng(6);
+  for (int trial = 0; trial < 4; ++trial) {
+    const graph::Graph g = graph::gnp_connected(10, 0.35, rng);
+    const std::vector<int> s{0, 2, 7};
+    const linalg::Matrix exact = shortcut_transition(g, s);
+    const linalg::Matrix iterative = shortcut_transition_iterative(g, s);
+    EXPECT_LT(exact.max_abs_diff(iterative), 1e-9);
+  }
+}
+
+TEST(SchurTest, IterativeMatchesExact) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 4; ++trial) {
+    const graph::Graph g = graph::gnp_connected(11, 0.35, rng);
+    const std::vector<int> s{1, 3, 6, 9};
+    const linalg::Matrix exact = schur_transition(g, s);
+    const linalg::Matrix iterative = schur_transition_iterative(g, s);
+    EXPECT_LT(exact.max_abs_diff(iterative), 1e-8);
+  }
+}
+
+TEST(SchurTest, RowsAreStochastic) {
+  util::Rng rng(8);
+  const graph::Graph g = graph::lollipop(5, 5);
+  const std::vector<int> s{0, 1, 6, 8, 9};
+  const linalg::Matrix t = schur_transition(g, s);
+  EXPECT_TRUE(t.is_row_stochastic(1e-8));
+  for (int i = 0; i < t.rows(); ++i) EXPECT_EQ(t(i, i), 0.0);  // no self loops
+}
+
+TEST(ShortcutTest, RowsAreStochastic) {
+  util::Rng rng(9);
+  const graph::Graph g = graph::grid(3, 3);
+  const std::vector<int> s{0, 4, 8};
+  const linalg::Matrix q = shortcut_transition(g, s);
+  EXPECT_TRUE(q.is_row_stochastic(1e-8));
+}
+
+// Algorithm 4 worked example (derivation in the shortcut module docs):
+// graph A-c, c-B, c-d, d-B with S = {A, B}. The first-visit edge of B given
+// a Schur transition A -> B is (c, B) w.p. 2/3 and (d, B) w.p. 1/3.
+TEST(ShortcutTest, FirstVisitEdgeWorkedExample) {
+  graph::Graph g(4);  // A=0, B=1, c=2, d=3
+  g.add_edge(0, 2);
+  g.add_edge(2, 1);
+  g.add_edge(2, 3);
+  g.add_edge(3, 1);
+  const std::vector<int> s{0, 1};
+  const linalg::Matrix q = shortcut_transition(g, s);
+  EXPECT_NEAR(q(0, 2), 0.8, 1e-9);
+  EXPECT_NEAR(q(0, 3), 0.2, 1e-9);
+
+  std::vector<char> in_s{1, 1, 0, 0};
+  util::Rng rng(10);
+  int via_c = 0;
+  const int trials = 30000;
+  for (int i = 0; i < trials; ++i)
+    via_c += (sample_first_visit_neighbor(g, in_s, q, 0, 1, rng) == 2);
+  EXPECT_NEAR(static_cast<double>(via_c) / trials, 2.0 / 3.0, 0.01);
+}
+
+TEST(ShortcutTest, FirstVisitEdgeMatchesDirectSimulation) {
+  // Compare the Bayes sampler against brute-force simulation of G-walks.
+  util::Rng rng(11);
+  const graph::Graph g = graph::gnp_connected(8, 0.4, rng);
+  const std::vector<int> s{0, 3, 6};
+  const linalg::Matrix q = shortcut_transition(g, s);
+  std::vector<char> in_s(8, 0);
+  for (int v : s) in_s[static_cast<std::size_t>(v)] = 1;
+
+  const int start = 0;
+  const int target = 3;
+  const int trials = 30000;
+  // Direct: walk from `start` until first visiting an S vertex other than
+  // start; condition on that vertex being `target` and record the entry edge.
+  std::vector<std::int64_t> direct(8, 0);
+  int accepted = 0;
+  while (accepted < trials / 3) {
+    int prev = start;
+    int at = start;
+    while (true) {
+      const int next = walk::simulate_walk(g, at, 1, rng)[1];
+      prev = at;
+      at = next;
+      if (in_s[static_cast<std::size_t>(at)] && at != start) break;
+    }
+    if (at != target) continue;
+    ++direct[static_cast<std::size_t>(prev)];
+    ++accepted;
+  }
+  std::vector<std::int64_t> sampled(8, 0);
+  for (int i = 0; i < trials / 3; ++i)
+    ++sampled[static_cast<std::size_t>(
+        sample_first_visit_neighbor(g, in_s, q, start, target, rng))];
+  std::vector<double> d(8), sdist(8);
+  for (int v = 0; v < 8; ++v) {
+    d[static_cast<std::size_t>(v)] = static_cast<double>(direct[static_cast<std::size_t>(v)]);
+    sdist[static_cast<std::size_t>(v)] = static_cast<double>(sampled[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_LT(util::total_variation(d, sdist), 0.035);
+}
+
+TEST(SchurTest, ValidatesInput) {
+  const graph::Graph g = graph::complete(4);
+  EXPECT_THROW(schur_complement(g, {}), std::invalid_argument);
+  EXPECT_THROW(schur_complement(g, {0, 0}), std::invalid_argument);
+  EXPECT_THROW(schur_complement(g, {9}), std::out_of_range);
+  EXPECT_THROW(shortcut_transition(g, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cliquest::schur

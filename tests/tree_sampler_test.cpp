@@ -1,0 +1,279 @@
+// Integration tests for the full Congested Clique spanning tree sampler
+// (Theorem 1 + Appendix exact mode): validity across graph families,
+// uniformity of the output law, phase structure, and round accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/tree_sampler.hpp"
+#include "graph/generators.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/spanning.hpp"
+#include "util/statistics.hpp"
+#include "walk/wilson.hpp"
+
+namespace cliquest::core {
+namespace {
+
+void expect_uniform(const graph::Graph& g, const SamplerOptions& options, int samples,
+                    std::uint64_t seed) {
+  const auto trees = graph::enumerate_spanning_trees(g);
+  std::vector<std::string> support;
+  for (const auto& t : trees) support.push_back(graph::tree_key(t));
+
+  const CongestedCliqueTreeSampler sampler(g, options);
+  util::Rng rng(seed);
+  util::FrequencyTable freq;
+  for (int i = 0; i < samples; ++i) {
+    const TreeSample s = sampler.sample(rng);
+    ASSERT_TRUE(graph::is_spanning_tree(g, s.tree));
+    freq.add(graph::tree_key(s.tree));
+  }
+  std::vector<std::int64_t> counts;
+  for (const auto& key : support) counts.push_back(freq.count(key));
+  const std::vector<double> uniform(support.size(), 1.0);
+  EXPECT_LT(util::chi_square(counts, uniform),
+            util::chi_square_critical(static_cast<int>(support.size()) - 1))
+      << "sampler law deviates from uniform";
+}
+
+TEST(TreeSamplerTest, UniformOnK4Approximate) {
+  SamplerOptions options;
+  expect_uniform(graph::complete(4), options, 8000, 1);
+}
+
+TEST(TreeSamplerTest, UniformOnK4ExactMode) {
+  SamplerOptions options;
+  options.mode = SamplingMode::exact;
+  expect_uniform(graph::complete(4), options, 8000, 2);
+}
+
+TEST(TreeSamplerTest, UniformOnThetaApproximate) {
+  SamplerOptions options;
+  options.metropolis_steps_per_site = 120;
+  expect_uniform(graph::theta(1, 2, 0), options, 8000, 3);
+}
+
+TEST(TreeSamplerTest, UniformOnThetaGroupShuffle) {
+  SamplerOptions options;
+  options.matching = MatchingStrategy::group_shuffle;
+  expect_uniform(graph::theta(1, 2, 0), options, 8000, 4);
+}
+
+TEST(TreeSamplerTest, UniformOnCycleExactPermanentStrategy) {
+  SamplerOptions options;
+  options.matching = MatchingStrategy::exact_permanent;
+  expect_uniform(graph::cycle(5), options, 6000, 5);
+}
+
+TEST(TreeSamplerTest, AgreesWithWilsonOnK5MinusEdge) {
+  graph::Graph h(5);
+  const graph::Graph k5 = graph::complete(5);
+  for (const graph::Edge& e : k5.edges())
+    if (!(e.u == 0 && e.v == 1)) h.add_edge(e.u, e.v);
+
+  SamplerOptions options;
+  const CongestedCliqueTreeSampler sampler(h, options);
+  util::Rng rng(6);
+  util::FrequencyTable fs, fw;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    fs.add(graph::tree_key(sampler.sample(rng).tree));
+    fw.add(graph::tree_key(walk::wilson(h, 0, rng)));
+  }
+  const auto trees = graph::enumerate_spanning_trees(h);
+  std::vector<double> ps, pw;
+  for (const auto& t : trees) {
+    ps.push_back(static_cast<double>(fs.count(graph::tree_key(t))) + 1e-9);
+    pw.push_back(static_cast<double>(fw.count(graph::tree_key(t))) + 1e-9);
+  }
+  EXPECT_LT(util::total_variation(ps, pw), 0.06);
+}
+
+TEST(TreeSamplerTest, PhaseStructureMatchesRho) {
+  util::Rng gen(7);
+  const graph::Graph g = graph::gnp_connected(81, 0.15, gen);
+  SamplerOptions options;
+  const CongestedCliqueTreeSampler sampler(g, options);
+  EXPECT_EQ(sampler.rho(), 9);  // floor(sqrt(81))
+  util::Rng rng(8);
+  const TreeSample s = sampler.sample(rng);
+  EXPECT_TRUE(graph::is_spanning_tree(g, s.tree));
+  // At most 2 sqrt(n) phases (Lemma 6's bound), each non-final phase adding
+  // rho - 1 new vertices.
+  EXPECT_LE(static_cast<int>(s.report.phases.size()),
+            2 * static_cast<int>(std::sqrt(81.0)) + 1);
+  for (std::size_t i = 0; i + 1 < s.report.phases.size(); ++i)
+    EXPECT_EQ(s.report.phases[i].new_vertices, sampler.rho() - 1);
+  // Every vertex except the start receives exactly one first-visit edge.
+  int total_new = 0;
+  for (const auto& phase : s.report.phases) total_new += phase.new_vertices;
+  EXPECT_EQ(total_new, 80);
+}
+
+TEST(TreeSamplerTest, ExactModeUsesCubeRootRho) {
+  util::Rng gen(9);
+  const graph::Graph g = graph::gnp_connected(64, 0.2, gen);
+  SamplerOptions options;
+  options.mode = SamplingMode::exact;
+  const CongestedCliqueTreeSampler sampler(g, options);
+  EXPECT_EQ(sampler.rho(), 4);  // ceil(64^{1/3})
+  util::Rng rng(10);
+  EXPECT_TRUE(graph::is_spanning_tree(g, sampler.sample(rng).tree));
+}
+
+TEST(TreeSamplerTest, RhoOverrideRespected) {
+  util::Rng gen(11);
+  const graph::Graph g = graph::gnp_connected(30, 0.3, gen);
+  SamplerOptions options;
+  options.rho_override = 5;
+  const CongestedCliqueTreeSampler sampler(g, options);
+  EXPECT_EQ(sampler.rho(), 5);
+  util::Rng rng(12);
+  const TreeSample s = sampler.sample(rng);
+  for (std::size_t i = 0; i + 1 < s.report.phases.size(); ++i)
+    EXPECT_EQ(s.report.phases[i].new_vertices, 4);
+}
+
+TEST(TreeSamplerTest, DeterministicGivenSeed) {
+  util::Rng gen(13);
+  const graph::Graph g = graph::gnp_connected(20, 0.3, gen);
+  const CongestedCliqueTreeSampler sampler(g, SamplerOptions{});
+  util::Rng r1(77), r2(77);
+  EXPECT_EQ(graph::tree_key(sampler.sample(r1).tree),
+            graph::tree_key(sampler.sample(r2).tree));
+}
+
+TEST(TreeSamplerTest, StartVertexRespected) {
+  const graph::Graph g = graph::path(8);
+  SamplerOptions options;
+  options.start_vertex = 4;
+  const CongestedCliqueTreeSampler sampler(g, options);
+  util::Rng rng(14);
+  // A path has exactly one spanning tree; the run must still terminate
+  // correctly from an interior start.
+  EXPECT_TRUE(graph::is_spanning_tree(g, sampler.sample(rng).tree));
+}
+
+TEST(TreeSamplerTest, PaperCubicLengthMode) {
+  SamplerOptions options;
+  options.paper_cubic_length = true;
+  const graph::Graph g = graph::complete(5);
+  const CongestedCliqueTreeSampler sampler(g, options);
+  util::Rng rng(15);
+  const TreeSample s = sampler.sample(rng);
+  EXPECT_TRUE(graph::is_spanning_tree(g, s.tree));
+  // Cubic targets mean more levels per phase than the practical default.
+  SamplerOptions practical;
+  const CongestedCliqueTreeSampler fast(g, practical);
+  util::Rng rng2(15);
+  const TreeSample f = fast.sample(rng2);
+  EXPECT_GT(s.report.phases[0].levels, f.report.phases[0].levels);
+}
+
+TEST(TreeSamplerTest, RoundReportAnatomy) {
+  util::Rng gen(16);
+  const graph::Graph g = graph::gnp_connected(36, 0.25, gen);
+  const CongestedCliqueTreeSampler sampler(g, SamplerOptions{});
+  util::Rng rng(17);
+  const TreeSample s = sampler.sample(rng);
+  EXPECT_GT(s.report.total_rounds(), 0);
+  EXPECT_FALSE(s.report.phases.empty());
+  EXPECT_GT(s.report.meter.category("phase/matmul_powers").rounds, 0);
+  EXPECT_GT(s.report.meter.category("phase/matmul_schur_shortcut").rounds, 0);
+  const std::string summary = s.report.summary();
+  EXPECT_NE(summary.find("TOTAL"), std::string::npos);
+  // Per-phase rounds sum to the total.
+  std::int64_t phase_sum = 0;
+  for (const auto& phase : s.report.phases) phase_sum += phase.rounds;
+  EXPECT_EQ(phase_sum, s.report.total_rounds());
+}
+
+TEST(TreeSamplerTest, WordsPerEntryScalesMatmulCharges) {
+  util::Rng gen(18);
+  const graph::Graph g = graph::gnp_connected(25, 0.3, gen);
+  SamplerOptions narrow;
+  SamplerOptions wide;
+  wide.words_per_entry = 4;
+  util::Rng r1(19), r2(19);
+  const TreeSample a = CongestedCliqueTreeSampler(g, narrow).sample(r1);
+  const TreeSample b = CongestedCliqueTreeSampler(g, wide).sample(r2);
+  EXPECT_EQ(b.report.meter.category("phase/matmul_powers").rounds,
+            4 * a.report.meter.category("phase/matmul_powers").rounds);
+}
+
+TEST(TreeSamplerTest, RejectsBadConstruction) {
+  graph::Graph disconnected(4);
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(2, 3);
+  EXPECT_THROW(CongestedCliqueTreeSampler(disconnected, SamplerOptions{}),
+               std::invalid_argument);
+  SamplerOptions bad_start;
+  bad_start.start_vertex = 10;
+  EXPECT_THROW(CongestedCliqueTreeSampler(graph::complete(4), bad_start),
+               std::out_of_range);
+}
+
+TEST(TreeSamplerTest, SingleVertexAndSingleEdge) {
+  const graph::Graph one(1);
+  util::Rng rng(20);
+  EXPECT_TRUE(CongestedCliqueTreeSampler(one, SamplerOptions{}).sample(rng).tree.empty());
+  graph::Graph two(2);
+  two.add_edge(0, 1);
+  const TreeSample s = CongestedCliqueTreeSampler(two, SamplerOptions{}).sample(rng);
+  ASSERT_EQ(s.tree.size(), 1u);
+  EXPECT_EQ(s.tree[0], (std::pair<int, int>{0, 1}));
+}
+
+// Validity sweep: every family, both modes.
+struct FamilyCase {
+  const char* name;
+  graph::Graph (*make)(util::Rng&);
+  SamplingMode mode;
+};
+
+graph::Graph family_gnp(util::Rng& rng) { return graph::gnp_connected(40, 0.2, rng); }
+graph::Graph family_path(util::Rng&) { return graph::path(24); }
+graph::Graph family_cycle(util::Rng&) { return graph::cycle(24); }
+graph::Graph family_star(util::Rng&) { return graph::star(24); }
+graph::Graph family_grid(util::Rng&) { return graph::grid(5, 5); }
+graph::Graph family_lollipop(util::Rng&) { return graph::lollipop(8, 8); }
+graph::Graph family_barbell(util::Rng&) { return graph::barbell(8); }
+graph::Graph family_bipartite(util::Rng&) { return graph::unbalanced_bipartite(36); }
+graph::Graph family_regular(util::Rng& rng) { return graph::random_regular(24, 4, rng); }
+
+class TreeSamplerFamilySweep : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(TreeSamplerFamilySweep, ProducesValidTrees) {
+  util::Rng gen(21);
+  const graph::Graph g = GetParam().make(gen);
+  SamplerOptions options;
+  options.mode = GetParam().mode;
+  const CongestedCliqueTreeSampler sampler(g, options);
+  util::Rng rng(22);
+  for (int i = 0; i < 3; ++i) {
+    const TreeSample s = sampler.sample(rng);
+    EXPECT_TRUE(graph::is_spanning_tree(g, s.tree));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, TreeSamplerFamilySweep,
+    ::testing::Values(
+        FamilyCase{"gnp_approx", family_gnp, SamplingMode::approximate},
+        FamilyCase{"gnp_exact", family_gnp, SamplingMode::exact},
+        FamilyCase{"path_approx", family_path, SamplingMode::approximate},
+        FamilyCase{"cycle_approx", family_cycle, SamplingMode::approximate},
+        FamilyCase{"star_approx", family_star, SamplingMode::approximate},
+        FamilyCase{"star_exact", family_star, SamplingMode::exact},
+        FamilyCase{"grid_approx", family_grid, SamplingMode::approximate},
+        FamilyCase{"lollipop_approx", family_lollipop, SamplingMode::approximate},
+        FamilyCase{"barbell_exact", family_barbell, SamplingMode::exact},
+        FamilyCase{"bipartite_approx", family_bipartite, SamplingMode::approximate},
+        FamilyCase{"regular_approx", family_regular, SamplingMode::approximate}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace cliquest::core

@@ -1,0 +1,300 @@
+// Literal implementation of the paper's Algorithm 3 (CheckTruncationPoint)
+// plus the distributed binary search, tested for equivalence against the
+// single-scan truncation rule the phase engine uses. This backs the claim in
+// core/phase.hpp that the engine computes exactly the binary search's answer.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cclique/cost_model.hpp"
+#include "cclique/meter.hpp"
+#include "core/level_state.hpp"
+#include "core/truncation.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::core {
+namespace {
+
+/// A synthetic level instance: the partial walk W_i (entries), the midpoint
+/// sequences Pi_{p,q}, and the committed distinct set of earlier segments.
+struct LevelInstance {
+  std::vector<int> entries;                          // W_i, dense at stride gap
+  std::map<std::pair<int, int>, std::vector<int>> pi;  // Pi_{p,q}
+  std::set<int> committed;
+  int rho = 2;
+
+  int pairs() const { return static_cast<int>(entries.size()) - 1; }
+  std::pair<int, int> pair_at(int j) const {
+    return {entries[static_cast<std::size_t>(j)],
+            entries[static_cast<std::size_t>(j) + 1]};
+  }
+  /// Occurrence index of pair slot j within its own pair.
+  int occurrence_at(int j) const {
+    int occ = 0;
+    for (int i = 0; i < j; ++i) occ += (pair_at(i) == pair_at(j));
+    return occ;
+  }
+  /// W+[t]: even t from W_i, odd t from the midpoint sequences.
+  int wplus(std::int64_t t) const {
+    if (t % 2 == 0) return entries[static_cast<std::size_t>(t / 2)];
+    const int j = static_cast<int>((t - 1) / 2);
+    return pi.at(pair_at(j))[static_cast<std::size_t>(occurrence_at(j))];
+  }
+  std::int64_t top() const { return 2 * static_cast<std::int64_t>(pairs()); }
+};
+
+/// Algorithm 3, verbatim: c_{p,q}(l'), Count(p,q,j,l'), Count(j,l'), Dist,
+/// CountLast, and the two-clause predicate.
+bool check_truncation_point(const LevelInstance& inst, std::int64_t l_prime) {
+  // Step 1: c_{p,q}(l') — pairs whose midpoint position is within the prefix.
+  std::map<std::pair<int, int>, int> c;
+  for (int j = 0; j < inst.pairs(); ++j)
+    if (2 * j + 1 <= l_prime) ++c[inst.pair_at(j)];
+
+  // Steps 2-3: Count(j, l') aggregated over pairs.
+  std::map<int, int> count;
+  for (const auto& [pq, limit] : c) {
+    const auto& seq = inst.pi.at(pq);
+    for (int i = 0; i < limit; ++i) ++count[seq[static_cast<std::size_t>(i)]];
+  }
+
+  // Step 4: Dist = distinct vertices in W_i[0..l'] or with Count > 0 (plus
+  // the committed distinct vertices of earlier Las Vegas segments).
+  std::set<int> distinct = inst.committed;
+  for (std::int64_t t = 0; t <= l_prime; t += 2)
+    distinct.insert(inst.entries[static_cast<std::size_t>(t / 2)]);
+  for (const auto& [v, k] : count)
+    if (k > 0) distinct.insert(v);
+  const int dist = static_cast<int>(distinct.size());
+
+  // Step 5.
+  if (dist > inst.rho) return false;
+
+  // Step 6: CountLast = occurrences of W+[l'] in W_i[0..l'] plus Count. With
+  // Las Vegas segments the committed prefix of the phase walk counts too
+  // (a vertex already visited in an earlier segment is not a first visit).
+  const int last = inst.wplus(l_prime);
+  int count_last = inst.committed.count(last) ? 1 : 0;
+  for (std::int64_t t = 0; t <= l_prime; t += 2)
+    count_last += (inst.entries[static_cast<std::size_t>(t / 2)] == last);
+  auto it = count.find(last);
+  if (it != count.end()) count_last += it->second;
+
+  // Step 7.
+  return (dist < inst.rho) || (count_last == 1);
+}
+
+/// The leader's distributed binary search over nonempty W+ indices: the
+/// largest l' whose predicate is true.
+std::int64_t binary_search_truncation(const LevelInstance& inst) {
+  std::int64_t lo = 0, hi = inst.top();
+  // Index 0 is always true: the prefix holds only W[0] plus committed.
+  while (lo < hi) {
+    const std::int64_t mid = (lo + hi + 1) / 2;
+    if (check_truncation_point(inst, mid))
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return lo;
+}
+
+/// The engine's rule: the first W+ index where the phase (committed + prefix)
+/// reaches rho distinct vertices; top() when it never does.
+std::int64_t direct_scan_truncation(const LevelInstance& inst) {
+  std::set<int> seen = inst.committed;
+  for (std::int64_t t = 0; t <= inst.top(); ++t) {
+    if (seen.insert(inst.wplus(t)).second &&
+        static_cast<int>(seen.size()) >= inst.rho)
+      return t;
+  }
+  return inst.top();
+}
+
+LevelInstance random_instance(util::Rng& rng, int entry_count, int vocab, int rho,
+                              int committed_count) {
+  LevelInstance inst;
+  inst.rho = rho;
+  inst.entries.resize(static_cast<std::size_t>(entry_count));
+  for (int& e : inst.entries) e = rng.uniform_int(0, vocab - 1);
+  for (int j = 0; j + 1 < entry_count; ++j) {
+    const auto pq = std::make_pair(inst.entries[static_cast<std::size_t>(j)],
+                                   inst.entries[static_cast<std::size_t>(j) + 1]);
+    inst.pi[pq].push_back(rng.uniform_int(0, vocab - 1));
+  }
+  // Engine invariant: a segment only starts while the phase is below its
+  // distinct budget, so |committed| <= rho - 1 (and the segment's first
+  // vertex is always part of the committed walk).
+  inst.committed.insert(inst.entries.front());
+  for (int i = 0; i < committed_count && static_cast<int>(inst.committed.size()) < rho - 1;
+       ++i)
+    inst.committed.insert(rng.uniform_int(0, vocab - 1));
+  return inst;
+}
+
+TEST(TruncationTest, PredicateIsMonotone) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 60; ++trial) {
+    const LevelInstance inst = random_instance(rng, 9, 8, 4, 0);
+    bool seen_false = false;
+    for (std::int64_t t = 0; t <= inst.top(); ++t) {
+      const bool ok = check_truncation_point(inst, t);
+      if (!ok) seen_false = true;
+      if (seen_false) {
+        EXPECT_FALSE(ok) << "predicate not monotone at " << t;
+      }
+    }
+  }
+}
+
+TEST(TruncationTest, IndexZeroAlwaysTrue) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 40; ++trial) {
+    const LevelInstance inst = random_instance(rng, 5, 6, 2, 1);
+    EXPECT_TRUE(check_truncation_point(inst, 0));
+  }
+}
+
+TEST(TruncationTest, BinarySearchEqualsDirectScan) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 400; ++trial) {
+    const int entries = rng.uniform_int(2, 12);
+    const int vocab = rng.uniform_int(3, 10);
+    const int rho = rng.uniform_int(2, 6);
+    const LevelInstance inst = random_instance(rng, entries, vocab, rho, 0);
+    EXPECT_EQ(binary_search_truncation(inst), direct_scan_truncation(inst))
+        << "trial " << trial;
+  }
+}
+
+TEST(TruncationTest, BinarySearchEqualsDirectScanWithCommitted) {
+  // Las Vegas segments: earlier distinct vertices count toward the budget.
+  util::Rng rng(4);
+  for (int trial = 0; trial < 400; ++trial) {
+    const int entries = rng.uniform_int(2, 10);
+    const int vocab = rng.uniform_int(4, 12);
+    const int rho = rng.uniform_int(2, 7);
+    const int committed = rng.uniform_int(0, 3);
+    const LevelInstance inst = random_instance(rng, entries, vocab, rho, committed);
+    EXPECT_EQ(binary_search_truncation(inst), direct_scan_truncation(inst))
+        << "trial " << trial;
+  }
+}
+
+TEST(TruncationTest, NoTruncationWhenBudgetLarge) {
+  util::Rng rng(5);
+  LevelInstance inst = random_instance(rng, 6, 4, 50, 0);
+  EXPECT_EQ(direct_scan_truncation(inst), inst.top());
+  EXPECT_EQ(binary_search_truncation(inst), inst.top());
+}
+
+/// Converts the test model into the library's distributed level state.
+std::pair<Segment, LevelMidpoints> to_library_state(const LevelInstance& inst) {
+  Segment segment;
+  segment.entries = inst.entries;
+  segment.gap = 2;
+  LevelMidpoints level;
+  std::map<std::pair<int, int>, int> machine_of_pair;
+  for (int j = 0; j < inst.pairs(); ++j) {
+    const auto pq = inst.pair_at(j);
+    auto [it, inserted] =
+        machine_of_pair.emplace(pq, static_cast<int>(level.machines.size()));
+    if (inserted)
+      level.machines.push_back(
+          LevelMidpoints::PairMachine{pq.first, pq.second, inst.pi.at(pq)});
+    level.pair_of_slot.push_back(it->second);
+    level.occurrence_of_slot.push_back(inst.occurrence_at(j));
+  }
+  return {std::move(segment), std::move(level)};
+}
+
+TEST(TruncationTest, LibrarySearchMatchesModel) {
+  // The production distributed_truncation_search must return the same index
+  // as both the literal test-model binary search and the direct scan.
+  util::Rng rng(6);
+  cclique::CostModel model;
+  model.n = 16;
+  for (int trial = 0; trial < 300; ++trial) {
+    const int entries = rng.uniform_int(2, 12);
+    const int rho = rng.uniform_int(2, 6);
+    const LevelInstance inst = random_instance(rng, entries, 10, rho,
+                                               rng.uniform_int(0, 2));
+    const auto [segment, level] = to_library_state(inst);
+    const std::unordered_set<int> committed(inst.committed.begin(),
+                                            inst.committed.end());
+    cclique::Meter meter;
+    const TruncationResult r = distributed_truncation_search(
+        segment, level, committed, rho, 10, model, meter);
+    EXPECT_EQ(r.index, direct_scan_truncation(inst)) << "trial " << trial;
+    EXPECT_EQ(r.index, binary_search_truncation(inst)) << "trial " << trial;
+    EXPECT_GT(meter.category("phase/truncation_search").rounds, 0);
+  }
+}
+
+TEST(TruncationTest, LibraryPredicateMatchesModel) {
+  util::Rng rng(7);
+  cclique::CostModel model;
+  model.n = 16;
+  for (int trial = 0; trial < 150; ++trial) {
+    const LevelInstance inst = random_instance(rng, rng.uniform_int(2, 9), 8,
+                                               rng.uniform_int(2, 5), 1);
+    const auto [segment, level] = to_library_state(inst);
+    const std::unordered_set<int> committed(inst.committed.begin(),
+                                            inst.committed.end());
+    cclique::Meter meter;
+    for (std::int64_t t = 0; t <= inst.top(); ++t)
+      EXPECT_EQ(core::check_truncation_point(segment, level, committed, inst.rho, t,
+                                             8, model, meter),
+                check_truncation_point(inst, t))
+          << "trial " << trial << " index " << t;
+  }
+}
+
+TEST(TruncationTest, LibraryReportsBudgetReached) {
+  // Budget reached: the found index holds exactly rho distinct vertices.
+  LevelInstance inst;
+  inst.entries = {0, 1, 0};
+  inst.pi[{0, 1}] = {2};
+  inst.pi[{1, 0}] = {3};
+  inst.rho = 3;
+  inst.committed = {0};
+  const auto [segment, level] = to_library_state(inst);
+  cclique::CostModel model;
+  model.n = 8;
+  cclique::Meter meter;
+  const std::unordered_set<int> committed{0};
+  const TruncationResult hit = distributed_truncation_search(
+      segment, level, committed, 3, 8, model, meter);
+  EXPECT_TRUE(hit.budget_reached);
+  EXPECT_EQ(hit.index, 2);
+  // Budget not reached: a huge rho keeps the whole level.
+  const TruncationResult miss = distributed_truncation_search(
+      segment, level, committed, 40, 8, model, meter);
+  EXPECT_FALSE(miss.budget_reached);
+  EXPECT_EQ(miss.index, 4);
+  EXPECT_GT(hit.probes, 0);
+}
+
+TEST(TruncationTest, CutAtKnownPosition) {
+  // Hand-built instance: W_i = (0, 1, 0), Pi_{0,1} = (2), Pi_{1,0} = (3),
+  // rho = 3. W+ = 0, 2, 1, 3, 0 — the third distinct vertex is W+[1] = 2
+  // only when rho counts {0, 2, 1}: first index with 3 distinct is t = 2.
+  LevelInstance inst;
+  inst.entries = {0, 1, 0};
+  inst.pi[{0, 1}] = {2};
+  inst.pi[{1, 0}] = {3};
+  inst.rho = 3;
+  inst.committed = {0};
+  EXPECT_EQ(direct_scan_truncation(inst), 2);
+  EXPECT_EQ(binary_search_truncation(inst), 2);
+  // With rho = 4 the cut moves to the second midpoint.
+  inst.rho = 4;
+  EXPECT_EQ(direct_scan_truncation(inst), 3);
+  EXPECT_EQ(binary_search_truncation(inst), 3);
+}
+
+}  // namespace
+}  // namespace cliquest::core

@@ -1,0 +1,276 @@
+// Unit tests for src/util: RNG, discrete sampling, hash family, statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/discrete.hpp"
+#include "util/hash_family.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+namespace cliquest::util {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(RngTest, UniformIntRejectsBadRange) {
+  Rng rng(9);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(RngTest, UniformBelowIsUnbiased) {
+  Rng rng(5);
+  std::vector<std::int64_t> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_below(5)];
+  const std::vector<double> expected(5, 0.2);
+  EXPECT_LT(chi_square(counts, expected), chi_square_critical(4));
+}
+
+TEST(RngTest, SplitStreamsAreIndependentish) {
+  Rng parent(13);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (child1.next_u64() == child2.next_u64());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(DiscreteTest, SampleMatchesWeights) {
+  Rng rng(1);
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  std::vector<std::int64_t> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i)
+    ++counts[static_cast<std::size_t>(sample_unnormalized(w, rng))];
+  EXPECT_LT(chi_square(counts, w), chi_square_critical(3));
+}
+
+TEST(DiscreteTest, ZeroWeightNeverSampled) {
+  Rng rng(2);
+  const std::vector<double> w{0.0, 1.0, 0.0, 2.0};
+  for (int i = 0; i < 2000; ++i) {
+    const int s = sample_unnormalized(w, rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(DiscreteTest, RejectsInvalidWeights) {
+  Rng rng(2);
+  const std::vector<double> negative{1.0, -0.5};
+  EXPECT_THROW(sample_unnormalized(negative, rng), std::invalid_argument);
+  const std::vector<double> zero{0.0, 0.0};
+  EXPECT_THROW(sample_unnormalized(zero, rng), std::invalid_argument);
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  Rng rng(4);
+  const std::vector<double> w{0.5, 0.0, 4.0, 1.5, 2.0};
+  const AliasTable table(w);
+  std::vector<std::int64_t> counts(5, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(table.sample(rng))];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_LT(chi_square(counts, w), chi_square_critical(3));
+}
+
+TEST(AliasTableTest, SingleOutcome) {
+  Rng rng(4);
+  const std::vector<double> w{3.0};
+  const AliasTable table(w);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(table.sample(rng), 0);
+}
+
+TEST(AliasTableTest, AgreesWithLinearSampler) {
+  Rng wrng(6);
+  std::vector<double> w;
+  for (int i = 0; i < 50; ++i) w.push_back(wrng.next_double() + 0.01);
+  const AliasTable table(w);
+  std::vector<double> p1(w.size(), 0.0), p2(w.size(), 0.0);
+  const int n = 100000;
+  Rng r1(100), r2(200);
+  for (int i = 0; i < n; ++i) {
+    p1[static_cast<std::size_t>(table.sample(r1))] += 1.0;
+    p2[static_cast<std::size_t>(sample_unnormalized(w, r2))] += 1.0;
+  }
+  EXPECT_LT(total_variation(p1, p2), 0.02);
+}
+
+TEST(AliasTableTest, RejectsEmptyAndNegative) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(KWiseHashTest, DeterministicGivenSameDraws) {
+  Rng r1(8), r2(8);
+  const KWiseHash h1(16, 100, r1), h2(16, 100, r2);
+  for (std::uint64_t x = 0; x < 500; ++x) EXPECT_EQ(h1(x), h2(x));
+}
+
+TEST(KWiseHashTest, OutputInRange) {
+  Rng rng(8);
+  const KWiseHash h(8, 37, rng);
+  for (std::uint64_t x = 0; x < 5000; ++x) EXPECT_LT(h(x), 37u);
+}
+
+TEST(KWiseHashTest, MarginalsRoughlyUniform) {
+  Rng rng(8);
+  const int range = 16;
+  const KWiseHash h(32, range, rng);
+  std::vector<std::int64_t> counts(range, 0);
+  const int n = 64000;
+  for (int x = 0; x < n; ++x)
+    ++counts[static_cast<std::size_t>(h(static_cast<std::uint64_t>(x)))];
+  const std::vector<double> expected(range, 1.0);
+  EXPECT_LT(chi_square(counts, expected), chi_square_critical(range - 1));
+}
+
+TEST(KWiseHashTest, PairDomainDistinguishesArguments) {
+  Rng rng(8);
+  const KWiseHash h(8, std::uint64_t{1} << 20, rng);
+  int collisions = 0;
+  for (std::uint64_t a = 0; a < 50; ++a)
+    for (std::uint64_t b = a + 1; b < 50; ++b) collisions += (h(a, b) == h(b, a));
+  EXPECT_LT(collisions, 5);
+}
+
+TEST(KWiseHashTest, ReportsIndependenceAndBits) {
+  Rng rng(8);
+  const KWiseHash h(24, 10, rng);
+  EXPECT_EQ(h.independence(), 24);
+  EXPECT_EQ(h.random_bits(), 24 * 61);
+}
+
+TEST(KWiseHashTest, RejectsBadParameters) {
+  Rng rng(8);
+  EXPECT_THROW(KWiseHash(0, 10, rng), std::invalid_argument);
+  EXPECT_THROW(KWiseHash(4, 0, rng), std::invalid_argument);
+}
+
+TEST(StatisticsTest, TotalVariationBasics) {
+  const std::vector<double> p{0.5, 0.5}, q{1.0, 0.0};
+  EXPECT_NEAR(total_variation(p, q), 0.5, 1e-12);
+  EXPECT_NEAR(total_variation(p, p), 0.0, 1e-12);
+}
+
+TEST(StatisticsTest, TotalVariationNormalizesInputs) {
+  const std::vector<double> p{1.0, 1.0}, q{10.0, 10.0};
+  EXPECT_NEAR(total_variation(p, q), 0.0, 1e-12);
+}
+
+TEST(StatisticsTest, ChiSquareZeroCellInfinity) {
+  const std::vector<std::int64_t> counts{5, 1};
+  const std::vector<double> expected{1.0, 0.0};
+  EXPECT_TRUE(std::isinf(chi_square(counts, expected)));
+}
+
+TEST(StatisticsTest, ChiSquareCriticalGrowsWithDof) {
+  EXPECT_LT(chi_square_critical(1), chi_square_critical(10));
+  EXPECT_LT(chi_square_critical(10), chi_square_critical(100));
+}
+
+TEST(StatisticsTest, FrequencyTableTvToUniform) {
+  FrequencyTable table;
+  table.add("a");
+  table.add("b");
+  const std::vector<std::string> support{"a", "b"};
+  EXPECT_NEAR(table.tv_to_uniform(support), 0.0, 1e-12);
+  table.add("c");  // off-support mass
+  EXPECT_GT(table.tv_to_uniform(support), 0.15);
+}
+
+TEST(StatisticsTest, FitLineRecoversSlope) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i - 7.0);
+  }
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(StatisticsTest, FitLoglogRecoversExponent) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 16; ++i) {
+    x.push_back(std::pow(2.0, i));
+    y.push_back(5.0 * std::pow(x.back(), 0.657));
+  }
+  const LinearFit fit = fit_loglog(x, y);
+  EXPECT_NEAR(fit.slope, 0.657, 1e-9);
+}
+
+TEST(StatisticsTest, RunningStat) {
+  RunningStat stat;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) stat.add(x);
+  EXPECT_EQ(stat.count(), 4);
+  EXPECT_NEAR(stat.mean(), 2.5, 1e-12);
+  EXPECT_NEAR(stat.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(stat.max(), 4.0);
+  EXPECT_EQ(stat.min(), 1.0);
+}
+
+// Property sweep: the alias table matches its weights across sizes.
+class AliasSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AliasSweep, DistributionMatches) {
+  const int size = GetParam();
+  Rng wrng(static_cast<std::uint64_t>(size));
+  std::vector<double> w;
+  for (int i = 0; i < size; ++i) w.push_back(wrng.next_double() * 3.0 + 0.001);
+  const AliasTable table(w);
+  std::vector<std::int64_t> counts(w.size(), 0);
+  const int n = 20000 + 200 * size;
+  Rng rng(999);
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(table.sample(rng))];
+  EXPECT_LT(chi_square(counts, w), chi_square_critical(size - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AliasSweep, ::testing::Values(2, 3, 7, 16, 33, 100));
+
+}  // namespace
+}  // namespace cliquest::util

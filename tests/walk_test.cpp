@@ -1,0 +1,324 @@
+// Unit tests for src/walk: transition matrices, step walks, the classical
+// samplers (Aldous-Broder, Wilson), and the sequential top-down filling
+// algorithms (Lemmas 1 and 2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/spanning.hpp"
+#include "linalg/matrix_power.hpp"
+#include "util/statistics.hpp"
+#include "walk/aldous_broder.hpp"
+#include "walk/fill.hpp"
+#include "walk/random_walk.hpp"
+#include "walk/transition.hpp"
+#include "walk/wilson.hpp"
+
+namespace cliquest::walk {
+namespace {
+
+std::string walk_key(const std::vector<int>& walk) {
+  std::string key;
+  for (int v : walk) {
+    key += std::to_string(v);
+    key += ',';
+  }
+  return key;
+}
+
+/// Exact probability of a specific walk under transition matrix p.
+double walk_probability(const linalg::Matrix& p, const std::vector<int>& walk) {
+  double prob = 1.0;
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i) prob *= p(walk[i], walk[i + 1]);
+  return prob;
+}
+
+TEST(TransitionTest, RowStochastic) {
+  util::Rng rng(1);
+  const graph::Graph g = graph::gnp_connected(15, 0.3, rng);
+  EXPECT_TRUE(transition_matrix(g).is_row_stochastic());
+}
+
+TEST(TransitionTest, WeightsRespected) {
+  graph::Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 3.0);
+  const linalg::Matrix p = transition_matrix(g);
+  EXPECT_NEAR(p(0, 1), 0.25, 1e-12);
+  EXPECT_NEAR(p(0, 2), 0.75, 1e-12);
+  EXPECT_NEAR(p(1, 0), 1.0, 1e-12);
+}
+
+TEST(TransitionTest, IsolatedVertexThrows) {
+  graph::Graph g(2);
+  EXPECT_THROW(transition_matrix(g), std::invalid_argument);
+}
+
+TEST(TransitionTest, StationaryProportionalToDegree) {
+  const graph::Graph g = graph::star(5);
+  const std::vector<double> pi = stationary_distribution(g);
+  EXPECT_NEAR(pi[0], 0.5, 1e-12);       // center: degree 4 of total 8
+  EXPECT_NEAR(pi[1], 0.125, 1e-12);
+}
+
+TEST(RandomWalkTest, WalkIsValidAndCorrectLength) {
+  util::Rng rng(2);
+  const graph::Graph g = graph::gnp_connected(12, 0.35, rng);
+  const std::vector<int> w = simulate_walk(g, 3, 200, rng);
+  EXPECT_EQ(w.size(), 201u);
+  EXPECT_EQ(w.front(), 3);
+  EXPECT_TRUE(is_walk_in_graph(g, w));
+}
+
+TEST(RandomWalkTest, WeightedStepsFollowWeights) {
+  graph::Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 9.0);
+  util::Rng rng(3);
+  int to2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const std::vector<int> w = simulate_walk(g, 0, 1, rng);
+    to2 += (w[1] == 2);
+  }
+  EXPECT_NEAR(static_cast<double>(to2) / n, 0.9, 0.01);
+}
+
+TEST(RandomWalkTest, CoverTimeOfCompleteGraphIsCouponCollector) {
+  util::Rng rng(4);
+  const graph::Graph g = graph::complete(16);
+  util::RunningStat stat;
+  for (int i = 0; i < 200; ++i)
+    stat.add(static_cast<double>(cover_time_sample(g, 0, rng)));
+  // n H_n ~ 16 * 3.38 ~ 54 for the complete graph (15/16 factor aside).
+  EXPECT_GT(stat.mean(), 30.0);
+  EXPECT_LT(stat.mean(), 90.0);
+}
+
+TEST(RandomWalkTest, StepsToDistinctMonotone) {
+  util::Rng rng(5);
+  const graph::Graph g = graph::path(30);
+  const std::int64_t t1 = steps_to_distinct(g, 0, 5, rng);
+  EXPECT_GE(t1, 4);  // at least target-1 steps
+  EXPECT_EQ(steps_to_distinct(g, 0, 1, rng), 0);
+}
+
+TEST(RandomWalkTest, DistinctInWalkBounds) {
+  util::Rng rng(6);
+  const graph::Graph g = graph::cycle(20);
+  const int d = distinct_in_walk(g, 0, 50, rng);
+  EXPECT_GE(d, 2);
+  EXPECT_LE(d, 20);
+}
+
+TEST(AldousBroderTest, ProducesValidTrees) {
+  util::Rng rng(7);
+  const graph::Graph g = graph::gnp_connected(15, 0.3, rng);
+  for (int i = 0; i < 25; ++i) {
+    const AldousBroderResult r = aldous_broder(g, 0, rng);
+    EXPECT_TRUE(graph::is_spanning_tree(g, r.tree));
+    EXPECT_GE(r.steps, g.vertex_count() - 1);
+  }
+}
+
+TEST(AldousBroderTest, UniformOnK4) {
+  const graph::Graph g = graph::complete(4);
+  const auto trees = graph::enumerate_spanning_trees(g);
+  std::vector<std::string> support;
+  for (const auto& t : trees) support.push_back(graph::tree_key(t));
+  util::Rng rng(8);
+  util::FrequencyTable freq;
+  const int n = 16000;
+  for (int i = 0; i < n; ++i) freq.add(graph::tree_key(aldous_broder(g, 0, rng).tree));
+  std::vector<std::int64_t> counts;
+  for (const auto& key : support) counts.push_back(freq.count(key));
+  const std::vector<double> uniform(support.size(), 1.0);
+  EXPECT_LT(util::chi_square(counts, uniform),
+            util::chi_square_critical(static_cast<int>(support.size()) - 1));
+}
+
+TEST(WilsonTest, ProducesValidTrees) {
+  util::Rng rng(9);
+  const graph::Graph g = graph::lollipop(5, 4);
+  for (int i = 0; i < 25; ++i)
+    EXPECT_TRUE(graph::is_spanning_tree(g, wilson(g, 2, rng)));
+}
+
+TEST(WilsonTest, UniformOnTheta) {
+  const graph::Graph g = graph::theta(1, 2, 0);
+  const auto trees = graph::enumerate_spanning_trees(g);
+  std::vector<std::string> support;
+  for (const auto& t : trees) support.push_back(graph::tree_key(t));
+  util::Rng rng(10);
+  util::FrequencyTable freq;
+  const int n = 22000;
+  for (int i = 0; i < n; ++i) freq.add(graph::tree_key(wilson(g, 0, rng)));
+  std::vector<std::int64_t> counts;
+  for (const auto& key : support) counts.push_back(freq.count(key));
+  const std::vector<double> uniform(support.size(), 1.0);
+  EXPECT_LT(util::chi_square(counts, uniform),
+            util::chi_square_critical(static_cast<int>(support.size()) - 1));
+}
+
+TEST(WilsonTest, RootChoiceDoesNotChangeLaw) {
+  const graph::Graph g = graph::complete(4);
+  util::Rng rng(11);
+  util::FrequencyTable f0, f3;
+  const int n = 12000;
+  for (int i = 0; i < n; ++i) {
+    f0.add(graph::tree_key(wilson(g, 0, rng)));
+    f3.add(graph::tree_key(wilson(g, 3, rng)));
+  }
+  const auto trees = graph::enumerate_spanning_trees(g);
+  std::vector<double> p0, p3;
+  for (const auto& t : trees) {
+    p0.push_back(static_cast<double>(f0.count(graph::tree_key(t))));
+    p3.push_back(static_cast<double>(f3.count(graph::tree_key(t))));
+  }
+  EXPECT_LT(util::total_variation(p0, p3), 0.05);
+}
+
+TEST(WilsonAgreesWithAldousBroder, OnK5MinusEdge) {
+  graph::Graph g = graph::complete(5);
+  // Remove an edge by rebuilding without it (Graph has no removal API).
+  graph::Graph h(5);
+  for (const graph::Edge& e : g.edges())
+    if (!(e.u == 0 && e.v == 1)) h.add_edge(e.u, e.v);
+  util::Rng rng(12);
+  util::FrequencyTable fw, fa;
+  const int n = 15000;
+  for (int i = 0; i < n; ++i) {
+    fw.add(graph::tree_key(wilson(h, 0, rng)));
+    fa.add(graph::tree_key(aldous_broder(h, 0, rng).tree));
+  }
+  const auto trees = graph::enumerate_spanning_trees(h);
+  std::vector<double> pw, pa;
+  for (const auto& t : trees) {
+    pw.push_back(static_cast<double>(fw.count(graph::tree_key(t))));
+    pa.push_back(static_cast<double>(fa.count(graph::tree_key(t))));
+  }
+  EXPECT_LT(util::total_variation(pw, pa), 0.05);
+}
+
+// Lemma 1: the filled walk has exactly the step-walk law. With l = 4 on a
+// small graph the full walk distribution is enumerable via exact walk
+// probabilities; chi-square the sampled walks against them.
+TEST(FillTest, Lemma1ExactWalkLaw) {
+  const graph::Graph g = graph::theta(1, 0, 0);  // triangle: 3 vertices
+  const linalg::Matrix p = transition_matrix(g);
+  const auto powers = linalg::power_table(p, 2);  // l = 4
+
+  util::Rng rng(13);
+  std::map<std::string, std::int64_t> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[walk_key(fill_walk(powers, 0, rng))];
+
+  std::vector<std::int64_t> observed;
+  std::vector<double> expected;
+  for (const auto& [key, count] : counts) {
+    observed.push_back(count);
+    // Reconstruct the walk from its key to compute the exact probability.
+    std::vector<int> w;
+    for (char c : key)
+      if (c != ',') w.push_back(c - '0');
+    expected.push_back(walk_probability(p, w));
+  }
+  double total_expected = 0.0;
+  for (double e : expected) total_expected += e;
+  EXPECT_NEAR(total_expected, 1.0, 0.05);  // all likely walks observed
+  EXPECT_LT(util::chi_square(observed, expected),
+            util::chi_square_critical(static_cast<int>(observed.size()) - 1));
+}
+
+TEST(FillTest, WalkEndpointsAndValidity) {
+  util::Rng rng(14);
+  const graph::Graph g = graph::gnp_connected(10, 0.4, rng);
+  const linalg::Matrix p = transition_matrix(g);
+  const auto powers = linalg::power_table(p, 6);  // l = 64
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<int> w = fill_walk(powers, 2, rng);
+    EXPECT_EQ(w.size(), 65u);
+    EXPECT_EQ(w.front(), 2);
+    EXPECT_TRUE(is_walk_in_graph(g, w));
+  }
+}
+
+// Lemma 2: the truncated filling stops at tau = min(l, first visit to the
+// rho-th distinct vertex). Compare its full walk law against direct
+// simulation with the same stopping rule.
+TEST(FillTest, Lemma2TruncatedWalkLaw) {
+  const graph::Graph g = graph::path(4);
+  const linalg::Matrix p = transition_matrix(g);
+  const int levels = 4;  // l = 16
+  const auto powers = linalg::power_table(p, levels);
+  const int rho = 3;
+
+  util::Rng rng(15);
+  std::map<std::string, std::int64_t> fill_counts, direct_counts;
+  const int n = 25000;
+  for (int i = 0; i < n; ++i)
+    ++fill_counts[walk_key(fill_walk_truncated(powers, 0, rho, rng))];
+  for (int i = 0; i < n; ++i) {
+    // Direct simulation of the same stopping time.
+    std::vector<int> w{0};
+    std::vector<char> seen(4, 0);
+    seen[0] = 1;
+    int distinct = 1;
+    while (distinct < rho && static_cast<int>(w.size()) <= 16) {
+      const std::vector<int> step = simulate_walk(g, w.back(), 1, rng);
+      w.push_back(step[1]);
+      if (!seen[static_cast<std::size_t>(w.back())]) {
+        seen[static_cast<std::size_t>(w.back())] = 1;
+        ++distinct;
+      }
+      if (static_cast<int>(w.size()) == 17) break;  // l cap
+    }
+    ++direct_counts[walk_key(w)];
+  }
+
+  // TV distance between the two empirical laws over the union of keys.
+  std::vector<double> pf, pd;
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> merged;
+  for (const auto& [k, c] : fill_counts) merged[k].first = c;
+  for (const auto& [k, c] : direct_counts) merged[k].second = c;
+  for (const auto& [k, pair] : merged) {
+    pf.push_back(static_cast<double>(pair.first));
+    pd.push_back(static_cast<double>(pair.second));
+  }
+  double tv = 0.0;
+  for (std::size_t i = 0; i < pf.size(); ++i)
+    tv += std::abs(pf[i] / n - pd[i] / n);
+  EXPECT_LT(tv / 2.0, 0.04);
+}
+
+TEST(FillTest, TruncatedStopsAtRhoDistinct) {
+  util::Rng rng(16);
+  const graph::Graph g = graph::cycle(12);
+  const linalg::Matrix p = transition_matrix(g);
+  const auto powers = linalg::power_table(p, 10);  // l = 1024
+  for (int i = 0; i < 30; ++i) {
+    const std::vector<int> w = fill_walk_truncated(powers, 0, 5, rng);
+    std::set<int> distinct(w.begin(), w.end());
+    EXPECT_EQ(distinct.size(), 5u);
+    // The last vertex must be the newest distinct vertex (first occurrence).
+    const int last = w.back();
+    for (std::size_t j = 0; j + 1 < w.size(); ++j) EXPECT_NE(w[j], last);
+    EXPECT_TRUE(is_walk_in_graph(g, w));
+  }
+}
+
+TEST(FillTest, RejectsBadInputs) {
+  util::Rng rng(17);
+  const graph::Graph g = graph::complete(3);
+  const auto powers = linalg::power_table(transition_matrix(g), 2);
+  EXPECT_THROW(fill_walk_truncated(powers, 0, 0, rng), std::invalid_argument);
+  EXPECT_THROW(fill_walk(std::vector<linalg::Matrix>{}, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cliquest::walk
