@@ -6,8 +6,7 @@
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "cclique/meter.hpp"
-#include "doubling/covertime_sampler.hpp"
+#include "engine/engine.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 
@@ -31,16 +30,21 @@ int main() {
     families.push_back({"regular(8)", graph::random_regular(n, 8, gen)});
     families.push_back({"K_{n-s,s}", graph::unbalanced_bipartite(n)});
     for (const Family& family : families) {
-      doubling::CoverTimeSamplerOptions options;
-      cclique::Meter meter;
-      util::Rng rng(5);
-      const doubling::CoverTimeSamplerResult r =
-          doubling::sample_tree_by_doubling(family.g, options, rng, meter);
+      // Corollary 1 backend through the unified engine facade: DrawStats
+      // normalizes rounds / built walk length / doubling attempts.
+      engine::EngineOptions options;
+      options.backend = engine::Backend::doubling;
+      options.seed = 5;
+      auto sampler = engine::make_sampler(family.g, options);
+      const engine::Draw draw = sampler->sample_indexed(0);
       const double log_n = std::log2(static_cast<double>(n));
-      bench::row({family.name, bench::fmt_int(n), bench::fmt_int(r.rounds),
-                  bench::fmt_int(r.built_walk_length), bench::fmt_int(r.attempts),
-                  bench::fmt(static_cast<double>(r.rounds) / (log_n * log_n * log_n), 2),
-                  graph::is_spanning_tree(family.g, r.tree) ? "yes" : "NO"});
+      bench::row({family.name, bench::fmt_int(n), bench::fmt_int(draw.stats.rounds),
+                  bench::fmt_int(draw.stats.walk_steps),
+                  bench::fmt_int(draw.stats.phases),
+                  bench::fmt(static_cast<double>(draw.stats.rounds) /
+                                 (log_n * log_n * log_n),
+                             2),
+                  graph::is_spanning_tree(family.g, draw.tree) ? "yes" : "NO"});
     }
   }
   std::printf(

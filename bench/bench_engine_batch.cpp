@@ -1,0 +1,130 @@
+// Engine batch sampling: prepare()-amortization and thread fan-out.
+//
+// Demonstrates the acceptance property of the unified engine: sample_batch(k)
+// hoists the per-graph precomputation (phase-1 transition/shortcut matrices,
+// target lengths) out of the draw path, so per-draw wall-clock cost drops
+// after the first draw versus the legacy one-shot pattern (a fresh sampler
+// per draw, rebuilding everything each time). Also sweeps worker threads and
+// emits the structured JSON report the engine exports for harnesses.
+
+#include <chrono>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "engine/engine.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+using namespace cliquest;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::header("bench_engine_batch",
+                "engine sample_batch amortizes prepare() precomputation and "
+                "fans draws across threads; per-draw cost drops after draw 1");
+
+  util::Rng gen(1);
+  const int n = 96;
+  const graph::Graph g = graph::gnp_connected(n, 0.25, gen);
+  const int k = bench::scaled(64);
+
+  // --- amortization: legacy one-shot loop vs prepared batch, per backend ---
+  bench::row({"backend", "draws", "oneshot_s/draw", "batch_s/draw", "speedup",
+              "prep_builds"});
+  for (engine::Backend backend : engine::all_backends()) {
+    engine::EngineOptions options;
+    options.backend = backend;
+    options.seed = 7;
+
+    // Legacy pattern: a fresh sampler per draw; every draw pays the
+    // per-graph precomputation again.
+    const auto oneshot_start = std::chrono::steady_clock::now();
+    for (int i = 0; i < k; ++i) {
+      auto sampler = engine::make_sampler(g, options);
+      sampler->sample_indexed(i);
+    }
+    const double oneshot = seconds_since(oneshot_start) / k;
+
+    // Engine pattern: one prepare, k draws.
+    auto sampler = engine::make_sampler(g, options);
+    const auto batch_start = std::chrono::steady_clock::now();
+    const engine::BatchResult batch = sampler->sample_batch(k);
+    const double per_draw = seconds_since(batch_start) / k;
+
+    bool valid = true;
+    for (const graph::TreeEdges& tree : batch.trees)
+      valid = valid && graph::is_spanning_tree(g, tree);
+
+    bench::row({std::string(engine::backend_name(backend)) + (valid ? "" : " INVALID"),
+                bench::fmt_int(k), bench::fmt_sci(oneshot), bench::fmt_sci(per_draw),
+                bench::fmt(oneshot / per_draw, 2),
+                bench::fmt_int(batch.report.prepare_builds)});
+  }
+
+  // --- first-draw vs steady-state cost inside one prepared batch ---
+  std::printf("\n-- congested_clique: prepare cost vs steady-state draw cost --\n");
+  {
+    engine::EngineOptions options;
+    options.seed = 11;
+    auto sampler = engine::make_sampler(g, options);
+    const engine::BatchResult batch = sampler->sample_batch(k);
+    double tail_mean = 0.0;
+    for (std::size_t i = 1; i < batch.report.draws.size(); ++i)
+      tail_mean += batch.report.draws[i].seconds;
+    tail_mean /= static_cast<double>(batch.report.draws.size() - 1);
+    bench::row({"prepare_s", "draw0_s", "mean_draw_s(1..k)"});
+    bench::row({bench::fmt_sci(batch.report.prepare_seconds),
+                bench::fmt_sci(batch.report.draws.front().seconds),
+                bench::fmt_sci(tail_mean)});
+  }
+
+  // --- thread fan-out ---
+  std::printf("\n-- thread sweep (congested_clique, %d draws) --\n", k);
+  bench::row({"threads", "wall_s", "speedup", "deterministic"});
+  double serial_wall = 0.0;
+  std::string serial_first_key;
+  for (int threads : {1, 2, 4, 8}) {
+    engine::EngineOptions options;
+    options.seed = 21;
+    options.threads = threads;
+    auto sampler = engine::make_sampler(g, options);
+    sampler->prepare();
+    const auto start = std::chrono::steady_clock::now();
+    const engine::BatchResult batch = sampler->sample_batch(k);
+    const double wall = seconds_since(start);
+    const std::string first_key = graph::tree_key(batch.trees.front());
+    if (threads == 1) {
+      serial_wall = wall;
+      serial_first_key = first_key;
+    }
+    bench::row({bench::fmt_int(threads), bench::fmt_sci(wall),
+                bench::fmt(serial_wall / wall, 2),
+                first_key == serial_first_key ? "yes" : "NO"});
+  }
+
+  // --- structured export ---
+  std::printf("\n-- JSON report (wilson backend, 8 draws) --\n");
+  {
+    engine::EngineOptions options;
+    options.backend = engine::Backend::wilson;
+    options.seed = 31;
+    auto sampler = engine::make_sampler(g, options);
+    const engine::BatchResult batch = sampler->sample_batch(8);
+    std::printf("%s\n", batch.report.to_json().c_str());
+  }
+
+  std::printf(
+      "\nexpected shape: batch_s/draw < oneshot_s/draw for the congested_clique\n"
+      "backend (the phase-1 power table dominates the draw), prep_builds = 1\n"
+      "per batch, and the thread sweep keeps draws deterministic. Thread\n"
+      "speedup requires physical cores; on a single-CPU host it stays ~1.\n");
+  return 0;
+}

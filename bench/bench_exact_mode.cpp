@@ -5,7 +5,7 @@
 #include <cmath>
 
 #include "bench_common.hpp"
-#include "core/tree_sampler.hpp"
+#include "engine/engine.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "graph/spanning.hpp"
@@ -24,24 +24,28 @@ int main() {
   for (int n : {27, 64, 125, 216}) {
     const graph::Graph g = graph::gnp_connected(n, 0.35, gen);
     for (const bool exact : {false, true}) {
-      core::SamplerOptions options;
-      options.mode =
-          exact ? core::SamplingMode::exact : core::SamplingMode::approximate;
-      options.words_per_entry =
-          std::max(1, static_cast<int>(std::ceil(std::log2(n))));
-      const core::CongestedCliqueTreeSampler sampler(g, options);
-      util::Rng rng(13);
-      const core::TreeSample s = sampler.sample(rng);
+      const engine::EngineOptions options =
+          engine::EngineOptions::builder()
+              .mode(exact ? core::SamplingMode::exact
+                          : core::SamplingMode::approximate)
+              .words_per_entry(
+                  std::max(1, static_cast<int>(std::ceil(std::log2(n)))))
+              .seed(13)
+              .build();
+      auto sampler = engine::make_sampler("congested_clique", g, options);
+      const engine::Draw draw = sampler->sample_indexed(0);
+      const auto& clique =
+          dynamic_cast<const engine::CongestedCliqueBackend&>(*sampler);
       bench::row({bench::fmt_int(n), exact ? "exact" : "approx",
-                  bench::fmt_int(sampler.rho()),
-                  bench::fmt_int(static_cast<long long>(s.report.phases.size())),
-                  bench::fmt_int(s.report.total_rounds()),
-                  graph::is_spanning_tree(g, s.tree) ? "yes" : "NO"});
+                  bench::fmt_int(clique.impl().rho()),
+                  bench::fmt_int(draw.stats.phases),
+                  bench::fmt_int(draw.stats.rounds),
+                  graph::is_spanning_tree(g, draw.tree) ? "yes" : "NO"});
       if (exact) {
         ns.push_back(n);
-        exact_rounds.push_back(static_cast<double>(s.report.total_rounds()));
+        exact_rounds.push_back(static_cast<double>(draw.stats.rounds));
       } else {
-        approx_rounds.push_back(static_cast<double>(s.report.total_rounds()));
+        approx_rounds.push_back(static_cast<double>(draw.stats.rounds));
       }
     }
   }
@@ -59,18 +63,20 @@ int main() {
               fe.slope, fa.slope);
   std::printf("paper targets:    exact 2/3+alpha = 0.824 vs approx 1/2+alpha = 0.657\n");
 
-  // Exactness spot check: TV to uniform on K4.
+  // Exactness spot check: TV to uniform on K4, drawn as one engine batch.
   const graph::Graph k4 = graph::complete(4);
-  core::SamplerOptions exact_options;
-  exact_options.mode = core::SamplingMode::exact;
-  const core::CongestedCliqueTreeSampler sampler(k4, exact_options);
+  const engine::EngineOptions exact_options = engine::EngineOptions::builder()
+                                                  .mode(core::SamplingMode::exact)
+                                                  .seed(14)
+                                                  .build();
+  auto sampler = engine::make_sampler("congested_clique", k4, exact_options);
   const auto trees = graph::enumerate_spanning_trees(k4);
   std::vector<std::string> support;
   for (const auto& t : trees) support.push_back(graph::tree_key(t));
-  util::Rng rng(14);
   util::FrequencyTable freq;
   const int samples = bench::scaled(20000);
-  for (int i = 0; i < samples; ++i) freq.add(graph::tree_key(sampler.sample(rng).tree));
+  const engine::BatchResult batch = sampler->sample_batch(samples);
+  for (const graph::TreeEdges& tree : batch.trees) freq.add(graph::tree_key(tree));
   std::printf("\nexact-mode TV to uniform on K4: %.4f (noise ~%.4f, %d samples)\n",
               freq.tv_to_uniform(support), std::sqrt(16.0 / samples), samples);
   const bool ordered = fe.slope > fa.slope;

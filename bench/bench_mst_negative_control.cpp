@@ -6,11 +6,11 @@
 #include <cmath>
 
 #include "bench_common.hpp"
+#include "engine/engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/mst.hpp"
 #include "graph/spanning.hpp"
 #include "util/statistics.hpp"
-#include "walk/wilson.hpp"
 
 using namespace cliquest;
 
@@ -36,8 +36,9 @@ int main() {
     return static_cast<double>(stars) / n;
   };
 
+  auto wilson = engine::make_sampler("wilson", g);
   const double mst = star_fraction([&] { return graph::random_weight_mst(g, rng); });
-  const double ust = star_fraction([&] { return walk::wilson(g, 0, rng); });
+  const double ust = star_fraction([&] { return wilson->sample(rng).tree; });
   const double sigma = std::sqrt(0.25 * 0.75 / n);
 
   bench::row({"sampler", "P(star tree)", "uniform", "deviation/sigma"});

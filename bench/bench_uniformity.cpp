@@ -1,24 +1,23 @@
 // E5 (Lemmas 4, 6, 9): the sampled tree law is within eps of uniform. On
 // enumerable graphs, measure the empirical TV distance to uniform for every
-// sampler in the repository (main sampler in three placement configurations,
-// exact mode, Aldous-Broder, Wilson, the Corollary 1 doubling sampler) and —
-// as the §1.4 negative control — the random-weight MST, which must NOT be
-// uniform.
+// sampler in the repository — all four engine backends through the unified
+// SpanningTreeSampler interface (the main sampler in three placement
+// configurations and exact mode, Aldous-Broder, Wilson, the Corollary 1
+// doubling sampler) plus the down-up MCMC chain — and, as the §1.4 negative
+// control, the random-weight MST, which must NOT be uniform.
 
 #include <cmath>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "cclique/meter.hpp"
-#include "core/tree_sampler.hpp"
-#include "doubling/covertime_sampler.hpp"
+#include "engine/engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/mst.hpp"
 #include "graph/spanning.hpp"
 #include "util/statistics.hpp"
-#include "walk/aldous_broder.hpp"
 #include "walk/down_up.hpp"
-#include "walk/wilson.hpp"
 
 using namespace cliquest;
 
@@ -60,39 +59,47 @@ int main() {
     const double trees =
         static_cast<double>(graph::enumerate_spanning_trees(inst.g).size());
 
-    core::SamplerOptions metro;
-    core::SamplerOptions shuffle;
-    shuffle.matching = core::MatchingStrategy::group_shuffle;
-    core::SamplerOptions exact;
-    exact.mode = core::SamplingMode::exact;
+    // Every backend goes through the unified engine facade; engine samplers
+    // are prepared once and reused across all of a configuration's draws.
+    const engine::EngineOptions metro = engine::EngineOptions::builder().build();
+    const engine::EngineOptions shuffle =
+        engine::EngineOptions::builder()
+            .matching(core::MatchingStrategy::group_shuffle)
+            .build();
+    const engine::EngineOptions exact =
+        engine::EngineOptions::builder().mode(core::SamplingMode::exact).build();
 
-    const core::CongestedCliqueTreeSampler s_metro(inst.g, metro);
-    const core::CongestedCliqueTreeSampler s_shuffle(inst.g, shuffle);
-    const core::CongestedCliqueTreeSampler s_exact(inst.g, exact);
+    struct NamedEngine {
+      const char* name;
+      int samples;
+      std::unique_ptr<engine::SpanningTreeSampler> sampler;
+    };
+    std::vector<NamedEngine> engines;
+    engines.push_back(
+        {"clique/metropolis", n_core,
+         engine::make_sampler("congested_clique", inst.g, metro)});
+    engines.push_back(
+        {"clique/group_shuffle", n_core,
+         engine::make_sampler("congested_clique", inst.g, shuffle)});
+    engines.push_back({"clique/exact_mode", n_core,
+                       engine::make_sampler("congested_clique", inst.g, exact)});
+    engines.push_back({"aldous_broder", n_cheap,
+                       engine::make_sampler("aldous_broder", inst.g)});
+    engines.push_back({"wilson", n_cheap, engine::make_sampler("wilson", inst.g)});
+    engines.push_back({"doubling/cor1", n_doubling,
+                       engine::make_sampler("doubling", inst.g)});
 
     struct NamedDraw {
-      const char* name;
+      std::string name;
       int samples;
       std::function<graph::TreeEdges(util::Rng&)> draw;
     };
-    cclique::Meter meter;
     std::vector<NamedDraw> draws;
-    draws.push_back({"core/metropolis", n_core,
-                     [&](util::Rng& r) { return s_metro.sample(r).tree; }});
-    draws.push_back({"core/group_shuffle", n_core,
-                     [&](util::Rng& r) { return s_shuffle.sample(r).tree; }});
-    draws.push_back({"core/exact_mode", n_core,
-                     [&](util::Rng& r) { return s_exact.sample(r).tree; }});
-    draws.push_back({"aldous_broder", n_cheap, [&](util::Rng& r) {
-                       return walk::aldous_broder(inst.g, 0, r).tree;
-                     }});
-    draws.push_back(
-        {"wilson", n_cheap, [&](util::Rng& r) { return walk::wilson(inst.g, 0, r); }});
-    draws.push_back({"doubling/cor1", n_doubling, [&](util::Rng& r) {
-                       doubling::CoverTimeSamplerOptions o;
-                       return doubling::sample_tree_by_doubling(inst.g, o, r, meter)
-                           .tree;
-                     }});
+    for (NamedEngine& e : engines) {
+      engine::SpanningTreeSampler* sampler = e.sampler.get();
+      draws.push_back({e.name, e.samples,
+                       [sampler](util::Rng& r) { return sampler->sample(r).tree; }});
+    }
     draws.push_back({"mcmc/down_up", n_core, [&](util::Rng& r) {
                        walk::DownUpOptions o;
                        return walk::sample_tree_down_up(inst.g, o, r);

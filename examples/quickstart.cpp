@@ -1,12 +1,16 @@
-// Quickstart: sample a uniform spanning tree of a random graph with the
-// Congested Clique sampler and inspect the round report.
+// Quickstart for the unified engine API: build options with the validating
+// builder, construct a sampler through the registry, draw a batch with
+// amortized precomputation, and inspect the unified report.
 //
-//   ./quickstart [n] [seed]
+//   ./quickstart [n] [seed] [backend]
+//
+// backend is any registered name: congested_clique (default), doubling,
+// wilson, aldous_broder.
 
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/tree_sampler.hpp"
+#include "engine/engine.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "graph/spanning.hpp"
@@ -17,32 +21,57 @@ using namespace cliquest;
 int main(int argc, char** argv) {
   const int n = argc > 1 ? std::atoi(argv[1]) : 64;
   const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  const char* backend = argc > 3 ? argv[3] : "congested_clique";
 
   // 1. Build a connected input graph (any cliquest::graph::Graph works).
   util::Rng rng(seed);
   const graph::Graph g = graph::gnp_connected(n, 0.25, rng);
   std::printf("input: G(%d, 0.25) with %d edges\n", n, g.edge_count());
 
-  // 2. Configure the sampler. Defaults give the paper's Theorem 1 algorithm
-  //    (rho = sqrt(n) phases, Metropolis matching placement, Las Vegas
-  //    length extension). mode = exact switches to the Appendix variant.
-  core::SamplerOptions options;
-  options.epsilon = 1e-3;
+  // 2. Configure the engine. The builder validates at build() time and
+  //    throws EngineConfigError listing every violated constraint.
+  engine::EngineOptions options;
+  try {
+    options = engine::EngineOptions::builder()
+                  .backend(backend)
+                  .seed(seed)
+                  .threads(2)
+                  .epsilon(1e-3)
+                  .build();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "configuration error:\n%s\n", e.what());
+    return 1;
+  }
 
-  // 3. Sample.
-  const core::CongestedCliqueTreeSampler sampler(g, options);
-  const core::TreeSample sample = sampler.sample(rng);
+  // 3. Construct through the registry and describe what we got.
+  auto sampler = engine::make_sampler(g, options);
+  const engine::BackendInfo info = sampler->describe();
+  std::printf("backend: %s — %s, %s\n", info.name.c_str(),
+              info.round_complexity.c_str(), info.error_guarantee.c_str());
 
-  std::printf("sampled spanning tree (%zu edges), valid = %s\n",
-              sample.tree.size(),
-              graph::is_spanning_tree(g, sample.tree) ? "yes" : "no");
-  for (std::size_t i = 0; i < sample.tree.size() && i < 12; ++i)
-    std::printf("  edge %zu: (%d, %d)\n", i, sample.tree[i].first,
-                sample.tree[i].second);
-  if (sample.tree.size() > 12) std::printf("  ... %zu more\n", sample.tree.size() - 12);
+  // 4. One explicit prepare() (optional — the first draw implies it), then a
+  //    batch of draws reusing the precomputation.
+  sampler->prepare();
+  const engine::BatchResult batch = sampler->sample_batch(16);
 
-  // 4. Round accounting: what the run would have cost on a real clique.
-  std::printf("\nsimulated Congested Clique cost:\n%s\n",
-              sample.report.summary().c_str());
+  const graph::TreeEdges& tree = batch.trees.front();
+  std::printf("first sampled tree (%zu edges), valid = %s\n", tree.size(),
+              graph::is_spanning_tree(g, tree) ? "yes" : "no");
+  for (std::size_t i = 0; i < tree.size() && i < 12; ++i)
+    std::printf("  edge %zu: (%d, %d)\n", i, tree[i].first, tree[i].second);
+  if (tree.size() > 12) std::printf("  ... %zu more\n", tree.size() - 12);
+
+  // 5. Unified reporting: aggregate summary, plus JSON for harnesses.
+  std::printf("\n%s", batch.report.summary().c_str());
+  if (batch.report.meter.total_rounds() > 0)
+    std::printf("\nsimulated Congested Clique anatomy (all %zu draws):\n%s",
+                batch.trees.size(), batch.report.meter.report().c_str());
+  std::printf("\nJSON: %s\n", batch.report.to_json().c_str());
+
+  // 6. The same loop works for every registered backend.
+  std::printf("\nregistered backends:");
+  for (const std::string& name : engine::SamplerRegistry::instance().names())
+    std::printf(" %s", name.c_str());
+  std::printf("\n");
   return 0;
 }

@@ -11,7 +11,7 @@
 #include <cstdlib>
 #include <map>
 
-#include "core/tree_sampler.hpp"
+#include "engine/engine.hpp"
 #include "graph/generators.hpp"
 #include "graph/laplacian.hpp"
 #include "util/rng.hpp"
@@ -26,15 +26,16 @@ int main(int argc, char** argv) {
   const graph::Graph g = graph::gnp_connected(n, 0.5, rng);
   std::printf("input: G(%d, 0.5) with %d edges\n", n, g.edge_count());
 
-  // Sample k uniform spanning trees and count edge multiplicities.
-  const core::CongestedCliqueTreeSampler sampler(g, core::SamplerOptions{});
+  // Sample k uniform spanning trees in one engine batch: the per-graph
+  // precomputation is built once and shared by every draw.
+  engine::EngineOptions options;
+  options.seed = 11;
+  auto sampler = engine::make_sampler(g, options);
+  const engine::BatchResult batch = sampler->sample_batch(k);
   std::map<std::pair<int, int>, int> multiplicity;
-  std::int64_t rounds = 0;
-  for (int i = 0; i < k; ++i) {
-    const core::TreeSample s = sampler.sample(rng);
-    rounds += s.report.total_rounds();
-    for (const auto& e : s.tree) ++multiplicity[e];
-  }
+  const std::int64_t rounds = batch.report.total_rounds();
+  for (const graph::TreeEdges& tree : batch.trees)
+    for (const auto& e : tree) ++multiplicity[e];
 
   // Sparsifier: edge weight = multiplicity * (m / ((n-1) k)) so the expected
   // total weight matches the original graph's edge mass.

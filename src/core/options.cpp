@@ -1,0 +1,48 @@
+#include "core/options.hpp"
+
+#include <cmath>
+
+namespace cliquest::core {
+
+std::vector<std::string> validate_sampler_options(const SamplerOptions& options,
+                                                  int vertex_count) {
+  std::vector<std::string> errors;
+  const auto reject = [&errors](std::string message) {
+    errors.push_back(std::move(message));
+  };
+
+  if (options.start_vertex < 0)
+    reject("start_vertex must be >= 0, got " + std::to_string(options.start_vertex));
+  if (!(options.epsilon > 0.0) || std::isnan(options.epsilon))
+    reject("epsilon must be > 0, got " + std::to_string(options.epsilon));
+  if (options.rho_override < 0 || options.rho_override == 1)
+    reject("rho_override must be 0 (mode default) or >= 2, got " +
+           std::to_string(options.rho_override));
+  if (!options.paper_cubic_length && !(options.length_factor > 0.0))
+    reject("length_factor must be > 0, got " + std::to_string(options.length_factor));
+  if (options.metropolis_steps_per_site < 1)
+    reject("metropolis_steps_per_site must be >= 1, got " +
+           std::to_string(options.metropolis_steps_per_site));
+  if (options.max_extensions_per_phase < 1)
+    reject("max_extensions_per_phase must be >= 1, got " +
+           std::to_string(options.max_extensions_per_phase));
+  if (options.words_per_entry < 1)
+    reject("words_per_entry must be >= 1, got " +
+           std::to_string(options.words_per_entry));
+  if (options.max_segment_entries < 1)
+    reject("max_segment_entries must be >= 1, got " +
+           std::to_string(options.max_segment_entries));
+
+  if (vertex_count >= 0) {
+    if (options.start_vertex >= vertex_count)
+      reject("start_vertex " + std::to_string(options.start_vertex) +
+             " out of range for a graph with " + std::to_string(vertex_count) +
+             " vertices");
+    if (options.rho_override > vertex_count)
+      reject("rho_override " + std::to_string(options.rho_override) +
+             " exceeds vertex count " + std::to_string(vertex_count));
+  }
+  return errors;
+}
+
+}  // namespace cliquest::core

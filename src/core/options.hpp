@@ -3,6 +3,8 @@
 // Configuration for the Congested Clique spanning-tree sampler.
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace cliquest::core {
 
@@ -68,5 +70,13 @@ struct SamplerOptions {
   /// Safety cap on materialized partial-walk entries per segment.
   std::int64_t max_segment_entries = std::int64_t{1} << 22;
 };
+
+/// Every violated constraint of `options`, as human-readable messages; empty
+/// when valid. vertex_count < 0 skips the graph-dependent range checks
+/// (start_vertex < n, rho_override <= n). Single source of truth for the
+/// sampler constructor and the engine layer's EngineOptions validation, so
+/// accepted ranges and messages cannot drift apart.
+std::vector<std::string> validate_sampler_options(const SamplerOptions& options,
+                                                  int vertex_count = -1);
 
 }  // namespace cliquest::core

@@ -223,7 +223,8 @@ std::int64_t choose_target_length(int n, const SamplerOptions& options) {
 PhaseWalkResult build_phase_walk(const linalg::Matrix& transition, int start,
                                  int target_distinct, std::int64_t target_length,
                                  int clique_n, const SamplerOptions& options,
-                                 util::Rng& rng, cclique::Meter& meter) {
+                                 util::Rng& rng, cclique::Meter& meter,
+                                 const std::vector<linalg::Matrix>* cached_powers) {
   const int n_active = transition.rows();
   if (transition.cols() != n_active)
     throw std::invalid_argument("build_phase_walk: transition not square");
@@ -252,8 +253,16 @@ PhaseWalkResult build_phase_walk(const linalg::Matrix& transition, int start,
     const int levels_here = ceil_log2_i64(segment_length);
     // Initialization Step: the power table A, A^2, ..., A^l (one matmul per
     // level) plus the per-machine row/column exchange (O(1) rounds each).
-    const std::vector<linalg::Matrix> powers =
-        linalg::power_table(transition, levels_here);
+    // A prepare()d sampler hands in the table for the phase-1 matrix; the
+    // simulated rounds are charged identically either way.
+    const bool use_cache =
+        cached_powers != nullptr &&
+        static_cast<int>(cached_powers->size()) > levels_here;
+    const std::vector<linalg::Matrix> local_powers =
+        use_cache ? std::vector<linalg::Matrix>{}
+                  : linalg::power_table(transition, levels_here);
+    const std::vector<linalg::Matrix>& powers =
+        use_cache ? *cached_powers : local_powers;
     meter.charge("phase/matmul_powers",
                  static_cast<std::int64_t>(levels_here) * model.matmul_rounds(),
                  static_cast<std::int64_t>(levels_here) * n_active);

@@ -52,10 +52,19 @@ struct PhaseWalkResult {
 /// a local id, `target_distinct` = rho_t in [2, n_active]. `clique_n` is the
 /// size of the surrounding Congested Clique (the original n), which sets the
 /// bandwidth of the cost model. Rounds are charged to `meter`.
+///
+/// `cached_powers`, when non-null, is a precomputed power table
+/// {transition^(2^0), ..., transition^(2^k)} (see linalg::power_table); a
+/// segment whose level count fits inside it skips the local recomputation.
+/// The simulated matmul rounds are still charged — the clique would do the
+/// work either way — so round accounting is byte-identical with and without
+/// the cache, as is the sampled walk.
 PhaseWalkResult build_phase_walk(const linalg::Matrix& transition, int start,
                                  int target_distinct, std::int64_t target_length,
                                  int clique_n, const SamplerOptions& options,
-                                 util::Rng& rng, cclique::Meter& meter);
+                                 util::Rng& rng, cclique::Meter& meter,
+                                 const std::vector<linalg::Matrix>* cached_powers
+                                 = nullptr);
 
 /// The paper's per-phase target length: the smallest power of two at least
 /// log2(4 sqrt(n) / eps) * n^3 when paper_cubic_length is set, otherwise

@@ -7,6 +7,7 @@
 #include "cclique/cost_model.hpp"
 #include "core/phase.hpp"
 #include "graph/connectivity.hpp"
+#include "linalg/matrix_power.hpp"
 #include "schur/schur_complement.hpp"
 #include "schur/shortcut.hpp"
 #include "walk/transition.hpp"
@@ -35,15 +36,34 @@ std::int64_t derivative_graph_matmuls(int n) {
 
 CongestedCliqueTreeSampler::CongestedCliqueTreeSampler(graph::Graph g,
                                                        SamplerOptions options)
+    : CongestedCliqueTreeSampler(
+          std::make_shared<const graph::Graph>(std::move(g)), options) {}
+
+CongestedCliqueTreeSampler::CongestedCliqueTreeSampler(
+    std::shared_ptr<const graph::Graph> g, SamplerOptions options)
     : graph_(std::move(g)), options_(options) {
-  if (graph_.vertex_count() < 1)
+  if (graph_ == nullptr)
+    throw std::invalid_argument("CongestedCliqueTreeSampler: null graph");
+  if (graph().vertex_count() < 1)
     throw std::invalid_argument("CongestedCliqueTreeSampler: empty graph");
-  if (!graph::is_connected(graph_))
+  if (!graph::is_connected(graph()))
     throw std::invalid_argument("CongestedCliqueTreeSampler: graph disconnected");
-  if (options_.start_vertex < 0 || options_.start_vertex >= graph_.vertex_count())
-    throw std::out_of_range("CongestedCliqueTreeSampler: bad start vertex");
+  if (options_.start_vertex < 0 || options_.start_vertex >= graph().vertex_count())
+    throw std::out_of_range("CongestedCliqueTreeSampler: start_vertex " +
+                            std::to_string(options_.start_vertex) +
+                            " outside [0, " + std::to_string(graph().vertex_count()) +
+                            ")");
+  // Remaining constraints share the engine layer's validator so the two
+  // construction paths accept identical ranges with identical messages.
+  const std::vector<std::string> errors =
+      validate_sampler_options(options_, graph().vertex_count());
+  if (!errors.empty()) {
+    std::string joined = "CongestedCliqueTreeSampler:";
+    for (const std::string& error : errors) joined += " " + error + ";";
+    throw std::invalid_argument(joined);
+  }
   rho_ = options_.rho_override > 0 ? options_.rho_override
-                                   : default_rho(graph_.vertex_count(), options_.mode);
+                                   : default_rho(graph().vertex_count(), options_.mode);
   if (rho_ < 2) throw std::invalid_argument("CongestedCliqueTreeSampler: rho < 2");
   if (options_.mode == SamplingMode::exact &&
       options_.matching != MatchingStrategy::group_shuffle &&
@@ -53,8 +73,24 @@ CongestedCliqueTreeSampler::CongestedCliqueTreeSampler(graph::Graph g,
   }
 }
 
+void CongestedCliqueTreeSampler::prepare() {
+  if (precomputed_.has_value() || graph().vertex_count() == 1) return;
+  const int n = graph().vertex_count();
+  std::vector<int> all(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
+  Precomputed pre;
+  pre.full_transition = walk::transition_matrix(graph());
+  pre.full_shortcut = schur::shortcut_transition(graph(), all);
+  pre.target_length = choose_target_length(n, options_);
+  int levels = 0;
+  while ((std::int64_t{1} << levels) < pre.target_length) ++levels;
+  pre.full_powers = linalg::power_table(pre.full_transition, levels);
+  precomputed_ = std::move(pre);
+  ++prepare_builds_;
+}
+
 TreeSample CongestedCliqueTreeSampler::sample(util::Rng& rng) const {
-  const int n = graph_.vertex_count();
+  const int n = graph().vertex_count();
   TreeSample result;
   if (n == 1) return result;
 
@@ -62,7 +98,8 @@ TreeSample CongestedCliqueTreeSampler::sample(util::Rng& rng) const {
   model.n = n;
   model.words_per_entry = options_.words_per_entry;
 
-  const std::int64_t target_length = choose_target_length(n, options_);
+  const std::int64_t target_length =
+      precomputed_ ? precomputed_->target_length : choose_target_length(n, options_);
 
   std::vector<char> visited(static_cast<std::size_t>(n), 0);
   visited[static_cast<std::size_t>(options_.start_vertex)] = 1;
@@ -89,17 +126,31 @@ TreeSample CongestedCliqueTreeSampler::sample(util::Rng& rng) const {
     // shortcut matrix reduces to "predecessor = previous walk vertex"; the
     // generic code handles that case, and the matmul charge is skipped since
     // no derivative graphs need to be built.
-    linalg::Matrix active_transition =
-        static_cast<int>(active.size()) == n
-            ? walk::transition_matrix(graph_)
-            : schur::schur_transition(graph_, active);
-    if (static_cast<int>(active.size()) != n) {
+    const bool full_phase = static_cast<int>(active.size()) == n;
+    linalg::Matrix transition_storage;
+    linalg::Matrix shortcut_storage;
+    const linalg::Matrix* active_transition_ptr = nullptr;
+    const linalg::Matrix* shortcut_q_ptr = nullptr;
+    if (full_phase && precomputed_) {
+      // Phase 1 with a prepare()d sampler: the derivative matrices depend
+      // only on the graph, so the cached copies are reused across draws.
+      active_transition_ptr = &precomputed_->full_transition;
+      shortcut_q_ptr = &precomputed_->full_shortcut;
+    } else {
+      transition_storage = full_phase ? walk::transition_matrix(graph())
+                                      : schur::schur_transition(graph(), active);
+      shortcut_storage = schur::shortcut_transition(graph(), active);
+      active_transition_ptr = &transition_storage;
+      shortcut_q_ptr = &shortcut_storage;
+    }
+    if (!full_phase) {
       result.report.meter.charge(
           "phase/matmul_schur_shortcut",
           derivative_graph_matmuls(n) * model.matmul_rounds(),
           static_cast<std::int64_t>(active.size()));
     }
-    const linalg::Matrix shortcut_q = schur::shortcut_transition(graph_, active);
+    const linalg::Matrix& active_transition = *active_transition_ptr;
+    const linalg::Matrix& shortcut_q = *shortcut_q_ptr;
 
     std::vector<char> in_s(static_cast<std::size_t>(n), 0);
     for (int v : active) in_s[static_cast<std::size_t>(v)] = 1;
@@ -107,9 +158,11 @@ TreeSample CongestedCliqueTreeSampler::sample(util::Rng& rng) const {
     const int target_distinct =
         std::min<int>(rho_, static_cast<int>(active.size()));
 
+    const std::vector<linalg::Matrix>* cached_powers =
+        (full_phase && precomputed_) ? &precomputed_->full_powers : nullptr;
     PhaseWalkResult walk = build_phase_walk(
         active_transition, local_of.at(frontier), target_distinct, target_length, n,
-        options_, rng, result.report.meter);
+        options_, rng, result.report.meter, cached_powers);
 
     // Algorithm 4: first-visit edges for each newly visited vertex, in
     // first-visit order, sampled through the shortcut graph.
@@ -122,7 +175,7 @@ TreeSample CongestedCliqueTreeSampler::sample(util::Rng& rng) const {
       seen_local[static_cast<std::size_t>(local)] = 1;
       const int v = active[static_cast<std::size_t>(local)];
       const int prev = active[static_cast<std::size_t>(walk.walk[i - 1])];
-      const int u = schur::sample_first_visit_neighbor(graph_, in_s, shortcut_q,
+      const int u = schur::sample_first_visit_neighbor(graph(), in_s, shortcut_q,
                                                        prev, v, rng);
       result.tree.emplace_back(u, v);
       visited[static_cast<std::size_t>(v)] = 1;

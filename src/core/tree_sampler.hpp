@@ -18,11 +18,14 @@
 // approximate mode; exactly in exact mode).
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 
 #include "core/options.hpp"
 #include "core/round_report.hpp"
 #include "graph/graph.hpp"
 #include "graph/spanning.hpp"
+#include "linalg/matrix.hpp"
 #include "util/rng.hpp"
 
 namespace cliquest::core {
@@ -35,22 +38,58 @@ struct TreeSample {
 class CongestedCliqueTreeSampler {
  public:
   /// The graph must be connected with at least one vertex. The sampler owns
-  /// a copy, so temporaries are safe to pass.
+  /// a copy, so temporaries are safe to pass. Throws std::invalid_argument /
+  /// std::out_of_range on misconfiguration (disconnected graph, bad start
+  /// vertex, epsilon <= 0, bad rho_override; see
+  /// core::validate_sampler_options for the full constraint set).
   CongestedCliqueTreeSampler(graph::Graph g, SamplerOptions options);
 
-  /// Draws one spanning tree with full round accounting.
+  /// Shares an existing immutable graph instead of copying it — the engine
+  /// layer uses this so a sampler stack holds one graph copy in total.
+  CongestedCliqueTreeSampler(std::shared_ptr<const graph::Graph> g,
+                             SamplerOptions options);
+
+  /// Hoists the per-graph precomputation out of the draw path: the phase-1
+  /// transition matrix (Schur(G, V) = G), the phase-1 shortcut matrix, and
+  /// the per-phase target walk length. Idempotent; after it returns, sample()
+  /// is safe to call concurrently from multiple threads with per-thread Rngs.
+  void prepare();
+  bool prepared() const { return precomputed_.has_value(); }
+
+  /// Number of times the precomputation was actually built (stays at 1 no
+  /// matter how many draws follow a prepare(); batch harnesses assert on it).
+  int prepare_builds() const { return prepare_builds_; }
+
+  /// Draws one spanning tree with full round accounting. Reuses the
+  /// prepare() cache when present; otherwise computes per-graph state
+  /// locally (the pre-engine one-shot behaviour).
   TreeSample sample(util::Rng& rng) const;
 
   /// Per-phase distinct-vertex budget rho for this instance.
   int rho() const { return rho_; }
 
   const SamplerOptions& options() const { return options_; }
-  const graph::Graph& graph() const { return graph_; }
+  const graph::Graph& graph() const { return *graph_; }
 
  private:
-  graph::Graph graph_;
+  /// Per-graph state that every draw would otherwise rebuild: phase 1 always
+  /// has S = V, so its derivative matrices depend only on the input graph.
+  struct Precomputed {
+    linalg::Matrix full_transition;  // walk transition matrix of G
+    linalg::Matrix full_shortcut;    // shortcut matrix for S = V
+    std::int64_t target_length = 0;  // per-phase walk-length target
+    /// Power table {P, P^2, ..., P^target_length} of full_transition — the
+    /// Initialization Step's matrices for every phase-1 segment, the
+    /// dominant per-draw cost the engine's sample_batch amortizes. Memory is
+    /// (log2(target_length) + 1) n^2 doubles.
+    std::vector<linalg::Matrix> full_powers;
+  };
+
+  std::shared_ptr<const graph::Graph> graph_;
   SamplerOptions options_;
   int rho_;
+  std::optional<Precomputed> precomputed_;
+  int prepare_builds_ = 0;
 };
 
 }  // namespace cliquest::core

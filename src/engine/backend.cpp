@@ -1,0 +1,43 @@
+#include "engine/backend.hpp"
+
+#include <stdexcept>
+
+namespace cliquest::engine {
+
+std::string_view backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::congested_clique:
+      return "congested_clique";
+    case Backend::doubling:
+      return "doubling";
+    case Backend::wilson:
+      return "wilson";
+    case Backend::aldous_broder:
+      return "aldous_broder";
+  }
+  throw std::invalid_argument("backend_name: unknown Backend value");
+}
+
+Backend backend_from_string(std::string_view name) {
+  for (Backend backend : all_backends())
+    if (backend_name(backend) == name) return backend;
+  std::string known;
+  for (Backend backend : all_backends()) {
+    if (!known.empty()) known += ", ";
+    known += backend_name(backend);
+  }
+  throw std::invalid_argument("backend_from_string: unknown backend \"" +
+                              std::string(name) + "\" (known: " + known + ")");
+}
+
+const std::vector<Backend>& all_backends() {
+  static const std::vector<Backend> backends = {
+      Backend::congested_clique,
+      Backend::doubling,
+      Backend::wilson,
+      Backend::aldous_broder,
+  };
+  return backends;
+}
+
+}  // namespace cliquest::engine

@@ -1,0 +1,37 @@
+#pragma once
+
+// Backend identifiers for the unified spanning-tree engine.
+//
+// Every tree sampler the repo implements is addressable by one Backend value
+// (or its canonical string name): the paper's Congested Clique phase sampler
+// (Theorem 1 / Appendix exact mode), the doubling/cover-time sampler
+// (Corollary 1), and the two classical sequential baselines.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cliquest::engine {
+
+enum class Backend {
+  /// Phase-based Congested Clique sampler (Theorem 1; Appendix exact mode).
+  congested_clique,
+  /// Doubling-walk cover-time sampler (Corollary 1, Las Vegas).
+  doubling,
+  /// Wilson's loop-erased random walk (sequential exact baseline).
+  wilson,
+  /// Aldous-Broder cover-time walk (sequential exact baseline).
+  aldous_broder,
+};
+
+/// Canonical lowercase name, e.g. "congested_clique".
+std::string_view backend_name(Backend backend);
+
+/// Inverse of backend_name; throws std::invalid_argument (listing the valid
+/// names) on an unknown string.
+Backend backend_from_string(std::string_view name);
+
+/// Every Backend value, in declaration order.
+const std::vector<Backend>& all_backends();
+
+}  // namespace cliquest::engine

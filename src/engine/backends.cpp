@@ -1,0 +1,121 @@
+#include "engine/backends.hpp"
+
+#include "doubling/covertime_sampler.hpp"
+#include "walk/aldous_broder.hpp"
+#include "walk/wilson.hpp"
+
+namespace cliquest::engine {
+
+// ------------------------------------------------------------ clique
+
+CongestedCliqueBackend::CongestedCliqueBackend(graph::Graph g, EngineOptions options)
+    : SpanningTreeSampler(std::move(g), std::move(options)),
+      impl_(graph_ptr(), this->options().clique_options()) {}
+
+BackendInfo CongestedCliqueBackend::describe() const {
+  BackendInfo info;
+  info.backend = Backend::congested_clique;
+  info.name = "congested_clique";
+  const bool exact = options().clique.mode == core::SamplingMode::exact;
+  info.round_complexity =
+      exact ? "~O(n^{2/3+a}) clique rounds (Appendix, rho = n^{1/3})"
+            : "~O(n^{1/2+a}) clique rounds (Theorem 1, rho = sqrt(n))";
+  info.error_guarantee = exact ? "exact" : "eps total variation";
+  info.distributed = true;
+  return info;
+}
+
+void CongestedCliqueBackend::do_prepare() { impl_.prepare(); }
+
+Draw CongestedCliqueBackend::do_sample(util::Rng& rng) const {
+  core::TreeSample sample = impl_.sample(rng);
+  Draw draw;
+  draw.stats.rounds = sample.report.total_rounds();
+  draw.stats.phases = static_cast<int>(sample.report.phases.size());
+  for (const core::PhaseStats& phase : sample.report.phases)
+    draw.stats.walk_steps += phase.walk_length;
+  draw.tree = std::move(sample.tree);
+  draw.meter = std::move(sample.report.meter);
+  return draw;
+}
+
+// ------------------------------------------------------------ doubling
+
+DoublingBackend::DoublingBackend(graph::Graph g, EngineOptions options)
+    : SpanningTreeSampler(std::move(g), std::move(options)) {}
+
+BackendInfo DoublingBackend::describe() const {
+  BackendInfo info;
+  info.backend = Backend::doubling;
+  info.name = "doubling";
+  info.round_complexity = "~O(tau/n) clique rounds, tau = cover time (Corollary 1)";
+  info.error_guarantee = "exact (Las Vegas)";
+  info.distributed = true;
+  return info;
+}
+
+void DoublingBackend::do_prepare() {}
+
+Draw DoublingBackend::do_sample(util::Rng& rng) const {
+  cclique::Meter meter;
+  doubling::CoverTimeSamplerResult result = doubling::sample_tree_by_doubling(
+      graph(), options().covertime_options(), rng, meter);
+  Draw draw;
+  draw.tree = std::move(result.tree);
+  draw.meter = std::move(meter);
+  draw.stats.rounds = result.rounds;
+  draw.stats.walk_steps = result.built_walk_length;
+  draw.stats.phases = result.attempts;
+  return draw;
+}
+
+// ------------------------------------------------------------ wilson
+
+WilsonBackend::WilsonBackend(graph::Graph g, EngineOptions options)
+    : SpanningTreeSampler(std::move(g), std::move(options)) {}
+
+BackendInfo WilsonBackend::describe() const {
+  BackendInfo info;
+  info.backend = Backend::wilson;
+  info.name = "wilson";
+  info.round_complexity = "sequential; expected mean hitting time steps";
+  info.error_guarantee = "exact";
+  info.distributed = false;
+  return info;
+}
+
+void WilsonBackend::do_prepare() {}
+
+Draw WilsonBackend::do_sample(util::Rng& rng) const {
+  Draw draw;
+  draw.tree = walk::wilson(graph(), options().start_vertex, rng);
+  return draw;
+}
+
+// ------------------------------------------------------------ aldous-broder
+
+AldousBroderBackend::AldousBroderBackend(graph::Graph g, EngineOptions options)
+    : SpanningTreeSampler(std::move(g), std::move(options)) {}
+
+BackendInfo AldousBroderBackend::describe() const {
+  BackendInfo info;
+  info.backend = Backend::aldous_broder;
+  info.name = "aldous_broder";
+  info.round_complexity = "sequential; cover time steps (expected O(mn))";
+  info.error_guarantee = "exact";
+  info.distributed = false;
+  return info;
+}
+
+void AldousBroderBackend::do_prepare() {}
+
+Draw AldousBroderBackend::do_sample(util::Rng& rng) const {
+  walk::AldousBroderResult result =
+      walk::aldous_broder(graph(), options().start_vertex, rng);
+  Draw draw;
+  draw.tree = std::move(result.tree);
+  draw.stats.walk_steps = result.steps;
+  return draw;
+}
+
+}  // namespace cliquest::engine

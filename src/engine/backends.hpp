@@ -1,0 +1,68 @@
+#pragma once
+
+// Adapters bridging each legacy sampler onto the unified
+// SpanningTreeSampler interface. Construct them through SamplerRegistry /
+// make_sampler rather than directly; direct use of the wrapped classes
+// (core::CongestedCliqueTreeSampler, doubling::sample_tree_by_doubling,
+// walk::wilson, walk::aldous_broder) is deprecated in favour of this layer.
+
+#include "core/tree_sampler.hpp"
+#include "engine/sampler.hpp"
+
+namespace cliquest::engine {
+
+/// Theorem 1 / Appendix phase sampler. prepare() builds the phase-1
+/// transition and shortcut matrices plus the target walk length once per
+/// graph; every draw then reuses them (the legacy one-shot path rebuilt all
+/// three on each sample()).
+class CongestedCliqueBackend final : public SpanningTreeSampler {
+ public:
+  CongestedCliqueBackend(graph::Graph g, EngineOptions options);
+  BackendInfo describe() const override;
+
+  /// Underlying sampler, exposed for round-report consumers that need the
+  /// per-phase anatomy the unified DrawStats intentionally flattens.
+  const core::CongestedCliqueTreeSampler& impl() const { return impl_; }
+
+ protected:
+  void do_prepare() override;
+  Draw do_sample(util::Rng& rng) const override;
+
+ private:
+  core::CongestedCliqueTreeSampler impl_;
+};
+
+/// Corollary 1 doubling / cover-time sampler (Las Vegas).
+class DoublingBackend final : public SpanningTreeSampler {
+ public:
+  DoublingBackend(graph::Graph g, EngineOptions options);
+  BackendInfo describe() const override;
+
+ protected:
+  void do_prepare() override;
+  Draw do_sample(util::Rng& rng) const override;
+};
+
+/// Wilson's loop-erased-walk sampler (sequential exact baseline).
+class WilsonBackend final : public SpanningTreeSampler {
+ public:
+  WilsonBackend(graph::Graph g, EngineOptions options);
+  BackendInfo describe() const override;
+
+ protected:
+  void do_prepare() override;
+  Draw do_sample(util::Rng& rng) const override;
+};
+
+/// Aldous-Broder cover-time sampler (sequential exact baseline).
+class AldousBroderBackend final : public SpanningTreeSampler {
+ public:
+  AldousBroderBackend(graph::Graph g, EngineOptions options);
+  BackendInfo describe() const override;
+
+ protected:
+  void do_prepare() override;
+  Draw do_sample(util::Rng& rng) const override;
+};
+
+}  // namespace cliquest::engine

@@ -1,0 +1,22 @@
+#pragma once
+
+// Umbrella header for the unified spanning-tree engine. Typical use:
+//
+//   #include "engine/engine.hpp"
+//
+//   auto options = cliquest::engine::EngineOptions::builder()
+//                      .backend("congested_clique")
+//                      .seed(42)
+//                      .threads(4)
+//                      .build();
+//   auto sampler = cliquest::engine::make_sampler(g, options);
+//   sampler->prepare();                       // optional; implied by draws
+//   auto batch = sampler->sample_batch(128);  // amortized precomputation
+//   std::puts(batch.report.to_json().c_str());
+
+#include "engine/backend.hpp"    // IWYU pragma: export
+#include "engine/backends.hpp"   // IWYU pragma: export
+#include "engine/options.hpp"    // IWYU pragma: export
+#include "engine/registry.hpp"   // IWYU pragma: export
+#include "engine/report.hpp"     // IWYU pragma: export
+#include "engine/sampler.hpp"    // IWYU pragma: export

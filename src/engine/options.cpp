@@ -1,0 +1,137 @@
+#include "engine/options.hpp"
+
+namespace cliquest::engine {
+namespace {
+
+std::string join(const std::vector<std::string>& errors) {
+  std::string joined = "invalid engine configuration:";
+  for (const std::string& error : errors) joined += "\n  - " + error;
+  return joined;
+}
+
+}  // namespace
+
+EngineConfigError::EngineConfigError(std::vector<std::string> errors)
+    : std::invalid_argument(join(errors)), errors_(std::move(errors)) {}
+
+EngineOptionsBuilder EngineOptions::builder() { return EngineOptionsBuilder{}; }
+
+std::vector<std::string> EngineOptions::validation_errors(int vertex_count) const {
+  // Backend-level constraints come from the shared core validator (run on
+  // the clique view, i.e. with the engine's start_vertex written through) so
+  // engine and direct-core construction accept exactly the same ranges.
+  std::vector<std::string> errors =
+      core::validate_sampler_options(clique_options(), vertex_count);
+  const auto reject = [&errors](std::string message) {
+    errors.push_back(std::move(message));
+  };
+
+  if (threads < 1)
+    reject("threads must be >= 1, got " + std::to_string(threads));
+  if (covertime.initial_tau < 0)
+    reject("initial_tau must be >= 0 (0 selects the default scale), got " +
+           std::to_string(covertime.initial_tau));
+  if (covertime.max_attempts < 1)
+    reject("max_attempts must be >= 1, got " +
+           std::to_string(covertime.max_attempts));
+  return errors;
+}
+
+void EngineOptions::validate(int vertex_count) const {
+  std::vector<std::string> errors = validation_errors(vertex_count);
+  if (!errors.empty()) throw EngineConfigError(std::move(errors));
+}
+
+core::SamplerOptions EngineOptions::clique_options() const {
+  core::SamplerOptions out = clique;
+  out.start_vertex = start_vertex;
+  return out;
+}
+
+doubling::CoverTimeSamplerOptions EngineOptions::covertime_options() const {
+  doubling::CoverTimeSamplerOptions out = covertime;
+  out.root = start_vertex;
+  return out;
+}
+
+EngineOptionsBuilder& EngineOptionsBuilder::backend(Backend b) {
+  options_.backend = b;
+  return *this;
+}
+
+EngineOptionsBuilder& EngineOptionsBuilder::backend(std::string_view name) {
+  options_.backend = backend_from_string(name);
+  return *this;
+}
+
+EngineOptionsBuilder& EngineOptionsBuilder::seed(std::uint64_t s) {
+  options_.seed = s;
+  return *this;
+}
+
+EngineOptionsBuilder& EngineOptionsBuilder::threads(int t) {
+  options_.threads = t;
+  return *this;
+}
+
+EngineOptionsBuilder& EngineOptionsBuilder::start_vertex(int v) {
+  options_.start_vertex = v;
+  return *this;
+}
+
+EngineOptionsBuilder& EngineOptionsBuilder::epsilon(double eps) {
+  options_.clique.epsilon = eps;
+  return *this;
+}
+
+EngineOptionsBuilder& EngineOptionsBuilder::mode(core::SamplingMode m) {
+  options_.clique.mode = m;
+  return *this;
+}
+
+EngineOptionsBuilder& EngineOptionsBuilder::matching(core::MatchingStrategy m) {
+  options_.clique.matching = m;
+  return *this;
+}
+
+EngineOptionsBuilder& EngineOptionsBuilder::rho_override(int rho) {
+  options_.clique.rho_override = rho;
+  return *this;
+}
+
+EngineOptionsBuilder& EngineOptionsBuilder::paper_cubic_length(bool on) {
+  options_.clique.paper_cubic_length = on;
+  return *this;
+}
+
+EngineOptionsBuilder& EngineOptionsBuilder::length_factor(double f) {
+  options_.clique.length_factor = f;
+  return *this;
+}
+
+EngineOptionsBuilder& EngineOptionsBuilder::metropolis_steps_per_site(int steps) {
+  options_.clique.metropolis_steps_per_site = steps;
+  return *this;
+}
+
+EngineOptionsBuilder& EngineOptionsBuilder::words_per_entry(int words) {
+  options_.clique.words_per_entry = words;
+  return *this;
+}
+
+EngineOptionsBuilder& EngineOptionsBuilder::initial_tau(std::int64_t tau) {
+  options_.covertime.initial_tau = tau;
+  return *this;
+}
+
+EngineOptionsBuilder& EngineOptionsBuilder::max_attempts(int attempts) {
+  options_.covertime.max_attempts = attempts;
+  return *this;
+}
+
+EngineOptions EngineOptionsBuilder::build() const {
+  options_.validate();
+  return options_;
+}
+
+}  // namespace cliquest::engine

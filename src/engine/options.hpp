@@ -1,0 +1,108 @@
+#pragma once
+
+// Engine-level configuration: one options object for every backend, with a
+// validating builder and explicit error reporting.
+//
+// EngineOptions subsumes core::SamplerOptions (the Congested Clique knobs)
+// and doubling::CoverTimeSamplerOptions (the cover-time knobs); the shared
+// fields — seed, threads, start_vertex — live at the top level and are
+// written through to whichever backend is selected. Misconfiguration raises
+// EngineConfigError carrying *every* violated constraint, instead of the
+// silent clamping / undefined behaviour of the raw structs.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/options.hpp"
+#include "doubling/covertime_sampler.hpp"
+#include "engine/backend.hpp"
+
+namespace cliquest::engine {
+
+/// Thrown by EngineOptions::validate / EngineOptionsBuilder::build /
+/// sampler construction. what() joins all messages; errors() keeps them
+/// separate for programmatic use.
+class EngineConfigError : public std::invalid_argument {
+ public:
+  explicit EngineConfigError(std::vector<std::string> errors);
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  std::vector<std::string> errors_;
+};
+
+class EngineOptionsBuilder;
+
+struct EngineOptions {
+  Backend backend = Backend::congested_clique;
+
+  /// Base seed for batch draws: draw i of sample_batch uses an independent
+  /// stream derived from (seed, i), so batches are reproducible regardless
+  /// of thread count.
+  std::uint64_t seed = 1;
+
+  /// Worker threads for sample_batch; draws fan out across threads once
+  /// prepare() has run (every backend's draw path is const after prepare).
+  int threads = 1;
+
+  /// Walk start / tree root, uniform across backends (overrides
+  /// clique.start_vertex and covertime.root).
+  int start_vertex = 0;
+
+  /// Congested Clique backend knobs (epsilon, mode, matching strategy, ...).
+  core::SamplerOptions clique;
+
+  /// Doubling / cover-time backend knobs (initial_tau, max_attempts, ...).
+  doubling::CoverTimeSamplerOptions covertime;
+
+  static EngineOptionsBuilder builder();
+
+  /// All violated constraints, empty when valid. vertex_count < 0 skips the
+  /// graph-dependent checks (start_vertex range, rho_override <= n).
+  std::vector<std::string> validation_errors(int vertex_count = -1) const;
+
+  /// Throws EngineConfigError listing every violation; no-op when valid.
+  void validate(int vertex_count = -1) const;
+
+  /// The clique backend's view: clique with start_vertex written through.
+  core::SamplerOptions clique_options() const;
+
+  /// The doubling backend's view: covertime with root = start_vertex.
+  doubling::CoverTimeSamplerOptions covertime_options() const;
+};
+
+/// Fluent construction with validation at build() time:
+///   auto options = EngineOptions::builder()
+///                      .backend(Backend::wilson)
+///                      .seed(7)
+///                      .threads(4)
+///                      .build();  // throws EngineConfigError when invalid
+class EngineOptionsBuilder {
+ public:
+  EngineOptionsBuilder& backend(Backend b);
+  EngineOptionsBuilder& backend(std::string_view name);  // throws on unknown
+  EngineOptionsBuilder& seed(std::uint64_t s);
+  EngineOptionsBuilder& threads(int t);
+  EngineOptionsBuilder& start_vertex(int v);
+  EngineOptionsBuilder& epsilon(double eps);
+  EngineOptionsBuilder& mode(core::SamplingMode m);
+  EngineOptionsBuilder& matching(core::MatchingStrategy m);
+  EngineOptionsBuilder& rho_override(int rho);
+  EngineOptionsBuilder& paper_cubic_length(bool on);
+  EngineOptionsBuilder& length_factor(double f);
+  EngineOptionsBuilder& metropolis_steps_per_site(int steps);
+  EngineOptionsBuilder& words_per_entry(int words);
+  EngineOptionsBuilder& initial_tau(std::int64_t tau);
+  EngineOptionsBuilder& max_attempts(int attempts);
+
+  /// Validates the graph-independent constraints and returns the options.
+  EngineOptions build() const;
+
+ private:
+  EngineOptions options_;
+};
+
+}  // namespace cliquest::engine

@@ -1,0 +1,99 @@
+#include "engine/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "engine/backends.hpp"
+
+namespace cliquest::engine {
+
+SamplerRegistry::SamplerRegistry() {
+  add("congested_clique", [](graph::Graph g, const EngineOptions& options) {
+    return std::unique_ptr<SpanningTreeSampler>(
+        new CongestedCliqueBackend(std::move(g), options));
+  });
+  add("doubling", [](graph::Graph g, const EngineOptions& options) {
+    return std::unique_ptr<SpanningTreeSampler>(
+        new DoublingBackend(std::move(g), options));
+  });
+  add("wilson", [](graph::Graph g, const EngineOptions& options) {
+    return std::unique_ptr<SpanningTreeSampler>(
+        new WilsonBackend(std::move(g), options));
+  });
+  add("aldous_broder", [](graph::Graph g, const EngineOptions& options) {
+    return std::unique_ptr<SpanningTreeSampler>(
+        new AldousBroderBackend(std::move(g), options));
+  });
+}
+
+SamplerRegistry& SamplerRegistry::instance() {
+  static SamplerRegistry registry;
+  return registry;
+}
+
+void SamplerRegistry::add(std::string name, Factory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [registered, existing] : factories_)
+    if (registered == name)
+      throw std::invalid_argument("SamplerRegistry: backend \"" + name +
+                                  "\" is already registered");
+  factories_.emplace_back(std::move(name), std::move(factory));
+}
+
+SamplerRegistry::Factory SamplerRegistry::find_factory(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [registered, factory] : factories_)
+    if (registered == name) return factory;
+  return nullptr;
+}
+
+std::unique_ptr<SpanningTreeSampler> SamplerRegistry::create(
+    std::string_view name, graph::Graph g, EngineOptions options) const {
+  // The factory is copied out under the lock and invoked outside it, so
+  // slow sampler construction never blocks other lookups.
+  if (const Factory factory = find_factory(name)) {
+    // Keep options.backend coherent with the chosen factory when the name
+    // matches a built-in; custom registrations keep the caller's value.
+    for (Backend backend : all_backends())
+      if (backend_name(backend) == name) options.backend = backend;
+    return factory(std::move(g), options);
+  }
+  std::string known;
+  for (const std::string& n : names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("SamplerRegistry: unknown backend \"" +
+                              std::string(name) + "\" (registered: " + known + ")");
+}
+
+std::unique_ptr<SpanningTreeSampler> SamplerRegistry::create(
+    Backend backend, graph::Graph g, EngineOptions options) const {
+  options.backend = backend;
+  return create(backend_name(backend), std::move(g), std::move(options));
+}
+
+bool SamplerRegistry::contains(std::string_view name) const {
+  return find_factory(name) != nullptr;
+}
+
+std::vector<std::string> SamplerRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+std::unique_ptr<SpanningTreeSampler> make_sampler(graph::Graph g,
+                                                  const EngineOptions& options) {
+  return SamplerRegistry::instance().create(options.backend, std::move(g), options);
+}
+
+std::unique_ptr<SpanningTreeSampler> make_sampler(std::string_view backend,
+                                                  graph::Graph g,
+                                                  EngineOptions options) {
+  return SamplerRegistry::instance().create(backend, std::move(g), std::move(options));
+}
+
+}  // namespace cliquest::engine

@@ -1,0 +1,71 @@
+#pragma once
+
+// Factory / registry for engine backends.
+//
+// The four built-in backends are pre-registered; downstream code can add its
+// own factories (e.g. a sharded or remote sampler) under new names without
+// touching this file. Lookup is by Backend enum or canonical string name;
+// unknown names raise an error that lists what is registered.
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/sampler.hpp"
+
+namespace cliquest::engine {
+
+/// Thread-safe: add() and the lookups may run concurrently (registration
+/// and creation are serialized by an internal mutex; factories themselves
+/// run outside the lock).
+class SamplerRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<SpanningTreeSampler>(
+      graph::Graph, const EngineOptions&)>;
+
+  /// A fresh registry pre-populated with the built-in backends. Tests and
+  /// embedders that want isolated registration state construct their own;
+  /// most callers use instance().
+  SamplerRegistry();
+
+  /// The process-wide registry, with the built-in backends registered.
+  static SamplerRegistry& instance();
+
+  /// Registers a factory under a name; throws std::invalid_argument if the
+  /// name is already taken.
+  void add(std::string name, Factory factory);
+
+  /// Constructs a sampler. The string overload accepts any registered name;
+  /// the Backend overload uses the enum's canonical name. The options'
+  /// backend field is rewritten to match the requested backend so a single
+  /// EngineOptions template can drive a sweep over backends.
+  std::unique_ptr<SpanningTreeSampler> create(std::string_view name, graph::Graph g,
+                                              EngineOptions options = {}) const;
+  std::unique_ptr<SpanningTreeSampler> create(Backend backend, graph::Graph g,
+                                              EngineOptions options = {}) const;
+
+  bool contains(std::string_view name) const;
+
+  /// Registered names in registration order (built-ins first).
+  std::vector<std::string> names() const;
+
+ private:
+  Factory find_factory(std::string_view name) const;
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+/// Convenience: build via the global registry from options.backend.
+std::unique_ptr<SpanningTreeSampler> make_sampler(graph::Graph g,
+                                                  const EngineOptions& options);
+
+/// Convenience: build by name with otherwise-default options.
+std::unique_ptr<SpanningTreeSampler> make_sampler(std::string_view backend,
+                                                  graph::Graph g,
+                                                  EngineOptions options = {});
+
+}  // namespace cliquest::engine

@@ -1,0 +1,126 @@
+#include "engine/report.hpp"
+
+#include <cstdio>
+
+namespace cliquest::engine {
+namespace {
+
+std::string fmt_double(double x) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", x);
+  return buffer;
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::int64_t BatchReport::total_rounds() const {
+  std::int64_t total = 0;
+  for (const DrawStats& draw : draws) total += draw.rounds;
+  return total;
+}
+
+std::int64_t BatchReport::total_walk_steps() const {
+  std::int64_t total = 0;
+  for (const DrawStats& draw : draws) total += draw.walk_steps;
+  return total;
+}
+
+double BatchReport::total_seconds() const {
+  double total = 0.0;
+  for (const DrawStats& draw : draws) total += draw.seconds;
+  return total;
+}
+
+double BatchReport::mean_rounds() const {
+  return draws.empty() ? 0.0
+                       : static_cast<double>(total_rounds()) /
+                             static_cast<double>(draws.size());
+}
+
+double BatchReport::mean_seconds() const {
+  return draws.empty() ? 0.0 : total_seconds() / static_cast<double>(draws.size());
+}
+
+std::string BatchReport::summary() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line), "engine batch: backend=%s n=%d draws=%zu threads=%d\n",
+                backend.c_str(), vertex_count, draws.size(), threads);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  prepare: builds=%lld seconds=%.6f\n",
+                static_cast<long long>(prepare_builds), prepare_seconds);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  rounds: total=%lld mean=%.1f | walk steps: %lld | seconds: "
+                "total=%.6f mean=%.6f\n",
+                static_cast<long long>(total_rounds()), mean_rounds(),
+                static_cast<long long>(total_walk_steps()), total_seconds(),
+                mean_seconds());
+  out += line;
+  return out;
+}
+
+std::string BatchReport::to_json() const {
+  std::string out = "{";
+  out += "\"backend\":";
+  append_json_string(out, backend);
+  out += ",\"n\":" + std::to_string(vertex_count);
+  out += ",\"seed\":" + std::to_string(seed);
+  out += ",\"threads\":" + std::to_string(threads);
+  out += ",\"draw_count\":" + std::to_string(draws.size());
+  out += ",\"prepare\":{\"builds\":" + std::to_string(prepare_builds) +
+         ",\"seconds\":" + fmt_double(prepare_seconds) + "}";
+  out += ",\"totals\":{\"rounds\":" + std::to_string(total_rounds()) +
+         ",\"walk_steps\":" + std::to_string(total_walk_steps()) +
+         ",\"seconds\":" + fmt_double(total_seconds()) + "}";
+  out += ",\"means\":{\"rounds\":" + fmt_double(mean_rounds()) +
+         ",\"seconds\":" + fmt_double(mean_seconds()) + "}";
+
+  out += ",\"draws\":[";
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    const DrawStats& draw = draws[i];
+    if (i > 0) out += ',';
+    out += "{\"index\":" + std::to_string(draw.index) +
+           ",\"rounds\":" + std::to_string(draw.rounds) +
+           ",\"walk_steps\":" + std::to_string(draw.walk_steps) +
+           ",\"phases\":" + std::to_string(draw.phases) +
+           ",\"seconds\":" + fmt_double(draw.seconds) + "}";
+  }
+  out += "]";
+
+  out += ",\"meter\":{";
+  bool first = true;
+  for (const auto& [label, totals] : meter.categories()) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, label);
+    out += ":{\"rounds\":" + std::to_string(totals.rounds) +
+           ",\"messages\":" + std::to_string(totals.messages) +
+           ",\"events\":" + std::to_string(totals.events) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace cliquest::engine

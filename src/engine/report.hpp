@@ -1,0 +1,63 @@
+#pragma once
+
+// Unified per-draw and aggregate reporting for the engine.
+//
+// The legacy backends each report differently (core::RoundReport with phase
+// tables, doubling::CoverTimeSamplerResult fields, nothing at all for the
+// sequential baselines); the engine normalizes all of them into DrawStats
+// records plus one merged cclique::Meter, and exports the whole batch as
+// JSON for the bench harness.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cclique/meter.hpp"
+
+namespace cliquest::engine {
+
+/// One draw through the common interface. Fields a backend cannot measure
+/// stay at their zero defaults (e.g. rounds for the sequential baselines).
+struct DrawStats {
+  int index = 0;             // position within the batch
+  std::int64_t rounds = 0;   // simulated Congested Clique rounds
+  std::int64_t walk_steps = 0;  // total walk length consumed by the draw
+  int phases = 0;            // phases (clique) or doubling attempts
+  double seconds = 0.0;      // wall-clock draw time
+};
+
+/// Aggregate report for a sample_batch() call (a single sample() is a batch
+/// of one).
+struct BatchReport {
+  std::string backend;       // canonical backend name
+  int vertex_count = 0;
+  std::uint64_t seed = 0;
+  int threads = 1;
+
+  /// Times the per-graph precomputation was actually built and the wall
+  /// clock it took; stays at one build per sampler no matter how many draws
+  /// follow, which is the amortization sample_batch exists for.
+  std::int64_t prepare_builds = 0;
+  double prepare_seconds = 0.0;
+
+  std::vector<DrawStats> draws;
+
+  /// Round/message anatomy merged across all draws (empty categories for
+  /// backends that charge no simulated rounds).
+  cclique::Meter meter;
+
+  std::int64_t total_rounds() const;
+  std::int64_t total_walk_steps() const;
+  double total_seconds() const;  // sum of per-draw wall clock, excl. prepare
+  double mean_rounds() const;
+  double mean_seconds() const;
+
+  /// Human-readable aggregate table (backend, draws, rounds, timing).
+  std::string summary() const;
+
+  /// Structured export for the bench harness: backend/seed/threads header,
+  /// prepare cost, totals, means, per-draw records, and meter categories.
+  std::string to_json() const;
+};
+
+}  // namespace cliquest::engine

@@ -1,0 +1,125 @@
+#include "engine/sampler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "graph/connectivity.hpp"
+
+namespace cliquest::engine {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Independent stream for draw i of a batch: thread-count invariant, and
+/// distinct draws never share a stream. The seed is scrambled through
+/// SplitMix64 *before* the index offset so that two base seeds at a small
+/// or structured distance (s and s + c) cannot produce index-shifted copies
+/// of each other's draw sequences.
+util::Rng draw_rng(std::uint64_t seed, int draw_index) {
+  const std::uint64_t stream = util::splitmix64(
+      util::splitmix64(seed) + static_cast<std::uint64_t>(draw_index) + 1);
+  return util::Rng(stream);
+}
+
+}  // namespace
+
+SpanningTreeSampler::SpanningTreeSampler(graph::Graph g, EngineOptions options)
+    : graph_(std::make_shared<const graph::Graph>(std::move(g))),
+      options_(std::move(options)) {
+  std::vector<std::string> errors =
+      options_.validation_errors(graph_->vertex_count());
+  if (graph_->vertex_count() < 1)
+    errors.insert(errors.begin(), "graph must have at least one vertex");
+  else if (!graph::is_connected(*graph_))
+    errors.insert(errors.begin(),
+                  "graph is disconnected (" + std::to_string(graph_->vertex_count()) +
+                      " vertices, " + std::to_string(graph_->edge_count()) +
+                      " edges); spanning trees require a connected graph");
+  if (!errors.empty()) throw EngineConfigError(std::move(errors));
+}
+
+void SpanningTreeSampler::prepare() {
+  if (prepared_) return;
+  const auto start = std::chrono::steady_clock::now();
+  do_prepare();
+  prepare_seconds_ += seconds_since(start);
+  ++prepare_builds_;
+  prepared_ = true;
+}
+
+Draw SpanningTreeSampler::sample(util::Rng& rng) {
+  prepare();
+  if (graph_->vertex_count() == 1) return Draw{};  // the empty tree, uniformly
+  const auto start = std::chrono::steady_clock::now();
+  Draw draw = do_sample(rng);
+  draw.stats.seconds = seconds_since(start);
+  return draw;
+}
+
+Draw SpanningTreeSampler::sample_indexed(int draw_index) {
+  prepare();
+  Draw draw;
+  if (graph_->vertex_count() > 1) {
+    util::Rng rng = draw_rng(options_.seed, draw_index);
+    const auto start = std::chrono::steady_clock::now();
+    draw = do_sample(rng);
+    draw.stats.seconds = seconds_since(start);
+  }
+  draw.stats.index = draw_index;
+  return draw;
+}
+
+BatchResult SpanningTreeSampler::sample_batch(int k) {
+  if (k < 0) throw EngineConfigError({"sample_batch: k must be >= 0, got " +
+                                      std::to_string(k)});
+  prepare();
+
+  std::vector<Draw> draws(static_cast<std::size_t>(k));
+  const int workers = std::max(1, std::min(options_.threads, k));
+  if (workers <= 1) {
+    for (int i = 0; i < k; ++i) draws[static_cast<std::size_t>(i)] = sample_indexed(i);
+  } else {
+    std::atomic<int> next{0};
+    std::vector<std::exception_ptr> worker_errors(static_cast<std::size_t>(workers));
+    auto run = [&](std::size_t worker) {
+      try {
+        for (int i = next.fetch_add(1); i < k; i = next.fetch_add(1))
+          draws[static_cast<std::size_t>(i)] = sample_indexed(i);
+      } catch (...) {
+        worker_errors[worker] = std::current_exception();
+        next.store(k);  // drain remaining iterations on the other workers
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+      pool.emplace_back(run, static_cast<std::size_t>(w));
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& error : worker_errors)
+      if (error) std::rethrow_exception(error);
+  }
+
+  BatchResult result;
+  result.trees.reserve(draws.size());
+  const BackendInfo info = describe();
+  result.report.backend = info.name;
+  result.report.vertex_count = graph_->vertex_count();
+  result.report.seed = options_.seed;
+  result.report.threads = workers;
+  result.report.prepare_builds = prepare_builds_;
+  result.report.prepare_seconds = prepare_seconds_;
+  result.report.draws.reserve(draws.size());
+  for (Draw& draw : draws) {
+    result.report.meter.merge(draw.meter);
+    result.report.draws.push_back(draw.stats);
+    result.trees.push_back(std::move(draw.tree));
+  }
+  return result;
+}
+
+}  // namespace cliquest::engine

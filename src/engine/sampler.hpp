@@ -1,0 +1,113 @@
+#pragma once
+
+// The unified spanning-tree engine interface.
+//
+// SpanningTreeSampler is the single public entry point for drawing uniform
+// spanning trees: one abstract interface (prepare / sample / sample_batch /
+// describe) with an adapter per algorithm (engine/backends.hpp) and a
+// registry/factory for construction by Backend enum or string
+// (engine/registry.hpp).
+//
+// Lifecycle: construction validates the options against the graph
+// (EngineConfigError collects every violation; disconnected graphs are
+// rejected up front). prepare() hoists per-graph precomputation — transition
+// matrices, Schur/shortcut derivative graphs, target lengths — out of the
+// draw path; it is idempotent and implied by the first draw. sample_batch(k)
+// amortizes that precomputation across k draws and can fan the draws across
+// options().threads worker threads; draw i always uses an independent Rng
+// stream derived from (options().seed, i), so a batch is reproducible and
+// thread-count invariant.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cclique/meter.hpp"
+#include "engine/options.hpp"
+#include "engine/report.hpp"
+#include "graph/graph.hpp"
+#include "graph/spanning.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::engine {
+
+/// Static description of a backend, for backend matrices and bench labels.
+struct BackendInfo {
+  Backend backend = Backend::congested_clique;
+  std::string name;              // canonical registry name
+  std::string round_complexity;  // e.g. "~O(n^{1/2+a}) clique rounds"
+  std::string error_guarantee;   // e.g. "eps TV" or "exact"
+  bool distributed = false;      // charges simulated clique rounds
+};
+
+/// One tree plus the normalized per-draw statistics.
+struct Draw {
+  graph::TreeEdges tree;
+  DrawStats stats;
+  cclique::Meter meter;  // per-draw round anatomy (empty for baselines)
+};
+
+/// sample_batch output: k trees (index-aligned with report.draws) plus the
+/// aggregate report.
+struct BatchResult {
+  std::vector<graph::TreeEdges> trees;
+  BatchReport report;
+};
+
+class SpanningTreeSampler {
+ public:
+  virtual ~SpanningTreeSampler() = default;
+
+  SpanningTreeSampler(const SpanningTreeSampler&) = delete;
+  SpanningTreeSampler& operator=(const SpanningTreeSampler&) = delete;
+
+  /// Hoists per-graph precomputation out of the draw path. Idempotent; after
+  /// the first call, concurrent sample() calls with distinct Rngs are safe.
+  void prepare();
+  bool prepared() const { return prepared_; }
+
+  /// Times the precomputation was actually built (0 before prepare, then 1).
+  std::int64_t prepare_builds() const { return prepare_builds_; }
+  double prepare_seconds() const { return prepare_seconds_; }
+
+  /// Draws one spanning tree with the caller's Rng. Implies prepare().
+  Draw sample(util::Rng& rng);
+
+  /// Draws one tree from the stream (options().seed, draw_index); the
+  /// deterministic building block sample_batch is made of.
+  Draw sample_indexed(int draw_index);
+
+  /// Draws k trees, reusing the prepare() precomputation for every draw and
+  /// fanning the work across min(options().threads, k) worker threads.
+  BatchResult sample_batch(int k);
+
+  virtual BackendInfo describe() const = 0;
+
+  const graph::Graph& graph() const { return *graph_; }
+  const EngineOptions& options() const { return options_; }
+
+ protected:
+  /// Validates (throws EngineConfigError: disconnected graph, empty graph,
+  /// out-of-range start_vertex/rho_override, bad scalar knobs) and takes
+  /// ownership of the graph copy.
+  SpanningTreeSampler(graph::Graph g, EngineOptions options);
+
+  /// Backend hooks. do_sample must be safe to call concurrently (with
+  /// distinct Rngs) once do_prepare has run.
+  virtual void do_prepare() = 0;
+  virtual Draw do_sample(util::Rng& rng) const = 0;
+
+  /// Shared ownership of the (immutable) graph, for adapters whose wrapped
+  /// sampler can share it instead of copying (one graph copy per stack).
+  const std::shared_ptr<const graph::Graph>& graph_ptr() const { return graph_; }
+
+ private:
+  std::shared_ptr<const graph::Graph> graph_;
+  EngineOptions options_;
+  bool prepared_ = false;
+  std::int64_t prepare_builds_ = 0;
+  double prepare_seconds_ = 0.0;
+};
+
+}  // namespace cliquest::engine

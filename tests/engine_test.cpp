@@ -1,0 +1,371 @@
+// Tests for the unified engine layer: registry round-trips, options
+// validation with collected errors, batch determinism (including thread-count
+// invariance), prepare() amortization, the unified report/JSON export, and a
+// chi-square uniformity smoke test run through every backend via the common
+// SpanningTreeSampler interface.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "engine/engine.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning.hpp"
+#include "util/statistics.hpp"
+
+namespace cliquest::engine {
+namespace {
+
+TEST(EngineBackendTest, NameRoundTripCoversAllBackends) {
+  ASSERT_EQ(all_backends().size(), 4u);
+  for (Backend backend : all_backends())
+    EXPECT_EQ(backend_from_string(backend_name(backend)), backend);
+}
+
+TEST(EngineBackendTest, UnknownNameThrowsListingKnownBackends) {
+  try {
+    backend_from_string("no_such_backend");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no_such_backend"), std::string::npos);
+    EXPECT_NE(what.find("congested_clique"), std::string::npos);
+    EXPECT_NE(what.find("wilson"), std::string::npos);
+  }
+}
+
+TEST(EngineRegistryTest, RoundTripOverAllBackends) {
+  const graph::Graph g = graph::complete(4);
+  auto& registry = SamplerRegistry::instance();
+  for (Backend backend : all_backends()) {
+    SCOPED_TRACE(std::string(backend_name(backend)));
+    // Enum lookup.
+    auto by_enum = registry.create(backend, g);
+    ASSERT_NE(by_enum, nullptr);
+    EXPECT_EQ(by_enum->describe().backend, backend);
+    EXPECT_EQ(by_enum->options().backend, backend);
+    // String lookup produces the same backend.
+    auto by_name = registry.create(backend_name(backend), g);
+    ASSERT_NE(by_name, nullptr);
+    EXPECT_EQ(by_name->describe().backend, backend);
+    EXPECT_EQ(by_name->describe().name, backend_name(backend));
+  }
+  const auto names = registry.names();
+  for (Backend backend : all_backends())
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        std::string(backend_name(backend))),
+              names.end());
+}
+
+TEST(EngineRegistryTest, UnknownNameThrowsListingRegistered) {
+  EXPECT_THROW(SamplerRegistry::instance().create("nope", graph::complete(3)),
+               std::invalid_argument);
+}
+
+TEST(EngineRegistryTest, CustomRegistrationAndDuplicateRejection) {
+  // A locally constructed registry comes pre-populated with the built-ins
+  // and keeps custom registrations out of the process-wide instance().
+  SamplerRegistry registry;
+  EXPECT_THROW(registry.add("wilson", nullptr), std::invalid_argument);
+  registry.add("test_custom", [](graph::Graph g, const EngineOptions& options) {
+    return std::unique_ptr<SpanningTreeSampler>(
+        new WilsonBackend(std::move(g), options));
+  });
+  EXPECT_TRUE(registry.contains("test_custom"));
+  EXPECT_FALSE(SamplerRegistry::instance().contains("test_custom"));
+  auto sampler = registry.create("test_custom", graph::complete(4));
+  util::Rng rng(1);
+  EXPECT_TRUE(graph::is_spanning_tree(graph::complete(4), sampler->sample(rng).tree));
+  // The global registry holds exactly the four built-ins.
+  EXPECT_EQ(SamplerRegistry::instance().names().size(), all_backends().size());
+}
+
+TEST(EngineOptionsTest, BuilderProducesValidatedOptions) {
+  const EngineOptions options = EngineOptions::builder()
+                                    .backend("doubling")
+                                    .seed(42)
+                                    .threads(4)
+                                    .start_vertex(2)
+                                    .epsilon(1e-2)
+                                    .build();
+  EXPECT_EQ(options.backend, Backend::doubling);
+  EXPECT_EQ(options.seed, 42u);
+  EXPECT_EQ(options.threads, 4);
+  EXPECT_EQ(options.start_vertex, 2);
+  EXPECT_DOUBLE_EQ(options.clique.epsilon, 1e-2);
+  EXPECT_EQ(options.covertime_options().root, 2);
+  EXPECT_EQ(options.clique_options().start_vertex, 2);
+}
+
+TEST(EngineOptionsTest, BuilderRejectsBadScalarsWithAllErrors) {
+  try {
+    EngineOptions::builder().epsilon(-1.0).threads(0).rho_override(-3).build();
+    FAIL() << "expected EngineConfigError";
+  } catch (const EngineConfigError& e) {
+    EXPECT_EQ(e.errors().size(), 3u);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("epsilon"), std::string::npos);
+    EXPECT_NE(what.find("threads"), std::string::npos);
+    EXPECT_NE(what.find("rho_override"), std::string::npos);
+  }
+}
+
+TEST(EngineOptionsTest, RhoOverrideOfOneRejectedUpFront) {
+  // rho = 1 can never drive a phase; the engine rejects it at validation
+  // time instead of letting the backend constructor throw a bare error.
+  EXPECT_THROW(EngineOptions::builder().rho_override(1).build(), EngineConfigError);
+  EXPECT_NO_THROW(EngineOptions::builder().rho_override(0).build());
+  EXPECT_NO_THROW(EngineOptions::builder().rho_override(2).build());
+}
+
+TEST(EngineOptionsTest, GraphDependentValidation) {
+  EngineOptions options;
+  options.start_vertex = 7;
+  EXPECT_TRUE(options.validation_errors().empty());  // range unknown yet
+  EXPECT_FALSE(options.validation_errors(4).empty());
+  options.start_vertex = 0;
+  options.clique.rho_override = 9;
+  EXPECT_FALSE(options.validation_errors(4).empty());
+  EXPECT_TRUE(options.validation_errors(16).empty());
+}
+
+TEST(EngineSamplerTest, RejectsDisconnectedGraphDescriptively) {
+  graph::Graph disconnected(4);
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(2, 3);
+  for (Backend backend : all_backends()) {
+    SCOPED_TRACE(std::string(backend_name(backend)));
+    try {
+      SamplerRegistry::instance().create(backend, disconnected);
+      FAIL() << "expected EngineConfigError";
+    } catch (const EngineConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("disconnected"), std::string::npos);
+    }
+  }
+}
+
+TEST(EngineSamplerTest, RejectsBadStartVertexOnEveryBackend) {
+  EngineOptions options;
+  options.start_vertex = 99;
+  for (Backend backend : all_backends())
+    EXPECT_THROW(SamplerRegistry::instance().create(backend, graph::complete(4), options),
+                 EngineConfigError);
+}
+
+TEST(EngineSamplerTest, AllBackendsProduceValidTrees) {
+  util::Rng gen(3);
+  const graph::Graph g = graph::gnp_connected(24, 0.3, gen);
+  for (Backend backend : all_backends()) {
+    SCOPED_TRACE(std::string(backend_name(backend)));
+    auto sampler = SamplerRegistry::instance().create(backend, g);
+    util::Rng rng(4);
+    for (int i = 0; i < 3; ++i) {
+      const Draw draw = sampler->sample(rng);
+      EXPECT_TRUE(graph::is_spanning_tree(g, draw.tree));
+    }
+  }
+}
+
+TEST(EngineSamplerTest, BatchIsDeterministicUnderFixedSeed) {
+  util::Rng gen(5);
+  const graph::Graph g = graph::gnp_connected(16, 0.4, gen);
+  for (Backend backend : all_backends()) {
+    SCOPED_TRACE(std::string(backend_name(backend)));
+    EngineOptions options;
+    options.seed = 99;
+    auto a = SamplerRegistry::instance().create(backend, g, options);
+    auto b = SamplerRegistry::instance().create(backend, g, options);
+    const BatchResult ra = a->sample_batch(6);
+    const BatchResult rb = b->sample_batch(6);
+    ASSERT_EQ(ra.trees.size(), 6u);
+    for (std::size_t i = 0; i < ra.trees.size(); ++i)
+      EXPECT_EQ(graph::tree_key(ra.trees[i]), graph::tree_key(rb.trees[i]));
+  }
+}
+
+TEST(EngineSamplerTest, BatchIsThreadCountInvariant) {
+  util::Rng gen(6);
+  const graph::Graph g = graph::gnp_connected(16, 0.4, gen);
+  for (Backend backend : all_backends()) {
+    SCOPED_TRACE(std::string(backend_name(backend)));
+    EngineOptions serial;
+    serial.seed = 7;
+    serial.threads = 1;
+    EngineOptions parallel = serial;
+    parallel.threads = 4;
+    const BatchResult rs =
+        SamplerRegistry::instance().create(backend, g, serial)->sample_batch(8);
+    const BatchResult rp =
+        SamplerRegistry::instance().create(backend, g, parallel)->sample_batch(8);
+    ASSERT_EQ(rs.trees.size(), rp.trees.size());
+    for (std::size_t i = 0; i < rs.trees.size(); ++i)
+      EXPECT_EQ(graph::tree_key(rs.trees[i]), graph::tree_key(rp.trees[i]));
+    for (const graph::TreeEdges& tree : rp.trees)
+      EXPECT_TRUE(graph::is_spanning_tree(g, tree));
+  }
+}
+
+TEST(EngineSamplerTest, DistinctDrawsUseDistinctStreams) {
+  const graph::Graph g = graph::complete(6);
+  auto sampler = SamplerRegistry::instance().create(Backend::wilson, g);
+  const BatchResult r = sampler->sample_batch(32);
+  std::set<std::string> keys;
+  for (const graph::TreeEdges& tree : r.trees) keys.insert(graph::tree_key(tree));
+  // 1296 spanning trees on K6: 32 draws from one stuck stream would all
+  // coincide; independent streams should essentially never collide 32 times.
+  EXPECT_GT(keys.size(), 10u);
+}
+
+TEST(EngineSamplerTest, PrepareIsAmortizedAcrossBatchDraws) {
+  util::Rng gen(8);
+  const graph::Graph g = graph::gnp_connected(32, 0.3, gen);
+  EngineOptions options;
+  auto sampler = SamplerRegistry::instance().create(Backend::congested_clique, g,
+                                                    options);
+  auto* clique = dynamic_cast<CongestedCliqueBackend*>(sampler.get());
+  ASSERT_NE(clique, nullptr);
+  EXPECT_EQ(sampler->prepare_builds(), 0);
+  EXPECT_FALSE(clique->impl().prepared());
+
+  const BatchResult r = sampler->sample_batch(6);
+  ASSERT_EQ(r.trees.size(), 6u);
+  // The per-graph precomputation was built exactly once for all six draws —
+  // the per-draw cost drop sample_batch exists for.
+  EXPECT_EQ(sampler->prepare_builds(), 1);
+  EXPECT_EQ(clique->impl().prepare_builds(), 1);
+  EXPECT_EQ(r.report.prepare_builds, 1);
+
+  // Further draws and batches never rebuild it.
+  util::Rng rng(9);
+  sampler->sample(rng);
+  sampler->sample_batch(3);
+  EXPECT_EQ(sampler->prepare_builds(), 1);
+  EXPECT_EQ(clique->impl().prepare_builds(), 1);
+}
+
+TEST(EngineSamplerTest, PreparedCliqueSamplerMatchesUnpreparedLaw) {
+  // The cache must not change the sampled distribution: identical seeds give
+  // identical trees with and without prepare().
+  util::Rng gen(10);
+  const graph::Graph g = graph::gnp_connected(20, 0.3, gen);
+  core::CongestedCliqueTreeSampler cold(g, core::SamplerOptions{});
+  core::CongestedCliqueTreeSampler warm(g, core::SamplerOptions{});
+  warm.prepare();
+  util::Rng r1(11), r2(11);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_EQ(graph::tree_key(cold.sample(r1).tree),
+              graph::tree_key(warm.sample(r2).tree));
+}
+
+TEST(EngineSamplerTest, BatchReportAggregatesAndExportsJson) {
+  util::Rng gen(12);
+  const graph::Graph g = graph::gnp_connected(16, 0.4, gen);
+  EngineOptions options;
+  options.seed = 5;
+  options.threads = 2;
+  auto sampler = make_sampler(g, options);  // default backend: clique
+  const BatchResult r = sampler->sample_batch(4);
+
+  ASSERT_EQ(r.report.draws.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(r.report.draws[static_cast<std::size_t>(i)].index, i);
+  EXPECT_GT(r.report.total_rounds(), 0);
+  EXPECT_EQ(r.report.backend, "congested_clique");
+  EXPECT_EQ(r.report.vertex_count, 16);
+  EXPECT_GT(r.report.meter.total_rounds(), 0);
+  // Aggregate meter equals the sum of the per-draw rounds.
+  EXPECT_EQ(r.report.meter.total_rounds(), r.report.total_rounds());
+
+  const std::string json = r.report.to_json();
+  for (const char* key :
+       {"\"backend\":\"congested_clique\"", "\"n\":16", "\"seed\":5",
+        "\"draw_count\":4", "\"prepare\":", "\"totals\":", "\"means\":",
+        "\"draws\":[", "\"meter\":", "phase/matmul_powers"})
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key << " in " << json;
+
+  const std::string summary = r.report.summary();
+  EXPECT_NE(summary.find("congested_clique"), std::string::npos);
+}
+
+TEST(EngineSamplerTest, DescribeMatchesBackendSemantics) {
+  const graph::Graph g = graph::complete(4);
+  for (Backend backend : all_backends()) {
+    auto sampler = SamplerRegistry::instance().create(backend, g);
+    const BackendInfo info = sampler->describe();
+    EXPECT_EQ(info.backend, backend);
+    EXPECT_FALSE(info.round_complexity.empty());
+    EXPECT_FALSE(info.error_guarantee.empty());
+  }
+  EngineOptions exact;
+  exact.clique.mode = core::SamplingMode::exact;
+  auto sampler = SamplerRegistry::instance().create(Backend::congested_clique, g, exact);
+  EXPECT_NE(sampler->describe().round_complexity.find("2/3"), std::string::npos);
+  EXPECT_EQ(sampler->describe().error_guarantee, "exact");
+}
+
+TEST(EngineSamplerTest, SingleVertexAndSingleEdgeUniformAcrossBackends) {
+  const graph::Graph one(1);
+  graph::Graph two(2);
+  two.add_edge(0, 1);
+  for (Backend backend : all_backends()) {
+    SCOPED_TRACE(std::string(backend_name(backend)));
+    auto trivial = SamplerRegistry::instance().create(backend, one);
+    const BatchResult r1 = trivial->sample_batch(2);
+    for (const graph::TreeEdges& tree : r1.trees) EXPECT_TRUE(tree.empty());
+    auto edge = SamplerRegistry::instance().create(backend, two);
+    const BatchResult r2 = edge->sample_batch(2);
+    for (const graph::TreeEdges& tree : r2.trees) {
+      ASSERT_EQ(tree.size(), 1u);
+      EXPECT_EQ(tree[0], (std::pair<int, int>{0, 1}));
+    }
+  }
+}
+
+TEST(EngineSamplerTest, StartVertexUniformAcrossBackends) {
+  const graph::Graph g = graph::path(8);
+  EngineOptions options;
+  options.start_vertex = 4;
+  for (Backend backend : all_backends()) {
+    SCOPED_TRACE(std::string(backend_name(backend)));
+    auto sampler = SamplerRegistry::instance().create(backend, g, options);
+    util::Rng rng(13);
+    EXPECT_TRUE(graph::is_spanning_tree(g, sampler->sample(rng).tree));
+  }
+}
+
+// Chi-square uniformity smoke test on K4 through the shared interface.
+class EngineUniformitySmoke : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(EngineUniformitySmoke, UniformOnK4) {
+  const graph::Graph g = graph::complete(4);
+  const auto trees = graph::enumerate_spanning_trees(g);
+  ASSERT_EQ(trees.size(), 16u);
+
+  EngineOptions options;
+  options.seed = 21;
+  auto sampler = SamplerRegistry::instance().create(GetParam(), g, options);
+  const int samples = 4000;
+  const BatchResult r = sampler->sample_batch(samples);
+
+  util::FrequencyTable freq;
+  for (const graph::TreeEdges& tree : r.trees) {
+    ASSERT_TRUE(graph::is_spanning_tree(g, tree));
+    freq.add(graph::tree_key(tree));
+  }
+  std::vector<std::int64_t> counts;
+  for (const auto& t : trees) counts.push_back(freq.count(graph::tree_key(t)));
+  const std::vector<double> uniform(trees.size(), 1.0);
+  EXPECT_LT(util::chi_square(counts, uniform),
+            util::chi_square_critical(static_cast<int>(trees.size()) - 1))
+      << backend_name(GetParam()) << " deviates from the uniform tree law";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, EngineUniformitySmoke,
+                         ::testing::ValuesIn(all_backends()),
+                         [](const auto& info) {
+                           return std::string(backend_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace cliquest::engine
