@@ -89,6 +89,15 @@ void CongestedCliqueTreeSampler::prepare() {
   ++prepare_builds_;
 }
 
+std::size_t CongestedCliqueTreeSampler::memory_bytes() const {
+  if (!precomputed_.has_value()) return 0;
+  std::size_t bytes = precomputed_->full_transition.memory_bytes() +
+                      precomputed_->full_shortcut.memory_bytes();
+  for (const linalg::Matrix& power : precomputed_->full_powers)
+    bytes += power.memory_bytes();
+  return bytes;
+}
+
 TreeSample CongestedCliqueTreeSampler::sample(util::Rng& rng) const {
   const int n = graph().vertex_count();
   TreeSample result;

@@ -60,6 +60,12 @@ class CongestedCliqueTreeSampler {
   /// matter how many draws follow a prepare(); batch harnesses assert on it).
   int prepare_builds() const { return prepare_builds_; }
 
+  /// Bytes held by the prepare() cache: the full power table — the dominant
+  /// (log2(target_length) + 1)·n² doubles — plus the phase-1 transition and
+  /// shortcut matrices. 0 before prepare(). The engine pool charges this
+  /// against its LRU memory budget.
+  std::size_t memory_bytes() const;
+
   /// Draws one spanning tree with full round accounting. Reuses the
   /// prepare() cache when present; otherwise computes per-graph state
   /// locally (the pre-engine one-shot behaviour).

@@ -27,6 +27,10 @@ BackendInfo CongestedCliqueBackend::describe() const {
 
 void CongestedCliqueBackend::do_prepare() { impl_.prepare(); }
 
+std::size_t CongestedCliqueBackend::do_memory_bytes() const {
+  return impl_.memory_bytes();
+}
+
 Draw CongestedCliqueBackend::do_sample(util::Rng& rng) const {
   core::TreeSample sample = impl_.sample(rng);
   Draw draw;
@@ -55,6 +59,8 @@ BackendInfo DoublingBackend::describe() const {
 }
 
 void DoublingBackend::do_prepare() {}
+
+std::size_t DoublingBackend::do_memory_bytes() const { return 0; }
 
 Draw DoublingBackend::do_sample(util::Rng& rng) const {
   cclique::Meter meter;
@@ -86,6 +92,8 @@ BackendInfo WilsonBackend::describe() const {
 
 void WilsonBackend::do_prepare() {}
 
+std::size_t WilsonBackend::do_memory_bytes() const { return 0; }
+
 Draw WilsonBackend::do_sample(util::Rng& rng) const {
   Draw draw;
   draw.tree = walk::wilson(graph(), options().start_vertex, rng);
@@ -108,6 +116,8 @@ BackendInfo AldousBroderBackend::describe() const {
 }
 
 void AldousBroderBackend::do_prepare() {}
+
+std::size_t AldousBroderBackend::do_memory_bytes() const { return 0; }
 
 Draw AldousBroderBackend::do_sample(util::Rng& rng) const {
   walk::AldousBroderResult result =

@@ -27,6 +27,9 @@ class CongestedCliqueBackend final : public SpanningTreeSampler {
  protected:
   void do_prepare() override;
   Draw do_sample(util::Rng& rng) const override;
+  /// Power table + phase-1 transition/shortcut matrices; the memory hot spot
+  /// the pool's byte budget exists for.
+  std::size_t do_memory_bytes() const override;
 
  private:
   core::CongestedCliqueTreeSampler impl_;
@@ -41,6 +44,7 @@ class DoublingBackend final : public SpanningTreeSampler {
  protected:
   void do_prepare() override;
   Draw do_sample(util::Rng& rng) const override;
+  std::size_t do_memory_bytes() const override;  // no precomputation: 0
 };
 
 /// Wilson's loop-erased-walk sampler (sequential exact baseline).
@@ -52,6 +56,7 @@ class WilsonBackend final : public SpanningTreeSampler {
  protected:
   void do_prepare() override;
   Draw do_sample(util::Rng& rng) const override;
+  std::size_t do_memory_bytes() const override;  // no precomputation: 0
 };
 
 /// Aldous-Broder cover-time sampler (sequential exact baseline).
@@ -63,6 +68,7 @@ class AldousBroderBackend final : public SpanningTreeSampler {
  protected:
   void do_prepare() override;
   Draw do_sample(util::Rng& rng) const override;
+  std::size_t do_memory_bytes() const override;  // no precomputation: 0
 };
 
 }  // namespace cliquest::engine

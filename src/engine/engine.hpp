@@ -14,9 +14,11 @@
 //   auto batch = sampler->sample_batch(128);  // amortized precomputation
 //   std::puts(batch.report.to_json().c_str());
 
-#include "engine/backend.hpp"    // IWYU pragma: export
-#include "engine/backends.hpp"   // IWYU pragma: export
-#include "engine/options.hpp"    // IWYU pragma: export
-#include "engine/registry.hpp"   // IWYU pragma: export
-#include "engine/report.hpp"     // IWYU pragma: export
-#include "engine/sampler.hpp"    // IWYU pragma: export
+#include "engine/backend.hpp"      // IWYU pragma: export
+#include "engine/backends.hpp"     // IWYU pragma: export
+#include "engine/fingerprint.hpp"  // IWYU pragma: export
+#include "engine/options.hpp"      // IWYU pragma: export
+#include "engine/pool.hpp"         // IWYU pragma: export
+#include "engine/registry.hpp"     // IWYU pragma: export
+#include "engine/report.hpp"       // IWYU pragma: export
+#include "engine/sampler.hpp"      // IWYU pragma: export

@@ -1,0 +1,70 @@
+#include "engine/fingerprint.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cliquest::engine {
+namespace {
+
+/// One lane of the 128-bit hash: an accumulate-and-finalize chain over
+/// 64-bit words, seeded differently per lane so the lanes are independent.
+struct Lane {
+  std::uint64_t state;
+
+  explicit Lane(std::uint64_t seed) : state(util::splitmix64(seed)) {}
+
+  void absorb(std::uint64_t word) {
+    state = util::splitmix64(state ^ util::splitmix64(word));
+  }
+};
+
+}  // namespace
+
+std::string Fingerprint::to_string() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(15 - i)] = digits[(hi >> (4 * i)) & 0xf];
+    out[static_cast<std::size_t>(31 - i)] = digits[(lo >> (4 * i)) & 0xf];
+  }
+  return out;
+}
+
+Fingerprint fingerprint_graph(const graph::Graph& g) {
+  // Canonical edge list: endpoints normalized to (min, max), sorted.
+  struct Canonical {
+    int u, v;
+    std::uint64_t weight_bits;
+    bool operator<(const Canonical& other) const {
+      if (u != other.u) return u < other.u;
+      if (v != other.v) return v < other.v;
+      return weight_bits < other.weight_bits;
+    }
+  };
+  std::vector<Canonical> canon;
+  canon.reserve(static_cast<std::size_t>(g.edge_count()));
+  for (const graph::Edge& e : g.edges())
+    canon.push_back({std::min(e.u, e.v), std::max(e.u, e.v),
+                     std::bit_cast<std::uint64_t>(e.weight)});
+  std::sort(canon.begin(), canon.end());
+
+  Lane a(0x9d5ce5ce11a90feeULL);
+  Lane b(0x6a1f36a3c5b2e04dULL);
+  const auto absorb = [&](std::uint64_t word) {
+    a.absorb(word);
+    b.absorb(~word);
+  };
+  absorb(static_cast<std::uint64_t>(g.vertex_count()));
+  absorb(static_cast<std::uint64_t>(g.edge_count()));
+  for (const Canonical& e : canon) {
+    absorb((static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.u)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.v)));
+    absorb(e.weight_bits);
+  }
+  return Fingerprint{a.state, b.state};
+}
+
+}  // namespace cliquest::engine

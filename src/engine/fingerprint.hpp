@@ -1,0 +1,44 @@
+#pragma once
+
+// Structural graph fingerprints for the sampler pool's admission map.
+//
+// A fingerprint is a 128-bit hash of the canonical edge list: vertex count,
+// edge count, and every edge as (min endpoint, max endpoint, weight bits) in
+// sorted order. Edge *insertion order* therefore never matters, but vertex
+// labels do — two isomorphic graphs with different labelings are distinct
+// graphs to a sampler (trees are reported in the input labeling), so they
+// hash apart on purpose. 128 bits keeps accidental collisions out of reach
+// for any realistic pool population.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace cliquest::engine {
+
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+
+  /// 32 lowercase hex digits (hi then lo); the key used in logs and errors.
+  std::string to_string() const;
+};
+
+/// The canonical edge-list hash of g (see file comment for what "canonical"
+/// includes). Deterministic across runs and platforms.
+Fingerprint fingerprint_graph(const graph::Graph& g);
+
+}  // namespace cliquest::engine
+
+template <>
+struct std::hash<cliquest::engine::Fingerprint> {
+  std::size_t operator()(const cliquest::engine::Fingerprint& fp) const noexcept {
+    // hi and lo are already well mixed; fold them.
+    return static_cast<std::size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};

@@ -1,0 +1,280 @@
+#include "engine/pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "engine/registry.hpp"
+
+namespace cliquest::engine {
+
+/// Pool-side state for one admitted graph. fingerprint/graph/options are
+/// immutable after admission; everything else is guarded by the pool mutex,
+/// except that build_mutex alone serializes the build-and-prepare of
+/// sampler (which must not run under the pool mutex, so hot entries keep
+/// serving while a cold one prepares).
+struct SamplerPool::Entry {
+  Fingerprint fingerprint;
+  /// The admitted graph. After the first build this aliases the sampler's
+  /// own immutable copy (graph_handle()), so a resident entry holds one
+  /// graph copy in total, and that copy is what memory_bytes() charges.
+  std::shared_ptr<const graph::Graph> graph;
+  EngineOptions options;
+
+  std::mutex build_mutex;
+  std::shared_ptr<SpanningTreeSampler> sampler;  // null until built / after eviction
+  std::size_t bytes = 0;                         // charged while resident
+  bool is_resident = false;
+  std::list<Fingerprint>::iterator lru_it;
+
+  std::int64_t next_index = 0;  // draw cursor: batches reserve [next, next + k)
+  std::int64_t prepares = 0;    // precomputation builds (eviction resets
+                                // sampler, not this)
+};
+
+SamplerPool::SamplerPool(PoolOptions options) : options_(std::move(options)) {
+  if (options_.workers < 0)
+    throw EngineConfigError({"SamplerPool: workers must be >= 0, got " +
+                             std::to_string(options_.workers)});
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int w = 0; w < options_.workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+SamplerPool::~SamplerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+Fingerprint SamplerPool::admit(const graph::Graph& g) {
+  return admit(g, options_.engine);
+}
+
+Fingerprint SamplerPool::admit(const graph::Graph& g, EngineOptions options) {
+  const Fingerprint fp = fingerprint_graph(g);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.count(fp) > 0) return fp;  // idempotent; first admission wins
+  }
+  // Validate outside the lock (is_connected is O(n + m)) with exactly the
+  // checks sampler construction applies, so a worker never trips over a bad
+  // graph long after admit() returned.
+  std::vector<std::string> errors =
+      SpanningTreeSampler::validation_errors(g, options);
+  if (!errors.empty()) throw EngineConfigError(std::move(errors));
+
+  auto entry = std::make_shared<Entry>();
+  entry->fingerprint = fp;
+  entry->graph = std::make_shared<const graph::Graph>(g);
+  entry->options = std::move(options);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.emplace(fp, std::move(entry)).second) ++stats_.admissions;
+  return fp;
+}
+
+bool SamplerPool::admitted(const Fingerprint& fp) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(fp) > 0;
+}
+
+bool SamplerPool::resident(const Fingerprint& fp) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(fp);
+  return it != entries_.end() && it->second->is_resident;
+}
+
+std::int64_t SamplerPool::prepare_count(const Fingerprint& fp) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_locked(fp)->prepares;
+}
+
+std::shared_ptr<SamplerPool::Entry> SamplerPool::find_locked(
+    const Fingerprint& fp) const {
+  const auto it = entries_.find(fp);
+  if (it == entries_.end())
+    throw std::out_of_range("SamplerPool: unknown fingerprint " + fp.to_string() +
+                            " (admit the graph first)");
+  return it->second;
+}
+
+std::int64_t SamplerPool::reserve_locked(Entry& entry, int k) {
+  const std::int64_t first = entry.next_index;
+  entry.next_index += k;
+  return first;
+}
+
+void SamplerPool::touch_locked(Entry& entry) {
+  if (!entry.is_resident) return;
+  lru_.splice(lru_.end(), lru_, entry.lru_it);  // move to hottest position
+}
+
+void SamplerPool::evict_to_budget_locked() {
+  while (resident_bytes_ > options_.memory_budget_bytes && !lru_.empty()) {
+    const std::shared_ptr<Entry> coldest = entries_.at(lru_.front());
+    lru_.pop_front();
+    coldest->is_resident = false;
+    resident_bytes_ -= coldest->bytes;
+    coldest->bytes = 0;
+    // In-flight batches keep their own shared_ptr; the tables are freed when
+    // the last of them finishes.
+    coldest->sampler.reset();
+    ++stats_.evictions;
+  }
+}
+
+PoolBatchResult SamplerPool::serve(const std::shared_ptr<Entry>& entry,
+                                   std::int64_t first_index, int k) {
+  std::shared_ptr<SpanningTreeSampler> sampler;
+  bool hit = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sampler = entry->sampler;
+    if (sampler != nullptr) touch_locked(*entry);
+  }
+  if (sampler == nullptr) {
+    // Cold entry: exactly one server builds and prepares it; the others wait
+    // here. The pool mutex stays free, so batches on hot entries overlap
+    // with this prepare.
+    std::lock_guard<std::mutex> build(entry->build_mutex);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      sampler = entry->sampler;
+    }
+    if (sampler == nullptr) {
+      hit = false;
+      sampler = std::shared_ptr<SpanningTreeSampler>(
+          make_sampler(graph::Graph(*entry->graph), entry->options));
+      sampler->prepare();
+      const std::size_t bytes = sampler->memory_bytes();
+      std::lock_guard<std::mutex> lock(mutex_);
+      // Alias the sampler's graph copy and drop ours: one copy per entry.
+      entry->graph = sampler->graph_handle();
+      entry->prepares += 1;
+      stats_.prepares += 1;
+      if (bytes > options_.memory_budget_bytes) {
+        // Oversized: no amount of eviction makes it fit, so serve from the
+        // local reference without retaining it — and without flushing the
+        // colder residents, which would not have bought any room. Every
+        // batch on this entry stays a miss that re-prepares.
+      } else {
+        entry->sampler = sampler;
+        entry->bytes = bytes;
+        resident_bytes_ += bytes;
+        entry->lru_it = lru_.insert(lru_.end(), entry->fingerprint);
+        entry->is_resident = true;
+        evict_to_budget_locked();
+        stats_.peak_resident_bytes =
+            std::max(stats_.peak_resident_bytes, resident_bytes_);
+      }
+    }
+  }
+
+  BatchResult batch = sampler->sample_batch_from(first_index, k);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.draws += k;
+    if (hit)
+      ++stats_.hits;
+    else
+      ++stats_.misses;
+  }
+
+  PoolBatchResult result;
+  result.fingerprint = entry->fingerprint;
+  result.first_draw_index = first_index;
+  result.hit = hit;
+  result.batch = std::move(batch);
+  return result;
+}
+
+PoolBatchResult SamplerPool::sample_batch(const Fingerprint& fp, int k) {
+  if (k < 0)
+    throw EngineConfigError(
+        {"SamplerPool::sample_batch: k must be >= 0, got " + std::to_string(k)});
+  std::shared_ptr<Entry> entry;
+  std::int64_t first = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry = find_locked(fp);
+    first = reserve_locked(*entry, k);
+  }
+  return serve(entry, first, k);
+}
+
+std::future<PoolBatchResult> SamplerPool::submit_batch(const Fingerprint& fp,
+                                                       int k) {
+  if (k < 0)
+    throw EngineConfigError(
+        {"SamplerPool::submit_batch: k must be >= 0, got " + std::to_string(k)});
+  Job job;
+  job.count = k;
+  std::future<PoolBatchResult> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.entry = find_locked(fp);
+    // Reserving at submission (not execution) time pins every draw's
+    // (seed, index) stream the moment the caller enqueues, independent of
+    // worker scheduling.
+    job.first_index = reserve_locked(*job.entry, k);
+    if (!workers_.empty()) {
+      queue_.push_back(std::move(job));
+    }
+  }
+  if (workers_.empty()) {
+    // workers == 0: run inline; the future is ready on return.
+    try {
+      job.promise.set_value(serve(job.entry, job.first_index, job.count));
+    } catch (...) {
+      job.promise.set_exception(std::current_exception());
+    }
+  } else {
+    queue_cv_.notify_one();
+  }
+  return future;
+}
+
+void SamplerPool::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      job.promise.set_value(serve(job.entry, job.first_index, job.count));
+    } catch (...) {
+      job.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+std::vector<Fingerprint> SamplerPool::resident_order() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {lru_.begin(), lru_.end()};
+}
+
+std::size_t SamplerPool::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
+}
+
+PoolStats SamplerPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PoolStats snapshot = stats_;
+  snapshot.resident_bytes = resident_bytes_;
+  snapshot.resident_count = static_cast<int>(lru_.size());
+  snapshot.admitted_count = static_cast<int>(entries_.size());
+  return snapshot;
+}
+
+}  // namespace cliquest::engine

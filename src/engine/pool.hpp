@@ -1,0 +1,176 @@
+#pragma once
+
+// SamplerPool: a memory-budgeted, LRU-evicting, async serving layer over
+// prepared samplers.
+//
+// The engine's prepare() hoists the expensive per-graph precomputation (for
+// the clique backend the phase-1 power table, (log2 l + 1)·n² doubles — the
+// memory hot spot) out of the draw path; the pool is the layer that keeps
+// *many* prepared samplers resident at once and serves batches against them:
+//
+//   - Admission: graphs enter under a structural Fingerprint (canonical
+//     edge-list hash, engine/fingerprint.hpp). Admission is idempotent — the
+//     first admission's EngineOptions win — and validates the graph and
+//     options up front so serving never discovers a bad graph.
+//   - Residency/eviction: a prepared sampler is charged at its
+//     memory_bytes() — the backend precomputation, exactly the bytes
+//     eviction reclaims (the admitted graph copy is pool state outside the
+//     budget). When a newly prepared entry pushes the total over budget,
+//     the least-recently-used entries are evicted (their precomputation
+//     dropped; the graph and options are retained, so a later batch
+//     re-prepares without re-admission). An entry bigger than the whole
+//     budget is served from a local reference and never retained — it does
+//     not flush the colder residents, which could not have made room for
+//     it. Resident bytes never exceed the budget outside the pool mutex.
+//   - Serving: sample_batch(fp, k) draws k trees synchronously;
+//     submit_batch(fp, k) enqueues the batch on a small worker pool and
+//     returns a std::future, so prepare() of a cold graph overlaps with
+//     draws on hot ones (prepare runs outside the pool mutex, guarded per
+//     entry).
+//   - Reproducibility: each entry owns a monotone draw cursor; a batch of k
+//     reserves the index range [first, first + k) at submission and draw j
+//     uses the (seed, first + j) Rng stream. Any batch can therefore be
+//     replayed exactly — regardless of worker count, eviction churn, or
+//     interleaving — by a single-threaded sampler with the same graph and
+//     options via sample_batch_from(first, k).
+//
+// In-flight batches hold a shared_ptr to their sampler, so eviction never
+// tears a draw: the evicted precomputation is freed when the last batch
+// using it completes.
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/fingerprint.hpp"
+#include "engine/sampler.hpp"
+
+namespace cliquest::engine {
+
+struct PoolOptions {
+  /// Byte budget for resident precomputation (charged at
+  /// SpanningTreeSampler::memory_bytes()). An entry larger than the whole
+  /// budget is served but never retained.
+  std::size_t memory_budget_bytes = std::size_t{256} << 20;
+
+  /// Worker threads serving submit_batch. 0 runs submissions inline in the
+  /// caller (the future is ready on return) — useful for deterministic tests.
+  int workers = 2;
+
+  /// Options template for graphs admitted via the one-argument admit();
+  /// admit(g, options) overrides per graph.
+  EngineOptions engine;
+};
+
+/// Monotone counters plus a residency snapshot; taken under the pool mutex.
+struct PoolStats {
+  std::int64_t admissions = 0;
+  std::int64_t hits = 0;       // batches served by an already-prepared sampler
+  std::int64_t misses = 0;     // batches that had to build the precomputation
+  std::int64_t prepares = 0;   // precomputation builds across all entries
+  std::int64_t evictions = 0;
+  std::int64_t draws = 0;      // trees drawn through the pool
+  std::size_t resident_bytes = 0;
+  std::size_t peak_resident_bytes = 0;  // max observed post-eviction: <= budget
+  int resident_count = 0;
+  int admitted_count = 0;
+};
+
+/// A served batch: the engine BatchResult plus the serving metadata needed
+/// to replay it ([first_draw_index, first_draw_index + k) on the entry's
+/// (seed, index) streams) and to attribute it to hit/miss.
+struct PoolBatchResult {
+  Fingerprint fingerprint;
+  std::int64_t first_draw_index = 0;
+  bool hit = false;
+  BatchResult batch;
+};
+
+class SamplerPool {
+ public:
+  explicit SamplerPool(PoolOptions options = {});
+  ~SamplerPool();  // drains queued submissions, then joins the workers
+
+  SamplerPool(const SamplerPool&) = delete;
+  SamplerPool& operator=(const SamplerPool&) = delete;
+
+  /// Admits g under its structural fingerprint with the pool's default
+  /// engine options (or per-graph options). Idempotent: re-admission of a
+  /// known fingerprint returns it unchanged — options, draw cursor, and
+  /// prepare count all survive, so an evicted graph re-prepares exactly once
+  /// on its next batch instead of resetting its serving state. Throws
+  /// EngineConfigError on invalid graphs/options (checked here, not in a
+  /// worker).
+  Fingerprint admit(const graph::Graph& g);
+  Fingerprint admit(const graph::Graph& g, EngineOptions options);
+
+  bool admitted(const Fingerprint& fp) const;
+
+  /// True while the entry's prepared sampler is retained (admitted, prepared,
+  /// and not evicted).
+  bool resident(const Fingerprint& fp) const;
+
+  /// Times this entry's precomputation has been built (re-prepares after
+  /// eviction increment it). Throws std::out_of_range on unknown fingerprints.
+  std::int64_t prepare_count(const Fingerprint& fp) const;
+
+  /// Draws k trees synchronously, preparing (and possibly evicting) on a
+  /// cold entry. Throws std::out_of_range on unknown fingerprints.
+  PoolBatchResult sample_batch(const Fingerprint& fp, int k);
+
+  /// Async variant: reserves the batch's draw-index range immediately (so
+  /// submission order fixes the streams), enqueues the work, and returns a
+  /// future. Errors while serving surface through the future.
+  std::future<PoolBatchResult> submit_batch(const Fingerprint& fp, int k);
+
+  /// Resident fingerprints in eviction order (coldest first).
+  std::vector<Fingerprint> resident_order() const;
+
+  std::size_t resident_bytes() const;
+  PoolStats stats() const;
+  const PoolOptions& options() const { return options_; }
+
+ private:
+  struct Entry;
+
+  struct Job {
+    std::shared_ptr<Entry> entry;
+    std::int64_t first_index = 0;
+    int count = 0;
+    std::promise<PoolBatchResult> promise;
+  };
+
+  std::shared_ptr<Entry> find_locked(const Fingerprint& fp) const;
+  std::int64_t reserve_locked(Entry& entry, int k);
+  void touch_locked(Entry& entry);
+  void evict_to_budget_locked();
+  PoolBatchResult serve(const std::shared_ptr<Entry>& entry,
+                        std::int64_t first_index, int k);
+  void worker_loop();
+
+  PoolOptions options_;
+
+  /// Guards entries_, lru_, every Entry field except the immutables
+  /// (fingerprint/graph/options), the stats counters, and the job queue.
+  /// Never held across prepare() or a draw.
+  mutable std::mutex mutex_;
+  std::unordered_map<Fingerprint, std::shared_ptr<Entry>> entries_;
+  std::list<Fingerprint> lru_;  // front = coldest, back = hottest
+  std::size_t resident_bytes_ = 0;
+  PoolStats stats_;
+
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cliquest::engine

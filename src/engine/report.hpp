@@ -19,7 +19,7 @@ namespace cliquest::engine {
 /// One draw through the common interface. Fields a backend cannot measure
 /// stay at their zero defaults (e.g. rounds for the sequential baselines).
 struct DrawStats {
-  int index = 0;             // position within the batch
+  std::int64_t index = 0;    // absolute draw index: the (seed, index) stream
   std::int64_t rounds = 0;   // simulated Congested Clique rounds
   std::int64_t walk_steps = 0;  // total walk length consumed by the draw
   int phases = 0;            // phases (clique) or doubling attempts

@@ -20,7 +20,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 /// SplitMix64 *before* the index offset so that two base seeds at a small
 /// or structured distance (s and s + c) cannot produce index-shifted copies
 /// of each other's draw sequences.
-util::Rng draw_rng(std::uint64_t seed, int draw_index) {
+util::Rng draw_rng(std::uint64_t seed, std::int64_t draw_index) {
   const std::uint64_t stream = util::splitmix64(
       util::splitmix64(seed) + static_cast<std::uint64_t>(draw_index) + 1);
   return util::Rng(stream);
@@ -28,28 +28,41 @@ util::Rng draw_rng(std::uint64_t seed, int draw_index) {
 
 }  // namespace
 
+std::vector<std::string> SpanningTreeSampler::validation_errors(
+    const graph::Graph& g, const EngineOptions& options) {
+  std::vector<std::string> errors = options.validation_errors(g.vertex_count());
+  if (g.vertex_count() < 1)
+    errors.insert(errors.begin(), "graph must have at least one vertex");
+  else if (!graph::is_connected(g))
+    errors.insert(errors.begin(),
+                  "graph is disconnected (" + std::to_string(g.vertex_count()) +
+                      " vertices, " + std::to_string(g.edge_count()) +
+                      " edges); spanning trees require a connected graph");
+  return errors;
+}
+
 SpanningTreeSampler::SpanningTreeSampler(graph::Graph g, EngineOptions options)
     : graph_(std::make_shared<const graph::Graph>(std::move(g))),
       options_(std::move(options)) {
-  std::vector<std::string> errors =
-      options_.validation_errors(graph_->vertex_count());
-  if (graph_->vertex_count() < 1)
-    errors.insert(errors.begin(), "graph must have at least one vertex");
-  else if (!graph::is_connected(*graph_))
-    errors.insert(errors.begin(),
-                  "graph is disconnected (" + std::to_string(graph_->vertex_count()) +
-                      " vertices, " + std::to_string(graph_->edge_count()) +
-                      " edges); spanning trees require a connected graph");
+  std::vector<std::string> errors = validation_errors(*graph_, options_);
   if (!errors.empty()) throw EngineConfigError(std::move(errors));
 }
 
 void SpanningTreeSampler::prepare() {
-  if (prepared_) return;
+  // Double-checked: the fast path is one acquire load once prepared; racing
+  // first calls serialize on the mutex and exactly one runs do_prepare (the
+  // pool overlaps prepare() of a cold graph with draws on hot ones, so a
+  // concurrent first call is a normal event, not a misuse).
+  if (prepared_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(prepare_mutex_);
+  if (prepared_.load(std::memory_order_relaxed)) return;
   const auto start = std::chrono::steady_clock::now();
   do_prepare();
-  prepare_seconds_ += seconds_since(start);
-  ++prepare_builds_;
-  prepared_ = true;
+  prepare_seconds_.store(prepare_seconds_.load(std::memory_order_relaxed) +
+                             seconds_since(start),
+                         std::memory_order_relaxed);
+  prepare_builds_.fetch_add(1, std::memory_order_relaxed);
+  prepared_.store(true, std::memory_order_release);
 }
 
 Draw SpanningTreeSampler::sample(util::Rng& rng) {
@@ -61,7 +74,7 @@ Draw SpanningTreeSampler::sample(util::Rng& rng) {
   return draw;
 }
 
-Draw SpanningTreeSampler::sample_indexed(int draw_index) {
+Draw SpanningTreeSampler::sample_indexed(std::int64_t draw_index) {
   prepare();
   Draw draw;
   if (graph_->vertex_count() > 1) {
@@ -75,21 +88,31 @@ Draw SpanningTreeSampler::sample_indexed(int draw_index) {
 }
 
 BatchResult SpanningTreeSampler::sample_batch(int k) {
-  if (k < 0) throw EngineConfigError({"sample_batch: k must be >= 0, got " +
-                                      std::to_string(k)});
+  return sample_batch_from(0, k);
+}
+
+BatchResult SpanningTreeSampler::sample_batch_from(std::int64_t first_index,
+                                                   int k) {
+  if (k < 0)
+    throw EngineConfigError({"sample_batch_from: k must be >= 0, got " +
+                             std::to_string(k)});
+  if (first_index < 0)
+    throw EngineConfigError({"sample_batch_from: first_index must be >= 0, got " +
+                             std::to_string(first_index)});
   prepare();
 
   std::vector<Draw> draws(static_cast<std::size_t>(k));
   const int workers = std::max(1, std::min(options_.threads, k));
   if (workers <= 1) {
-    for (int i = 0; i < k; ++i) draws[static_cast<std::size_t>(i)] = sample_indexed(i);
+    for (int i = 0; i < k; ++i)
+      draws[static_cast<std::size_t>(i)] = sample_indexed(first_index + i);
   } else {
     std::atomic<int> next{0};
     std::vector<std::exception_ptr> worker_errors(static_cast<std::size_t>(workers));
     auto run = [&](std::size_t worker) {
       try {
         for (int i = next.fetch_add(1); i < k; i = next.fetch_add(1))
-          draws[static_cast<std::size_t>(i)] = sample_indexed(i);
+          draws[static_cast<std::size_t>(i)] = sample_indexed(first_index + i);
       } catch (...) {
         worker_errors[worker] = std::current_exception();
         next.store(k);  // drain remaining iterations on the other workers
@@ -111,8 +134,8 @@ BatchResult SpanningTreeSampler::sample_batch(int k) {
   result.report.vertex_count = graph_->vertex_count();
   result.report.seed = options_.seed;
   result.report.threads = workers;
-  result.report.prepare_builds = prepare_builds_;
-  result.report.prepare_seconds = prepare_seconds_;
+  result.report.prepare_builds = prepare_builds();
+  result.report.prepare_seconds = prepare_seconds();
   result.report.draws.reserve(draws.size());
   for (Draw& draw : draws) {
     result.report.meter.merge(draw.meter);

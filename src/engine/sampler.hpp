@@ -18,8 +18,10 @@
 // stream derived from (options().seed, i), so a batch is reproducible and
 // thread-count invariant.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -62,30 +64,64 @@ class SpanningTreeSampler {
   SpanningTreeSampler(const SpanningTreeSampler&) = delete;
   SpanningTreeSampler& operator=(const SpanningTreeSampler&) = delete;
 
-  /// Hoists per-graph precomputation out of the draw path. Idempotent; after
-  /// the first call, concurrent sample() calls with distinct Rngs are safe.
+  /// Hoists per-graph precomputation out of the draw path. Idempotent and
+  /// safe under concurrent first-call: racing threads serialize on an
+  /// internal mutex, exactly one runs do_prepare, and the rest observe the
+  /// finished state. After it returns, concurrent sample() calls with
+  /// distinct Rngs are safe.
   void prepare();
-  bool prepared() const { return prepared_; }
+  bool prepared() const { return prepared_.load(std::memory_order_acquire); }
 
   /// Times the precomputation was actually built (0 before prepare, then 1).
-  std::int64_t prepare_builds() const { return prepare_builds_; }
-  double prepare_seconds() const { return prepare_seconds_; }
+  std::int64_t prepare_builds() const {
+    return prepare_builds_.load(std::memory_order_acquire);
+  }
+  double prepare_seconds() const {
+    return prepare_seconds_.load(std::memory_order_acquire);
+  }
+
+  /// Bytes of the backend's prepare() precomputation (for the clique
+  /// backend the phase-1 power table — (log2 l + 1)·n² doubles — plus the
+  /// transition and shortcut matrices); 0 before prepare() and for backends
+  /// that cache nothing. This is what SamplerPool charges against its
+  /// budget: exactly the bytes eviction reclaims. The graph copy is
+  /// admission state, reported separately by graph().memory_bytes().
+  std::size_t memory_bytes() const { return do_memory_bytes(); }
 
   /// Draws one spanning tree with the caller's Rng. Implies prepare().
   Draw sample(util::Rng& rng);
 
   /// Draws one tree from the stream (options().seed, draw_index); the
-  /// deterministic building block sample_batch is made of.
-  Draw sample_indexed(int draw_index);
+  /// deterministic building block sample_batch is made of. The index is
+  /// 64-bit so long-lived serving cursors never wrap.
+  Draw sample_indexed(std::int64_t draw_index);
 
   /// Draws k trees, reusing the prepare() precomputation for every draw and
   /// fanning the work across min(options().threads, k) worker threads.
   BatchResult sample_batch(int k);
 
+  /// sample_batch with an explicit stream offset: draw j of the result uses
+  /// the (options().seed, first_index + j) stream. Lets a serving layer issue
+  /// consecutive batches that continue one reproducible draw sequence instead
+  /// of replaying indices 0..k-1 every call; sample_batch(k) is
+  /// sample_batch_from(0, k).
+  BatchResult sample_batch_from(std::int64_t first_index, int k);
+
   virtual BackendInfo describe() const = 0;
 
   const graph::Graph& graph() const { return *graph_; }
   const EngineOptions& options() const { return options_; }
+
+  /// Shared handle on the sampler's immutable graph copy; consumers like the
+  /// pool hold this instead of keeping a second copy of the graph alive.
+  const std::shared_ptr<const graph::Graph>& graph_handle() const { return graph_; }
+
+  /// Every construction-blocking violation of options against g — the option
+  /// constraints plus the graph checks (empty, disconnected) — exactly the
+  /// set the constructor throws on. Shared by SamplerPool::admit so a graph
+  /// that admits never fails construction later in a worker.
+  static std::vector<std::string> validation_errors(const graph::Graph& g,
+                                                    const EngineOptions& options);
 
  protected:
   /// Validates (throws EngineConfigError: disconnected graph, empty graph,
@@ -94,9 +130,12 @@ class SpanningTreeSampler {
   SpanningTreeSampler(graph::Graph g, EngineOptions options);
 
   /// Backend hooks. do_sample must be safe to call concurrently (with
-  /// distinct Rngs) once do_prepare has run.
+  /// distinct Rngs) once do_prepare has run. do_memory_bytes reports the
+  /// backend's precomputation footprint (0 when nothing is cached); it is
+  /// only read while no prepare() is in flight.
   virtual void do_prepare() = 0;
   virtual Draw do_sample(util::Rng& rng) const = 0;
+  virtual std::size_t do_memory_bytes() const = 0;
 
   /// Shared ownership of the (immutable) graph, for adapters whose wrapped
   /// sampler can share it instead of copying (one graph copy per stack).
@@ -105,9 +144,12 @@ class SpanningTreeSampler {
  private:
   std::shared_ptr<const graph::Graph> graph_;
   EngineOptions options_;
-  bool prepared_ = false;
-  std::int64_t prepare_builds_ = 0;
-  double prepare_seconds_ = 0.0;
+  /// Serializes concurrent first-call prepare(); prepared_ is the lock-free
+  /// fast path (release store after do_prepare, acquire load before use).
+  mutable std::mutex prepare_mutex_;
+  std::atomic<bool> prepared_{false};
+  std::atomic<std::int64_t> prepare_builds_{0};
+  std::atomic<double> prepare_seconds_{0.0};
 };
 
 }  // namespace cliquest::engine

@@ -69,4 +69,12 @@ int Graph::degree_within(int u, std::span<const char> in_set) const {
   return count;
 }
 
+std::size_t Graph::memory_bytes() const {
+  std::size_t bytes = edges_.size() * sizeof(Edge) +
+                      adjacency_.size() * sizeof(std::vector<Neighbor>);
+  for (const std::vector<Neighbor>& list : adjacency_)
+    bytes += list.size() * sizeof(Neighbor);
+  return bytes;
+}
+
 }  // namespace cliquest::graph

@@ -59,6 +59,10 @@ class Graph {
   /// This is the deg_S(u) quantity of the shortcut-graph sampler (§2.2).
   int degree_within(int u, std::span<const char> in_set) const;
 
+  /// Heap bytes held by the edge list and adjacency index; feeds the byte
+  /// accounting of the engine's memory-budgeted sampler pool.
+  std::size_t memory_bytes() const;
+
  private:
   void check_vertex(int v) const;
 

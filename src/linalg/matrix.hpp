@@ -54,6 +54,10 @@ class Matrix {
 
   const std::vector<double>& data() const { return data_; }
 
+  /// Heap bytes held by the entry storage (rows * cols doubles); the unit of
+  /// account for the engine's memory-budgeted sampler pool.
+  std::size_t memory_bytes() const { return data_.size() * sizeof(double); }
+
  private:
   std::size_t index(int r, int c) const {
     return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +

@@ -1,0 +1,231 @@
+// Concurrency tests for the serving layer, written to run meaningfully under
+// ThreadSanitizer (the CI tsan job executes exactly these suites):
+//
+//   - N client threads hammer submit_batch across more graphs than the byte
+//     budget admits, so admission, prepare, draws, and LRU eviction all race.
+//     Every returned batch must equal its single-threaded replay from the
+//     (seed, first_draw_index) streams — no torn draws, no stream reuse.
+//   - Concurrent first-call prepare() on one sampler must build the
+//     precomputation exactly once (regression for the unguarded prepared_
+//     flag the pool's prepare/draw overlap would have raced on).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning.hpp"
+
+namespace cliquest::engine {
+namespace {
+
+TEST(PoolStressTest, ConcurrentSubmitAcrossEvictionChurnMatchesReplay) {
+  // Six clique-backend graphs, a budget that holds only two of them, four
+  // pool workers, and four client threads: every serve may prepare, draw,
+  // and evict concurrently with the others.
+  const int graph_count = 6;
+  EngineOptions engine;
+  engine.backend = Backend::congested_clique;
+  engine.seed = 41;
+
+  std::vector<graph::Graph> graphs;
+  util::Rng gen(7);
+  for (int i = 0; i < graph_count; ++i)
+    graphs.push_back(graph::gnp_connected(12 + i, 0.5, gen));
+
+  std::size_t max_bytes = 0;
+  for (const graph::Graph& g : graphs) {
+    auto sampler = make_sampler(g, engine);
+    sampler->prepare();
+    max_bytes = std::max(max_bytes, sampler->memory_bytes());
+  }
+
+  PoolOptions options;
+  options.engine = engine;
+  options.workers = 4;
+  options.memory_budget_bytes = 2 * max_bytes;  // at most two resident
+  SamplerPool pool(options);
+
+  std::vector<Fingerprint> fps;
+  for (const graph::Graph& g : graphs) fps.push_back(pool.admit(g));
+
+  struct Pending {
+    int graph_index;
+    std::future<PoolBatchResult> future;
+  };
+  const int clients = 4;
+  const int submissions_per_client = 12;
+  const int k = 3;
+  std::vector<std::vector<Pending>> per_client(clients);
+  std::vector<std::thread> client_threads;
+  for (int c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      // Each client walks the graphs in its own order so the LRU sees
+      // conflicting access patterns.
+      for (int s = 0; s < submissions_per_client; ++s) {
+        const int graph_index = (s * (c + 1) + c) % graph_count;
+        per_client[static_cast<std::size_t>(c)].push_back(
+            {graph_index,
+             pool.submit_batch(fps[static_cast<std::size_t>(graph_index)], k)});
+      }
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+
+  // Single-threaded replay samplers, one per graph.
+  std::vector<std::unique_ptr<SpanningTreeSampler>> replay;
+  for (const graph::Graph& g : graphs) replay.push_back(make_sampler(g, engine));
+
+  std::map<int, std::set<std::int64_t>> first_indices;  // graph -> batch starts
+  for (auto& client : per_client) {
+    for (Pending& pending : client) {
+      const PoolBatchResult r = pending.future.get();
+      const std::size_t gi = static_cast<std::size_t>(pending.graph_index);
+      EXPECT_TRUE(first_indices[pending.graph_index]
+                      .insert(r.first_draw_index)
+                      .second)
+          << "two batches shared a draw-index range";
+      const BatchResult expected =
+          replay[gi]->sample_batch_from(r.first_draw_index, k);
+      ASSERT_EQ(r.batch.trees.size(), expected.trees.size());
+      for (std::size_t i = 0; i < expected.trees.size(); ++i) {
+        EXPECT_TRUE(graph::is_spanning_tree(graphs[gi], r.batch.trees[i]));
+        EXPECT_EQ(graph::tree_key(r.batch.trees[i]),
+                  graph::tree_key(expected.trees[i]))
+            << "batch at index " << r.first_draw_index << " on graph " << gi
+            << " diverged from its single-threaded replay";
+      }
+    }
+  }
+
+  // Reserved ranges tile [0, draws-on-this-graph) without gaps or overlap.
+  for (const auto& [graph_index, starts] : first_indices) {
+    std::int64_t expected_start = 0;
+    for (std::int64_t start : starts) {
+      EXPECT_EQ(start, expected_start);
+      expected_start += k;
+    }
+  }
+
+  const PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.draws, clients * submissions_per_client * k);
+  EXPECT_GT(stats.evictions, 0) << "budget pressure never triggered — the "
+                                   "stress lost its eviction churn";
+  EXPECT_LE(stats.peak_resident_bytes, options.memory_budget_bytes);
+  EXPECT_LE(stats.resident_bytes, options.memory_budget_bytes);
+}
+
+TEST(PoolStressTest, SyncAndAsyncCallersInterleaveWithoutStreamReuse) {
+  EngineOptions engine;
+  engine.backend = Backend::wilson;
+  engine.seed = 43;
+  PoolOptions options;
+  options.engine = engine;
+  options.workers = 2;
+  SamplerPool pool(options);
+  const graph::Graph g = graph::complete(7);
+  const Fingerprint fp = pool.admit(g);
+
+  // Two threads call the blocking API while the main thread floods the
+  // async one; all index ranges must stay disjoint and replayable.
+  std::vector<std::vector<PoolBatchResult>> sync_results(2);
+  std::vector<std::thread> sync_threads;
+  for (int t = 0; t < 2; ++t)
+    sync_threads.emplace_back([&, t] {
+      for (int i = 0; i < 8; ++i)
+        sync_results[static_cast<std::size_t>(t)].push_back(
+            pool.sample_batch(fp, 2));
+    });
+  std::vector<std::future<PoolBatchResult>> futures;
+  for (int i = 0; i < 16; ++i) futures.push_back(pool.submit_batch(fp, 2));
+  for (std::thread& t : sync_threads) t.join();
+
+  auto replay = make_sampler(g, engine);
+  std::set<std::int64_t> starts;
+  const auto check = [&](const PoolBatchResult& r) {
+    EXPECT_TRUE(starts.insert(r.first_draw_index).second);
+    const BatchResult expected =
+        replay->sample_batch_from(r.first_draw_index, 2);
+    ASSERT_EQ(r.batch.trees.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i)
+      EXPECT_EQ(graph::tree_key(r.batch.trees[i]),
+                graph::tree_key(expected.trees[i]));
+  };
+  for (auto& future : futures) check(future.get());
+  for (const std::vector<PoolBatchResult>& thread_results : sync_results)
+    for (const PoolBatchResult& r : thread_results) check(r);
+  EXPECT_EQ(pool.stats().draws, (16 + 2 * 8) * 2);
+}
+
+TEST(PoolStressTest, ConcurrentColdBatchesPrepareOnce) {
+  // Many clients hit the same cold entry at once: the per-entry build mutex
+  // must collapse the stampede into one prepare.
+  EngineOptions engine;
+  engine.backend = Backend::congested_clique;
+  engine.seed = 47;
+  PoolOptions options;
+  options.engine = engine;
+  options.workers = 4;
+  SamplerPool pool(options);
+  util::Rng gen(11);
+  const graph::Graph g = graph::gnp_connected(16, 0.4, gen);
+  const Fingerprint fp = pool.admit(g);
+
+  std::vector<std::future<PoolBatchResult>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(pool.submit_batch(fp, 2));
+  int misses = 0;
+  for (auto& future : futures) misses += future.get().hit ? 0 : 1;
+  EXPECT_EQ(pool.prepare_count(fp), 1);
+  EXPECT_EQ(misses, 1) << "exactly the stampede winner should record the miss";
+}
+
+TEST(PrepareRaceRegressionTest, ConcurrentFirstCallPreparesExactlyOnce) {
+  // Regression: prepared_ used to be a plain bool written without
+  // synchronization; the pool's overlap of prepare() with draws makes a
+  // concurrent first call routine. All threads must agree on one build and
+  // the draws must match a serial replay.
+  util::Rng gen(13);
+  const graph::Graph g = graph::gnp_connected(24, 0.35, gen);
+  EngineOptions engine;
+  engine.backend = Backend::congested_clique;
+  engine.seed = 53;
+
+  auto sampler = make_sampler(g, engine);
+  const int threads = 8;
+  std::atomic<int> ready{0};
+  std::vector<graph::TreeEdges> drawn(threads);
+  std::vector<std::thread> pool_threads;
+  for (int t = 0; t < threads; ++t)
+    pool_threads.emplace_back([&, t] {
+      // Barrier so every thread hits the cold prepare() window together.
+      ready.fetch_add(1);
+      while (ready.load() < threads) std::this_thread::yield();
+      drawn[static_cast<std::size_t>(t)] = sampler->sample_indexed(t).tree;
+    });
+  for (std::thread& t : pool_threads) t.join();
+
+  EXPECT_EQ(sampler->prepare_builds(), 1);
+  EXPECT_TRUE(sampler->prepared());
+
+  auto replay = make_sampler(g, engine);
+  for (int t = 0; t < threads; ++t)
+    EXPECT_EQ(graph::tree_key(drawn[static_cast<std::size_t>(t)]),
+              graph::tree_key(replay->sample_indexed(t).tree));
+
+  // Repeated concurrent prepare() on the warm sampler stays a no-op.
+  std::vector<std::thread> again;
+  for (int t = 0; t < threads; ++t)
+    again.emplace_back([&] { sampler->prepare(); });
+  for (std::thread& t : again) t.join();
+  EXPECT_EQ(sampler->prepare_builds(), 1);
+}
+
+}  // namespace
+}  // namespace cliquest::engine

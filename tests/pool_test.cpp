@@ -1,0 +1,417 @@
+// Tests for the SamplerPool serving layer: structural fingerprints,
+// admission idempotence, LRU eviction order, byte-budget accounting against
+// the backends' memory_bytes() hook, re-prepare-exactly-once after eviction,
+// draw-cursor reproducibility of the sync and async APIs, and a chi-square
+// uniformity test proving the pool does not perturb the draw distribution of
+// any backend. Concurrency hammering lives in pool_stress_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <set>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning.hpp"
+#include "util/statistics.hpp"
+
+namespace cliquest::engine {
+namespace {
+
+/// memory_bytes() of a standalone prepared sampler for g under options: the
+/// exact value the pool must charge for the entry.
+std::size_t prepared_bytes(const graph::Graph& g, const EngineOptions& options) {
+  auto sampler = make_sampler(g, options);
+  sampler->prepare();
+  return sampler->memory_bytes();
+}
+
+EngineOptions wilson_options() {
+  EngineOptions options;
+  options.backend = Backend::wilson;
+  options.seed = 3;
+  return options;
+}
+
+// ------------------------------------------------------------ fingerprints
+
+TEST(FingerprintTest, InsertionOrderAndOrientationInvariant) {
+  graph::Graph a(4);
+  a.add_edge(0, 1);
+  a.add_edge(1, 2);
+  a.add_edge(2, 3);
+  graph::Graph b(4);
+  b.add_edge(3, 2);  // reversed orientation, reversed insertion order
+  b.add_edge(2, 1);
+  b.add_edge(1, 0);
+  EXPECT_EQ(fingerprint_graph(a), fingerprint_graph(b));
+}
+
+TEST(FingerprintTest, IsomorphicButDistinctEdgeListsHashApart) {
+  // Both are 3-paths, but through different vertex labelings: isomorphic
+  // graphs, distinct structures. The pool must keep them separate — their
+  // samplers report trees in different labelings.
+  graph::Graph a(3);
+  a.add_edge(0, 1);
+  a.add_edge(1, 2);
+  graph::Graph b(3);
+  b.add_edge(0, 2);
+  b.add_edge(2, 1);
+  EXPECT_NE(fingerprint_graph(a), fingerprint_graph(b));
+}
+
+TEST(FingerprintTest, SensitiveToWeightsVertexCountAndEdges) {
+  graph::Graph unit(3);
+  unit.add_edge(0, 1);
+  unit.add_edge(1, 2);
+  graph::Graph weighted(3);
+  weighted.add_edge(0, 1, 2.0);
+  weighted.add_edge(1, 2);
+  EXPECT_NE(fingerprint_graph(unit), fingerprint_graph(weighted));
+
+  // Same canonical edge list, one extra isolated vertex.
+  graph::Graph padded(4);
+  padded.add_edge(0, 1);
+  padded.add_edge(1, 2);
+  EXPECT_NE(fingerprint_graph(unit), fingerprint_graph(padded));
+
+  EXPECT_NE(fingerprint_graph(graph::complete(5)), fingerprint_graph(graph::cycle(5)));
+}
+
+TEST(FingerprintTest, ToStringIsStableHex) {
+  const Fingerprint fp = fingerprint_graph(graph::complete(4));
+  const std::string hex = fp.to_string();
+  EXPECT_EQ(hex.size(), 32u);
+  EXPECT_EQ(hex, fingerprint_graph(graph::complete(4)).to_string());
+  EXPECT_EQ(hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+// ------------------------------------------------------------ admission
+
+TEST(SamplerPoolTest, AdmissionIsIdempotentAndValidatesUpFront) {
+  PoolOptions options;
+  options.workers = 0;
+  options.engine = wilson_options();
+  SamplerPool pool(options);
+
+  const graph::Graph g = graph::complete(5);
+  const Fingerprint fp = pool.admit(g);
+  EXPECT_TRUE(pool.admitted(fp));
+  EXPECT_EQ(pool.admit(g), fp);
+  EXPECT_EQ(pool.stats().admissions, 1);
+
+  graph::Graph disconnected(4);
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(2, 3);
+  EXPECT_THROW(pool.admit(disconnected), EngineConfigError);
+
+  EngineOptions bad = wilson_options();
+  bad.threads = 0;
+  EXPECT_THROW(pool.admit(graph::cycle(4), bad), EngineConfigError);
+
+  const Fingerprint stranger = fingerprint_graph(graph::cycle(7));
+  EXPECT_FALSE(pool.admitted(stranger));
+  EXPECT_THROW(pool.sample_batch(stranger, 1), std::out_of_range);
+  EXPECT_THROW(pool.submit_batch(stranger, 1), std::out_of_range);
+  EXPECT_THROW(pool.prepare_count(stranger), std::out_of_range);
+}
+
+// ------------------------------------------------------------ LRU + budget
+
+TEST(SamplerPoolTest, ByteAccountingMatchesSamplerMemoryBytes) {
+  // The clique backend is the one with a real precomputation footprint: the
+  // phase-1 power table plus transition and shortcut matrices.
+  EngineOptions engine;
+  engine.backend = Backend::congested_clique;
+  const graph::Graph g = graph::complete(12);
+  const std::size_t expected = prepared_bytes(g, engine);
+  ASSERT_GT(expected, static_cast<std::size_t>(12 * 12 * sizeof(double)));
+
+  PoolOptions options;
+  options.workers = 0;
+  options.engine = engine;
+  SamplerPool pool(options);
+  const Fingerprint fp = pool.admit(g);
+  EXPECT_EQ(pool.resident_bytes(), 0u);
+
+  pool.sample_batch(fp, 2);
+  EXPECT_TRUE(pool.resident(fp));
+  EXPECT_EQ(pool.resident_bytes(), expected);
+  EXPECT_EQ(pool.stats().peak_resident_bytes, expected);
+}
+
+TEST(SamplerPoolTest, BaselineBackendsHaveZeroEvictableBytes) {
+  // memory_bytes() charges the prepare() precomputation — the bytes
+  // eviction can actually reclaim. The sequential baselines cache nothing,
+  // so their entries are free to keep resident forever.
+  auto sampler = make_sampler(graph::complete(8), wilson_options());
+  sampler->prepare();
+  EXPECT_EQ(sampler->memory_bytes(), 0u);
+
+  PoolOptions options;
+  options.workers = 0;
+  options.engine = wilson_options();
+  options.memory_budget_bytes = 0;
+  SamplerPool pool(options);
+  const Fingerprint fp = pool.admit(graph::complete(8));
+  pool.sample_batch(fp, 1);
+  EXPECT_TRUE(pool.resident(fp));  // zero charge fits any budget
+  EXPECT_TRUE(pool.sample_batch(fp, 1).hit);
+  EXPECT_EQ(pool.prepare_count(fp), 1);
+}
+
+TEST(SamplerPoolTest, LruEvictsColdestFirstAndRespectsTouchOrder) {
+  EngineOptions engine;
+  engine.backend = Backend::congested_clique;
+  const graph::Graph c10 = graph::cycle(10);
+  const graph::Graph c12 = graph::cycle(12);
+  const graph::Graph c14 = graph::cycle(14);
+  const graph::Graph c16 = graph::cycle(16);
+  const std::size_t b10 = prepared_bytes(c10, engine);
+  const std::size_t b12 = prepared_bytes(c12, engine);
+  const std::size_t b14 = prepared_bytes(c14, engine);
+  const std::size_t b16 = prepared_bytes(c16, engine);
+
+  PoolOptions options;
+  options.workers = 0;
+  options.engine = engine;
+  // All four together overflow by exactly one byte, so serving the fourth
+  // evicts exactly one entry: the coldest.
+  options.memory_budget_bytes = b10 + b12 + b14 + b16 - 1;
+  SamplerPool pool(options);
+
+  const Fingerprint f10 = pool.admit(c10);
+  const Fingerprint f12 = pool.admit(c12);
+  const Fingerprint f14 = pool.admit(c14);
+  const Fingerprint f16 = pool.admit(c16);
+
+  pool.sample_batch(f10, 1);
+  pool.sample_batch(f12, 1);
+  pool.sample_batch(f14, 1);
+  EXPECT_EQ(pool.resident_order(), (std::vector<Fingerprint>{f10, f12, f14}));
+  EXPECT_EQ(pool.resident_bytes(), b10 + b12 + b14);
+
+  // A hit refreshes recency: f10 moves from coldest to hottest.
+  EXPECT_TRUE(pool.sample_batch(f10, 1).hit);
+  EXPECT_EQ(pool.resident_order(), (std::vector<Fingerprint>{f12, f14, f10}));
+
+  // Serving f16 overflows the budget; the coldest entry (now f12) goes.
+  EXPECT_FALSE(pool.sample_batch(f16, 1).hit);
+  EXPECT_EQ(pool.resident_order(), (std::vector<Fingerprint>{f14, f10, f16}));
+  EXPECT_FALSE(pool.resident(f12));
+  EXPECT_TRUE(pool.admitted(f12));  // eviction drops tables, not admission
+  EXPECT_EQ(pool.resident_bytes(), b10 + b14 + b16);
+  EXPECT_LE(pool.stats().peak_resident_bytes, options.memory_budget_bytes);
+  EXPECT_EQ(pool.stats().evictions, 1);
+}
+
+TEST(SamplerPoolTest, OversizedEntryIsServedButNeverRetained) {
+  EngineOptions engine;
+  engine.backend = Backend::congested_clique;
+  const graph::Graph small = graph::complete(8);
+  const graph::Graph big = graph::complete(12);
+  const std::size_t small_bytes = prepared_bytes(small, engine);
+  ASSERT_GT(prepared_bytes(big, engine), small_bytes);
+
+  PoolOptions options;
+  options.workers = 0;
+  options.engine = engine;
+  options.memory_budget_bytes = small_bytes;  // big can never fit
+  SamplerPool pool(options);
+  const Fingerprint fs = pool.admit(small);
+  const Fingerprint fb = pool.admit(big);
+  pool.sample_batch(fs, 1);
+  EXPECT_TRUE(pool.resident(fs));
+
+  const PoolBatchResult r = pool.sample_batch(fb, 3);
+  EXPECT_EQ(r.batch.trees.size(), 3u);
+  for (const graph::TreeEdges& tree : r.batch.trees)
+    EXPECT_TRUE(graph::is_spanning_tree(big, tree));
+  EXPECT_FALSE(pool.resident(fb));
+  // The oversized entry did not flush the residents it could not displace.
+  EXPECT_TRUE(pool.resident(fs));
+  EXPECT_EQ(pool.resident_bytes(), small_bytes);
+  EXPECT_EQ(pool.stats().evictions, 0);
+  EXPECT_LE(pool.stats().peak_resident_bytes, options.memory_budget_bytes);
+
+  // Every batch on it re-prepares: the pool still serves, it cannot cache.
+  pool.sample_batch(fb, 1);
+  EXPECT_EQ(pool.prepare_count(fb), 2);
+  EXPECT_EQ(pool.stats().misses, 3);
+  // ...while the small resident keeps serving as a hit throughout.
+  EXPECT_TRUE(pool.sample_batch(fs, 1).hit);
+  EXPECT_EQ(pool.prepare_count(fs), 1);
+}
+
+TEST(SamplerPoolTest, EvictedEntryRePreparesExactlyOnce) {
+  EngineOptions engine;
+  engine.backend = Backend::congested_clique;
+  const graph::Graph a = graph::complete(10);
+  const graph::Graph b = graph::complete(11);
+  const std::size_t bytes_a = prepared_bytes(a, engine);
+  const std::size_t bytes_b = prepared_bytes(b, engine);
+
+  PoolOptions options;
+  options.workers = 0;
+  options.engine = engine;
+  // Exactly one of the two fits at a time.
+  options.memory_budget_bytes = std::max(bytes_a, bytes_b);
+  SamplerPool pool(options);
+  const Fingerprint fa = pool.admit(a);
+  const Fingerprint fb = pool.admit(b);
+
+  pool.sample_batch(fa, 1);
+  EXPECT_EQ(pool.prepare_count(fa), 1);
+  pool.sample_batch(fb, 1);  // evicts a
+  EXPECT_FALSE(pool.resident(fa));
+  EXPECT_EQ(pool.prepare_count(fb), 1);
+
+  // Coming back to a re-prepares it exactly once...
+  pool.sample_batch(fa, 1);
+  EXPECT_EQ(pool.prepare_count(fa), 2);
+  // ...and subsequent hits never rebuild.
+  EXPECT_TRUE(pool.sample_batch(fa, 1).hit);
+  EXPECT_TRUE(pool.sample_batch(fa, 1).hit);
+  EXPECT_EQ(pool.prepare_count(fa), 2);
+  // Re-admission is a no-op on serving state.
+  EXPECT_EQ(pool.admit(a), fa);
+  EXPECT_EQ(pool.prepare_count(fa), 2);
+  EXPECT_EQ(pool.stats().prepares, 3);
+}
+
+// ------------------------------------------------------------ draw streams
+
+TEST(SamplerPoolTest, ConsecutiveBatchesContinueOneReproducibleStream) {
+  EngineOptions engine;
+  engine.backend = Backend::wilson;
+  engine.seed = 17;
+  PoolOptions options;
+  options.workers = 0;
+  options.engine = engine;
+  SamplerPool pool(options);
+  const graph::Graph g = graph::complete(6);
+  const Fingerprint fp = pool.admit(g);
+
+  const PoolBatchResult first = pool.sample_batch(fp, 5);
+  const PoolBatchResult second = pool.sample_batch(fp, 5);
+  EXPECT_EQ(first.first_draw_index, 0);
+  EXPECT_EQ(second.first_draw_index, 5);
+
+  // The two batches together equal one straight-line replay of indices 0..9
+  // on a standalone sampler: the pool adds no randomness of its own.
+  auto replay = make_sampler(g, engine);
+  const BatchResult straight = replay->sample_batch(10);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(graph::tree_key(first.batch.trees[static_cast<std::size_t>(i)]),
+              graph::tree_key(straight.trees[static_cast<std::size_t>(i)]));
+    EXPECT_EQ(graph::tree_key(second.batch.trees[static_cast<std::size_t>(i)]),
+              graph::tree_key(straight.trees[static_cast<std::size_t>(i + 5)]));
+  }
+  // And the batches are genuinely different draws, not replays of each other.
+  EXPECT_NE(graph::tree_key(first.batch.trees[0]),
+            graph::tree_key(second.batch.trees[0]));
+}
+
+TEST(SamplerPoolTest, SubmitBatchInlineWhenWorkersZero) {
+  PoolOptions options;
+  options.workers = 0;
+  options.engine = wilson_options();
+  SamplerPool pool(options);
+  const graph::Graph g = graph::cycle(7);
+  const Fingerprint fp = pool.admit(g);
+
+  std::future<PoolBatchResult> future = pool.submit_batch(fp, 4);
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const PoolBatchResult r = future.get();
+  EXPECT_EQ(r.batch.trees.size(), 4u);
+  EXPECT_EQ(r.first_draw_index, 0);
+  for (const graph::TreeEdges& tree : r.batch.trees)
+    EXPECT_TRUE(graph::is_spanning_tree(g, tree));
+}
+
+TEST(SamplerPoolTest, AsyncBatchesMatchSyncReplay) {
+  EngineOptions engine;
+  engine.backend = Backend::aldous_broder;
+  engine.seed = 23;
+  PoolOptions options;
+  options.workers = 3;
+  options.engine = engine;
+  SamplerPool pool(options);
+  const graph::Graph g = graph::wheel(7);
+  const Fingerprint fp = pool.admit(g);
+
+  std::vector<std::future<PoolBatchResult>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(pool.submit_batch(fp, 4));
+
+  auto replay = make_sampler(g, engine);
+  for (auto& future : futures) {
+    const PoolBatchResult r = future.get();
+    const BatchResult expected = replay->sample_batch_from(r.first_draw_index, 4);
+    ASSERT_EQ(r.batch.trees.size(), expected.trees.size());
+    for (std::size_t i = 0; i < expected.trees.size(); ++i)
+      EXPECT_EQ(graph::tree_key(r.batch.trees[i]),
+                graph::tree_key(expected.trees[i]));
+  }
+  EXPECT_EQ(pool.stats().draws, 24);
+}
+
+// ------------------------------------------------------------ distribution
+
+// Chi-square uniformity through the pool: serving via admission, the LRU,
+// and the async worker queue must not perturb the tree law of any backend.
+class PoolUniformity : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(PoolUniformity, UniformOnCompleteAndCycleGraphs) {
+  struct Case {
+    graph::Graph graph;
+    int samples;
+  };
+  const Case cases[] = {{graph::complete(4), 3000}, {graph::cycle(5), 1500}};
+  for (const Case& test_case : cases) {
+    const auto trees = graph::enumerate_spanning_trees(test_case.graph);
+    SCOPED_TRACE(std::string(backend_name(GetParam())) + " support " +
+                 std::to_string(trees.size()));
+
+    EngineOptions engine;
+    engine.backend = GetParam();
+    engine.seed = 29;
+    PoolOptions options;
+    options.workers = 2;
+    options.engine = engine;
+    SamplerPool pool(options);
+    const Fingerprint fp = pool.admit(test_case.graph);
+
+    // Drain through the async path in several submissions, like a server.
+    const int chunks = 6;
+    std::vector<std::future<PoolBatchResult>> futures;
+    for (int c = 0; c < chunks; ++c)
+      futures.push_back(pool.submit_batch(fp, test_case.samples / chunks));
+
+    util::FrequencyTable freq;
+    for (auto& future : futures) {
+      const PoolBatchResult r = future.get();
+      for (const graph::TreeEdges& tree : r.batch.trees) {
+        ASSERT_TRUE(graph::is_spanning_tree(test_case.graph, tree));
+        freq.add(graph::tree_key(tree));
+      }
+    }
+    std::vector<std::int64_t> counts;
+    for (const auto& t : trees) counts.push_back(freq.count(graph::tree_key(t)));
+    const std::vector<double> uniform(trees.size(), 1.0);
+    EXPECT_LT(util::chi_square(counts, uniform),
+              util::chi_square_critical(static_cast<int>(trees.size()) - 1))
+        << backend_name(GetParam())
+        << " deviates from the uniform tree law when served through the pool";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, PoolUniformity,
+                         ::testing::ValuesIn(all_backends()),
+                         [](const auto& info) {
+                           return std::string(backend_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace cliquest::engine
