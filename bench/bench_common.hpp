@@ -5,21 +5,48 @@
 // self-describing table; absolute numbers are simulator rounds, the *shape*
 // (who wins, scaling exponents, concentration) is the reproduction target.
 
+#include <chrono>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace cliquest::bench {
 
+/// Wall-clock seconds since a steady_clock start point.
+inline double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// True under CLIQUEST_BENCH_QUICK=1 (smoke runs with scaled-down samples).
+inline bool quick() {
+  const char* value = std::getenv("CLIQUEST_BENCH_QUICK");
+  return value != nullptr && value[0] == '1';
+}
+
 /// Scales sample counts down via CLIQUEST_BENCH_QUICK=1 (used in smoke runs).
-inline int scaled(int samples) {
-  const char* quick = std::getenv("CLIQUEST_BENCH_QUICK");
-  if (quick != nullptr && quick[0] == '1') return samples / 10 + 1;
-  return samples;
+inline int scaled(int samples) { return quick() ? samples / 10 + 1 : samples; }
+
+/// True when flag (e.g. "--json") appears among the arguments.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+/// Global table-output switch. Benches running under --json set this so
+/// stdout carries exactly one machine-readable document; header/row/note
+/// all become no-ops.
+inline bool& quiet() {
+  static bool value = false;
+  return value;
 }
 
 inline void header(const char* experiment, const char* claim) {
+  if (quiet()) return;
   std::printf("==============================================================\n");
   std::printf("%s\n", experiment);
   std::printf("claim: %s\n", claim);
@@ -27,8 +54,18 @@ inline void header(const char* experiment, const char* claim) {
 }
 
 inline void row(const std::vector<std::string>& cells) {
+  if (quiet()) return;
   for (const std::string& cell : cells) std::printf("%-16s", cell.c_str());
   std::printf("\n");
+}
+
+/// printf that respects quiet(): the free-text companion of row().
+__attribute__((format(printf, 1, 2))) inline void note(const char* fmt, ...) {
+  if (quiet()) return;
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
 }
 
 inline std::string fmt(double x, int precision = 3) {

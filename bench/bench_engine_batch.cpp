@@ -17,15 +17,6 @@
 
 using namespace cliquest;
 
-namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
-}
-
-}  // namespace
-
 int main() {
   bench::header("bench_engine_batch",
                 "engine sample_batch amortizes prepare() precomputation and "
@@ -51,13 +42,13 @@ int main() {
       auto sampler = engine::make_sampler(g, options);
       sampler->sample_indexed(i);
     }
-    const double oneshot = seconds_since(oneshot_start) / k;
+    const double oneshot = bench::seconds_since(oneshot_start) / k;
 
     // Engine pattern: one prepare, k draws.
     auto sampler = engine::make_sampler(g, options);
     const auto batch_start = std::chrono::steady_clock::now();
     const engine::BatchResult batch = sampler->sample_batch(k);
-    const double per_draw = seconds_since(batch_start) / k;
+    const double per_draw = bench::seconds_since(batch_start) / k;
 
     bool valid = true;
     for (const graph::TreeEdges& tree : batch.trees)
@@ -99,7 +90,7 @@ int main() {
     sampler->prepare();
     const auto start = std::chrono::steady_clock::now();
     const engine::BatchResult batch = sampler->sample_batch(k);
-    const double wall = seconds_since(start);
+    const double wall = bench::seconds_since(start);
     const std::string first_key = graph::tree_key(batch.trees.front());
     if (threads == 1) {
       serial_wall = wall;

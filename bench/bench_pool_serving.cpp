@@ -8,9 +8,13 @@
 //      byte accounting fed by the backends' memory_bytes() hook;
 //   3. submit_batch overlaps prepare() of cold graphs with draws on hot
 //      ones across the worker pool.
+//
+// With --json, the tables are suppressed and stdout carries one JSON
+// document instead, so perf trajectories (BENCH_*.json) can accumulate runs.
 
 #include <chrono>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -21,11 +25,6 @@
 using namespace cliquest;
 
 namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-      .count();
-}
 
 struct ZooEntry {
   const char* name;
@@ -48,7 +47,9 @@ std::vector<ZooEntry> make_zoo() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool emit_json = bench::has_flag(argc, argv, "--json");
+  bench::quiet() = emit_json;
   bench::header("bench_pool_serving",
                 "SamplerPool keeps hot graphs' precomputation resident (prepare "
                 "count flat while draws grow), evicts LRU-first under a byte "
@@ -61,8 +62,9 @@ int main() {
 
   // Prepared footprint of each zoo member: sets the budget for the eviction
   // experiment and shows what memory_bytes() charges.
-  std::printf("\n-- zoo precomputation footprint (memory_bytes after prepare) --\n");
+  bench::note("\n-- zoo precomputation footprint (memory_bytes after prepare) --\n");
   bench::row({"graph", "n", "m", "prepared_KiB"});
+  std::string json_zoo = "[";
   std::vector<std::size_t> footprint;
   std::size_t total_bytes = 0;
   for (const ZooEntry& entry : zoo) {
@@ -73,10 +75,17 @@ int main() {
     bench::row({entry.name, bench::fmt_int(entry.graph.vertex_count()),
                 bench::fmt_int(entry.graph.edge_count()),
                 bench::fmt(static_cast<double>(footprint.back()) / 1024.0, 1)});
+    if (json_zoo.size() > 1) json_zoo += ',';
+    json_zoo += std::string("{\"graph\":\"") + entry.name +
+                "\",\"n\":" + std::to_string(entry.graph.vertex_count()) +
+                ",\"m\":" + std::to_string(entry.graph.edge_count()) +
+                ",\"prepared_bytes\":" + std::to_string(footprint.back()) + "}";
   }
+  json_zoo += "]";
 
   // --- 1. hot serving: prepare count flat while draws grow ---------------
-  std::printf("\n-- hot graph: repeated batches never re-prepare --\n");
+  bench::note("\n-- hot graph: repeated batches never re-prepare --\n");
+  std::string json_hot;
   {
     engine::PoolOptions options;
     options.engine = engine_options;
@@ -85,21 +94,27 @@ int main() {
     const engine::Fingerprint fp = pool.admit(zoo.front().graph);
     const int batches = 8;
     const int k = bench::scaled(16);
+    double last_per_draw = 0.0;
     bench::row({"batch", "draws_total", "prepare_count", "hit", "s/draw"});
     for (int b = 0; b < batches; ++b) {
       const auto start = std::chrono::steady_clock::now();
       const engine::PoolBatchResult r = pool.sample_batch(fp, k);
-      const double per_draw = seconds_since(start) / k;
+      last_per_draw = bench::seconds_since(start) / k;
       bench::row({bench::fmt_int(b), bench::fmt_int(pool.stats().draws),
                   bench::fmt_int(pool.prepare_count(fp)), r.hit ? "yes" : "no",
-                  bench::fmt_sci(per_draw)});
+                  bench::fmt_sci(last_per_draw)});
     }
     if (pool.prepare_count(fp) != 1)
-      std::printf("UNEXPECTED: hot graph re-prepared\n");
+      bench::note("UNEXPECTED: hot graph re-prepared\n");
+    json_hot = "{\"batches\":" + std::to_string(batches) +
+               ",\"k\":" + std::to_string(k) +
+               ",\"prepare_count\":" + std::to_string(pool.prepare_count(fp)) +
+               ",\"s_per_draw_hot\":" + bench::fmt_sci(last_per_draw) + "}";
   }
 
   // --- 2. budget pressure: round-robin over the zoo ----------------------
-  std::printf("\n-- zoo round-robin under a budget holding ~half the zoo --\n");
+  bench::note("\n-- zoo round-robin under a budget holding ~half the zoo --\n");
+  std::string json_budget;
   {
     engine::PoolOptions options;
     options.engine = engine_options;
@@ -109,7 +124,7 @@ int main() {
     std::vector<engine::Fingerprint> fps;
     for (const ZooEntry& entry : zoo) fps.push_back(pool.admit(entry.graph));
 
-    std::printf("budget = %.1f KiB (zoo total %.1f KiB)\n",
+    bench::note("budget = %.1f KiB (zoo total %.1f KiB)\n",
                 static_cast<double>(options.memory_budget_bytes) / 1024.0,
                 static_cast<double>(total_bytes) / 1024.0);
     const int rounds = 3;
@@ -130,14 +145,23 @@ int main() {
                   bench::fmt_int(stats.resident_count)});
     }
     const engine::PoolStats stats = pool.stats();
-    std::printf("resident bytes <= budget at every step: %s (peak %.1f KiB)\n",
+    bench::note("resident bytes <= budget at every step: %s (peak %.1f KiB)\n",
                 budget_held ? "yes" : "NO",
                 static_cast<double>(stats.peak_resident_bytes) / 1024.0);
+    json_budget = "{\"budget_bytes\":" + std::to_string(options.memory_budget_bytes) +
+                  ",\"rounds\":" + std::to_string(rounds) +
+                  ",\"hits\":" + std::to_string(stats.hits) +
+                  ",\"misses\":" + std::to_string(stats.misses) +
+                  ",\"evictions\":" + std::to_string(stats.evictions) +
+                  ",\"peak_resident_bytes\":" +
+                  std::to_string(stats.peak_resident_bytes) +
+                  ",\"budget_held\":" + (budget_held ? "true" : "false") + "}";
   }
 
   // --- 3. async serving: worker sweep ------------------------------------
-  std::printf("\n-- async submit_batch: cold prepares overlap hot draws --\n");
+  bench::note("\n-- async submit_batch: cold prepares overlap hot draws --\n");
   bench::row({"workers", "wall_s", "speedup", "hits", "misses"});
+  std::string json_workers = "[";
   const int batches_per_graph = 4;
   const int k = bench::scaled(8);
   double serial_wall = 0.0;
@@ -161,19 +185,33 @@ int main() {
       for (const graph::TreeEdges& tree : r.batch.trees)
         valid = valid && graph::is_spanning_tree(g, tree);
     }
-    const double wall = seconds_since(start);
+    const double wall = bench::seconds_since(start);
     if (workers == 1) serial_wall = wall;
     const engine::PoolStats stats = pool.stats();
     bench::row({bench::fmt_int(workers) + (valid ? "" : " INVALID"),
                 bench::fmt_sci(wall), bench::fmt(serial_wall / wall, 2),
                 bench::fmt_int(stats.hits), bench::fmt_int(stats.misses)});
+    if (json_workers.size() > 1) json_workers += ',';
+    json_workers += "{\"workers\":" + std::to_string(workers) +
+                    ",\"wall_s\":" + bench::fmt_sci(wall) +
+                    ",\"hits\":" + std::to_string(stats.hits) +
+                    ",\"misses\":" + std::to_string(stats.misses) +
+                    ",\"valid\":" + (valid ? "true" : "false") + "}";
   }
+  json_workers += "]";
 
-  std::printf(
+  bench::note(
       "\nexpected shape: prepare_count stays 1 on the hot graph while draws\n"
       "grow; the round-robin shows evictions > 0 with resident bytes <= budget\n"
       "throughout; the worker sweep keeps every batch a valid tree set and\n"
       "misses = one per (graph, eviction-refill). Worker speedup requires\n"
       "physical cores.\n");
+
+  if (emit_json)
+    std::printf(
+        "{\"bench\":\"bench_pool_serving\",\"quick\":%d,\"zoo\":%s,"
+        "\"hot\":%s,\"budget\":%s,\"worker_sweep\":%s}\n",
+        bench::quick() ? 1 : 0, json_zoo.c_str(), json_hot.c_str(),
+        json_budget.c_str(), json_workers.c_str());
   return 0;
 }

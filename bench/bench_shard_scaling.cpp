@@ -1,0 +1,142 @@
+// ShardedService scaling: the same async workload (a zoo of graphs, several
+// batches each) served by 1, 2, 4, and 8 LocalService shards.
+//
+// Demonstrates the acceptance properties of the sharded serving surface:
+//   1. rendezvous routing spreads the zoo across shards (admitted counts per
+//      shard are reported for each sweep point);
+//   2. wall time drops as shards add worker pools and prepare() of distinct
+//      graphs stops queueing behind one pool's workers;
+//   3. replay equality — every sharded run produces exactly the trees the
+//      1-shard run produced for the same fingerprint sequence, so sharding
+//      is a routing policy, not a sampling change.
+//
+// With --json, the tables are suppressed and stdout carries one JSON
+// document instead, so perf trajectories (BENCH_*.json) can accumulate runs.
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "engine/engine.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+
+using namespace cliquest;
+
+namespace {
+
+std::vector<graph::Graph> make_zoo() {
+  util::Rng gen(5);
+  std::vector<graph::Graph> zoo;
+  zoo.push_back(graph::complete(40));
+  zoo.push_back(graph::cycle(64));
+  zoo.push_back(graph::grid(7, 7));
+  zoo.push_back(graph::wheel(48));
+  zoo.push_back(graph::barbell(20));
+  zoo.push_back(graph::lollipop(20, 20));
+  for (int i = 0; i < 6; ++i)
+    zoo.push_back(graph::gnp_connected(40 + 4 * i, 0.3, gen));
+  return zoo;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool emit_json = bench::has_flag(argc, argv, "--json");
+  bench::quiet() = emit_json;
+  bench::header("bench_shard_scaling",
+                "ShardedService spreads a multi-graph async workload across "
+                "shards (wall time drops with shard count) while every batch "
+                "replays the 1-shard service's trees exactly");
+
+  engine::EngineOptions engine_options;
+  engine_options.backend = engine::Backend::congested_clique;
+  engine_options.seed = 9;
+  engine::PoolOptions pool_options;
+  pool_options.engine = engine_options;
+  pool_options.workers = 2;  // per shard
+
+  const std::vector<graph::Graph> zoo = make_zoo();
+  const int batches_per_graph = 3;
+  const int k = bench::scaled(8);
+  bench::note("\nworkload: %zu graphs x %d batches x k=%d, %d workers per shard\n",
+              zoo.size(), batches_per_graph, k, pool_options.workers);
+
+  // Reference trees per (fingerprint, batch ordinal) from the 1-shard run.
+  std::map<std::string, std::vector<std::string>> reference;
+  double serial_wall = 0.0;
+
+  bench::row({"shards", "wall_s", "speedup", "prepares", "max/shard", "replay_ok"});
+  std::string json_sweep = "[";
+  for (int shards : {1, 2, 4, 8}) {
+    engine::ShardedService service(shards, pool_options);
+    std::vector<engine::BatchRequest> requests;
+    for (const graph::Graph& g : zoo) {
+      const engine::Fingerprint fp = service.admit({g, engine_options});
+      for (int b = 0; b < batches_per_graph; ++b)
+        requests.push_back({fp, k});
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::future<engine::BatchResponse>> futures =
+        service.submit_all(requests);
+    bool valid = true;
+    bool replay_ok = true;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const engine::BatchResponse r = futures[i].get();
+      const graph::Graph& g = zoo[i / static_cast<std::size_t>(batches_per_graph)];
+      std::vector<std::string>& seen = reference[r.fingerprint.to_string()];
+      for (const graph::TreeEdges& tree : r.batch.trees) {
+        valid = valid && graph::is_spanning_tree(g, tree);
+        if (shards == 1) {
+          seen.push_back(graph::tree_key(tree));
+        } else {
+          const std::size_t ordinal =
+              static_cast<std::size_t>(r.first_draw_index) +
+              (&tree - r.batch.trees.data());
+          replay_ok = replay_ok && ordinal < seen.size() &&
+                      seen[ordinal] == graph::tree_key(tree);
+        }
+      }
+    }
+    const double wall = bench::seconds_since(start);
+    if (shards == 1) serial_wall = wall;
+
+    const engine::ServiceStats stats = service.stats();
+    std::int64_t max_admitted = 0;
+    for (const engine::PoolStats& shard : stats.shards)
+      max_admitted = std::max<std::int64_t>(max_admitted, shard.admitted_count);
+    bench::row({bench::fmt_int(shards) + (valid ? "" : " INVALID"),
+                bench::fmt_sci(wall), bench::fmt(serial_wall / wall, 2),
+                bench::fmt_int(stats.totals.prepares), bench::fmt_int(max_admitted),
+                replay_ok ? "yes" : "NO"});
+    if (json_sweep.size() > 1) json_sweep += ',';
+    json_sweep += "{\"shards\":" + std::to_string(shards) +
+                  ",\"wall_s\":" + bench::fmt_sci(wall) +
+                  ",\"prepares\":" + std::to_string(stats.totals.prepares) +
+                  ",\"draws\":" + std::to_string(stats.totals.draws) +
+                  ",\"max_admitted_per_shard\":" + std::to_string(max_admitted) +
+                  ",\"valid\":" + (valid ? "true" : "false") +
+                  ",\"replay_ok\":" + (replay_ok ? "true" : "false") + "}";
+  }
+  json_sweep += "]";
+
+  bench::note(
+      "\nexpected shape: replay_ok = yes at every shard count (identical trees\n"
+      "per fingerprint vs the 1-shard run); max/shard shrinks as rendezvous\n"
+      "hashing spreads admissions; wall time drops while total prepares stay\n"
+      "one per graph. Speedup requires physical cores.\n");
+
+  if (emit_json)
+    std::printf(
+        "{\"bench\":\"bench_shard_scaling\",\"quick\":%d,\"graphs\":%zu,"
+        "\"batches_per_graph\":%d,\"k\":%d,\"workers_per_shard\":%d,"
+        "\"sweep\":%s}\n",
+        bench::quick() ? 1 : 0, zoo.size(), batches_per_graph, k,
+        pool_options.workers, json_sweep.c_str());
+  return 0;
+}

@@ -71,7 +71,8 @@ int main(int argc, char** argv) {
 
   double tv = 0.0;
   for (int v = 0; v < n; ++v)
-    tv += std::abs(estimate[static_cast<std::size_t>(v)] - ppr[static_cast<std::size_t>(v)]);
+    tv += std::abs(estimate[static_cast<std::size_t>(v)] -
+                   ppr[static_cast<std::size_t>(v)]);
   tv /= 2.0;
 
   std::printf("personalized PageRank from vertex %d (alpha = %.2f, n = %d)\n",

@@ -1,13 +1,18 @@
-// SamplerPool demo: a miniature spanning-tree serving process.
+// ShardedService demo: a miniature multi-shard spanning-tree serving
+// process, speaking the typed SamplerService message set.
 //
-// Admits a handful of graphs under structural fingerprints, serves async
-// batches against them through the worker pool, survives eviction churn
-// under a deliberately tight memory budget, and prints the serving stats.
+// Builds a ShardedService over N LocalService shards (each its own
+// byte-budgeted SamplerPool with its own workers), admits a handful of
+// graphs — every request round-trips through the wire codec first, exactly
+// the seam a remote shard would plug into — fans async batches out across
+// the shards, and prints the merged serving stats plus the per-shard
+// breakdown.
 //
-//   ./pool_server [budget_kib] [workers] [backend]
+//   ./pool_server [shards] [budget_kib] [workers] [backend]
 //
 // backend is any registered name: congested_clique (default), doubling,
-// wilson, aldous_broder.
+// wilson, aldous_broder. A tight budget like ./pool_server 2 256 shows LRU
+// eviction churn inside each shard.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,15 +26,21 @@
 using namespace cliquest;
 
 int main(int argc, char** argv) {
-  // The default budget fits the whole demo zoo (rounds 1+ are all hits); a
-  // tight budget like ./pool_server 256 shows LRU eviction churn instead.
-  const long budget_kib = argc > 1 ? std::atol(argv[1]) : 4096;
-  const int workers = argc > 2 ? std::atoi(argv[2]) : 2;
-  const char* backend = argc > 3 ? argv[3] : "congested_clique";
+  const int shards = argc > 1 ? std::atoi(argv[1]) : 4;
+  const long budget_kib = argc > 2 ? std::atol(argv[2]) : 4096;
+  const int workers = argc > 3 ? std::atoi(argv[3]) : 2;
+  const char* backend = argc > 4 ? argv[4] : "congested_clique";
+  if (shards < 1 || shards > 256 || budget_kib < 1 || workers < 0) {
+    std::fprintf(stderr,
+                 "usage: %s [shards 1..256] [budget_kib >= 1] [workers >= 0] "
+                 "[backend]\n",
+                 argv[0]);
+    return 1;
+  }
 
-  // 1. Configure the pool: a byte budget for resident precomputation, a
-  //    small worker pool for async serving, and the default engine options
-  //    every admitted graph inherits.
+  // 1. Configure the shards: every LocalService gets its own pool — a byte
+  //    budget for resident precomputation, a small worker pool, and the
+  //    default engine options admitted graphs inherit.
   engine::PoolOptions options;
   options.memory_budget_bytes = static_cast<std::size_t>(budget_kib) * 1024;
   options.workers = workers;
@@ -39,13 +50,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "configuration error:\n%s\n", e.what());
     return 1;
   }
-  engine::SamplerPool pool(options);
-  std::printf("pool: budget %ld KiB, %d workers, backend %s\n", budget_kib,
-              workers, backend);
+  engine::ShardedService service(shards, options);
+  std::printf("service: %d shards x (%ld KiB budget, %d workers), backend %s\n",
+              shards, budget_kib, workers, backend);
 
-  // 2. Admission: each graph enters under its structural fingerprint
-  //    (canonical edge-list hash). Admission validates up front and is
-  //    idempotent — re-admitting a known graph is a no-op.
+  // 2. Admission through the wire: each AdmitRequest is encoded to bytes and
+  //    decoded back before it is served — in a remote deployment those bytes
+  //    are what crosses the network. Rendezvous hashing on the structural
+  //    fingerprint picks the owning shard; no routing table exists anywhere.
   struct Client {
     const char* name;
     graph::Graph graph;
@@ -58,51 +70,61 @@ int main(int argc, char** argv) {
   clients.push_back({"gnp(48,.3)", graph::gnp_connected(48, 0.3, gen), {}});
   clients.push_back({"wheel(44)", graph::wheel(44), {}});
   for (Client& client : clients) {
-    client.fp = pool.admit(client.graph);
-    std::printf("admitted %-14s as %s\n", client.name,
-                client.fp.to_string().c_str());
+    const engine::wire::Bytes bytes =
+        engine::wire::encode(engine::AdmitRequest{client.graph, options.engine});
+    client.fp = service.admit(engine::wire::decode_admit_request(bytes));
+    std::printf("admitted %-14s as %s -> shard %d (%zu wire bytes)\n", client.name,
+                client.fp.to_string().c_str(), service.shard_for(client.fp),
+                bytes.size());
   }
 
-  // 3. Serving: interleave async batches across all clients. A batch on a
-  //    cold graph prepares it (possibly evicting the LRU entry); a batch on
-  //    a hot graph reuses the resident tables. Each batch's draws are pinned
-  //    to the (seed, first_draw_index + j) streams at submission, so results
-  //    are reproducible no matter how workers interleave.
-  std::vector<std::future<engine::PoolBatchResult>> futures;
+  // 3. Serving: fan async batches across all clients; each request routes to
+  //    its fingerprint's shard and runs on that shard's workers. Draw-index
+  //    ranges are reserved at submission, so results are reproducible no
+  //    matter how the shards interleave — and identical to what a 1-shard
+  //    service would serve.
+  std::vector<engine::BatchRequest> requests;
   const int rounds = 3;
   const int k = 8;
   for (int round = 0; round < rounds; ++round)
-    for (const Client& client : clients)
-      futures.push_back(pool.submit_batch(client.fp, k));
+    for (const Client& client : clients) requests.push_back({client.fp, k});
+  std::vector<std::future<engine::BatchResponse>> futures =
+      service.submit_all(requests);
 
   std::size_t i = 0;
   for (auto& future : futures) {
-    const engine::PoolBatchResult r = future.get();
+    // Responses cross the wire too: encode, ship, decode.
+    const engine::BatchResponse r =
+        engine::wire::decode_batch_response(engine::wire::encode(future.get()));
     const Client& client = clients[i++ % clients.size()];
     bool valid = true;
     for (const graph::TreeEdges& tree : r.batch.trees)
       valid = valid && graph::is_spanning_tree(client.graph, tree);
-    std::printf("%-14s draws [%lld, %lld)  %-4s  trees valid = %s\n", client.name,
-                static_cast<long long>(r.first_draw_index),
+    std::printf("%-14s shard %d  draws [%lld, %lld)  %-4s  trees valid = %s\n",
+                client.name, r.shard, static_cast<long long>(r.first_draw_index),
                 static_cast<long long>(r.first_draw_index + k),
                 r.hit ? "hit" : "miss", valid ? "yes" : "NO");
   }
 
-  // 4. Serving stats: hits amortize prepares; evictions show the budget at
-  //    work; resident bytes never exceed the budget.
-  const engine::PoolStats stats = pool.stats();
+  // 4. Stats: the merged totals plus the per-shard anatomy the router saw.
+  const engine::ServiceStats stats = service.stats();
   std::printf(
-      "\nstats: %lld draws in %lld batches (%lld hit / %lld miss), "
+      "\ntotals: %lld draws in %lld batches (%lld hit / %lld miss), "
       "%lld prepares, %lld evictions\n",
-      static_cast<long long>(stats.draws),
-      static_cast<long long>(stats.hits + stats.misses),
-      static_cast<long long>(stats.hits), static_cast<long long>(stats.misses),
-      static_cast<long long>(stats.prepares),
-      static_cast<long long>(stats.evictions));
-  std::printf("resident: %d/%d graphs, %.1f KiB (peak %.1f KiB, budget %.1f KiB)\n",
-              stats.resident_count, stats.admitted_count,
-              static_cast<double>(stats.resident_bytes) / 1024.0,
-              static_cast<double>(stats.peak_resident_bytes) / 1024.0,
-              static_cast<double>(options.memory_budget_bytes) / 1024.0);
+      static_cast<long long>(stats.totals.draws),
+      static_cast<long long>(stats.totals.hits + stats.totals.misses),
+      static_cast<long long>(stats.totals.hits),
+      static_cast<long long>(stats.totals.misses),
+      static_cast<long long>(stats.totals.prepares),
+      static_cast<long long>(stats.totals.evictions));
+  for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+    const engine::PoolStats& shard = stats.shards[s];
+    std::printf("shard %zu: %d graphs, %lld draws, %.1f KiB resident "
+                "(peak %.1f KiB, budget %.1f KiB)\n",
+                s, shard.admitted_count, static_cast<long long>(shard.draws),
+                static_cast<double>(shard.resident_bytes) / 1024.0,
+                static_cast<double>(shard.peak_resident_bytes) / 1024.0,
+                static_cast<double>(options.memory_budget_bytes) / 1024.0);
+  }
   return 0;
 }

@@ -57,8 +57,10 @@ int main(int argc, char** argv) {
     double qf = 0.0, qs = 0.0;
     for (int i = 0; i < n; ++i)
       for (int j = 0; j < n; ++j) {
-        qf += x[static_cast<std::size_t>(i)] * l_full(i, j) * x[static_cast<std::size_t>(j)];
-        qs += x[static_cast<std::size_t>(i)] * l_sparse(i, j) * x[static_cast<std::size_t>(j)];
+        qf += x[static_cast<std::size_t>(i)] * l_full(i, j) *
+              x[static_cast<std::size_t>(j)];
+        qs += x[static_cast<std::size_t>(i)] * l_sparse(i, j) *
+              x[static_cast<std::size_t>(j)];
       }
     const double ratio = qs / qf;
     worst = std::max(worst, std::abs(ratio - 1.0));

@@ -31,6 +31,13 @@ CategoryTotals Meter::category(std::string_view label) const {
   return it == categories_.end() ? CategoryTotals{} : it->second;
 }
 
+void Meter::add(std::string_view label, const CategoryTotals& totals) {
+  CategoryTotals& mine = categories_[std::string(label)];
+  mine.rounds += totals.rounds;
+  mine.messages += totals.messages;
+  mine.events += totals.events;
+}
+
 void Meter::merge(const Meter& other) {
   for (const auto& [label, totals] : other.categories_) {
     CategoryTotals& mine = categories_[label];

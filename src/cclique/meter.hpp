@@ -33,6 +33,11 @@ class Meter {
   /// Merges another meter's categories into this one (phase -> run rollups).
   void merge(const Meter& other);
 
+  /// Accumulates a category's totals verbatim — events included, unlike
+  /// charge(), so a meter can be reconstructed exactly from its categories()
+  /// (the engine wire codec's decode path).
+  void add(std::string_view label, const CategoryTotals& totals);
+
   /// Multi-line human-readable table, sorted by descending rounds.
   std::string report() const;
 

@@ -16,9 +16,12 @@
 
 #include "engine/backend.hpp"      // IWYU pragma: export
 #include "engine/backends.hpp"     // IWYU pragma: export
+#include "engine/errors.hpp"       // IWYU pragma: export
 #include "engine/fingerprint.hpp"  // IWYU pragma: export
 #include "engine/options.hpp"      // IWYU pragma: export
 #include "engine/pool.hpp"         // IWYU pragma: export
 #include "engine/registry.hpp"     // IWYU pragma: export
 #include "engine/report.hpp"       // IWYU pragma: export
 #include "engine/sampler.hpp"      // IWYU pragma: export
+#include "engine/service.hpp"      // IWYU pragma: export
+#include "engine/wire.hpp"         // IWYU pragma: export

@@ -1,0 +1,27 @@
+#include "engine/errors.hpp"
+
+namespace cliquest::engine {
+
+std::string_view service_error_name(ServiceErrorCode code) {
+  switch (code) {
+    case ServiceErrorCode::unknown_fingerprint:
+      return "unknown_fingerprint";
+    case ServiceErrorCode::invalid_request:
+      return "invalid_request";
+    case ServiceErrorCode::invalid_config:
+      return "invalid_config";
+    case ServiceErrorCode::malformed_message:
+      return "malformed_message";
+    case ServiceErrorCode::version_mismatch:
+      return "version_mismatch";
+    case ServiceErrorCode::unavailable:
+      return "unavailable";
+  }
+  return "unknown";
+}
+
+ServiceError::ServiceError(ServiceErrorCode code, const std::string& detail)
+    : std::runtime_error(std::string(service_error_name(code)) + ": " + detail),
+      code_(code) {}
+
+}  // namespace cliquest::engine

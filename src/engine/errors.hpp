@@ -1,0 +1,51 @@
+#pragma once
+
+// Typed errors for the serving surface.
+//
+// Everything that crosses a SamplerService boundary fails with a
+// ServiceError carrying a machine-readable code — the contract a remote
+// transport needs (an error code survives a wire hop; a C++ exception type
+// does not). This replaces the pre-service mix of std::out_of_range (unknown
+// fingerprints) and EngineConfigError (bad request arguments) that used to
+// escape the pool's serving calls. EngineConfigError remains the
+// construction/validation error below the service layer; LocalService
+// translates it at the admit boundary.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cliquest::engine {
+
+enum class ServiceErrorCode {
+  /// A batch/lookup named a fingerprint no admission created.
+  unknown_fingerprint,
+  /// A request argument is out of range (e.g. draw_count < 0).
+  invalid_request,
+  /// Admission-time configuration rejected (wraps EngineConfigError).
+  invalid_config,
+  /// Wire bytes do not parse as any message (bad magic/tag/length/payload).
+  malformed_message,
+  /// Wire bytes carry a version this build does not speak.
+  version_mismatch,
+  /// The service cannot serve (shutting down, no shards, ...).
+  unavailable,
+};
+
+/// Stable lowercase token, e.g. "unknown_fingerprint"; the code's wire name.
+std::string_view service_error_name(ServiceErrorCode code);
+
+/// The one exception type the serving surface throws (synchronously) or
+/// delivers through submit_batch futures. what() is
+/// "<code name>: <detail>".
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(ServiceErrorCode code, const std::string& detail);
+
+  ServiceErrorCode code() const { return code_; }
+
+ private:
+  ServiceErrorCode code_;
+};
+
+}  // namespace cliquest::engine

@@ -1,10 +1,10 @@
 #include "engine/pool.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "engine/errors.hpp"
 #include "engine/registry.hpp"
 
 namespace cliquest::engine {
@@ -98,8 +98,9 @@ std::shared_ptr<SamplerPool::Entry> SamplerPool::find_locked(
     const Fingerprint& fp) const {
   const auto it = entries_.find(fp);
   if (it == entries_.end())
-    throw std::out_of_range("SamplerPool: unknown fingerprint " + fp.to_string() +
-                            " (admit the graph first)");
+    throw ServiceError(ServiceErrorCode::unknown_fingerprint,
+                       "SamplerPool: unknown fingerprint " + fp.to_string() +
+                           " (admit the graph first)");
   return it->second;
 }
 
@@ -190,14 +191,16 @@ PoolBatchResult SamplerPool::serve(const std::shared_ptr<Entry>& entry,
   result.fingerprint = entry->fingerprint;
   result.first_draw_index = first_index;
   result.hit = hit;
+  result.shard = options_.shard_id;
   result.batch = std::move(batch);
   return result;
 }
 
 PoolBatchResult SamplerPool::sample_batch(const Fingerprint& fp, int k) {
   if (k < 0)
-    throw EngineConfigError(
-        {"SamplerPool::sample_batch: k must be >= 0, got " + std::to_string(k)});
+    throw ServiceError(
+        ServiceErrorCode::invalid_request,
+        "SamplerPool::sample_batch: k must be >= 0, got " + std::to_string(k));
   std::shared_ptr<Entry> entry;
   std::int64_t first = 0;
   {
@@ -210,13 +213,14 @@ PoolBatchResult SamplerPool::sample_batch(const Fingerprint& fp, int k) {
 
 std::future<PoolBatchResult> SamplerPool::submit_batch(const Fingerprint& fp,
                                                        int k) {
-  if (k < 0)
-    throw EngineConfigError(
-        {"SamplerPool::submit_batch: k must be >= 0, got " + std::to_string(k)});
   Job job;
   job.count = k;
   std::future<PoolBatchResult> future = job.promise.get_future();
-  {
+  try {
+    if (k < 0)
+      throw ServiceError(
+          ServiceErrorCode::invalid_request,
+          "SamplerPool::submit_batch: k must be >= 0, got " + std::to_string(k));
     std::lock_guard<std::mutex> lock(mutex_);
     job.entry = find_locked(fp);
     // Reserving at submission (not execution) time pins every draw's
@@ -226,6 +230,12 @@ std::future<PoolBatchResult> SamplerPool::submit_batch(const Fingerprint& fp,
     if (!workers_.empty()) {
       queue_.push_back(std::move(job));
     }
+  } catch (...) {
+    // The async surface has one error channel: the future. Rejections
+    // (unknown fingerprint, bad k) travel it as the same ServiceError the
+    // sync path throws.
+    job.promise.set_exception(std::current_exception());
+    return future;
   }
   if (workers_.empty()) {
     // workers == 0: run inline; the future is ready on return.

@@ -65,6 +65,11 @@ struct PoolOptions {
   /// caller (the future is ready on return) — useful for deterministic tests.
   int workers = 2;
 
+  /// Stamped on every result's `shard` field so responses self-identify
+  /// their serving shard at the source (futures stay promise-backed, no
+  /// post-hoc rewriting). Sharding layers set it per child; 0 otherwise.
+  int shard_id = 0;
+
   /// Options template for graphs admitted via the one-argument admit();
   /// admit(g, options) overrides per graph.
   EngineOptions engine;
@@ -86,11 +91,13 @@ struct PoolStats {
 
 /// A served batch: the engine BatchResult plus the serving metadata needed
 /// to replay it ([first_draw_index, first_draw_index + k) on the entry's
-/// (seed, index) streams) and to attribute it to hit/miss.
+/// (seed, index) streams) and to attribute it (cache hit, serving shard).
+/// This is also the service layer's BatchResponse message (engine/service.hpp).
 struct PoolBatchResult {
   Fingerprint fingerprint;
   std::int64_t first_draw_index = 0;
   bool hit = false;
+  int shard = 0;  // the pool's shard_id (0 for unsharded pools)
   BatchResult batch;
 };
 
@@ -119,16 +126,20 @@ class SamplerPool {
   bool resident(const Fingerprint& fp) const;
 
   /// Times this entry's precomputation has been built (re-prepares after
-  /// eviction increment it). Throws std::out_of_range on unknown fingerprints.
+  /// eviction increment it). Throws ServiceError{unknown_fingerprint} on
+  /// unknown fingerprints.
   std::int64_t prepare_count(const Fingerprint& fp) const;
 
   /// Draws k trees synchronously, preparing (and possibly evicting) on a
-  /// cold entry. Throws std::out_of_range on unknown fingerprints.
+  /// cold entry. Throws ServiceError{unknown_fingerprint} on unknown
+  /// fingerprints and ServiceError{invalid_request} on k < 0.
   PoolBatchResult sample_batch(const Fingerprint& fp, int k);
 
   /// Async variant: reserves the batch's draw-index range immediately (so
   /// submission order fixes the streams), enqueues the work, and returns a
-  /// future. Errors while serving surface through the future.
+  /// future. Every error — rejection (unknown fingerprint, bad k) and
+  /// serving failure alike — surfaces through the future, never
+  /// synchronously, with the same ServiceError types as the sync path.
   std::future<PoolBatchResult> submit_batch(const Fingerprint& fp, int k);
 
   /// Resident fingerprints in eviction order (coldest first).

@@ -64,7 +64,8 @@ double BatchReport::mean_seconds() const {
 std::string BatchReport::summary() const {
   char line[256];
   std::string out;
-  std::snprintf(line, sizeof(line), "engine batch: backend=%s n=%d draws=%zu threads=%d\n",
+  std::snprintf(line, sizeof(line),
+                "engine batch: backend=%s n=%d draws=%zu threads=%d\n",
                 backend.c_str(), vertex_count, draws.size(), threads);
   out += line;
   std::snprintf(line, sizeof(line),

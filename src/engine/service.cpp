@@ -1,0 +1,178 @@
+#include "engine/service.hpp"
+
+#include <string>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace cliquest::engine {
+namespace {
+
+/// Rendezvous weight of (fingerprint, shard): both halves of the
+/// fingerprint feed the splitmix64 finalizer so no 64-bit structure
+/// survives the mix.
+std::uint64_t rendezvous_score(const Fingerprint& fp, int shard) {
+  return util::splitmix64(
+      fp.hi ^ util::splitmix64(fp.lo ^ static_cast<std::uint64_t>(shard)));
+}
+
+/// Field-wise sum — max-type fields (resident/peak bytes) included, so the
+/// merged peak is a sum-of-peaks upper bound (see ServiceStats).
+void merge_stats(PoolStats& into, const PoolStats& from) {
+  into.admissions += from.admissions;
+  into.hits += from.hits;
+  into.misses += from.misses;
+  into.prepares += from.prepares;
+  into.evictions += from.evictions;
+  into.draws += from.draws;
+  into.resident_bytes += from.resident_bytes;
+  into.peak_resident_bytes += from.peak_resident_bytes;
+  into.resident_count += from.resident_count;
+  into.admitted_count += from.admitted_count;
+}
+
+}  // namespace
+
+std::vector<std::future<BatchResponse>> SamplerService::submit_all(
+    const std::vector<BatchRequest>& requests) {
+  std::vector<std::future<BatchResponse>> futures;
+  futures.reserve(requests.size());
+  // submit_batch reserves each request's draw-index range before returning,
+  // so this loop pins the streams in request order; the work itself runs
+  // concurrently on whatever workers the implementation owns.
+  for (const BatchRequest& request : requests)
+    futures.push_back(submit_batch(request));
+  return futures;
+}
+
+// ------------------------------------------------------------ LocalService
+
+LocalService::LocalService(PoolOptions options) : pool_(std::move(options)) {}
+
+Fingerprint LocalService::admit(const AdmitRequest& request) {
+  try {
+    return pool_.admit(request.graph, request.options);
+  } catch (const EngineConfigError& e) {
+    // Below the service layer this is a construction/validation error; on
+    // the serving surface every failure is a ServiceError.
+    throw ServiceError(ServiceErrorCode::invalid_config, e.what());
+  }
+}
+
+bool LocalService::admitted(const Fingerprint& fp) const { return pool_.admitted(fp); }
+
+bool LocalService::resident(const Fingerprint& fp) const { return pool_.resident(fp); }
+
+std::int64_t LocalService::prepare_count(const Fingerprint& fp) const {
+  return pool_.prepare_count(fp);
+}
+
+BatchResponse LocalService::sample_batch(const BatchRequest& request) {
+  return pool_.sample_batch(request.fingerprint, request.draw_count);
+}
+
+std::future<BatchResponse> LocalService::submit_batch(const BatchRequest& request) {
+  // The pool's future is the response future: promise-backed, so
+  // wait_for/wait_until readiness polling behaves, and already stamped with
+  // the pool's shard_id.
+  return pool_.submit_batch(request.fingerprint, request.draw_count);
+}
+
+ServiceStats LocalService::stats() const {
+  ServiceStats stats;
+  stats.totals = pool_.stats();
+  stats.shards = {stats.totals};
+  return stats;
+}
+
+// ---------------------------------------------------------- ShardedService
+
+ShardedService::ShardedService(std::vector<std::unique_ptr<SamplerService>> shards)
+    : shards_(std::move(shards)) {
+  if (shards_.empty())
+    throw ServiceError(ServiceErrorCode::unavailable,
+                       "ShardedService needs at least one shard");
+  for (const std::unique_ptr<SamplerService>& shard : shards_)
+    if (shard == nullptr)
+      throw ServiceError(ServiceErrorCode::unavailable,
+                         "ShardedService shard must not be null");
+}
+
+namespace {
+std::vector<std::unique_ptr<SamplerService>> make_local_shards(
+    int shard_count, const PoolOptions& options) {
+  if (shard_count < 1)
+    throw ServiceError(ServiceErrorCode::invalid_config,
+                       "ShardedService: shard_count must be >= 1, got " +
+                           std::to_string(shard_count));
+  std::vector<std::unique_ptr<SamplerService>> shards;
+  shards.reserve(static_cast<std::size_t>(shard_count));
+  for (int i = 0; i < shard_count; ++i) {
+    PoolOptions shard_options = options;
+    shard_options.shard_id = i;  // responses self-identify their shard
+    shards.push_back(std::make_unique<LocalService>(std::move(shard_options)));
+  }
+  return shards;
+}
+}  // namespace
+
+ShardedService::ShardedService(int shard_count, const PoolOptions& options)
+    : ShardedService(make_local_shards(shard_count, options)) {}
+
+int ShardedService::shard_for(const Fingerprint& fp) const {
+  int best = 0;
+  std::uint64_t best_score = rendezvous_score(fp, 0);
+  for (int i = 1; i < shard_count(); ++i) {
+    const std::uint64_t score = rendezvous_score(fp, i);
+    if (score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+Fingerprint ShardedService::admit(const AdmitRequest& request) {
+  // Route by the fingerprint the child will compute; the equality is a
+  // structural invariant (same canonical hash on both sides of the call).
+  const Fingerprint fp = fingerprint_graph(request.graph);
+  return shards_[static_cast<std::size_t>(shard_for(fp))]->admit(request);
+}
+
+bool ShardedService::admitted(const Fingerprint& fp) const {
+  return shards_[static_cast<std::size_t>(shard_for(fp))]->admitted(fp);
+}
+
+bool ShardedService::resident(const Fingerprint& fp) const {
+  return shards_[static_cast<std::size_t>(shard_for(fp))]->resident(fp);
+}
+
+std::int64_t ShardedService::prepare_count(const Fingerprint& fp) const {
+  return shards_[static_cast<std::size_t>(shard_for(fp))]->prepare_count(fp);
+}
+
+BatchResponse ShardedService::sample_batch(const BatchRequest& request) {
+  // The serving shard stamps its own id (PoolOptions::shard_id); the router
+  // never rewrites responses, sync or async.
+  return shards_[static_cast<std::size_t>(shard_for(request.fingerprint))]
+      ->sample_batch(request);
+}
+
+std::future<BatchResponse> ShardedService::submit_batch(const BatchRequest& request) {
+  // Pass the child's promise-backed future through untouched: readiness
+  // polling works, and the response already carries the serving shard.
+  return shards_[static_cast<std::size_t>(shard_for(request.fingerprint))]
+      ->submit_batch(request);
+}
+
+ServiceStats ShardedService::stats() const {
+  ServiceStats stats;
+  stats.shards.reserve(shards_.size());
+  for (const std::unique_ptr<SamplerService>& shard : shards_) {
+    stats.shards.push_back(shard->stats().totals);
+    merge_stats(stats.totals, stats.shards.back());
+  }
+  return stats;
+}
+
+}  // namespace cliquest::engine

@@ -1,0 +1,173 @@
+#pragma once
+
+// SamplerService: the transport-agnostic serving surface.
+//
+// The pool (engine/pool.hpp) is a concrete in-process object; SamplerService
+// is the abstraction a client actually needs from a tree-sampling server,
+// phrased entirely in typed messages so the same surface works in-process,
+// across shards, or (future) across a wire:
+//
+//   AdmitRequest  -> Fingerprint       admit a graph + options
+//   BatchRequest  -> BatchResponse     draw k trees against a fingerprint
+//   (stats)       -> ServiceStats      merged serving counters
+//   any failure   -> ServiceError      machine-readable error code
+//
+// Every message has a byte encoding in engine/wire.hpp; a remote transport
+// is "encode request, move bytes, decode, call the same virtuals" — routing
+// and serving semantics never change.
+//
+// Two implementations:
+//   - LocalService: retrofits SamplerPool behind the interface. Keeps the
+//     pool's LRU/byte-budget/replay semantics exactly; translates
+//     admission-time EngineConfigError into ServiceError{invalid_config}.
+//   - ShardedService: owns N child services and routes each fingerprint to
+//     one of them by rendezvous (highest-random-weight) hashing, so the
+//     shard map is stable, needs no shared state, and moves a minimal set
+//     of keys when the shard count changes. Batches fan out concurrently
+//     through the children's own worker pools; stats merge across shards;
+//     each child keeps its own per-fingerprint draw cursors, so a batch
+//     sequence replays identically no matter how many shards serve it.
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "engine/errors.hpp"
+#include "engine/fingerprint.hpp"
+#include "engine/pool.hpp"
+
+namespace cliquest::engine {
+
+/// Admission message: a graph plus the engine options its sampler will use.
+struct AdmitRequest {
+  graph::Graph graph;
+  EngineOptions options;
+};
+
+/// Serving message: draw draw_count trees against an admitted fingerprint.
+struct BatchRequest {
+  Fingerprint fingerprint;
+  int draw_count = 0;
+};
+
+/// A served batch: the trees + report, plus the serving metadata needed to
+/// replay it ([first_draw_index, first_draw_index + k) on the entry's
+/// (seed, index) streams) and to attribute it (cache hit, serving shard).
+/// The `shard` field is stamped at the source by the serving pool (see
+/// PoolOptions::shard_id), not rewritten by routers — that keeps every
+/// submit_batch future promise-backed (wait_for readiness polling works),
+/// with no deferred adapter layered on top.
+using BatchResponse = PoolBatchResult;
+
+/// Serving counters: the service-wide totals plus one entry per shard (a
+/// LocalService reports itself as its only shard). Counters in totals are
+/// sums across shards — including resident_bytes and peak_resident_bytes,
+/// so totals.peak is a sum-of-peaks upper bound; the per-shard
+/// "peak <= budget" invariant lives in shards[], where each budget applies.
+struct ServiceStats {
+  PoolStats totals;
+  std::vector<PoolStats> shards;
+};
+
+class SamplerService {
+ public:
+  virtual ~SamplerService() = default;
+
+  SamplerService() = default;
+  SamplerService(const SamplerService&) = delete;
+  SamplerService& operator=(const SamplerService&) = delete;
+
+  /// Admits request.graph under its structural fingerprint. Idempotent (the
+  /// first admission's options win). Throws ServiceError{invalid_config} on
+  /// invalid graphs/options.
+  virtual Fingerprint admit(const AdmitRequest& request) = 0;
+
+  virtual bool admitted(const Fingerprint& fp) const = 0;
+
+  /// True while the fingerprint's prepared sampler is retained somewhere in
+  /// the service.
+  virtual bool resident(const Fingerprint& fp) const = 0;
+
+  /// Times the fingerprint's precomputation has been built. Throws
+  /// ServiceError{unknown_fingerprint} on unknown fingerprints.
+  virtual std::int64_t prepare_count(const Fingerprint& fp) const = 0;
+
+  /// Draws request.draw_count trees synchronously. Throws
+  /// ServiceError{unknown_fingerprint, invalid_request}.
+  virtual BatchResponse sample_batch(const BatchRequest& request) = 0;
+
+  /// Async variant: the draw-index range is reserved at submission, so
+  /// submission order alone fixes every draw's (seed, index) stream. All
+  /// errors — including unknown fingerprints — surface through the future
+  /// as ServiceError, never synchronously: the async surface has exactly
+  /// one error channel, which is what a transport needs.
+  virtual std::future<BatchResponse> submit_batch(const BatchRequest& request) = 0;
+
+  /// Fans a request list out concurrently (shard-parallel on sharded
+  /// services) and returns the futures in request order.
+  std::vector<std::future<BatchResponse>> submit_all(
+      const std::vector<BatchRequest>& requests);
+
+  virtual ServiceStats stats() const = 0;
+};
+
+/// SamplerPool behind the service interface. The pool's semantics are the
+/// service's semantics: structural-fingerprint admission, byte-budgeted LRU
+/// residency, submission-time draw-cursor reservation.
+class LocalService : public SamplerService {
+ public:
+  explicit LocalService(PoolOptions options = {});
+
+  Fingerprint admit(const AdmitRequest& request) override;
+  bool admitted(const Fingerprint& fp) const override;
+  bool resident(const Fingerprint& fp) const override;
+  std::int64_t prepare_count(const Fingerprint& fp) const override;
+  BatchResponse sample_batch(const BatchRequest& request) override;
+  std::future<BatchResponse> submit_batch(const BatchRequest& request) override;
+  ServiceStats stats() const override;
+
+  /// The underlying pool, for residency introspection in tests and benches.
+  SamplerPool& pool() { return pool_; }
+  const SamplerPool& pool() const { return pool_; }
+
+ private:
+  SamplerPool pool_;
+};
+
+/// Fingerprint-sharded routing over pluggable child services.
+class ShardedService : public SamplerService {
+ public:
+  /// Takes ownership of the shards; requires at least one.
+  explicit ShardedService(std::vector<std::unique_ptr<SamplerService>> shards);
+
+  /// Convenience: n LocalService shards, each with its own copy of options
+  /// (worker threads and byte budget are per shard) and its shard_id set to
+  /// its index, so responses report the serving shard.
+  ShardedService(int shard_count, const PoolOptions& options);
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  /// The shard index fp routes to: rendezvous hashing — argmax over shards
+  /// of h(fp, shard) — so every service instance with the same shard count
+  /// agrees on the owner without any coordination state.
+  int shard_for(const Fingerprint& fp) const;
+
+  /// Direct access to a child shard (tests, benches, stats drill-down).
+  SamplerService& shard(int index) {
+    return *shards_.at(static_cast<std::size_t>(index));
+  }
+
+  Fingerprint admit(const AdmitRequest& request) override;
+  bool admitted(const Fingerprint& fp) const override;
+  bool resident(const Fingerprint& fp) const override;
+  std::int64_t prepare_count(const Fingerprint& fp) const override;
+  BatchResponse sample_batch(const BatchRequest& request) override;
+  std::future<BatchResponse> submit_batch(const BatchRequest& request) override;
+  ServiceStats stats() const override;
+
+ private:
+  std::vector<std::unique_ptr<SamplerService>> shards_;
+};
+
+}  // namespace cliquest::engine

@@ -1,0 +1,480 @@
+#include "engine/wire.hpp"
+
+#include <bit>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace cliquest::engine::wire {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'C', 'Q', 'W', 'F'};
+constexpr std::size_t kHeaderSize = 7;  // magic + version + tag
+constexpr std::int32_t kMaxVertices = 1 << 20;  // see read_graph
+
+[[noreturn]] void malformed(const std::string& detail) {
+  throw ServiceError(ServiceErrorCode::malformed_message, detail);
+}
+
+class Writer {
+ public:
+  explicit Writer(MessageType tag) {
+    out_.reserve(64);
+    for (std::uint8_t byte : kMagic) out_.push_back(byte);
+    u16(kVersion);
+    u8(static_cast<std::uint8_t>(tag));
+  }
+
+  void u8(std::uint8_t x) { out_.push_back(x); }
+  void u16(std::uint16_t x) {
+    for (int shift = 0; shift < 16; shift += 8)
+      out_.push_back(static_cast<std::uint8_t>(x >> shift));
+  }
+  void u32(std::uint32_t x) {
+    for (int shift = 0; shift < 32; shift += 8)
+      out_.push_back(static_cast<std::uint8_t>(x >> shift));
+  }
+  void u64(std::uint64_t x) {
+    for (int shift = 0; shift < 64; shift += 8)
+      out_.push_back(static_cast<std::uint8_t>(x >> shift));
+  }
+  void i32(std::int32_t x) { u32(static_cast<std::uint32_t>(x)); }
+  void i64(std::int64_t x) { u64(static_cast<std::uint64_t>(x)); }
+  void f64(double x) { u64(std::bit_cast<std::uint64_t>(x)); }
+  void boolean(bool x) { u8(x ? 1 : 0); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  Bytes finish() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Validates the envelope — magic, then version, then a known tag — and
+/// returns the tag. The single source of truth for both peek_type and the
+/// Reader every decoder opens, so a dispatcher and the decoders can never
+/// disagree on which buffers are well-framed.
+std::uint8_t read_envelope(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize)
+    malformed("buffer of " + std::to_string(bytes.size()) +
+              " bytes is shorter than the message header");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    malformed("bad magic (not a cliquest wire message)");
+  const std::uint16_t version =
+      static_cast<std::uint16_t>(bytes[4] | (static_cast<std::uint16_t>(bytes[5]) << 8));
+  if (version != kVersion)
+    throw ServiceError(ServiceErrorCode::version_mismatch,
+                       "wire version " + std::to_string(version) +
+                           ", this build speaks " + std::to_string(kVersion));
+  const std::uint8_t tag = bytes[6];
+  if (tag < static_cast<std::uint8_t>(MessageType::graph) ||
+      tag > static_cast<std::uint8_t>(MessageType::service_stats))
+    malformed("unknown message tag " + std::to_string(tag));
+  return tag;
+}
+
+class Reader {
+ public:
+  /// Validates the envelope and additionally pins the expected tag.
+  Reader(std::span<const std::uint8_t> bytes, MessageType expected)
+      : bytes_(bytes) {
+    const std::uint8_t tag = read_envelope(bytes_);
+    if (tag != static_cast<std::uint8_t>(expected))
+      malformed("message tag " + std::to_string(tag) + ", expected " +
+                std::to_string(static_cast<int>(expected)));
+    offset_ = kHeaderSize;
+  }
+
+  std::uint8_t u8() {
+    require(1);
+    return bytes_[offset_++];
+  }
+  std::uint16_t u16() {
+    require(2);
+    const std::uint16_t lo = bytes_[offset_++];
+    const std::uint16_t hi = bytes_[offset_++];
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+  std::uint32_t u32() {
+    require(4);
+    std::uint32_t x = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+      x |= static_cast<std::uint32_t>(bytes_[offset_++]) << shift;
+    return x;
+  }
+  std::uint64_t u64() {
+    require(8);
+    std::uint64_t x = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+      x |= static_cast<std::uint64_t>(bytes_[offset_++]) << shift;
+    return x;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  bool boolean() {
+    const std::uint8_t x = u8();
+    if (x > 1) malformed("bool byte " + std::to_string(x));
+    return x == 1;
+  }
+  std::string str() {
+    const std::uint32_t size = u32();
+    require(size);
+    std::string s(reinterpret_cast<const char*>(bytes_.data()) + offset_, size);
+    offset_ += size;
+    return s;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - offset_; }
+
+  /// Rejects buffers with bytes past the payload: a length confusion is a
+  /// framing bug, not something to ignore.
+  void done() const {
+    if (offset_ != bytes_.size())
+      malformed(std::to_string(bytes_.size() - offset_) +
+                " trailing bytes after the payload");
+  }
+
+ private:
+  void require(std::size_t n) {
+    if (bytes_.size() - offset_ < n)
+      malformed("truncated payload (need " + std::to_string(n) + " bytes at offset " +
+                std::to_string(offset_) + " of " + std::to_string(bytes_.size()) + ")");
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t offset_ = 0;
+};
+
+// ------------------------------------------------------- payload sections
+
+void write_graph(Writer& w, const graph::Graph& g) {
+  w.i32(g.vertex_count());
+  w.u32(static_cast<std::uint32_t>(g.edge_count()));
+  for (const graph::Edge& e : g.edges()) {
+    w.i32(e.u);
+    w.i32(e.v);
+    w.f64(e.weight);
+  }
+}
+
+graph::Graph read_graph(Reader& r) {
+  const std::int32_t n = r.i32();
+  // Allocation happens before the payload proves itself, so bound it first:
+  // kMaxVertices caps the adjacency index a forged count can demand (far
+  // above any graph the dense-matrix backends can serve), and an edge costs
+  // 16 payload bytes, so m is checked against the bytes actually present.
+  if (n < 0 || n > kMaxVertices)
+    malformed("graph vertex count " + std::to_string(n));
+  const std::uint32_t m = r.u32();
+  if (m > r.remaining() / 16)
+    malformed("graph edge count " + std::to_string(m) +
+              " exceeds the remaining payload");
+  graph::Graph g(n);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const std::int32_t u = r.i32();
+    const std::int32_t v = r.i32();
+    const double weight = r.f64();
+    try {
+      g.add_edge(u, v, weight);
+    } catch (const std::exception& e) {
+      // Bad endpoint, duplicate edge, non-positive weight: the payload does
+      // not describe a well-formed graph.
+      malformed(std::string("graph edge ") + std::to_string(i) + ": " + e.what());
+    }
+  }
+  return g;
+}
+
+void write_options(Writer& w, const EngineOptions& o) {
+  w.u8(static_cast<std::uint8_t>(o.backend));
+  w.u64(o.seed);
+  w.i32(o.threads);
+  w.i32(o.start_vertex);
+  // Congested Clique knobs (every field, including the written-through
+  // start_vertex, so the struct round-trips exactly).
+  w.u8(static_cast<std::uint8_t>(o.clique.mode));
+  w.u8(static_cast<std::uint8_t>(o.clique.matching));
+  w.f64(o.clique.epsilon);
+  w.i32(o.clique.start_vertex);
+  w.boolean(o.clique.paper_cubic_length);
+  w.f64(o.clique.length_factor);
+  w.i32(o.clique.rho_override);
+  w.i32(o.clique.metropolis_steps_per_site);
+  w.i32(o.clique.max_extensions_per_phase);
+  w.i32(o.clique.words_per_entry);
+  w.i64(o.clique.max_segment_entries);
+  // Doubling / cover-time knobs.
+  w.i64(o.covertime.initial_tau);
+  w.i32(o.covertime.root);
+  w.i32(o.covertime.max_attempts);
+  w.i64(o.covertime.doubling.tau);
+  w.boolean(o.covertime.doubling.load_balanced);
+  w.i32(o.covertime.doubling.hash_c);
+}
+
+template <typename Enum>
+Enum read_enum(Reader& r, std::uint8_t max_value, const char* what) {
+  const std::uint8_t x = r.u8();
+  if (x > max_value)
+    malformed(std::string(what) + " enum byte " + std::to_string(x));
+  return static_cast<Enum>(x);
+}
+
+EngineOptions read_options(Reader& r) {
+  EngineOptions o;
+  o.backend = read_enum<Backend>(r, static_cast<std::uint8_t>(Backend::aldous_broder),
+                                 "backend");
+  o.seed = r.u64();
+  o.threads = r.i32();
+  o.start_vertex = r.i32();
+  o.clique.mode = read_enum<core::SamplingMode>(
+      r, static_cast<std::uint8_t>(core::SamplingMode::exact), "sampling mode");
+  o.clique.matching = read_enum<core::MatchingStrategy>(
+      r, static_cast<std::uint8_t>(core::MatchingStrategy::verbatim),
+      "matching strategy");
+  o.clique.epsilon = r.f64();
+  o.clique.start_vertex = r.i32();
+  o.clique.paper_cubic_length = r.boolean();
+  o.clique.length_factor = r.f64();
+  o.clique.rho_override = r.i32();
+  o.clique.metropolis_steps_per_site = r.i32();
+  o.clique.max_extensions_per_phase = r.i32();
+  o.clique.words_per_entry = r.i32();
+  o.clique.max_segment_entries = r.i64();
+  o.covertime.initial_tau = r.i64();
+  o.covertime.root = r.i32();
+  o.covertime.max_attempts = r.i32();
+  o.covertime.doubling.tau = r.i64();
+  o.covertime.doubling.load_balanced = r.boolean();
+  o.covertime.doubling.hash_c = r.i32();
+  return o;
+}
+
+void write_fingerprint(Writer& w, const Fingerprint& fp) {
+  w.u64(fp.hi);
+  w.u64(fp.lo);
+}
+
+Fingerprint read_fingerprint(Reader& r) {
+  Fingerprint fp;
+  fp.hi = r.u64();
+  fp.lo = r.u64();
+  return fp;
+}
+
+void write_tree(Writer& w, const graph::TreeEdges& tree) {
+  w.u32(static_cast<std::uint32_t>(tree.size()));
+  for (const auto& [u, v] : tree) {
+    w.i32(u);
+    w.i32(v);
+  }
+}
+
+graph::TreeEdges read_tree(Reader& r) {
+  const std::uint32_t size = r.u32();
+  graph::TreeEdges tree;
+  for (std::uint32_t i = 0; i < size; ++i) {
+    const int u = r.i32();
+    const int v = r.i32();
+    tree.emplace_back(u, v);
+  }
+  return tree;
+}
+
+void write_report(Writer& w, const BatchReport& report) {
+  w.str(report.backend);
+  w.i32(report.vertex_count);
+  w.u64(report.seed);
+  w.i32(report.threads);
+  w.i64(report.prepare_builds);
+  w.f64(report.prepare_seconds);
+  w.u32(static_cast<std::uint32_t>(report.draws.size()));
+  for (const DrawStats& draw : report.draws) {
+    w.i64(draw.index);
+    w.i64(draw.rounds);
+    w.i64(draw.walk_steps);
+    w.i32(draw.phases);
+    w.f64(draw.seconds);
+  }
+  w.u32(static_cast<std::uint32_t>(report.meter.categories().size()));
+  for (const auto& [label, totals] : report.meter.categories()) {
+    w.str(label);
+    w.i64(totals.rounds);
+    w.i64(totals.messages);
+    w.i64(totals.events);
+  }
+}
+
+BatchReport read_report(Reader& r) {
+  BatchReport report;
+  report.backend = r.str();
+  report.vertex_count = r.i32();
+  report.seed = r.u64();
+  report.threads = r.i32();
+  report.prepare_builds = r.i64();
+  report.prepare_seconds = r.f64();
+  const std::uint32_t draw_count = r.u32();
+  for (std::uint32_t i = 0; i < draw_count; ++i) {
+    DrawStats draw;
+    draw.index = r.i64();
+    draw.rounds = r.i64();
+    draw.walk_steps = r.i64();
+    draw.phases = r.i32();
+    draw.seconds = r.f64();
+    report.draws.push_back(draw);
+  }
+  const std::uint32_t categories = r.u32();
+  for (std::uint32_t i = 0; i < categories; ++i) {
+    const std::string label = r.str();
+    cclique::CategoryTotals totals;
+    totals.rounds = r.i64();
+    totals.messages = r.i64();
+    totals.events = r.i64();
+    report.meter.add(label, totals);
+  }
+  return report;
+}
+
+void write_pool_stats(Writer& w, const PoolStats& s) {
+  w.i64(s.admissions);
+  w.i64(s.hits);
+  w.i64(s.misses);
+  w.i64(s.prepares);
+  w.i64(s.evictions);
+  w.i64(s.draws);
+  w.u64(s.resident_bytes);
+  w.u64(s.peak_resident_bytes);
+  w.i32(s.resident_count);
+  w.i32(s.admitted_count);
+}
+
+PoolStats read_pool_stats(Reader& r) {
+  PoolStats s;
+  s.admissions = r.i64();
+  s.hits = r.i64();
+  s.misses = r.i64();
+  s.prepares = r.i64();
+  s.evictions = r.i64();
+  s.draws = r.i64();
+  s.resident_bytes = static_cast<std::size_t>(r.u64());
+  s.peak_resident_bytes = static_cast<std::size_t>(r.u64());
+  s.resident_count = r.i32();
+  s.admitted_count = r.i32();
+  return s;
+}
+
+}  // namespace
+
+MessageType peek_type(std::span<const std::uint8_t> bytes) {
+  return static_cast<MessageType>(read_envelope(bytes));
+}
+
+Bytes encode(const graph::Graph& g) {
+  Writer w(MessageType::graph);
+  write_graph(w, g);
+  return w.finish();
+}
+
+graph::Graph decode_graph(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::graph);
+  graph::Graph g = read_graph(r);
+  r.done();
+  return g;
+}
+
+Bytes encode(const EngineOptions& options) {
+  Writer w(MessageType::options);
+  write_options(w, options);
+  return w.finish();
+}
+
+EngineOptions decode_options(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::options);
+  EngineOptions options = read_options(r);
+  r.done();
+  return options;
+}
+
+Bytes encode(const AdmitRequest& request) {
+  Writer w(MessageType::admit_request);
+  write_graph(w, request.graph);
+  write_options(w, request.options);
+  return w.finish();
+}
+
+AdmitRequest decode_admit_request(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::admit_request);
+  AdmitRequest request;
+  request.graph = read_graph(r);
+  request.options = read_options(r);
+  r.done();
+  return request;
+}
+
+Bytes encode(const BatchRequest& request) {
+  Writer w(MessageType::batch_request);
+  write_fingerprint(w, request.fingerprint);
+  w.i32(request.draw_count);
+  return w.finish();
+}
+
+BatchRequest decode_batch_request(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::batch_request);
+  BatchRequest request;
+  request.fingerprint = read_fingerprint(r);
+  request.draw_count = r.i32();
+  r.done();
+  return request;
+}
+
+Bytes encode(const BatchResponse& response) {
+  Writer w(MessageType::batch_response);
+  write_fingerprint(w, response.fingerprint);
+  w.i64(response.first_draw_index);
+  w.boolean(response.hit);
+  w.i32(response.shard);
+  w.u32(static_cast<std::uint32_t>(response.batch.trees.size()));
+  for (const graph::TreeEdges& tree : response.batch.trees) write_tree(w, tree);
+  write_report(w, response.batch.report);
+  return w.finish();
+}
+
+BatchResponse decode_batch_response(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::batch_response);
+  BatchResponse response;
+  response.fingerprint = read_fingerprint(r);
+  response.first_draw_index = r.i64();
+  response.hit = r.boolean();
+  response.shard = r.i32();
+  const std::uint32_t tree_count = r.u32();
+  for (std::uint32_t i = 0; i < tree_count; ++i)
+    response.batch.trees.push_back(read_tree(r));
+  response.batch.report = read_report(r);
+  r.done();
+  return response;
+}
+
+Bytes encode(const ServiceStats& stats) {
+  Writer w(MessageType::service_stats);
+  write_pool_stats(w, stats.totals);
+  w.u32(static_cast<std::uint32_t>(stats.shards.size()));
+  for (const PoolStats& shard : stats.shards) write_pool_stats(w, shard);
+  return w.finish();
+}
+
+ServiceStats decode_service_stats(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::service_stats);
+  ServiceStats stats;
+  stats.totals = read_pool_stats(r);
+  const std::uint32_t shard_count = r.u32();
+  for (std::uint32_t i = 0; i < shard_count; ++i)
+    stats.shards.push_back(read_pool_stats(r));
+  r.done();
+  return stats;
+}
+
+}  // namespace cliquest::engine::wire

@@ -1,0 +1,68 @@
+#pragma once
+
+// Versioned byte codec for the SamplerService message set — the seam a
+// remote shard plugs into.
+//
+// Every message travels as one self-describing buffer:
+//
+//   [0..3]  magic  'C' 'Q' 'W' 'F'
+//   [4..5]  format version, little-endian u16 (kVersion)
+//   [6]     message type tag (MessageType)
+//   [7..]   payload
+//
+// Payload primitives are little-endian fixed-width integers, doubles as
+// their IEEE-754 bit pattern (bit-exact round trip, NaN payloads included),
+// strings and sequences as a u32 count followed by the elements. Graph edges
+// keep their insertion order, so encode(decode(bytes)) reproduces bytes
+// exactly — the byte-exactness tests rely on it.
+//
+// Decoding is strict: a wrong magic, tag, truncated/overlong buffer, or an
+// out-of-range enum/bool/graph payload raises
+// ServiceError{malformed_message}; a buffer whose version field differs from
+// kVersion raises ServiceError{version_mismatch} (checked before the tag, so
+// a future format bump fails with the right code rather than a parse error).
+// Decoding is also allocation-safe against forged counts: a graph payload's
+// vertex count is capped at 2^20 and its edge count checked against the
+// bytes actually present before anything is allocated, so a tiny hostile
+// buffer fails with malformed_message, not bad_alloc.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/service.hpp"
+
+namespace cliquest::engine::wire {
+
+inline constexpr std::uint16_t kVersion = 1;
+
+using Bytes = std::vector<std::uint8_t>;
+
+enum class MessageType : std::uint8_t {
+  graph = 1,
+  options = 2,
+  admit_request = 3,
+  batch_request = 4,
+  batch_response = 5,
+  service_stats = 6,
+};
+
+/// Validates the envelope (magic, version) and returns the tag without
+/// touching the payload — what a transport dispatcher switches on.
+MessageType peek_type(std::span<const std::uint8_t> bytes);
+
+Bytes encode(const graph::Graph& g);
+Bytes encode(const EngineOptions& options);
+Bytes encode(const AdmitRequest& request);
+Bytes encode(const BatchRequest& request);
+Bytes encode(const BatchResponse& response);
+Bytes encode(const ServiceStats& stats);
+
+graph::Graph decode_graph(std::span<const std::uint8_t> bytes);
+EngineOptions decode_options(std::span<const std::uint8_t> bytes);
+AdmitRequest decode_admit_request(std::span<const std::uint8_t> bytes);
+BatchRequest decode_batch_request(std::span<const std::uint8_t> bytes);
+BatchResponse decode_batch_response(std::span<const std::uint8_t> bytes);
+ServiceStats decode_service_stats(std::span<const std::uint8_t> bytes);
+
+}  // namespace cliquest::engine::wire

@@ -269,7 +269,8 @@ TEST(EngineSamplerTest, BatchReportAggregatesAndExportsJson) {
   const BatchResult r = sampler->sample_batch(4);
 
   ASSERT_EQ(r.report.draws.size(), 4u);
-  for (int i = 0; i < 4; ++i) EXPECT_EQ(r.report.draws[static_cast<std::size_t>(i)].index, i);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(r.report.draws[static_cast<std::size_t>(i)].index, i);
   EXPECT_GT(r.report.total_rounds(), 0);
   EXPECT_EQ(r.report.backend, "congested_clique");
   EXPECT_EQ(r.report.vertex_count, 16);

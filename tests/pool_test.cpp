@@ -111,11 +111,41 @@ TEST(SamplerPoolTest, AdmissionIsIdempotentAndValidatesUpFront) {
   bad.threads = 0;
   EXPECT_THROW(pool.admit(graph::cycle(4), bad), EngineConfigError);
 
+  // Serving-path failures are typed ServiceErrors with machine-readable
+  // codes, not bare std:: exceptions.
   const Fingerprint stranger = fingerprint_graph(graph::cycle(7));
   EXPECT_FALSE(pool.admitted(stranger));
-  EXPECT_THROW(pool.sample_batch(stranger, 1), std::out_of_range);
-  EXPECT_THROW(pool.submit_batch(stranger, 1), std::out_of_range);
-  EXPECT_THROW(pool.prepare_count(stranger), std::out_of_range);
+  try {
+    pool.sample_batch(stranger, 1);
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::unknown_fingerprint);
+    EXPECT_NE(std::string(e.what()).find(stranger.to_string()), std::string::npos);
+  }
+  EXPECT_THROW(pool.prepare_count(stranger), ServiceError);
+  try {
+    pool.sample_batch(fp, -1);
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::invalid_request);
+  }
+
+  // The async surface never throws synchronously: rejections travel through
+  // the future as the same ServiceError the sync path raises.
+  std::future<PoolBatchResult> unknown = pool.submit_batch(stranger, 1);
+  try {
+    unknown.get();
+    FAIL() << "expected ServiceError through the future";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::unknown_fingerprint);
+  }
+  std::future<PoolBatchResult> bad_count = pool.submit_batch(fp, -2);
+  try {
+    bad_count.get();
+    FAIL() << "expected ServiceError through the future";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::invalid_request);
+  }
 }
 
 // ------------------------------------------------------------ LRU + budget

@@ -1,0 +1,371 @@
+// SamplerService tests: the LocalService retrofit keeps pool semantics
+// behind the typed-message surface; ShardedService routes fingerprints by
+// rendezvous hashing, keeps each shard's draw cursors independent (so the
+// same submissions against 1-shard and 4-shard services yield identical
+// trees per fingerprint), merges stats, propagates typed errors through the
+// sync and async paths, and does not perturb any backend's tree law
+// (chi-square through the sharded async path for all four backends).
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning.hpp"
+#include "util/statistics.hpp"
+
+namespace cliquest::engine {
+namespace {
+
+EngineOptions wilson_options(std::uint64_t seed = 3) {
+  EngineOptions options;
+  options.backend = Backend::wilson;
+  options.seed = seed;
+  return options;
+}
+
+PoolOptions inline_pool(EngineOptions engine) {
+  PoolOptions options;
+  options.workers = 0;
+  options.engine = std::move(engine);
+  return options;
+}
+
+// ------------------------------------------------------------ LocalService
+
+TEST(LocalServiceTest, ServesThroughTypedMessages) {
+  LocalService service(inline_pool(wilson_options()));
+  const graph::Graph g = graph::complete(6);
+  const Fingerprint fp = service.admit({g, wilson_options()});
+  EXPECT_EQ(fp, fingerprint_graph(g));
+  EXPECT_TRUE(service.admitted(fp));
+
+  const BatchResponse first = service.sample_batch({fp, 5});
+  EXPECT_EQ(first.fingerprint, fp);
+  EXPECT_EQ(first.first_draw_index, 0);
+  EXPECT_EQ(first.shard, 0);
+  ASSERT_EQ(first.batch.trees.size(), 5u);
+  for (const graph::TreeEdges& tree : first.batch.trees)
+    EXPECT_TRUE(graph::is_spanning_tree(g, tree));
+
+  // Async continues the same cursor through a promise-backed future:
+  // readiness polling works (an inline pool finishes before returning).
+  std::future<BatchResponse> future = service.submit_batch({fp, 5});
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const BatchResponse second = future.get();
+  EXPECT_EQ(second.first_draw_index, 5);
+  EXPECT_EQ(service.prepare_count(fp), 1);
+
+  // The two batches replay as one straight stream on a standalone sampler.
+  auto replay = make_sampler(g, wilson_options());
+  const BatchResult straight = replay->sample_batch(10);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(graph::tree_key(first.batch.trees[static_cast<std::size_t>(i)]),
+              graph::tree_key(straight.trees[static_cast<std::size_t>(i)]));
+    EXPECT_EQ(graph::tree_key(second.batch.trees[static_cast<std::size_t>(i)]),
+              graph::tree_key(straight.trees[static_cast<std::size_t>(i + 5)]));
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.totals.draws, 10);
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_EQ(stats.shards[0].draws, 10);
+}
+
+TEST(LocalServiceTest, TypedErrorsOnBothPaths) {
+  LocalService service(inline_pool(wilson_options()));
+
+  // Admission rejections arrive as ServiceError{invalid_config}, wrapping
+  // the EngineConfigError detail.
+  graph::Graph disconnected(4);
+  disconnected.add_edge(0, 1);
+  disconnected.add_edge(2, 3);
+  try {
+    service.admit({disconnected, wilson_options()});
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::invalid_config);
+    EXPECT_NE(std::string(e.what()).find("connected"), std::string::npos);
+  }
+
+  const Fingerprint stranger = fingerprint_graph(graph::cycle(9));
+  try {
+    service.sample_batch({stranger, 1});
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::unknown_fingerprint);
+  }
+  EXPECT_THROW(service.prepare_count(stranger), ServiceError);
+
+  // Async rejections travel the future, never the submit call.
+  std::future<BatchResponse> future = service.submit_batch({stranger, 1});
+  try {
+    future.get();
+    FAIL() << "expected ServiceError through the future";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::unknown_fingerprint);
+  }
+}
+
+// ---------------------------------------------------------- ShardedService
+
+TEST(ShardedServiceTest, RendezvousRoutingIsStableAndCoversShards) {
+  ShardedService service(4, inline_pool(wilson_options()));
+  ASSERT_EQ(service.shard_count(), 4);
+
+  std::set<int> used;
+  util::Rng gen(7);
+  for (int i = 0; i < 40; ++i) {
+    const graph::Graph g = graph::gnp_connected(8 + i % 5, 0.5, gen);
+    const Fingerprint fp = fingerprint_graph(g);
+    const int shard = service.shard_for(fp);
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 4);
+    EXPECT_EQ(service.shard_for(fp), shard);  // deterministic
+    used.insert(shard);
+  }
+  // 40 random fingerprints over 4 shards: every shard owns some keys.
+  EXPECT_EQ(used.size(), 4u);
+
+  // Admission lands on exactly the routed shard, nowhere else.
+  const graph::Graph g = graph::complete(7);
+  const Fingerprint fp = service.admit({g, wilson_options()});
+  const int owner = service.shard_for(fp);
+  for (int s = 0; s < 4; ++s)
+    EXPECT_EQ(service.shard(s).admitted(fp), s == owner);
+  EXPECT_TRUE(service.admitted(fp));
+  EXPECT_EQ(service.prepare_count(fp), 0);
+  const BatchResponse r = service.sample_batch({fp, 2});
+  EXPECT_EQ(r.shard, owner);
+  EXPECT_EQ(service.prepare_count(fp), 1);
+  EXPECT_TRUE(service.resident(fp));
+  EXPECT_EQ(service.shard(owner).resident(fp), true);
+}
+
+TEST(ShardedServiceTest, ReplayEqualityAcrossShardCounts) {
+  // The acceptance property: identical submission sequences against a
+  // 1-shard and a 4-shard service produce identical trees per fingerprint —
+  // sharding is a routing policy, not a different sampler.
+  const EngineOptions engine = wilson_options(41);
+  std::vector<graph::Graph> graphs;
+  graphs.push_back(graph::complete(6));
+  graphs.push_back(graph::cycle(8));
+  graphs.push_back(graph::wheel(7));
+  graphs.push_back(graph::grid(3, 3));
+  util::Rng gen(13);
+  graphs.push_back(graph::gnp_connected(9, 0.4, gen));
+
+  ShardedService single(1, inline_pool(engine));
+  ShardedService sharded(4, inline_pool(engine));
+
+  std::vector<Fingerprint> fps;
+  for (const graph::Graph& g : graphs) {
+    const Fingerprint fp = single.admit({g, engine});
+    ASSERT_EQ(sharded.admit({g, engine}), fp);
+    fps.push_back(fp);
+  }
+
+  // Interleaved rounds of batches, same order against both services.
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+      const BatchRequest request{fps[i], 4};
+      const BatchResponse a = single.sample_batch(request);
+      const BatchResponse b = sharded.sample_batch(request);
+      SCOPED_TRACE("round " + std::to_string(round) + " graph " + std::to_string(i));
+      EXPECT_EQ(a.first_draw_index, b.first_draw_index);
+      ASSERT_EQ(a.batch.trees.size(), b.batch.trees.size());
+      for (std::size_t t = 0; t < a.batch.trees.size(); ++t)
+        EXPECT_EQ(graph::tree_key(a.batch.trees[t]), graph::tree_key(b.batch.trees[t]));
+      for (const graph::TreeEdges& tree : b.batch.trees)
+        EXPECT_TRUE(graph::is_spanning_tree(graphs[i], tree));
+    }
+  }
+}
+
+TEST(ShardedServiceTest, AsyncFanOutMatchesSingleShardReplay) {
+  // submit_all fans across shards' worker pools; results must still equal
+  // the 1-shard sequential replay, whatever the interleaving.
+  const EngineOptions engine = wilson_options(57);
+  PoolOptions pool = inline_pool(engine);
+  pool.workers = 2;
+  ShardedService sharded(4, pool);
+  ShardedService single(1, inline_pool(engine));
+
+  std::vector<graph::Graph> graphs;
+  for (int n = 6; n < 12; ++n) graphs.push_back(graph::wheel(n));
+  std::vector<BatchRequest> requests;
+  for (const graph::Graph& g : graphs) {
+    const Fingerprint fp = sharded.admit({g, engine});
+    ASSERT_EQ(single.admit({g, engine}), fp);
+    for (int b = 0; b < 3; ++b) requests.push_back({fp, 3});
+  }
+
+  std::vector<std::future<BatchResponse>> futures = sharded.submit_all(requests);
+  ASSERT_EQ(futures.size(), requests.size());
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const BatchResponse async_response = futures[i].get();
+    EXPECT_EQ(async_response.fingerprint, requests[i].fingerprint);
+    EXPECT_EQ(async_response.shard, sharded.shard_for(requests[i].fingerprint));
+    const BatchResponse sync_response = single.sample_batch(requests[i]);
+    EXPECT_EQ(async_response.first_draw_index, sync_response.first_draw_index);
+    ASSERT_EQ(async_response.batch.trees.size(), sync_response.batch.trees.size());
+    for (std::size_t t = 0; t < sync_response.batch.trees.size(); ++t)
+      EXPECT_EQ(graph::tree_key(async_response.batch.trees[t]),
+                graph::tree_key(sync_response.batch.trees[t]));
+  }
+}
+
+TEST(ShardedServiceTest, StatsMergeAcrossShards) {
+  ShardedService service(3, inline_pool(wilson_options()));
+  util::Rng gen(19);
+  std::vector<Fingerprint> fps;
+  for (int i = 0; i < 9; ++i) {
+    const graph::Graph g = graph::gnp_connected(7 + i, 0.5, gen);
+    fps.push_back(service.admit({g, wilson_options()}));
+  }
+  for (const Fingerprint& fp : fps) service.sample_batch({fp, 2});
+  for (const Fingerprint& fp : fps) service.sample_batch({fp, 1});
+
+  const ServiceStats stats = service.stats();
+  ASSERT_EQ(stats.shards.size(), 3u);
+  PoolStats sum;
+  for (const PoolStats& shard : stats.shards) {
+    sum.admissions += shard.admissions;
+    sum.hits += shard.hits;
+    sum.misses += shard.misses;
+    sum.draws += shard.draws;
+    sum.admitted_count += shard.admitted_count;
+  }
+  EXPECT_EQ(stats.totals.admissions, 9);
+  EXPECT_EQ(sum.admissions, stats.totals.admissions);
+  EXPECT_EQ(stats.totals.draws, 9 * 3);
+  EXPECT_EQ(sum.draws, stats.totals.draws);
+  EXPECT_EQ(stats.totals.admitted_count, 9);
+  EXPECT_EQ(stats.totals.hits, 9);    // second round is all hits
+  EXPECT_EQ(stats.totals.misses, 9);  // first touch of each entry
+
+  // The merged stats message survives the wire like any other.
+  const ServiceStats back = wire::decode_service_stats(wire::encode(stats));
+  EXPECT_EQ(back.totals.draws, stats.totals.draws);
+  ASSERT_EQ(back.shards.size(), stats.shards.size());
+  for (std::size_t s = 0; s < stats.shards.size(); ++s)
+    EXPECT_EQ(back.shards[s].draws, stats.shards[s].draws);
+}
+
+TEST(ShardedServiceTest, TypedErrorsRouteThroughShards) {
+  ShardedService service(4, inline_pool(wilson_options()));
+  const Fingerprint stranger = fingerprint_graph(graph::lollipop(5, 5));
+  try {
+    service.sample_batch({stranger, 1});
+    FAIL() << "expected ServiceError";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::unknown_fingerprint);
+  }
+  std::future<BatchResponse> future = service.submit_batch({stranger, 1});
+  try {
+    future.get();
+    FAIL() << "expected ServiceError through the future";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::unknown_fingerprint);
+  }
+  EXPECT_THROW(ShardedService(0, inline_pool(wilson_options())), ServiceError);
+  EXPECT_THROW(ShardedService({}), ServiceError);
+}
+
+TEST(ShardedServiceTest, PluggableShardsAcceptAnyServiceImplementation) {
+  // The sharded router owns SamplerServices, not pools: a shard can itself
+  // be sharded (or, later, remote) without the router changing.
+  std::vector<std::unique_ptr<SamplerService>> shards;
+  shards.push_back(std::make_unique<LocalService>(inline_pool(wilson_options())));
+  shards.push_back(
+      std::make_unique<ShardedService>(2, inline_pool(wilson_options())));
+  ShardedService service(std::move(shards));
+
+  const graph::Graph g = graph::complete(6);
+  const Fingerprint fp = service.admit({g, wilson_options()});
+  const BatchResponse r = service.sample_batch({fp, 3});
+  ASSERT_EQ(r.batch.trees.size(), 3u);
+  for (const graph::TreeEdges& tree : r.batch.trees)
+    EXPECT_TRUE(graph::is_spanning_tree(g, tree));
+  EXPECT_EQ(service.stats().totals.draws, 3);
+}
+
+// ----------------------------------------------------------- wire seam
+
+TEST(ShardedServiceTest, ServesDecodedWireMessages) {
+  // The remote-shard seam end to end: requests arrive as bytes, responses
+  // leave as bytes, and the decoded result equals the in-process one.
+  const EngineOptions engine = wilson_options(71);
+  ShardedService service(2, inline_pool(engine));
+  const graph::Graph g = graph::wheel(8);
+
+  const wire::Bytes admit_bytes = wire::encode(AdmitRequest{g, engine});
+  const Fingerprint fp = service.admit(wire::decode_admit_request(admit_bytes));
+  EXPECT_EQ(fp, fingerprint_graph(g));
+
+  const wire::Bytes request_bytes = wire::encode(BatchRequest{fp, 6});
+  const BatchResponse response =
+      service.sample_batch(wire::decode_batch_request(request_bytes));
+  const BatchResponse shipped =
+      wire::decode_batch_response(wire::encode(response));
+  ASSERT_EQ(shipped.batch.trees.size(), 6u);
+  for (std::size_t i = 0; i < shipped.batch.trees.size(); ++i)
+    EXPECT_EQ(graph::tree_key(shipped.batch.trees[i]),
+              graph::tree_key(response.batch.trees[i]));
+}
+
+// ------------------------------------------------------------ distribution
+
+// Chi-square uniformity through the sharded async path: routing, fan-out,
+// and response reshaping must not perturb the tree law of any backend.
+class ShardedUniformity : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(ShardedUniformity, UniformThroughFourShards) {
+  const graph::Graph g = graph::complete(4);
+  const auto trees = graph::enumerate_spanning_trees(g);
+
+  EngineOptions engine;
+  engine.backend = GetParam();
+  engine.seed = 31;
+  PoolOptions pool;
+  pool.workers = 2;
+  pool.engine = engine;
+  ShardedService service(4, pool);
+  const Fingerprint fp = service.admit({g, engine});
+
+  const int samples = 3000;
+  const int chunks = 6;
+  std::vector<BatchRequest> requests(chunks, BatchRequest{fp, samples / chunks});
+  std::vector<std::future<BatchResponse>> futures = service.submit_all(requests);
+
+  util::FrequencyTable freq;
+  for (auto& future : futures) {
+    const BatchResponse r = future.get();
+    for (const graph::TreeEdges& tree : r.batch.trees) {
+      ASSERT_TRUE(graph::is_spanning_tree(g, tree));
+      freq.add(graph::tree_key(tree));
+    }
+  }
+  std::vector<std::int64_t> counts;
+  for (const auto& t : trees) counts.push_back(freq.count(graph::tree_key(t)));
+  const std::vector<double> uniform(trees.size(), 1.0);
+  EXPECT_LT(util::chi_square(counts, uniform),
+            util::chi_square_critical(static_cast<int>(trees.size()) - 1))
+      << backend_name(GetParam())
+      << " deviates from the uniform tree law when served through shards";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, ShardedUniformity,
+                         ::testing::ValuesIn(all_backends()),
+                         [](const auto& info) {
+                           return std::string(backend_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace cliquest::engine

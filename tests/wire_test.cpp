@@ -1,0 +1,377 @@
+// Wire codec tests: every message type round-trips value-exact and
+// byte-exact (encode(decode(bytes)) == bytes), and malformed buffers are
+// rejected with typed ServiceErrors — truncation, bad magic, unknown tags,
+// trailing bytes, out-of-range enum/bool/graph payloads all report
+// malformed_message, and a foreign version field reports version_mismatch
+// before anything else is parsed.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning.hpp"
+
+namespace cliquest::engine {
+namespace {
+
+/// The ServiceError code an action fails with, or nullopt if it succeeds or
+/// fails with anything else.
+template <typename Fn>
+std::optional<ServiceErrorCode> error_code(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ServiceError& e) {
+    return e.code();
+  } catch (...) {
+    ADD_FAILURE() << "failed with a non-ServiceError exception";
+  }
+  return std::nullopt;
+}
+
+graph::Graph weighted_triangle() {
+  graph::Graph g(3);
+  g.add_edge(0, 1, 0.5);
+  g.add_edge(1, 2, 3.25);
+  g.add_edge(0, 2, 1e-9);
+  return g;
+}
+
+EngineOptions exotic_options() {
+  EngineOptions o;
+  o.backend = Backend::doubling;
+  o.seed = 0xdeadbeefcafe1234ULL;
+  o.threads = 7;
+  o.start_vertex = 3;
+  o.clique.mode = core::SamplingMode::exact;
+  o.clique.matching = core::MatchingStrategy::group_shuffle;
+  o.clique.epsilon = 2.5e-4;
+  o.clique.start_vertex = 2;
+  o.clique.paper_cubic_length = true;
+  o.clique.length_factor = 11.5;
+  o.clique.rho_override = 6;
+  o.clique.metropolis_steps_per_site = 17;
+  o.clique.max_extensions_per_phase = 9;
+  o.clique.words_per_entry = 3;
+  o.clique.max_segment_entries = (std::int64_t{1} << 40) + 5;
+  o.covertime.initial_tau = 4096;
+  o.covertime.root = 1;
+  o.covertime.max_attempts = 5;
+  o.covertime.doubling.tau = 512;
+  o.covertime.doubling.load_balanced = false;
+  o.covertime.doubling.hash_c = 4;
+  return o;
+}
+
+void expect_same_edges(const graph::Graph& a, const graph::Graph& b) {
+  ASSERT_EQ(a.vertex_count(), b.vertex_count());
+  ASSERT_EQ(a.edge_count(), b.edge_count());
+  for (int i = 0; i < a.edge_count(); ++i) {
+    EXPECT_EQ(a.edges()[static_cast<std::size_t>(i)].u,
+              b.edges()[static_cast<std::size_t>(i)].u);
+    EXPECT_EQ(a.edges()[static_cast<std::size_t>(i)].v,
+              b.edges()[static_cast<std::size_t>(i)].v);
+    EXPECT_EQ(a.edges()[static_cast<std::size_t>(i)].weight,
+              b.edges()[static_cast<std::size_t>(i)].weight);
+  }
+}
+
+void expect_same_options(const EngineOptions& a, const EngineOptions& b) {
+  EXPECT_EQ(a.backend, b.backend);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.threads, b.threads);
+  EXPECT_EQ(a.start_vertex, b.start_vertex);
+  EXPECT_EQ(a.clique.mode, b.clique.mode);
+  EXPECT_EQ(a.clique.matching, b.clique.matching);
+  EXPECT_EQ(a.clique.epsilon, b.clique.epsilon);
+  EXPECT_EQ(a.clique.start_vertex, b.clique.start_vertex);
+  EXPECT_EQ(a.clique.paper_cubic_length, b.clique.paper_cubic_length);
+  EXPECT_EQ(a.clique.length_factor, b.clique.length_factor);
+  EXPECT_EQ(a.clique.rho_override, b.clique.rho_override);
+  EXPECT_EQ(a.clique.metropolis_steps_per_site, b.clique.metropolis_steps_per_site);
+  EXPECT_EQ(a.clique.max_extensions_per_phase, b.clique.max_extensions_per_phase);
+  EXPECT_EQ(a.clique.words_per_entry, b.clique.words_per_entry);
+  EXPECT_EQ(a.clique.max_segment_entries, b.clique.max_segment_entries);
+  EXPECT_EQ(a.covertime.initial_tau, b.covertime.initial_tau);
+  EXPECT_EQ(a.covertime.root, b.covertime.root);
+  EXPECT_EQ(a.covertime.max_attempts, b.covertime.max_attempts);
+  EXPECT_EQ(a.covertime.doubling.tau, b.covertime.doubling.tau);
+  EXPECT_EQ(a.covertime.doubling.load_balanced, b.covertime.doubling.load_balanced);
+  EXPECT_EQ(a.covertime.doubling.hash_c, b.covertime.doubling.hash_c);
+}
+
+// ------------------------------------------------------------- round trips
+
+TEST(WireCodecTest, GraphRoundTripsValueAndByteExact) {
+  const graph::Graph cases[] = {graph::cycle(9), weighted_triangle(), graph::Graph(1),
+                                graph::Graph()};
+  for (const graph::Graph& g : cases) {
+    SCOPED_TRACE("n=" + std::to_string(g.vertex_count()));
+    const wire::Bytes bytes = wire::encode(g);
+    EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::graph);
+    const graph::Graph back = wire::decode_graph(bytes);
+    expect_same_edges(g, back);
+    EXPECT_EQ(wire::encode(back), bytes);
+  }
+}
+
+TEST(WireCodecTest, WeightedGraphKeepsExactWeightBits) {
+  util::Rng gen(11);
+  graph::Graph g = graph::gnp_connected(20, 0.3, gen);
+  // Overwrite with awkward weights through a rebuilt copy.
+  graph::Graph weighted(g.vertex_count());
+  double w = 0.1;
+  for (const graph::Edge& e : g.edges()) {
+    weighted.add_edge(e.u, e.v, w);
+    w = w * 1.7 + 1e-7;  // non-representable decimals on purpose
+  }
+  const graph::Graph back = wire::decode_graph(wire::encode(weighted));
+  expect_same_edges(weighted, back);
+  EXPECT_EQ(fingerprint_graph(weighted), fingerprint_graph(back));
+}
+
+TEST(WireCodecTest, OptionsRoundTripValueAndByteExact) {
+  for (const EngineOptions& o : {EngineOptions{}, exotic_options()}) {
+    const wire::Bytes bytes = wire::encode(o);
+    EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::options);
+    const EngineOptions back = wire::decode_options(bytes);
+    expect_same_options(o, back);
+    EXPECT_EQ(wire::encode(back), bytes);
+  }
+}
+
+TEST(WireCodecTest, AdmitRequestRoundTrips) {
+  AdmitRequest request;
+  request.graph = weighted_triangle();
+  request.options = exotic_options();
+  const wire::Bytes bytes = wire::encode(request);
+  EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::admit_request);
+  const AdmitRequest back = wire::decode_admit_request(bytes);
+  expect_same_edges(request.graph, back.graph);
+  expect_same_options(request.options, back.options);
+  EXPECT_EQ(wire::encode(back), bytes);
+}
+
+TEST(WireCodecTest, BatchRequestRoundTrips) {
+  BatchRequest request;
+  request.fingerprint = fingerprint_graph(graph::complete(6));
+  request.draw_count = 12345;
+  const wire::Bytes bytes = wire::encode(request);
+  EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::batch_request);
+  const BatchRequest back = wire::decode_batch_request(bytes);
+  EXPECT_EQ(back.fingerprint, request.fingerprint);
+  EXPECT_EQ(back.draw_count, request.draw_count);
+  EXPECT_EQ(wire::encode(back), bytes);
+}
+
+TEST(WireCodecTest, ServedBatchResponseRoundTrips) {
+  // A real served batch from the round-charging backend, so the report
+  // carries draws and a non-empty meter.
+  EngineOptions engine;
+  engine.backend = Backend::congested_clique;
+  engine.seed = 5;
+  PoolOptions options;
+  options.workers = 0;
+  options.engine = engine;
+  LocalService service(options);
+  const graph::Graph g = graph::complete(8);
+  const Fingerprint fp = service.admit({g, engine});
+  BatchResponse response = service.sample_batch({fp, 4});
+  response.shard = 3;
+  ASSERT_FALSE(response.batch.report.meter.categories().empty());
+
+  const wire::Bytes bytes = wire::encode(response);
+  EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::batch_response);
+  const BatchResponse back = wire::decode_batch_response(bytes);
+  EXPECT_EQ(back.fingerprint, response.fingerprint);
+  EXPECT_EQ(back.first_draw_index, response.first_draw_index);
+  EXPECT_EQ(back.hit, response.hit);
+  EXPECT_EQ(back.shard, 3);
+  ASSERT_EQ(back.batch.trees.size(), response.batch.trees.size());
+  for (std::size_t i = 0; i < response.batch.trees.size(); ++i)
+    EXPECT_EQ(graph::tree_key(back.batch.trees[i]),
+              graph::tree_key(response.batch.trees[i]));
+  EXPECT_EQ(back.batch.report.backend, response.batch.report.backend);
+  EXPECT_EQ(back.batch.report.vertex_count, response.batch.report.vertex_count);
+  EXPECT_EQ(back.batch.report.seed, response.batch.report.seed);
+  ASSERT_EQ(back.batch.report.draws.size(), response.batch.report.draws.size());
+  for (std::size_t i = 0; i < response.batch.report.draws.size(); ++i) {
+    EXPECT_EQ(back.batch.report.draws[i].index, response.batch.report.draws[i].index);
+    EXPECT_EQ(back.batch.report.draws[i].rounds, response.batch.report.draws[i].rounds);
+    EXPECT_EQ(back.batch.report.draws[i].seconds,
+              response.batch.report.draws[i].seconds);
+  }
+  // Meter categories reconstruct exactly, events included (Meter::add).
+  ASSERT_EQ(back.batch.report.meter.categories().size(),
+            response.batch.report.meter.categories().size());
+  for (const auto& [label, totals] : response.batch.report.meter.categories()) {
+    const cclique::CategoryTotals decoded = back.batch.report.meter.category(label);
+    EXPECT_EQ(decoded.rounds, totals.rounds);
+    EXPECT_EQ(decoded.messages, totals.messages);
+    EXPECT_EQ(decoded.events, totals.events);
+  }
+  EXPECT_EQ(wire::encode(back), bytes);
+}
+
+TEST(WireCodecTest, EmptyBatchResponseRoundTrips) {
+  BatchResponse response;
+  response.fingerprint = fingerprint_graph(graph::cycle(4));
+  response.first_draw_index = 77;
+  response.hit = true;
+  const wire::Bytes bytes = wire::encode(response);
+  const BatchResponse back = wire::decode_batch_response(bytes);
+  EXPECT_EQ(back.fingerprint, response.fingerprint);
+  EXPECT_EQ(back.first_draw_index, 77);
+  EXPECT_TRUE(back.hit);
+  EXPECT_TRUE(back.batch.trees.empty());
+  EXPECT_TRUE(back.batch.report.draws.empty());
+  EXPECT_EQ(wire::encode(back), bytes);
+}
+
+TEST(WireCodecTest, ServiceStatsRoundTrip) {
+  ServiceStats stats;
+  stats.totals.admissions = 12;
+  stats.totals.hits = 100;
+  stats.totals.misses = 8;
+  stats.totals.prepares = 9;
+  stats.totals.evictions = 3;
+  stats.totals.draws = 4321;
+  stats.totals.resident_bytes = std::size_t{1} << 33;
+  stats.totals.peak_resident_bytes = (std::size_t{1} << 33) + 17;
+  stats.totals.resident_count = 6;
+  stats.totals.admitted_count = 12;
+  PoolStats shard;
+  shard.hits = 50;
+  stats.shards = {shard, shard, stats.totals};
+
+  const wire::Bytes bytes = wire::encode(stats);
+  EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::service_stats);
+  const ServiceStats back = wire::decode_service_stats(bytes);
+  EXPECT_EQ(back.totals.draws, stats.totals.draws);
+  EXPECT_EQ(back.totals.resident_bytes, stats.totals.resident_bytes);
+  ASSERT_EQ(back.shards.size(), 3u);
+  EXPECT_EQ(back.shards[0].hits, 50);
+  EXPECT_EQ(back.shards[2].admitted_count, 12);
+  EXPECT_EQ(wire::encode(back), bytes);
+
+  const ServiceStats empty_back =
+      wire::decode_service_stats(wire::encode(ServiceStats{}));
+  EXPECT_TRUE(empty_back.shards.empty());
+}
+
+// --------------------------------------------------------------- rejection
+
+TEST(WireRejectTest, TruncatedAndEmptyBuffers) {
+  const wire::Bytes bytes = wire::encode(graph::cycle(5));
+  EXPECT_EQ(error_code([&] { wire::decode_graph({}); }),
+            ServiceErrorCode::malformed_message);
+  for (const std::size_t keep : {std::size_t{3}, std::size_t{6}, bytes.size() - 1}) {
+    const wire::Bytes cut(bytes.begin(), bytes.begin() + static_cast<long>(keep));
+    EXPECT_EQ(error_code([&] { wire::decode_graph(cut); }),
+              ServiceErrorCode::malformed_message)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(WireRejectTest, BadMagicAndUnknownTag) {
+  wire::Bytes bytes = wire::encode(graph::cycle(5));
+  wire::Bytes bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(error_code([&] { wire::decode_graph(bad_magic); }),
+            ServiceErrorCode::malformed_message);
+  EXPECT_EQ(error_code([&] { wire::peek_type(bad_magic); }),
+            ServiceErrorCode::malformed_message);
+
+  wire::Bytes bad_tag = bytes;
+  bad_tag[6] = 99;
+  EXPECT_EQ(error_code([&] { wire::decode_graph(bad_tag); }),
+            ServiceErrorCode::malformed_message);
+  EXPECT_EQ(error_code([&] { wire::peek_type(bad_tag); }),
+            ServiceErrorCode::malformed_message);
+}
+
+TEST(WireRejectTest, CrossTypeDecodeIsRejected) {
+  // A valid options message is not a graph: strict tag checking keeps a
+  // dispatcher from feeding a payload to the wrong parser.
+  const wire::Bytes bytes = wire::encode(EngineOptions{});
+  EXPECT_EQ(error_code([&] { wire::decode_graph(bytes); }),
+            ServiceErrorCode::malformed_message);
+}
+
+TEST(WireRejectTest, TrailingBytesAreRejected) {
+  wire::Bytes bytes = wire::encode(BatchRequest{fingerprint_graph(graph::cycle(6)), 3});
+  bytes.push_back(0);
+  EXPECT_EQ(error_code([&] { wire::decode_batch_request(bytes); }),
+            ServiceErrorCode::malformed_message);
+}
+
+TEST(WireRejectTest, VersionMismatchIsItsOwnError) {
+  wire::Bytes bytes = wire::encode(graph::cycle(5));
+  bytes[4] = static_cast<std::uint8_t>(wire::kVersion + 1);
+  bytes[5] = 0;
+  EXPECT_EQ(error_code([&] { wire::decode_graph(bytes); }),
+            ServiceErrorCode::version_mismatch);
+  // peek_type reports it too: a dispatcher can reject before dispatch.
+  EXPECT_EQ(error_code([&] { wire::peek_type(bytes); }),
+            ServiceErrorCode::version_mismatch);
+  // ...and the check outranks the tag check: a hypothetical v2 message with
+  // a tag this build has never heard of still reports version_mismatch.
+  bytes[6] = 200;
+  EXPECT_EQ(error_code([&] { wire::decode_graph(bytes); }),
+            ServiceErrorCode::version_mismatch);
+}
+
+TEST(WireRejectTest, ForgedGraphCountsFailWithoutAllocating) {
+  // A tiny buffer must not be able to demand a giant allocation: a forged
+  // vertex count fails the cap and a forged edge count fails the
+  // bytes-actually-present check, both as malformed_message — never as
+  // bad_alloc from Graph construction.
+  wire::Bytes huge_n = wire::encode(graph::Graph());  // n=0, m=0 payload
+  huge_n[7] = 0xff;
+  huge_n[8] = 0xff;
+  huge_n[9] = 0xff;
+  huge_n[10] = 0x7f;  // n = 2^31 - 1
+  EXPECT_EQ(error_code([&] { wire::decode_graph(huge_n); }),
+            ServiceErrorCode::malformed_message);
+
+  wire::Bytes huge_m = wire::encode(graph::Graph());
+  huge_m[11] = 0xff;
+  huge_m[12] = 0xff;
+  huge_m[13] = 0xff;
+  huge_m[14] = 0xff;  // m = 2^32 - 1, zero payload bytes behind it
+  EXPECT_EQ(error_code([&] { wire::decode_graph(huge_m); }),
+            ServiceErrorCode::malformed_message);
+}
+
+TEST(WireRejectTest, CorruptPayloadEnumsBoolsAndGraphs) {
+  // Options: backend enum byte out of range (first payload byte).
+  wire::Bytes options_bytes = wire::encode(EngineOptions{});
+  options_bytes[7] = 17;
+  EXPECT_EQ(error_code([&] { wire::decode_options(options_bytes); }),
+            ServiceErrorCode::malformed_message);
+
+  // Response: hit flag must be exactly 0 or 1 (offset: header + fingerprint
+  // (16) + first_draw_index (8)).
+  BatchResponse response;
+  response.fingerprint = fingerprint_graph(graph::cycle(4));
+  wire::Bytes response_bytes = wire::encode(response);
+  response_bytes[7 + 16 + 8] = 2;
+  EXPECT_EQ(error_code([&] { wire::decode_batch_response(response_bytes); }),
+            ServiceErrorCode::malformed_message);
+
+  // Graph: an edge that names a vertex outside [0, n) — structurally
+  // invalid payloads fail decode even when every primitive parses.
+  graph::Graph path(3);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  wire::Bytes graph_bytes = wire::encode(path);
+  // Payload layout: n(4) m(4) then edges; bump the first edge's u to 100.
+  graph_bytes[7 + 8] = 100;
+  EXPECT_EQ(error_code([&] { wire::decode_graph(graph_bytes); }),
+            ServiceErrorCode::malformed_message);
+}
+
+}  // namespace
+}  // namespace cliquest::engine
