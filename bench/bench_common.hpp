@@ -82,4 +82,48 @@ inline std::string fmt_sci(double x) {
 
 inline std::string fmt_int(long long x) { return std::to_string(x); }
 
+/// Value of `--flag VALUE` among the arguments, or nullptr.
+inline const char* flag_value(int argc, char** argv, const char* flag) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return nullptr;
+}
+
+/// Merges one named section into a combined BENCH_hotpath.json file.
+///
+/// The file is line-oriented JSON — header, one `"name":{...},` line per
+/// section, a terminator — so each bench can regenerate its own section
+/// while preserving the others:
+///   {"schema":"BENCH_hotpath/1",
+///   "engine_batch":{...},
+///   "phases":{...},
+///   "_end":true}
+/// `body` must be a braced JSON object on one line.
+inline bool hotpath_merge(const char* path, const std::string& section,
+                          const std::string& body) {
+  std::vector<std::string> kept;
+  if (std::FILE* in = std::fopen(path, "r")) {
+    char line[1 << 16];
+    const std::string prefix = "\"" + section + "\":";
+    while (std::fgets(line, sizeof(line), in) != nullptr) {
+      std::string text(line);
+      while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+        text.pop_back();
+      if (text.empty() || text[0] != '"') continue;        // header/terminator
+      if (text.rfind(prefix, 0) == 0) continue;            // replaced below
+      if (text.rfind("\"_end\"", 0) == 0) continue;        // terminator
+      kept.push_back(std::move(text));
+    }
+    std::fclose(in);
+  }
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "{\"schema\":\"BENCH_hotpath/1\",\n");
+  for (const std::string& line : kept) std::fprintf(out, "%s\n", line.c_str());
+  std::fprintf(out, "\"%s\":%s,\n", section.c_str(), body.c_str());
+  std::fprintf(out, "\"_end\":true}\n");
+  std::fclose(out);
+  return true;
+}
+
 }  // namespace cliquest::bench

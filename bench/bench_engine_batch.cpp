@@ -1,4 +1,5 @@
-// Engine batch sampling: prepare()-amortization and thread fan-out.
+// Engine batch sampling: prepare()-amortization, thread fan-out, and the
+// hot-path perf trajectory.
 //
 // Demonstrates the acceptance property of the unified engine: sample_batch(k)
 // hoists the per-graph precomputation (phase-1 transition/shortcut matrices,
@@ -6,9 +7,18 @@
 // after the first draw versus the legacy one-shot pattern (a fresh sampler
 // per draw, rebuilding everything each time). Also sweeps worker threads and
 // emits the structured JSON report the engine exports for harnesses.
+//
+// --json emits the machine-readable "engine_batch" hot-path section instead
+// of the tables: prepare seconds and draws/sec at the reference size (n=256,
+// k=64, congested_clique), per-backend numbers at n=96, and the
+// repeated-active-set scenario where the Schur cache must show a nonzero hit
+// rate. --hotpath FILE additionally merges the section into a combined
+// BENCH_hotpath.json (see bench/baselines/BENCH_hotpath.json for the
+// committed baseline and README "Performance" for how to read it).
 
 #include <chrono>
 #include <memory>
+#include <string>
 
 #include "bench_common.hpp"
 #include "engine/engine.hpp"
@@ -17,7 +27,132 @@
 
 using namespace cliquest;
 
-int main() {
+namespace {
+
+struct HotpathRun {
+  double prepare_seconds = 0.0;
+  double draws_per_sec = 0.0;
+  std::int64_t schur_hits = 0;
+  std::int64_t schur_misses = 0;
+  double hit_rate = 0.0;
+};
+
+HotpathRun run_batch(const graph::Graph& g, engine::EngineOptions options, int k) {
+  auto sampler = engine::make_sampler(graph::Graph(g), options);
+  const auto prep_start = std::chrono::steady_clock::now();
+  sampler->prepare();
+  HotpathRun run;
+  run.prepare_seconds = bench::seconds_since(prep_start);
+  const auto draw_start = std::chrono::steady_clock::now();
+  const engine::BatchResult batch = sampler->sample_batch(k);
+  const double wall = bench::seconds_since(draw_start);
+  run.draws_per_sec = wall > 0.0 ? k / wall : 0.0;
+  run.schur_hits = batch.report.total_schur_cache_hits();
+  run.schur_misses = batch.report.total_schur_cache_misses();
+  run.hit_rate = batch.report.schur_cache_hit_rate();
+  return run;
+}
+
+std::string hotpath_json(const HotpathRun& run, const char* backend, int n, int k) {
+  return std::string("{\"backend\":\"") + backend + "\",\"n\":" + std::to_string(n) +
+         ",\"k\":" + std::to_string(k) +
+         ",\"prepare_seconds\":" + bench::fmt(run.prepare_seconds, 6) +
+         ",\"draws_per_sec\":" + bench::fmt(run.draws_per_sec, 3) +
+         ",\"schur_cache\":{\"hits\":" + std::to_string(run.schur_hits) +
+         ",\"misses\":" + std::to_string(run.schur_misses) +
+         ",\"hit_rate\":" + bench::fmt(run.hit_rate, 4) + "}}";
+}
+
+/// The hot-path section: the reference point the acceptance criteria track,
+/// the per-backend sweep, and the repeated-active-set cache scenario.
+std::string build_hotpath_section() {
+  std::string out = "{";
+
+  {
+    // Reference size: n=256 gnp(0.08), k=64 congested_clique draws (scaled
+    // under --quick so CI smoke stays fast; the committed baseline uses the
+    // full size).
+    util::Rng gen(777);
+    const int n = bench::quick() ? 96 : 256;
+    const int k = bench::scaled(64);
+    const graph::Graph g = graph::gnp_connected(n, 0.08 * 256 / n, gen);
+    engine::EngineOptions options;
+    options.seed = 7;
+    const HotpathRun run = run_batch(g, options, k);
+    out += "\"reference\":" + hotpath_json(run, "congested_clique", n, k);
+  }
+
+  {
+    // Repeated-active-set scenario: a path walked from vertex 0 with rho = 2
+    // visits one forced new vertex per phase, so every draw re-derives the
+    // identical sequence of Schur/shortcut states — the recurring workload
+    // ROADMAP (c) exists for. Hit rate must be > 0 (it approaches (k-1)/k at
+    // steady state); the uncached twin is the speedup reference.
+    const int n = bench::quick() ? 32 : 96;
+    const int k = bench::scaled(16);
+    const graph::Graph g = graph::path(n);
+    engine::EngineOptions cached;
+    cached.seed = 9;
+    cached.clique.rho_override = 2;
+    cached.clique.schur_cache_budget_bytes = std::size_t{256} << 20;
+    engine::EngineOptions uncached = cached;
+    uncached.clique.schur_cache_budget_bytes = 0;
+    const HotpathRun hot = run_batch(g, cached, k);
+    const HotpathRun cold = run_batch(g, uncached, k);
+    out += ",\"repeated_active_set\":{\"graph\":\"path(" + std::to_string(n) +
+           ")\",\"rho\":2,\"cached\":" +
+           hotpath_json(hot, "congested_clique", n, k) +
+           ",\"uncached\":" + hotpath_json(cold, "congested_clique", n, k) +
+           ",\"cached_speedup\":" +
+           bench::fmt(cold.draws_per_sec > 0.0
+                          ? hot.draws_per_sec / cold.draws_per_sec
+                          : 0.0,
+                      3) +
+           "}";
+  }
+
+  {
+    util::Rng gen(1);
+    const graph::Graph g = graph::gnp_connected(96, 0.25, gen);
+    const int k = bench::scaled(32);
+    out += ",\"backends\":[";
+    bool first = true;
+    for (engine::Backend backend : engine::all_backends()) {
+      engine::EngineOptions options;
+      options.backend = backend;
+      options.seed = 7;
+      const HotpathRun run = run_batch(g, options, k);
+      if (!first) out += ",";
+      first = false;
+      out += hotpath_json(run, engine::backend_name(backend).data(), 96, k);
+    }
+    out += "]";
+  }
+
+  out += ",\"quick\":";
+  out += bench::quick() ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = bench::has_flag(argc, argv, "--json");
+  const char* hotpath_file = bench::flag_value(argc, argv, "--hotpath");
+  if (json || hotpath_file != nullptr) {
+    bench::quiet() = true;
+    const std::string section = build_hotpath_section();
+    if (hotpath_file != nullptr &&
+        !bench::hotpath_merge(hotpath_file, "engine_batch", section)) {
+      std::fprintf(stderr, "cannot write %s\n", hotpath_file);
+      return 1;
+    }
+    std::printf("{\"schema\":\"BENCH_hotpath/1\",\"engine_batch\":%s}\n",
+                section.c_str());
+    return 0;
+  }
+
   bench::header("bench_engine_batch",
                 "engine sample_batch amortizes prepare() precomputation and "
                 "fans draws across threads; per-draw cost drops after draw 1");

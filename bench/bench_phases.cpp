@@ -2,18 +2,141 @@
 // phases, each non-final phase contributing rho - 1 = floor(sqrt n) - 1 new
 // first-visit edges (Lemma 6); and a length-n walk visits Omega(n^{1/3})
 // distinct vertices on unweighted graphs (§1.4 Direction 4, Barnes-Feige).
+//
+// --json emits the machine-readable "phases" hot-path section instead of the
+// tables: per-n draw seconds of the main sampler plus micro-throughput of
+// the filling primitives (legacy allocate-and-scan midpoint draws vs. the
+// scratch/CDF overload; endpoint draws via linear scan vs. cached CDF vs.
+// alias table). --hotpath FILE merges the section into a combined
+// BENCH_hotpath.json next to bench_engine_batch's.
 
+#include <chrono>
 #include <cmath>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/tree_sampler.hpp"
 #include "graph/generators.hpp"
+#include "linalg/matrix_power.hpp"
+#include "util/discrete.hpp"
 #include "util/statistics.hpp"
+#include "walk/fill.hpp"
+#include "walk/prepared.hpp"
 #include "walk/random_walk.hpp"
+#include "walk/transition.hpp"
 
 using namespace cliquest;
 
-int main() {
+namespace {
+
+/// The "phases" hot-path section: draw cost of the main sampler per n, and
+/// draws/sec of the filling primitives the overhaul rebuilt.
+std::string build_phases_section() {
+  std::string out = "{\"draws\":[";
+  util::Rng gen(9);
+  bool first = true;
+  for (int n : {64, 100, 144}) {
+    const graph::Graph g = graph::gnp_connected(n, 0.3, gen);
+    core::CongestedCliqueTreeSampler sampler(g, core::SamplerOptions{});
+    sampler.prepare();
+    util::Rng rng(10);
+    const int reps = bench::scaled(10);
+    const auto start = std::chrono::steady_clock::now();
+    std::int64_t phases = 0;
+    for (int i = 0; i < reps; ++i)
+      phases += static_cast<std::int64_t>(sampler.sample(rng).report.phases.size());
+    const double wall = bench::seconds_since(start);
+    if (!first) out += ",";
+    first = false;
+    out += "{\"n\":" + std::to_string(n) +
+           ",\"draws_per_sec\":" + bench::fmt(wall > 0.0 ? reps / wall : 0.0, 3) +
+           ",\"mean_phases\":" + bench::fmt(static_cast<double>(phases) / reps, 2) +
+           "}";
+  }
+  out += "]";
+
+  {
+    // Midpoint micro-bench: the legacy path materialized a weights vector
+    // and linear-scanned it per draw; the scratch overload fuses the CDF
+    // build and binary-searches. Same draws, different cost.
+    util::Rng graph_gen(17);
+    const graph::Graph g = graph::gnp_connected(128, 0.1, graph_gen);
+    const auto powers = linalg::power_table(walk::transition_matrix(g), 6);
+    const linalg::Matrix& half = powers[3];
+    const int n = half.rows();
+    const int draws = bench::scaled(20000);
+
+    util::Rng legacy_rng(1);
+    std::vector<double> weights(static_cast<std::size_t>(n));
+    auto legacy_start = std::chrono::steady_clock::now();
+    for (int i = 0; i < draws; ++i) {
+      const int p = i % n, q = (i * 7 + 1) % n;
+      for (int m = 0; m < n; ++m)
+        weights[static_cast<std::size_t>(m)] = half(p, m) * half(m, q);
+      util::sample_unnormalized(weights, legacy_rng);
+    }
+    const double legacy_wall = bench::seconds_since(legacy_start);
+
+    util::Rng scratch_rng(1);
+    walk::FillScratch scratch;
+    auto scratch_start = std::chrono::steady_clock::now();
+    for (int i = 0; i < draws; ++i)
+      walk::sample_midpoint(half, i % n, (i * 7 + 1) % n, scratch_rng, scratch);
+    const double scratch_wall = bench::seconds_since(scratch_start);
+
+    // Endpoint micro-bench: linear scan vs. prepared CDF vs. alias table.
+    const int levels = static_cast<int>(powers.size()) - 1;
+    const walk::PreparedPowers prepared(powers.back(), levels);
+    const int end_draws = bench::scaled(200000);
+    util::Rng scan_rng(2);
+    auto scan_start = std::chrono::steady_clock::now();
+    for (int i = 0; i < end_draws; ++i)
+      util::sample_unnormalized(powers.back().row(i % n), scan_rng);
+    const double scan_wall = bench::seconds_since(scan_start);
+    util::Rng cdf_rng(2);
+    auto cdf_start = std::chrono::steady_clock::now();
+    for (int i = 0; i < end_draws; ++i) prepared.sample_end(i % n, cdf_rng);
+    const double cdf_wall = bench::seconds_since(cdf_start);
+    util::Rng alias_rng(2);
+    auto alias_start = std::chrono::steady_clock::now();
+    for (int i = 0; i < end_draws; ++i) prepared.sample_end_alias(i % n, alias_rng);
+    const double alias_wall = bench::seconds_since(alias_start);
+
+    auto rate = [](int count, double wall) {
+      return bench::fmt(wall > 0.0 ? count / wall : 0.0, 0);
+    };
+    out += ",\"fill\":{\"n\":" + std::to_string(n) +
+           ",\"midpoint_draws_per_sec\":{\"legacy_scan\":" +
+           rate(draws, legacy_wall) + ",\"scratch_cdf\":" +
+           rate(draws, scratch_wall) + "}" +
+           ",\"end_draws_per_sec\":{\"row_scan\":" + rate(end_draws, scan_wall) +
+           ",\"prepared_cdf\":" + rate(end_draws, cdf_wall) +
+           ",\"prepared_alias\":" + rate(end_draws, alias_wall) + "}}";
+  }
+
+  out += ",\"quick\":";
+  out += bench::quick() ? "true" : "false";
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = bench::has_flag(argc, argv, "--json");
+  const char* hotpath_file = bench::flag_value(argc, argv, "--hotpath");
+  if (json || hotpath_file != nullptr) {
+    bench::quiet() = true;
+    const std::string section = build_phases_section();
+    if (hotpath_file != nullptr &&
+        !bench::hotpath_merge(hotpath_file, "phases", section)) {
+      std::fprintf(stderr, "cannot write %s\n", hotpath_file);
+      return 1;
+    }
+    std::printf("{\"schema\":\"BENCH_hotpath/1\",\"phases\":%s}\n", section.c_str());
+    return 0;
+  }
+
   bench::header("E7 bench_phases",
                 "Lemma 6: <= 2 sqrt(n) phases of sqrt(n)-1 new vertices; "
                 "Barnes-Feige: length-n walks visit Omega(n^{1/3}) vertices");

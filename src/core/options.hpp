@@ -2,6 +2,7 @@
 
 // Configuration for the Congested Clique spanning-tree sampler.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -66,6 +67,15 @@ struct SamplerOptions {
   /// Cost-model knob: words per matrix entry charged to matmul rounds
   /// (1 = single-word entries; ~log2(n) models the §2.5 precision regime).
   int words_per_entry = 1;
+
+  /// Byte budget for the per-sampler Schur cache (ROADMAP (c)): an LRU of
+  /// per-active-set derivative state (Schur transition, shortcut matrix,
+  /// power table) keyed by a fingerprint of the active vertex set, so phases
+  /// whose active sets recur across draws skip the re-derivation. 0 disables
+  /// the cache (the default: recurrence only pays off on structured or
+  /// small-rho workloads, and cached bytes count against the serving pool's
+  /// budget). Sampling is bit-identical with the cache on or off.
+  std::size_t schur_cache_budget_bytes = 0;
 
   /// Safety cap on materialized partial-walk entries per segment.
   std::int64_t max_segment_entries = std::int64_t{1} << 22;

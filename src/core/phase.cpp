@@ -24,9 +24,11 @@ int ceil_log2_i64(std::int64_t x) {
 }
 
 /// Samples Pi_{p,q} for every distinct consecutive pair of `segment`
-/// (Algorithm 2). `half` = A^{gap/2}.
+/// (Algorithm 2). `half` = A^{gap/2}. The product-weight buffer and alias
+/// table live in `scratch` and are rebuilt in place per machine, so the
+/// steady-state machine loop performs no heap allocation.
 LevelMidpoints generate_midpoints(const Segment& segment, const linalg::Matrix& half,
-                                  util::Rng& rng) {
+                                  util::Rng& rng, PhaseScratch& scratch) {
   LevelMidpoints level;
   const std::size_t pairs = segment.entries.size() - 1;
   level.pair_of_slot.resize(pairs);
@@ -52,14 +54,15 @@ LevelMidpoints generate_midpoints(const Segment& segment, const linalg::Matrix& 
   // (A^{gap/2}[p, j] * A^{gap/2}[j, q])_j from the vertex machines and samples
   // its sequence i.i.d.; an alias table makes long sequences O(1) per draw.
   const int n = half.rows();
-  std::vector<double> weights(static_cast<std::size_t>(n));
+  scratch.weights.resize(static_cast<std::size_t>(n));
   for (auto& machine : level.machines) {
     for (int j = 0; j < n; ++j)
-      weights[static_cast<std::size_t>(j)] = half(machine.p, j) * half(j, machine.q);
-    const util::AliasTable table(weights);
+      scratch.weights[static_cast<std::size_t>(j)] =
+          half(machine.p, j) * half(j, machine.q);
+    scratch.alias.rebuild(scratch.weights);
     // Degenerate all-zero rows are impossible: (p, q) occur at distance gap
     // in a positive-probability walk, so A^gap[p, q] > 0.
-    for (int& slot : machine.sequence) slot = table.sample(rng);
+    for (int& slot : machine.sequence) slot = scratch.alias.sample(rng);
   }
   return level;
 }
@@ -224,7 +227,9 @@ PhaseWalkResult build_phase_walk(const linalg::Matrix& transition, int start,
                                  int target_distinct, std::int64_t target_length,
                                  int clique_n, const SamplerOptions& options,
                                  util::Rng& rng, cclique::Meter& meter,
-                                 const std::vector<linalg::Matrix>* cached_powers) {
+                                 const std::vector<linalg::Matrix>* cached_powers,
+                                 const walk::PreparedPowers* prepared,
+                                 PhaseScratch* scratch) {
   const int n_active = transition.rows();
   if (transition.cols() != n_active)
     throw std::invalid_argument("build_phase_walk: transition not square");
@@ -233,7 +238,8 @@ PhaseWalkResult build_phase_walk(const linalg::Matrix& transition, int start,
   if (target_distinct < 2 || target_distinct > n_active)
     throw std::invalid_argument("build_phase_walk: bad target_distinct");
   if (target_length < 2 || (target_length & (target_length - 1)) != 0)
-    throw std::invalid_argument("build_phase_walk: target_length must be a power of two >= 2");
+    throw std::invalid_argument(
+        "build_phase_walk: target_length must be a power of two >= 2");
 
   cclique::CostModel model;
   model.n = clique_n;
@@ -243,8 +249,17 @@ PhaseWalkResult build_phase_walk(const linalg::Matrix& transition, int start,
   std::vector<int> phase_walk{start};
   std::unordered_set<int> committed{start};
 
+  PhaseScratch local_scratch;
+  PhaseScratch& arena = scratch != nullptr ? *scratch : local_scratch;
+
   std::int64_t segment_length = target_length;
   const bool exact_mode = options.mode == SamplingMode::exact;
+
+  // Power table for segments the cached table does not cover: seeded from
+  // the cached prefix (or the transition itself) once, then extended by one
+  // squaring per deeper level — a Las Vegas extension never rebuilds levels
+  // it already has. Identical tables to a from-scratch build.
+  std::vector<linalg::Matrix> local_powers;
 
   while (static_cast<int>(committed.size()) < target_distinct) {
     if (result.extensions > options.max_extensions_per_phase)
@@ -258,22 +273,36 @@ PhaseWalkResult build_phase_walk(const linalg::Matrix& transition, int start,
     const bool use_cache =
         cached_powers != nullptr &&
         static_cast<int>(cached_powers->size()) > levels_here;
-    const std::vector<linalg::Matrix> local_powers =
-        use_cache ? std::vector<linalg::Matrix>{}
-                  : linalg::power_table(transition, levels_here);
+    if (!use_cache) {
+      if (local_powers.empty()) {
+        if (cached_powers != nullptr && !cached_powers->empty())
+          local_powers = *cached_powers;
+        else
+          local_powers.push_back(transition);
+      }
+      linalg::extend_power_table(local_powers, levels_here);
+    }
     const std::vector<linalg::Matrix>& powers =
         use_cache ? *cached_powers : local_powers;
     meter.charge("phase/matmul_powers",
                  static_cast<std::int64_t>(levels_here) * model.matmul_rounds(),
                  static_cast<std::int64_t>(levels_here) * n_active);
 
+    // Segment endpoint from A^l[back, *]: the prepared per-row CDF when it
+    // matches this level (replay-identical to the linear scan), the row scan
+    // otherwise.
+    const bool use_prepared = use_cache && prepared != nullptr &&
+                              prepared->levels() == levels_here;
     Segment segment;
     segment.gap = segment_length;
-    segment.entries = {phase_walk.back(),
-                       util::sample_unnormalized(
-                           powers[static_cast<std::size_t>(levels_here)].row(
-                               phase_walk.back()),
-                           rng)};
+    segment.entries = {
+        phase_walk.back(),
+        use_prepared
+            ? prepared->sample_end(phase_walk.back(), rng)
+            : util::sample_unnormalized(
+                  powers[static_cast<std::size_t>(levels_here)].row(
+                      phase_walk.back()),
+                  rng)};
     meter.charge("phase/walk_init", 1, 1);
 
     // Level loop: halve the gap until the segment is a dense walk.
@@ -282,7 +311,7 @@ PhaseWalkResult build_phase_walk(const linalg::Matrix& transition, int start,
       ++result.levels;
       const linalg::Matrix& half =
           powers[static_cast<std::size_t>(ceil_log2_i64(segment.gap) - 1)];
-      LevelMidpoints level = generate_midpoints(segment, half, rng);
+      LevelMidpoints level = generate_midpoints(segment, half, rng, arena);
 
       // Algorithm 3: the distributed binary search locates the truncation
       // point; every probe's routing loads are charged inside.

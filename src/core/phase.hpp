@@ -31,9 +31,21 @@
 #include "cclique/meter.hpp"
 #include "core/options.hpp"
 #include "linalg/matrix.hpp"
+#include "util/discrete.hpp"
 #include "util/rng.hpp"
+#include "walk/prepared.hpp"
 
 namespace cliquest::core {
+
+/// Reusable scratch arena for build_phase_walk's inner loops (the midpoint
+/// machines' product-weight buffer and their rebuilt-in-place alias table).
+/// Pass one instance per draw — reused across phases, levels, and machines,
+/// the steady-state midpoint loop allocates nothing. Draws are identical
+/// with or without a caller-provided scratch.
+struct PhaseScratch {
+  std::vector<double> weights;
+  util::AliasTable alias;
+};
 
 struct PhaseWalkResult {
   /// The phase walk in local (active-matrix) vertex ids; starts at the given
@@ -55,16 +67,25 @@ struct PhaseWalkResult {
 ///
 /// `cached_powers`, when non-null, is a precomputed power table
 /// {transition^(2^0), ..., transition^(2^k)} (see linalg::power_table); a
-/// segment whose level count fits inside it skips the local recomputation.
-/// The simulated matmul rounds are still charged — the clique would do the
-/// work either way — so round accounting is byte-identical with and without
-/// the cache, as is the sampled walk.
+/// segment whose level count fits inside it skips the local recomputation,
+/// and a deeper segment (Las Vegas extension) copies the cached prefix and
+/// extends it by squaring instead of rebuilding from scratch. The simulated
+/// matmul rounds are still charged — the clique would do the work either way
+/// — so round accounting is byte-identical with and without the cache, as is
+/// the sampled walk.
+///
+/// `prepared`, when non-null and matching the cached table's top level,
+/// serves segment-endpoint draws from its per-row CDFs (replay-identical to
+/// the linear scan over the top power's row). `scratch`, when non-null, is
+/// the caller's reusable arena for the midpoint machinery.
 PhaseWalkResult build_phase_walk(const linalg::Matrix& transition, int start,
                                  int target_distinct, std::int64_t target_length,
                                  int clique_n, const SamplerOptions& options,
                                  util::Rng& rng, cclique::Meter& meter,
                                  const std::vector<linalg::Matrix>* cached_powers
-                                 = nullptr);
+                                 = nullptr,
+                                 const walk::PreparedPowers* prepared = nullptr,
+                                 PhaseScratch* scratch = nullptr);
 
 /// The paper's per-phase target length: the smallest power of two at least
 /// log2(4 sqrt(n) / eps) * n^3 when paper_cubic_length is set, otherwise

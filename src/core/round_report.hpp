@@ -25,6 +25,13 @@ struct RoundReport {
   cclique::Meter meter;
   std::vector<PhaseStats> phases;
 
+  /// Schur-cache traffic of this draw: phases whose per-active-set
+  /// derivative state came from the sampler's cache vs. phases that had to
+  /// build it. Both zero when the cache is disabled or the draw stayed in
+  /// phase 1.
+  std::int64_t schur_cache_hits = 0;
+  std::int64_t schur_cache_misses = 0;
+
   std::int64_t total_rounds() const { return meter.total_rounds(); }
 
   /// Human-readable run anatomy: per-phase table plus the meter categories.

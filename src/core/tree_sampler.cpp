@@ -41,7 +41,9 @@ CongestedCliqueTreeSampler::CongestedCliqueTreeSampler(graph::Graph g,
 
 CongestedCliqueTreeSampler::CongestedCliqueTreeSampler(
     std::shared_ptr<const graph::Graph> g, SamplerOptions options)
-    : graph_(std::move(g)), options_(options) {
+    : graph_(std::move(g)),
+      options_(options),
+      schur_cache_(options.schur_cache_budget_bytes) {
   if (graph_ == nullptr)
     throw std::invalid_argument("CongestedCliqueTreeSampler: null graph");
   if (graph().vertex_count() < 1)
@@ -85,14 +87,17 @@ void CongestedCliqueTreeSampler::prepare() {
   int levels = 0;
   while ((std::int64_t{1} << levels) < pre.target_length) ++levels;
   pre.full_powers = linalg::power_table(pre.full_transition, levels);
+  pre.prepared_powers = walk::PreparedPowers(pre.full_powers.back(), levels);
   precomputed_ = std::move(pre);
   ++prepare_builds_;
 }
 
 std::size_t CongestedCliqueTreeSampler::memory_bytes() const {
-  if (!precomputed_.has_value()) return 0;
-  std::size_t bytes = precomputed_->full_transition.memory_bytes() +
-                      precomputed_->full_shortcut.memory_bytes();
+  std::size_t bytes = schur_cache_.resident_bytes();
+  if (!precomputed_.has_value()) return bytes;
+  bytes += precomputed_->full_transition.memory_bytes() +
+           precomputed_->full_shortcut.memory_bytes() +
+           precomputed_->prepared_powers.memory_bytes();
   for (const linalg::Matrix& power : precomputed_->full_powers)
     bytes += power.memory_bytes();
   return bytes;
@@ -114,6 +119,10 @@ TreeSample CongestedCliqueTreeSampler::sample(util::Rng& rng) const {
   visited[static_cast<std::size_t>(options_.start_vertex)] = 1;
   int visited_count = 1;
   int frontier = options_.start_vertex;  // last vertex of the previous phase
+
+  int levels = 0;
+  while ((std::int64_t{1} << levels) < target_length) ++levels;
+  PhaseScratch scratch;  // reused across every phase of this draw
 
   int phase_index = 0;
   while (visited_count < n) {
@@ -140,11 +149,46 @@ TreeSample CongestedCliqueTreeSampler::sample(util::Rng& rng) const {
     linalg::Matrix shortcut_storage;
     const linalg::Matrix* active_transition_ptr = nullptr;
     const linalg::Matrix* shortcut_q_ptr = nullptr;
+    const std::vector<linalg::Matrix>* cached_powers = nullptr;
+    const walk::PreparedPowers* prepared = nullptr;
+    // Keeps a Schur-cache entry alive for the phase even if the cache
+    // evicts it mid-walk.
+    std::shared_ptr<const schur::PhaseDerivatives> derived;
     if (full_phase && precomputed_) {
       // Phase 1 with a prepare()d sampler: the derivative matrices depend
       // only on the graph, so the cached copies are reused across draws.
       active_transition_ptr = &precomputed_->full_transition;
       shortcut_q_ptr = &precomputed_->full_shortcut;
+      cached_powers = &precomputed_->full_powers;
+      prepared = &precomputed_->prepared_powers;
+    } else if (!full_phase && schur_cache_.enabled()) {
+      // ROADMAP (c): the phase's derivative state depends only on (G, S), so
+      // recurring active sets across draws reuse one build. Hit or miss, the
+      // matrices are the deterministic product of the same construction, so
+      // sampling replays bit-identically against the uncached path.
+      bool cache_hit = false;
+      derived = schur_cache_.get_or_build(
+          active,
+          [&] {
+            schur::PhaseDerivatives d;
+            d.transition = schur::schur_transition(graph(), active);
+            d.shortcut = schur::shortcut_transition(graph(), active);
+            d.powers = linalg::power_table(d.transition, levels);
+            // No alias tables: phase endpoints sample via the replay-exact
+            // CDFs only, and cache entries should not carry dead bytes.
+            d.prepared = walk::PreparedPowers(d.powers.back(), levels,
+                                              /*with_alias=*/false);
+            return d;
+          },
+          &cache_hit);
+      if (cache_hit)
+        ++result.report.schur_cache_hits;
+      else
+        ++result.report.schur_cache_misses;
+      active_transition_ptr = &derived->transition;
+      shortcut_q_ptr = &derived->shortcut;
+      cached_powers = &derived->powers;
+      prepared = &derived->prepared;
     } else {
       transition_storage = full_phase ? walk::transition_matrix(graph())
                                       : schur::schur_transition(graph(), active);
@@ -167,11 +211,9 @@ TreeSample CongestedCliqueTreeSampler::sample(util::Rng& rng) const {
     const int target_distinct =
         std::min<int>(rho_, static_cast<int>(active.size()));
 
-    const std::vector<linalg::Matrix>* cached_powers =
-        (full_phase && precomputed_) ? &precomputed_->full_powers : nullptr;
     PhaseWalkResult walk = build_phase_walk(
         active_transition, local_of.at(frontier), target_distinct, target_length, n,
-        options_, rng, result.report.meter, cached_powers);
+        options_, rng, result.report.meter, cached_powers, prepared, &scratch);
 
     // Algorithm 4: first-visit edges for each newly visited vertex, in
     // first-visit order, sampled through the shortcut graph.

@@ -26,7 +26,9 @@
 #include "graph/graph.hpp"
 #include "graph/spanning.hpp"
 #include "linalg/matrix.hpp"
+#include "schur/schur_cache.hpp"
 #include "util/rng.hpp"
+#include "walk/prepared.hpp"
 
 namespace cliquest::core {
 
@@ -60,15 +62,29 @@ class CongestedCliqueTreeSampler {
   /// matter how many draws follow a prepare(); batch harnesses assert on it).
   int prepare_builds() const { return prepare_builds_; }
 
-  /// Bytes held by the prepare() cache: the full power table — the dominant
-  /// (log2(target_length) + 1)·n² doubles — plus the phase-1 transition and
-  /// shortcut matrices. 0 before prepare(). The engine pool charges this
-  /// against its LRU memory budget.
+  /// Bytes held by the prepare() cache — the full power table (the dominant
+  /// (log2(target_length) + 1)·n² doubles), the phase-1 transition/shortcut
+  /// matrices, and the endpoint-sampling CDF/alias tables — plus whatever
+  /// the Schur cache currently retains. 0 before prepare() (modulo cache
+  /// fills). The engine pool charges this against its LRU memory budget;
+  /// unlike the prepare() portion it can grow while draws run, which the
+  /// pool re-reads after each served batch.
   std::size_t memory_bytes() const;
+
+  /// Drops every Schur-cache entry, returning the bytes released. The
+  /// serving pool's memory-pressure hook: transient derivative caches are
+  /// reclaimed before whole samplers are evicted. Draws in flight keep
+  /// their entries alive via shared ownership.
+  std::size_t trim_schur_cache() const { return schur_cache_.trim(); }
+
+  /// Hit/miss/eviction counters of the per-active-set Schur cache.
+  schur::SchurCacheStats schur_cache_stats() const { return schur_cache_.stats(); }
 
   /// Draws one spanning tree with full round accounting. Reuses the
   /// prepare() cache when present; otherwise computes per-graph state
-  /// locally (the pre-engine one-shot behaviour).
+  /// locally (the pre-engine one-shot behaviour). Phases past the first
+  /// consult the Schur cache (when enabled) for their per-active-set
+  /// derivative state; the report carries the hit/miss counts.
   TreeSample sample(util::Rng& rng) const;
 
   /// Per-phase distinct-vertex budget rho for this instance.
@@ -89,12 +105,19 @@ class CongestedCliqueTreeSampler {
     /// dominant per-draw cost the engine's sample_batch amortizes. Memory is
     /// (log2(target_length) + 1) n^2 doubles.
     std::vector<linalg::Matrix> full_powers;
+    /// Per-row CDFs + alias tables of full_powers' top entry: phase-1
+    /// segment endpoints sample in O(log n) by binary search, replaying the
+    /// linear scan draw-for-draw.
+    walk::PreparedPowers prepared_powers;
   };
 
   std::shared_ptr<const graph::Graph> graph_;
   SamplerOptions options_;
   int rho_;
   std::optional<Precomputed> precomputed_;
+  /// Per-active-set derivative cache (ROADMAP (c)); internally synchronized,
+  /// so concurrent post-prepare draws share it. Disabled at budget 0.
+  mutable schur::SchurCache schur_cache_;
   int prepare_builds_ = 0;
 };
 

@@ -31,11 +31,17 @@ std::size_t CongestedCliqueBackend::do_memory_bytes() const {
   return impl_.memory_bytes();
 }
 
+std::size_t CongestedCliqueBackend::do_trim_transient_cache() {
+  return impl_.trim_schur_cache();
+}
+
 Draw CongestedCliqueBackend::do_sample(util::Rng& rng) const {
   core::TreeSample sample = impl_.sample(rng);
   Draw draw;
   draw.stats.rounds = sample.report.total_rounds();
   draw.stats.phases = static_cast<int>(sample.report.phases.size());
+  draw.stats.schur_cache_hits = sample.report.schur_cache_hits;
+  draw.stats.schur_cache_misses = sample.report.schur_cache_misses;
   for (const core::PhaseStats& phase : sample.report.phases)
     draw.stats.walk_steps += phase.walk_length;
   draw.tree = std::move(sample.tree);

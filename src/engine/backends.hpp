@@ -27,9 +27,12 @@ class CongestedCliqueBackend final : public SpanningTreeSampler {
  protected:
   void do_prepare() override;
   Draw do_sample(util::Rng& rng) const override;
-  /// Power table + phase-1 transition/shortcut matrices; the memory hot spot
-  /// the pool's byte budget exists for.
+  /// Power table + phase-1 transition/shortcut matrices + endpoint CDFs +
+  /// current Schur-cache residency; the memory hot spot the pool's byte
+  /// budget exists for.
   std::size_t do_memory_bytes() const override;
+  /// Drops the per-active-set Schur cache (prepare() state survives).
+  std::size_t do_trim_transient_cache() override;
 
  private:
   core::CongestedCliqueTreeSampler impl_;

@@ -119,6 +119,11 @@ EngineOptionsBuilder& EngineOptionsBuilder::words_per_entry(int words) {
   return *this;
 }
 
+EngineOptionsBuilder& EngineOptionsBuilder::schur_cache_budget(std::size_t bytes) {
+  options_.clique.schur_cache_budget_bytes = bytes;
+  return *this;
+}
+
 EngineOptionsBuilder& EngineOptionsBuilder::initial_tau(std::int64_t tau) {
   options_.covertime.initial_tau = tau;
   return *this;

@@ -95,6 +95,8 @@ class EngineOptionsBuilder {
   EngineOptionsBuilder& length_factor(double f);
   EngineOptionsBuilder& metropolis_steps_per_site(int steps);
   EngineOptionsBuilder& words_per_entry(int words);
+  /// Schur-cache byte budget for the clique backend (0 = disabled).
+  EngineOptionsBuilder& schur_cache_budget(std::size_t bytes);
   EngineOptionsBuilder& initial_tau(std::int64_t tau);
   EngineOptionsBuilder& max_attempts(int attempts);
 

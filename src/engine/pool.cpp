@@ -116,6 +116,21 @@ void SamplerPool::touch_locked(Entry& entry) {
 }
 
 void SamplerPool::evict_to_budget_locked() {
+  // Pass 1: transient caches evict before samplers. Coldest first, each
+  // resident entry's Schur cache is dropped (its prepare() precomputation
+  // stays) until the budget holds — an entry whose cache grew past the
+  // budget sheds the growth instead of flushing a whole prepared sampler.
+  for (auto it = lru_.begin();
+       resident_bytes_ > options_.memory_budget_bytes && it != lru_.end(); ++it) {
+    const std::shared_ptr<Entry>& entry = entries_.at(*it);
+    if (entry->sampler == nullptr) continue;
+    if (entry->sampler->trim_transient_cache() == 0) continue;
+    ++stats_.schur_cache_trims;
+    const std::size_t now = entry->sampler->memory_bytes();
+    resident_bytes_ = resident_bytes_ - entry->bytes + now;
+    entry->bytes = now;
+  }
+  // Pass 2: evict whole samplers, coldest first.
   while (resident_bytes_ > options_.memory_budget_bytes && !lru_.empty()) {
     const std::shared_ptr<Entry> coldest = entries_.at(lru_.front());
     lru_.pop_front();
@@ -185,6 +200,24 @@ PoolBatchResult SamplerPool::serve(const std::shared_ptr<Entry>& entry,
       ++stats_.hits;
     else
       ++stats_.misses;
+    for (const DrawStats& draw : batch.report.draws) {
+      stats_.schur_cache_hits += draw.schur_cache_hits;
+      stats_.schur_cache_misses += draw.schur_cache_misses;
+    }
+    // The batch may have grown the sampler's Schur cache; re-read the bytes
+    // so residency accounting (and the budget) keeps covering it, then
+    // restore the invariant — trimming transient caches before evicting
+    // samplers.
+    if (entry->is_resident && entry->sampler == sampler) {
+      const std::size_t now = sampler->memory_bytes();
+      if (now != entry->bytes) {
+        resident_bytes_ = resident_bytes_ - entry->bytes + now;
+        entry->bytes = now;
+        evict_to_budget_locked();
+      }
+      stats_.peak_resident_bytes =
+          std::max(stats_.peak_resident_bytes, resident_bytes_);
+    }
   }
 
   PoolBatchResult result;

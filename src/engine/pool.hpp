@@ -83,6 +83,12 @@ struct PoolStats {
   std::int64_t prepares = 0;   // precomputation builds across all entries
   std::int64_t evictions = 0;
   std::int64_t draws = 0;      // trees drawn through the pool
+  /// Schur-cache traffic summed over every draw served by this pool, plus
+  /// the times memory pressure trimmed an entry's transient cache instead of
+  /// evicting the sampler (trims happen first; see evict_to_budget).
+  std::int64_t schur_cache_hits = 0;
+  std::int64_t schur_cache_misses = 0;
+  std::int64_t schur_cache_trims = 0;
   std::size_t resident_bytes = 0;
   std::size_t peak_resident_bytes = 0;  // max observed post-eviction: <= budget
   int resident_count = 0;

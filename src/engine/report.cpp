@@ -61,6 +61,25 @@ double BatchReport::mean_seconds() const {
   return draws.empty() ? 0.0 : total_seconds() / static_cast<double>(draws.size());
 }
 
+std::int64_t BatchReport::total_schur_cache_hits() const {
+  std::int64_t total = 0;
+  for (const DrawStats& draw : draws) total += draw.schur_cache_hits;
+  return total;
+}
+
+std::int64_t BatchReport::total_schur_cache_misses() const {
+  std::int64_t total = 0;
+  for (const DrawStats& draw : draws) total += draw.schur_cache_misses;
+  return total;
+}
+
+double BatchReport::schur_cache_hit_rate() const {
+  const std::int64_t hits = total_schur_cache_hits();
+  const std::int64_t lookups = hits + total_schur_cache_misses();
+  return lookups == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
 std::string BatchReport::summary() const {
   char line[256];
   std::string out;
@@ -95,6 +114,9 @@ std::string BatchReport::to_json() const {
   out += ",\"totals\":{\"rounds\":" + std::to_string(total_rounds()) +
          ",\"walk_steps\":" + std::to_string(total_walk_steps()) +
          ",\"seconds\":" + fmt_double(total_seconds()) + "}";
+  out += ",\"schur_cache\":{\"hits\":" + std::to_string(total_schur_cache_hits()) +
+         ",\"misses\":" + std::to_string(total_schur_cache_misses()) +
+         ",\"hit_rate\":" + fmt_double(schur_cache_hit_rate()) + "}";
   out += ",\"means\":{\"rounds\":" + fmt_double(mean_rounds()) +
          ",\"seconds\":" + fmt_double(mean_seconds()) + "}";
 
@@ -106,7 +128,10 @@ std::string BatchReport::to_json() const {
            ",\"rounds\":" + std::to_string(draw.rounds) +
            ",\"walk_steps\":" + std::to_string(draw.walk_steps) +
            ",\"phases\":" + std::to_string(draw.phases) +
-           ",\"seconds\":" + fmt_double(draw.seconds) + "}";
+           ",\"seconds\":" + fmt_double(draw.seconds) +
+           ",\"schur_cache_hits\":" + std::to_string(draw.schur_cache_hits) +
+           ",\"schur_cache_misses\":" + std::to_string(draw.schur_cache_misses) +
+           "}";
   }
   out += "]";
 

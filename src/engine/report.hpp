@@ -24,6 +24,11 @@ struct DrawStats {
   std::int64_t walk_steps = 0;  // total walk length consumed by the draw
   int phases = 0;            // phases (clique) or doubling attempts
   double seconds = 0.0;      // wall-clock draw time
+  /// Schur-cache traffic (clique backend): phases served from the sampler's
+  /// per-active-set derivative cache vs. phases that built it. Zero for
+  /// other backends, disabled caches, and draws that stay in phase 1.
+  std::int64_t schur_cache_hits = 0;
+  std::int64_t schur_cache_misses = 0;
 };
 
 /// Aggregate report for a sample_batch() call (a single sample() is a batch
@@ -51,6 +56,10 @@ struct BatchReport {
   double total_seconds() const;  // sum of per-draw wall clock, excl. prepare
   double mean_rounds() const;
   double mean_seconds() const;
+  std::int64_t total_schur_cache_hits() const;
+  std::int64_t total_schur_cache_misses() const;
+  /// hits / (hits + misses), or 0 with no cache traffic.
+  double schur_cache_hit_rate() const;
 
   /// Human-readable aggregate table (backend, draws, rounds, timing).
   std::string summary() const;

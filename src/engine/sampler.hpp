@@ -88,6 +88,14 @@ class SpanningTreeSampler {
   /// admission state, reported separately by graph().memory_bytes().
   std::size_t memory_bytes() const { return do_memory_bytes(); }
 
+  /// Releases the backend's *transient* derivative caches (for the clique
+  /// backend the per-active-set Schur cache), returning the bytes freed; the
+  /// prepare() precomputation stays intact. The pool's memory-pressure hook:
+  /// transient caches are reclaimed before whole samplers are evicted. Safe
+  /// with draws in flight (they share ownership of live entries) and a no-op
+  /// for backends that cache nothing beyond prepare().
+  std::size_t trim_transient_cache() { return do_trim_transient_cache(); }
+
   /// Draws one spanning tree with the caller's Rng. Implies prepare().
   Draw sample(util::Rng& rng);
 
@@ -136,6 +144,10 @@ class SpanningTreeSampler {
   virtual void do_prepare() = 0;
   virtual Draw do_sample(util::Rng& rng) const = 0;
   virtual std::size_t do_memory_bytes() const = 0;
+
+  /// Transient-cache release hook backing trim_transient_cache(); the
+  /// default keeps nothing to release.
+  virtual std::size_t do_trim_transient_cache() { return 0; }
 
   /// Shared ownership of the (immutable) graph, for adapters whose wrapped
   /// sampler can share it instead of copying (one graph copy per stack).

@@ -25,6 +25,9 @@ void merge_stats(PoolStats& into, const PoolStats& from) {
   into.prepares += from.prepares;
   into.evictions += from.evictions;
   into.draws += from.draws;
+  into.schur_cache_hits += from.schur_cache_hits;
+  into.schur_cache_misses += from.schur_cache_misses;
+  into.schur_cache_trims += from.schur_cache_trims;
   into.resident_bytes += from.resident_bytes;
   into.peak_resident_bytes += from.peak_resident_bytes;
   into.resident_count += from.resident_count;

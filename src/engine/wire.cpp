@@ -299,6 +299,8 @@ void write_report(Writer& w, const BatchReport& report) {
     w.i64(draw.walk_steps);
     w.i32(draw.phases);
     w.f64(draw.seconds);
+    w.i64(draw.schur_cache_hits);
+    w.i64(draw.schur_cache_misses);
   }
   w.u32(static_cast<std::uint32_t>(report.meter.categories().size()));
   for (const auto& [label, totals] : report.meter.categories()) {
@@ -325,6 +327,8 @@ BatchReport read_report(Reader& r) {
     draw.walk_steps = r.i64();
     draw.phases = r.i32();
     draw.seconds = r.f64();
+    draw.schur_cache_hits = r.i64();
+    draw.schur_cache_misses = r.i64();
     report.draws.push_back(draw);
   }
   const std::uint32_t categories = r.u32();
@@ -346,6 +350,9 @@ void write_pool_stats(Writer& w, const PoolStats& s) {
   w.i64(s.prepares);
   w.i64(s.evictions);
   w.i64(s.draws);
+  w.i64(s.schur_cache_hits);
+  w.i64(s.schur_cache_misses);
+  w.i64(s.schur_cache_trims);
   w.u64(s.resident_bytes);
   w.u64(s.peak_resident_bytes);
   w.i32(s.resident_count);
@@ -360,6 +367,9 @@ PoolStats read_pool_stats(Reader& r) {
   s.prepares = r.i64();
   s.evictions = r.i64();
   s.draws = r.i64();
+  s.schur_cache_hits = r.i64();
+  s.schur_cache_misses = r.i64();
+  s.schur_cache_trims = r.i64();
   s.resident_bytes = static_cast<std::size_t>(r.u64());
   s.peak_resident_bytes = static_cast<std::size_t>(r.u64());
   s.resident_count = r.i32();

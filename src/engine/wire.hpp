@@ -34,7 +34,10 @@
 
 namespace cliquest::engine::wire {
 
-inline constexpr std::uint16_t kVersion = 1;
+/// v2: per-draw stats gained schur_cache_hits/misses and service_stats the
+/// Schur-cache counters (schur_cache_hits/misses/trims before
+/// resident_bytes).
+inline constexpr std::uint16_t kVersion = 2;
 
 using Bytes = std::vector<std::uint8_t>;
 

@@ -50,7 +50,8 @@ std::vector<double> Lu::solve(std::span<const double> b) const {
   for (int i = 0; i < n; ++i) {
     std::swap(x[static_cast<std::size_t>(i)],
               x[static_cast<std::size_t>(pivots_[static_cast<std::size_t>(i)])]);
-    for (int j = 0; j < i; ++j) x[static_cast<std::size_t>(i)] -= lu_(i, j) * x[static_cast<std::size_t>(j)];
+    for (int j = 0; j < i; ++j)
+      x[static_cast<std::size_t>(i)] -= lu_(i, j) * x[static_cast<std::size_t>(j)];
   }
   for (int i = n - 1; i >= 0; --i) {
     for (int j = i + 1; j < n; ++j)

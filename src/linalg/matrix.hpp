@@ -4,8 +4,15 @@
 //
 // The Congested Clique algorithms in the paper treat n x n transition
 // matrices as first-class objects distributed row-per-machine; this class is
-// the local stand-in. Multiplication is cache-blocked because the main
-// sampler performs O(sqrt(n) * log n) multiplications of size up to n.
+// the local stand-in. Multiplication is the paper's dominant local cost (the
+// main sampler performs O(sqrt(n) * log n) multiplications of size up to n),
+// so multiply() runs a register-tiled micro-kernel with a sparse-aware
+// fallback and fans output rows across linalg::ParallelConfig worker threads.
+// Every kernel accumulates each output element in the same ascending-k order,
+// so results are bit-identical across kernels and thread counts (sampling
+// replay built on the products is deterministic); only non-finite inputs can
+// tell the paths apart (the sparse path skips zero terms, so 0 * inf products
+// never form).
 
 #include <cstddef>
 #include <span>
@@ -33,6 +40,12 @@ class Matrix {
 
   /// Matrix product; requires cols() == rhs.rows().
   Matrix multiply(const Matrix& rhs) const;
+
+  /// this * this for square matrices: the power_table / repeated-squaring
+  /// fast path. Squaring reads one operand instead of two, so the working
+  /// set halves and tiles stay cache-resident longer; the result is
+  /// bit-identical to multiply(*this).
+  Matrix square() const;
 
   Matrix transpose() const;
 

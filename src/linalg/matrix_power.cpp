@@ -11,8 +11,16 @@ std::vector<Matrix> power_table(const Matrix& p, int levels) {
   std::vector<Matrix> table;
   table.reserve(static_cast<std::size_t>(levels) + 1);
   table.push_back(p);
-  for (int i = 0; i < levels; ++i) table.push_back(table.back().multiply(table.back()));
+  extend_power_table(table, levels);
   return table;
+}
+
+void extend_power_table(std::vector<Matrix>& table, int levels) {
+  if (table.empty()) throw std::invalid_argument("extend_power_table: empty table");
+  if (levels < 0)
+    throw std::invalid_argument("extend_power_table: negative level count");
+  table.reserve(static_cast<std::size_t>(levels) + 1);
+  while (static_cast<int>(table.size()) <= levels) table.push_back(table.back().square());
 }
 
 Matrix truncate_entries(const Matrix& m, int fractional_bits) {
@@ -31,19 +39,20 @@ Matrix rounded_power(const Matrix& p, long long k, int fractional_bits) {
     throw std::invalid_argument("rounded_power: k must be a positive power of two");
   Matrix m = truncate_entries(p, fractional_bits);
   for (long long step = 1; step < k; step *= 2)
-    m = truncate_entries(m.multiply(m), fractional_bits);
+    m = truncate_entries(m.square(), fractional_bits);
   return m;
 }
 
 Matrix matrix_power(const Matrix& p, long long k) {
-  if (p.rows() != p.cols()) throw std::invalid_argument("matrix_power: matrix not square");
+  if (p.rows() != p.cols())
+    throw std::invalid_argument("matrix_power: matrix not square");
   if (k < 0) throw std::invalid_argument("matrix_power: negative exponent");
   Matrix result = Matrix::identity(p.rows());
   Matrix base = p;
   while (k > 0) {
     if (k & 1) result = result.multiply(base);
     k >>= 1;
-    if (k > 0) base = base.multiply(base);
+    if (k > 0) base = base.square();
   }
   return result;
 }

@@ -18,6 +18,13 @@ namespace cliquest::linalg {
 /// Returns {P^(2^0), P^(2^1), ..., P^(2^levels)} (levels+1 matrices).
 std::vector<Matrix> power_table(const Matrix& p, int levels);
 
+/// Extends an existing power table in place until it covers `levels`
+/// (table.size() == levels + 1), squaring from the last entry. A no-op when
+/// the table already reaches that level. The Las Vegas walk extension doubles
+/// its target length mid-phase; extending costs one squaring per new level
+/// instead of rebuilding the whole table.
+void extend_power_table(std::vector<Matrix>& table, int levels);
+
 /// Truncates every entry of m down to `fractional_bits` binary digits.
 /// Truncation (not rounding-to-nearest) keeps the error one-sided, matching
 /// the paper's "subtractive error" convention in Section 2.4.

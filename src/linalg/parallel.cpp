@@ -1,0 +1,165 @@
+#include "linalg/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cliquest::linalg {
+namespace {
+
+int default_threads() {
+  const char* env = std::getenv("CLIQUEST_MATMUL_THREADS");
+  if (env != nullptr) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return std::min(parsed, 64);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 8u));
+}
+
+std::mutex config_mutex;
+ParallelConfig config_value;  // threads == 0 until first resolution
+
+/// One parallel region: a chunked row range plus the row callback. Workers
+/// and the submitting thread pop chunks off `next` until the range drains.
+struct Region {
+  std::int64_t count = 0;
+  std::int64_t chunk = 1;
+  std::atomic<std::int64_t> next{0};
+  const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+};
+
+/// Lazy process-wide pool serving one region at a time. Callers that find it
+/// busy run their loop inline (see parallel_for_rows), so a multiply issued
+/// from inside another multiply's worker — or from a concurrent batch-draw
+/// thread — never deadlocks or oversubscribes.
+class Pool {
+ public:
+  bool run(Region& region, int threads_wanted) {
+    std::unique_lock<std::mutex> submit(submit_mutex_, std::try_to_lock);
+    if (!submit.owns_lock()) return false;
+    ensure_workers(threads_wanted - 1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      region_ = &region;
+      ++generation_;
+    }
+    cv_.notify_all();
+    drain(region);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      done_cv_.wait(lock, [&] { return active_ == 0; });
+      region_ = nullptr;
+    }
+    return true;
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+ private:
+  void ensure_workers(int wanted) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (static_cast<int>(workers_.size()) < wanted)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  static void drain(Region& region) {
+    for (;;) {
+      const std::int64_t begin = region.next.fetch_add(region.chunk);
+      if (begin >= region.count) return;
+      (*region.fn)(begin, std::min(region.count, begin + region.chunk));
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      Region* region = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+        if (stopping_) return;
+        seen = generation_;
+        region = region_;
+        if (region == nullptr) continue;  // woke after the region retired
+        ++active_;
+      }
+      drain(*region);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--active_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex submit_mutex_;  // serializes regions; busy callers run inline
+  std::mutex mutex_;         // guards region_/generation_/active_/workers_
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Region* region_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+Pool& pool() {
+  static Pool instance;
+  return instance;
+}
+
+}  // namespace
+
+ParallelConfig matmul_parallel() {
+  std::lock_guard<std::mutex> lock(config_mutex);
+  if (config_value.threads == 0) config_value.threads = default_threads();
+  return config_value;
+}
+
+void set_matmul_parallel(const ParallelConfig& config) {
+  std::lock_guard<std::mutex> lock(config_mutex);
+  config_value = config;
+  if (config_value.threads == 0) config_value.threads = default_threads();
+}
+
+int matmul_threads() { return matmul_parallel().threads; }
+
+void parallel_for_rows(std::int64_t count, int max_threads, int align,
+                       const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (count <= 0) return;
+  align = std::max(1, align);
+  if (max_threads <= 1) {
+    fn(0, count);
+    return;
+  }
+  // An align-multiple chunk near count / (2 * threads): uneven tails still
+  // load-balance, and every boundary lands on an align multiple so kernels
+  // keep full register tiles inside one chunk.
+  std::int64_t chunk =
+      (count / (static_cast<std::int64_t>(max_threads) * 2) + align - 1) / align *
+      align;
+  chunk = std::max<std::int64_t>(chunk, align);
+  if (chunk >= count) {
+    fn(0, count);
+    return;
+  }
+  Region region;
+  region.count = count;
+  region.chunk = chunk;
+  region.fn = &fn;
+  if (!pool().run(region, max_threads)) fn(0, count);
+}
+
+}  // namespace cliquest::linalg

@@ -1,0 +1,48 @@
+#pragma once
+
+// Shared intra-matrix parallelism for the dense kernels.
+//
+// Matrix::multiply partitions its output rows across a process-wide worker
+// pool; ParallelConfig is the single knob that controls how wide. The
+// partitioning is by contiguous output-row ranges and every output element is
+// produced by exactly one worker with the same serial accumulation order, so
+// results are bit-identical for every thread count — sampling built on top of
+// the kernels is deterministic no matter how the pool is sized.
+//
+// The pool is lazy (no threads until the first large-enough multiply with
+// threads > 1), shared by every Matrix in the process, and safe to call from
+// concurrent batch-draw workers: when the pool is busy serving one multiply,
+// other callers fall back to running their loop inline instead of queueing,
+// which keeps nested parallelism deadlock-free and avoids oversubscription.
+
+#include <cstdint>
+#include <functional>
+
+namespace cliquest::linalg {
+
+struct ParallelConfig {
+  /// Worker threads for one multiply, including the calling thread.
+  /// 0 = auto: hardware_concurrency clamped to [1, 8].
+  int threads = 0;
+
+  /// Minimum scalar multiply-add count (rows * inner * cols) before a
+  /// multiply fans out; below it the parallel setup costs more than it saves.
+  std::int64_t min_ops = std::int64_t{1} << 22;
+};
+
+/// Process-wide kernel parallelism settings. The default honours the
+/// CLIQUEST_MATMUL_THREADS environment variable (read once, first use).
+ParallelConfig matmul_parallel();
+void set_matmul_parallel(const ParallelConfig& config);
+
+/// Resolved thread count for the current config (auto expanded).
+int matmul_threads();
+
+/// Runs fn(begin, end) over a partition of [0, count) into at most
+/// max_threads contiguous chunks, each a multiple of `align` except the last.
+/// Blocks until every chunk completed. With max_threads <= 1, count == 0, or
+/// a busy pool, the loop runs inline on the caller.
+void parallel_for_rows(std::int64_t count, int max_threads, int align,
+                       const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace cliquest::linalg

@@ -1,0 +1,103 @@
+#include "schur/schur_cache.hpp"
+
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace cliquest::schur {
+
+std::size_t PhaseDerivatives::memory_bytes() const {
+  std::size_t bytes = transition.memory_bytes() + shortcut.memory_bytes() +
+                      prepared.memory_bytes();
+  for (const linalg::Matrix& power : powers) bytes += power.memory_bytes();
+  return bytes;
+}
+
+SchurCache::SchurCache(std::size_t budget_bytes) : budget_bytes_(budget_bytes) {}
+
+std::uint64_t SchurCache::fingerprint(std::span<const int> active) {
+  // SplitMix64-chained digest of the vertex list, seeded with its length —
+  // the same shape of structural fingerprint the serving pool uses for
+  // graphs, specialized to an id sequence.
+  std::uint64_t digest =
+      util::splitmix64(0x5c42ac7e5e7ULL + static_cast<std::uint64_t>(active.size()));
+  for (int v : active)
+    digest = util::splitmix64(digest ^ (static_cast<std::uint64_t>(v) + 1));
+  return digest;
+}
+
+std::shared_ptr<const PhaseDerivatives> SchurCache::get_or_build(
+    std::span<const int> active, const std::function<PhaseDerivatives()>& build,
+    bool* hit) {
+  if (enabled()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(active);  // transparent: no key copy
+    if (it != entries_.end()) {
+      lru_.splice(lru_.end(), lru_, it->second.lru_it);  // hottest position
+      ++stats_.hits;
+      if (hit != nullptr) *hit = true;
+      return it->second.derivatives;
+    }
+    ++stats_.misses;
+  }
+  if (hit != nullptr) *hit = false;
+
+  // Build outside the mutex: concurrent draws on other keys (or even racing
+  // builders of this key) keep moving; results are identical either way.
+  auto derivatives = std::make_shared<const PhaseDerivatives>(build());
+  if (!enabled()) return derivatives;
+
+  const std::size_t bytes = derivatives->memory_bytes();
+  if (bytes > budget_bytes_) return derivatives;  // oversized: serve, never retain
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] =
+      entries_.emplace(std::vector<int>(active.begin(), active.end()), Entry{});
+  if (!inserted) {
+    // A racing builder landed first; its entry is identical — reuse it.
+    lru_.splice(lru_.end(), lru_, it->second.lru_it);
+    return it->second.derivatives;
+  }
+  it->second.derivatives = derivatives;
+  it->second.bytes = bytes;
+  it->second.lru_it = lru_.insert(lru_.end(), &it->first);
+  resident_bytes_ += bytes;
+  evict_to_budget_locked();
+  return derivatives;
+}
+
+void SchurCache::evict_to_budget_locked() {
+  while (resident_bytes_ > budget_bytes_ && !lru_.empty()) {
+    const std::vector<int>* coldest = lru_.front();
+    lru_.pop_front();
+    const auto it = entries_.find(*coldest);
+    resident_bytes_ -= it->second.bytes;
+    entries_.erase(it);  // in-flight phases hold their own shared_ptr
+    ++stats_.evictions;
+  }
+}
+
+std::size_t SchurCache::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t released = resident_bytes_;
+  entries_.clear();
+  lru_.clear();
+  resident_bytes_ = 0;
+  if (released > 0) ++stats_.trims;
+  return released;
+}
+
+std::size_t SchurCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
+}
+
+SchurCacheStats SchurCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SchurCacheStats snapshot = stats_;
+  snapshot.resident_bytes = resident_bytes_;
+  snapshot.entry_count = static_cast<int>(entries_.size());
+  return snapshot;
+}
+
+}  // namespace cliquest::schur

@@ -1,0 +1,127 @@
+#pragma once
+
+// Fingerprint-keyed cache of per-active-set derivative state (ROADMAP (c)).
+//
+// Every phase after the first derives the same three objects from its active
+// vertex set S: the Schur transition matrix of G onto S, the shortcut matrix
+// Q, and the power table of the Schur transition that the top-down filling
+// engine consumes. They depend only on (G, S) — so when active sets recur
+// across draws of one prepared sampler (structured graphs, small rho, end-
+// game phases with few unvisited vertices), every recurrence re-derives
+// identical matrices. SchurCache keeps them behind a byte-budgeted LRU keyed
+// by a fingerprint of the active set (a 64-bit digest, exactly how the
+// serving pool keys graphs — with the full vertex list stored alongside, so
+// digest collisions degrade to misses instead of wrong matrices).
+//
+// Entries are handed out as shared_ptr<const PhaseDerivatives>: eviction
+// never tears a phase that is still sampling from an entry, and concurrent
+// draws (sample_batch fan-out) share hot entries safely. Cached and uncached
+// phases sample bit-identical trees, because the cached matrices are the
+// deterministic product of the same construction the uncached path runs.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "walk/prepared.hpp"
+
+namespace cliquest::schur {
+
+/// The per-active-set state a phase would otherwise rebuild per draw.
+struct PhaseDerivatives {
+  linalg::Matrix transition;  // Schur(G, S) walk matrix, |S| x |S|
+  linalg::Matrix shortcut;    // shortcut matrix Q, n x n
+  /// Power table {A, A^2, ..., A^(2^k)} of `transition` as built for the
+  /// phase's target length; segments needing deeper levels (Las Vegas
+  /// extensions) extend a local copy instead.
+  std::vector<linalg::Matrix> powers;
+  /// Row CDFs / alias tables for endpoint sampling against `powers`.
+  walk::PreparedPowers prepared;
+
+  std::size_t memory_bytes() const;
+};
+
+/// Monotone counters plus a residency snapshot (taken under the cache mutex).
+struct SchurCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  std::int64_t trims = 0;  // whole-cache drops via trim()
+  std::size_t resident_bytes = 0;
+  int entry_count = 0;
+};
+
+class SchurCache {
+ public:
+  /// budget_bytes == 0 disables the cache: lookups miss, nothing is stored.
+  explicit SchurCache(std::size_t budget_bytes);
+
+  bool enabled() const { return budget_bytes_ > 0; }
+
+  /// The active-set fingerprint: a 64-bit digest of the vertex list (order-
+  /// sensitive; phases pass ascending ids).
+  static std::uint64_t fingerprint(std::span<const int> active);
+
+  /// Returns the cached derivatives for `active`, building them with
+  /// `build` on a miss (outside the cache mutex, so concurrent draws keep
+  /// moving; racing builders of one key both build, first insert wins, and
+  /// both results are identical). `hit`, when non-null, reports whether the
+  /// entry came from the cache. A disabled cache always builds and stores
+  /// nothing. Entries larger than the whole budget are returned un-retained.
+  std::shared_ptr<const PhaseDerivatives> get_or_build(
+      std::span<const int> active,
+      const std::function<PhaseDerivatives()>& build, bool* hit = nullptr);
+
+  /// Drops every entry (the serving pool's memory-pressure hook: transient
+  /// derivative caches evict before whole samplers do). Returns the bytes
+  /// released from residency.
+  std::size_t trim();
+
+  std::size_t resident_bytes() const;
+  SchurCacheStats stats() const;
+
+ private:
+  /// The full vertex list is the map key (the digest is only its hash), so a
+  /// digest collision can never return the wrong matrices. Hash and equality
+  /// are transparent over spans: the hit path probes with the caller's
+  /// active-set span directly, no key copy.
+  struct KeyHash {
+    using is_transparent = void;
+    std::size_t operator()(std::span<const int> key) const {
+      return static_cast<std::size_t>(fingerprint(key));
+    }
+  };
+
+  struct KeyEqual {
+    using is_transparent = void;
+    bool operator()(std::span<const int> a, std::span<const int> b) const {
+      return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+    }
+  };
+
+  struct Entry {
+    std::shared_ptr<const PhaseDerivatives> derivatives;
+    std::size_t bytes = 0;
+    std::list<const std::vector<int>*>::iterator lru_it;
+  };
+
+  void evict_to_budget_locked();
+
+  const std::size_t budget_bytes_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::vector<int>, Entry, KeyHash, KeyEqual> entries_;
+  /// Eviction order, coldest first; points at the node-stable map keys.
+  std::list<const std::vector<int>*> lru_;
+  std::size_t resident_bytes_ = 0;
+  SchurCacheStats stats_;
+};
+
+}  // namespace cliquest::schur

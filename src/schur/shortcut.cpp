@@ -1,5 +1,7 @@
 #include "schur/shortcut.hpp"
 
+#include <algorithm>
+#include <span>
 #include <stdexcept>
 
 #include "linalg/decompose.hpp"
@@ -60,16 +62,24 @@ linalg::Matrix shortcut_transition(const graph::Graph& g, const std::vector<int>
   }
   const linalg::Matrix fundamental = linalg::Lu(i_minus_t).inverse();
 
+  // reach[u, y] = sum_a P[u, a] N[a, y] over a outside S, streamed row-wise:
+  // the a-loop is outermost so N's rows are read contiguously (P[u, a] is
+  // adjacency-sparse, so most a iterations skip). The per-(u, y) accumulation
+  // order over a is unchanged, so the result is bit-identical to the naive
+  // y-inner form this replaced — sampling through Q replays exactly.
+  std::vector<double> reach(static_cast<std::size_t>(t_dim));
   for (int u = 0; u < n; ++u) {
-    for (int y = 0; y < t_dim; ++y) {
-      double reach = 0.0;  // sum_a P[u, a] N[a, y] over a outside S
-      for (int a = 0; a < t_dim; ++a) {
-        const double step = p(u, outside[static_cast<std::size_t>(a)]);
-        if (step != 0.0) reach += step * fundamental(a, y);
-      }
-      q(u, outside[static_cast<std::size_t>(y)]) +=
-          reach * absorb[static_cast<std::size_t>(y)];
+    std::fill(reach.begin(), reach.end(), 0.0);
+    for (int a = 0; a < t_dim; ++a) {
+      const double step = p(u, outside[static_cast<std::size_t>(a)]);
+      if (step == 0.0) continue;
+      const std::span<const double> row = fundamental.row(a);
+      for (int y = 0; y < t_dim; ++y)
+        reach[static_cast<std::size_t>(y)] += step * row[static_cast<std::size_t>(y)];
     }
+    for (int y = 0; y < t_dim; ++y)
+      q(u, outside[static_cast<std::size_t>(y)]) +=
+          reach[static_cast<std::size_t>(y)] * absorb[static_cast<std::size_t>(y)];
   }
   return q;
 }

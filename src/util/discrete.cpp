@@ -1,6 +1,6 @@
 #include "util/discrete.hpp"
 
-#include <numeric>
+#include <algorithm>
 #include <stdexcept>
 
 namespace cliquest::util {
@@ -25,7 +25,79 @@ int sample_unnormalized(std::span<const double> weights, Rng& rng) {
   return last_positive;
 }
 
-AliasTable::AliasTable(std::span<const double> weights) {
+int build_prefix_cdf_into(std::span<const double> weights, std::span<double> cdf) {
+  if (weights.size() != cdf.size())
+    throw std::invalid_argument("build_prefix_cdf_into: size mismatch");
+  double acc = 0.0;
+  int last_positive = -1;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i];
+    if (w < 0.0) throw std::invalid_argument("build_prefix_cdf: negative weight");
+    if (w > 0.0) {
+      // Adding a zero weight never changes a finite IEEE accumulator, so
+      // summing only the positive entries reproduces sample_unnormalized's
+      // running sum (which skips them) *and* its total (which does not),
+      // bit for bit.
+      acc += w;
+      last_positive = static_cast<int>(i);
+    }
+    cdf[i] = acc;
+  }
+  return last_positive;
+}
+
+int build_prefix_cdf(std::span<const double> weights, std::vector<double>& cdf) {
+  cdf.resize(weights.size());
+  return build_prefix_cdf_into(weights, cdf);
+}
+
+int sample_prefix_cdf(std::span<const double> cdf, int last_positive, Rng& rng) {
+  if (cdf.empty() || last_positive < 0)
+    throw std::invalid_argument("sample_prefix_cdf: zero total weight");
+  const double total = cdf.back();
+  if (total <= 0.0) throw std::invalid_argument("sample_prefix_cdf: zero total weight");
+  const double target = rng.next_double() * total;
+  // First index with cdf[i] > target. A zero-weight index i repeats
+  // cdf[i - 1], so it can never be the *first* index strictly above target —
+  // the search lands on the same positive-weight index the linear scan
+  // returns. Past-the-end (floating-point slack) falls back exactly like the
+  // scan: to the last positive index.
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), target);
+  if (it == cdf.end()) return last_positive;
+  return static_cast<int>(it - cdf.begin());
+}
+
+CdfTable::CdfTable(std::span<const double> weights, int rows, int cols)
+    : rows_(rows), cols_(cols) {
+  if (rows < 0 || cols < 0) throw std::invalid_argument("CdfTable: negative shape");
+  if (weights.size() != static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols))
+    throw std::invalid_argument("CdfTable: weight count does not match shape");
+  cdf_.resize(weights.size());
+  last_positive_.assign(static_cast<std::size_t>(rows), -1);
+  const std::size_t width = static_cast<std::size_t>(cols);
+  for (int r = 0; r < rows; ++r) {
+    const std::size_t base = static_cast<std::size_t>(r) * width;
+    last_positive_[static_cast<std::size_t>(r)] = build_prefix_cdf_into(
+        weights.subspan(base, width), std::span<double>(cdf_).subspan(base, width));
+  }
+}
+
+std::span<const double> CdfTable::row_cdf(int r) const {
+  if (r < 0 || r >= rows_) throw std::out_of_range("CdfTable: bad row");
+  return std::span<const double>(
+      cdf_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_),
+      static_cast<std::size_t>(cols_));
+}
+
+int CdfTable::sample_row(int r, Rng& rng) const {
+  if (r < 0 || r >= rows_) throw std::out_of_range("CdfTable: bad row");
+  return sample_prefix_cdf(row_cdf(r), last_positive_[static_cast<std::size_t>(r)],
+                           rng);
+}
+
+AliasTable::AliasTable(std::span<const double> weights) { rebuild(weights); }
+
+void AliasTable::rebuild(std::span<const double> weights) {
   const int n = static_cast<int>(weights.size());
   if (n == 0) throw std::invalid_argument("AliasTable: empty weights");
   double total = 0.0;
@@ -35,42 +107,55 @@ AliasTable::AliasTable(std::span<const double> weights) {
   }
   if (total <= 0.0) throw std::invalid_argument("AliasTable: zero total weight");
 
-  prob_.assign(n, 0.0);
-  alias_.assign(n, 0);
-  std::vector<double> scaled(n);
-  for (int i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+  prob_.assign(static_cast<std::size_t>(n), 0.0);
+  alias_.assign(static_cast<std::size_t>(n), 0);
+  scaled_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    scaled_[static_cast<std::size_t>(i)] = weights[static_cast<std::size_t>(i)] * n / total;
 
-  std::vector<int> small, large;
-  small.reserve(n);
-  large.reserve(n);
-  for (int i = 0; i < n; ++i) (scaled[i] < 1.0 ? small : large).push_back(i);
+  small_.clear();
+  large_.clear();
+  small_.reserve(static_cast<std::size_t>(n));
+  large_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    (scaled_[static_cast<std::size_t>(i)] < 1.0 ? small_ : large_).push_back(i);
 
-  while (!small.empty() && !large.empty()) {
-    const int s = small.back();
-    small.pop_back();
-    const int l = large.back();
-    prob_[s] = scaled[s];
-    alias_[s] = l;
-    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
-    if (scaled[l] < 1.0) {
-      large.pop_back();
-      small.push_back(l);
+  while (!small_.empty() && !large_.empty()) {
+    const int s = small_.back();
+    small_.pop_back();
+    const int l = large_.back();
+    prob_[static_cast<std::size_t>(s)] = scaled_[static_cast<std::size_t>(s)];
+    alias_[static_cast<std::size_t>(s)] = l;
+    scaled_[static_cast<std::size_t>(l)] =
+        (scaled_[static_cast<std::size_t>(l)] + scaled_[static_cast<std::size_t>(s)]) -
+        1.0;
+    if (scaled_[static_cast<std::size_t>(l)] < 1.0) {
+      large_.pop_back();
+      small_.push_back(l);
     }
   }
-  for (int l : large) {
-    prob_[l] = 1.0;
-    alias_[l] = l;
+  for (int l : large_) {
+    prob_[static_cast<std::size_t>(l)] = 1.0;
+    alias_[static_cast<std::size_t>(l)] = l;
   }
-  for (int s : small) {  // only reachable through rounding slack
-    prob_[s] = 1.0;
-    alias_[s] = s;
+  for (int s : small_) {  // only reachable through rounding slack
+    prob_[static_cast<std::size_t>(s)] = 1.0;
+    alias_[static_cast<std::size_t>(s)] = s;
   }
+}
+
+void AliasTable::release_workspace() {
+  scaled_ = {};
+  small_ = {};
+  large_ = {};
 }
 
 int AliasTable::sample(Rng& rng) const {
   const int n = static_cast<int>(prob_.size());
   const int column = static_cast<int>(rng.uniform_below(static_cast<std::uint64_t>(n)));
-  return rng.next_double() < prob_[column] ? column : alias_[column];
+  return rng.next_double() < prob_[static_cast<std::size_t>(column)]
+             ? column
+             : alias_[static_cast<std::size_t>(column)];
 }
 
 }  // namespace cliquest::util

@@ -2,11 +2,15 @@
 
 // Sampling from finite discrete distributions.
 //
-// Two tools: a one-shot linear/binary-search sampler over unnormalized
-// weights, and an alias table for repeated draws from the same distribution
-// (used by midpoint-generation machines that must emit c_{p,q} i.i.d.
-// midpoints from one distribution; see paper Algorithm 2, step 5).
+// Four tools: a one-shot linear sampler over unnormalized weights, a
+// binary-search sampler over prefix-sum CDFs (replay-identical to the linear
+// sampler, O(log n) per draw once the CDF exists), a row-major table of
+// per-row CDFs for matrices whose rows are sampled repeatedly, and an alias
+// table for repeated draws from one distribution (used by
+// midpoint-generation machines that must emit c_{p,q} i.i.d. midpoints from
+// one distribution; see paper Algorithm 2, step 5).
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
@@ -19,23 +23,99 @@ namespace cliquest::util {
 /// Weights must be nonnegative with a strictly positive sum. O(n) per draw.
 int sample_unnormalized(std::span<const double> weights, Rng& rng);
 
+/// Builds the sequential prefix-sum CDF of `weights` into `cdf`
+/// (cdf[i] = weights[0] + ... + weights[i], accumulated left to right, so
+/// cdf.back() is bit-identical to the total sample_unnormalized computes).
+/// Returns the last index with a strictly positive weight, or -1 when every
+/// weight is zero. Throws on negative weights. Reuses cdf's capacity.
+int build_prefix_cdf(std::span<const double> weights, std::vector<double>& cdf);
+
+/// Span form of build_prefix_cdf: writes into caller storage of equal size.
+/// The single implementation of the accumulate-skipping-zero rule every CDF
+/// consumer (and the replay guarantee) depends on.
+int build_prefix_cdf_into(std::span<const double> weights, std::span<double> cdf);
+
+/// Samples from a prefix-sum CDF built by build_prefix_cdf: draw-for-draw
+/// identical to sample_unnormalized on the originating weights (same single
+/// next_double consumed, same index returned, including the floating-point
+/// slack fallback to the last positive index), in O(log n) by binary search.
+int sample_prefix_cdf(std::span<const double> cdf, int last_positive, Rng& rng);
+
+/// Per-row prefix-sum CDFs of a row-major weight table, for matrices whose
+/// rows are sampled many times (e.g. the top entry of a walk power table:
+/// every segment endpoint is drawn from one row of it). sample_row(r, rng)
+/// replays sample_unnormalized(row r) draw-for-draw at O(log n) cost.
+class CdfTable {
+ public:
+  CdfTable() = default;
+
+  /// Builds the table from `rows` rows of `cols` weights each, row-major.
+  CdfTable(std::span<const double> weights, int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// Replay-identical to sample_unnormalized(row r). Throws on a zero row.
+  int sample_row(int r, Rng& rng) const;
+
+  std::span<const double> row_cdf(int r) const;
+
+  std::size_t memory_bytes() const {
+    return cdf_.size() * sizeof(double) + last_positive_.size() * sizeof(int);
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> cdf_;         // rows_ x cols_ prefix sums
+  std::vector<int> last_positive_;  // per-row slack fallback index
+};
+
 /// Walker's alias method: O(n) construction, O(1) per draw.
 ///
 /// Suited to the midpoint machines, which sample up to ~Theta(n^3) i.i.d.
-/// values from a single unnormalized distribution per level.
+/// values from a single unnormalized distribution per level. rebuild()
+/// re-targets an existing table without releasing its buffers, so per-level
+/// machine loops construct tables with zero heap allocations at steady state.
 class AliasTable {
  public:
+  /// Empty table; rebuild() before sampling.
+  AliasTable() = default;
+
   /// Builds the table. Weights must be nonnegative with a positive sum.
   explicit AliasTable(std::span<const double> weights);
+
+  /// Rebuilds in place over new weights (same constraints as the
+  /// constructor), reusing the internal buffers.
+  void rebuild(std::span<const double> weights);
 
   /// Draws an index with probability proportional to its weight.
   int sample(Rng& rng) const;
 
   int size() const { return static_cast<int>(prob_.size()); }
 
+  /// Frees the rebuild workspace. Call on tables built once and sampled
+  /// forever (e.g. the per-row tables of walk::PreparedPowers); a later
+  /// rebuild() simply re-allocates it.
+  void release_workspace();
+
+  /// All heap bytes held, workspace included — the value byte-budgeted
+  /// owners (the sampler pool, the Schur cache) must charge.
+  std::size_t memory_bytes() const {
+    return prob_.capacity() * sizeof(double) + alias_.capacity() * sizeof(int) +
+           scaled_.capacity() * sizeof(double) +
+           (small_.capacity() + large_.capacity()) * sizeof(int);
+  }
+
  private:
   std::vector<double> prob_;
   std::vector<int> alias_;
+  // rebuild() workspace, retained across calls to keep rebuilds
+  // allocation-free at steady state.
+  std::vector<double> scaled_;
+  std::vector<int> small_;
+  std::vector<int> large_;
 };
 
 }  // namespace cliquest::util

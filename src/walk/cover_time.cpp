@@ -21,7 +21,9 @@ std::vector<double> hitting_into(const linalg::Matrix& p, int target) {
   linalg::Matrix system(n - 1, n - 1, 0.0);
   for (int i = 0; i < n - 1; ++i) {
     system(i, i) = 1.0;
-    for (int j = 0; j < n - 1; ++j) system(i, j) -= p(keep[static_cast<std::size_t>(i)], keep[static_cast<std::size_t>(j)]);
+    for (int j = 0; j < n - 1; ++j)
+      system(i, j) -=
+          p(keep[static_cast<std::size_t>(i)], keep[static_cast<std::size_t>(j)]);
   }
   const std::vector<double> ones(static_cast<std::size_t>(n) - 1, 1.0);
   const linalg::Lu lu(system);

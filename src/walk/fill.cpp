@@ -1,7 +1,7 @@
 #include "walk/fill.hpp"
 
+#include <algorithm>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "util/discrete.hpp"
 
@@ -19,28 +19,54 @@ void check_powers(const std::vector<linalg::Matrix>& powers) {
     throw std::invalid_argument("fill: walk length too large for dense filling");
 }
 
-int sample_end(const linalg::Matrix& full_power, int start, util::Rng& rng) {
-  return util::sample_unnormalized(full_power.row(start), rng);
+/// End vertex from P^l[start, *]: the prepared per-row CDF when it covers the
+/// table's top level, the linear scan otherwise — identical draws either way.
+int sample_end(const std::vector<linalg::Matrix>& powers, int start, util::Rng& rng,
+               const PreparedPowers* prepared) {
+  const int levels = static_cast<int>(powers.size()) - 1;
+  if (prepared != nullptr && prepared->levels() == levels)
+    return prepared->sample_end(start, rng);
+  return util::sample_unnormalized(powers[static_cast<std::size_t>(levels)].row(start),
+                                   rng);
 }
 
 }  // namespace
 
-int sample_midpoint(const linalg::Matrix& half_power, int p, int q, util::Rng& rng) {
+int sample_midpoint(const linalg::Matrix& half_power, int p, int q, util::Rng& rng,
+                    FillScratch& scratch) {
   const int n = half_power.rows();
-  std::vector<double> weights(static_cast<std::size_t>(n));
-  for (int m = 0; m < n; ++m)
-    weights[static_cast<std::size_t>(m)] = half_power(p, m) * half_power(m, q);
-  return util::sample_unnormalized(weights, rng);
+  // One fused pass builds the product distribution directly as its prefix-sum
+  // CDF (the running sum sample_unnormalized would recompute), then a binary
+  // search replays the linear scan's draw exactly (see sample_prefix_cdf).
+  scratch.cdf.resize(static_cast<std::size_t>(n));
+  double acc = 0.0;
+  int last_positive = -1;
+  for (int m = 0; m < n; ++m) {
+    const double w = half_power(p, m) * half_power(m, q);
+    if (w < 0.0) throw std::invalid_argument("sample_midpoint: negative weight");
+    if (w > 0.0) {
+      acc += w;
+      last_positive = m;
+    }
+    scratch.cdf[static_cast<std::size_t>(m)] = acc;
+  }
+  return util::sample_prefix_cdf(scratch.cdf, last_positive, rng);
+}
+
+int sample_midpoint(const linalg::Matrix& half_power, int p, int q, util::Rng& rng) {
+  FillScratch scratch;
+  return sample_midpoint(half_power, p, q, rng, scratch);
 }
 
 std::vector<int> fill_walk(const std::vector<linalg::Matrix>& powers, int start,
-                           util::Rng& rng) {
+                           util::Rng& rng, const PreparedPowers* prepared,
+                           FillScratch& scratch) {
   check_powers(powers);
   const int levels = static_cast<int>(powers.size()) - 1;
   const std::int64_t length = std::int64_t{1} << levels;
   std::vector<int> walk(static_cast<std::size_t>(length) + 1, -1);
   walk.front() = start;
-  walk.back() = sample_end(powers[static_cast<std::size_t>(levels)], start, rng);
+  walk.back() = sample_end(powers, start, rng, prepared);
 
   for (int level = 1; level <= levels; ++level) {
     const std::int64_t gap = length >> (level - 1);
@@ -48,53 +74,71 @@ std::vector<int> fill_walk(const std::vector<linalg::Matrix>& powers, int start,
     for (std::int64_t pos = 0; pos + gap <= length; pos += gap) {
       const int p = walk[static_cast<std::size_t>(pos)];
       const int q = walk[static_cast<std::size_t>(pos + gap)];
-      walk[static_cast<std::size_t>(pos + gap / 2)] = sample_midpoint(half, p, q, rng);
+      walk[static_cast<std::size_t>(pos + gap / 2)] =
+          sample_midpoint(half, p, q, rng, scratch);
     }
   }
   return walk;
 }
 
+std::vector<int> fill_walk(const std::vector<linalg::Matrix>& powers, int start,
+                           util::Rng& rng) {
+  FillScratch scratch;
+  return fill_walk(powers, start, rng, nullptr, scratch);
+}
+
 std::vector<int> fill_walk_truncated(const std::vector<linalg::Matrix>& powers,
-                                     int start, int rho, util::Rng& rng) {
+                                     int start, int rho, util::Rng& rng,
+                                     const PreparedPowers* prepared,
+                                     FillScratch& scratch) {
   check_powers(powers);
   if (rho < 1) throw std::invalid_argument("fill_walk_truncated: rho must be >= 1");
+  const int n = powers[0].rows();
   const int levels = static_cast<int>(powers.size()) - 1;
   const std::int64_t full_length = std::int64_t{1} << levels;
 
   std::vector<int> walk(static_cast<std::size_t>(full_length) + 1, -1);
   walk.front() = start;
   std::int64_t target = full_length;  // current target length l_i
-  walk[static_cast<std::size_t>(target)] =
-      sample_end(powers[static_cast<std::size_t>(levels)], start, rng);
+  walk[static_cast<std::size_t>(target)] = sample_end(powers, start, rng, prepared);
 
-  // Occurrence counts over the filled prefix [0, target].
-  std::unordered_map<int, std::int64_t> counts;
+  // Occurrence counts over the filled prefix [0, target], kept in the scratch
+  // arena (a dense per-vertex array instead of a rebuilt hash map).
+  std::int64_t distinct = 0;
+  scratch.counts.assign(static_cast<std::size_t>(n), 0);
+  auto add_count = [&](int v) {
+    if (scratch.counts[static_cast<std::size_t>(v)]++ == 0) ++distinct;
+  };
   auto rebuild_counts = [&]() {
-    counts.clear();
+    std::fill(scratch.counts.begin(), scratch.counts.end(), 0);
+    distinct = 0;
     for (std::int64_t i = 0; i <= target; ++i)
-      if (walk[static_cast<std::size_t>(i)] >= 0) ++counts[walk[static_cast<std::size_t>(i)]];
+      if (walk[static_cast<std::size_t>(i)] >= 0)
+        add_count(walk[static_cast<std::size_t>(i)]);
   };
   rebuild_counts();
 
   // Truncates at the first occurrence of the rho-th distinct vertex, if the
   // prefix holds >= rho distinct vertices (paper §2.1.2 truncation rule).
   auto truncate_if_needed = [&]() {
-    if (static_cast<int>(counts.size()) < rho) return;
-    std::unordered_map<int, char> seen;
+    if (distinct < rho) return;
+    scratch.seen.assign(static_cast<std::size_t>(n), 0);
     std::int64_t cut = target;
+    std::int64_t seen_count = 0;
     for (std::int64_t i = 0; i <= target; ++i) {
       const int v = walk[static_cast<std::size_t>(i)];
       if (v < 0) continue;
-      if (!seen.count(v)) {
-        seen.emplace(v, 1);
-        if (static_cast<int>(seen.size()) == rho) {
+      if (!scratch.seen[static_cast<std::size_t>(v)]) {
+        scratch.seen[static_cast<std::size_t>(v)] = 1;
+        if (++seen_count == rho) {
           cut = i;
           break;
         }
       }
     }
     if (cut == target) return;
-    for (std::int64_t i = cut + 1; i <= target; ++i) walk[static_cast<std::size_t>(i)] = -1;
+    for (std::int64_t i = cut + 1; i <= target; ++i)
+      walk[static_cast<std::size_t>(i)] = -1;
     target = cut;
     rebuild_counts();
   };
@@ -109,9 +153,9 @@ std::vector<int> fill_walk_truncated(const std::vector<linalg::Matrix>& powers,
     for (std::int64_t pos = 0; pos + gap <= target; pos += gap) {
       const int p = walk[static_cast<std::size_t>(pos)];
       const int q = walk[static_cast<std::size_t>(pos + gap)];
-      const int m = sample_midpoint(half, p, q, rng);
+      const int m = sample_midpoint(half, p, q, rng, scratch);
       walk[static_cast<std::size_t>(pos + gap / 2)] = m;
-      ++counts[m];
+      add_count(m);
       truncate_if_needed();
     }
   }
@@ -126,6 +170,12 @@ std::vector<int> fill_walk_truncated(const std::vector<linalg::Matrix>& powers,
     out.push_back(walk[static_cast<std::size_t>(i)]);
   }
   return out;
+}
+
+std::vector<int> fill_walk_truncated(const std::vector<linalg::Matrix>& powers,
+                                     int start, int rho, util::Rng& rng) {
+  FillScratch scratch;
+  return fill_walk_truncated(powers, start, rho, rng, nullptr, scratch);
 }
 
 }  // namespace cliquest::walk

@@ -12,26 +12,56 @@
 // walk at time tau = min(l, first visit to the rho-th distinct vertex).
 //
 // The distributed phase engine (src/core) is tested against these.
+//
+// Hot-path form: every midpoint draw builds its product distribution as a
+// prefix-sum CDF inside a caller-owned FillScratch (zero heap allocations at
+// steady state) and samples it by binary search — draw-for-draw identical to
+// the historical build-a-weights-vector + linear-scan path. End vertices can
+// additionally come from a walk::PreparedPowers cache (per-row CDFs of the
+// top power, built once per prepared sampler).
 
 #include <cstdint>
 #include <vector>
 
 #include "linalg/matrix.hpp"
 #include "util/rng.hpp"
+#include "walk/prepared.hpp"
 
 namespace cliquest::walk {
 
 /// Maximum supported walk length for the dense sequential representation.
 inline constexpr std::int64_t kMaxSequentialFillLength = std::int64_t{1} << 22;
 
+/// Reusable per-draw scratch arena for the filling hot path: the midpoint
+/// product CDF plus the occurrence bookkeeping of the truncated variant.
+/// Reuse one instance across draws to keep the inner loops allocation-free.
+struct FillScratch {
+  std::vector<double> cdf;
+  std::vector<std::int64_t> counts;  // per-vertex occurrence counts
+  std::vector<char> seen;            // distinct-vertex scan marks
+};
+
 /// Samples one midpoint m for pair (p, q) at gap `gap` (a power of two >= 2)
 /// using `half_power` = P^{gap/2}. Exposed for reuse and direct testing.
 int sample_midpoint(const linalg::Matrix& half_power, int p, int q, util::Rng& rng);
+
+/// Scratch-arena overload: identical draws (same Rng consumption, same
+/// results), no per-call allocation once scratch.cdf has capacity.
+int sample_midpoint(const linalg::Matrix& half_power, int p, int q, util::Rng& rng,
+                    FillScratch& scratch);
 
 /// Outline 1: exact l-length random walk, l = 2^(powers.size()-1), where
 /// powers[k] = P^(2^k). Returns l+1 vertices.
 std::vector<int> fill_walk(const std::vector<linalg::Matrix>& powers, int start,
                            util::Rng& rng);
+
+/// Cached form: end vertex from `prepared` (when it matches the table's top
+/// level) and midpoints through `scratch`. Walks are identical to the plain
+/// overload draw-for-draw; only allocation and scan costs change. `prepared`
+/// may be null (scratch-only operation).
+std::vector<int> fill_walk(const std::vector<linalg::Matrix>& powers, int start,
+                           util::Rng& rng, const PreparedPowers* prepared,
+                           FillScratch& scratch);
 
 /// §2.1.2: truncated filling. Fills midpoints in chronological order and
 /// truncates whenever the partial walk holds >= rho distinct vertices, ending
@@ -39,5 +69,11 @@ std::vector<int> fill_walk(const std::vector<linalg::Matrix>& powers, int start,
 /// the truncated walk (which ends at stopping time tau <= l).
 std::vector<int> fill_walk_truncated(const std::vector<linalg::Matrix>& powers,
                                      int start, int rho, util::Rng& rng);
+
+/// Cached form of fill_walk_truncated; same walks draw-for-draw.
+std::vector<int> fill_walk_truncated(const std::vector<linalg::Matrix>& powers,
+                                     int start, int rho, util::Rng& rng,
+                                     const PreparedPowers* prepared,
+                                     FillScratch& scratch);
 
 }  // namespace cliquest::walk

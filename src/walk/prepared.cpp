@@ -1,0 +1,44 @@
+#include "walk/prepared.hpp"
+
+#include <stdexcept>
+
+namespace cliquest::walk {
+
+PreparedPowers::PreparedPowers(const linalg::Matrix& top, int levels,
+                               bool with_alias)
+    : levels_(levels),
+      cdfs_(top.data(), top.rows(), top.cols()) {
+  if (top.rows() != top.cols())
+    throw std::invalid_argument("PreparedPowers: top power not square");
+  if (levels < 0) throw std::invalid_argument("PreparedPowers: negative level");
+  if (!with_alias) return;
+  alias_.reserve(static_cast<std::size_t>(top.rows()));
+  for (int r = 0; r < top.rows(); ++r) {
+    alias_.emplace_back(top.row(r));
+    // Built once, sampled forever: drop the rebuild workspace so the bytes
+    // memory_bytes() charges are bytes actually serving draws.
+    alias_.back().release_workspace();
+  }
+}
+
+int PreparedPowers::sample_end(int start, util::Rng& rng) const {
+  if (empty()) throw std::logic_error("PreparedPowers::sample_end: empty cache");
+  return cdfs_.sample_row(start, rng);
+}
+
+int PreparedPowers::sample_end_alias(int start, util::Rng& rng) const {
+  if (empty() || !has_alias())
+    throw std::logic_error(
+        "PreparedPowers::sample_end_alias: no alias tables in this cache");
+  if (start < 0 || start >= static_cast<int>(alias_.size()))
+    throw std::out_of_range("PreparedPowers::sample_end_alias: bad start");
+  return alias_[static_cast<std::size_t>(start)].sample(rng);
+}
+
+std::size_t PreparedPowers::memory_bytes() const {
+  std::size_t bytes = cdfs_.memory_bytes();
+  for (const util::AliasTable& table : alias_) bytes += table.memory_bytes();
+  return bytes;
+}
+
+}  // namespace cliquest::walk

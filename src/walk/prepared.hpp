@@ -1,0 +1,74 @@
+#pragma once
+
+// Per-prepared-sampler sampling caches for the top-down filling engine.
+//
+// The filling algorithms consult a power table {A, A^2, ..., A^l} two ways:
+// the *top* power is sampled row-wise (every segment endpoint is drawn from
+// A^l[s, *]), and the lower powers are only read through midpoint products
+// A^{d/2}[p, m] * A^{d/2}[m, q], whose distribution depends on the (p, q)
+// pair and therefore cannot be tabulated ahead of time (that is what
+// FillScratch in walk/fill.hpp is for).
+//
+// PreparedPowers precomputes, once per prepared sampler:
+//   * per-row prefix-sum CDFs of the top power — sample_end() then replays
+//     util::sample_unnormalized(top.row(s)) draw-for-draw in O(log n);
+//   * per-row alias tables of the same rows — sample_end_alias() draws in
+//     O(1) from the identical distribution for throughput-oriented callers
+//     that do not need draw-for-draw replay against the linear-scan path
+//     (the alias method consumes the Rng differently).
+//
+// Both caches are charged through memory_bytes(), which the engine layer
+// folds into SpanningTreeSampler::memory_bytes() so the pool's LRU byte
+// accounting covers them.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "util/discrete.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::walk {
+
+class PreparedPowers {
+ public:
+  /// Empty cache: levels() < 0, sample_end unusable.
+  PreparedPowers() = default;
+
+  /// Builds the row CDFs — and, with `with_alias`, the alias tables — of
+  /// `top`, which callers pass as powers[levels] of their table (levels
+  /// recorded for cache-fit checks). Pass with_alias = false where nothing
+  /// will call sample_end_alias (e.g. the per-active-set Schur cache, whose
+  /// entries would otherwise each replicate ~1.5x the CDF bytes for a draw
+  /// path the phase engine never takes).
+  explicit PreparedPowers(const linalg::Matrix& top, int levels,
+                          bool with_alias = true);
+
+  bool empty() const { return levels_ < 0; }
+
+  /// Level index this cache's top power sits at (powers.size() - 1 of the
+  /// originating table); -1 when empty.
+  int levels() const { return levels_; }
+
+  int size() const { return cdfs_.rows(); }
+
+  /// Draw-for-draw identical to util::sample_unnormalized(top.row(start)).
+  int sample_end(int start, util::Rng& rng) const;
+
+  /// O(1) alias draw from the same row distribution; consumes the Rng
+  /// differently from sample_end, so use only where replay equality with the
+  /// linear-scan path is not required. Throws std::logic_error when the
+  /// cache was built with with_alias = false.
+  int sample_end_alias(int start, util::Rng& rng) const;
+
+  bool has_alias() const { return !alias_.empty(); }
+
+  std::size_t memory_bytes() const;
+
+ private:
+  int levels_ = -1;
+  util::CdfTable cdfs_;
+  std::vector<util::AliasTable> alias_;
+};
+
+}  // namespace cliquest::walk

@@ -1,0 +1,571 @@
+// Hot-path overhaul regression suite.
+//
+// Three contracts, in order of importance:
+//   1. Golden replay — the kernel/CDF/cache rewrite must not move a single
+//      sampled tree: per-(seed, draw-index) trees are pinned against hashes
+//      captured from the pre-overhaul implementation, across every sampling
+//      mode and matching strategy (and the reference fill algorithms pin
+//      their raw walks the same way).
+//   2. Bit-level kernel equivalence — multiply()'s register-tiled, sparse,
+//      and threaded paths all reproduce the naive ascending-k product
+//      exactly; the scratch/CDF sampling overloads reproduce the historical
+//      allocate-and-scan draws Rng-step for Rng-step.
+//   3. Schur cache semantics — hit/miss accounting, byte-budget eviction,
+//      cached-vs-uncached replay equality, and the pool-level rule that
+//      transient caches are trimmed before whole samplers are evicted.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/phase.hpp"
+#include "core/tree_sampler.hpp"
+#include "engine/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning.hpp"
+#include "linalg/matrix_power.hpp"
+#include "linalg/parallel.hpp"
+#include "util/discrete.hpp"
+#include "walk/fill.hpp"
+#include "walk/prepared.hpp"
+#include "walk/transition.hpp"
+
+namespace cliquest {
+namespace {
+
+// ------------------------------------------------------------ golden replay
+
+/// FNV-1a over the canonical tree key: portable across standard libraries.
+std::uint64_t key_hash(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t walk_hash(const std::vector<int>& walk) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (int v : walk) {
+    h ^= static_cast<std::uint64_t>(v) + 0x9e3779b97f4a7c15ull;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct GoldenConfig {
+  const char* name;
+  std::uint64_t tree_hashes[6];  // sample_indexed(0..5)
+};
+
+/// Captured from the pre-overhaul implementation (PR 3 head) on the same
+/// graphs and seeds this test reconstructs. Any diff means the optimized
+/// path changed a sampled tree.
+constexpr GoldenConfig kGolden[] = {
+    {"gnp24_approx",
+     {4087271194375818982ull, 18248114055268407834ull, 2702845161771151368ull,
+      1421005271505814545ull, 16646857862543316091ull, 11888040385670030262ull}},
+    {"gnp18_exact",
+     {5129507716301296467ull, 13649576530795416917ull, 6490541104758420153ull,
+      2979233131365058100ull, 11880506322727379586ull, 6963747725777116998ull}},
+    {"path16_rho2",
+     {8778984271032054715ull, 8778984271032054715ull, 8778984271032054715ull,
+      8778984271032054715ull, 8778984271032054715ull, 8778984271032054715ull}},
+    {"cycle20_shuffle",
+     {8490282431853033850ull, 15626222802461556172ull, 12174910616577039866ull,
+      8490282431853033850ull, 5726474071298035170ull, 2600766456604106202ull}},
+    {"lollipop_verbatim",
+     {5904769383833062160ull, 4605226623742780468ull, 5978929825392462896ull,
+      18394774183340811522ull, 173017073663566949ull, 15272594389775506209ull}},
+    {"gnp96_approx",
+     {12837430708741724753ull, 5118402855898316273ull, 8954947387758529312ull,
+      16506287912893537432ull, 12581905767534180507ull, 16944083494669052568ull}},
+};
+
+/// Rebuilds the capture fixtures: graph construction order matters because
+/// the gnp graphs share one generator stream.
+std::vector<std::pair<graph::Graph, engine::EngineOptions>> golden_fixtures() {
+  util::Rng gen(12345);
+  std::vector<std::pair<graph::Graph, engine::EngineOptions>> fixtures;
+  {
+    engine::EngineOptions o;
+    o.seed = 42;
+    fixtures.emplace_back(graph::gnp_connected(24, 0.3, gen), o);
+  }
+  {
+    engine::EngineOptions o;
+    o.seed = 43;
+    o.clique.mode = core::SamplingMode::exact;
+    fixtures.emplace_back(graph::gnp_connected(18, 0.4, gen), o);
+  }
+  {
+    engine::EngineOptions o;
+    o.seed = 44;
+    o.clique.rho_override = 2;
+    fixtures.emplace_back(graph::path(16), o);
+  }
+  {
+    engine::EngineOptions o;
+    o.seed = 45;
+    o.clique.matching = core::MatchingStrategy::group_shuffle;
+    fixtures.emplace_back(graph::cycle(20), o);
+  }
+  {
+    engine::EngineOptions o;
+    o.seed = 46;
+    o.clique.matching = core::MatchingStrategy::verbatim;
+    fixtures.emplace_back(graph::lollipop(8, 10), o);
+  }
+  {
+    engine::EngineOptions o;
+    o.seed = 47;
+    fixtures.emplace_back(graph::gnp_connected(96, 0.12, gen), o);
+  }
+  return fixtures;
+}
+
+TEST(HotpathGoldenTest, EngineTreesMatchPreOverhaulCapture) {
+  auto fixtures = golden_fixtures();
+  ASSERT_EQ(fixtures.size(), std::size(kGolden));
+  for (std::size_t c = 0; c < fixtures.size(); ++c) {
+    auto sampler = engine::make_sampler(graph::Graph(fixtures[c].first),
+                                        fixtures[c].second);
+    sampler->prepare();
+    for (int i = 0; i < 6; ++i) {
+      const engine::Draw draw = sampler->sample_indexed(i);
+      EXPECT_EQ(key_hash(graph::tree_key(draw.tree)), kGolden[c].tree_hashes[i])
+          << kGolden[c].name << " draw " << i;
+    }
+  }
+}
+
+TEST(HotpathGoldenTest, SchurCacheDoesNotMoveGoldenTrees) {
+  // Same fixtures with the cache enabled: hit or miss, every tree must stay
+  // on the pre-overhaul capture.
+  auto fixtures = golden_fixtures();
+  for (std::size_t c = 0; c < fixtures.size(); ++c) {
+    engine::EngineOptions options = fixtures[c].second;
+    options.clique.schur_cache_budget_bytes = std::size_t{64} << 20;
+    auto sampler = engine::make_sampler(graph::Graph(fixtures[c].first), options);
+    for (int i = 0; i < 6; ++i) {
+      const engine::Draw draw = sampler->sample_indexed(i);
+      EXPECT_EQ(key_hash(graph::tree_key(draw.tree)), kGolden[c].tree_hashes[i])
+          << kGolden[c].name << " draw " << i << " (cache on)";
+    }
+  }
+}
+
+TEST(HotpathGoldenTest, FillWalksMatchPreOverhaulCapture) {
+  constexpr std::uint64_t kFillGolden[4] = {
+      8511507347225010267ull, 3324755902725405243ull, 10254430365552632654ull,
+      16922351254745750908ull};
+  constexpr std::uint64_t kTruncatedGolden[4] = {
+      14202638741628615276ull, 9864333181253468490ull, 11971839528808983351ull,
+      9970247031762525748ull};
+  util::Rng gen(99);
+  const graph::Graph g = graph::gnp_connected(12, 0.4, gen);
+  const auto powers = linalg::power_table(walk::transition_matrix(g), 5);
+  util::Rng rng(1234);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(walk_hash(walk::fill_walk(powers, i % 12, rng)), kFillGolden[i]) << i;
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(walk_hash(walk::fill_walk_truncated(powers, i % 12, 4, rng)),
+              kTruncatedGolden[i])
+        << i;
+}
+
+// ------------------------------------------------------------ matmul kernels
+
+/// Naive product with the same ascending-k accumulation order every kernel
+/// guarantees; exact equality against it is the bit-identity contract.
+linalg::Matrix naive_multiply(const linalg::Matrix& a, const linalg::Matrix& b) {
+  linalg::Matrix out(a.rows(), b.cols(), 0.0);
+  for (int i = 0; i < a.rows(); ++i)
+    for (int j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (int k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      out(i, j) = acc;
+    }
+  return out;
+}
+
+linalg::Matrix random_matrix(int rows, int cols, double density, bool negatives,
+                             util::Rng& rng) {
+  linalg::Matrix m(rows, cols, 0.0);
+  for (int i = 0; i < rows; ++i)
+    for (int j = 0; j < cols; ++j) {
+      if (rng.next_double() >= density) continue;
+      const double value = rng.next_double();
+      m(i, j) = negatives && rng.bernoulli(0.5) ? -value : value;
+    }
+  return m;
+}
+
+bool exactly_equal(const linalg::Matrix& a, const linalg::Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.data().size() * sizeof(double)) == 0;
+}
+
+TEST(MatmulTest, DenseKernelBitIdenticalToNaive) {
+  util::Rng rng(7);
+  for (int n : {1, 3, 8, 37, 96}) {
+    const linalg::Matrix a = random_matrix(n, n, 1.0, true, rng);
+    const linalg::Matrix b = random_matrix(n, n, 1.0, true, rng);
+    EXPECT_TRUE(exactly_equal(a.multiply(b), naive_multiply(a, b))) << n;
+  }
+  // Rectangular shapes cover the row/column tile remainders.
+  const linalg::Matrix a = random_matrix(13, 57, 1.0, true, rng);
+  const linalg::Matrix b = random_matrix(57, 29, 1.0, true, rng);
+  EXPECT_TRUE(exactly_equal(a.multiply(b), naive_multiply(a, b)));
+}
+
+TEST(MatmulTest, SparseKernelBitIdenticalToNaive) {
+  util::Rng rng(8);
+  for (double density : {0.02, 0.1, 0.25}) {
+    const linalg::Matrix a = random_matrix(64, 64, density, true, rng);
+    const linalg::Matrix b = random_matrix(64, 64, 1.0, true, rng);
+    EXPECT_TRUE(exactly_equal(a.multiply(b), naive_multiply(a, b))) << density;
+  }
+}
+
+TEST(MatmulTest, ThreadCountInvariant) {
+  const linalg::ParallelConfig original = linalg::matmul_parallel();
+  util::Rng rng(9);
+  const linalg::Matrix a = random_matrix(83, 83, 0.7, true, rng);
+  const linalg::Matrix b = random_matrix(83, 83, 1.0, false, rng);
+
+  linalg::set_matmul_parallel({1, 1});
+  const linalg::Matrix serial = a.multiply(b);
+  linalg::set_matmul_parallel({8, 1});  // min_ops = 1 forces the fan-out
+  const linalg::Matrix threaded = a.multiply(b);
+  const linalg::Matrix threaded_square = b.square();
+  linalg::set_matmul_parallel(original);
+
+  EXPECT_TRUE(exactly_equal(serial, threaded));
+  EXPECT_TRUE(exactly_equal(threaded_square, naive_multiply(b, b)));
+}
+
+TEST(MatmulTest, SquareMatchesMultiplySelf) {
+  util::Rng rng(10);
+  for (int n : {2, 9, 40}) {
+    const linalg::Matrix a = random_matrix(n, n, 0.8, true, rng);
+    EXPECT_TRUE(exactly_equal(a.square(), a.multiply(a))) << n;
+    EXPECT_TRUE(exactly_equal(a.square(), naive_multiply(a, a))) << n;
+  }
+  EXPECT_THROW(random_matrix(3, 4, 1.0, false, rng).square(), std::invalid_argument);
+}
+
+TEST(MatmulTest, ExtendPowerTableMatchesFreshBuild) {
+  util::Rng rng(11);
+  const graph::Graph g = graph::gnp_connected(24, 0.3, rng);
+  const linalg::Matrix p = walk::transition_matrix(g);
+  std::vector<linalg::Matrix> incremental = linalg::power_table(p, 3);
+  linalg::extend_power_table(incremental, 7);
+  const std::vector<linalg::Matrix> fresh = linalg::power_table(p, 7);
+  ASSERT_EQ(incremental.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i)
+    EXPECT_TRUE(exactly_equal(incremental[i], fresh[i])) << i;
+}
+
+// ------------------------------------------------- scratch / CDF sampling
+
+TEST(MidpointScratchTest, MatchesLegacyDrawForDraw) {
+  // The legacy sample_midpoint built a weights vector and linear-scanned it
+  // via sample_unnormalized; the scratch overload must replay it exactly:
+  // same Rng consumption, same index, for every (p, q) pair.
+  util::Rng gen(21);
+  const graph::Graph g = graph::gnp_connected(20, 0.3, gen);
+  const auto powers = linalg::power_table(walk::transition_matrix(g), 4);
+  const linalg::Matrix& half = powers[2];
+  const int n = half.rows();
+
+  walk::FillScratch scratch;
+  util::Rng legacy_rng(5005);
+  util::Rng scratch_rng(5005);
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    for (int q = 0; q < n; ++q) {
+      double total = 0.0;
+      for (int m = 0; m < n; ++m) {
+        weights[static_cast<std::size_t>(m)] = half(p, m) * half(m, q);
+        total += weights[static_cast<std::size_t>(m)];
+      }
+      if (total <= 0.0) continue;  // unreachable pair at this gap
+      const int legacy = util::sample_unnormalized(weights, legacy_rng);
+      const int fused = walk::sample_midpoint(half, p, q, scratch_rng, scratch);
+      ASSERT_EQ(fused, legacy) << p << "," << q;
+    }
+  }
+  // The allocating overload is a thin wrapper over the same draw.
+  util::Rng a(77), b(77);
+  EXPECT_EQ(walk::sample_midpoint(half, 1, 2, a),
+            walk::sample_midpoint(half, 1, 2, b, scratch));
+}
+
+TEST(MidpointScratchTest, FillWalkOverloadsIdentical) {
+  util::Rng gen(22);
+  const graph::Graph g = graph::gnp_connected(14, 0.35, gen);
+  const auto powers = linalg::power_table(walk::transition_matrix(g), 5);
+  const walk::PreparedPowers prepared(powers.back(),
+                                      static_cast<int>(powers.size()) - 1);
+  walk::FillScratch scratch;
+  for (int start = 0; start < 4; ++start) {
+    util::Rng plain_rng(900 + start), cached_rng(900 + start);
+    EXPECT_EQ(walk::fill_walk(powers, start, plain_rng),
+              walk::fill_walk(powers, start, cached_rng, &prepared, scratch));
+    util::Rng plain_t(1900 + start), cached_t(1900 + start);
+    EXPECT_EQ(walk::fill_walk_truncated(powers, start, 4, plain_t),
+              walk::fill_walk_truncated(powers, start, 4, cached_t, &prepared,
+                                        scratch));
+  }
+}
+
+TEST(PreparedPowersTest, SampleEndReplaysLinearScan) {
+  util::Rng gen(23);
+  // A lollipop's powers carry plenty of zero entries, exercising the CDF
+  // search around flat spans.
+  const graph::Graph g = graph::lollipop(6, 12);
+  const auto powers = linalg::power_table(walk::transition_matrix(g), 3);
+  const walk::PreparedPowers prepared(powers.back(),
+                                      static_cast<int>(powers.size()) - 1);
+  EXPECT_EQ(prepared.levels(), 3);
+  util::Rng scan_rng(31), cdf_rng(31);
+  for (int round = 0; round < 200; ++round) {
+    const int start = round % g.vertex_count();
+    ASSERT_EQ(prepared.sample_end(start, cdf_rng),
+              util::sample_unnormalized(powers.back().row(start), scan_rng))
+        << round;
+  }
+}
+
+TEST(PreparedPowersTest, AliasMatchesRowDistribution) {
+  util::Rng gen(24);
+  const graph::Graph g = graph::gnp_connected(10, 0.4, gen);
+  const auto powers = linalg::power_table(walk::transition_matrix(g), 2);
+  const walk::PreparedPowers prepared(powers.back(), 2);
+  const int start = 3;
+  const int n = g.vertex_count();
+  std::vector<int> counts(static_cast<std::size_t>(n), 0);
+  util::Rng rng(41);
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i)
+    ++counts[static_cast<std::size_t>(prepared.sample_end_alias(start, rng))];
+  double total = 0.0;
+  for (int j = 0; j < n; ++j) total += powers.back()(start, j);
+  for (int j = 0; j < n; ++j) {
+    const double expected = powers.back()(start, j) / total;
+    const double observed =
+        static_cast<double>(counts[static_cast<std::size_t>(j)]) / draws;
+    EXPECT_NEAR(observed, expected, 0.02) << j;
+  }
+}
+
+TEST(PreparedPowersTest, MemoryBytesCharged) {
+  util::Rng gen(25);
+  const graph::Graph g = graph::gnp_connected(12, 0.4, gen);
+  const auto powers = linalg::power_table(walk::transition_matrix(g), 2);
+  const walk::PreparedPowers prepared(powers.back(), 2);
+  // At least the CDF table (n^2 doubles) and the alias tables (n^2 doubles +
+  // n^2 ints) must be accounted for.
+  const std::size_t n2 = 12 * 12;
+  EXPECT_GE(prepared.memory_bytes(), 2 * n2 * sizeof(double) + n2 * sizeof(int));
+  EXPECT_TRUE(walk::PreparedPowers().empty());
+}
+
+// ------------------------------------------------------------ Schur cache
+
+core::SamplerOptions path_rho2_options(std::size_t cache_bytes) {
+  core::SamplerOptions options;
+  options.rho_override = 2;
+  options.schur_cache_budget_bytes = cache_bytes;
+  return options;
+}
+
+TEST(SchurCacheTest, HitMissAccountingAcrossDraws) {
+  const graph::Graph g = graph::path(40);
+  const core::CongestedCliqueTreeSampler sampler(
+      g, path_rho2_options(std::size_t{256} << 20));
+  util::Rng r1(11), r2(11);
+  const core::TreeSample first = sampler.sample(r1);
+  EXPECT_EQ(first.report.schur_cache_hits, 0);
+  // A path walked from vertex 0 with rho = 2 visits one new vertex per
+  // phase, so every non-initial phase consults the cache.
+  EXPECT_EQ(first.report.schur_cache_misses, 38);
+  const core::TreeSample second = sampler.sample(r2);
+  EXPECT_EQ(second.report.schur_cache_hits, 38);
+  EXPECT_EQ(second.report.schur_cache_misses, 0);
+  EXPECT_EQ(graph::tree_key(first.tree), graph::tree_key(second.tree));
+
+  const schur::SchurCacheStats stats = sampler.schur_cache_stats();
+  EXPECT_EQ(stats.hits, 38);
+  EXPECT_EQ(stats.misses, 38);
+  EXPECT_EQ(stats.entry_count, 38);
+  EXPECT_GT(stats.resident_bytes, 0u);
+  EXPECT_EQ(stats.resident_bytes, sampler.memory_bytes());  // unprepared sampler
+
+  EXPECT_EQ(sampler.trim_schur_cache(), stats.resident_bytes);
+  EXPECT_EQ(sampler.schur_cache_stats().entry_count, 0);
+  EXPECT_EQ(sampler.schur_cache_stats().trims, 1);
+}
+
+TEST(SchurCacheTest, ReplayEqualityCachedVsUncachedEngine) {
+  util::Rng gen(26);
+  const graph::Graph g = graph::gnp_connected(28, 0.25, gen);
+  engine::EngineOptions off;
+  off.seed = 500;
+  engine::EngineOptions on = off;
+  on.clique.schur_cache_budget_bytes = std::size_t{128} << 20;
+  auto uncached = engine::make_sampler(graph::Graph(g), off);
+  auto cached = engine::make_sampler(graph::Graph(g), on);
+  for (int i = 0; i < 6; ++i) {
+    const engine::Draw a = uncached->sample_indexed(i);
+    const engine::Draw b = cached->sample_indexed(i);
+    EXPECT_EQ(graph::tree_key(a.tree), graph::tree_key(b.tree)) << i;
+    EXPECT_EQ(a.stats.schur_cache_hits + a.stats.schur_cache_misses, 0) << i;
+  }
+
+  // Random gnp active sets rarely recur; a cycle with rho = 2 recurs almost
+  // every phase, so the engine-level hit counters must light up there while
+  // trees still match the uncached path draw for draw.
+  engine::EngineOptions cyc_off;
+  cyc_off.seed = 501;
+  cyc_off.clique.rho_override = 2;
+  engine::EngineOptions cyc_on = cyc_off;
+  cyc_on.clique.schur_cache_budget_bytes = std::size_t{128} << 20;
+  auto cyc_uncached = engine::make_sampler(graph::cycle(20), cyc_off);
+  auto cyc_cached = engine::make_sampler(graph::cycle(20), cyc_on);
+  std::int64_t hits = 0;
+  for (int i = 0; i < 4; ++i) {
+    const engine::Draw a = cyc_uncached->sample_indexed(i);
+    const engine::Draw b = cyc_cached->sample_indexed(i);
+    EXPECT_EQ(graph::tree_key(a.tree), graph::tree_key(b.tree)) << i;
+    hits += b.stats.schur_cache_hits;
+  }
+  EXPECT_GT(hits, 0);
+}
+
+TEST(SchurCacheTest, ByteBudgetEvictsColdestEntries) {
+  const graph::Graph g = graph::path(32);
+  // First find an entry's rough size, then budget for about three of them.
+  const core::CongestedCliqueTreeSampler probe(
+      g, path_rho2_options(std::size_t{256} << 20));
+  util::Rng pr(13);
+  probe.sample(pr);
+  const schur::SchurCacheStats probe_stats = probe.schur_cache_stats();
+  ASSERT_GT(probe_stats.entry_count, 8);
+  const std::size_t budget =
+      probe_stats.resident_bytes /
+      static_cast<std::size_t>(probe_stats.entry_count) * 3;
+
+  const core::CongestedCliqueTreeSampler sampler(g, path_rho2_options(budget));
+  util::Rng rng(13);
+  sampler.sample(rng);
+  const schur::SchurCacheStats stats = sampler.schur_cache_stats();
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_LE(stats.resident_bytes, budget);
+  EXPECT_LT(stats.entry_count, probe_stats.entry_count);
+}
+
+TEST(SchurCacheTest, OversizedEntriesServedUnretained) {
+  const graph::Graph g = graph::path(24);
+  const core::CongestedCliqueTreeSampler sampler(g, path_rho2_options(1));
+  util::Rng rng(14);
+  const core::TreeSample sample = sampler.sample(rng);
+  EXPECT_GT(sample.report.schur_cache_misses, 0);
+  EXPECT_EQ(sample.report.schur_cache_hits, 0);
+  const schur::SchurCacheStats stats = sampler.schur_cache_stats();
+  EXPECT_EQ(stats.entry_count, 0);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+}
+
+TEST(SchurCacheTest, ConcurrentDrawsShareCacheDeterministically) {
+  const graph::Graph g = graph::path(28);
+  engine::EngineOptions options;
+  options.seed = 901;
+  options.clique.rho_override = 2;
+  options.clique.schur_cache_budget_bytes = std::size_t{64} << 20;
+  auto serial = engine::make_sampler(graph::Graph(g), options);
+  const engine::BatchResult serial_batch = serial->sample_batch(12);
+
+  options.threads = 4;
+  auto threaded = engine::make_sampler(graph::Graph(g), options);
+  const engine::BatchResult threaded_batch = threaded->sample_batch(12);
+
+  ASSERT_EQ(serial_batch.trees.size(), threaded_batch.trees.size());
+  for (std::size_t i = 0; i < serial_batch.trees.size(); ++i)
+    EXPECT_EQ(graph::tree_key(serial_batch.trees[i]),
+              graph::tree_key(threaded_batch.trees[i]))
+        << i;
+  EXPECT_GT(threaded_batch.report.total_schur_cache_hits() +
+                threaded_batch.report.total_schur_cache_misses(),
+            0);
+}
+
+// ------------------------------------------------- pool budget interaction
+
+TEST(PoolSchurCacheTest, CacheTrimsBeforeSamplerEviction) {
+  const graph::Graph g = graph::path(40);
+  engine::EngineOptions options;
+  options.seed = 321;
+  options.clique.rho_override = 2;
+  options.clique.schur_cache_budget_bytes = std::size_t{64} << 20;
+
+  // Budget: the prepared sampler fits comfortably, the Schur cache a draw
+  // builds on top of it does not.
+  auto probe = engine::make_sampler(graph::Graph(g), options);
+  probe->prepare();
+  const std::size_t prepared_bytes = probe->memory_bytes();
+  probe->sample_indexed(0);
+  const std::size_t grown_bytes = probe->memory_bytes();
+  ASSERT_GT(grown_bytes, prepared_bytes);
+
+  engine::PoolOptions pool_options;
+  pool_options.workers = 0;  // deterministic inline serving
+  pool_options.memory_budget_bytes = prepared_bytes + (grown_bytes - prepared_bytes) / 2;
+  pool_options.engine = options;
+  engine::SamplerPool pool(pool_options);
+  const engine::Fingerprint fp = pool.admit(g);
+  pool.sample_batch(fp, 2);
+
+  const engine::PoolStats stats = pool.stats();
+  EXPECT_GT(stats.schur_cache_trims, 0) << "cache should be trimmed";
+  EXPECT_EQ(stats.evictions, 0) << "the sampler itself must stay resident";
+  EXPECT_TRUE(pool.resident(fp));
+  EXPECT_LE(pool.resident_bytes(), pool_options.memory_budget_bytes);
+  EXPECT_GT(stats.schur_cache_misses, 0);
+
+  // A second batch re-fills the cache and trims again — still no eviction.
+  pool.sample_batch(fp, 1);
+  EXPECT_TRUE(pool.resident(fp));
+  EXPECT_EQ(pool.stats().evictions, 0);
+  EXPECT_EQ(pool.prepare_count(fp), 1) << "trim must never force a re-prepare";
+}
+
+TEST(PoolSchurCacheTest, StatsAggregateDrawCounters) {
+  const graph::Graph g = graph::path(24);
+  engine::EngineOptions options;
+  options.seed = 654;
+  options.clique.rho_override = 2;
+  options.clique.schur_cache_budget_bytes = std::size_t{64} << 20;
+  engine::PoolOptions pool_options;
+  pool_options.workers = 0;
+  pool_options.engine = options;
+  engine::SamplerPool pool(pool_options);
+  const engine::Fingerprint fp = pool.admit(g);
+  const engine::PoolBatchResult batch = pool.sample_batch(fp, 3);
+
+  const engine::PoolStats stats = pool.stats();
+  EXPECT_EQ(stats.schur_cache_hits, batch.batch.report.total_schur_cache_hits());
+  EXPECT_EQ(stats.schur_cache_misses,
+            batch.batch.report.total_schur_cache_misses());
+  EXPECT_GT(stats.schur_cache_hits, 0);
+  EXPECT_GT(stats.schur_cache_misses, 0);
+}
+
+}  // namespace
+}  // namespace cliquest

@@ -172,6 +172,9 @@ TEST(WireCodecTest, ServedBatchResponseRoundTrips) {
   EngineOptions engine;
   engine.backend = Backend::congested_clique;
   engine.seed = 5;
+  // Schur cache on: the per-draw hit/miss counters must survive the wire.
+  engine.clique.rho_override = 2;
+  engine.clique.schur_cache_budget_bytes = std::size_t{32} << 20;
   PoolOptions options;
   options.workers = 0;
   options.engine = engine;
@@ -181,6 +184,9 @@ TEST(WireCodecTest, ServedBatchResponseRoundTrips) {
   BatchResponse response = service.sample_batch({fp, 4});
   response.shard = 3;
   ASSERT_FALSE(response.batch.report.meter.categories().empty());
+  ASSERT_GT(response.batch.report.total_schur_cache_hits() +
+                response.batch.report.total_schur_cache_misses(),
+            0);
 
   const wire::Bytes bytes = wire::encode(response);
   EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::batch_response);
@@ -202,6 +208,10 @@ TEST(WireCodecTest, ServedBatchResponseRoundTrips) {
     EXPECT_EQ(back.batch.report.draws[i].rounds, response.batch.report.draws[i].rounds);
     EXPECT_EQ(back.batch.report.draws[i].seconds,
               response.batch.report.draws[i].seconds);
+    EXPECT_EQ(back.batch.report.draws[i].schur_cache_hits,
+              response.batch.report.draws[i].schur_cache_hits);
+    EXPECT_EQ(back.batch.report.draws[i].schur_cache_misses,
+              response.batch.report.draws[i].schur_cache_misses);
   }
   // Meter categories reconstruct exactly, events included (Meter::add).
   ASSERT_EQ(back.batch.report.meter.categories().size(),
@@ -238,6 +248,9 @@ TEST(WireCodecTest, ServiceStatsRoundTrip) {
   stats.totals.prepares = 9;
   stats.totals.evictions = 3;
   stats.totals.draws = 4321;
+  stats.totals.schur_cache_hits = 777;
+  stats.totals.schur_cache_misses = 33;
+  stats.totals.schur_cache_trims = 2;
   stats.totals.resident_bytes = std::size_t{1} << 33;
   stats.totals.peak_resident_bytes = (std::size_t{1} << 33) + 17;
   stats.totals.resident_count = 6;
@@ -250,6 +263,9 @@ TEST(WireCodecTest, ServiceStatsRoundTrip) {
   EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::service_stats);
   const ServiceStats back = wire::decode_service_stats(bytes);
   EXPECT_EQ(back.totals.draws, stats.totals.draws);
+  EXPECT_EQ(back.totals.schur_cache_hits, 777);
+  EXPECT_EQ(back.totals.schur_cache_misses, 33);
+  EXPECT_EQ(back.totals.schur_cache_trims, 2);
   EXPECT_EQ(back.totals.resident_bytes, stats.totals.resident_bytes);
   ASSERT_EQ(back.shards.size(), 3u);
   EXPECT_EQ(back.shards[0].hits, 50);
