@@ -1,22 +1,36 @@
 // ShardedService demo: a miniature multi-shard spanning-tree serving
-// process, speaking the typed SamplerService message set.
+// process, speaking the typed SamplerService message set — in one process,
+// or split across two with the remote transport.
 //
-// Builds a ShardedService over N LocalService shards (each its own
-// byte-budgeted SamplerPool with its own workers), admits a handful of
-// graphs — every request round-trips through the wire codec first, exactly
-// the seam a remote shard would plug into — fans async batches out across
-// the shards, and prints the merged serving stats plus the per-shard
-// breakdown.
+// Modes:
 //
 //   ./pool_server [shards] [budget_kib] [workers] [backend]
+//       In-process demo (as before): builds a ShardedService over N
+//       LocalService shards, admits a handful of graphs — every request
+//       round-tripping through the wire codec — fans async batches across
+//       the shards, and prints the merged serving stats.
+//
+//   ./pool_server --listen PORT [--once] [shards] [budget_kib] [workers] [backend]
+//       Serves the same ShardedService over TCP: accepts connections on
+//       127.0.0.1:PORT and speaks the framed RPC protocol (handshake,
+//       request-id multiplexing, chunked batch streaming). --once serves
+//       exactly one connection then exits (used by the CI smoke test).
+//
+//   ./pool_server --connect HOST PORT [backend]
+//       The client half: a RemoteService dialing HOST:PORT, running the
+//       demo workload against the remote shards and printing the stats it
+//       reads back over the wire.
 //
 // backend is any registered name: congested_clique (default), doubling,
 // wilson, aldous_broder. A tight budget like ./pool_server 2 256 shows LRU
 // eviction churn inside each shard.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <future>
+#include <memory>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -25,22 +39,145 @@
 
 using namespace cliquest;
 
-int main(int argc, char** argv) {
-  const int shards = argc > 1 ? std::atoi(argv[1]) : 4;
-  const long budget_kib = argc > 2 ? std::atol(argv[2]) : 4096;
-  const int workers = argc > 3 ? std::atoi(argv[3]) : 2;
-  const char* backend = argc > 4 ? argv[4] : "congested_clique";
-  if (shards < 1 || shards > 256 || budget_kib < 1 || workers < 0) {
-    std::fprintf(stderr,
-                 "usage: %s [shards 1..256] [budget_kib >= 1] [workers >= 0] "
-                 "[backend]\n",
-                 argv[0]);
-    return 1;
+namespace {
+
+struct Client {
+  const char* name;
+  graph::Graph graph;
+  engine::Fingerprint fp;
+};
+
+std::vector<Client> make_clients() {
+  util::Rng gen(3);
+  std::vector<Client> clients;
+  clients.push_back({"complete(40)", graph::complete(40), {}});
+  clients.push_back({"grid(7x7)", graph::grid(7, 7), {}});
+  clients.push_back({"gnp(48,.3)", graph::gnp_connected(48, 0.3, gen), {}});
+  clients.push_back({"wheel(44)", graph::wheel(44), {}});
+  return clients;
+}
+
+/// The demo workload against any SamplerService — local shards or a remote
+/// connection, the calls are identical. Admission round-trips through the
+/// wire codec even in-process, exactly the bytes a remote deployment ships.
+int run_workload(engine::SamplerService& service, const engine::EngineOptions& engine) {
+  std::vector<Client> clients = make_clients();
+  for (Client& client : clients) {
+    const engine::wire::Bytes bytes =
+        engine::wire::encode(engine::AdmitRequest{client.graph, engine});
+    client.fp = service.admit(engine::wire::decode_admit_request(bytes));
+    std::printf("admitted %-14s as %s (%zu wire bytes)\n", client.name,
+                client.fp.to_string().c_str(), bytes.size());
   }
 
-  // 1. Configure the shards: every LocalService gets its own pool — a byte
-  //    budget for resident precomputation, a small worker pool, and the
-  //    default engine options admitted graphs inherit.
+  std::vector<engine::BatchRequest> requests;
+  const int rounds = 3;
+  const int k = 8;
+  for (int round = 0; round < rounds; ++round)
+    for (const Client& client : clients) requests.push_back({client.fp, k});
+  std::vector<std::future<engine::BatchResponse>> futures =
+      service.submit_all(requests);
+
+  std::size_t i = 0;
+  bool all_valid = true;
+  for (auto& future : futures) {
+    const engine::BatchResponse r =
+        engine::wire::decode_batch_response(engine::wire::encode(future.get()));
+    const Client& client = clients[i++ % clients.size()];
+    bool valid = true;
+    for (const graph::TreeEdges& tree : r.batch.trees)
+      valid = valid && graph::is_spanning_tree(client.graph, tree);
+    all_valid = all_valid && valid;
+    std::printf("%-14s shard %d  draws [%lld, %lld)  %-4s  trees valid = %s\n",
+                client.name, r.shard, static_cast<long long>(r.first_draw_index),
+                static_cast<long long>(r.first_draw_index + k),
+                r.hit ? "hit" : "miss", valid ? "yes" : "NO");
+  }
+
+  const engine::ServiceStats stats = service.stats();
+  std::printf(
+      "\ntotals: %lld draws in %lld batches (%lld hit / %lld miss), "
+      "%lld prepares, %lld evictions\n",
+      static_cast<long long>(stats.totals.draws),
+      static_cast<long long>(stats.totals.hits + stats.totals.misses),
+      static_cast<long long>(stats.totals.hits),
+      static_cast<long long>(stats.totals.misses),
+      static_cast<long long>(stats.totals.prepares),
+      static_cast<long long>(stats.totals.evictions));
+  for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+    const engine::PoolStats& shard = stats.shards[s];
+    std::printf("shard %zu: %d graphs, %lld draws, %.1f KiB resident (peak %.1f KiB)\n",
+                s, shard.admitted_count, static_cast<long long>(shard.draws),
+                static_cast<double>(shard.resident_bytes) / 1024.0,
+                static_cast<double>(shard.peak_resident_bytes) / 1024.0);
+  }
+  return all_valid ? 0 : 1;
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [shards 1..256] [budget_kib >= 1] [workers >= 0] [backend]\n"
+               "       %s --listen PORT [--once] [shards] [budget_kib] [workers] "
+               "[backend]\n"
+               "       %s --connect HOST PORT [backend]\n",
+               argv0, argv0, argv0);
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // ---- mode flags first; the positional knobs follow them.
+  const bool listen_mode = argc > 1 && std::strcmp(argv[1], "--listen") == 0;
+  const bool connect_mode = argc > 1 && std::strcmp(argv[1], "--connect") == 0;
+
+  if (connect_mode) {
+    if (argc < 4) usage(argv[0]);
+    const char* host = argv[2];
+    const int port = std::atoi(argv[3]);
+    const char* backend = argc > 4 ? argv[4] : "congested_clique";
+    if (port < 1 || port > 65535) usage(argv[0]);
+    engine::EngineOptions engine_options;
+    try {
+      engine_options =
+          engine::EngineOptions::builder().backend(backend).seed(7).build();
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "configuration error:\n%s\n", e.what());
+      return 1;
+    }
+    try {
+      engine::RemoteService remote(
+          [host, port] {
+            return engine::transport::tcp_connect(
+                host, static_cast<std::uint16_t>(port));
+          });
+      std::printf("connected to %s:%d, running the demo workload remotely\n\n",
+                  host, port);
+      return run_workload(remote, engine_options);
+    } catch (const engine::ServiceError& e) {
+      std::fprintf(stderr, "remote serving failed: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  int arg = listen_mode ? 2 : 1;
+  int listen_port = 0;
+  bool once = false;
+  if (listen_mode) {
+    if (argc < 3) usage(argv[0]);
+    listen_port = std::atoi(argv[arg++]);
+    if (listen_port < 0 || listen_port > 65535) usage(argv[0]);
+    if (arg < argc && std::strcmp(argv[arg], "--once") == 0) {
+      once = true;
+      ++arg;
+    }
+  }
+  const int shards = arg < argc ? std::atoi(argv[arg++]) : 4;
+  const long budget_kib = arg < argc ? std::atol(argv[arg++]) : 4096;
+  const int workers = arg < argc ? std::atoi(argv[arg++]) : 2;
+  const char* backend = arg < argc ? argv[arg++] : "congested_clique";
+  if (shards < 1 || shards > 256 || budget_kib < 1 || workers < 0) usage(argv[0]);
+
   engine::PoolOptions options;
   options.memory_budget_bytes = static_cast<std::size_t>(budget_kib) * 1024;
   options.workers = workers;
@@ -54,77 +191,42 @@ int main(int argc, char** argv) {
   std::printf("service: %d shards x (%ld KiB budget, %d workers), backend %s\n",
               shards, budget_kib, workers, backend);
 
-  // 2. Admission through the wire: each AdmitRequest is encoded to bytes and
-  //    decoded back before it is served — in a remote deployment those bytes
-  //    are what crosses the network. Rendezvous hashing on the structural
-  //    fingerprint picks the owning shard; no routing table exists anywhere.
-  struct Client {
-    const char* name;
-    graph::Graph graph;
-    engine::Fingerprint fp;
-  };
-  util::Rng gen(3);
-  std::vector<Client> clients;
-  clients.push_back({"complete(40)", graph::complete(40), {}});
-  clients.push_back({"grid(7x7)", graph::grid(7, 7), {}});
-  clients.push_back({"gnp(48,.3)", graph::gnp_connected(48, 0.3, gen), {}});
-  clients.push_back({"wheel(44)", graph::wheel(44), {}});
-  for (Client& client : clients) {
-    const engine::wire::Bytes bytes =
-        engine::wire::encode(engine::AdmitRequest{client.graph, options.engine});
-    client.fp = service.admit(engine::wire::decode_admit_request(bytes));
-    std::printf("admitted %-14s as %s -> shard %d (%zu wire bytes)\n", client.name,
-                client.fp.to_string().c_str(), service.shard_for(client.fp),
-                bytes.size());
+  if (listen_mode) {
+    try {
+      engine::transport::TcpListener listener(
+          static_cast<std::uint16_t>(listen_port));
+      engine::transport::Server server(service);
+      std::printf("listening on 127.0.0.1:%u%s\n", listener.port(),
+                  once ? " (one connection, then exit)" : "");
+      std::fflush(stdout);
+      // One serving task per connection; finished tasks are reaped on the
+      // next accept so a long-running listener stays bounded by its number
+      // of live connections.
+      std::vector<std::future<void>> serving;
+      std::size_t served = 0;
+      while (std::shared_ptr<engine::transport::Connection> conn =
+                 listener.accept()) {
+        std::erase_if(serving, [](std::future<void>& f) {
+          return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+        });
+        serving.push_back(std::async(std::launch::async,
+                                     [&server, conn] { server.serve(conn); }));
+        ++served;
+        if (once) break;
+      }
+      for (std::future<void>& f : serving) f.get();
+      std::printf("served %zu connection(s); final stats:\n", served);
+      const engine::ServiceStats stats = service.stats();
+      std::printf("totals: %lld draws, %lld prepares across %d graphs\n",
+                  static_cast<long long>(stats.totals.draws),
+                  static_cast<long long>(stats.totals.prepares),
+                  stats.totals.admitted_count);
+      return 0;
+    } catch (const engine::ServiceError& e) {
+      std::fprintf(stderr, "listen failed: %s\n", e.what());
+      return 1;
+    }
   }
 
-  // 3. Serving: fan async batches across all clients; each request routes to
-  //    its fingerprint's shard and runs on that shard's workers. Draw-index
-  //    ranges are reserved at submission, so results are reproducible no
-  //    matter how the shards interleave — and identical to what a 1-shard
-  //    service would serve.
-  std::vector<engine::BatchRequest> requests;
-  const int rounds = 3;
-  const int k = 8;
-  for (int round = 0; round < rounds; ++round)
-    for (const Client& client : clients) requests.push_back({client.fp, k});
-  std::vector<std::future<engine::BatchResponse>> futures =
-      service.submit_all(requests);
-
-  std::size_t i = 0;
-  for (auto& future : futures) {
-    // Responses cross the wire too: encode, ship, decode.
-    const engine::BatchResponse r =
-        engine::wire::decode_batch_response(engine::wire::encode(future.get()));
-    const Client& client = clients[i++ % clients.size()];
-    bool valid = true;
-    for (const graph::TreeEdges& tree : r.batch.trees)
-      valid = valid && graph::is_spanning_tree(client.graph, tree);
-    std::printf("%-14s shard %d  draws [%lld, %lld)  %-4s  trees valid = %s\n",
-                client.name, r.shard, static_cast<long long>(r.first_draw_index),
-                static_cast<long long>(r.first_draw_index + k),
-                r.hit ? "hit" : "miss", valid ? "yes" : "NO");
-  }
-
-  // 4. Stats: the merged totals plus the per-shard anatomy the router saw.
-  const engine::ServiceStats stats = service.stats();
-  std::printf(
-      "\ntotals: %lld draws in %lld batches (%lld hit / %lld miss), "
-      "%lld prepares, %lld evictions\n",
-      static_cast<long long>(stats.totals.draws),
-      static_cast<long long>(stats.totals.hits + stats.totals.misses),
-      static_cast<long long>(stats.totals.hits),
-      static_cast<long long>(stats.totals.misses),
-      static_cast<long long>(stats.totals.prepares),
-      static_cast<long long>(stats.totals.evictions));
-  for (std::size_t s = 0; s < stats.shards.size(); ++s) {
-    const engine::PoolStats& shard = stats.shards[s];
-    std::printf("shard %zu: %d graphs, %lld draws, %.1f KiB resident "
-                "(peak %.1f KiB, budget %.1f KiB)\n",
-                s, shard.admitted_count, static_cast<long long>(shard.draws),
-                static_cast<double>(shard.resident_bytes) / 1024.0,
-                static_cast<double>(shard.peak_resident_bytes) / 1024.0,
-                static_cast<double>(options.memory_budget_bytes) / 1024.0);
-  }
-  return 0;
+  return run_workload(service, options.engine);
 }

@@ -20,8 +20,10 @@
 #include "engine/fingerprint.hpp"  // IWYU pragma: export
 #include "engine/options.hpp"      // IWYU pragma: export
 #include "engine/pool.hpp"         // IWYU pragma: export
-#include "engine/registry.hpp"     // IWYU pragma: export
-#include "engine/report.hpp"       // IWYU pragma: export
-#include "engine/sampler.hpp"      // IWYU pragma: export
-#include "engine/service.hpp"      // IWYU pragma: export
-#include "engine/wire.hpp"         // IWYU pragma: export
+#include "engine/registry.hpp"        // IWYU pragma: export
+#include "engine/remote_service.hpp"  // IWYU pragma: export
+#include "engine/report.hpp"          // IWYU pragma: export
+#include "engine/sampler.hpp"         // IWYU pragma: export
+#include "engine/service.hpp"         // IWYU pragma: export
+#include "engine/transport.hpp"       // IWYU pragma: export
+#include "engine/wire.hpp"            // IWYU pragma: export

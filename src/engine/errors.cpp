@@ -16,6 +16,10 @@ std::string_view service_error_name(ServiceErrorCode code) {
       return "version_mismatch";
     case ServiceErrorCode::unavailable:
       return "unavailable";
+    case ServiceErrorCode::transport:
+      return "transport";
+    case ServiceErrorCode::timeout:
+      return "timeout";
   }
   return "unknown";
 }

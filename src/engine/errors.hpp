@@ -30,6 +30,12 @@ enum class ServiceErrorCode {
   version_mismatch,
   /// The service cannot serve (shutting down, no shards, ...).
   unavailable,
+  /// The connection to a remote peer failed: could not (re)connect, the peer
+  /// dropped mid-request, or the stream tore mid-frame. In-flight batches on
+  /// a dropped peer fail with this code.
+  transport,
+  /// A deadline expired before the serving side produced the response.
+  timeout,
 };
 
 /// Stable lowercase token, e.g. "unknown_fingerprint"; the code's wire name.

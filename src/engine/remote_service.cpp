@@ -1,0 +1,409 @@
+#include "engine/remote_service.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <string>
+#include <utility>
+
+namespace cliquest::engine {
+namespace {
+
+[[noreturn]] void transport_error(const std::string& detail) {
+  throw ServiceError(ServiceErrorCode::transport, detail);
+}
+
+}  // namespace
+
+/// One in-flight request. Exactly one of the two promises is used
+/// (is_batch picks it); chunk_trees accumulates streamed trees until the
+/// terminal batch_response lands.
+struct RemoteService::Pending {
+  bool is_batch = false;
+  std::uint64_t generation = 0;
+  std::promise<BatchResponse> batch_promise;
+  std::promise<wire::Bytes> bytes_promise;
+  std::vector<graph::TreeEdges> chunk_trees;
+  std::uint32_t next_seq = 0;
+};
+
+/// One handshaken connection plus its reader thread. `alive` is guarded by
+/// RemoteService::mutex_ and flips false exactly once, before the reader
+/// sweeps this generation's in-flight requests — so a request registered
+/// while alive is true is guaranteed to be either answered or failed.
+struct RemoteService::Link {
+  std::shared_ptr<transport::Connection> connection;
+  std::uint64_t generation = 0;
+  /// The server's advertised receive bound from its hello: no request frame
+  /// may exceed it (checked before the pending call is registered).
+  std::uint32_t peer_max_frame_bytes = transport::kDefaultMaxFrameBytes;
+  std::mutex write_mutex;  // serializes request frames onto the connection
+  std::thread reader;
+  bool alive = true;
+};
+
+RemoteService::RemoteService(ConnectionFactory factory, RemoteOptions options)
+    : factory_(std::move(factory)), options_(options) {
+  if (!factory_)
+    throw ServiceError(ServiceErrorCode::invalid_config,
+                       "RemoteService needs a connection factory");
+}
+
+RemoteService::~RemoteService() {
+  std::shared_ptr<Link> link;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    link = std::move(link_);
+  }
+  if (link) teardown_link(std::move(link));
+}
+
+// ------------------------------------------------------------- connection
+
+std::shared_ptr<RemoteService::Link> RemoteService::connect_once() const {
+  std::shared_ptr<transport::Connection> connection = factory_();
+  if (!connection) transport_error("connection factory returned no connection");
+  wire::Hello peer;
+  try {
+    const wire::Hello mine{options_.max_frame_bytes, options_.batch_chunk_trees};
+    if (!transport::write_frame(*connection, 0, wire::encode(mine)))
+      transport_error("peer closed during handshake");
+    std::optional<transport::Frame> reply =
+        transport::read_frame(*connection, options_.max_frame_bytes);
+    if (!reply) transport_error("peer closed during handshake");
+    // A server that cannot speak to us answers the hello with a typed
+    // rejection; a server from a foreign wire version fails decode with the
+    // codec's own version_mismatch. Either way the error crosses typed.
+    if (wire::peek_type(reply->message) == wire::MessageType::error_response) {
+      const wire::ErrorResponse error = wire::decode_error_response(reply->message);
+      throw ServiceError(error.code, error.detail);
+    }
+    peer = wire::decode_hello(reply->message);
+  } catch (...) {
+    connection->close();
+    throw;
+  }
+  auto link = std::make_shared<Link>();
+  link->connection = std::move(connection);
+  if (peer.max_frame_bytes != 0) link->peer_max_frame_bytes = peer.max_frame_bytes;
+  return link;
+}
+
+void RemoteService::ensure_connected(std::unique_lock<std::mutex>& lock) const {
+  for (;;) {
+    if (link_ && link_->alive) return;
+    if (!connecting_) break;
+    connect_cv_.wait(lock);  // another caller is dialing; reuse its result
+  }
+  connecting_ = true;
+  std::shared_ptr<Link> dead = std::move(link_);
+  lock.unlock();
+  if (dead) teardown_link(std::move(dead));
+
+  std::shared_ptr<Link> fresh;
+  std::exception_ptr failure;
+  std::chrono::milliseconds backoff = options_.backoff_initial;
+  const int attempts = std::max(1, options_.max_connect_attempts);
+  for (int attempt = 0; attempt < attempts && !fresh; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, options_.backoff_cap);
+    }
+    try {
+      fresh = connect_once();
+    } catch (const ServiceError& e) {
+      failure = std::current_exception();
+      // A version mismatch is permanent: the peer will not change its mind
+      // between attempts, so fail now with the typed code.
+      if (e.code() == ServiceErrorCode::version_mismatch) break;
+    }
+  }
+
+  lock.lock();
+  connecting_ = false;
+  connect_cv_.notify_all();
+  if (!fresh) {
+    if (failure) std::rethrow_exception(failure);
+    transport_error("could not connect");
+  }
+  if (next_generation_ > 1) ++reconnects_;
+  fresh->generation = next_generation_++;
+  link_ = fresh;
+  link_->reader = std::thread([this, fresh] { reader_loop(fresh); });
+}
+
+void RemoteService::teardown_link(std::shared_ptr<Link> link) const {
+  link->connection->close();
+  if (link->reader.joinable()) link->reader.join();
+}
+
+void RemoteService::reader_loop(std::shared_ptr<Link> link) const {
+  try {
+    for (;;) {
+      std::optional<transport::Frame> frame =
+          transport::read_frame(*link->connection, options_.max_frame_bytes);
+      if (!frame) break;  // orderly close
+      handle_frame(*link, frame->request_id, std::move(frame->message));
+    }
+  } catch (...) {
+    // Torn frame, undecodable reply, or chunk sequence corruption: the
+    // stream can no longer be trusted, so everything in flight fails below.
+  }
+  link->connection->close();
+  std::vector<std::shared_ptr<Pending>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (link_ == link) link_->alive = false;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second->generation == link->generation) {
+        orphans.push_back(std::move(it->second));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const std::shared_ptr<Pending>& pending : orphans) {
+    auto error = std::make_exception_ptr(ServiceError(
+        ServiceErrorCode::transport,
+        "connection to the remote service was lost with the request in flight"));
+    if (pending->is_batch)
+      pending->batch_promise.set_exception(error);
+    else
+      pending->bytes_promise.set_exception(error);
+  }
+}
+
+void RemoteService::handle_frame(Link& link, std::uint64_t request_id,
+                                 wire::Bytes message) const {
+  const wire::MessageType type = wire::peek_type(message);
+
+  if (type == wire::MessageType::batch_chunk) {
+    wire::BatchChunk chunk = wire::decode_batch_chunk(message);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;  // late reply after a timeout: dropped
+    Pending& pending = *it->second;
+    if (!pending.is_batch || chunk.seq != pending.next_seq)
+      transport_error("batch chunk out of sequence");
+    ++pending.next_seq;
+    ++chunk_frames_;
+    pending.chunk_trees.insert(pending.chunk_trees.end(),
+                               std::make_move_iterator(chunk.trees.begin()),
+                               std::make_move_iterator(chunk.trees.end()));
+    return;
+  }
+
+  std::shared_ptr<Pending> pending;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;
+    pending = std::move(it->second);
+    pending_.erase(it);
+  }
+
+  if (type == wire::MessageType::error_response) {
+    const wire::ErrorResponse error = wire::decode_error_response(message);
+    auto exception = std::make_exception_ptr(ServiceError(error.code, error.detail));
+    if (pending->is_batch)
+      pending->batch_promise.set_exception(exception);
+    else
+      pending->bytes_promise.set_exception(exception);
+    return;
+  }
+
+  if (pending->is_batch) {
+    BatchResponse response;
+    try {
+      if (type != wire::MessageType::batch_response)
+        transport_error("reply to a batch request is neither a response nor a chunk");
+      response = wire::decode_batch_response(message);
+    } catch (...) {
+      pending->batch_promise.set_exception(std::current_exception());
+      throw;  // the stream is suspect: poison the connection
+    }
+    if (!pending->chunk_trees.empty())
+      response.batch.trees.insert(response.batch.trees.begin(),
+                                  std::make_move_iterator(pending->chunk_trees.begin()),
+                                  std::make_move_iterator(pending->chunk_trees.end()));
+    pending->batch_promise.set_value(std::move(response));
+    return;
+  }
+
+  (void)link;
+  pending->bytes_promise.set_value(std::move(message));
+}
+
+// ----------------------------------------------------------------- calls
+
+std::uint64_t RemoteService::send_request(const wire::Bytes& message,
+                                          std::shared_ptr<Pending> pending) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ensure_connected(lock);
+  // The server's hello bounded what it will read; a too-big request is the
+  // caller's problem (typed, before anything is registered or sent), not a
+  // poisoned connection.
+  if (12 + message.size() > link_->peer_max_frame_bytes)
+    throw ServiceError(ServiceErrorCode::invalid_request,
+                       "request of " + std::to_string(message.size()) +
+                           " bytes exceeds the peer's frame limit of " +
+                           std::to_string(link_->peer_max_frame_bytes));
+  const std::uint64_t id = next_request_id_++;
+  pending->generation = link_->generation;
+  std::shared_ptr<Link> link = link_;
+  pending_.emplace(id, std::move(pending));
+  lock.unlock();
+
+  bool ok = false;
+  {
+    std::lock_guard<std::mutex> write_lock(link->write_mutex);
+    ok = transport::write_frame(*link->connection, id, message);
+  }
+  if (!ok) {
+    // The reader will fail this generation's pending calls (ours included,
+    // unless it already has); closing here just accelerates it.
+    link->connection->close();
+  }
+  return id;
+}
+
+wire::Bytes RemoteService::rpc(const wire::Bytes& request) const {
+  auto pending = std::make_shared<Pending>();
+  std::future<wire::Bytes> future = pending->bytes_promise.get_future();
+  const std::uint64_t id = send_request(request, std::move(pending));
+  if (options_.request_timeout.count() <= 0) return future.get();
+  if (future.wait_for(options_.request_timeout) != std::future_status::ready) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.erase(id);  // a late reply finds no pending and is dropped
+    throw ServiceError(ServiceErrorCode::timeout,
+                       "no response from the remote service within " +
+                           std::to_string(options_.request_timeout.count()) + "ms");
+  }
+  return future.get();
+}
+
+std::pair<std::future<BatchResponse>, std::uint64_t> RemoteService::submit_batch_traced(
+    const BatchRequest& request) const {
+  auto pending = std::make_shared<Pending>();
+  pending->is_batch = true;
+  std::future<BatchResponse> future = pending->batch_promise.get_future();
+  const std::uint64_t id = send_request(wire::encode(request), std::move(pending));
+  return {std::move(future), id};
+}
+
+Fingerprint RemoteService::admit(const AdmitRequest& request) {
+  return wire::decode_fingerprint_response(rpc(wire::encode(request)));
+}
+
+bool RemoteService::admitted(const Fingerprint& fp) const {
+  return wire::decode_bool_response(
+      rpc(wire::encode_query(wire::MessageType::admitted_query, fp)));
+}
+
+bool RemoteService::resident(const Fingerprint& fp) const {
+  return wire::decode_bool_response(
+      rpc(wire::encode_query(wire::MessageType::resident_query, fp)));
+}
+
+std::int64_t RemoteService::prepare_count(const Fingerprint& fp) const {
+  return wire::decode_count_response(
+      rpc(wire::encode_query(wire::MessageType::prepare_count_query, fp)));
+}
+
+BatchResponse RemoteService::sample_batch(const BatchRequest& request) {
+  auto [future, id] = submit_batch_traced(request);
+  if (options_.request_timeout.count() <= 0) return future.get();
+  if (future.wait_for(options_.request_timeout) != std::future_status::ready) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.erase(id);
+    throw ServiceError(ServiceErrorCode::timeout,
+                       "no batch response from the remote service within " +
+                           std::to_string(options_.request_timeout.count()) + "ms");
+  }
+  return future.get();
+}
+
+std::future<BatchResponse> RemoteService::submit_batch(const BatchRequest& request) {
+  // The async surface has exactly one error channel: the future. Connection
+  // failures included.
+  try {
+    return submit_batch_traced(request).first;
+  } catch (...) {
+    std::promise<BatchResponse> failed;
+    failed.set_exception(std::current_exception());
+    return failed.get_future();
+  }
+}
+
+ServiceStats RemoteService::stats() const {
+  return wire::decode_service_stats(rpc(wire::encode_stats_query()));
+}
+
+bool RemoteService::connected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return link_ != nullptr && link_->alive;
+}
+
+std::int64_t RemoteService::reconnect_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return reconnects_;
+}
+
+std::int64_t RemoteService::chunk_frames_received() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return chunk_frames_;
+}
+
+// ---------------------------------------------------------- LoopbackShard
+
+LoopbackShard::LoopbackShard(std::unique_ptr<SamplerService> backend,
+                             transport::ServerOptions server_options,
+                             RemoteOptions client_options)
+    : backend_(std::move(backend)), server_(*backend_, server_options) {
+  remote_ = std::make_unique<RemoteService>(
+      [this]() -> std::shared_ptr<transport::Connection> {
+        auto [client_end, server_end] = transport::make_pipe();
+        std::lock_guard<std::mutex> lock(threads_mutex_);
+        server_ends_.push_back(server_end);
+        server_threads_.emplace_back(
+            [this, server = server_end] { server_.serve(server); });
+        return client_end;
+      },
+      client_options);
+}
+
+LoopbackShard::~LoopbackShard() {
+  remote_.reset();  // closes the client end; serve() loops see EOF and exit
+  std::lock_guard<std::mutex> lock(threads_mutex_);
+  for (const std::shared_ptr<transport::Connection>& end : server_ends_) end->close();
+  for (std::thread& thread : server_threads_)
+    if (thread.joinable()) thread.join();
+}
+
+Fingerprint LoopbackShard::admit(const AdmitRequest& request) {
+  return remote_->admit(request);
+}
+
+bool LoopbackShard::admitted(const Fingerprint& fp) const {
+  return remote_->admitted(fp);
+}
+
+bool LoopbackShard::resident(const Fingerprint& fp) const {
+  return remote_->resident(fp);
+}
+
+std::int64_t LoopbackShard::prepare_count(const Fingerprint& fp) const {
+  return remote_->prepare_count(fp);
+}
+
+BatchResponse LoopbackShard::sample_batch(const BatchRequest& request) {
+  return remote_->sample_batch(request);
+}
+
+std::future<BatchResponse> LoopbackShard::submit_batch(const BatchRequest& request) {
+  return remote_->submit_batch(request);
+}
+
+ServiceStats LoopbackShard::stats() const { return remote_->stats(); }
+
+}  // namespace cliquest::engine

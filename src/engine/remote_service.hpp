@@ -1,0 +1,168 @@
+#pragma once
+
+// RemoteService: a SamplerService whose implementation lives on the other
+// side of a transport::Connection — the client half of the RPC protocol in
+// engine/transport.hpp. Because it implements the same interface as
+// LocalService, a ShardedService routes to local and remote shards without
+// changing a line: the remote leg is purely a deployment decision.
+//
+// Semantics:
+//   - Connection lifecycle: the first call connects (through the supplied
+//     ConnectionFactory) and performs the versioned handshake; a dropped
+//     connection is re-dialed on the next call with exponential backoff
+//     capped at backoff_cap, up to max_connect_attempts per call. A peer
+//     speaking a foreign wire version fails immediately with the codec's
+//     typed version_mismatch — no retry, the peer will not change its mind.
+//   - Multiplexing: every request carries a fresh request id; one reader
+//     thread routes response frames back to their caller, so any number of
+//     submit_batch futures share the connection and responses may arrive in
+//     any order (the server completes batches out of order by design).
+//   - Failure: when the connection drops, every in-flight request fails with
+//     ServiceError{transport} through its future — never a hang, never a
+//     torn future. Sync calls additionally honor request_timeout with
+//     ServiceError{timeout}.
+//   - Streaming: large batches arrive as batch_chunk frames (negotiated in
+//     the handshake) and are reassembled before the future resolves, so
+//     callers never see chunking.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/service.hpp"
+#include "engine/transport.hpp"
+
+namespace cliquest::engine {
+
+struct RemoteOptions {
+  /// Deadline for synchronous calls (admit, queries, sample_batch). Zero
+  /// waits forever. submit_batch futures are not timed — pair them with
+  /// submit_all's deadline when a bound is needed.
+  std::chrono::milliseconds request_timeout{30000};
+
+  /// Connection attempts per call before giving up with
+  /// ServiceError{transport}.
+  int max_connect_attempts = 5;
+
+  /// Backoff between attempts: backoff_initial doubling up to backoff_cap.
+  std::chrono::milliseconds backoff_initial{10};
+  std::chrono::milliseconds backoff_cap{1000};
+
+  std::uint32_t max_frame_bytes = transport::kDefaultMaxFrameBytes;
+
+  /// Advertised willingness to reassemble streamed batches (0 = ask the
+  /// server not to chunk).
+  std::uint32_t batch_chunk_trees = 512;
+};
+
+class RemoteService final : public SamplerService {
+ public:
+  /// Produces a fresh Connection per (re)connect attempt; throw
+  /// ServiceError{transport} (or return nullptr) when the peer is
+  /// unreachable right now.
+  using ConnectionFactory = std::function<std::shared_ptr<transport::Connection>()>;
+
+  explicit RemoteService(ConnectionFactory factory, RemoteOptions options = {});
+  ~RemoteService() override;
+
+  Fingerprint admit(const AdmitRequest& request) override;
+  bool admitted(const Fingerprint& fp) const override;
+  bool resident(const Fingerprint& fp) const override;
+  std::int64_t prepare_count(const Fingerprint& fp) const override;
+  BatchResponse sample_batch(const BatchRequest& request) override;
+  std::future<BatchResponse> submit_batch(const BatchRequest& request) override;
+  ServiceStats stats() const override;
+
+  /// True while a handshaken connection is up (a failed peer is only
+  /// noticed when a call touches it).
+  bool connected() const;
+
+  /// Times a live connection was re-established after the first (tests and
+  /// benches read these; both are monotone).
+  std::int64_t reconnect_count() const;
+
+  /// batch_chunk frames reassembled so far — proves streaming actually
+  /// happened in the conformance tests.
+  std::int64_t chunk_frames_received() const;
+
+ private:
+  struct Pending;
+  struct Link;
+
+  /// Establishes link_ (connect + handshake + reader spawn) under `lock`,
+  /// which it may drop and retake. Throws ServiceError{transport} after
+  /// max_connect_attempts, version_mismatch immediately.
+  void ensure_connected(std::unique_lock<std::mutex>& lock) const;
+  std::shared_ptr<Link> connect_once() const;
+  void teardown_link(std::shared_ptr<Link> link) const;
+  void reader_loop(std::shared_ptr<Link> link) const;
+  void handle_frame(Link& link, std::uint64_t request_id, wire::Bytes message) const;
+
+  /// Registers a pending call and writes its request frame; returns the
+  /// request id. Caller holds no lock.
+  std::uint64_t send_request(const wire::Bytes& message,
+                             std::shared_ptr<Pending> pending) const;
+
+  /// Synchronous round trip for the non-batch calls: returns the raw
+  /// response message (type-checked by the caller's decode).
+  wire::Bytes rpc(const wire::Bytes& request) const;
+
+  /// submit_batch body; returns the future plus the id needed to cancel on
+  /// timeout.
+  std::pair<std::future<BatchResponse>, std::uint64_t> submit_batch_traced(
+      const BatchRequest& request) const;
+
+  ConnectionFactory factory_;
+  RemoteOptions options_;
+
+  /// Guards link_, pending_, next_request_id_, and the connect gate. Never
+  /// held while blocking on the network.
+  mutable std::mutex mutex_;
+  mutable std::condition_variable connect_cv_;
+  mutable bool connecting_ = false;
+  mutable std::shared_ptr<Link> link_;
+  mutable std::uint64_t next_request_id_ = 1;  // 0 is the handshake
+  mutable std::uint64_t next_generation_ = 1;
+  mutable std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
+  mutable std::int64_t reconnects_ = 0;
+  mutable std::int64_t chunk_frames_ = 0;
+};
+
+/// A complete in-process remote leg: a transport::Server serving `backend`
+/// over the loopback pipe, with a RemoteService client in front — all
+/// behind the SamplerService interface, so it plugs into ShardedService as
+/// a shard. This is the wiring the conformance suite, the fault harness,
+/// and bench_remote_transport measure; production deployments do the same
+/// with tcp_connect/TcpListener across real processes.
+class LoopbackShard final : public SamplerService {
+ public:
+  explicit LoopbackShard(std::unique_ptr<SamplerService> backend,
+                         transport::ServerOptions server_options = {},
+                         RemoteOptions client_options = {});
+  ~LoopbackShard() override;
+
+  Fingerprint admit(const AdmitRequest& request) override;
+  bool admitted(const Fingerprint& fp) const override;
+  bool resident(const Fingerprint& fp) const override;
+  std::int64_t prepare_count(const Fingerprint& fp) const override;
+  BatchResponse sample_batch(const BatchRequest& request) override;
+  std::future<BatchResponse> submit_batch(const BatchRequest& request) override;
+  ServiceStats stats() const override;
+
+  RemoteService& remote() { return *remote_; }
+  SamplerService& backend() { return *backend_; }
+
+ private:
+  std::unique_ptr<SamplerService> backend_;
+  transport::Server server_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> server_threads_;
+  std::vector<std::shared_ptr<transport::Connection>> server_ends_;
+  std::unique_ptr<RemoteService> remote_;  // destroyed first: closes the pipe
+};
+
+}  // namespace cliquest::engine

@@ -36,6 +36,8 @@ void merge_stats(PoolStats& into, const PoolStats& from) {
 
 }  // namespace
 
+SamplerService::~SamplerService() = default;  // watcher futures join here
+
 std::vector<std::future<BatchResponse>> SamplerService::submit_all(
     const std::vector<BatchRequest>& requests) {
   std::vector<std::future<BatchResponse>> futures;
@@ -46,6 +48,75 @@ std::vector<std::future<BatchResponse>> SamplerService::submit_all(
   for (const BatchRequest& request : requests)
     futures.push_back(submit_batch(request));
   return futures;
+}
+
+std::vector<std::future<BatchResponse>> SamplerService::submit_all(
+    const std::vector<BatchRequest>& requests, std::chrono::milliseconds deadline) {
+  const auto expiry = std::chrono::steady_clock::now() + deadline;
+  auto inner = std::make_shared<std::vector<std::future<BatchResponse>>>(
+      submit_all(requests));
+  auto promises = std::make_shared<std::vector<std::promise<BatchResponse>>>(
+      inner->size());
+  std::vector<std::future<BatchResponse>> wrapped;
+  wrapped.reserve(promises->size());
+  for (std::promise<BatchResponse>& promise : *promises)
+    wrapped.push_back(promise.get_future());
+
+  // One watcher per fan-out forwards each child future as it completes and
+  // expires the stragglers at the deadline. It never calls get() on an
+  // unready future after expiry, so a wedged shard costs the watcher nothing
+  // beyond the deadline itself.
+  auto watcher = std::async(std::launch::async, [inner, promises, expiry, deadline] {
+    std::vector<bool> done(inner->size(), false);
+    std::size_t remaining = inner->size();
+    while (remaining > 0) {
+      bool progressed = false;
+      for (std::size_t i = 0; i < inner->size(); ++i) {
+        if (done[i]) continue;
+        if ((*inner)[i].wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+          continue;
+        done[i] = true;
+        --remaining;
+        progressed = true;
+        try {
+          (*promises)[i].set_value((*inner)[i].get());
+        } catch (...) {
+          (*promises)[i].set_exception(std::current_exception());
+        }
+      }
+      if (remaining == 0) break;
+      if (std::chrono::steady_clock::now() >= expiry) {
+        auto timeout = std::make_exception_ptr(ServiceError(
+            ServiceErrorCode::timeout,
+            "shard response missed the " + std::to_string(deadline.count()) +
+                "ms submit_all deadline"));
+        for (std::size_t i = 0; i < inner->size(); ++i)
+          if (!done[i]) (*promises)[i].set_exception(timeout);
+        break;
+      }
+      if (!progressed) {
+        // Nothing ready: sleep briefly on the first straggler (bounded so a
+        // different future completing early is noticed promptly).
+        for (std::size_t i = 0; i < inner->size(); ++i) {
+          if (done[i]) continue;
+          (*inner)[i].wait_for(std::chrono::milliseconds(1));
+          break;
+        }
+      }
+    }
+  });
+
+  {
+    std::lock_guard<std::mutex> lock(watchers_mutex_);
+    // Prune watchers from completed fan-outs so long-lived services do not
+    // accumulate them.
+    std::erase_if(watchers_, [](std::future<void>& f) {
+      return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+    });
+    watchers_.push_back(std::move(watcher));
+  }
+  return wrapped;
 }
 
 // ------------------------------------------------------------ LocalService

@@ -28,9 +28,11 @@
 //     each child keeps its own per-fingerprint draw cursors, so a batch
 //     sequence replays identically no matter how many shards serve it.
 
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "engine/errors.hpp"
@@ -72,7 +74,7 @@ struct ServiceStats {
 
 class SamplerService {
  public:
-  virtual ~SamplerService() = default;
+  virtual ~SamplerService();
 
   SamplerService() = default;
   SamplerService(const SamplerService&) = delete;
@@ -109,7 +111,26 @@ class SamplerService {
   std::vector<std::future<BatchResponse>> submit_all(
       const std::vector<BatchRequest>& requests);
 
+  /// Deadline variant: any response not ready within `deadline` of
+  /// submission fails its future with ServiceError{timeout}; responses that
+  /// do land in time are unaffected and still delivered as they complete.
+  /// One stuck or unreachable shard therefore cannot wedge the fan-out —
+  /// the serving-path property the fault-injection harness pins down. The
+  /// returned futures stay promise-backed (wait_for readiness polling
+  /// works). Draw-index ranges are reserved at submission as always, so a
+  /// timed-out batch still consumed its range: replaying the sequence after
+  /// a timeout keeps every other batch's streams unchanged.
+  std::vector<std::future<BatchResponse>> submit_all(
+      const std::vector<BatchRequest>& requests, std::chrono::milliseconds deadline);
+
   virtual ServiceStats stats() const = 0;
+
+ private:
+  /// Deadline watchers from submit_all: async tasks that forward child
+  /// futures into the wrapper promises (or expire them). Finished watchers
+  /// are pruned on the next call; the rest are joined in ~SamplerService.
+  std::mutex watchers_mutex_;
+  std::vector<std::future<void>> watchers_;
 };
 
 /// SamplerPool behind the service interface. The pool's semantics are the

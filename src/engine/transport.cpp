@@ -1,0 +1,521 @@
+#include "engine/transport.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cliquest::engine::transport {
+namespace {
+
+[[noreturn]] void transport_error(const std::string& detail) {
+  throw ServiceError(ServiceErrorCode::transport, detail);
+}
+
+// ------------------------------------------------------------------- pipe
+
+/// One direction of the loopback pipe: a byte queue both ends share.
+struct PipeBuffer {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::uint8_t> data;
+  bool closed = false;
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      closed = true;
+    }
+    cv.notify_all();
+  }
+};
+
+class PipeConnection final : public Connection {
+ public:
+  PipeConnection(std::shared_ptr<PipeBuffer> in, std::shared_ptr<PipeBuffer> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  std::size_t read_some(std::uint8_t* out, std::size_t max) override {
+    std::unique_lock<std::mutex> lock(in_->mutex);
+    in_->cv.wait(lock, [&] { return !in_->data.empty() || in_->closed; });
+    // Closed with bytes still queued: drain them first, EOF after.
+    const std::size_t n = std::min(max, in_->data.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = in_->data.front();
+      in_->data.pop_front();
+    }
+    return n;
+  }
+
+  bool write_all(std::span<const std::uint8_t> bytes) override {
+    {
+      std::lock_guard<std::mutex> lock(out_->mutex);
+      if (out_->closed) return false;
+      out_->data.insert(out_->data.end(), bytes.begin(), bytes.end());
+    }
+    out_->cv.notify_all();
+    return true;
+  }
+
+  void close() override {
+    in_->close();
+    out_->close();
+  }
+
+ private:
+  std::shared_ptr<PipeBuffer> in_;
+  std::shared_ptr<PipeBuffer> out_;
+};
+
+// -------------------------------------------------------------------- tcp
+
+class TcpConnection final : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpConnection() override { ::close(fd_); }
+
+  std::size_t read_some(std::uint8_t* out, std::size_t max) override {
+    for (;;) {
+      const ssize_t n = ::recv(fd_, out, max, 0);
+      if (n > 0) return static_cast<std::size_t>(n);
+      if (n == 0) return 0;
+      if (errno == EINTR) continue;
+      // A reset peer and a locally closed socket both read as EOF: the
+      // caller's framing decides whether the stream tore mid-frame.
+      if (closed_.load() || errno == ECONNRESET) return 0;
+      transport_error(std::string("recv failed: ") + std::strerror(errno));
+    }
+  }
+
+  bool write_all(std::span<const std::uint8_t> bytes) override {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void close() override {
+    if (!closed_.exchange(true)) ::shutdown(fd_, SHUT_RDWR);
+  }
+
+ private:
+  int fd_;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace
+
+std::pair<std::shared_ptr<Connection>, std::shared_ptr<Connection>> make_pipe() {
+  auto a_to_b = std::make_shared<PipeBuffer>();
+  auto b_to_a = std::make_shared<PipeBuffer>();
+  return {std::make_shared<PipeConnection>(b_to_a, a_to_b),
+          std::make_shared<PipeConnection>(a_to_b, b_to_a)};
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) transport_error(std::string("socket failed: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd_, 16) < 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    transport_error("bind/listen on port " + std::to_string(port) + " failed: " +
+                    detail);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::shared_ptr<Connection> TcpListener::accept() {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return std::make_shared<TcpConnection>(fd);
+    if (errno == EINTR) continue;
+    // close() shuts the listening socket down, which surfaces here as
+    // EINVAL (Linux) or EBADF depending on timing — both mean "stopped".
+    if (errno == EINVAL || errno == EBADF) return nullptr;
+    transport_error(std::string("accept failed: ") + std::strerror(errno));
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::shared_ptr<Connection> tcp_connect(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &results);
+  if (rc != 0)
+    transport_error("cannot resolve " + host + ": " + ::gai_strerror(rc));
+  int fd = -1;
+  std::string detail = "no addresses";
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      detail = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    detail = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0)
+    transport_error("cannot connect to " + host + ":" + std::to_string(port) + ": " +
+                    detail);
+  return std::make_shared<TcpConnection>(fd);
+}
+
+// ---------------------------------------------------------------- framing
+
+namespace {
+
+/// Reads exactly n bytes; returns the count actually read (short only at
+/// EOF).
+std::size_t read_upto(Connection& connection, std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t r = connection.read_some(out + got, n - got);
+    if (r == 0) break;
+    got += r;
+  }
+  return got;
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) {
+  std::uint32_t x = 0;
+  for (int i = 0; i < 4; ++i) x |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return x;
+}
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) x |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return x;
+}
+
+}  // namespace
+
+bool write_frame(Connection& connection, std::uint64_t request_id,
+                 std::span<const std::uint8_t> message) {
+  wire::Bytes frame;
+  frame.reserve(12 + message.size());
+  const std::uint32_t length = static_cast<std::uint32_t>(8 + message.size());
+  for (int i = 0; i < 4; ++i)
+    frame.push_back(static_cast<std::uint8_t>(length >> (8 * i)));
+  for (int i = 0; i < 8; ++i)
+    frame.push_back(static_cast<std::uint8_t>(request_id >> (8 * i)));
+  frame.insert(frame.end(), message.begin(), message.end());
+  return connection.write_all(frame);
+}
+
+std::optional<Frame> read_frame(Connection& connection,
+                                std::uint32_t max_frame_bytes) {
+  std::uint8_t header[12];
+  const std::size_t got = read_upto(connection, header, sizeof(header));
+  if (got == 0) return std::nullopt;  // orderly close between frames
+  if (got < sizeof(header))
+    transport_error("connection closed mid-frame (" + std::to_string(got) +
+                    " of 12 header bytes)");
+  // The length field counts the request id plus the message, so the
+  // smallest plausible value is kMinFrameBytes (id + wire envelope).
+  const std::uint32_t length = load_u32(header);
+  if (length < kMinFrameBytes || length > max_frame_bytes)
+    throw ServiceError(ServiceErrorCode::malformed_message,
+                       "frame length " + std::to_string(length) + " outside [" +
+                           std::to_string(kMinFrameBytes) + ", " +
+                           std::to_string(max_frame_bytes) + "]");
+  Frame frame;
+  frame.request_id = load_u64(header + 4);
+  frame.message.resize(length - 8);
+  const std::size_t body = read_upto(connection, frame.message.data(),
+                                     frame.message.size());
+  if (body < frame.message.size())
+    transport_error("connection closed mid-frame (" + std::to_string(body) + " of " +
+                    std::to_string(frame.message.size()) + " payload bytes)");
+  return frame;
+}
+
+// ----------------------------------------------------------------- server
+
+namespace {
+
+/// ServiceError::what() is "<code name>: <detail>"; strip the deterministic
+/// prefix so the detail does not double the code when it crosses the wire
+/// and gets re-wrapped on the far side.
+std::string error_detail(const ServiceError& e) {
+  const std::string what = e.what();
+  const std::string prefix = std::string(service_error_name(e.code())) + ": ";
+  if (what.rfind(prefix, 0) == 0) return what.substr(prefix.size());
+  return what;
+}
+
+struct PendingBatch {
+  std::uint64_t request_id = 0;
+  std::future<BatchResponse> future;
+};
+
+}  // namespace
+
+Server::Server(SamplerService& service, ServerOptions options)
+    : service_(service), options_(options) {}
+
+void Server::serve(std::shared_ptr<Connection> connection) {
+  Connection& c = *connection;
+
+  // ---- handshake: one hello frame each way before anything is served.
+  std::uint32_t chunk_trees = 0;
+  std::uint32_t peer_max_frame = kDefaultMaxFrameBytes;
+  {
+    std::optional<Frame> first;
+    try {
+      first = read_frame(c, options_.max_frame_bytes);
+    } catch (const ServiceError&) {
+      c.close();
+      return;
+    }
+    if (!first) {
+      c.close();
+      return;
+    }
+    try {
+      const wire::Hello peer = wire::decode_hello(first->message);
+      // Effective chunk size: the smaller nonzero advertisement. 0 on
+      // either side disables streaming for the connection.
+      if (options_.batch_chunk_trees != 0 && peer.batch_chunk_trees != 0)
+        chunk_trees = std::min(options_.batch_chunk_trees, peer.batch_chunk_trees);
+      // The peer's receive bound: no outgoing frame may exceed it (0 keeps
+      // the default).
+      if (peer.max_frame_bytes != 0) peer_max_frame = peer.max_frame_bytes;
+    } catch (const ServiceError& e) {
+      // A foreign wire version (or a garbled hello) gets the typed rejection
+      // the codec produced — version_mismatch crosses the wire as itself.
+      write_frame(c, first->request_id,
+                  wire::encode(wire::ErrorResponse{e.code(), error_detail(e)}));
+      c.close();
+      return;
+    }
+    const wire::Hello mine{options_.max_frame_bytes, options_.batch_chunk_trees};
+    if (!write_frame(c, first->request_id, wire::encode(mine))) {
+      c.close();
+      return;
+    }
+  }
+
+  // ---- responder: writes batch responses in completion order, so a slow
+  // batch never blocks a fast one submitted after it (responses multiplex by
+  // request id; the client reassembles by id, not by arrival order).
+  std::mutex write_mutex;  // serializes frames from dispatcher + responder
+  std::mutex pending_mutex;
+  std::condition_variable pending_cv;
+  std::deque<PendingBatch> pending;
+  bool done = false;
+
+  // Every outgoing frame respects the peer's advertised receive bound: a
+  // message that would exceed it is replaced by a (small) typed
+  // error_response, so the peer sees a clean per-request failure instead of
+  // a frame its reader must classify as hostile and poison the connection
+  // over. Callers hold write_mutex.
+  const auto write_bounded = [&](std::uint64_t id, const wire::Bytes& message) {
+    if (12 + message.size() > peer_max_frame)
+      return write_frame(
+          c, id,
+          wire::encode(wire::ErrorResponse{
+              ServiceErrorCode::unavailable,
+              "response of " + std::to_string(message.size()) +
+                  " bytes exceeds your advertised frame limit of " +
+                  std::to_string(peer_max_frame) + " (raise max_frame_bytes or "
+                  "enable batch chunking)"}));
+    return write_frame(c, id, message);
+  };
+
+  const auto write_response = [&](std::uint64_t id, const BatchResponse& response) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (chunk_trees != 0 && response.batch.trees.size() > chunk_trees) {
+      // Streamed: ship the trees in chunk frames, then the terminal
+      // batch_response carrying the report with its tree list emptied.
+      const std::span<const graph::TreeEdges> trees = response.batch.trees;
+      std::uint32_t seq = 0;
+      std::size_t offset = 0;
+      while (offset < trees.size()) {
+        const std::size_t take = std::min<std::size_t>(chunk_trees,
+                                                       trees.size() - offset);
+        const wire::Bytes chunk = wire::encode_batch_chunk(
+            response.fingerprint, seq, trees.subspan(offset, take));
+        if (!write_bounded(id, chunk)) return false;
+        ++seq;
+        offset += take;
+      }
+      BatchResponse tail = response;
+      tail.batch.trees.clear();
+      return write_bounded(id, wire::encode(tail));
+    }
+    return write_bounded(id, wire::encode(response));
+  };
+
+  const auto write_error = [&](std::uint64_t id, ServiceErrorCode code,
+                               const std::string& detail) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    return write_bounded(id, wire::encode(wire::ErrorResponse{code, detail}));
+  };
+
+  std::thread responder([&] {
+    std::unique_lock<std::mutex> lock(pending_mutex);
+    for (;;) {
+      pending_cv.wait(lock, [&] { return done || !pending.empty(); });
+      if (done) return;  // abandoned futures resolve in their pool; see below
+      // Serve whichever in-flight batch finished, not the oldest: a stuck
+      // shard must not wedge responses for batches behind it.
+      bool wrote = false;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (pending[i].future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+          continue;
+        PendingBatch job = std::move(pending[i]);
+        pending.erase(pending.begin() + static_cast<long>(i));
+        lock.unlock();
+        try {
+          write_response(job.request_id, job.future.get());
+        } catch (const ServiceError& e) {
+          write_error(job.request_id, e.code(), error_detail(e));
+        } catch (const std::exception& e) {
+          write_error(job.request_id, ServiceErrorCode::unavailable, e.what());
+        }
+        lock.lock();
+        wrote = true;
+        break;
+      }
+      if (!wrote && !pending.empty()) {
+        // Nothing ready: sleep briefly off the lock on the oldest future.
+        std::future<BatchResponse>& oldest = pending.front().future;
+        lock.unlock();
+        oldest.wait_for(std::chrono::milliseconds(1));
+        lock.lock();
+      }
+    }
+  });
+
+  // ---- dispatch loop: frame -> peek -> decode -> the same SamplerService
+  // virtuals a local caller uses -> encode.
+  for (;;) {
+    std::optional<Frame> frame;
+    try {
+      frame = read_frame(c, options_.max_frame_bytes);
+    } catch (const ServiceError&) {
+      break;  // torn frame or hostile length: framing is gone, hang up
+    }
+    if (!frame) break;  // peer closed
+    const std::uint64_t id = frame->request_id;
+    bool ok = true;
+    try {
+      switch (wire::peek_type(frame->message)) {
+        case wire::MessageType::admit_request: {
+          const Fingerprint fp =
+              service_.admit(wire::decode_admit_request(frame->message));
+          std::lock_guard<std::mutex> lock(write_mutex);
+          ok = write_bounded(id, wire::encode_fingerprint_response(fp));
+          break;
+        }
+        case wire::MessageType::admitted_query: {
+          const bool value = service_.admitted(
+              wire::decode_query(frame->message, wire::MessageType::admitted_query));
+          std::lock_guard<std::mutex> lock(write_mutex);
+          ok = write_bounded(id, wire::encode_bool_response(value));
+          break;
+        }
+        case wire::MessageType::resident_query: {
+          const bool value = service_.resident(
+              wire::decode_query(frame->message, wire::MessageType::resident_query));
+          std::lock_guard<std::mutex> lock(write_mutex);
+          ok = write_bounded(id, wire::encode_bool_response(value));
+          break;
+        }
+        case wire::MessageType::prepare_count_query: {
+          const std::int64_t value = service_.prepare_count(wire::decode_query(
+              frame->message, wire::MessageType::prepare_count_query));
+          std::lock_guard<std::mutex> lock(write_mutex);
+          ok = write_bounded(id, wire::encode_count_response(value));
+          break;
+        }
+        case wire::MessageType::stats_query: {
+          wire::decode_stats_query(frame->message);
+          const ServiceStats stats = service_.stats();
+          std::lock_guard<std::mutex> lock(write_mutex);
+          ok = write_bounded(id, wire::encode(stats));
+          break;
+        }
+        case wire::MessageType::batch_request: {
+          // submit_batch reserves the draw-index range now, so frame arrival
+          // order fixes the streams exactly as local submission order would;
+          // the response is written by the responder when the future lands.
+          const BatchRequest request = wire::decode_batch_request(frame->message);
+          std::future<BatchResponse> future = service_.submit_batch(request);
+          {
+            std::lock_guard<std::mutex> lock(pending_mutex);
+            pending.push_back({id, std::move(future)});
+          }
+          pending_cv.notify_one();
+          break;
+        }
+        default:
+          throw ServiceError(ServiceErrorCode::malformed_message,
+                             "message type is not a transport request");
+      }
+    } catch (const ServiceError& e) {
+      ok = write_error(id, e.code(), error_detail(e));
+    } catch (const std::exception& e) {
+      ok = write_error(id, ServiceErrorCode::unavailable, e.what());
+    }
+    if (!ok) break;  // peer stopped reading
+  }
+
+  // ---- teardown. In-flight batch futures are abandoned, not awaited: their
+  // pool completes them regardless (promise-backed), and the peer that would
+  // have read the responses is gone.
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex);
+    done = true;
+  }
+  pending_cv.notify_all();
+  responder.join();
+  c.close();
+}
+
+}  // namespace cliquest::engine::transport

@@ -1,0 +1,155 @@
+#pragma once
+
+// The remote leg of the serving stack (ROADMAP e): byte streams, framing,
+// and the server side of the SamplerService RPC protocol.
+//
+// Layering, bottom up:
+//
+//   Connection      a blocking bidirectional byte stream. Two concrete
+//                   flavors ship here — an in-memory loopback pipe (tests,
+//                   benches, single-process demos) and a TCP socket — and
+//                   the interface is small enough that tests can decorate it
+//                   with fault injection (truncation, delays, drops).
+//   Frame           the length-framed request/response envelope:
+//                       u32 length | u64 request_id | wire message bytes
+//                   (integers little-endian; length counts everything after
+//                   itself). Request ids let many in-flight submit_batch
+//                   futures multiplex over one connection: responses echo
+//                   the id of the request they answer, and a streamed batch
+//                   sends several frames under one id (batch_chunk* then the
+//                   terminal batch_response).
+//   Server          accepts one handshake frame (wire::Hello, id 0), then
+//                   loops wire::peek_type -> decode -> dispatch to the same
+//                   SamplerService virtuals every local caller uses ->
+//                   encode. Batch requests run through submit_batch, so
+//                   draw-cursor reservation order is frame arrival order and
+//                   responses leave in completion order (out-of-order by
+//                   design); every failure is answered with a typed
+//                   wire::ErrorResponse, never a dropped request.
+//
+// The client half — RemoteService, a SamplerService over a Connection — and
+// the in-process loopback wiring live in engine/remote_service.hpp.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "engine/service.hpp"
+#include "engine/wire.hpp"
+
+namespace cliquest::engine::transport {
+
+/// A blocking bidirectional byte stream between two peers. Implementations
+/// must tolerate concurrent use by one reader thread and one writer thread,
+/// plus close() from any thread (which wakes a blocked reader).
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Blocks until at least one byte is available and delivers up to `max`
+  /// of them. Returns 0 when the stream is closed (either end). Throws
+  /// ServiceError{transport} on a broken stream.
+  virtual std::size_t read_some(std::uint8_t* out, std::size_t max) = 0;
+
+  /// Writes the whole span; returns false when the peer is gone.
+  virtual bool write_all(std::span<const std::uint8_t> bytes) = 0;
+
+  /// Closes both directions and wakes blocked readers on both ends.
+  /// Idempotent.
+  virtual void close() = 0;
+};
+
+/// A cross-wired in-memory pipe: bytes written to one end are read from the
+/// other. close() on either end closes the whole pipe. This is the loopback
+/// transport the conformance and fault-injection suites run on.
+std::pair<std::shared_ptr<Connection>, std::shared_ptr<Connection>> make_pipe();
+
+/// A TCP listener bound to the loopback interface. port 0 picks an
+/// ephemeral port (read it back with port()).
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection; returns nullptr once close() has been
+  /// called. Throws ServiceError{transport} on listener failure.
+  std::shared_ptr<Connection> accept();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to host:port (numeric address or name). Throws
+/// ServiceError{transport} when the peer is unreachable.
+std::shared_ptr<Connection> tcp_connect(const std::string& host, std::uint16_t port);
+
+// --------------------------------------------------------------- framing
+
+struct Frame {
+  std::uint64_t request_id = 0;
+  wire::Bytes message;
+};
+
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 64u << 20;
+
+/// Minimum plausible length-field value: the request id plus a wire
+/// envelope (the length counts everything after itself).
+inline constexpr std::uint32_t kMinFrameBytes = 8 + 7;
+
+/// Writes one frame (single write_all call, so a frame is never interleaved
+/// with another writer holding the same lock). Returns false when the peer
+/// is gone.
+bool write_frame(Connection& connection, std::uint64_t request_id,
+                 std::span<const std::uint8_t> message);
+
+/// Reads one frame. Returns nullopt on an orderly close before the first
+/// byte; throws ServiceError{transport} when the stream tears mid-frame and
+/// ServiceError{malformed_message} when the length field is implausible
+/// (shorter than a frame header or longer than max_frame_bytes).
+std::optional<Frame> read_frame(Connection& connection,
+                                std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+// ---------------------------------------------------------------- server
+
+struct ServerOptions {
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Responses with more trees than this are streamed: batch_chunk frames of
+  /// this many trees each, then the terminal batch_response carrying the
+  /// report. 0 disables chunking. The effective size per connection is the
+  /// smaller nonzero advertisement from the handshake.
+  std::uint32_t batch_chunk_trees = 512;
+};
+
+/// The server side of the RPC protocol over one SamplerService. serve()
+/// handles exactly one connection and blocks until the peer closes (run it
+/// on its own thread per connection; the Server itself is stateless across
+/// connections, so one Server instance can serve many concurrently).
+class Server {
+ public:
+  explicit Server(SamplerService& service, ServerOptions options = {});
+
+  /// Serves `connection` until orderly close or a connection-fatal protocol
+  /// error. Never throws: protocol failures are answered with typed
+  /// ErrorResponse frames where possible and otherwise end the connection.
+  void serve(std::shared_ptr<Connection> connection);
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  SamplerService& service_;
+  ServerOptions options_;
+};
+
+}  // namespace cliquest::engine::transport

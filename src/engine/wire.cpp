@@ -71,7 +71,7 @@ std::uint8_t read_envelope(std::span<const std::uint8_t> bytes) {
                            ", this build speaks " + std::to_string(kVersion));
   const std::uint8_t tag = bytes[6];
   if (tag < static_cast<std::uint8_t>(MessageType::graph) ||
-      tag > static_cast<std::uint8_t>(MessageType::service_stats))
+      tag > static_cast<std::uint8_t>(MessageType::batch_chunk))
     malformed("unknown message tag " + std::to_string(tag));
   return tag;
 }
@@ -359,6 +359,17 @@ void write_pool_stats(Writer& w, const PoolStats& s) {
   w.i32(s.admitted_count);
 }
 
+/// Query tags all carry a bare fingerprint payload; everything else is a
+/// caller bug surfaced as invalid_request (these helpers sit on the sending
+/// side, where malformed_message would wrongly implicate the peer).
+void require_query_tag(MessageType tag) {
+  if (tag != MessageType::admitted_query && tag != MessageType::resident_query &&
+      tag != MessageType::prepare_count_query)
+    throw ServiceError(ServiceErrorCode::invalid_request,
+                       "message tag " + std::to_string(static_cast<int>(tag)) +
+                           " is not a fingerprint query");
+}
+
 PoolStats read_pool_stats(Reader& r) {
   PoolStats s;
   s.admissions = r.i64();
@@ -485,6 +496,136 @@ ServiceStats decode_service_stats(std::span<const std::uint8_t> bytes) {
     stats.shards.push_back(read_pool_stats(r));
   r.done();
   return stats;
+}
+
+// ----------------------------------------------------- v3 transport messages
+
+Bytes encode(const Hello& hello) {
+  Writer w(MessageType::hello);
+  w.u32(hello.max_frame_bytes);
+  w.u32(hello.batch_chunk_trees);
+  return w.finish();
+}
+
+Hello decode_hello(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::hello);
+  Hello hello;
+  hello.max_frame_bytes = r.u32();
+  hello.batch_chunk_trees = r.u32();
+  r.done();
+  return hello;
+}
+
+Bytes encode(const ErrorResponse& error) {
+  Writer w(MessageType::error_response);
+  w.u8(static_cast<std::uint8_t>(error.code));
+  w.str(error.detail);
+  return w.finish();
+}
+
+ErrorResponse decode_error_response(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::error_response);
+  ErrorResponse error;
+  error.code = read_enum<ServiceErrorCode>(
+      r, static_cast<std::uint8_t>(ServiceErrorCode::timeout), "service error code");
+  error.detail = r.str();
+  r.done();
+  return error;
+}
+
+Bytes encode_batch_chunk(const Fingerprint& fp, std::uint32_t seq,
+                         std::span<const graph::TreeEdges> trees) {
+  Writer w(MessageType::batch_chunk);
+  write_fingerprint(w, fp);
+  w.u32(seq);
+  w.u32(static_cast<std::uint32_t>(trees.size()));
+  for (const graph::TreeEdges& tree : trees) write_tree(w, tree);
+  return w.finish();
+}
+
+Bytes encode(const BatchChunk& chunk) {
+  return encode_batch_chunk(chunk.fingerprint, chunk.seq, chunk.trees);
+}
+
+BatchChunk decode_batch_chunk(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::batch_chunk);
+  BatchChunk chunk;
+  chunk.fingerprint = read_fingerprint(r);
+  chunk.seq = r.u32();
+  const std::uint32_t tree_count = r.u32();
+  // Same discipline as read_graph: a tree costs at least its 4-byte edge
+  // count, so a forged tree count fails against the bytes actually present
+  // before any allocation happens.
+  if (tree_count > r.remaining() / 4)
+    malformed("chunk tree count " + std::to_string(tree_count) +
+              " exceeds the remaining payload");
+  for (std::uint32_t i = 0; i < tree_count; ++i) chunk.trees.push_back(read_tree(r));
+  r.done();
+  return chunk;
+}
+
+Bytes encode_fingerprint_response(const Fingerprint& fp) {
+  Writer w(MessageType::fingerprint_response);
+  write_fingerprint(w, fp);
+  return w.finish();
+}
+
+Fingerprint decode_fingerprint_response(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::fingerprint_response);
+  const Fingerprint fp = read_fingerprint(r);
+  r.done();
+  return fp;
+}
+
+Bytes encode_bool_response(bool value) {
+  Writer w(MessageType::bool_response);
+  w.boolean(value);
+  return w.finish();
+}
+
+bool decode_bool_response(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::bool_response);
+  const bool value = r.boolean();
+  r.done();
+  return value;
+}
+
+Bytes encode_count_response(std::int64_t value) {
+  Writer w(MessageType::count_response);
+  w.i64(value);
+  return w.finish();
+}
+
+std::int64_t decode_count_response(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::count_response);
+  const std::int64_t value = r.i64();
+  r.done();
+  return value;
+}
+
+Bytes encode_stats_query() {
+  Writer w(MessageType::stats_query);
+  return w.finish();
+}
+
+void decode_stats_query(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::stats_query);
+  r.done();
+}
+
+Bytes encode_query(MessageType tag, const Fingerprint& fp) {
+  require_query_tag(tag);
+  Writer w(tag);
+  write_fingerprint(w, fp);
+  return w.finish();
+}
+
+Fingerprint decode_query(std::span<const std::uint8_t> bytes, MessageType tag) {
+  require_query_tag(tag);
+  Reader r(bytes, tag);
+  const Fingerprint fp = read_fingerprint(r);
+  r.done();
+  return fp;
 }
 
 }  // namespace cliquest::engine::wire

@@ -37,7 +37,10 @@ namespace cliquest::engine::wire {
 /// v2: per-draw stats gained schur_cache_hits/misses and service_stats the
 /// Schur-cache counters (schur_cache_hits/misses/trims before
 /// resident_bytes).
-inline constexpr std::uint16_t kVersion = 2;
+/// v3: the remote-transport RPC set (engine/transport.hpp) — handshake
+/// `hello`, typed `error_response`, per-call query/response messages, and
+/// the streaming `batch_chunk` variant of batch_response for large k.
+inline constexpr std::uint16_t kVersion = 3;
 
 using Bytes = std::vector<std::uint8_t>;
 
@@ -48,6 +51,48 @@ enum class MessageType : std::uint8_t {
   batch_request = 4,
   batch_response = 5,
   service_stats = 6,
+  // v3 transport messages. Requests a server dispatches on: admit_request,
+  // batch_request, and the query tags below; everything else is a response.
+  hello = 7,
+  error_response = 8,
+  fingerprint_response = 9,
+  bool_response = 10,
+  count_response = 11,
+  stats_query = 12,
+  admitted_query = 13,
+  resident_query = 14,
+  prepare_count_query = 15,
+  batch_chunk = 16,
+};
+
+/// Handshake message, the first frame in each direction of a transport
+/// connection (engine/transport.hpp). The envelope's version field is what
+/// rejects foreign builds (version_mismatch before any payload parse); the
+/// payload advertises per-peer limits so both sides can negotiate framing:
+/// max_frame_bytes is the sender's receive bound — the peer must not emit a
+/// larger frame (0 = the default bound) — and the effective batch-chunk
+/// size is the smaller nonzero advertisement (0 = that peer does not speak
+/// chunked responses).
+struct Hello {
+  std::uint32_t max_frame_bytes = 0;
+  std::uint32_t batch_chunk_trees = 0;
+};
+
+/// A ServiceError crossing the wire: the code survives the hop typed, the
+/// detail rides along for humans.
+struct ErrorResponse {
+  ServiceErrorCode code = ServiceErrorCode::unavailable;
+  std::string detail;
+};
+
+/// One slice of a streamed BatchResponse: `seq` counts chunks within the
+/// request from 0 and the receiver re-assembles trees in seq order; the
+/// terminal (non-chunk) batch_response frame carries the report and any
+/// trees not shipped in chunks.
+struct BatchChunk {
+  Fingerprint fingerprint;
+  std::uint32_t seq = 0;
+  std::vector<graph::TreeEdges> trees;
 };
 
 /// Validates the envelope (magic, version) and returns the tag without
@@ -60,6 +105,25 @@ Bytes encode(const AdmitRequest& request);
 Bytes encode(const BatchRequest& request);
 Bytes encode(const BatchResponse& response);
 Bytes encode(const ServiceStats& stats);
+Bytes encode(const Hello& hello);
+Bytes encode(const ErrorResponse& error);
+Bytes encode(const BatchChunk& chunk);
+
+/// Encodes a batch_chunk directly from a tree range — the server's
+/// streaming path slices the response's tree list without copying it into a
+/// BatchChunk first.
+Bytes encode_batch_chunk(const Fingerprint& fp, std::uint32_t seq,
+                         std::span<const graph::TreeEdges> trees);
+
+/// Single-value responses and the fingerprint-keyed queries share payload
+/// shapes, so they encode through named helpers instead of overloads.
+/// `tag` must be admitted_query, resident_query, or prepare_count_query;
+/// anything else throws ServiceError{invalid_request}.
+Bytes encode_fingerprint_response(const Fingerprint& fp);
+Bytes encode_bool_response(bool value);
+Bytes encode_count_response(std::int64_t value);
+Bytes encode_stats_query();
+Bytes encode_query(MessageType tag, const Fingerprint& fp);
 
 graph::Graph decode_graph(std::span<const std::uint8_t> bytes);
 EngineOptions decode_options(std::span<const std::uint8_t> bytes);
@@ -67,5 +131,13 @@ AdmitRequest decode_admit_request(std::span<const std::uint8_t> bytes);
 BatchRequest decode_batch_request(std::span<const std::uint8_t> bytes);
 BatchResponse decode_batch_response(std::span<const std::uint8_t> bytes);
 ServiceStats decode_service_stats(std::span<const std::uint8_t> bytes);
+Hello decode_hello(std::span<const std::uint8_t> bytes);
+ErrorResponse decode_error_response(std::span<const std::uint8_t> bytes);
+BatchChunk decode_batch_chunk(std::span<const std::uint8_t> bytes);
+Fingerprint decode_fingerprint_response(std::span<const std::uint8_t> bytes);
+bool decode_bool_response(std::span<const std::uint8_t> bytes);
+std::int64_t decode_count_response(std::span<const std::uint8_t> bytes);
+void decode_stats_query(std::span<const std::uint8_t> bytes);
+Fingerprint decode_query(std::span<const std::uint8_t> bytes, MessageType tag);
 
 }  // namespace cliquest::engine::wire

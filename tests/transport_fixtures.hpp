@@ -1,0 +1,220 @@
+#pragma once
+
+// Shared fixtures for the transport test subsystem: a fault-injecting
+// Connection decorator, a service that never completes a batch (deadline /
+// drop tests), and small wiring helpers. Used by transport_test.cpp and
+// remote_conformance_test.cpp.
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.hpp"
+
+namespace cliquest::engine {
+
+/// A Connection decorator that injects transport faults on an otherwise
+/// healthy inner connection. Faults are scripted per call index so tests
+/// stay deterministic: a "frame" on the write side is one write_all call
+/// (write_frame emits exactly one).
+class FaultyConnection final : public transport::Connection {
+ public:
+  explicit FaultyConnection(std::shared_ptr<transport::Connection> inner)
+      : inner_(std::move(inner)) {}
+
+  /// On the `call`-th write_all (0-based), forward only `keep_bytes` of the
+  /// payload and close the connection: a frame torn mid-flight.
+  void truncate_write_call(int call, std::size_t keep_bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    truncate_call_ = call;
+    truncate_keep_ = keep_bytes;
+  }
+
+  /// All write_all calls from the `call`-th on fail outright (peer gone).
+  void fail_writes_after(int call) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fail_after_call_ = call;
+  }
+
+  /// Sleep this long before every read_some: delayed bytes.
+  void delay_reads(std::chrono::milliseconds delay) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    read_delay_ = delay;
+  }
+
+  /// Deliver at most `n` more read bytes, then EOF.
+  void close_after_read_bytes(std::int64_t n) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    read_budget_ = n;
+  }
+
+  int write_calls() const { return write_calls_.load(); }
+  std::int64_t bytes_written() const { return bytes_written_.load(); }
+  std::int64_t bytes_read() const { return bytes_read_.load(); }
+
+  std::size_t read_some(std::uint8_t* out, std::size_t max) override {
+    std::chrono::milliseconds delay{0};
+    std::int64_t budget = -1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      delay = read_delay_;
+      budget = read_budget_;
+    }
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    if (budget == 0) return 0;
+    std::size_t allowed = max;
+    if (budget > 0)
+      allowed = std::min<std::size_t>(max, static_cast<std::size_t>(budget));
+    const std::size_t n = inner_->read_some(out, allowed);
+    bytes_read_ += static_cast<std::int64_t>(n);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (read_budget_ > 0) {
+        read_budget_ -= static_cast<std::int64_t>(n);
+        if (read_budget_ <= 0) {
+          read_budget_ = 0;
+          inner_->close();
+        }
+      }
+    }
+    return n;
+  }
+
+  bool write_all(std::span<const std::uint8_t> bytes) override {
+    const int call = write_calls_.fetch_add(1);
+    int truncate_call = -1;
+    std::size_t keep = 0;
+    int fail_after = -1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      truncate_call = truncate_call_;
+      keep = truncate_keep_;
+      fail_after = fail_after_call_;
+    }
+    if (fail_after >= 0 && call >= fail_after) return false;
+    if (call == truncate_call) {
+      const std::size_t n = std::min(keep, bytes.size());
+      inner_->write_all(bytes.subspan(0, n));
+      bytes_written_ += static_cast<std::int64_t>(n);
+      inner_->close();
+      return false;
+    }
+    const bool ok = inner_->write_all(bytes);
+    if (ok) bytes_written_ += static_cast<std::int64_t>(bytes.size());
+    return ok;
+  }
+
+  void close() override { inner_->close(); }
+
+ private:
+  std::shared_ptr<transport::Connection> inner_;
+  mutable std::mutex mutex_;
+  int truncate_call_ = -1;
+  std::size_t truncate_keep_ = 0;
+  int fail_after_call_ = -1;
+  std::chrono::milliseconds read_delay_{0};
+  std::int64_t read_budget_ = -1;  // -1 = unlimited
+  std::atomic<int> write_calls_{0};
+  std::atomic<std::int64_t> bytes_written_{0};
+  std::atomic<std::int64_t> bytes_read_{0};
+};
+
+/// A SamplerService whose batches never complete: admits and answers
+/// queries like a healthy shard, but submit_batch futures stay pending
+/// forever. The harness uses it to prove deadlines and teardown paths never
+/// hang on a wedged shard.
+class StuckService final : public SamplerService {
+ public:
+  Fingerprint admit(const AdmitRequest& request) override {
+    const Fingerprint fp = fingerprint_graph(request.graph);
+    std::lock_guard<std::mutex> lock(mutex_);
+    admitted_.push_back(fp);
+    return fp;
+  }
+
+  bool admitted(const Fingerprint& fp) const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Fingerprint& known : admitted_)
+      if (known == fp) return true;
+    return false;
+  }
+
+  bool resident(const Fingerprint&) const override { return false; }
+
+  std::int64_t prepare_count(const Fingerprint&) const override { return 0; }
+
+  BatchResponse sample_batch(const BatchRequest& request) override {
+    // Sync callers wedge exactly like async ones would.
+    return submit_batch(request).get();
+  }
+
+  std::future<BatchResponse> submit_batch(const BatchRequest&) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    promises_.emplace_back();
+    ++submitted_;
+    return promises_.back().get_future();
+  }
+
+  ServiceStats stats() const override { return {}; }
+
+  int submitted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return submitted_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Fingerprint> admitted_;
+  std::vector<std::promise<BatchResponse>> promises_;
+  int submitted_ = 0;
+};
+
+inline EngineOptions wilson_engine(std::uint64_t seed = 3) {
+  EngineOptions options;
+  options.backend = Backend::wilson;
+  options.seed = seed;
+  return options;
+}
+
+inline PoolOptions inline_pool_options(EngineOptions engine, int shard_id = 0) {
+  PoolOptions options;
+  options.workers = 0;
+  options.shard_id = shard_id;
+  options.engine = std::move(engine);
+  return options;
+}
+
+/// A transport::Server serving `service` over one pipe connection on its
+/// own thread; joins on destruction. The returned client end is what the
+/// test (or a RemoteService factory) talks to.
+class ServedPipe {
+ public:
+  explicit ServedPipe(SamplerService& service, transport::ServerOptions options = {})
+      : server_(service, options) {
+    auto [client_end, server_end] = transport::make_pipe();
+    client_ = client_end;
+    server_end_ = server_end;
+    thread_ = std::thread([this] { server_.serve(server_end_); });
+  }
+
+  ~ServedPipe() {
+    client_->close();
+    server_end_->close();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  const std::shared_ptr<transport::Connection>& client() { return client_; }
+
+ private:
+  transport::Server server_;
+  std::shared_ptr<transport::Connection> client_;
+  std::shared_ptr<transport::Connection> server_end_;
+  std::thread thread_;
+};
+
+}  // namespace cliquest::engine

@@ -1,0 +1,245 @@
+// Wire-decode robustness corpus: seed-deterministic mutational fuzzing of
+// valid v3 frames. Every mutant — bit flips, byte edits, truncations,
+// insertions, and 0xFFFFFFFF length-field forgeries — must either decode
+// cleanly or be rejected with the typed malformed_message /
+// version_mismatch, never crash, hang, throw anything else, or demand a
+// giant allocation (the 2^20 vertex cap and the bytes-actually-present
+// checks are what this suite leans on). When a mutant does decode, the
+// codec must have normalized it: encode(decode(x)) is a fixed point.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::engine {
+namespace {
+
+struct CorpusEntry {
+  std::string name;
+  wire::Bytes bytes;
+  /// Decodes with the entry's pinned type and returns the re-encoding.
+  std::function<wire::Bytes(std::span<const std::uint8_t>)> reencode;
+};
+
+EngineOptions fuzz_options() {
+  EngineOptions o;
+  o.backend = Backend::wilson;
+  o.seed = 99;
+  return o;
+}
+
+std::vector<CorpusEntry> build_corpus() {
+  std::vector<CorpusEntry> corpus;
+  const auto add = [&](std::string name, wire::Bytes bytes,
+                       std::function<wire::Bytes(std::span<const std::uint8_t>)> fn) {
+    corpus.push_back({std::move(name), std::move(bytes), std::move(fn)});
+  };
+
+  util::Rng gen(17);
+  graph::Graph weighted(4);
+  weighted.add_edge(0, 1, 0.5);
+  weighted.add_edge(1, 2, 3.25e-9);
+  weighted.add_edge(2, 3, 7.0);
+  weighted.add_edge(0, 3, 1.0);
+  const graph::Graph random_graph = graph::gnp_connected(9, 0.4, gen);
+
+  add("graph", wire::encode(random_graph),
+      [](auto b) { return wire::encode(wire::decode_graph(b)); });
+  add("weighted_graph", wire::encode(weighted),
+      [](auto b) { return wire::encode(wire::decode_graph(b)); });
+  add("options", wire::encode(fuzz_options()),
+      [](auto b) { return wire::encode(wire::decode_options(b)); });
+  add("admit_request", wire::encode(AdmitRequest{weighted, fuzz_options()}),
+      [](auto b) { return wire::encode(wire::decode_admit_request(b)); });
+  add("batch_request",
+      wire::encode(BatchRequest{fingerprint_graph(weighted), 1 << 20}),
+      [](auto b) { return wire::encode(wire::decode_batch_request(b)); });
+
+  // A real served batch so the response carries trees, draws, and a meter.
+  {
+    PoolOptions pool;
+    pool.workers = 0;
+    pool.engine = fuzz_options();
+    LocalService service(pool);
+    const Fingerprint fp = service.admit({random_graph, fuzz_options()});
+    const BatchResponse response = service.sample_batch({fp, 6});
+    add("batch_response", wire::encode(response),
+        [](auto b) { return wire::encode(wire::decode_batch_response(b)); });
+    wire::BatchChunk chunk;
+    chunk.fingerprint = fp;
+    chunk.seq = 2;
+    chunk.trees = response.batch.trees;
+    add("batch_chunk", wire::encode(chunk),
+        [](auto b) { return wire::encode(wire::decode_batch_chunk(b)); });
+    const ServiceStats stats = service.stats();
+    add("service_stats", wire::encode(stats),
+        [](auto b) { return wire::encode(wire::decode_service_stats(b)); });
+  }
+
+  add("hello", wire::encode(wire::Hello{64u << 20, 512}),
+      [](auto b) { return wire::encode(wire::decode_hello(b)); });
+  add("error_response",
+      wire::encode(wire::ErrorResponse{ServiceErrorCode::unknown_fingerprint,
+                                       "fingerprint f00d was never admitted"}),
+      [](auto b) { return wire::encode(wire::decode_error_response(b)); });
+  add("fingerprint_response",
+      wire::encode_fingerprint_response(fingerprint_graph(weighted)), [](auto b) {
+        return wire::encode_fingerprint_response(wire::decode_fingerprint_response(b));
+      });
+  add("bool_response", wire::encode_bool_response(true),
+      [](auto b) { return wire::encode_bool_response(wire::decode_bool_response(b)); });
+  add("count_response", wire::encode_count_response(-12345678901234LL), [](auto b) {
+    return wire::encode_count_response(wire::decode_count_response(b));
+  });
+  add("stats_query", wire::encode_stats_query(), [](auto b) {
+    wire::decode_stats_query(b);
+    return wire::encode_stats_query();
+  });
+  for (const wire::MessageType tag :
+       {wire::MessageType::admitted_query, wire::MessageType::resident_query,
+        wire::MessageType::prepare_count_query}) {
+    add("query_" + std::to_string(static_cast<int>(tag)),
+        wire::encode_query(tag, fingerprint_graph(random_graph)),
+        [tag](auto b) { return wire::encode_query(tag, wire::decode_query(b, tag)); });
+  }
+  return corpus;
+}
+
+/// Applies one seeded mutation. Every operator keeps the buffer small, so a
+/// surviving decode is cheap; what must NOT stay small — forged counts —
+/// is the decoder's job to reject.
+wire::Bytes mutate(const wire::Bytes& original, util::Rng& gen) {
+  wire::Bytes mutant = original;
+  switch (gen.uniform_int(0, 4)) {
+    case 0: {  // single bit flip
+      if (mutant.empty()) break;
+      const std::size_t i = gen.uniform_below(mutant.size());
+      mutant[i] ^= static_cast<std::uint8_t>(1u << gen.uniform_int(0, 7));
+      break;
+    }
+    case 1: {  // random byte overwrite
+      if (mutant.empty()) break;
+      mutant[gen.uniform_below(mutant.size())] =
+          static_cast<std::uint8_t>(gen.uniform_int(0, 255));
+      break;
+    }
+    case 2: {  // truncation
+      mutant.resize(gen.uniform_below(mutant.size() + 1));
+      break;
+    }
+    case 3: {  // insertion (length confusion / trailing bytes)
+      const std::size_t at = gen.uniform_below(mutant.size() + 1);
+      const int count = gen.uniform_int(1, 8);
+      wire::Bytes extra;
+      for (int i = 0; i < count; ++i)
+        extra.push_back(static_cast<std::uint8_t>(gen.uniform_int(0, 255)));
+      mutant.insert(mutant.begin() + static_cast<long>(at), extra.begin(),
+                    extra.end());
+      break;
+    }
+    default: {  // 4-byte length-field forgery: the allocation attack
+      if (mutant.size() < 4) break;
+      const std::size_t at = gen.uniform_below(mutant.size() - 3);
+      for (int i = 0; i < 4; ++i) mutant[at + static_cast<std::size_t>(i)] = 0xff;
+      break;
+    }
+  }
+  return mutant;
+}
+
+/// Feeds one buffer to the entry's decoder and checks the contract: accept
+/// with a stable normal form, or reject typed.
+void check_mutant(const CorpusEntry& entry, const wire::Bytes& mutant) {
+  try {
+    const wire::Bytes normalized = entry.reencode(mutant);
+    // Accepted: the codec's output must be its own fixed point (byte
+    // equality with the mutant itself is too strong — e.g. a mutated meter
+    // label may legitimately re-sort — but normalization must converge).
+    const wire::Bytes again = entry.reencode(normalized);
+    EXPECT_EQ(normalized, again) << entry.name << ": encode(decode(x)) not a fixed point";
+  } catch (const ServiceError& e) {
+    EXPECT_TRUE(e.code() == ServiceErrorCode::malformed_message ||
+                e.code() == ServiceErrorCode::version_mismatch)
+        << entry.name << ": rejected with unexpected code "
+        << service_error_name(e.code());
+  } catch (const std::exception& e) {
+    FAIL() << entry.name << ": non-ServiceError escape: " << e.what();
+  }
+}
+
+TEST(WireFuzzTest, OriginalsRoundTripByteExact) {
+  for (const CorpusEntry& entry : build_corpus()) {
+    SCOPED_TRACE(entry.name);
+    EXPECT_EQ(entry.reencode(entry.bytes), entry.bytes);
+  }
+}
+
+TEST(WireFuzzTest, SeededMutantsDecodeOrRejectTyped) {
+  const std::vector<CorpusEntry> corpus = build_corpus();
+  for (std::size_t c = 0; c < corpus.size(); ++c) {
+    const CorpusEntry& entry = corpus[c];
+    SCOPED_TRACE(entry.name);
+    util::Rng gen(0xF00D + c);  // deterministic per entry: failures replay
+    for (int iteration = 0; iteration < 600; ++iteration)
+      check_mutant(entry, mutate(entry.bytes, gen));
+  }
+}
+
+TEST(WireFuzzTest, LengthFieldSweepNeverAllocatesBlindly) {
+  // Deterministically forge 0xFFFFFFFF into every offset of the early
+  // payload (where the counts live) of every corpus entry: each must reject
+  // as malformed or decode normally — never bad_alloc, never a crash.
+  for (const CorpusEntry& entry : build_corpus()) {
+    SCOPED_TRACE(entry.name);
+    const std::size_t limit = std::min<std::size_t>(
+        entry.bytes.size() >= 4 ? entry.bytes.size() - 3 : 0, 96);
+    for (std::size_t at = 7; at < limit; ++at) {
+      wire::Bytes mutant = entry.bytes;
+      for (int i = 0; i < 4; ++i) mutant[at + static_cast<std::size_t>(i)] = 0xff;
+      check_mutant(entry, mutant);
+    }
+  }
+}
+
+TEST(WireFuzzTest, PeekDispatchAgreesWithDecodersOnMutants) {
+  // A transport dispatcher switches on peek_type before decoding; the two
+  // must agree on which buffers are well-framed (peek accepts a prefix of
+  // what decoders accept, and never crashes on anything).
+  const std::vector<CorpusEntry> corpus = build_corpus();
+  util::Rng gen(0xBEEF);
+  for (const CorpusEntry& entry : corpus) {
+    SCOPED_TRACE(entry.name);
+    for (int iteration = 0; iteration < 200; ++iteration) {
+      const wire::Bytes mutant = mutate(entry.bytes, gen);
+      bool peeked = false;
+      try {
+        wire::peek_type(mutant);
+        peeked = true;
+      } catch (const ServiceError& e) {
+        EXPECT_TRUE(e.code() == ServiceErrorCode::malformed_message ||
+                    e.code() == ServiceErrorCode::version_mismatch);
+      } catch (const std::exception& e) {
+        FAIL() << "peek_type escaped with: " << e.what();
+      }
+      if (!peeked) {
+        // Anything peek rejects, the decoder must reject too — otherwise a
+        // dispatcher and the decode layer disagree on what is well-framed.
+        try {
+          entry.reencode(mutant);
+          FAIL() << entry.name << ": decoder accepted a buffer peek_type rejected";
+        } catch (const ServiceError&) {
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cliquest::engine

@@ -277,6 +277,117 @@ TEST(WireCodecTest, ServiceStatsRoundTrip) {
   EXPECT_TRUE(empty_back.shards.empty());
 }
 
+// ------------------------------------------------- v3 transport messages
+
+TEST(WireCodecTest, HelloRoundTripsValueAndByteExact) {
+  const wire::Hello hello{64u << 20, 512};
+  const wire::Bytes bytes = wire::encode(hello);
+  EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::hello);
+  const wire::Hello back = wire::decode_hello(bytes);
+  EXPECT_EQ(back.max_frame_bytes, hello.max_frame_bytes);
+  EXPECT_EQ(back.batch_chunk_trees, hello.batch_chunk_trees);
+  EXPECT_EQ(wire::encode(back), bytes);
+}
+
+TEST(WireCodecTest, ErrorResponseCarriesEveryCodeTyped) {
+  for (const ServiceErrorCode code :
+       {ServiceErrorCode::unknown_fingerprint, ServiceErrorCode::invalid_request,
+        ServiceErrorCode::invalid_config, ServiceErrorCode::malformed_message,
+        ServiceErrorCode::version_mismatch, ServiceErrorCode::unavailable,
+        ServiceErrorCode::transport, ServiceErrorCode::timeout}) {
+    SCOPED_TRACE(std::string(service_error_name(code)));
+    const wire::ErrorResponse error{code, "detail for " +
+                                              std::string(service_error_name(code))};
+    const wire::Bytes bytes = wire::encode(error);
+    EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::error_response);
+    const wire::ErrorResponse back = wire::decode_error_response(bytes);
+    EXPECT_EQ(back.code, error.code);
+    EXPECT_EQ(back.detail, error.detail);
+    EXPECT_EQ(wire::encode(back), bytes);
+  }
+  // An out-of-range code byte is a malformed message, not a silent enum.
+  wire::Bytes bad = wire::encode(wire::ErrorResponse{ServiceErrorCode::timeout, "x"});
+  bad[7] = 200;
+  EXPECT_EQ(error_code([&] { wire::decode_error_response(bad); }),
+            ServiceErrorCode::malformed_message);
+}
+
+TEST(WireCodecTest, BatchChunkRoundTripsAndBoundsForgedCounts) {
+  wire::BatchChunk chunk;
+  chunk.fingerprint = fingerprint_graph(graph::wheel(6));
+  chunk.seq = 3;
+  chunk.trees.push_back({{0, 1}, {1, 2}});
+  chunk.trees.push_back({{0, 2}, {2, 1}});
+  const wire::Bytes bytes = wire::encode(chunk);
+  EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::batch_chunk);
+  const wire::BatchChunk back = wire::decode_batch_chunk(bytes);
+  EXPECT_EQ(back.fingerprint, chunk.fingerprint);
+  EXPECT_EQ(back.seq, 3u);
+  ASSERT_EQ(back.trees.size(), 2u);
+  EXPECT_EQ(graph::tree_key(back.trees[0]), graph::tree_key(chunk.trees[0]));
+  EXPECT_EQ(wire::encode(back), bytes);
+
+  // Forged tree count: checked against the bytes actually present before
+  // anything is allocated (the read_graph discipline).
+  wire::Bytes forged = bytes;
+  forged[7 + 16 + 4] = 0xff;
+  forged[7 + 16 + 5] = 0xff;
+  forged[7 + 16 + 6] = 0xff;
+  forged[7 + 16 + 7] = 0xff;
+  EXPECT_EQ(error_code([&] { wire::decode_batch_chunk(forged); }),
+            ServiceErrorCode::malformed_message);
+}
+
+TEST(WireCodecTest, SingleValueResponsesAndQueriesRoundTrip) {
+  const Fingerprint fp = fingerprint_graph(graph::grid(3, 4));
+
+  const wire::Bytes fp_bytes = wire::encode_fingerprint_response(fp);
+  EXPECT_EQ(wire::peek_type(fp_bytes), wire::MessageType::fingerprint_response);
+  EXPECT_EQ(wire::decode_fingerprint_response(fp_bytes), fp);
+
+  for (const bool value : {true, false}) {
+    const wire::Bytes bytes = wire::encode_bool_response(value);
+    EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::bool_response);
+    EXPECT_EQ(wire::decode_bool_response(bytes), value);
+  }
+
+  const wire::Bytes count_bytes = wire::encode_count_response(-987654321012345LL);
+  EXPECT_EQ(wire::peek_type(count_bytes), wire::MessageType::count_response);
+  EXPECT_EQ(wire::decode_count_response(count_bytes), -987654321012345LL);
+
+  const wire::Bytes stats_bytes = wire::encode_stats_query();
+  EXPECT_EQ(wire::peek_type(stats_bytes), wire::MessageType::stats_query);
+  wire::decode_stats_query(stats_bytes);  // empty payload accepted
+  wire::Bytes trailing = stats_bytes;
+  trailing.push_back(0);
+  EXPECT_EQ(error_code([&] { wire::decode_stats_query(trailing); }),
+            ServiceErrorCode::malformed_message);
+
+  for (const wire::MessageType tag :
+       {wire::MessageType::admitted_query, wire::MessageType::resident_query,
+        wire::MessageType::prepare_count_query}) {
+    SCOPED_TRACE(static_cast<int>(tag));
+    const wire::Bytes bytes = wire::encode_query(tag, fp);
+    EXPECT_EQ(wire::peek_type(bytes), tag);
+    EXPECT_EQ(wire::decode_query(bytes, tag), fp);
+    // Cross-tag decode is rejected like any other type confusion.
+    const wire::MessageType other = tag == wire::MessageType::admitted_query
+                                        ? wire::MessageType::resident_query
+                                        : wire::MessageType::admitted_query;
+    EXPECT_EQ(error_code([&] { wire::decode_query(bytes, other); }),
+              ServiceErrorCode::malformed_message);
+  }
+
+  // Non-query tags are a caller bug on the sending side: invalid_request.
+  EXPECT_EQ(error_code([&] { wire::encode_query(wire::MessageType::graph, fp); }),
+            ServiceErrorCode::invalid_request);
+  EXPECT_EQ(error_code([&] {
+              wire::decode_query(wire::encode_stats_query(),
+                                 wire::MessageType::stats_query);
+            }),
+            ServiceErrorCode::invalid_request);
+}
+
 // --------------------------------------------------------------- rejection
 
 TEST(WireRejectTest, TruncatedAndEmptyBuffers) {
