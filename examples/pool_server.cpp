@@ -10,16 +10,33 @@
 //       round-tripping through the wire codec — fans async batches across
 //       the shards, and prints the merged serving stats.
 //
-//   ./pool_server --listen PORT [--once] [shards] [budget_kib] [workers] [backend]
+//   ./pool_server --listen PORT [--once] [--shard-id N] [--weight W]
+//                 [shards] [budget_kib] [workers] [backend]
 //       Serves the same ShardedService over TCP: accepts connections on
 //       127.0.0.1:PORT and speaks the framed RPC protocol (handshake,
 //       request-id multiplexing, chunked batch streaming). --once serves
 //       exactly one connection then exits (used by the CI smoke test).
+//       The server is cluster-ready: it holds a MapWatch (initially the
+//       empty pre-cluster map, so it serves everything), answers map
+//       queries, absorbs coordinator map pushes, and vetoes batches it no
+//       longer owns. --shard-id is its cluster identity; --weight its
+//       advertised rendezvous weight. Startup prints both plus the frame
+//       and chunk limits it will negotiate.
 //
 //   ./pool_server --connect HOST PORT [backend]
 //       The client half: a RemoteService dialing HOST:PORT, running the
 //       demo workload against the remote shards and printing the stats it
 //       reads back over the wire.
+//
+//   ./pool_server --cluster HOST PORT0 PORT1 [backend]
+//       The cluster smoke client + coordinator: forms a 2-member,
+//       replication-2 cluster over two --listen servers, admits a graph
+//       through the Coordinator, pushes the map to both shards, prints the
+//       primary's port (so a harness can kill that process), then draws
+//       batches through a ClusterService until a failover is observed —
+//       checking every batch against an in-process replay reference. Exits
+//       0 only if the killed shard's batches completed on the replica with
+//       byte-identical trees.
 //
 // backend is any registered name: congested_clique (default), doubling,
 // wilson, aldous_broder. A tight budget like ./pool_server 2 256 shows LRU
@@ -31,11 +48,17 @@
 #include <cstring>
 #include <future>
 #include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "engine/cluster/cluster_service.hpp"
+#include "engine/cluster/coordinator.hpp"
 #include "engine/engine.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
+#include "graph/spanning.hpp"
 
 using namespace cliquest;
 
@@ -117,11 +140,135 @@ int run_workload(engine::SamplerService& service, const engine::EngineOptions& e
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [shards 1..256] [budget_kib >= 1] [workers >= 0] [backend]\n"
-               "       %s --listen PORT [--once] [shards] [budget_kib] [workers] "
-               "[backend]\n"
-               "       %s --connect HOST PORT [backend]\n",
-               argv0, argv0, argv0);
+               "       %s --listen PORT [--once] [--shard-id N] [--weight W] "
+               "[shards] [budget_kib] [workers] [backend]\n"
+               "       %s --connect HOST PORT [backend]\n"
+               "       %s --cluster HOST PORT0 PORT1 [backend]\n",
+               argv0, argv0, argv0, argv0);
   std::exit(1);
+}
+
+/// --cluster: coordinator + failover smoke client over two --listen shards.
+/// Returns 0 only when a failover was observed and every batch — before,
+/// across, and after the kill — replayed byte-identical to a local run.
+int run_cluster_smoke(const char* host, int port0, int port1,
+                      const engine::EngineOptions& engine_options) {
+  using engine::cluster::ClusterOptions;
+  using engine::cluster::ClusterService;
+  using engine::cluster::Coordinator;
+  using engine::cluster::CoordinatorOptions;
+  using engine::cluster::ShardDescriptor;
+  using engine::cluster::ShardMap;
+
+  // One RemoteService per member, shared by the coordinator, the cluster
+  // client, and the map pushes. Fail fast on a dead peer: the failover walk
+  // should move on, not retry-dial for seconds.
+  std::unordered_map<int, std::shared_ptr<engine::RemoteService>> remotes;
+  const auto remote_for = [&](const ShardDescriptor& member) {
+    auto it = remotes.find(member.shard_id);
+    if (it != remotes.end()) return it->second;
+    engine::RemoteOptions options;
+    options.max_connect_attempts = 1;
+    auto remote = std::make_shared<engine::RemoteService>(
+        [host = member.host, port = member.port] {
+          return engine::transport::tcp_connect(host, port);
+        },
+        options);
+    remotes.emplace(member.shard_id, remote);
+    return remote;
+  };
+  const engine::cluster::ShardResolver resolver =
+      [&](const ShardDescriptor& member) -> std::shared_ptr<engine::SamplerService> {
+    return remote_for(member);
+  };
+  const auto push_all = [&](const ShardMap& map) {
+    for (auto& [id, remote] : remotes) {
+      try {
+        remote->push_map(map);
+      } catch (const engine::ServiceError&) {
+        // A dead member catches up when it comes back; routing moves on.
+      }
+    }
+  };
+
+  CoordinatorOptions coordinator_options;
+  coordinator_options.replication = 2;
+  Coordinator coordinator(resolver, coordinator_options);
+  coordinator.add_shard({0, host, static_cast<std::uint16_t>(port0), 1.0});
+  coordinator.add_shard({1, host, static_cast<std::uint16_t>(port1), 2.0});
+  push_all(coordinator.current_map());
+
+  util::Rng gen(5);
+  const graph::Graph g = graph::gnp_connected(36, 0.3, gen);
+  const engine::Fingerprint fp = coordinator.admit({g, engine_options});
+
+  ClusterOptions cluster_options;
+  cluster_options.map = coordinator.current_map();
+  ClusterService cluster(resolver, cluster_options);
+  coordinator.subscribe([&](const ShardMap& map) {
+    push_all(map);
+    cluster.update_map(map);
+  });
+
+  // The replay oracle: the same admission served by one in-process pool.
+  engine::PoolOptions reference_pool;
+  reference_pool.workers = 0;
+  reference_pool.engine = engine_options;
+  engine::LocalService reference(reference_pool);
+  reference.admit({g, engine_options});
+
+  const ShardMap map = cluster.current_map();
+  const ShardDescriptor* primary = map.member(map.owner(fp));
+  std::printf("cluster formed: version %llu, replication %d, primary shard %d\n",
+              static_cast<unsigned long long>(map.version), map.replication,
+              primary->shard_id);
+  // The harness greps this line and kills the process listening on the port.
+  std::printf("SMOKE primary_port=%u\n", primary->port);
+  std::fflush(stdout);
+
+  const int k = 25;
+  const int max_batches = 1500;
+  int batches = 0;
+  int batches_after_failover = 0;
+  while (batches < max_batches && batches_after_failover < 3) {
+    std::future<engine::BatchResponse> future = cluster.submit_batch({fp, k});
+    if (future.wait_for(std::chrono::seconds(60)) != std::future_status::ready) {
+      std::fprintf(stderr, "FAIL: batch %d future hung\n", batches);
+      return 1;
+    }
+    engine::BatchResponse got;
+    try {
+      got = future.get();
+    } catch (const engine::ServiceError& e) {
+      std::fprintf(stderr, "FAIL: batch %d surfaced %s\n", batches, e.what());
+      return 1;
+    }
+    const engine::BatchResponse want = reference.sample_batch({fp, k});
+    if (got.first_draw_index != want.first_draw_index ||
+        got.batch.trees != want.batch.trees) {
+      std::fprintf(stderr,
+                   "FAIL: batch %d diverged from the local replay at [%lld, %lld)\n",
+                   batches, static_cast<long long>(want.first_draw_index),
+                   static_cast<long long>(want.first_draw_index + k));
+      return 1;
+    }
+    ++batches;
+    if (cluster.failover_count() > 0) ++batches_after_failover;
+    // Pace the stream so the harness's kill lands inside it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  if (cluster.failover_count() == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no failover observed in %d batches — was the primary killed?\n",
+                 batches);
+    return 1;
+  }
+  std::printf("cluster smoke OK: %d batches replay-equal, %lld failover(s), "
+              "%d served after the kill\n",
+              batches, static_cast<long long>(cluster.failover_count()),
+              batches_after_failover);
+  return 0;
 }
 
 }  // namespace
@@ -130,6 +277,27 @@ int main(int argc, char** argv) {
   // ---- mode flags first; the positional knobs follow them.
   const bool listen_mode = argc > 1 && std::strcmp(argv[1], "--listen") == 0;
   const bool connect_mode = argc > 1 && std::strcmp(argv[1], "--connect") == 0;
+  const bool cluster_mode = argc > 1 && std::strcmp(argv[1], "--cluster") == 0;
+
+  if (cluster_mode) {
+    if (argc < 5) usage(argv[0]);
+    const char* host = argv[2];
+    const int port0 = std::atoi(argv[3]);
+    const int port1 = std::atoi(argv[4]);
+    const char* backend = argc > 5 ? argv[5] : "congested_clique";
+    if (port0 < 1 || port0 > 65535 || port1 < 1 || port1 > 65535) usage(argv[0]);
+    try {
+      const engine::EngineOptions engine_options =
+          engine::EngineOptions::builder().backend(backend).seed(7).build();
+      return run_cluster_smoke(host, port0, port1, engine_options);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "configuration error:\n%s\n", e.what());
+      return 1;
+    } catch (const engine::ServiceError& e) {
+      std::fprintf(stderr, "cluster smoke failed: %s\n", e.what());
+      return 1;
+    }
+  }
 
   if (connect_mode) {
     if (argc < 4) usage(argv[0]);
@@ -163,13 +331,26 @@ int main(int argc, char** argv) {
   int arg = listen_mode ? 2 : 1;
   int listen_port = 0;
   bool once = false;
+  int cluster_shard_id = 0;
+  double cluster_weight = 1.0;
   if (listen_mode) {
     if (argc < 3) usage(argv[0]);
     listen_port = std::atoi(argv[arg++]);
     if (listen_port < 0 || listen_port > 65535) usage(argv[0]);
-    if (arg < argc && std::strcmp(argv[arg], "--once") == 0) {
-      once = true;
-      ++arg;
+    for (;;) {
+      if (arg < argc && std::strcmp(argv[arg], "--once") == 0) {
+        once = true;
+        ++arg;
+      } else if (arg + 1 < argc && std::strcmp(argv[arg], "--shard-id") == 0) {
+        cluster_shard_id = std::atoi(argv[arg + 1]);
+        arg += 2;
+      } else if (arg + 1 < argc && std::strcmp(argv[arg], "--weight") == 0) {
+        cluster_weight = std::atof(argv[arg + 1]);
+        if (!(cluster_weight > 0.0)) usage(argv[0]);
+        arg += 2;
+      } else {
+        break;
+      }
     }
   }
   const int shards = arg < argc ? std::atoi(argv[arg++]) : 4;
@@ -195,9 +376,20 @@ int main(int argc, char** argv) {
     try {
       engine::transport::TcpListener listener(
           static_cast<std::uint16_t>(listen_port));
-      engine::transport::Server server(service);
-      std::printf("listening on 127.0.0.1:%u%s\n", listener.port(),
+      // Cluster-ready from birth: the watch starts on the empty pre-cluster
+      // map (serve everything); a coordinator's push flips the server into
+      // routed-and-vetoing mode with no restart.
+      auto watch = std::make_shared<engine::cluster::MapWatch>();
+      engine::transport::ServerOptions server_options;
+      engine::cluster::install_cluster_hooks(server_options, watch,
+                                             cluster_shard_id);
+      engine::transport::Server server(service, server_options);
+      std::printf("shard %d (weight %.2f) listening on 127.0.0.1:%u%s\n",
+                  cluster_shard_id, cluster_weight, listener.port(),
                   once ? " (one connection, then exit)" : "");
+      std::printf("limits: frame %u MiB, batch chunk %u trees\n",
+                  server_options.max_frame_bytes >> 20,
+                  server_options.batch_chunk_trees);
       std::fflush(stdout);
       // One serving task per connection; finished tasks are reaped on the
       // next accept so a long-running listener stays bounded by its number

@@ -1,0 +1,344 @@
+#include "engine/cluster/cluster_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace cliquest::engine::cluster {
+namespace {
+
+/// Field-wise sums, mirroring the merge semantics in engine/service.cpp
+/// (max-type fields included: totals.peak is a sum-of-peaks upper bound).
+void merge_pool(PoolStats& into, const PoolStats& from) {
+  into.admissions += from.admissions;
+  into.hits += from.hits;
+  into.misses += from.misses;
+  into.prepares += from.prepares;
+  into.evictions += from.evictions;
+  into.draws += from.draws;
+  into.schur_cache_hits += from.schur_cache_hits;
+  into.schur_cache_misses += from.schur_cache_misses;
+  into.schur_cache_trims += from.schur_cache_trims;
+  into.resident_bytes += from.resident_bytes;
+  into.peak_resident_bytes += from.peak_resident_bytes;
+  into.resident_count += from.resident_count;
+  into.admitted_count += from.admitted_count;
+}
+
+void merge_transport(TransportStats& into, const TransportStats& from) {
+  into.dials += from.dials;
+  into.reconnects += from.reconnects;
+  into.dial_failures += from.dial_failures;
+  into.failovers += from.failovers;
+}
+
+}  // namespace
+
+ClusterService::ClusterService(ShardResolver resolver, ClusterOptions options)
+    : resolver_(std::move(resolver)), options_(std::move(options)) {
+  if (!resolver_)
+    throw ServiceError(ServiceErrorCode::invalid_config,
+                       "ClusterService needs a shard resolver");
+  for (const std::string& problem : options_.map.validation_errors())
+    throw ServiceError(ServiceErrorCode::invalid_config, problem);
+  map_ = options_.map;
+}
+
+ClusterService::~ClusterService() {
+  std::vector<std::future<void>> watchers;
+  {
+    std::lock_guard<std::mutex> lock(watchers_mutex_);
+    watchers = std::move(watchers_);
+  }
+  for (std::future<void>& watcher : watchers)
+    if (watcher.valid()) watcher.wait();
+}
+
+// ---------------------------------------------------------------- routing
+
+std::shared_ptr<SamplerService> ClusterService::resolve(
+    const ShardDescriptor& member) const {
+  {
+    std::lock_guard<std::mutex> lock(map_mutex_);
+    auto it = clients_.find(member.shard_id);
+    // The cache is keyed by the full descriptor: a shard id that moved hosts
+    // (or changed weight) in a newer map gets a fresh client.
+    if (it != clients_.end() && it->second.descriptor == member)
+      return it->second.client;
+  }
+  std::shared_ptr<SamplerService> client = resolver_(member);
+  if (!client)
+    throw ServiceError(ServiceErrorCode::transport,
+                       "resolver produced no client for shard " +
+                           std::to_string(member.shard_id));
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  clients_[member.shard_id] = CachedClient{member, client};
+  return client;
+}
+
+void ClusterService::refresh_map_after_stale() const {
+  // The transport client's on_map_push hook usually delivered the bounced
+  // map before the stale_map error reached us; map_fetch covers resolvers
+  // without that channel. Either way the retry reads current_map() fresh.
+  if (options_.map_fetch)
+    const_cast<ClusterService*>(this)->update_map(options_.map_fetch());
+}
+
+template <typename Op>
+auto ClusterService::with_failover(const Fingerprint& fp, Op&& op) const
+    -> decltype(op(std::declval<SamplerService&>())) {
+  int stale_left = std::max(0, options_.max_stale_retries);
+  for (;;) {
+    const ShardMap map = current_map();
+    const std::vector<ShardDescriptor> replicas = map.owners(fp);
+    if (replicas.empty())
+      throw ServiceError(ServiceErrorCode::unavailable,
+                         "cluster map (version " + std::to_string(map.version) +
+                             ") has no members to route to");
+    std::exception_ptr transport_failure;
+    bool bounced = false;
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      try {
+        std::shared_ptr<SamplerService> client = resolve(replicas[i]);
+        return op(*client);
+      } catch (const ServiceError& e) {
+        if (e.code() == ServiceErrorCode::transport) {
+          // Same request, next replica down the rendezvous order. The pinned
+          // draw range makes the retry replay-equal, so re-routing is safe
+          // even when the dead shard already did (unobserved) work.
+          transport_failure = std::current_exception();
+          if (i + 1 < replicas.size()) {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++failovers_;
+          }
+          continue;
+        }
+        if (e.code() == ServiceErrorCode::stale_map) {
+          bounced = true;
+          break;
+        }
+        throw;
+      }
+    }
+    if (bounced) {
+      if (stale_left-- <= 0)
+        throw ServiceError(ServiceErrorCode::stale_map,
+                           "request kept racing cluster map changes (" +
+                               std::to_string(options_.max_stale_retries) +
+                               " stale-map bounces)");
+      refresh_map_after_stale();
+      continue;
+    }
+    std::rethrow_exception(transport_failure);
+  }
+}
+
+// ------------------------------------------------------------------ calls
+
+Fingerprint ClusterService::admit(const AdmitRequest& request) {
+  const Fingerprint fp = fingerprint_graph(request.graph);
+  {
+    // Seed the cluster-owned cursor; on re-admission it only moves forward,
+    // matching the serving pools.
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    auto [it, inserted] = cursors_.try_emplace(fp, request.first_draw_index);
+    if (!inserted) it->second = std::max(it->second, request.first_draw_index);
+  }
+  // Admission addresses the whole replica set: a batch can only fail over to
+  // a replica that knows the graph. Unreachable replicas are tolerated as
+  // long as at least one admission lands.
+  const ShardMap map = current_map();
+  const std::vector<ShardDescriptor> replicas = map.owners(fp);
+  if (replicas.empty())
+    throw ServiceError(ServiceErrorCode::unavailable,
+                       "cluster map (version " + std::to_string(map.version) +
+                           ") has no members to admit on");
+  std::exception_ptr failure;
+  bool any = false;
+  Fingerprint admitted_fp;
+  for (const ShardDescriptor& member : replicas) {
+    try {
+      admitted_fp = resolve(member)->admit(request);
+      any = true;
+    } catch (const ServiceError& e) {
+      if (e.code() != ServiceErrorCode::transport) throw;
+      failure = std::current_exception();
+    }
+  }
+  if (!any) std::rethrow_exception(failure);
+  return admitted_fp;
+}
+
+bool ClusterService::admitted(const Fingerprint& fp) const {
+  return with_failover(fp, [&](SamplerService& s) { return s.admitted(fp); });
+}
+
+bool ClusterService::resident(const Fingerprint& fp) const {
+  return with_failover(fp, [&](SamplerService& s) { return s.resident(fp); });
+}
+
+std::int64_t ClusterService::prepare_count(const Fingerprint& fp) const {
+  return with_failover(fp, [&](SamplerService& s) { return s.prepare_count(fp); });
+}
+
+std::int64_t ClusterService::draw_cursor(const Fingerprint& fp) const {
+  return with_failover(fp, [&](SamplerService& s) { return s.draw_cursor(fp); });
+}
+
+std::int64_t ClusterService::in_flight(const Fingerprint& fp) const {
+  return with_failover(fp, [&](SamplerService& s) { return s.in_flight(fp); });
+}
+
+bool ClusterService::drop(const Fingerprint& fp) {
+  {
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    cursors_.erase(fp);
+  }
+  const ShardMap map = current_map();
+  bool dropped = false;
+  std::exception_ptr failure;
+  bool any = false;
+  for (const ShardDescriptor& member : map.owners(fp)) {
+    try {
+      dropped = resolve(member)->drop(fp) || dropped;
+      any = true;
+    } catch (const ServiceError& e) {
+      if (e.code() != ServiceErrorCode::transport) throw;
+      failure = std::current_exception();
+    }
+  }
+  if (!any && failure) std::rethrow_exception(failure);
+  return dropped;
+}
+
+// ---------------------------------------------------------------- batches
+
+std::int64_t ClusterService::reserve_range(const Fingerprint& fp, int k) {
+  if (k < 0)
+    throw ServiceError(ServiceErrorCode::invalid_request,
+                       "draw_count must be >= 0, got " + std::to_string(k));
+  {
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    auto it = cursors_.find(fp);
+    if (it != cursors_.end()) {
+      const std::int64_t first = it->second;
+      it->second += k;
+      return first;
+    }
+  }
+  // First time this client serves fp (admitted elsewhere — another client,
+  // or directly on the shards): seed from the serving side's cursor so the
+  // new range continues where previous batches stopped.
+  const std::int64_t seed =
+      with_failover(fp, [&](SamplerService& s) { return s.draw_cursor(fp); });
+  std::lock_guard<std::mutex> lock(cursors_mutex_);
+  auto [it, inserted] = cursors_.try_emplace(fp, seed);
+  const std::int64_t first = it->second;
+  it->second += k;
+  return first;
+}
+
+BatchResponse ClusterService::serve(const BatchRequest& pinned) const {
+  return with_failover(pinned.fingerprint,
+                       [&](SamplerService& s) { return s.sample_batch(pinned); });
+}
+
+BatchResponse ClusterService::sample_batch(const BatchRequest& request) {
+  BatchRequest pinned = request;
+  if (pinned.first_draw_index < 0) {
+    pinned.first_draw_index = reserve_range(request.fingerprint, request.draw_count);
+  } else if (pinned.draw_count >= 0) {
+    // Caller-pinned range: keep the cluster cursor ahead of it.
+    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    const std::int64_t end = pinned.first_draw_index + pinned.draw_count;
+    auto [it, inserted] = cursors_.try_emplace(request.fingerprint, end);
+    if (!inserted) it->second = std::max(it->second, end);
+  }
+  return serve(pinned);
+}
+
+std::future<BatchResponse> ClusterService::submit_batch(const BatchRequest& request) {
+  auto promise = std::make_shared<std::promise<BatchResponse>>();
+  std::future<BatchResponse> future = promise->get_future();
+  BatchRequest pinned = request;
+  try {
+    // The range is reserved at submission — before the async hop — so
+    // submission order fixes the streams exactly as it does on every other
+    // service, and the future stays promise-backed.
+    if (pinned.first_draw_index < 0) {
+      pinned.first_draw_index =
+          reserve_range(request.fingerprint, request.draw_count);
+    } else if (pinned.draw_count >= 0) {
+      std::lock_guard<std::mutex> lock(cursors_mutex_);
+      const std::int64_t end = pinned.first_draw_index + pinned.draw_count;
+      auto [it, inserted] = cursors_.try_emplace(request.fingerprint, end);
+      if (!inserted) it->second = std::max(it->second, end);
+    }
+  } catch (...) {
+    promise->set_exception(std::current_exception());
+    return future;
+  }
+  auto watcher = std::async(std::launch::async, [this, pinned, promise] {
+    try {
+      promise->set_value(serve(pinned));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  {
+    std::lock_guard<std::mutex> lock(watchers_mutex_);
+    std::erase_if(watchers_, [](std::future<void>& f) {
+      return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+    });
+    watchers_.push_back(std::move(watcher));
+  }
+  return future;
+}
+
+// ------------------------------------------------------------------ state
+
+ServiceStats ClusterService::stats() const {
+  ServiceStats stats;
+  const ShardMap map = current_map();
+  for (const ShardDescriptor& member : map.members) {
+    ServiceStats child;
+    try {
+      child = resolve(member)->stats();
+    } catch (const ServiceError& e) {
+      // A dead member must not wedge cluster-wide stats; its counters are
+      // simply absent from this snapshot.
+      if (e.code() != ServiceErrorCode::transport &&
+          e.code() != ServiceErrorCode::timeout)
+        throw;
+      continue;
+    }
+    stats.shards.push_back(child.totals);
+    merge_pool(stats.totals, child.totals);
+    merge_transport(stats.transport, child.transport);
+  }
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  stats.transport.failovers += failovers_;
+  return stats;
+}
+
+bool ClusterService::update_map(const ShardMap& map) {
+  if (!map.validation_errors().empty()) return false;  // never adopt a bad map
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  if (map.version <= map_.version) return false;
+  map_ = map;
+  return true;
+}
+
+ShardMap ClusterService::current_map() const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  return map_;
+}
+
+std::int64_t ClusterService::failover_count() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return failovers_;
+}
+
+}  // namespace cliquest::engine::cluster

@@ -1,0 +1,142 @@
+#pragma once
+
+// ClusterService: a SamplerService that routes by a versioned ShardMap and
+// survives both shard failure and map change.
+//
+// Semantics, per call:
+//
+//   - Routing: every fingerprint-keyed call walks the map's replica list
+//     owners(fp) — primary first — through clients produced by the
+//     deployment's ShardResolver (tcp RemoteService in production, anything
+//     behind SamplerService in tests).
+//   - Failover: ServiceError{transport} from one replica moves the same
+//     request to the next; only when every replica is unreachable does the
+//     error surface. Each re-route increments the failovers counter in
+//     stats().transport.
+//   - Replay equality: the cluster owns the per-fingerprint draw cursor. A
+//     batch submitted without an explicit range gets one reserved here —
+//     [cursor, cursor + k) — and carries it in BatchRequest.first_draw_index,
+//     so a retry on a replica (whose own cursor is independent) draws the
+//     byte-identical trees the primary would have. The serving pools advance
+//     their cursors to the pinned end, never backwards.
+//   - Convergence: ServiceError{stale_map} — a shard's veto of a request
+//     routed with an old map — triggers a map refresh (the transport client's
+//     on_map_push hook has usually already delivered the newer map carried
+//     by the veto; ClusterOptions::map_fetch covers resolvers without one)
+//     and the request re-routes under the new version. update_map only ever
+//     adopts strictly newer versions, so pushes and bounces can race freely.
+//
+// Admission and drop address the whole replica set (a batch can only fail
+// over to a replica that knows the graph); reads and batches address one
+// replica at a time.
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/cluster/shard_map.hpp"
+#include "engine/service.hpp"
+
+namespace cliquest::engine::cluster {
+
+/// Produces the client for one cluster member. Called lazily, cached per
+/// member until the member's descriptor changes (a rehosted shard id gets a
+/// fresh client). Throw ServiceError{transport} (or return nullptr) when the
+/// member cannot be dialed right now — the caller fails over.
+using ShardResolver =
+    std::function<std::shared_ptr<SamplerService>(const ShardDescriptor&)>;
+
+struct ClusterOptions {
+  /// The initial routing map; version 0 (empty) serves nothing until a push
+  /// or fetch installs a real one.
+  ShardMap map;
+
+  /// Re-fetches the authoritative map after a stale_map bounce, for
+  /// resolvers whose clients cannot deliver the bounced map themselves
+  /// (RemoteService does, through RemoteOptions::on_map_push wired to
+  /// update_map). Optional.
+  std::function<ShardMap()> map_fetch;
+
+  /// Bounces tolerated per request before ServiceError{stale_map} surfaces —
+  /// a bound on map churn mid-request, not on replica failures.
+  int max_stale_retries = 4;
+};
+
+class ClusterService final : public SamplerService {
+ public:
+  explicit ClusterService(ShardResolver resolver, ClusterOptions options = {});
+  ~ClusterService() override;  // joins the submit_batch watchers
+
+  Fingerprint admit(const AdmitRequest& request) override;
+  bool admitted(const Fingerprint& fp) const override;
+  bool resident(const Fingerprint& fp) const override;
+  std::int64_t prepare_count(const Fingerprint& fp) const override;
+  std::int64_t draw_cursor(const Fingerprint& fp) const override;
+  std::int64_t in_flight(const Fingerprint& fp) const override;
+  bool drop(const Fingerprint& fp) override;
+  BatchResponse sample_batch(const BatchRequest& request) override;
+  std::future<BatchResponse> submit_batch(const BatchRequest& request) override;
+
+  /// Merged stats over every reachable member (unreachable members are
+  /// skipped, not fatal), plus this client's own failover count.
+  ServiceStats stats() const override;
+
+  /// Adopts `map` when it is strictly newer than the current one; returns
+  /// whether it was adopted. Safe from any thread — this is the push target
+  /// for RemoteOptions::on_map_push and coordinator subscriptions.
+  bool update_map(const ShardMap& map);
+
+  ShardMap current_map() const;
+
+  /// Batches re-routed to a replica after a transport failure (monotone;
+  /// also reported in stats().transport.failovers).
+  std::int64_t failover_count() const;
+
+ private:
+  struct CachedClient {
+    ShardDescriptor descriptor;
+    std::shared_ptr<SamplerService> client;
+  };
+
+  std::shared_ptr<SamplerService> resolve(const ShardDescriptor& member) const;
+
+  /// The failover walk shared by every routed call: tries op on each replica
+  /// of fp in rendezvous order, re-routing on transport errors and
+  /// refreshing + restarting on stale_map bounces.
+  template <typename Op>
+  auto with_failover(const Fingerprint& fp, Op&& op) const
+      -> decltype(op(std::declval<SamplerService&>()));
+
+  void refresh_map_after_stale() const;
+
+  /// Reserves [cursor, cursor + k) against the cluster-owned cursor for fp,
+  /// lazily seeding the cursor from the current owners when fp has not been
+  /// seen here before.
+  std::int64_t reserve_range(const Fingerprint& fp, int k);
+
+  BatchResponse serve(const BatchRequest& pinned) const;
+
+  ShardResolver resolver_;
+  ClusterOptions options_;
+
+  /// Guards map_ and clients_.
+  mutable std::mutex map_mutex_;
+  ShardMap map_;
+  mutable std::unordered_map<int, CachedClient> clients_;
+
+  /// Guards cursors_ (never held while calling a shard).
+  mutable std::mutex cursors_mutex_;
+  std::unordered_map<Fingerprint, std::int64_t> cursors_;
+
+  mutable std::mutex watchers_mutex_;
+  mutable std::vector<std::future<void>> watchers_;
+
+  mutable std::mutex stats_mutex_;
+  mutable std::int64_t failovers_ = 0;
+};
+
+}  // namespace cliquest::engine::cluster

@@ -1,0 +1,238 @@
+#include "engine/cluster/coordinator.hpp"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace cliquest::engine::cluster {
+
+// ---------------------------------------------------------------- MapWatch
+
+MapWatch::MapWatch(ShardMap initial) : map_(std::move(initial)) {}
+
+ShardMap MapWatch::current() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_;
+}
+
+std::uint64_t MapWatch::version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.version;
+}
+
+bool MapWatch::update(const ShardMap& map) {
+  if (!map.validation_errors().empty()) return false;  // never adopt a bad map
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (map.version <= map_.version) return false;
+  map_ = map;
+  return true;
+}
+
+void install_cluster_hooks(transport::ServerOptions& options,
+                           std::shared_ptr<MapWatch> watch, int shard_id) {
+  options.map_provider = [watch] { return watch->current(); };
+  // Accepting a push means "this server now routes by the pushed map or a
+  // newer one it already held" — both count as accepted.
+  options.map_sink = [watch](const ShardMap& map) {
+    watch->update(map);
+    return true;
+  };
+  options.stale_guard =
+      [watch, shard_id](const Fingerprint& fp) -> std::optional<ShardMap> {
+    const ShardMap map = watch->current();
+    // An empty map is the pre-cluster state: serve everything. Otherwise a
+    // batch for a fingerprint outside this shard's replica set bounces with
+    // the map the client should have routed by.
+    if (map.members.empty() || map.owns(fp, shard_id)) return std::nullopt;
+    return map;
+  };
+}
+
+// ------------------------------------------------------------- Coordinator
+
+Coordinator::Coordinator(ShardResolver resolver, CoordinatorOptions options)
+    : resolver_(std::move(resolver)), options_(options) {
+  if (!resolver_)
+    throw ServiceError(ServiceErrorCode::invalid_config,
+                       "Coordinator needs a shard resolver");
+  if (options_.replication < 1)
+    throw ServiceError(ServiceErrorCode::invalid_config,
+                       "Coordinator: replication must be >= 1, got " +
+                           std::to_string(options_.replication));
+  map_.replication = options_.replication;
+}
+
+ShardMap Coordinator::current_map() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_;
+}
+
+void Coordinator::subscribe(std::function<void(const ShardMap&)> listener) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  listeners_.push_back(std::move(listener));
+}
+
+std::vector<Fingerprint> Coordinator::cataloged() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Fingerprint> fps;
+  fps.reserve(catalog_.size());
+  for (const auto& [fp, request] : catalog_) fps.push_back(fp);
+  return fps;
+}
+
+std::shared_ptr<SamplerService> Coordinator::resolve(
+    const ShardDescriptor& member) const {
+  auto it = clients_.find(member.shard_id);
+  if (it != clients_.end() && client_descriptors_[member.shard_id] == member)
+    return it->second;
+  std::shared_ptr<SamplerService> client = resolver_(member);
+  if (!client)
+    throw ServiceError(ServiceErrorCode::transport,
+                       "resolver produced no client for shard " +
+                           std::to_string(member.shard_id));
+  clients_[member.shard_id] = client;
+  client_descriptors_[member.shard_id] = member;
+  return client;
+}
+
+void Coordinator::publish_locked(const ShardMap& map) {
+  for (const std::function<void(const ShardMap&)>& listener : listeners_)
+    listener(map);
+}
+
+Fingerprint Coordinator::admit(const AdmitRequest& request) {
+  const Fingerprint fp = fingerprint_graph(request.graph);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (map_.members.empty())
+    throw ServiceError(ServiceErrorCode::unavailable,
+                       "cluster has no members to admit on");
+  // First admission wins the catalog slot (pool idempotency); the catalog is
+  // what a later migration re-admits from.
+  catalog_.try_emplace(fp, request);
+  std::exception_ptr failure;
+  bool any = false;
+  for (const ShardDescriptor& member : map_.owners(fp)) {
+    try {
+      resolve(member)->admit(request);
+      any = true;
+    } catch (const ServiceError& e) {
+      if (e.code() != ServiceErrorCode::transport) throw;
+      failure = std::current_exception();
+    }
+  }
+  if (!any) std::rethrow_exception(failure);
+  return fp;
+}
+
+void Coordinator::add_shard(const ShardDescriptor& member) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (map_.has_member(member.shard_id))
+    throw ServiceError(ServiceErrorCode::invalid_request,
+                       "shard " + std::to_string(member.shard_id) +
+                           " is already a cluster member");
+  ShardMap next = map_;
+  next.members.push_back(member);
+  for (const std::string& problem : next.validation_errors())
+    throw ServiceError(ServiceErrorCode::invalid_request, problem);
+  apply_locked(std::move(next));
+}
+
+void Coordinator::remove_shard(int shard_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!map_.has_member(shard_id))
+    throw ServiceError(ServiceErrorCode::invalid_request,
+                       "shard " + std::to_string(shard_id) +
+                           " is not a cluster member");
+  ShardMap next = map_;
+  std::erase_if(next.members, [shard_id](const ShardDescriptor& m) {
+    return m.shard_id == shard_id;
+  });
+  apply_locked(std::move(next));
+}
+
+void Coordinator::apply_locked(ShardMap next) {
+  next.version = map_.version + 1;
+  next.replication = options_.replication;
+
+  // Ownership diff per cataloged fingerprint under old vs. new map.
+  struct Migration {
+    Fingerprint fp;
+    std::vector<ShardDescriptor> joiners;  // own under next, not under map_
+    std::vector<ShardDescriptor> leavers;  // own under map_, not under next
+  };
+  std::vector<Migration> migrations;
+  for (const auto& [fp, request] : catalog_) {
+    const std::vector<ShardDescriptor> old_owners = map_.owners(fp);
+    const std::vector<ShardDescriptor> new_owners = next.owners(fp);
+    Migration migration{fp, {}, {}};
+    for (const ShardDescriptor& owner : new_owners)
+      if (std::none_of(old_owners.begin(), old_owners.end(),
+                       [&](const ShardDescriptor& m) {
+                         return m.shard_id == owner.shard_id;
+                       }))
+        migration.joiners.push_back(owner);
+    for (const ShardDescriptor& owner : old_owners)
+      if (std::none_of(new_owners.begin(), new_owners.end(),
+                       [&](const ShardDescriptor& m) {
+                         return m.shard_id == owner.shard_id;
+                       }))
+        migration.leavers.push_back(owner);
+    if (!migration.joiners.empty() || !migration.leavers.empty())
+      migrations.push_back(std::move(migration));
+  }
+
+  // Phase 1 — seed the joiners before anyone routes by the new map: read the
+  // draw cursor from the reachable old owners (max: replicas agree unless a
+  // batch is mid-flight, and max never replays a reserved range) and admit
+  // at it, so the new owner's streams continue where the old one stopped.
+  for (const Migration& migration : migrations) {
+    if (migration.joiners.empty()) continue;
+    std::int64_t cursor = 0;
+    for (const ShardDescriptor& owner : map_.owners(migration.fp)) {
+      try {
+        cursor = std::max(cursor, resolve(owner)->draw_cursor(migration.fp));
+      } catch (const ServiceError&) {
+        // Unreachable or not actually holding the entry: best effort — a
+        // dead old owner cannot be asked (the remove-dead-shard case).
+      }
+    }
+    AdmitRequest request = catalog_.at(migration.fp);
+    request.first_draw_index = cursor;
+    for (const ShardDescriptor& joiner : migration.joiners) {
+      try {
+        resolve(joiner)->admit(request);
+      } catch (const ServiceError& e) {
+        if (e.code() != ServiceErrorCode::transport) throw;
+        // An unreachable joiner serves unknown_fingerprint until it comes
+        // back and is re-admitted; routing still has the other replicas.
+      }
+    }
+  }
+
+  // Phase 2 — publish. From here clients and shard stale-guards converge on
+  // the new version; batches already in flight on leavers finish below.
+  map_ = std::move(next);
+  publish_locked(map_);
+
+  // Phase 3 — drain and drop the leavers. Draining first means no in-flight
+  // batch is ever torn; the timeout bounds a wedged shard (in-flight batches
+  // hold their own sampler references, so a timed-out drop is still safe).
+  for (const Migration& migration : migrations) {
+    for (const ShardDescriptor& leaver : migration.leavers) {
+      try {
+        std::shared_ptr<SamplerService> client = resolve(leaver);
+        const auto deadline =
+            std::chrono::steady_clock::now() + options_.drain_timeout;
+        while (client->in_flight(migration.fp) > 0 &&
+               std::chrono::steady_clock::now() < deadline)
+          std::this_thread::sleep_for(options_.drain_poll);
+        client->drop(migration.fp);
+      } catch (const ServiceError&) {
+        // A leaver that is gone (killed shard) has nothing to drain or drop.
+      }
+    }
+  }
+}
+
+}  // namespace cliquest::engine::cluster

@@ -1,0 +1,125 @@
+#pragma once
+
+// The cluster's control plane: MapWatch (the newest-map-wins holder every
+// party keeps) and Coordinator (the one place membership changes).
+//
+// A shard server participates in the cluster by holding a MapWatch and
+// wiring it into its transport::ServerOptions (install_cluster_hooks): the
+// watch answers map queries, absorbs coordinator pushes, and vetoes batches
+// for fingerprints the shard no longer owns — the stale_map bounce that
+// makes clients with an old map converge.
+//
+// The Coordinator owns the authoritative map and the admission catalog (the
+// AdmitRequest behind every cluster-admitted fingerprint). Membership
+// changes run the migration protocol per re-owned fingerprint:
+//
+//   1. read the draw cursor from a reachable old owner,
+//   2. admit on each new owner at that cursor (streams continue seamlessly),
+//   3. publish the bumped map (subscribers push it to servers and clients),
+//   4. drain the leaving owners (poll in_flight to zero),
+//   5. drop the entry on owners that no longer serve it.
+//
+// Steps 1–2 before the publish mean a client routed by the new map never
+// reaches a shard that lacks the graph; draining before the drop means no
+// in-flight batch is ever torn. Trees drawn before, during, and after a
+// migration are byte-identical to an unmigrated run — the replay-equality
+// property cluster_test pins down.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/cluster/cluster_service.hpp"
+#include "engine/cluster/shard_map.hpp"
+#include "engine/transport.hpp"
+
+namespace cliquest::engine::cluster {
+
+/// Thread-safe newest-wins holder of a ShardMap. update() adopts strictly
+/// newer versions only, so pushes, fetches, and bounces can race freely.
+class MapWatch {
+ public:
+  explicit MapWatch(ShardMap initial = {});
+
+  ShardMap current() const;
+  std::uint64_t version() const;
+
+  /// Adopts `map` when strictly newer (and structurally valid); returns
+  /// whether it was adopted.
+  bool update(const ShardMap& map);
+
+ private:
+  mutable std::mutex mutex_;
+  ShardMap map_;
+};
+
+/// Wires a shard server into the cluster: `watch` answers map_query frames,
+/// absorbs shard_map pushes, and vetoes batch_request frames for
+/// fingerprints `shard_id` does not own under the current map (empty map =
+/// pre-cluster, no vetoes).
+void install_cluster_hooks(transport::ServerOptions& options,
+                           std::shared_ptr<MapWatch> watch, int shard_id);
+
+struct CoordinatorOptions {
+  /// Owners per fingerprint in the maps this coordinator publishes.
+  int replication = 1;
+
+  /// Drain poll cadence and bound: a leaving owner whose in-flight count
+  /// will not reach zero within drain_timeout is dropped anyway (its batches
+  /// hold their own sampler references and complete unharmed).
+  std::chrono::milliseconds drain_poll{2};
+  std::chrono::milliseconds drain_timeout{10000};
+};
+
+class Coordinator {
+ public:
+  /// `resolver` produces control-plane clients to the members, exactly as
+  /// for ClusterService (and may be the same resolver).
+  explicit Coordinator(ShardResolver resolver, CoordinatorOptions options = {});
+
+  ShardMap current_map() const;
+
+  /// Registers a listener invoked with every newly published map, on the
+  /// thread that mutated membership. Deployments subscribe the pushes: to
+  /// each shard server's MapWatch (directly or via RemoteService::push_map)
+  /// and to each client's ClusterService::update_map.
+  void subscribe(std::function<void(const ShardMap&)> listener);
+
+  /// Admits cluster-wide: catalogs the request (migrations re-admit from the
+  /// catalog) and admits on every owner under the current map. The first
+  /// admission of a fingerprint wins the catalog slot, matching pool
+  /// idempotency.
+  Fingerprint admit(const AdmitRequest& request);
+
+  /// Membership changes: bump the version, migrate every cataloged
+  /// fingerprint whose replica set changed, publish. add_shard rejects
+  /// duplicate ids, remove_shard unknown ids (invalid_request).
+  void add_shard(const ShardDescriptor& member);
+  void remove_shard(int shard_id);
+
+  /// Fingerprints currently cataloged (admitted through this coordinator).
+  std::vector<Fingerprint> cataloged() const;
+
+ private:
+  std::shared_ptr<SamplerService> resolve(const ShardDescriptor& member) const;
+  void apply_locked(ShardMap next);
+  void publish_locked(const ShardMap& map);
+
+  ShardResolver resolver_;
+  CoordinatorOptions options_;
+
+  /// One mutex serializes every membership change and admission — the
+  /// coordinator is a control plane, not a data path.
+  mutable std::mutex mutex_;
+  ShardMap map_;
+  std::unordered_map<Fingerprint, AdmitRequest> catalog_;
+  std::vector<std::function<void(const ShardMap&)>> listeners_;
+  mutable std::unordered_map<int, std::shared_ptr<SamplerService>> clients_;
+  mutable std::unordered_map<int, ShardDescriptor> client_descriptors_;
+};
+
+}  // namespace cliquest::engine::cluster

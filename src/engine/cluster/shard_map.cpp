@@ -1,0 +1,85 @@
+#include "engine/cluster/shard_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace cliquest::engine::cluster {
+
+std::vector<std::string> ShardMap::validation_errors() const {
+  std::vector<std::string> errors;
+  if (replication < 1)
+    errors.push_back("ShardMap: replication must be >= 1, got " +
+                     std::to_string(replication));
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const ShardDescriptor& m = members[i];
+    if (!(std::isfinite(m.weight)) || m.weight <= 0.0)
+      errors.push_back("ShardMap: member " + std::to_string(m.shard_id) +
+                       " has non-positive weight");
+    for (std::size_t j = i + 1; j < members.size(); ++j)
+      if (members[j].shard_id == m.shard_id)
+        errors.push_back("ShardMap: duplicate shard_id " +
+                         std::to_string(m.shard_id));
+  }
+  return errors;
+}
+
+bool ShardMap::has_member(int shard_id) const { return member(shard_id) != nullptr; }
+
+const ShardDescriptor* ShardMap::member(int shard_id) const {
+  for (const ShardDescriptor& m : members)
+    if (m.shard_id == shard_id) return &m;
+  return nullptr;
+}
+
+double ShardMap::score(const Fingerprint& fp, const ShardDescriptor& member) {
+  // Mix the member identity through splitmix64 before folding the
+  // fingerprint in, so no 64-bit structure survives and the scores for two
+  // members are independent hashes of the same fingerprint. Pure arithmetic
+  // over (fp, shard_id, weight): deterministic across processes and
+  // independent of member order.
+  const std::uint64_t salted =
+      util::splitmix64(static_cast<std::uint64_t>(member.shard_id) +
+                       0x9e3779b97f4a7c15ULL);
+  const std::uint64_t h = util::splitmix64(fp.hi ^ util::splitmix64(fp.lo ^ salted));
+  // Top 53 bits to a uniform double strictly inside (0, 1): ln(u) is then
+  // finite and negative, so the score is finite and positive.
+  const double u = (static_cast<double>(h >> 11) + 0.5) * 0x1.0p-53;
+  return -member.weight / std::log(u);
+}
+
+std::vector<ShardDescriptor> ShardMap::owners(const Fingerprint& fp,
+                                              int count) const {
+  if (count < 1 || members.empty()) return {};
+  std::vector<std::pair<double, const ShardDescriptor*>> scored;
+  scored.reserve(members.size());
+  for (const ShardDescriptor& m : members) scored.emplace_back(score(fp, m), &m);
+  const std::size_t take =
+      std::min<std::size_t>(static_cast<std::size_t>(count), scored.size());
+  // Descending score, shard_id tiebreak: a total order, so every correct
+  // process computes the identical replica list.
+  const auto better = [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second->shard_id < b.second->shard_id;
+  };
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(take),
+                    scored.end(), better);
+  std::vector<ShardDescriptor> result;
+  result.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) result.push_back(*scored[i].second);
+  return result;
+}
+
+int ShardMap::owner(const Fingerprint& fp) const {
+  const std::vector<ShardDescriptor> top = owners(fp, 1);
+  return top.empty() ? -1 : top.front().shard_id;
+}
+
+bool ShardMap::owns(const Fingerprint& fp, int shard_id) const {
+  for (const ShardDescriptor& m : owners(fp, replication))
+    if (m.shard_id == shard_id) return true;
+  return false;
+}
+
+}  // namespace cliquest::engine::cluster

@@ -1,0 +1,93 @@
+#pragma once
+
+// The cluster's routing state: a versioned, weighted shard map.
+//
+// A ShardMap is the one piece of state every party in a cluster shares — the
+// coordinator that edits it, the shard servers that veto requests routed
+// with an older version, and the clients that route by it. It is a plain
+// value (wire-encodable, engine/wire.hpp tag shard_map), so "sharing" is
+// always a copy: nobody holds a reference into somebody else's map, and a
+// version comparison is all it takes to decide which of two copies is newer.
+//
+// Routing is weighted rendezvous (highest-random-weight) hashing: every
+// member scores each fingerprint as -weight / ln(u) with u a uniform hash of
+// (fingerprint, shard_id), and the owner is the highest scorer. The
+// properties the cluster leans on:
+//
+//   - Proportionality: a member wins a fraction of the fingerprint space
+//     proportional to its weight (tested to tolerance in cluster_test).
+//   - Minimal disruption: adding a member moves only the fingerprints the
+//     new member now wins (~its weight share); removing one moves only the
+//     fingerprints it owned. Nothing else re-routes.
+//   - Determinism: scores are pure arithmetic over (fingerprint, shard_id,
+//     weight) — member order in the vector is irrelevant and two processes
+//     that never spoke agree on every owner.
+//
+// owners(fp, r) generalizes the single owner to a replica set: the top r
+// scorers in descending order. Entry 0 is the primary; a client failing over
+// on ServiceError{transport} walks down the same list every other correct
+// client computes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/fingerprint.hpp"
+
+namespace cliquest::engine::cluster {
+
+/// One cluster member. shard_id is the stable identity (rendezvous scores
+/// hash it, responses stamp it); host/port locate the member's transport
+/// server (empty host = in-process member, resolved by the deployment's
+/// ShardResolver); weight scales its share of the fingerprint space.
+struct ShardDescriptor {
+  int shard_id = 0;
+  std::string host;
+  std::uint16_t port = 0;
+  double weight = 1.0;
+
+  bool operator==(const ShardDescriptor&) const = default;
+};
+
+struct ShardMap {
+  /// Monotone per cluster; a map with a higher version supersedes any lower
+  /// one. Version 0 is the empty pre-cluster map.
+  std::uint64_t version = 0;
+
+  /// Owners per fingerprint (replica set size). Clamped to the member count
+  /// when the cluster is smaller.
+  int replication = 1;
+
+  std::vector<ShardDescriptor> members;
+
+  bool operator==(const ShardMap&) const = default;
+
+  /// Validation errors (duplicate ids, non-finite/non-positive weights,
+  /// replication < 1); empty means well-formed. An empty member list is
+  /// valid — it routes nothing.
+  std::vector<std::string> validation_errors() const;
+
+  bool has_member(int shard_id) const;
+  const ShardDescriptor* member(int shard_id) const;
+
+  /// The rendezvous score of (fp, member): deterministic, strictly positive,
+  /// scale-proportional to the member's weight. Exposed for tests.
+  static double score(const Fingerprint& fp, const ShardDescriptor& member);
+
+  /// The replica set for fp: up to `count` members by descending score
+  /// (ties broken by shard_id, so the order is total). Defaults to the
+  /// map's replication. Empty when the map has no members.
+  std::vector<ShardDescriptor> owners(const Fingerprint& fp, int count) const;
+  std::vector<ShardDescriptor> owners(const Fingerprint& fp) const {
+    return owners(fp, replication);
+  }
+
+  /// The primary owner's shard_id, or -1 on an empty map.
+  int owner(const Fingerprint& fp) const;
+
+  /// True when `shard_id` is in fp's replica set — the check a shard
+  /// server's stale guard runs before serving a batch.
+  bool owns(const Fingerprint& fp, int shard_id) const;
+};
+
+}  // namespace cliquest::engine::cluster

@@ -20,6 +20,8 @@ std::string_view service_error_name(ServiceErrorCode code) {
       return "transport";
     case ServiceErrorCode::timeout:
       return "timeout";
+    case ServiceErrorCode::stale_map:
+      return "stale_map";
   }
   return "unknown";
 }

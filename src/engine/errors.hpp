@@ -36,6 +36,11 @@ enum class ServiceErrorCode {
   transport,
   /// A deadline expired before the serving side produced the response.
   timeout,
+  /// The request was routed with an out-of-date cluster shard map: the
+  /// serving shard no longer (or does not yet) own the fingerprint. The
+  /// current map rides the wire alongside this code (a stale_map frame), so
+  /// the client converges and retries without a coordinator round-trip.
+  stale_map,
 };
 
 /// Stable lowercase token, e.g. "unknown_fingerprint"; the code's wire name.

@@ -31,6 +31,7 @@ struct SamplerPool::Entry {
   std::int64_t next_index = 0;  // draw cursor: batches reserve [next, next + k)
   std::int64_t prepares = 0;    // precomputation builds (eviction resets
                                 // sampler, not this)
+  std::int64_t in_flight = 0;   // reserved batches not yet completed
 };
 
 SamplerPool::SamplerPool(PoolOptions options) : options_(std::move(options)) {
@@ -55,11 +56,21 @@ Fingerprint SamplerPool::admit(const graph::Graph& g) {
   return admit(g, options_.engine);
 }
 
-Fingerprint SamplerPool::admit(const graph::Graph& g, EngineOptions options) {
+Fingerprint SamplerPool::admit(const graph::Graph& g, EngineOptions options,
+                               std::int64_t first_draw_index) {
+  if (first_draw_index < 0)
+    throw EngineConfigError({"SamplerPool: first_draw_index must be >= 0, got " +
+                             std::to_string(first_draw_index)});
   const Fingerprint fp = fingerprint_graph(g);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (entries_.count(fp) > 0) return fp;  // idempotent; first admission wins
+    const auto it = entries_.find(fp);
+    if (it != entries_.end()) {
+      // Idempotent; first admission's options win — but a migration handoff
+      // may still push the cursor forward (never backwards).
+      it->second->next_index = std::max(it->second->next_index, first_draw_index);
+      return fp;
+    }
   }
   // Validate outside the lock (is_connected is O(n + m)) with exactly the
   // checks sampler construction applies, so a worker never trips over a bad
@@ -72,9 +83,14 @@ Fingerprint SamplerPool::admit(const graph::Graph& g, EngineOptions options) {
   entry->fingerprint = fp;
   entry->graph = std::make_shared<const graph::Graph>(g);
   entry->options = std::move(options);
+  entry->next_index = first_draw_index;
 
   std::lock_guard<std::mutex> lock(mutex_);
-  if (entries_.emplace(fp, std::move(entry)).second) ++stats_.admissions;
+  const auto [it, inserted] = entries_.emplace(fp, std::move(entry));
+  if (inserted)
+    ++stats_.admissions;
+  else
+    it->second->next_index = std::max(it->second->next_index, first_draw_index);
   return fp;
 }
 
@@ -94,6 +110,34 @@ std::int64_t SamplerPool::prepare_count(const Fingerprint& fp) const {
   return find_locked(fp)->prepares;
 }
 
+std::int64_t SamplerPool::draw_cursor(const Fingerprint& fp) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_locked(fp)->next_index;
+}
+
+std::int64_t SamplerPool::in_flight(const Fingerprint& fp) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_locked(fp)->in_flight;
+}
+
+bool SamplerPool::drop(const Fingerprint& fp) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(fp);
+  if (it == entries_.end()) return false;
+  const std::shared_ptr<Entry>& entry = it->second;
+  if (entry->is_resident) {
+    lru_.erase(entry->lru_it);
+    resident_bytes_ -= entry->bytes;
+    entry->bytes = 0;
+    entry->is_resident = false;
+    // Batches in flight share ownership of the sampler; the precomputation
+    // is freed when the last of them completes.
+    entry->sampler.reset();
+  }
+  entries_.erase(it);
+  return true;
+}
+
 std::shared_ptr<SamplerPool::Entry> SamplerPool::find_locked(
     const Fingerprint& fp) const {
   const auto it = entries_.find(fp);
@@ -104,10 +148,19 @@ std::shared_ptr<SamplerPool::Entry> SamplerPool::find_locked(
   return it->second;
 }
 
-std::int64_t SamplerPool::reserve_locked(Entry& entry, int k) {
-  const std::int64_t first = entry.next_index;
-  entry.next_index += k;
-  return first;
+std::int64_t SamplerPool::reserve_locked(Entry& entry, int k,
+                                         std::int64_t first_index) {
+  ++entry.in_flight;
+  if (first_index < 0) {
+    // Pool-assigned range: consume the cursor.
+    const std::int64_t first = entry.next_index;
+    entry.next_index += k;
+    return first;
+  }
+  // Caller-pinned range (cluster routing): replays redraw identical trees,
+  // and the cursor only ever moves forward.
+  entry.next_index = std::max(entry.next_index, first_index + k);
+  return first_index;
 }
 
 void SamplerPool::touch_locked(Entry& entry) {
@@ -146,6 +199,17 @@ void SamplerPool::evict_to_budget_locked() {
 
 PoolBatchResult SamplerPool::serve(const std::shared_ptr<Entry>& entry,
                                    std::int64_t first_index, int k) {
+  // The in-flight count was taken at reservation; release it however this
+  // batch ends (a migration drain polls it to zero before dropping).
+  struct InFlightGuard {
+    SamplerPool* pool;
+    Entry* entry;
+    ~InFlightGuard() {
+      std::lock_guard<std::mutex> lock(pool->mutex_);
+      --entry->in_flight;
+    }
+  } in_flight_guard{this, entry.get()};
+
   std::shared_ptr<SpanningTreeSampler> sampler;
   bool hit = true;
   {
@@ -229,7 +293,8 @@ PoolBatchResult SamplerPool::serve(const std::shared_ptr<Entry>& entry,
   return result;
 }
 
-PoolBatchResult SamplerPool::sample_batch(const Fingerprint& fp, int k) {
+PoolBatchResult SamplerPool::sample_batch(const Fingerprint& fp, int k,
+                                          std::int64_t first_index) {
   if (k < 0)
     throw ServiceError(
         ServiceErrorCode::invalid_request,
@@ -239,13 +304,13 @@ PoolBatchResult SamplerPool::sample_batch(const Fingerprint& fp, int k) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     entry = find_locked(fp);
-    first = reserve_locked(*entry, k);
+    first = reserve_locked(*entry, k, first_index);
   }
   return serve(entry, first, k);
 }
 
-std::future<PoolBatchResult> SamplerPool::submit_batch(const Fingerprint& fp,
-                                                       int k) {
+std::future<PoolBatchResult> SamplerPool::submit_batch(const Fingerprint& fp, int k,
+                                                       std::int64_t first_index) {
   Job job;
   job.count = k;
   std::future<PoolBatchResult> future = job.promise.get_future();
@@ -259,7 +324,7 @@ std::future<PoolBatchResult> SamplerPool::submit_batch(const Fingerprint& fp,
     // Reserving at submission (not execution) time pins every draw's
     // (seed, index) stream the moment the caller enqueues, independent of
     // worker scheduling.
-    job.first_index = reserve_locked(*job.entry, k);
+    job.first_index = reserve_locked(*job.entry, k, first_index);
     if (!workers_.empty()) {
       queue_.push_back(std::move(job));
     }

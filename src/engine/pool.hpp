@@ -121,9 +121,13 @@ class SamplerPool {
   /// prepare count all survive, so an evicted graph re-prepares exactly once
   /// on its next batch instead of resetting its serving state. Throws
   /// EngineConfigError on invalid graphs/options (checked here, not in a
-  /// worker).
+  /// worker). first_draw_index seeds the entry's draw cursor — a cluster
+  /// migration admits the graph on its new owner at the old owner's exported
+  /// cursor so the (seed, index) streams continue seamlessly; on an already
+  /// admitted entry the cursor only ever moves forward (max of both).
   Fingerprint admit(const graph::Graph& g);
-  Fingerprint admit(const graph::Graph& g, EngineOptions options);
+  Fingerprint admit(const graph::Graph& g, EngineOptions options,
+                    std::int64_t first_draw_index = 0);
 
   bool admitted(const Fingerprint& fp) const;
 
@@ -136,17 +140,38 @@ class SamplerPool {
   /// unknown fingerprints.
   std::int64_t prepare_count(const Fingerprint& fp) const;
 
+  /// The entry's next unreserved draw index — what a migration hands to the
+  /// new owner's admit. Throws ServiceError{unknown_fingerprint}.
+  std::int64_t draw_cursor(const Fingerprint& fp) const;
+
+  /// Batches reserved but not yet completed — what a migration drain polls
+  /// to zero before dropping the entry. Throws
+  /// ServiceError{unknown_fingerprint}.
+  std::int64_t in_flight(const Fingerprint& fp) const;
+
+  /// Forgets the entry entirely (graph, options, cursor, residency);
+  /// returns false when fp was never admitted. In-flight batches hold their
+  /// own sampler reference and complete unharmed.
+  bool drop(const Fingerprint& fp);
+
   /// Draws k trees synchronously, preparing (and possibly evicting) on a
   /// cold entry. Throws ServiceError{unknown_fingerprint} on unknown
   /// fingerprints and ServiceError{invalid_request} on k < 0.
-  PoolBatchResult sample_batch(const Fingerprint& fp, int k);
+  /// first_index < 0 (default) reserves [cursor, cursor + k) from the
+  /// entry's own cursor; a non-negative first_index pins the exact range
+  /// [first_index, first_index + k) — replayed ranges redraw identical
+  /// trees, and the cursor only advances (to first_index + k when that is
+  /// ahead of it).
+  PoolBatchResult sample_batch(const Fingerprint& fp, int k,
+                               std::int64_t first_index = -1);
 
   /// Async variant: reserves the batch's draw-index range immediately (so
   /// submission order fixes the streams), enqueues the work, and returns a
   /// future. Every error — rejection (unknown fingerprint, bad k) and
   /// serving failure alike — surfaces through the future, never
   /// synchronously, with the same ServiceError types as the sync path.
-  std::future<PoolBatchResult> submit_batch(const Fingerprint& fp, int k);
+  std::future<PoolBatchResult> submit_batch(const Fingerprint& fp, int k,
+                                            std::int64_t first_index = -1);
 
   /// Resident fingerprints in eviction order (coldest first).
   std::vector<Fingerprint> resident_order() const;
@@ -166,7 +191,7 @@ class SamplerPool {
   };
 
   std::shared_ptr<Entry> find_locked(const Fingerprint& fp) const;
-  std::int64_t reserve_locked(Entry& entry, int k);
+  std::int64_t reserve_locked(Entry& entry, int k, std::int64_t first_index);
   void touch_locked(Entry& entry);
   void evict_to_budget_locked();
   PoolBatchResult serve(const std::shared_ptr<Entry>& entry,

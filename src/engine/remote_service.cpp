@@ -103,14 +103,18 @@ void RemoteService::ensure_connected(std::unique_lock<std::mutex>& lock) const {
   std::exception_ptr failure;
   std::chrono::milliseconds backoff = options_.backoff_initial;
   const int attempts = std::max(1, options_.max_connect_attempts);
+  std::int64_t dials = 0;
+  std::int64_t dial_failures = 0;
   for (int attempt = 0; attempt < attempts && !fresh; ++attempt) {
     if (attempt > 0) {
       std::this_thread::sleep_for(backoff);
       backoff = std::min(backoff * 2, options_.backoff_cap);
     }
+    ++dials;
     try {
       fresh = connect_once();
     } catch (const ServiceError& e) {
+      ++dial_failures;
       failure = std::current_exception();
       // A version mismatch is permanent: the peer will not change its mind
       // between attempts, so fail now with the typed code.
@@ -120,6 +124,8 @@ void RemoteService::ensure_connected(std::unique_lock<std::mutex>& lock) const {
 
   lock.lock();
   connecting_ = false;
+  dials_ += dials;
+  dial_failures_ += dial_failures;
   connect_cv_.notify_all();
   if (!fresh) {
     if (failure) std::rethrow_exception(failure);
@@ -205,6 +211,23 @@ void RemoteService::handle_frame(Link& link, std::uint64_t request_id,
   if (type == wire::MessageType::error_response) {
     const wire::ErrorResponse error = wire::decode_error_response(message);
     auto exception = std::make_exception_ptr(ServiceError(error.code, error.detail));
+    if (pending->is_batch)
+      pending->batch_promise.set_exception(exception);
+    else
+      pending->bytes_promise.set_exception(exception);
+    return;
+  }
+
+  if (type == wire::MessageType::stale_map) {
+    // The server's routing veto: hand the newer map to the hook first, so by
+    // the time the failed future wakes its caller the refreshed map is
+    // already in place and the retry routes correctly.
+    const cluster::ShardMap map = wire::decode_stale_map(message);
+    if (options_.on_map_push) options_.on_map_push(map);
+    auto exception = std::make_exception_ptr(ServiceError(
+        ServiceErrorCode::stale_map,
+        "request was routed with a stale cluster map; the server holds version " +
+            std::to_string(map.version)));
     if (pending->is_batch)
       pending->batch_promise.set_exception(exception);
     else
@@ -310,6 +333,29 @@ std::int64_t RemoteService::prepare_count(const Fingerprint& fp) const {
       rpc(wire::encode_query(wire::MessageType::prepare_count_query, fp)));
 }
 
+std::int64_t RemoteService::draw_cursor(const Fingerprint& fp) const {
+  return wire::decode_count_response(
+      rpc(wire::encode_query(wire::MessageType::cursor_query, fp)));
+}
+
+std::int64_t RemoteService::in_flight(const Fingerprint& fp) const {
+  return wire::decode_count_response(
+      rpc(wire::encode_query(wire::MessageType::in_flight_query, fp)));
+}
+
+bool RemoteService::drop(const Fingerprint& fp) {
+  return wire::decode_bool_response(
+      rpc(wire::encode_query(wire::MessageType::drop_query, fp)));
+}
+
+cluster::ShardMap RemoteService::fetch_map() const {
+  return wire::decode_shard_map(rpc(wire::encode_map_query()));
+}
+
+bool RemoteService::push_map(const cluster::ShardMap& map) const {
+  return wire::decode_bool_response(rpc(wire::encode(map)));
+}
+
 BatchResponse RemoteService::sample_batch(const BatchRequest& request) {
   auto [future, id] = submit_batch_traced(request);
   if (options_.request_timeout.count() <= 0) return future.get();
@@ -336,7 +382,15 @@ std::future<BatchResponse> RemoteService::submit_batch(const BatchRequest& reque
 }
 
 ServiceStats RemoteService::stats() const {
-  return wire::decode_service_stats(rpc(wire::encode_stats_query()));
+  ServiceStats stats = wire::decode_service_stats(rpc(wire::encode_stats_query()));
+  // The server's stats describe its serving side; the dial history lives
+  // here, at the client that made the dials. Add, don't overwrite — the peer
+  // may itself front remote children whose dials it already counted.
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats.transport.dials += dials_;
+  stats.transport.reconnects += reconnects_;
+  stats.transport.dial_failures += dial_failures_;
+  return stats;
 }
 
 bool RemoteService::connected() const {
@@ -352,6 +406,16 @@ std::int64_t RemoteService::reconnect_count() const {
 std::int64_t RemoteService::chunk_frames_received() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return chunk_frames_;
+}
+
+std::int64_t RemoteService::dial_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dials_;
+}
+
+std::int64_t RemoteService::dial_failure_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dial_failures_;
 }
 
 // ---------------------------------------------------------- LoopbackShard
@@ -395,6 +459,16 @@ bool LoopbackShard::resident(const Fingerprint& fp) const {
 std::int64_t LoopbackShard::prepare_count(const Fingerprint& fp) const {
   return remote_->prepare_count(fp);
 }
+
+std::int64_t LoopbackShard::draw_cursor(const Fingerprint& fp) const {
+  return remote_->draw_cursor(fp);
+}
+
+std::int64_t LoopbackShard::in_flight(const Fingerprint& fp) const {
+  return remote_->in_flight(fp);
+}
+
+bool LoopbackShard::drop(const Fingerprint& fp) { return remote_->drop(fp); }
 
 BatchResponse LoopbackShard::sample_batch(const BatchRequest& request) {
   return remote_->sample_batch(request);

@@ -57,6 +57,13 @@ struct RemoteOptions {
   /// Advertised willingness to reassemble streamed batches (0 = ask the
   /// server not to chunk).
   std::uint32_t batch_chunk_trees = 512;
+
+  /// Invoked (on the reader thread, no RemoteService lock held) whenever the
+  /// server answers a request with a stale_map frame — its "your routing map
+  /// is out of date" veto, carrying the map it holds. The vetoed call itself
+  /// fails with ServiceError{stale_map}; a cluster client installs this hook
+  /// to adopt the newer map before retrying.
+  std::function<void(const cluster::ShardMap&)> on_map_push;
 };
 
 class RemoteService final : public SamplerService {
@@ -73,9 +80,26 @@ class RemoteService final : public SamplerService {
   bool admitted(const Fingerprint& fp) const override;
   bool resident(const Fingerprint& fp) const override;
   std::int64_t prepare_count(const Fingerprint& fp) const override;
+  std::int64_t draw_cursor(const Fingerprint& fp) const override;
+  std::int64_t in_flight(const Fingerprint& fp) const override;
+  bool drop(const Fingerprint& fp) override;
   BatchResponse sample_batch(const BatchRequest& request) override;
   std::future<BatchResponse> submit_batch(const BatchRequest& request) override;
+
+  /// The peer's stats plus this client's own connection history: dials,
+  /// reconnects, and dial failures are added into the transport block, so a
+  /// stats roll-up across layers (ShardedService, ClusterService) counts
+  /// every dial exactly once — at the client that made it.
   ServiceStats stats() const override;
+
+  /// Asks the server for its current cluster map (map_query). Throws
+  /// ServiceError{unavailable} when the server has no map to serve.
+  cluster::ShardMap fetch_map() const;
+
+  /// Pushes a map to the server (a coordinator's view change); true when the
+  /// server accepted it. Throws ServiceError{unavailable} when the server
+  /// does not accept pushes.
+  bool push_map(const cluster::ShardMap& map) const;
 
   /// True while a handshaken connection is up (a failed peer is only
   /// noticed when a call touches it).
@@ -84,6 +108,11 @@ class RemoteService final : public SamplerService {
   /// Times a live connection was re-established after the first (tests and
   /// benches read these; both are monotone).
   std::int64_t reconnect_count() const;
+
+  /// Connection attempts made (first dial included) and attempts that never
+  /// produced a handshake. Monotone; also folded into stats().transport.
+  std::int64_t dial_count() const;
+  std::int64_t dial_failure_count() const;
 
   /// batch_chunk frames reassembled so far — proves streaming actually
   /// happened in the conformance tests.
@@ -130,6 +159,8 @@ class RemoteService final : public SamplerService {
   mutable std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
   mutable std::int64_t reconnects_ = 0;
   mutable std::int64_t chunk_frames_ = 0;
+  mutable std::int64_t dials_ = 0;
+  mutable std::int64_t dial_failures_ = 0;
 };
 
 /// A complete in-process remote leg: a transport::Server serving `backend`
@@ -149,6 +180,9 @@ class LoopbackShard final : public SamplerService {
   bool admitted(const Fingerprint& fp) const override;
   bool resident(const Fingerprint& fp) const override;
   std::int64_t prepare_count(const Fingerprint& fp) const override;
+  std::int64_t draw_cursor(const Fingerprint& fp) const override;
+  std::int64_t in_flight(const Fingerprint& fp) const override;
+  bool drop(const Fingerprint& fp) override;
   BatchResponse sample_batch(const BatchRequest& request) override;
   std::future<BatchResponse> submit_batch(const BatchRequest& request) override;
   ServiceStats stats() const override;

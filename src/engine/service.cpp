@@ -34,9 +34,34 @@ void merge_stats(PoolStats& into, const PoolStats& from) {
   into.admitted_count += from.admitted_count;
 }
 
+void merge_transport(TransportStats& into, const TransportStats& from) {
+  into.dials += from.dials;
+  into.reconnects += from.reconnects;
+  into.dial_failures += from.dial_failures;
+  into.failovers += from.failovers;
+}
+
 }  // namespace
 
 SamplerService::~SamplerService() = default;  // watcher futures join here
+
+std::int64_t SamplerService::draw_cursor(const Fingerprint& fp) const {
+  throw ServiceError(ServiceErrorCode::unavailable,
+                     "this service does not export draw cursors (fingerprint " +
+                         fp.to_string() + ")");
+}
+
+std::int64_t SamplerService::in_flight(const Fingerprint& fp) const {
+  throw ServiceError(ServiceErrorCode::unavailable,
+                     "this service does not report in-flight batches (fingerprint " +
+                         fp.to_string() + ")");
+}
+
+bool SamplerService::drop(const Fingerprint& fp) {
+  throw ServiceError(ServiceErrorCode::unavailable,
+                     "this service does not support drop (fingerprint " +
+                         fp.to_string() + ")");
+}
 
 std::vector<std::future<BatchResponse>> SamplerService::submit_all(
     const std::vector<BatchRequest>& requests) {
@@ -125,7 +150,7 @@ LocalService::LocalService(PoolOptions options) : pool_(std::move(options)) {}
 
 Fingerprint LocalService::admit(const AdmitRequest& request) {
   try {
-    return pool_.admit(request.graph, request.options);
+    return pool_.admit(request.graph, request.options, request.first_draw_index);
   } catch (const EngineConfigError& e) {
     // Below the service layer this is a construction/validation error; on
     // the serving surface every failure is a ServiceError.
@@ -141,15 +166,27 @@ std::int64_t LocalService::prepare_count(const Fingerprint& fp) const {
   return pool_.prepare_count(fp);
 }
 
+std::int64_t LocalService::draw_cursor(const Fingerprint& fp) const {
+  return pool_.draw_cursor(fp);
+}
+
+std::int64_t LocalService::in_flight(const Fingerprint& fp) const {
+  return pool_.in_flight(fp);
+}
+
+bool LocalService::drop(const Fingerprint& fp) { return pool_.drop(fp); }
+
 BatchResponse LocalService::sample_batch(const BatchRequest& request) {
-  return pool_.sample_batch(request.fingerprint, request.draw_count);
+  return pool_.sample_batch(request.fingerprint, request.draw_count,
+                            request.first_draw_index);
 }
 
 std::future<BatchResponse> LocalService::submit_batch(const BatchRequest& request) {
   // The pool's future is the response future: promise-backed, so
   // wait_for/wait_until readiness polling behaves, and already stamped with
   // the pool's shard_id.
-  return pool_.submit_batch(request.fingerprint, request.draw_count);
+  return pool_.submit_batch(request.fingerprint, request.draw_count,
+                            request.first_draw_index);
 }
 
 ServiceStats LocalService::stats() const {
@@ -225,6 +262,18 @@ std::int64_t ShardedService::prepare_count(const Fingerprint& fp) const {
   return shards_[static_cast<std::size_t>(shard_for(fp))]->prepare_count(fp);
 }
 
+std::int64_t ShardedService::draw_cursor(const Fingerprint& fp) const {
+  return shards_[static_cast<std::size_t>(shard_for(fp))]->draw_cursor(fp);
+}
+
+std::int64_t ShardedService::in_flight(const Fingerprint& fp) const {
+  return shards_[static_cast<std::size_t>(shard_for(fp))]->in_flight(fp);
+}
+
+bool ShardedService::drop(const Fingerprint& fp) {
+  return shards_[static_cast<std::size_t>(shard_for(fp))]->drop(fp);
+}
+
 BatchResponse ShardedService::sample_batch(const BatchRequest& request) {
   // The serving shard stamps its own id (PoolOptions::shard_id); the router
   // never rewrites responses, sync or async.
@@ -243,8 +292,11 @@ ServiceStats ShardedService::stats() const {
   ServiceStats stats;
   stats.shards.reserve(shards_.size());
   for (const std::unique_ptr<SamplerService>& shard : shards_) {
-    stats.shards.push_back(shard->stats().totals);
+    const ServiceStats child = shard->stats();
+    stats.shards.push_back(child.totals);
     merge_stats(stats.totals, stats.shards.back());
+    // Remote children carry their own dial history; sum it like the rest.
+    merge_transport(stats.transport, child.transport);
   }
   return stats;
 }

@@ -42,15 +42,26 @@
 namespace cliquest::engine {
 
 /// Admission message: a graph plus the engine options its sampler will use.
+/// first_draw_index seeds the entry's draw cursor — 0 for fresh admissions;
+/// a cluster migration admits on the new owner at the source's exported
+/// cursor, so the (seed, index) streams continue where the old owner
+/// stopped. Re-admission never moves a cursor backwards.
 struct AdmitRequest {
   graph::Graph graph;
   EngineOptions options;
+  std::int64_t first_draw_index = 0;
 };
 
 /// Serving message: draw draw_count trees against an admitted fingerprint.
+/// first_draw_index < 0 (the default) lets the serving pool assign the range
+/// from its own cursor, as always. A non-negative value pins the range
+/// [first_draw_index, first_draw_index + draw_count) explicitly — the
+/// cluster layer reserves ranges against its own cursor so a batch retried
+/// on a replica after a transport failure draws the identical trees.
 struct BatchRequest {
   Fingerprint fingerprint;
   int draw_count = 0;
+  std::int64_t first_draw_index = -1;
 };
 
 /// A served batch: the trees + report, plus the serving metadata needed to
@@ -67,8 +78,21 @@ using BatchResponse = PoolBatchResult;
 /// sums across shards — including resident_bytes and peak_resident_bytes,
 /// so totals.peak is a sum-of-peaks upper bound; the per-shard
 /// "peak <= budget" invariant lives in shards[], where each budget applies.
+/// Client-side connection-churn counters, summed like the pool counters
+/// when stats merge across layers. A RemoteService adds its own dial
+/// history to the stats it reads back from its peer; a cluster layer adds
+/// the failovers it performed. All monotone — tests observe dial churn and
+/// failover decisions here instead of sleeping.
+struct TransportStats {
+  std::int64_t dials = 0;          // connection attempts, first dial included
+  std::int64_t reconnects = 0;     // live connections re-established
+  std::int64_t dial_failures = 0;  // attempts that did not yield a handshake
+  std::int64_t failovers = 0;      // batches re-routed to a replica
+};
+
 struct ServiceStats {
   PoolStats totals;
+  TransportStats transport;
   std::vector<PoolStats> shards;
 };
 
@@ -94,6 +118,25 @@ class SamplerService {
   /// Times the fingerprint's precomputation has been built. Throws
   /// ServiceError{unknown_fingerprint} on unknown fingerprints.
   virtual std::int64_t prepare_count(const Fingerprint& fp) const = 0;
+
+  // Cluster control-plane hooks (engine/cluster): the draw cursor a
+  // migration hands off, the in-flight count a drain polls, and the drop
+  // that retires a migrated entry. Defaults throw ServiceError{unavailable}
+  // so decorators and test doubles that predate the cluster layer keep
+  // compiling; every shipped service implements them.
+
+  /// The entry's next unreserved draw index. Throws
+  /// ServiceError{unknown_fingerprint} on unknown fingerprints.
+  virtual std::int64_t draw_cursor(const Fingerprint& fp) const;
+
+  /// Batches reserved against the fingerprint but not yet completed. Throws
+  /// ServiceError{unknown_fingerprint} on unknown fingerprints.
+  virtual std::int64_t in_flight(const Fingerprint& fp) const;
+
+  /// Forgets the fingerprint entirely — graph, options, cursor, residency.
+  /// Returns false when it was never admitted. Batches already in flight
+  /// still complete (they hold their own references).
+  virtual bool drop(const Fingerprint& fp);
 
   /// Draws request.draw_count trees synchronously. Throws
   /// ServiceError{unknown_fingerprint, invalid_request}.
@@ -144,6 +187,9 @@ class LocalService : public SamplerService {
   bool admitted(const Fingerprint& fp) const override;
   bool resident(const Fingerprint& fp) const override;
   std::int64_t prepare_count(const Fingerprint& fp) const override;
+  std::int64_t draw_cursor(const Fingerprint& fp) const override;
+  std::int64_t in_flight(const Fingerprint& fp) const override;
+  bool drop(const Fingerprint& fp) override;
   BatchResponse sample_batch(const BatchRequest& request) override;
   std::future<BatchResponse> submit_batch(const BatchRequest& request) override;
   ServiceStats stats() const override;
@@ -183,6 +229,9 @@ class ShardedService : public SamplerService {
   bool admitted(const Fingerprint& fp) const override;
   bool resident(const Fingerprint& fp) const override;
   std::int64_t prepare_count(const Fingerprint& fp) const override;
+  std::int64_t draw_cursor(const Fingerprint& fp) const override;
+  std::int64_t in_flight(const Fingerprint& fp) const override;
+  bool drop(const Fingerprint& fp) override;
   BatchResponse sample_batch(const BatchRequest& request) override;
   std::future<BatchResponse> submit_batch(const BatchRequest& request) override;
   ServiceStats stats() const override;

@@ -474,6 +474,49 @@ void Server::serve(std::shared_ptr<Connection> connection) {
           ok = write_bounded(id, wire::encode_count_response(value));
           break;
         }
+        case wire::MessageType::cursor_query: {
+          const std::int64_t value = service_.draw_cursor(
+              wire::decode_query(frame->message, wire::MessageType::cursor_query));
+          std::lock_guard<std::mutex> lock(write_mutex);
+          ok = write_bounded(id, wire::encode_count_response(value));
+          break;
+        }
+        case wire::MessageType::in_flight_query: {
+          const std::int64_t value = service_.in_flight(
+              wire::decode_query(frame->message, wire::MessageType::in_flight_query));
+          std::lock_guard<std::mutex> lock(write_mutex);
+          ok = write_bounded(id, wire::encode_count_response(value));
+          break;
+        }
+        case wire::MessageType::drop_query: {
+          const bool value = service_.drop(
+              wire::decode_query(frame->message, wire::MessageType::drop_query));
+          std::lock_guard<std::mutex> lock(write_mutex);
+          ok = write_bounded(id, wire::encode_bool_response(value));
+          break;
+        }
+        case wire::MessageType::map_query: {
+          wire::decode_map_query(frame->message);
+          if (!options_.map_provider)
+            throw ServiceError(ServiceErrorCode::unavailable,
+                               "this server does not serve a cluster map");
+          const cluster::ShardMap map = options_.map_provider();
+          std::lock_guard<std::mutex> lock(write_mutex);
+          ok = write_bounded(id, wire::encode(map));
+          break;
+        }
+        case wire::MessageType::shard_map: {
+          // A coordinator's view-change push; accepted means this server now
+          // routes and vetoes by the pushed map (or a newer one it held).
+          const cluster::ShardMap map = wire::decode_shard_map(frame->message);
+          if (!options_.map_sink)
+            throw ServiceError(ServiceErrorCode::unavailable,
+                               "this server does not accept cluster map pushes");
+          const bool accepted = options_.map_sink(map);
+          std::lock_guard<std::mutex> lock(write_mutex);
+          ok = write_bounded(id, wire::encode_bool_response(accepted));
+          break;
+        }
         case wire::MessageType::stats_query: {
           wire::decode_stats_query(frame->message);
           const ServiceStats stats = service_.stats();
@@ -486,6 +529,17 @@ void Server::serve(std::shared_ptr<Connection> connection) {
           // order fixes the streams exactly as local submission order would;
           // the response is written by the responder when the future lands.
           const BatchRequest request = wire::decode_batch_request(frame->message);
+          if (options_.stale_guard) {
+            // Vetoed before any range is reserved: the bounced batch leaves
+            // no trace in the cursor, so the client's retry under the new
+            // map draws exactly what this serve would have.
+            if (const std::optional<cluster::ShardMap> current =
+                    options_.stale_guard(request.fingerprint)) {
+              std::lock_guard<std::mutex> lock(write_mutex);
+              ok = write_bounded(id, wire::encode_stale_map(*current));
+              break;
+            }
+          }
           std::future<BatchResponse> future = service_.submit_batch(request);
           {
             std::lock_guard<std::mutex> lock(pending_mutex);

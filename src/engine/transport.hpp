@@ -31,12 +31,14 @@
 // the in-process loopback wiring live in engine/remote_service.hpp.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <utility>
 
+#include "engine/cluster/shard_map.hpp"
 #include "engine/service.hpp"
 #include "engine/wire.hpp"
 
@@ -130,6 +132,26 @@ struct ServerOptions {
   /// report. 0 disables chunking. The effective size per connection is the
   /// smaller nonzero advertisement from the handshake.
   std::uint32_t batch_chunk_trees = 512;
+
+  // Cluster control-plane hooks (engine/cluster). All optional: a server
+  // without them — every pre-cluster deployment — rejects the corresponding
+  // frames with ServiceError{unavailable} and serves everything else
+  // unchanged.
+
+  /// Answers map_query frames with the current cluster map (shard_map tag).
+  std::function<cluster::ShardMap()> map_provider;
+
+  /// Absorbs shard_map push frames — a coordinator's view change — and
+  /// replies bool_response(accepted). Accepting means this server now routes
+  /// and vetoes by the pushed map (or a newer one it already held).
+  std::function<bool(const cluster::ShardMap&)> map_sink;
+
+  /// Per-batch veto, run before submit_batch: return the current map to
+  /// bounce the request with a stale_map frame carrying it — the client
+  /// adopts the newer map and re-routes — or nullopt to serve. This is how a
+  /// shard that lost ownership of a fingerprint turns misrouted batches into
+  /// convergence instead of stale draws.
+  std::function<std::optional<cluster::ShardMap>(const Fingerprint&)> stale_guard;
 };
 
 /// The server side of the RPC protocol over one SamplerService. serve()

@@ -71,7 +71,7 @@ std::uint8_t read_envelope(std::span<const std::uint8_t> bytes) {
                            ", this build speaks " + std::to_string(kVersion));
   const std::uint8_t tag = bytes[6];
   if (tag < static_cast<std::uint8_t>(MessageType::graph) ||
-      tag > static_cast<std::uint8_t>(MessageType::batch_chunk))
+      tag > static_cast<std::uint8_t>(MessageType::in_flight_query))
     malformed("unknown message tag " + std::to_string(tag));
   return tag;
 }
@@ -364,7 +364,8 @@ void write_pool_stats(Writer& w, const PoolStats& s) {
 /// side, where malformed_message would wrongly implicate the peer).
 void require_query_tag(MessageType tag) {
   if (tag != MessageType::admitted_query && tag != MessageType::resident_query &&
-      tag != MessageType::prepare_count_query)
+      tag != MessageType::prepare_count_query && tag != MessageType::cursor_query &&
+      tag != MessageType::drop_query && tag != MessageType::in_flight_query)
     throw ServiceError(ServiceErrorCode::invalid_request,
                        "message tag " + std::to_string(static_cast<int>(tag)) +
                            " is not a fingerprint query");
@@ -424,6 +425,7 @@ Bytes encode(const AdmitRequest& request) {
   Writer w(MessageType::admit_request);
   write_graph(w, request.graph);
   write_options(w, request.options);
+  w.i64(request.first_draw_index);
   return w.finish();
 }
 
@@ -432,6 +434,7 @@ AdmitRequest decode_admit_request(std::span<const std::uint8_t> bytes) {
   AdmitRequest request;
   request.graph = read_graph(r);
   request.options = read_options(r);
+  request.first_draw_index = r.i64();
   r.done();
   return request;
 }
@@ -440,6 +443,7 @@ Bytes encode(const BatchRequest& request) {
   Writer w(MessageType::batch_request);
   write_fingerprint(w, request.fingerprint);
   w.i32(request.draw_count);
+  w.i64(request.first_draw_index);
   return w.finish();
 }
 
@@ -448,6 +452,7 @@ BatchRequest decode_batch_request(std::span<const std::uint8_t> bytes) {
   BatchRequest request;
   request.fingerprint = read_fingerprint(r);
   request.draw_count = r.i32();
+  request.first_draw_index = r.i64();
   r.done();
   return request;
 }
@@ -482,6 +487,10 @@ BatchResponse decode_batch_response(std::span<const std::uint8_t> bytes) {
 Bytes encode(const ServiceStats& stats) {
   Writer w(MessageType::service_stats);
   write_pool_stats(w, stats.totals);
+  w.i64(stats.transport.dials);
+  w.i64(stats.transport.reconnects);
+  w.i64(stats.transport.dial_failures);
+  w.i64(stats.transport.failovers);
   w.u32(static_cast<std::uint32_t>(stats.shards.size()));
   for (const PoolStats& shard : stats.shards) write_pool_stats(w, shard);
   return w.finish();
@@ -491,6 +500,10 @@ ServiceStats decode_service_stats(std::span<const std::uint8_t> bytes) {
   Reader r(bytes, MessageType::service_stats);
   ServiceStats stats;
   stats.totals = read_pool_stats(r);
+  stats.transport.dials = r.i64();
+  stats.transport.reconnects = r.i64();
+  stats.transport.dial_failures = r.i64();
+  stats.transport.failovers = r.i64();
   const std::uint32_t shard_count = r.u32();
   for (std::uint32_t i = 0; i < shard_count; ++i)
     stats.shards.push_back(read_pool_stats(r));
@@ -527,7 +540,7 @@ ErrorResponse decode_error_response(std::span<const std::uint8_t> bytes) {
   Reader r(bytes, MessageType::error_response);
   ErrorResponse error;
   error.code = read_enum<ServiceErrorCode>(
-      r, static_cast<std::uint8_t>(ServiceErrorCode::timeout), "service error code");
+      r, static_cast<std::uint8_t>(ServiceErrorCode::stale_map), "service error code");
   error.detail = r.str();
   r.done();
   return error;
@@ -626,6 +639,85 @@ Fingerprint decode_query(std::span<const std::uint8_t> bytes, MessageType tag) {
   const Fingerprint fp = read_fingerprint(r);
   r.done();
   return fp;
+}
+
+// ------------------------------------------------------- v4 cluster messages
+
+namespace {
+
+void write_shard_map(Writer& w, const cluster::ShardMap& map) {
+  w.u64(map.version);
+  w.i32(map.replication);
+  w.u32(static_cast<std::uint32_t>(map.members.size()));
+  for (const cluster::ShardDescriptor& member : map.members) {
+    w.i32(member.shard_id);
+    w.str(member.host);
+    w.u16(member.port);
+    w.f64(member.weight);
+  }
+}
+
+cluster::ShardMap read_shard_map(Reader& r) {
+  cluster::ShardMap map;
+  map.version = r.u64();
+  map.replication = r.i32();
+  const std::uint32_t member_count = r.u32();
+  // A member costs at least 18 payload bytes (id + empty-host length + port
+  // + weight), so a forged count fails against the bytes actually present
+  // before any allocation happens — the read_graph discipline.
+  if (member_count > r.remaining() / 18)
+    malformed("shard map member count " + std::to_string(member_count) +
+              " exceeds the remaining payload");
+  map.members.reserve(member_count);
+  for (std::uint32_t i = 0; i < member_count; ++i) {
+    cluster::ShardDescriptor member;
+    member.shard_id = r.i32();
+    member.host = r.str();
+    member.port = r.u16();
+    member.weight = r.f64();
+    map.members.push_back(std::move(member));
+  }
+  for (const std::string& problem : map.validation_errors())
+    malformed("shard map: " + problem);
+  return map;
+}
+
+}  // namespace
+
+Bytes encode(const cluster::ShardMap& map) {
+  Writer w(MessageType::shard_map);
+  write_shard_map(w, map);
+  return w.finish();
+}
+
+cluster::ShardMap decode_shard_map(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::shard_map);
+  cluster::ShardMap map = read_shard_map(r);
+  r.done();
+  return map;
+}
+
+Bytes encode_stale_map(const cluster::ShardMap& map) {
+  Writer w(MessageType::stale_map);
+  write_shard_map(w, map);
+  return w.finish();
+}
+
+cluster::ShardMap decode_stale_map(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::stale_map);
+  cluster::ShardMap map = read_shard_map(r);
+  r.done();
+  return map;
+}
+
+Bytes encode_map_query() {
+  Writer w(MessageType::map_query);
+  return w.finish();
+}
+
+void decode_map_query(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::map_query);
+  r.done();
 }
 
 }  // namespace cliquest::engine::wire

@@ -30,6 +30,7 @@
 #include <span>
 #include <vector>
 
+#include "engine/cluster/shard_map.hpp"
 #include "engine/service.hpp"
 
 namespace cliquest::engine::wire {
@@ -40,7 +41,15 @@ namespace cliquest::engine::wire {
 /// v3: the remote-transport RPC set (engine/transport.hpp) — handshake
 /// `hello`, typed `error_response`, per-call query/response messages, and
 /// the streaming `batch_chunk` variant of batch_response for large k.
-inline constexpr std::uint16_t kVersion = 3;
+/// v4: the cluster control plane (engine/cluster) — `shard_map` (the
+/// versioned weighted member list, both a map_query response and a
+/// coordinator push), `map_query`, and `stale_map` (the view-change answer
+/// to a batch routed with an old map, carrying the current map); the
+/// migration queries cursor_query/drop_query/in_flight_query;
+/// batch_request gained first_draw_index (explicit replica-safe draw
+/// ranges), admit_request gained first_draw_index (cursor handoff), and
+/// service_stats the client-side TransportStats block.
+inline constexpr std::uint16_t kVersion = 4;
 
 using Bytes = std::vector<std::uint8_t>;
 
@@ -63,6 +72,15 @@ enum class MessageType : std::uint8_t {
   resident_query = 14,
   prepare_count_query = 15,
   batch_chunk = 16,
+  // v4 cluster messages. shard_map doubles as the map_query response and as
+  // a coordinator's push request (the server's map_sink absorbs it);
+  // stale_map is only ever a response.
+  shard_map = 17,
+  map_query = 18,
+  stale_map = 19,
+  cursor_query = 20,
+  drop_query = 21,
+  in_flight_query = 22,
 };
 
 /// Handshake message, the first frame in each direction of a transport
@@ -108,6 +126,12 @@ Bytes encode(const ServiceStats& stats);
 Bytes encode(const Hello& hello);
 Bytes encode(const ErrorResponse& error);
 Bytes encode(const BatchChunk& chunk);
+Bytes encode(const cluster::ShardMap& map);  // tag shard_map
+
+/// The same ShardMap payload under the stale_map tag: the serving side's
+/// "your map is out of date, here is mine" answer to a misrouted batch.
+Bytes encode_stale_map(const cluster::ShardMap& map);
+Bytes encode_map_query();
 
 /// Encodes a batch_chunk directly from a tree range — the server's
 /// streaming path slices the response's tree list without copying it into a
@@ -117,8 +141,9 @@ Bytes encode_batch_chunk(const Fingerprint& fp, std::uint32_t seq,
 
 /// Single-value responses and the fingerprint-keyed queries share payload
 /// shapes, so they encode through named helpers instead of overloads.
-/// `tag` must be admitted_query, resident_query, or prepare_count_query;
-/// anything else throws ServiceError{invalid_request}.
+/// `tag` must be one of the fingerprint queries (admitted_query,
+/// resident_query, prepare_count_query, cursor_query, drop_query,
+/// in_flight_query); anything else throws ServiceError{invalid_request}.
 Bytes encode_fingerprint_response(const Fingerprint& fp);
 Bytes encode_bool_response(bool value);
 Bytes encode_count_response(std::int64_t value);
@@ -139,5 +164,8 @@ bool decode_bool_response(std::span<const std::uint8_t> bytes);
 std::int64_t decode_count_response(std::span<const std::uint8_t> bytes);
 void decode_stats_query(std::span<const std::uint8_t> bytes);
 Fingerprint decode_query(std::span<const std::uint8_t> bytes, MessageType tag);
+cluster::ShardMap decode_shard_map(std::span<const std::uint8_t> bytes);
+cluster::ShardMap decode_stale_map(std::span<const std::uint8_t> bytes);
+void decode_map_query(std::span<const std::uint8_t> bytes);
 
 }  // namespace cliquest::engine::wire

@@ -1,0 +1,861 @@
+// Cluster subsystem suite: weighted rendezvous routing (proportionality,
+// minimal disruption, cross-process determinism), ClusterService failover
+// with replay-equal retries, stale-map convergence (both the wire-level
+// bounce through install_cluster_hooks and the map_fetch path), and the
+// Coordinator's migration protocol — trees drawn before, during, and after
+// a membership change must be byte-identical to an unmigrated run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "engine/cluster/cluster_service.hpp"
+#include "engine/cluster/coordinator.hpp"
+#include "engine/cluster/shard_map.hpp"
+#include "engine/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning.hpp"
+#include "transport_fixtures.hpp"
+
+using namespace std::chrono_literals;
+
+namespace cliquest::engine {
+namespace {
+
+using cluster::ClusterOptions;
+using cluster::ClusterService;
+using cluster::Coordinator;
+using cluster::CoordinatorOptions;
+using cluster::MapWatch;
+using cluster::ShardDescriptor;
+using cluster::ShardMap;
+
+/// The ServiceError code `fn` fails with, or nullopt.
+template <typename Fn>
+std::optional<ServiceErrorCode> error_code(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ServiceError& e) {
+    return e.code();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "failed with a non-ServiceError exception: " << e.what();
+  }
+  return std::nullopt;
+}
+
+/// Synthetic fingerprints for routing math — well mixed, no graphs needed.
+Fingerprint synthetic_fp(std::uint64_t i) {
+  std::uint64_t x = i + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  Fingerprint fp;
+  fp.hi = x ^ (x >> 31);
+  fp.lo = x * 0xda942042e4dd58b5ULL + i;
+  return fp;
+}
+
+// ---------------------------------------------------------------- fleets
+
+/// A LocalService that can play dead: while killed, every call throws
+/// ServiceError{transport}, exactly what a RemoteService raises for an
+/// unreachable peer. fail_next_batch_after_serving() emulates a shard dying
+/// mid-batch: the pool does the work (its own cursor advances — work the
+/// client never observes), then the "connection" drops.
+class KillableShard final : public SamplerService {
+ public:
+  explicit KillableShard(PoolOptions options) : local_(std::move(options)) {}
+
+  void kill() { down_ = true; }
+  void revive() { down_ = false; }
+  void fail_next_batch_after_serving() { fail_next_batch_ = true; }
+
+  LocalService& local() { return local_; }
+
+  Fingerprint admit(const AdmitRequest& request) override {
+    check();
+    return local_.admit(request);
+  }
+  bool admitted(const Fingerprint& fp) const override {
+    check();
+    return local_.admitted(fp);
+  }
+  bool resident(const Fingerprint& fp) const override {
+    check();
+    return local_.resident(fp);
+  }
+  std::int64_t prepare_count(const Fingerprint& fp) const override {
+    check();
+    return local_.prepare_count(fp);
+  }
+  std::int64_t draw_cursor(const Fingerprint& fp) const override {
+    check();
+    return local_.draw_cursor(fp);
+  }
+  std::int64_t in_flight(const Fingerprint& fp) const override {
+    check();
+    return local_.in_flight(fp);
+  }
+  bool drop(const Fingerprint& fp) override {
+    check();
+    return local_.drop(fp);
+  }
+  BatchResponse sample_batch(const BatchRequest& request) override {
+    check();
+    if (fail_next_batch_.exchange(false)) {
+      local_.sample_batch(request);  // served, but the response never lands
+      down_ = true;
+      throw ServiceError(ServiceErrorCode::transport,
+                         "shard died after serving, before responding");
+    }
+    return local_.sample_batch(request);
+  }
+  std::future<BatchResponse> submit_batch(const BatchRequest& request) override {
+    check();
+    return local_.submit_batch(request);
+  }
+  ServiceStats stats() const override {
+    check();
+    return local_.stats();
+  }
+
+ private:
+  void check() const {
+    if (down_)
+      throw ServiceError(ServiceErrorCode::transport, "shard is down");
+  }
+
+  LocalService local_;
+  std::atomic<bool> down_{false};
+  std::atomic<bool> fail_next_batch_{false};
+};
+
+/// In-process cluster members addressed by shard id; the resolver both
+/// ClusterService and Coordinator route through.
+struct Fleet {
+  std::unordered_map<int, std::shared_ptr<KillableShard>> shards;
+
+  void add(int shard_id, EngineOptions engine = wilson_engine()) {
+    shards[shard_id] = std::make_shared<KillableShard>(
+        inline_pool_options(std::move(engine), shard_id));
+  }
+
+  cluster::ShardResolver resolver() {
+    return [this](const ShardDescriptor& member) -> std::shared_ptr<SamplerService> {
+      auto it = shards.find(member.shard_id);
+      if (it == shards.end())
+        throw ServiceError(ServiceErrorCode::transport,
+                           "no process behind shard " +
+                               std::to_string(member.shard_id));
+      return it->second;
+    };
+  }
+};
+
+std::vector<std::string> tree_keys(const BatchResponse& response) {
+  std::vector<std::string> keys;
+  keys.reserve(response.batch.trees.size());
+  for (const graph::TreeEdges& tree : response.batch.trees)
+    keys.push_back(graph::tree_key(tree));
+  return keys;
+}
+
+/// The unmigrated reference: one LocalService drawing `total` trees in one
+/// go. Any clustered/migrated/failed-over run must reproduce these exactly.
+std::vector<std::string> reference_keys(const graph::Graph& g, int total,
+                                        EngineOptions engine = wilson_engine()) {
+  LocalService service(inline_pool_options(engine));
+  const Fingerprint fp = service.admit({g, engine});
+  std::vector<std::string> keys = tree_keys(service.sample_batch({fp, total}));
+  EXPECT_EQ(static_cast<int>(keys.size()), total);
+  return keys;
+}
+
+// ------------------------------------------------------------- rendezvous
+
+TEST(ShardMapTest, OwnershipIsProportionalToWeight) {
+  ShardMap map;
+  map.version = 1;
+  map.members = {{1, "", 0, 1.0}, {2, "", 0, 2.0}, {3, "", 0, 4.0}};
+  constexpr int kKeys = 20000;
+  std::unordered_map<int, int> won;
+  for (int i = 0; i < kKeys; ++i) ++won[map.owner(synthetic_fp(i))];
+  const double total_weight = 7.0;
+  for (const ShardDescriptor& member : map.members) {
+    const double expected = member.weight / total_weight;
+    const double actual = static_cast<double>(won[member.shard_id]) / kKeys;
+    EXPECT_NEAR(actual, expected, 0.02)
+        << "shard " << member.shard_id << " weight " << member.weight;
+  }
+}
+
+TEST(ShardMapTest, AddingAMemberMovesOnlyItsShare) {
+  ShardMap before;
+  before.version = 1;
+  before.members = {{0, "", 0, 1.0}, {1, "", 0, 1.0}, {2, "", 0, 1.0}, {3, "", 0, 1.0}};
+  ShardMap after = before;
+  after.version = 2;
+  after.members.push_back({9, "", 0, 1.0});
+
+  constexpr int kKeys = 20000;
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const Fingerprint fp = synthetic_fp(i);
+    const int old_owner = before.owner(fp);
+    const int new_owner = after.owner(fp);
+    if (old_owner != new_owner) {
+      ++moved;
+      // Every move lands on the joiner; nothing reshuffles among the rest.
+      EXPECT_EQ(new_owner, 9) << "fp " << i << " moved " << old_owner << " -> "
+                              << new_owner;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(moved) / kKeys, 1.0 / 5.0, 0.03);
+}
+
+TEST(ShardMapTest, RemovingAMemberMovesOnlyItsKeys) {
+  ShardMap before;
+  before.version = 1;
+  before.members = {{0, "", 0, 1.0}, {1, "", 0, 1.0}, {2, "", 0, 1.0}, {3, "", 0, 1.0}};
+  ShardMap after = before;
+  after.version = 2;
+  std::erase_if(after.members,
+                [](const ShardDescriptor& m) { return m.shard_id == 2; });
+
+  constexpr int kKeys = 20000;
+  int orphaned = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const Fingerprint fp = synthetic_fp(i);
+    const int old_owner = before.owner(fp);
+    if (old_owner == 2) {
+      ++orphaned;
+      EXPECT_NE(after.owner(fp), 2);
+    } else {
+      // A key the leaver never owned does not move at all.
+      EXPECT_EQ(after.owner(fp), old_owner) << "fp " << i;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(orphaned) / kKeys, 1.0 / 4.0, 0.03);
+}
+
+TEST(ShardMapTest, OwnersIgnoreMemberOrderAndAreDeterministic) {
+  ShardMap a;
+  a.version = 1;
+  a.replication = 2;
+  a.members = {{4, "x", 1, 0.5}, {7, "y", 2, 2.0}, {11, "z", 3, 1.25}};
+  ShardMap b = a;
+  std::reverse(b.members.begin(), b.members.end());
+  for (int i = 0; i < 500; ++i) {
+    const Fingerprint fp = synthetic_fp(1000 + i);
+    const std::vector<ShardDescriptor> own_a = a.owners(fp);
+    const std::vector<ShardDescriptor> own_b = b.owners(fp);
+    ASSERT_EQ(own_a.size(), own_b.size());
+    for (std::size_t r = 0; r < own_a.size(); ++r)
+      EXPECT_EQ(own_a[r].shard_id, own_b[r].shard_id);
+    // score() is a pure function of (fp, id, weight): recomputing ranks
+    // reproduces owners() exactly.
+    EXPECT_GE(ShardMap::score(fp, own_a[0]), ShardMap::score(fp, own_a[1]));
+  }
+}
+
+TEST(ShardMapTest, GoldenOwnersPinTheHashAcrossProcesses) {
+  // Hard-coded owners for fixed fingerprints: two processes that never
+  // spoke must agree on every owner, so the rendezvous hash may never
+  // change silently. If this test fails, the wire routing contract changed.
+  ShardMap map;
+  map.version = 1;
+  map.replication = 2;
+  map.members = {{10, "", 0, 1.0}, {20, "", 0, 2.0}, {30, "", 0, 3.0}};
+  const std::vector<std::pair<std::uint64_t, std::vector<int>>> golden = {
+      {1u, {30, 10}}, {2u, {10, 20}},  {3u, {20, 30}},  {5u, {30, 20}},
+      {8u, {30, 20}}, {13u, {10, 30}}, {21u, {30, 20}}, {34u, {30, 20}}};
+  for (const auto& [key, expected] : golden) {
+    const std::vector<ShardDescriptor> owners = map.owners(synthetic_fp(key));
+    ASSERT_EQ(owners.size(), expected.size()) << "key " << key;
+    for (std::size_t r = 0; r < expected.size(); ++r)
+      EXPECT_EQ(owners[r].shard_id, expected[r]) << "key " << key << " rank " << r;
+  }
+}
+
+TEST(ShardMapTest, ReplicaListsAreRankedDistinctAndClamped) {
+  ShardMap map;
+  map.version = 1;
+  map.members = {{0, "", 0, 1.0}, {1, "", 0, 1.0}, {2, "", 0, 1.0}};
+  const Fingerprint fp = synthetic_fp(77);
+  const std::vector<ShardDescriptor> all = map.owners(fp, 10);  // clamps to 3
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_NE(all[0].shard_id, all[1].shard_id);
+  EXPECT_NE(all[1].shard_id, all[2].shard_id);
+  EXPECT_GE(ShardMap::score(fp, all[0]), ShardMap::score(fp, all[1]));
+  EXPECT_GE(ShardMap::score(fp, all[1]), ShardMap::score(fp, all[2]));
+  EXPECT_EQ(map.owners(fp, 1)[0].shard_id, all[0].shard_id);
+  EXPECT_EQ(map.owner(fp), all[0].shard_id);
+  for (int id = 0; id < 3; ++id)
+    EXPECT_EQ(map.owns(fp, id), id == all[0].shard_id);  // replication 1
+  EXPECT_TRUE(map.owners(fp, 0).empty());
+  EXPECT_EQ(ShardMap{}.owner(fp), -1);
+}
+
+TEST(ShardMapTest, ValidationCatchesBadMaps) {
+  ShardMap ok;
+  ok.members = {{0, "", 0, 1.0}, {1, "", 0, 2.0}};
+  EXPECT_TRUE(ok.validation_errors().empty());
+  EXPECT_TRUE(ShardMap{}.validation_errors().empty());  // empty = pre-cluster
+
+  ShardMap duplicate = ok;
+  duplicate.members.push_back({0, "", 0, 3.0});
+  EXPECT_FALSE(duplicate.validation_errors().empty());
+
+  ShardMap weightless = ok;
+  weightless.members[0].weight = 0.0;
+  EXPECT_FALSE(weightless.validation_errors().empty());
+  weightless.members[0].weight = -2.0;
+  EXPECT_FALSE(weightless.validation_errors().empty());
+  weightless.members[0].weight = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(weightless.validation_errors().empty());
+
+  ShardMap unreplicated = ok;
+  unreplicated.replication = 0;
+  EXPECT_FALSE(unreplicated.validation_errors().empty());
+}
+
+TEST(MapWatchTest, AdoptsOnlyStrictlyNewerValidMaps) {
+  ShardMap v2;
+  v2.version = 2;
+  v2.members = {{0, "", 0, 1.0}};
+  MapWatch watch(v2);
+  EXPECT_EQ(watch.version(), 2u);
+
+  ShardMap same = v2;
+  EXPECT_FALSE(watch.update(same));  // equal version: no
+  ShardMap older = v2;
+  older.version = 1;
+  EXPECT_FALSE(watch.update(older));
+  ShardMap invalid = v2;
+  invalid.version = 9;
+  invalid.members[0].weight = -1.0;
+  EXPECT_FALSE(watch.update(invalid));  // newer but structurally bad: no
+  EXPECT_EQ(watch.version(), 2u);
+
+  ShardMap v3 = v2;
+  v3.version = 3;
+  v3.members.push_back({1, "", 0, 1.0});
+  EXPECT_TRUE(watch.update(v3));
+  EXPECT_EQ(watch.current(), v3);
+}
+
+// -------------------------------------------------------- cluster service
+
+graph::Graph test_graph() { return graph::wheel(7); }
+
+ShardMap two_shard_map(int replication = 2) {
+  ShardMap map;
+  map.version = 1;
+  map.replication = replication;
+  map.members = {{0, "", 0, 1.0}, {1, "", 0, 1.0}};
+  return map;
+}
+
+TEST(ClusterServiceTest, ServesReplayEqualToOneLocalService) {
+  Fleet fleet;
+  fleet.add(0);
+  fleet.add(1);
+  ClusterOptions options;
+  options.map = two_shard_map();
+  ClusterService service(fleet.resolver(), options);
+
+  const graph::Graph g = test_graph();
+  const Fingerprint fp = service.admit({g, wilson_engine()});
+  std::vector<std::string> keys;
+  for (int batch = 0; batch < 3; ++batch) {
+    const BatchResponse response = service.sample_batch({fp, 5});
+    EXPECT_EQ(response.first_draw_index, batch * 5);
+    const std::vector<std::string> chunk = tree_keys(response);
+    keys.insert(keys.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(keys, reference_keys(g, 15));
+  EXPECT_EQ(service.failover_count(), 0);
+}
+
+TEST(ClusterServiceTest, FailoverMidBatchReplaysIdenticalTrees) {
+  Fleet fleet;
+  fleet.add(0);
+  fleet.add(1);
+  ClusterOptions options;
+  options.map = two_shard_map();
+  ClusterService service(fleet.resolver(), options);
+
+  const graph::Graph g = test_graph();
+  const Fingerprint fp = service.admit({g, wilson_engine()});
+  std::vector<std::string> keys = tree_keys(service.sample_batch({fp, 5}));
+
+  // The primary dies mid-batch: it serves the next request (advancing its
+  // own cursor — work the client never sees) and drops the response. The
+  // retry on the replica must draw the byte-identical range [5, 10).
+  const int primary = options.map.owner(fp);
+  fleet.shards[primary]->fail_next_batch_after_serving();
+  const BatchResponse retried = service.sample_batch({fp, 5});
+  EXPECT_EQ(retried.first_draw_index, 5);
+  EXPECT_EQ(retried.shard, 1 - primary);
+  const std::vector<std::string> chunk = tree_keys(retried);
+  keys.insert(keys.end(), chunk.begin(), chunk.end());
+
+  EXPECT_EQ(keys, reference_keys(g, 10));
+  EXPECT_EQ(service.failover_count(), 1);
+  EXPECT_GE(service.stats().transport.failovers, 1);
+}
+
+TEST(ClusterServiceTest, SubmitBatchSurvivesAKilledPrimary) {
+  Fleet fleet;
+  fleet.add(0);
+  fleet.add(1);
+  ClusterOptions options;
+  options.map = two_shard_map();
+  ClusterService service(fleet.resolver(), options);
+
+  const graph::Graph g = test_graph();
+  const Fingerprint fp = service.admit({g, wilson_engine()});
+  fleet.shards[options.map.owner(fp)]->kill();
+
+  std::future<BatchResponse> future = service.submit_batch({fp, 6});
+  ASSERT_EQ(future.wait_for(10s), std::future_status::ready)
+      << "failover future must resolve, never hang";
+  const BatchResponse response = future.get();
+  EXPECT_EQ(response.first_draw_index, 0);
+  EXPECT_EQ(tree_keys(response), reference_keys(g, 6));
+  EXPECT_EQ(service.failover_count(), 1);
+}
+
+TEST(ClusterServiceTest, EveryReplicaDownSurfacesTransport) {
+  Fleet fleet;
+  fleet.add(0);
+  fleet.add(1);
+  ClusterOptions options;
+  options.map = two_shard_map();
+  ClusterService service(fleet.resolver(), options);
+  const Fingerprint fp = service.admit({test_graph(), wilson_engine()});
+  fleet.shards[0]->kill();
+  fleet.shards[1]->kill();
+  EXPECT_EQ(error_code([&] { service.sample_batch({fp, 3}); }),
+            ServiceErrorCode::transport);
+  std::future<BatchResponse> future = service.submit_batch({fp, 3});
+  ASSERT_EQ(future.wait_for(10s), std::future_status::ready);
+  EXPECT_EQ(error_code([&] { future.get(); }), ServiceErrorCode::transport);
+}
+
+TEST(ClusterServiceTest, EmptyMapIsUnavailableNotACrash) {
+  Fleet fleet;
+  ClusterService service(fleet.resolver());
+  EXPECT_EQ(error_code([&] { service.admit({test_graph(), wilson_engine()}); }),
+            ServiceErrorCode::unavailable);
+  EXPECT_EQ(error_code([&] { service.sample_batch({synthetic_fp(1), 3}); }),
+            ServiceErrorCode::unavailable);
+}
+
+/// Throws stale_map until disarmed — the in-process stand-in for a shard
+/// server's veto, exercising ClusterOptions::map_fetch convergence.
+class BouncingShard final : public SamplerService {
+ public:
+  explicit BouncingShard(std::shared_ptr<SamplerService> inner)
+      : inner_(std::move(inner)) {}
+
+  void bounce_forever() { bounces_ = std::numeric_limits<int>::max(); }
+  void arm(int bounces) { bounces_ = bounces; }
+
+  Fingerprint admit(const AdmitRequest& request) override {
+    return inner_->admit(request);
+  }
+  bool admitted(const Fingerprint& fp) const override {
+    check();
+    return inner_->admitted(fp);
+  }
+  bool resident(const Fingerprint& fp) const override { return inner_->resident(fp); }
+  std::int64_t prepare_count(const Fingerprint& fp) const override {
+    return inner_->prepare_count(fp);
+  }
+  std::int64_t draw_cursor(const Fingerprint& fp) const override {
+    return inner_->draw_cursor(fp);
+  }
+  std::int64_t in_flight(const Fingerprint& fp) const override {
+    return inner_->in_flight(fp);
+  }
+  bool drop(const Fingerprint& fp) override { return inner_->drop(fp); }
+  BatchResponse sample_batch(const BatchRequest& request) override {
+    check();
+    return inner_->sample_batch(request);
+  }
+  std::future<BatchResponse> submit_batch(const BatchRequest& request) override {
+    check();
+    return inner_->submit_batch(request);
+  }
+  ServiceStats stats() const override { return inner_->stats(); }
+
+ private:
+  void check() const {
+    if (bounces_ > 0) {
+      --bounces_;
+      throw ServiceError(ServiceErrorCode::stale_map,
+                         "routed with an out-of-date map");
+    }
+  }
+
+  std::shared_ptr<SamplerService> inner_;
+  mutable std::atomic<int> bounces_{0};
+};
+
+TEST(ClusterServiceTest, StaleBounceRefetchesTheMapAndRetries) {
+  // The client's map (v1) routes everything to shard 0, which keeps vetoing;
+  // map_fetch serves v2, under which shard 1 owns the key. One bounce must
+  // converge the client.
+  auto backend0 = std::make_shared<LocalService>(inline_pool_options(wilson_engine(), 0));
+  auto backend1 = std::make_shared<LocalService>(inline_pool_options(wilson_engine(), 1));
+  auto bouncer = std::make_shared<BouncingShard>(backend0);
+  bouncer->bounce_forever();
+
+  ShardMap v1;
+  v1.version = 1;
+  v1.members = {{0, "", 0, 1.0}};
+  ShardMap v2;
+  v2.version = 2;
+  v2.members = {{1, "", 0, 1.0}};
+
+  ClusterOptions options;
+  options.map = v1;
+  options.map_fetch = [v2] { return v2; };
+  ClusterService service(
+      [&](const ShardDescriptor& member) -> std::shared_ptr<SamplerService> {
+        return member.shard_id == 0
+                   ? std::static_pointer_cast<SamplerService>(bouncer)
+                   : std::static_pointer_cast<SamplerService>(backend1);
+      },
+      options);
+
+  const graph::Graph g = test_graph();
+  const Fingerprint fp = backend1->admit({g, wilson_engine()});
+  backend0->admit({g, wilson_engine()});
+
+  const BatchResponse response = service.sample_batch({fp, 5});
+  EXPECT_EQ(response.shard, 1);
+  EXPECT_EQ(tree_keys(response), reference_keys(g, 5));
+  EXPECT_EQ(service.current_map().version, 2u);
+}
+
+TEST(ClusterServiceTest, EndlessMapChurnSurfacesStaleMapTyped) {
+  auto backend = std::make_shared<LocalService>(inline_pool_options(wilson_engine()));
+  auto bouncer = std::make_shared<BouncingShard>(backend);
+  bouncer->bounce_forever();
+  ShardMap v1;
+  v1.version = 1;
+  v1.members = {{0, "", 0, 1.0}};
+  ClusterOptions options;
+  options.map = v1;
+  options.max_stale_retries = 2;  // map_fetch absent: the map never improves
+  ClusterService service(
+      [&](const ShardDescriptor&) { return bouncer; }, options);
+  const Fingerprint fp = backend->admit({test_graph(), wilson_engine()});
+  EXPECT_EQ(error_code([&] { service.sample_batch({fp, 2, 0}); }),
+            ServiceErrorCode::stale_map);
+}
+
+TEST(ClusterServiceTest, WireLevelStaleBounceConvergesThroughOnMapPush) {
+  // Full wire round trip of the convergence story: two real transport
+  // servers with install_cluster_hooks hold map v2; the client routes by v1.
+  // The batch reaches shard 0, whose stale guard vetoes it with a stale_map
+  // frame carrying v2; RemoteService's on_map_push adopts it into the
+  // ClusterService, and the retry lands on shard 1 — no map_fetch needed.
+  ShardMap v1;
+  v1.version = 1;
+  v1.members = {{0, "", 0, 1.0}};
+  ShardMap v2;
+  v2.version = 2;
+  v2.members = {{1, "", 0, 1.0}};
+
+  auto cluster_slot = std::make_shared<std::atomic<ClusterService*>>(nullptr);
+  RemoteOptions remote_options;
+  remote_options.on_map_push = [cluster_slot](const ShardMap& map) {
+    if (ClusterService* service = cluster_slot->load()) service->update_map(map);
+  };
+
+  std::unordered_map<int, std::shared_ptr<LoopbackShard>> shards;
+  for (int id = 0; id < 2; ++id) {
+    auto watch = std::make_shared<MapWatch>(v2);
+    transport::ServerOptions server_options;
+    cluster::install_cluster_hooks(server_options, watch, id);
+    shards[id] = std::make_shared<LoopbackShard>(
+        std::make_unique<LocalService>(inline_pool_options(wilson_engine(), id)),
+        server_options, remote_options);
+  }
+
+  ClusterOptions options;
+  options.map = v1;
+  ClusterService service(
+      [&](const ShardDescriptor& member) -> std::shared_ptr<SamplerService> {
+        return shards.at(member.shard_id);
+      },
+      options);
+  cluster_slot->store(&service);
+
+  const graph::Graph g = test_graph();
+  const Fingerprint fp = shards[1]->admit({g, wilson_engine()});
+  shards[0]->admit({g, wilson_engine()});
+
+  const BatchResponse response = service.sample_batch({fp, 5});
+  EXPECT_EQ(response.shard, 1);
+  EXPECT_EQ(tree_keys(response), reference_keys(g, 5));
+  EXPECT_EQ(service.current_map().version, 2u);
+  cluster_slot->store(nullptr);
+}
+
+TEST(ClusterServiceTest, FetchAndPushMapRideTheWire) {
+  ShardMap v3;
+  v3.version = 3;
+  v3.members = {{0, "h", 1, 1.0}, {5, "i", 2, 2.0}};
+  auto watch = std::make_shared<MapWatch>(v3);
+  transport::ServerOptions server_options;
+  cluster::install_cluster_hooks(server_options, watch, 0);
+  LoopbackShard shard(
+      std::make_unique<LocalService>(inline_pool_options(wilson_engine())),
+      server_options);
+  EXPECT_EQ(shard.remote().fetch_map(), v3);
+
+  ShardMap v4 = v3;
+  v4.version = 4;
+  v4.members[1].weight = 3.0;
+  EXPECT_TRUE(shard.remote().push_map(v4));
+  EXPECT_EQ(watch->current(), v4);
+  EXPECT_EQ(shard.remote().fetch_map(), v4);
+
+  // A server without cluster hooks has no map to serve or accept.
+  LoopbackShard plain(
+      std::make_unique<LocalService>(inline_pool_options(wilson_engine())));
+  EXPECT_EQ(error_code([&] { plain.remote().fetch_map(); }),
+            ServiceErrorCode::unavailable);
+  EXPECT_EQ(error_code([&] { plain.remote().push_map(v4); }),
+            ServiceErrorCode::unavailable);
+}
+
+TEST(RemoteServiceTest, DialHistoryFlowsIntoTransportStats) {
+  LocalService backend(inline_pool_options(wilson_engine()));
+  transport::Server server(backend);
+  std::vector<std::thread> threads;
+  std::atomic<int> attempts{0};
+  auto factory = [&]() -> std::shared_ptr<transport::Connection> {
+    if (attempts.fetch_add(1) < 2)
+      throw ServiceError(ServiceErrorCode::transport, "injected dial failure");
+    auto [client_end, server_end] = transport::make_pipe();
+    threads.emplace_back([&server, conn = server_end] { server.serve(conn); });
+    return client_end;
+  };
+  {
+    RemoteOptions options;
+    options.backoff_initial = 1ms;
+    RemoteService remote(factory, options);
+    const Fingerprint fp = remote.admit({test_graph(), wilson_engine()});
+    EXPECT_TRUE(remote.admitted(fp));
+    EXPECT_EQ(remote.dial_count(), 3);
+    EXPECT_EQ(remote.dial_failure_count(), 2);
+    EXPECT_EQ(remote.reconnect_count(), 0);
+    const ServiceStats stats = remote.stats();
+    EXPECT_EQ(stats.transport.dials, 3);
+    EXPECT_EQ(stats.transport.dial_failures, 2);
+    EXPECT_EQ(stats.transport.reconnects, 0);
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+// ------------------------------------------------------------ coordinator
+
+TEST(CoordinatorTest, MembershipAndAdmissionValidate) {
+  Fleet fleet;
+  fleet.add(0);
+  Coordinator coordinator(fleet.resolver());
+
+  EXPECT_EQ(error_code([&] { coordinator.admit({test_graph(), wilson_engine()}); }),
+            ServiceErrorCode::unavailable);  // no members yet
+
+  coordinator.add_shard({0, "", 0, 1.0});
+  EXPECT_EQ(error_code([&] { coordinator.add_shard({0, "", 0, 2.0}); }),
+            ServiceErrorCode::invalid_request);  // duplicate id
+  EXPECT_EQ(error_code([&] { coordinator.remove_shard(42); }),
+            ServiceErrorCode::invalid_request);  // unknown id
+
+  const Fingerprint fp = coordinator.admit({test_graph(), wilson_engine()});
+  EXPECT_TRUE(fleet.shards[0]->admitted(fp));
+  const std::vector<Fingerprint> cataloged = coordinator.cataloged();
+  ASSERT_EQ(cataloged.size(), 1u);
+  EXPECT_EQ(cataloged[0], fp);
+  EXPECT_EQ(coordinator.current_map().version, 1u);
+
+  EXPECT_EQ(error_code([&] {
+              Coordinator bad(nullptr);
+            }),
+            ServiceErrorCode::invalid_config);
+}
+
+TEST(CoordinatorTest, MigrationKeepsDrawStreamsReplayEqual) {
+  // Draw 15 trees across: shard 0 alone -> add shard 1 -> remove shard 0.
+  // The concatenated trees must be byte-identical to one unmigrated local
+  // run, with the client only ever routing through the published maps.
+  Fleet fleet;
+  fleet.add(0);
+  fleet.add(1);
+  CoordinatorOptions coordinator_options;
+  coordinator_options.drain_timeout = 2000ms;
+  Coordinator coordinator(fleet.resolver(), coordinator_options);
+  coordinator.add_shard({0, "", 0, 1.0});
+
+  const graph::Graph g = test_graph();
+  const Fingerprint fp = coordinator.admit({g, wilson_engine()});
+
+  ClusterOptions options;
+  options.map = coordinator.current_map();
+  ClusterService service(fleet.resolver(), options);
+  coordinator.subscribe([&](const ShardMap& map) { service.update_map(map); });
+
+  std::vector<std::string> keys = tree_keys(service.sample_batch({fp, 5}));
+
+  coordinator.add_shard({1, "", 0, 1.0});  // during: both members, owner may move
+  EXPECT_EQ(service.current_map().version, 2u);
+  std::vector<std::string> chunk = tree_keys(service.sample_batch({fp, 5}));
+  keys.insert(keys.end(), chunk.begin(), chunk.end());
+
+  coordinator.remove_shard(0);  // after: shard 1 must own everything
+  EXPECT_EQ(service.current_map().version, 3u);
+  EXPECT_EQ(service.current_map().owner(fp), 1);
+  const BatchResponse last = service.sample_batch({fp, 5});
+  EXPECT_EQ(last.shard, 1);
+  EXPECT_EQ(last.first_draw_index, 10);
+  chunk = tree_keys(last);
+  keys.insert(keys.end(), chunk.begin(), chunk.end());
+
+  EXPECT_EQ(keys, reference_keys(g, 15));
+  // The leaver was drained and dropped: it no longer holds the entry.
+  EXPECT_FALSE(fleet.shards[0]->admitted(fp));
+  EXPECT_EQ(service.failover_count(), 0);  // migration, not failover
+}
+
+TEST(CoordinatorTest, RemovingADeadShardSeedsJoinersFromSurvivors) {
+  // Replication 2 over {0, 1, 2}: the primary dies mid-deployment. Removing
+  // it must read the handoff cursor from the surviving replica, admit the
+  // joiner there, and keep the stream replay-equal — the dead shard cannot
+  // be asked anything.
+  Fleet fleet;
+  fleet.add(0);
+  fleet.add(1);
+  fleet.add(2);
+  CoordinatorOptions coordinator_options;
+  coordinator_options.replication = 2;
+  coordinator_options.drain_timeout = 200ms;
+  Coordinator coordinator(fleet.resolver(), coordinator_options);
+  coordinator.add_shard({0, "", 0, 1.0});
+  coordinator.add_shard({1, "", 0, 1.0});
+  coordinator.add_shard({2, "", 0, 1.0});
+
+  const graph::Graph g = test_graph();
+  const Fingerprint fp = coordinator.admit({g, wilson_engine()});
+
+  ClusterOptions options;
+  options.map = coordinator.current_map();
+  ClusterService service(fleet.resolver(), options);
+  coordinator.subscribe([&](const ShardMap& map) { service.update_map(map); });
+
+  std::vector<std::string> keys = tree_keys(service.sample_batch({fp, 5}));
+
+  // The primary dies. The next batch fails over to the surviving replica
+  // with its pinned range [5, 10), advancing the survivor's cursor to 10.
+  const std::vector<ShardDescriptor> owners = options.map.owners(fp);
+  ASSERT_EQ(owners.size(), 2u);
+  const int dead = owners[0].shard_id;
+  const int survivor = owners[1].shard_id;
+  fleet.shards[dead]->kill();
+  std::vector<std::string> chunk = tree_keys(service.sample_batch({fp, 5}));
+  keys.insert(keys.end(), chunk.begin(), chunk.end());
+  EXPECT_GE(service.failover_count(), 1);
+  EXPECT_EQ(fleet.shards[survivor]->draw_cursor(fp), 10);
+
+  // Removing the dead member reads the handoff cursor from the survivor
+  // (the dead shard is skipped) and admits the joiner at it.
+  coordinator.remove_shard(dead);
+  const ShardMap after = service.current_map();
+  EXPECT_FALSE(after.has_member(dead));
+  const std::vector<ShardDescriptor> new_owners = after.owners(fp);
+  ASSERT_EQ(new_owners.size(), 2u);
+  for (const ShardDescriptor& owner : new_owners) {
+    EXPECT_TRUE(fleet.shards[owner.shard_id]->admitted(fp));
+    EXPECT_EQ(fleet.shards[owner.shard_id]->draw_cursor(fp), 10);
+  }
+
+  chunk = tree_keys(service.sample_batch({fp, 5}));
+  keys.insert(keys.end(), chunk.begin(), chunk.end());
+  EXPECT_EQ(keys, reference_keys(g, 15));
+}
+
+TEST(CoordinatorTest, MigrationAndFailoverReplayEqualForEveryBackend) {
+  // The acceptance property per backend: trees drawn before, during
+  // (in-flight under replication with the primary killed mid-batch), and
+  // after a live migration are byte-identical to an unmigrated run, and the
+  // killed primary yields a completed future, never a torn one.
+  for (const Backend backend :
+       {Backend::congested_clique, Backend::doubling, Backend::wilson,
+        Backend::aldous_broder}) {
+    SCOPED_TRACE(backend_name(backend));
+    EngineOptions engine = wilson_engine();
+    engine.backend = backend;
+
+    Fleet fleet;
+    fleet.add(0, engine);
+    fleet.add(1, engine);
+    fleet.add(2, engine);
+    CoordinatorOptions coordinator_options;
+    coordinator_options.replication = 2;
+    coordinator_options.drain_timeout = 2000ms;
+    Coordinator coordinator(fleet.resolver(), coordinator_options);
+    coordinator.add_shard({0, "", 0, 1.0});
+    coordinator.add_shard({1, "", 0, 1.0});
+
+    const graph::Graph g = test_graph();
+    const Fingerprint fp = coordinator.admit({g, engine});
+
+    ClusterOptions options;
+    options.map = coordinator.current_map();
+    ClusterService service(fleet.resolver(), options);
+    coordinator.subscribe([&](const ShardMap& map) { service.update_map(map); });
+
+    // Before: the two-member replica set serves [0, 3).
+    std::vector<std::string> keys = tree_keys(service.sample_batch({fp, 3}));
+
+    // During: the primary dies mid-batch (work done, response lost); the
+    // async future must still complete with the replica's replay of [3, 6).
+    const std::vector<ShardDescriptor> owners = service.current_map().owners(fp);
+    ASSERT_EQ(owners.size(), 2u);
+    fleet.shards[owners[0].shard_id]->fail_next_batch_after_serving();
+    std::future<BatchResponse> future = service.submit_batch({fp, 3});
+    ASSERT_EQ(future.wait_for(10s), std::future_status::ready);
+    std::vector<std::string> chunk = tree_keys(future.get());
+    keys.insert(keys.end(), chunk.begin(), chunk.end());
+    EXPECT_GE(service.failover_count(), 1);
+
+    // After: migrate off the dead member — add a joiner, remove the corpse —
+    // and draw [6, 9) under the new map.
+    coordinator.add_shard({2, "", 0, 1.0});
+    coordinator.remove_shard(owners[0].shard_id);
+    EXPECT_FALSE(service.current_map().has_member(owners[0].shard_id));
+    chunk = tree_keys(service.sample_batch({fp, 3}));
+    keys.insert(keys.end(), chunk.begin(), chunk.end());
+
+    EXPECT_EQ(keys, reference_keys(g, 9, engine));
+  }
+}
+
+}  // namespace
+}  // namespace cliquest::engine

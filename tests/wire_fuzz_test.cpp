@@ -1,5 +1,5 @@
 // Wire-decode robustness corpus: seed-deterministic mutational fuzzing of
-// valid v3 frames. Every mutant — bit flips, byte edits, truncations,
+// valid v4 frames. Every mutant — bit flips, byte edits, truncations,
 // insertions, and 0xFFFFFFFF length-field forgeries — must either decode
 // cleanly or be rejected with the typed malformed_message /
 // version_mismatch, never crash, hang, throw anything else, or demand a
@@ -104,11 +104,29 @@ std::vector<CorpusEntry> build_corpus() {
   });
   for (const wire::MessageType tag :
        {wire::MessageType::admitted_query, wire::MessageType::resident_query,
-        wire::MessageType::prepare_count_query}) {
+        wire::MessageType::prepare_count_query, wire::MessageType::cursor_query,
+        wire::MessageType::drop_query, wire::MessageType::in_flight_query}) {
     add("query_" + std::to_string(static_cast<int>(tag)),
         wire::encode_query(tag, fingerprint_graph(random_graph)),
         [tag](auto b) { return wire::encode_query(tag, wire::decode_query(b, tag)); });
   }
+
+  // v4 cluster frames. The shard map's forged-member-count rejection is the
+  // allocation guard the length-field sweep exercises here.
+  cluster::ShardMap map;
+  map.version = 7;
+  map.replication = 2;
+  map.members = {{0, "10.0.0.1", 9001, 1.0},
+                 {3, "10.0.0.2", 9002, 2.0},
+                 {5, "", 0, 0.5}};
+  add("shard_map", wire::encode(map),
+      [](auto b) { return wire::encode(wire::decode_shard_map(b)); });
+  add("stale_map", wire::encode_stale_map(map),
+      [](auto b) { return wire::encode_stale_map(wire::decode_stale_map(b)); });
+  add("map_query", wire::encode_map_query(), [](auto b) {
+    wire::decode_map_query(b);
+    return wire::encode_map_query();
+  });
   return corpus;
 }
 

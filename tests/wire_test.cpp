@@ -146,11 +146,13 @@ TEST(WireCodecTest, AdmitRequestRoundTrips) {
   AdmitRequest request;
   request.graph = weighted_triangle();
   request.options = exotic_options();
+  request.first_draw_index = 4100;  // a migration's cursor handoff
   const wire::Bytes bytes = wire::encode(request);
   EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::admit_request);
   const AdmitRequest back = wire::decode_admit_request(bytes);
   expect_same_edges(request.graph, back.graph);
   expect_same_options(request.options, back.options);
+  EXPECT_EQ(back.first_draw_index, 4100);
   EXPECT_EQ(wire::encode(back), bytes);
 }
 
@@ -163,7 +165,13 @@ TEST(WireCodecTest, BatchRequestRoundTrips) {
   const BatchRequest back = wire::decode_batch_request(bytes);
   EXPECT_EQ(back.fingerprint, request.fingerprint);
   EXPECT_EQ(back.draw_count, request.draw_count);
+  EXPECT_EQ(back.first_draw_index, -1);  // pool-assigned range, the default
   EXPECT_EQ(wire::encode(back), bytes);
+
+  // A cluster-pinned explicit range survives the wire.
+  request.first_draw_index = (std::int64_t{1} << 40) + 9;
+  const BatchRequest pinned = wire::decode_batch_request(wire::encode(request));
+  EXPECT_EQ(pinned.first_draw_index, request.first_draw_index);
 }
 
 TEST(WireCodecTest, ServedBatchResponseRoundTrips) {
@@ -255,6 +263,10 @@ TEST(WireCodecTest, ServiceStatsRoundTrip) {
   stats.totals.peak_resident_bytes = (std::size_t{1} << 33) + 17;
   stats.totals.resident_count = 6;
   stats.totals.admitted_count = 12;
+  stats.transport.dials = 5;
+  stats.transport.reconnects = 2;
+  stats.transport.dial_failures = 3;
+  stats.transport.failovers = 1;
   PoolStats shard;
   shard.hits = 50;
   stats.shards = {shard, shard, stats.totals};
@@ -263,6 +275,10 @@ TEST(WireCodecTest, ServiceStatsRoundTrip) {
   EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::service_stats);
   const ServiceStats back = wire::decode_service_stats(bytes);
   EXPECT_EQ(back.totals.draws, stats.totals.draws);
+  EXPECT_EQ(back.transport.dials, 5);
+  EXPECT_EQ(back.transport.reconnects, 2);
+  EXPECT_EQ(back.transport.dial_failures, 3);
+  EXPECT_EQ(back.transport.failovers, 1);
   EXPECT_EQ(back.totals.schur_cache_hits, 777);
   EXPECT_EQ(back.totals.schur_cache_misses, 33);
   EXPECT_EQ(back.totals.schur_cache_trims, 2);
@@ -294,7 +310,8 @@ TEST(WireCodecTest, ErrorResponseCarriesEveryCodeTyped) {
        {ServiceErrorCode::unknown_fingerprint, ServiceErrorCode::invalid_request,
         ServiceErrorCode::invalid_config, ServiceErrorCode::malformed_message,
         ServiceErrorCode::version_mismatch, ServiceErrorCode::unavailable,
-        ServiceErrorCode::transport, ServiceErrorCode::timeout}) {
+        ServiceErrorCode::transport, ServiceErrorCode::timeout,
+        ServiceErrorCode::stale_map}) {
     SCOPED_TRACE(std::string(service_error_name(code)));
     const wire::ErrorResponse error{code, "detail for " +
                                               std::string(service_error_name(code))};
@@ -365,7 +382,8 @@ TEST(WireCodecTest, SingleValueResponsesAndQueriesRoundTrip) {
 
   for (const wire::MessageType tag :
        {wire::MessageType::admitted_query, wire::MessageType::resident_query,
-        wire::MessageType::prepare_count_query}) {
+        wire::MessageType::prepare_count_query, wire::MessageType::cursor_query,
+        wire::MessageType::drop_query, wire::MessageType::in_flight_query}) {
     SCOPED_TRACE(static_cast<int>(tag));
     const wire::Bytes bytes = wire::encode_query(tag, fp);
     EXPECT_EQ(wire::peek_type(bytes), tag);
@@ -386,6 +404,87 @@ TEST(WireCodecTest, SingleValueResponsesAndQueriesRoundTrip) {
                                  wire::MessageType::stats_query);
             }),
             ServiceErrorCode::invalid_request);
+}
+
+// --------------------------------------------------- v4 cluster messages
+
+cluster::ShardMap demo_map() {
+  cluster::ShardMap map;
+  map.version = 42;
+  map.replication = 2;
+  map.members = {{0, "127.0.0.1", 9001, 1.0},
+                 {1, "127.0.0.1", 9002, 2.5},
+                 {7, "", 0, 0.25}};  // in-process member: empty host
+  return map;
+}
+
+TEST(WireCodecTest, ShardMapRoundTripsUnderBothTags) {
+  const cluster::ShardMap map = demo_map();
+  const wire::Bytes bytes = wire::encode(map);
+  EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::shard_map);
+  const cluster::ShardMap back = wire::decode_shard_map(bytes);
+  EXPECT_EQ(back, map);
+  EXPECT_EQ(wire::encode(back), bytes);
+
+  // stale_map carries the identical payload under its own tag, so the two
+  // differ in exactly the tag byte — and cross-decode is type confusion.
+  const wire::Bytes stale = wire::encode_stale_map(map);
+  EXPECT_EQ(wire::peek_type(stale), wire::MessageType::stale_map);
+  EXPECT_EQ(wire::decode_stale_map(stale), map);
+  ASSERT_EQ(stale.size(), bytes.size());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i != 6) {
+      EXPECT_EQ(stale[i], bytes[i]) << "byte " << i;
+    }
+  }
+  EXPECT_EQ(error_code([&] { wire::decode_shard_map(stale); }),
+            ServiceErrorCode::malformed_message);
+
+  // The empty pre-cluster map is valid wire traffic.
+  const cluster::ShardMap empty_back =
+      wire::decode_shard_map(wire::encode(cluster::ShardMap{}));
+  EXPECT_EQ(empty_back.version, 0u);
+  EXPECT_TRUE(empty_back.members.empty());
+}
+
+TEST(WireCodecTest, MapQueryRoundTrips) {
+  const wire::Bytes bytes = wire::encode_map_query();
+  EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::map_query);
+  wire::decode_map_query(bytes);  // empty payload accepted
+  wire::Bytes trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_EQ(error_code([&] { wire::decode_map_query(trailing); }),
+            ServiceErrorCode::malformed_message);
+}
+
+TEST(WireRejectTest, ForgedAndInvalidShardMapsAreRejected) {
+  const wire::Bytes bytes = wire::encode(demo_map());
+  // Forged member count: checked against the bytes actually present before
+  // anything is allocated (payload layout: version(8) replication(4)
+  // count(4) ...).
+  wire::Bytes forged = bytes;
+  forged[7 + 12] = 0xff;
+  forged[7 + 13] = 0xff;
+  forged[7 + 14] = 0xff;
+  forged[7 + 15] = 0xff;
+  EXPECT_EQ(error_code([&] { wire::decode_shard_map(forged); }),
+            ServiceErrorCode::malformed_message);
+
+  // Structural validation runs at decode: a payload whose primitives all
+  // parse but that describes a bad map (duplicate ids, non-positive weight,
+  // replication < 1) never reaches routing code.
+  cluster::ShardMap duplicate = demo_map();
+  duplicate.members[1].shard_id = 0;
+  EXPECT_EQ(error_code([&] { wire::decode_shard_map(wire::encode(duplicate)); }),
+            ServiceErrorCode::malformed_message);
+  cluster::ShardMap weightless = demo_map();
+  weightless.members[0].weight = 0.0;
+  EXPECT_EQ(error_code([&] { wire::decode_shard_map(wire::encode(weightless)); }),
+            ServiceErrorCode::malformed_message);
+  cluster::ShardMap unreplicated = demo_map();
+  unreplicated.replication = 0;
+  EXPECT_EQ(error_code([&] { wire::decode_shard_map(wire::encode(unreplicated)); }),
+            ServiceErrorCode::malformed_message);
 }
 
 // --------------------------------------------------------------- rejection
