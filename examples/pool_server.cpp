@@ -11,11 +11,15 @@
 //       the shards, and prints the merged serving stats.
 //
 //   ./pool_server --listen PORT [--once] [--shard-id N] [--weight W]
-//                 [shards] [budget_kib] [workers] [backend]
+//                 [--metrics-port P] [shards] [budget_kib] [workers] [backend]
 //       Serves the same ShardedService over TCP: accepts connections on
 //       127.0.0.1:PORT and speaks the framed RPC protocol (handshake,
 //       request-id multiplexing, chunked batch streaming). --once serves
 //       exactly one connection then exits (used by the CI smoke test).
+//       --metrics-port opens a second listener that answers every
+//       connection with one plaintext metrics scrape (counters, queue
+//       gauges, latency quantiles) over HTTP/1.0 and closes — curl-able,
+//       Prometheus-compatible. P = 0 picks an ephemeral port.
 //       The server is cluster-ready: it holds a MapWatch (initially the
 //       empty pre-cluster map, so it serves everything), answers map
 //       queries, absorbs coordinator map pushes, and vetoes batches it no
@@ -48,6 +52,7 @@
 #include <cstring>
 #include <future>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -141,7 +146,7 @@ int run_workload(engine::SamplerService& service, const engine::EngineOptions& e
   std::fprintf(stderr,
                "usage: %s [shards 1..256] [budget_kib >= 1] [workers >= 0] [backend]\n"
                "       %s --listen PORT [--once] [--shard-id N] [--weight W] "
-               "[shards] [budget_kib] [workers] [backend]\n"
+               "[--metrics-port P] [shards] [budget_kib] [workers] [backend]\n"
                "       %s --connect HOST PORT [backend]\n"
                "       %s --cluster HOST PORT0 PORT1 [backend]\n",
                argv0, argv0, argv0, argv0);
@@ -333,6 +338,7 @@ int main(int argc, char** argv) {
   bool once = false;
   int cluster_shard_id = 0;
   double cluster_weight = 1.0;
+  int metrics_port = -1;  // < 0: no metrics listener
   if (listen_mode) {
     if (argc < 3) usage(argv[0]);
     listen_port = std::atoi(argv[arg++]);
@@ -347,6 +353,10 @@ int main(int argc, char** argv) {
       } else if (arg + 1 < argc && std::strcmp(argv[arg], "--weight") == 0) {
         cluster_weight = std::atof(argv[arg + 1]);
         if (!(cluster_weight > 0.0)) usage(argv[0]);
+        arg += 2;
+      } else if (arg + 1 < argc && std::strcmp(argv[arg], "--metrics-port") == 0) {
+        metrics_port = std::atoi(argv[arg + 1]);
+        if (metrics_port < 0 || metrics_port > 65535) usage(argv[0]);
         arg += 2;
       } else {
         break;
@@ -390,6 +400,41 @@ int main(int argc, char** argv) {
       std::printf("limits: frame %u MiB, batch chunk %u trees\n",
                   server_options.max_frame_bytes >> 20,
                   server_options.batch_chunk_trees);
+
+      // Optional scrape endpoint: every connection gets one plaintext
+      // metrics document (service stats + the server's dispatch/edge-shed
+      // fold) over minimal HTTP/1.0, then the socket closes.
+      std::unique_ptr<engine::transport::TcpListener> metrics_listener;
+      std::thread metrics_thread;
+      if (metrics_port >= 0) {
+        metrics_listener = std::make_unique<engine::transport::TcpListener>(
+            static_cast<std::uint16_t>(metrics_port));
+        std::printf("metrics scrape on 127.0.0.1:%u\n", metrics_listener->port());
+        metrics_thread = std::thread([&service, &server, &metrics_listener] {
+          while (std::shared_ptr<engine::transport::Connection> scrape =
+                     metrics_listener->accept()) {
+            // Drain the request line before answering so the close after the
+            // body never RSTs bytes the scraper is still reading.
+            std::uint8_t request[512];
+            try {
+              scrape->read_some(request, sizeof request);
+            } catch (const engine::ServiceError&) {
+              continue;
+            }
+            engine::ServiceStats stats = service.stats();
+            server.fold_metrics(stats);
+            const std::string body = engine::metrics::render_text(stats);
+            const std::string response =
+                "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n"
+                "Content-Length: " +
+                std::to_string(body.size()) + "\r\n\r\n" + body;
+            scrape->write_all(std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(response.data()),
+                response.size()));
+            scrape->close();
+          }
+        });
+      }
       std::fflush(stdout);
       // One serving task per connection; finished tasks are reaped on the
       // next accept so a long-running listener stays bounded by its number
@@ -407,6 +452,8 @@ int main(int argc, char** argv) {
         if (once) break;
       }
       for (std::future<void>& f : serving) f.get();
+      if (metrics_listener) metrics_listener->close();
+      if (metrics_thread.joinable()) metrics_thread.join();
       std::printf("served %zu connection(s); final stats:\n", served);
       const engine::ServiceStats stats = service.stats();
       std::printf("totals: %lld draws, %lld prepares across %d graphs\n",

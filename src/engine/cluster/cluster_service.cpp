@@ -4,7 +4,10 @@
 #include <chrono>
 #include <exception>
 #include <string>
+#include <thread>
 #include <utility>
+
+#include "util/rng.hpp"
 
 namespace cliquest::engine::cluster {
 namespace {
@@ -25,6 +28,8 @@ void merge_pool(PoolStats& into, const PoolStats& from) {
   into.peak_resident_bytes += from.peak_resident_bytes;
   into.resident_count += from.resident_count;
   into.admitted_count += from.admitted_count;
+  into.shed_batches += from.shed_batches;
+  into.shed_draws += from.shed_draws;
 }
 
 void merge_transport(TransportStats& into, const TransportStats& from) {
@@ -32,6 +37,7 @@ void merge_transport(TransportStats& into, const TransportStats& from) {
   into.reconnects += from.reconnects;
   into.dial_failures += from.dial_failures;
   into.failovers += from.failovers;
+  into.shed_retries += from.shed_retries;
 }
 
 }  // namespace
@@ -90,6 +96,7 @@ template <typename Op>
 auto ClusterService::with_failover(const Fingerprint& fp, Op&& op) const
     -> decltype(op(std::declval<SamplerService&>())) {
   int stale_left = std::max(0, options_.max_stale_retries);
+  int shed_left = std::max(0, options_.max_unavailable_retries);
   for (;;) {
     const ShardMap map = current_map();
     const std::vector<ShardDescriptor> replicas = map.owners(fp);
@@ -99,7 +106,8 @@ auto ClusterService::with_failover(const Fingerprint& fp, Op&& op) const
                              ") has no members to route to");
     std::exception_ptr transport_failure;
     bool bounced = false;
-    for (std::size_t i = 0; i < replicas.size(); ++i) {
+    std::size_t i = 0;
+    while (i < replicas.size()) {
       try {
         std::shared_ptr<SamplerService> client = resolve(replicas[i]);
         return op(*client);
@@ -113,6 +121,17 @@ auto ClusterService::with_failover(const Fingerprint& fp, Op&& op) const
             std::lock_guard<std::mutex> lock(stats_mutex_);
             ++failovers_;
           }
+          ++i;
+          continue;
+        }
+        if (e.code() == ServiceErrorCode::unavailable &&
+            e.retry_after_ms() > 0 && shed_left > 0) {
+          // A shed, not a death: the replica is up but momentarily loaded.
+          // Wait out the hint and retry the SAME replica (i unchanged) — a
+          // failover here would prepare the fingerprint cold on a sibling
+          // and make overload contagious.
+          --shed_left;
+          wait_before_shed_retry(e.retry_after_ms());
           continue;
         }
         if (e.code() == ServiceErrorCode::stale_map) {
@@ -133,6 +152,23 @@ auto ClusterService::with_failover(const Fingerprint& fp, Op&& op) const
     }
     std::rethrow_exception(transport_failure);
   }
+}
+
+void ClusterService::wait_before_shed_retry(int hint_ms) const {
+  std::int64_t wait_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++shed_retries_;
+    retry_jitter_state_ = util::splitmix64(retry_jitter_state_);
+    // Full jitter over [capped/2, capped], so replicas shedding a herd of
+    // clients at once do not get the whole herd back at once.
+    const std::int64_t capped = std::clamp<std::int64_t>(
+        hint_ms, 1, std::max<std::int64_t>(1, options_.retry_cap.count()));
+    wait_ms = capped / 2 +
+              static_cast<std::int64_t>(retry_jitter_state_ %
+                                        static_cast<std::uint64_t>(capped / 2 + 1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
 }
 
 // ------------------------------------------------------------------ calls
@@ -317,9 +353,11 @@ ServiceStats ClusterService::stats() const {
     stats.shards.push_back(child.totals);
     merge_pool(stats.totals, child.totals);
     merge_transport(stats.transport, child.transport);
+    stats.metrics.merge(child.metrics);
   }
   std::lock_guard<std::mutex> lock(stats_mutex_);
   stats.transport.failovers += failovers_;
+  stats.transport.shed_retries += shed_retries_;
   return stats;
 }
 
@@ -339,6 +377,11 @@ ShardMap ClusterService::current_map() const {
 std::int64_t ClusterService::failover_count() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   return failovers_;
+}
+
+std::int64_t ClusterService::shed_retry_count() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return shed_retries_;
 }
 
 }  // namespace cliquest::engine::cluster

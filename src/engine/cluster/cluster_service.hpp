@@ -30,6 +30,7 @@
 // over to a replica that knows the graph); reads and batches address one
 // replica at a time.
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -64,6 +65,18 @@ struct ClusterOptions {
   /// Bounces tolerated per request before ServiceError{stale_map} surfaces —
   /// a bound on map churn mid-request, not on replica failures.
   int max_stale_retries = 4;
+
+  /// Sheds tolerated per request: ServiceError{unavailable} carrying a
+  /// positive retry_after_ms means the replica is up but momentarily loaded,
+  /// so the request waits out a jittered interval derived from the hint and
+  /// retries the *same* replica — failing over would double-prepare the
+  /// fingerprint on a replica whose cache is cold. A structural unavailable
+  /// (no hint) is not retried. Distinct from max_stale_retries (map churn)
+  /// and from transport failover (dead peers).
+  int max_unavailable_retries = 3;
+
+  /// Upper bound on any single shed-retry wait, whatever the replica hints.
+  std::chrono::milliseconds retry_cap{1000};
 };
 
 class ClusterService final : public SamplerService {
@@ -96,6 +109,10 @@ class ClusterService final : public SamplerService {
   /// also reported in stats().transport.failovers).
   std::int64_t failover_count() const;
 
+  /// Shed (`unavailable` + retry hint) responses waited out and retried on
+  /// the same replica (monotone; also in stats().transport.shed_retries).
+  std::int64_t shed_retry_count() const;
+
  private:
   struct CachedClient {
     ShardDescriptor descriptor;
@@ -112,6 +129,10 @@ class ClusterService final : public SamplerService {
       -> decltype(op(std::declval<SamplerService&>()));
 
   void refresh_map_after_stale() const;
+
+  /// Jittered wait before retrying a shed request on the same replica;
+  /// bumps shed_retries_.
+  void wait_before_shed_retry(int hint_ms) const;
 
   /// Reserves [cursor, cursor + k) against the cluster-owned cursor for fp,
   /// lazily seeding the cursor from the current owners when fp has not been
@@ -137,6 +158,8 @@ class ClusterService final : public SamplerService {
 
   mutable std::mutex stats_mutex_;
   mutable std::int64_t failovers_ = 0;
+  mutable std::int64_t shed_retries_ = 0;
+  mutable std::uint64_t retry_jitter_state_ = 0xa0761d6478bd642full;
 };
 
 }  // namespace cliquest::engine::cluster

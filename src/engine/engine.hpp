@@ -18,6 +18,7 @@
 #include "engine/backends.hpp"     // IWYU pragma: export
 #include "engine/errors.hpp"       // IWYU pragma: export
 #include "engine/fingerprint.hpp"  // IWYU pragma: export
+#include "engine/metrics.hpp"      // IWYU pragma: export
 #include "engine/options.hpp"      // IWYU pragma: export
 #include "engine/pool.hpp"         // IWYU pragma: export
 #include "engine/registry.hpp"        // IWYU pragma: export

@@ -30,4 +30,10 @@ ServiceError::ServiceError(ServiceErrorCode code, const std::string& detail)
     : std::runtime_error(std::string(service_error_name(code)) + ": " + detail),
       code_(code) {}
 
+ServiceError::ServiceError(ServiceErrorCode code, const std::string& detail,
+                           int retry_after_ms)
+    : ServiceError(code, detail) {
+  retry_after_ms_ = retry_after_ms;
+}
+
 }  // namespace cliquest::engine

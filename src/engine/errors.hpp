@@ -49,14 +49,28 @@ std::string_view service_error_name(ServiceErrorCode code);
 /// The one exception type the serving surface throws (synchronously) or
 /// delivers through submit_batch futures. what() is
 /// "<code name>: <detail>".
+///
+/// An `unavailable` raised by load shedding (a pool or server bound was
+/// hit) carries a positive retry_after_ms hint — the serving side's
+/// estimate of when capacity frees up. Clients distinguish *shed* load
+/// (retry_after_ms > 0: retry the same target after the hint) from
+/// *structural* unavailability (retry_after_ms == 0: retrying will not
+/// help — e.g. shutting down, no shards configured).
 class ServiceError : public std::runtime_error {
  public:
   ServiceError(ServiceErrorCode code, const std::string& detail);
+  ServiceError(ServiceErrorCode code, const std::string& detail,
+               int retry_after_ms);
 
   ServiceErrorCode code() const { return code_; }
 
+  /// Milliseconds the server suggests waiting before a retry; 0 when the
+  /// error carries no hint (the default for every non-shed error).
+  int retry_after_ms() const { return retry_after_ms_; }
+
  private:
   ServiceErrorCode code_;
+  int retry_after_ms_ = 0;
 };
 
 }  // namespace cliquest::engine

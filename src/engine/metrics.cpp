@@ -1,0 +1,176 @@
+#include "engine/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "engine/service.hpp"
+
+namespace cliquest::engine::metrics {
+
+int bucket_index(std::uint64_t micros) {
+  if (micros < 4) return static_cast<int>(micros);
+  const int exponent = std::bit_width(micros) - 1;  // micros in [2^e, 2^(e+1))
+  const int sub = static_cast<int>((micros >> (exponent - 2)) & 3);
+  const int bucket = ((exponent - 2) << 2) + sub + 4;
+  return std::min(bucket, kBucketCount - 1);
+}
+
+std::uint64_t bucket_floor_micros(int bucket) {
+  if (bucket < 4) return static_cast<std::uint64_t>(bucket);
+  const int exponent = ((bucket - 4) >> 2) + 2;
+  const int sub = (bucket - 4) & 3;
+  return static_cast<std::uint64_t>(4 + sub) << (exponent - 2);
+}
+
+std::uint64_t HistogramSnapshot::quantile(double q) const {
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  std::uint64_t seen = 0;
+  for (const auto& [bucket, count] : buckets) {
+    seen += count;
+    if (seen >= rank) return bucket_floor_micros(bucket);
+  }
+  return buckets.empty() ? 0 : bucket_floor_micros(buckets.back().first);
+}
+
+double HistogramSnapshot::mean_micros() const {
+  if (total == 0) return 0.0;
+  return static_cast<double>(sum_micros) / static_cast<double>(total);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  total += other.total;
+  sum_micros += other.sum_micros;
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < buckets.size() || j < other.buckets.size()) {
+    if (j == other.buckets.size() ||
+        (i < buckets.size() && buckets[i].first < other.buckets[j].first)) {
+      merged.push_back(buckets[i++]);
+    } else if (i == buckets.size() ||
+               other.buckets[j].first < buckets[i].first) {
+      merged.push_back(other.buckets[j++]);
+    } else {
+      merged.emplace_back(buckets[i].first,
+                          buckets[i].second + other.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  buckets = std::move(merged);
+}
+
+void LatencyHistogram::record(std::uint64_t micros) {
+  counts_[bucket_index(micros)].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.sum_micros = sum_micros_.load(std::memory_order_relaxed);
+  for (int b = 0; b < kBucketCount; ++b) {
+    const std::uint64_t count = counts_[b].load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    snap.buckets.emplace_back(static_cast<std::uint16_t>(b), count);
+    snap.total += count;
+  }
+  return snap;
+}
+
+double LatencyHistogram::mean_micros() const {
+  const std::uint64_t total = total_.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  return static_cast<double>(sum_micros_.load(std::memory_order_relaxed)) /
+         static_cast<double>(total);
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  batch_serve.merge(other.batch_serve);
+  queue_wait.merge(other.queue_wait);
+  dispatch.merge(other.dispatch);
+  remote_rtt.merge(other.remote_rtt);
+  queue_depth += other.queue_depth;
+  in_flight_draws += other.in_flight_draws;
+  edge_shed_requests += other.edge_shed_requests;
+}
+
+namespace {
+
+void append_counter(std::string& out, const char* name, std::int64_t value) {
+  char line[160];
+  std::snprintf(line, sizeof(line), "%s %lld\n", name,
+                static_cast<long long>(value));
+  out += line;
+}
+
+void append_histogram(std::string& out, const char* name,
+                      const HistogramSnapshot& hist) {
+  static constexpr double kQuantiles[] = {0.5, 0.99, 0.999};
+  static constexpr const char* kLabels[] = {"0.5", "0.99", "0.999"};
+  char line[192];
+  for (int i = 0; i < 3; ++i) {
+    std::snprintf(line, sizeof(line), "%s{quantile=\"%s\"} %llu\n", name,
+                  kLabels[i],
+                  static_cast<unsigned long long>(hist.quantile(kQuantiles[i])));
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%s_count %llu\n", name,
+                static_cast<unsigned long long>(hist.total));
+  out += line;
+  std::snprintf(line, sizeof(line), "%s_sum %llu\n", name,
+                static_cast<unsigned long long>(hist.sum_micros));
+  out += line;
+}
+
+}  // namespace
+
+std::string render_text(const ServiceStats& stats) {
+  std::string out;
+  out.reserve(2048);
+  const PoolStats& totals = stats.totals;
+  append_counter(out, "cliquest_admissions_total", totals.admissions);
+  append_counter(out, "cliquest_batch_hits_total", totals.hits);
+  append_counter(out, "cliquest_batch_misses_total", totals.misses);
+  append_counter(out, "cliquest_prepares_total", totals.prepares);
+  append_counter(out, "cliquest_evictions_total", totals.evictions);
+  append_counter(out, "cliquest_draws_total", totals.draws);
+  append_counter(out, "cliquest_shed_batches_total", totals.shed_batches);
+  append_counter(out, "cliquest_shed_draws_total", totals.shed_draws);
+  append_counter(out, "cliquest_schur_cache_hits_total",
+                 totals.schur_cache_hits);
+  append_counter(out, "cliquest_schur_cache_misses_total",
+                 totals.schur_cache_misses);
+  append_counter(out, "cliquest_resident_bytes",
+                 static_cast<std::int64_t>(totals.resident_bytes));
+  append_counter(out, "cliquest_resident_count", totals.resident_count);
+  append_counter(out, "cliquest_admitted_count", totals.admitted_count);
+  append_counter(out, "cliquest_shard_count",
+                 static_cast<std::int64_t>(stats.shards.size()));
+
+  const TransportStats& transport = stats.transport;
+  append_counter(out, "cliquest_dials_total", transport.dials);
+  append_counter(out, "cliquest_reconnects_total", transport.reconnects);
+  append_counter(out, "cliquest_dial_failures_total", transport.dial_failures);
+  append_counter(out, "cliquest_failovers_total", transport.failovers);
+  append_counter(out, "cliquest_shed_retries_total", transport.shed_retries);
+
+  const MetricsSnapshot& m = stats.metrics;
+  append_counter(out, "cliquest_queue_depth", m.queue_depth);
+  append_counter(out, "cliquest_in_flight_draws", m.in_flight_draws);
+  append_counter(out, "cliquest_edge_shed_requests_total",
+                 m.edge_shed_requests);
+  append_histogram(out, "cliquest_batch_serve_latency_us", m.batch_serve);
+  append_histogram(out, "cliquest_queue_wait_latency_us", m.queue_wait);
+  append_histogram(out, "cliquest_dispatch_latency_us", m.dispatch);
+  append_histogram(out, "cliquest_remote_rtt_latency_us", m.remote_rtt);
+  return out;
+}
+
+}  // namespace cliquest::engine::metrics

@@ -1,0 +1,132 @@
+#pragma once
+
+// Lock-cheap serving metrics: log-bucketed latency histograms and
+// queue-depth/in-flight gauges.
+//
+// `LatencyHistogram` is a fixed array of relaxed atomic counters bucketed
+// on a log scale with 4 sub-buckets per octave (~19% worst-case relative
+// error), covering 0 µs to ~2.3 hours. `record()` is a single relaxed
+// fetch_add on the hot path — safe to call from every pool worker and
+// transport responder without contending a lock.
+//
+// `HistogramSnapshot` is the plain-data view: sparse, sorted
+// (bucket, count) pairs plus exact total/sum. Snapshots merge additively
+// and round-trip through the wire codec byte-exactly (indices strictly
+// increasing), so 1-shard and N-shard deployments report identical merged
+// histograms for identical traffic.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cliquest::engine {
+
+struct ServiceStats;
+
+namespace metrics {
+
+/// Number of histogram buckets. With 4 sub-buckets per octave this spans
+/// [0, ~2^33) microseconds before clamping into the last bucket.
+inline constexpr int kBucketCount = 128;
+
+/// Maps a non-negative latency in microseconds to its bucket index in
+/// [0, kBucketCount). Values 0..3 get exact buckets; beyond that each
+/// octave [2^e, 2^(e+1)) splits into 4 sub-buckets.
+int bucket_index(std::uint64_t micros);
+
+/// Lower bound in microseconds of the values mapped to `bucket`
+/// (the inverse of bucket_index, rounded down to the bucket floor).
+std::uint64_t bucket_floor_micros(int bucket);
+
+/// Plain-data histogram snapshot: exact total count and sum plus sparse
+/// sorted per-bucket counts. Quantiles are resolved to bucket floors, so
+/// they are conservative (never overestimate) and merge-stable.
+struct HistogramSnapshot {
+  std::uint64_t total = 0;
+  std::uint64_t sum_micros = 0;
+  /// (bucket index, count) pairs, indices strictly increasing, counts > 0.
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> buckets;
+
+  bool empty() const { return total == 0; }
+
+  /// Approximate quantile in microseconds for q in [0, 1]; 0 when empty.
+  std::uint64_t quantile(double q) const;
+
+  /// Exact mean in microseconds (sum/total); 0 when empty.
+  double mean_micros() const;
+
+  /// Adds `other`'s counts into this snapshot.
+  void merge(const HistogramSnapshot& other);
+
+  friend bool operator==(const HistogramSnapshot& a,
+                         const HistogramSnapshot& b) {
+    return a.total == b.total && a.sum_micros == b.sum_micros &&
+           a.buckets == b.buckets;
+  }
+};
+
+/// Concurrent latency histogram. record() is wait-free (one relaxed
+/// fetch_add per counter); snapshot() is a relaxed sweep, so a snapshot
+/// taken concurrently with recording is internally consistent only up to
+/// per-counter atomicity — fine for monitoring, and exact once writers
+/// are quiescent.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void record(std::uint64_t micros);
+
+  HistogramSnapshot snapshot() const;
+
+  /// Mean of all recorded values in microseconds; 0 when empty.
+  double mean_micros() const;
+
+ private:
+  std::atomic<std::uint64_t> counts_[kBucketCount] = {};
+  std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> sum_micros_{0};
+};
+
+/// The serving-surface metrics block carried inside ServiceStats and
+/// merged additively across shards and replicas (gauges included: a
+/// merged queue_depth is the total backlog across children).
+struct MetricsSnapshot {
+  /// End-to-end pool serve time per batch (prepare + draws), µs.
+  HistogramSnapshot batch_serve;
+  /// Time an async batch waited in the pool queue before a worker, µs.
+  HistogramSnapshot queue_wait;
+  /// transport::Server request handling time (read → response write), µs.
+  HistogramSnapshot dispatch;
+  /// RemoteService client-observed round-trip time per request, µs.
+  HistogramSnapshot remote_rtt;
+  /// Batches waiting in pool worker queues right now.
+  std::int64_t queue_depth = 0;
+  /// Draws reserved (cursor ranges handed out) but not yet completed.
+  std::int64_t in_flight_draws = 0;
+  /// Requests shed at the transport edge (per-connection in-flight bound).
+  std::int64_t edge_shed_requests = 0;
+
+  void merge(const MetricsSnapshot& other);
+
+  friend bool operator==(const MetricsSnapshot& a, const MetricsSnapshot& b) {
+    return a.batch_serve == b.batch_serve && a.queue_wait == b.queue_wait &&
+           a.dispatch == b.dispatch && a.remote_rtt == b.remote_rtt &&
+           a.queue_depth == b.queue_depth &&
+           a.in_flight_draws == b.in_flight_draws &&
+           a.edge_shed_requests == b.edge_shed_requests;
+  }
+};
+
+/// Renders a stats snapshot as scrapeable plaintext (Prometheus-style
+/// `name{label="..."} value` lines): served/shed counters, cache rates,
+/// queue gauges, and p50/p99/p999 for every histogram with data. This is
+/// what the wire `metrics_query` frame and `pool_server --metrics-port`
+/// return.
+std::string render_text(const ServiceStats& stats);
+
+}  // namespace metrics
+}  // namespace cliquest::engine

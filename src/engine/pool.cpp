@@ -1,6 +1,7 @@
 #include "engine/pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <utility>
 
@@ -43,13 +44,21 @@ SamplerPool::SamplerPool(PoolOptions options) : options_(std::move(options)) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-SamplerPool::~SamplerPool() {
+SamplerPool::~SamplerPool() { close(); }
+
+void SamplerPool::close() {
+  std::vector<std::thread> workers;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
+    // Swapping the workers out makes close() idempotent and pins the
+    // submit_batch dispatch: a post-close submit sees stopping_ (typed
+    // unavailable through its future), never the workers_.empty() inline
+    // path.
+    workers.swap(workers_);
   }
   queue_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (std::thread& worker : workers) worker.join();
 }
 
 Fingerprint SamplerPool::admit(const graph::Graph& g) {
@@ -151,6 +160,7 @@ std::shared_ptr<SamplerPool::Entry> SamplerPool::find_locked(
 std::int64_t SamplerPool::reserve_locked(Entry& entry, int k,
                                          std::int64_t first_index) {
   ++entry.in_flight;
+  pending_draws_ += k;
   if (first_index < 0) {
     // Pool-assigned range: consume the cursor.
     const std::int64_t first = entry.next_index;
@@ -161,6 +171,45 @@ std::int64_t SamplerPool::reserve_locked(Entry& entry, int k,
   // and the cursor only ever moves forward.
   entry.next_index = std::max(entry.next_index, first_index + k);
   return first_index;
+}
+
+void SamplerPool::check_admission_locked(int k, bool queued) {
+  if (stopping_)
+    throw ServiceError(ServiceErrorCode::unavailable,
+                       "SamplerPool: the pool is closed");
+  if (queued && options_.max_pending_batches > 0 &&
+      queue_.size() >= options_.max_pending_batches) {
+    ++stats_.shed_batches;
+    stats_.shed_draws += k;
+    throw ServiceError(ServiceErrorCode::unavailable,
+                       "SamplerPool: shed — " + std::to_string(queue_.size()) +
+                           " batches pending at bound " +
+                           std::to_string(options_.max_pending_batches),
+                       retry_hint_ms_locked());
+  }
+  if (options_.max_pending_draws > 0 && pending_draws_ > 0 &&
+      pending_draws_ + k > options_.max_pending_draws) {
+    ++stats_.shed_batches;
+    stats_.shed_draws += k;
+    throw ServiceError(ServiceErrorCode::unavailable,
+                       "SamplerPool: shed — " + std::to_string(pending_draws_) +
+                           " draws in flight, " + std::to_string(k) +
+                           " more would pass bound " +
+                           std::to_string(options_.max_pending_draws),
+                       retry_hint_ms_locked());
+  }
+}
+
+int SamplerPool::retry_hint_ms_locked() const {
+  // Expected time for the backlog ahead of the caller to drain: mean batch
+  // serve time × (queued batches + the one in the way) / workers. Before any
+  // latency history exists, suggest a conservative 50ms.
+  const double mean_us = batch_serve_hist_.mean_micros();
+  if (mean_us <= 0.0) return 50;
+  const double workers = static_cast<double>(std::max(options_.workers, 1));
+  const double backlog = static_cast<double>(queue_.size()) + 1.0;
+  const double hint_ms = mean_us * backlog / workers / 1000.0;
+  return static_cast<int>(std::clamp(hint_ms, 1.0, 10000.0));
 }
 
 void SamplerPool::touch_locked(Entry& entry) {
@@ -199,16 +248,20 @@ void SamplerPool::evict_to_budget_locked() {
 
 PoolBatchResult SamplerPool::serve(const std::shared_ptr<Entry>& entry,
                                    std::int64_t first_index, int k) {
-  // The in-flight count was taken at reservation; release it however this
-  // batch ends (a migration drain polls it to zero before dropping).
+  const auto serve_start = std::chrono::steady_clock::now();
+  // The in-flight counts were taken at reservation; release them however
+  // this batch ends (a migration drain polls entry in_flight to zero before
+  // dropping; pending_draws_ is what max_pending_draws bounds).
   struct InFlightGuard {
     SamplerPool* pool;
     Entry* entry;
+    int count;
     ~InFlightGuard() {
       std::lock_guard<std::mutex> lock(pool->mutex_);
       --entry->in_flight;
+      pool->pending_draws_ -= count;
     }
-  } in_flight_guard{this, entry.get()};
+  } in_flight_guard{this, entry.get(), k};
 
   std::shared_ptr<SpanningTreeSampler> sampler;
   bool hit = true;
@@ -284,6 +337,11 @@ PoolBatchResult SamplerPool::serve(const std::shared_ptr<Entry>& entry,
     }
   }
 
+  batch_serve_hist_.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - serve_start)
+          .count()));
+
   PoolBatchResult result;
   result.fingerprint = entry->fingerprint;
   result.first_draw_index = first_index;
@@ -303,6 +361,10 @@ PoolBatchResult SamplerPool::sample_batch(const Fingerprint& fp, int k,
   std::int64_t first = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Admission (shutdown + draw bound) before reservation: a shed batch
+    // never consumes a draw-index range, so replay of accepted batches is
+    // untouched by shedding.
+    check_admission_locked(k, /*queued=*/false);
     entry = find_locked(fp);
     first = reserve_locked(*entry, k, first_index);
   }
@@ -320,12 +382,17 @@ std::future<PoolBatchResult> SamplerPool::submit_batch(const Fingerprint& fp, in
           ServiceErrorCode::invalid_request,
           "SamplerPool::submit_batch: k must be >= 0, got " + std::to_string(k));
     std::lock_guard<std::mutex> lock(mutex_);
+    // Admission before reservation — shutdown (a post-close submit fails
+    // typed through the future, never a never-completing future) and the
+    // backpressure bounds (a shed batch never consumes a draw-index range).
+    check_admission_locked(k, /*queued=*/!workers_.empty());
     job.entry = find_locked(fp);
     // Reserving at submission (not execution) time pins every draw's
     // (seed, index) stream the moment the caller enqueues, independent of
     // worker scheduling.
     job.first_index = reserve_locked(*job.entry, k, first_index);
     if (!workers_.empty()) {
+      job.enqueued = std::chrono::steady_clock::now();
       queue_.push_back(std::move(job));
     }
   } catch (...) {
@@ -358,6 +425,10 @@ void SamplerPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
+    queue_wait_hist_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - job.enqueued)
+            .count()));
     try {
       job.promise.set_value(serve(job.entry, job.first_index, job.count));
     } catch (...) {
@@ -383,6 +454,16 @@ PoolStats SamplerPool::stats() const {
   snapshot.resident_count = static_cast<int>(lru_.size());
   snapshot.admitted_count = static_cast<int>(entries_.size());
   return snapshot;
+}
+
+metrics::MetricsSnapshot SamplerPool::metrics() const {
+  metrics::MetricsSnapshot m;
+  m.batch_serve = batch_serve_hist_.snapshot();
+  m.queue_wait = queue_wait_hist_.snapshot();
+  std::lock_guard<std::mutex> lock(mutex_);
+  m.queue_depth = static_cast<std::int64_t>(queue_.size());
+  m.in_flight_draws = pending_draws_;
+  return m;
 }
 
 }  // namespace cliquest::engine

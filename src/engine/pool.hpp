@@ -38,6 +38,7 @@
 // tears a draw: the evicted precomputation is freed when the last batch
 // using it completes.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <condition_variable>
@@ -51,6 +52,7 @@
 #include <vector>
 
 #include "engine/fingerprint.hpp"
+#include "engine/metrics.hpp"
 #include "engine/sampler.hpp"
 
 namespace cliquest::engine {
@@ -69,6 +71,21 @@ struct PoolOptions {
   /// their serving shard at the source (futures stay promise-backed, no
   /// post-hoc rewriting). Sharding layers set it per child; 0 otherwise.
   int shard_id = 0;
+
+  /// Backpressure: the most batches submit_batch may leave waiting in the
+  /// worker queue. When the bound is hit, the submission is shed — its
+  /// future fails with ServiceError{unavailable} carrying a retry_after_ms
+  /// hint, and no draw-index range is reserved, so shedding never perturbs
+  /// replay of the batches that were accepted. 0 = unbounded (the
+  /// pre-backpressure behavior).
+  std::size_t max_pending_batches = 0;
+
+  /// Backpressure: the most draws that may be reserved-but-incomplete at
+  /// once, across the sync and async paths. A batch that would push past
+  /// the bound is shed the same way; a batch larger than the whole bound is
+  /// still served when nothing else is in flight (it could never be
+  /// admitted otherwise). 0 = unbounded.
+  std::int64_t max_pending_draws = 0;
 
   /// Options template for graphs admitted via the one-argument admit();
   /// admit(g, options) overrides per graph.
@@ -89,6 +106,11 @@ struct PoolStats {
   std::int64_t schur_cache_hits = 0;
   std::int64_t schur_cache_misses = 0;
   std::int64_t schur_cache_trims = 0;
+  /// Load shedding (PoolOptions::max_pending_batches/max_pending_draws):
+  /// batches rejected with a typed unavailable + retry hint, and the draws
+  /// those batches asked for. Shed batches never reserve a draw range.
+  std::int64_t shed_batches = 0;
+  std::int64_t shed_draws = 0;
   std::size_t resident_bytes = 0;
   std::size_t peak_resident_bytes = 0;  // max observed post-eviction: <= budget
   int resident_count = 0;
@@ -110,7 +132,7 @@ struct PoolBatchResult {
 class SamplerPool {
  public:
   explicit SamplerPool(PoolOptions options = {});
-  ~SamplerPool();  // drains queued submissions, then joins the workers
+  ~SamplerPool();  // close(): drains queued submissions, joins the workers
 
   SamplerPool(const SamplerPool&) = delete;
   SamplerPool& operator=(const SamplerPool&) = delete;
@@ -173,11 +195,23 @@ class SamplerPool {
   std::future<PoolBatchResult> submit_batch(const Fingerprint& fp, int k,
                                             std::int64_t first_index = -1);
 
+  /// Stops accepting work and joins the workers: queued submissions still
+  /// drain, then every later sample_batch/submit_batch fails with a typed
+  /// ServiceError{unavailable} (through the future on the async path — a
+  /// post-close submit never yields a never-completing future). Idempotent;
+  /// the destructor calls it.
+  void close();
+
   /// Resident fingerprints in eviction order (coldest first).
   std::vector<Fingerprint> resident_order() const;
 
   std::size_t resident_bytes() const;
   PoolStats stats() const;
+
+  /// Latency histograms (batch serve time, queue wait) plus point-in-time
+  /// queue-depth / in-flight-draw gauges.
+  metrics::MetricsSnapshot metrics() const;
+
   const PoolOptions& options() const { return options_; }
 
  private:
@@ -187,11 +221,19 @@ class SamplerPool {
     std::shared_ptr<Entry> entry;
     std::int64_t first_index = 0;
     int count = 0;
+    std::chrono::steady_clock::time_point enqueued;
     std::promise<PoolBatchResult> promise;
   };
 
   std::shared_ptr<Entry> find_locked(const Fingerprint& fp) const;
   std::int64_t reserve_locked(Entry& entry, int k, std::int64_t first_index);
+  /// Throws the typed shed/shutdown errors when this submission must not
+  /// reserve a range: stopping_, or a backpressure bound would be exceeded.
+  /// `queued` marks the async path (max_pending_batches applies).
+  void check_admission_locked(int k, bool queued);
+  /// The retry hint a shed carries: expected time for the backlog ahead of
+  /// the caller to drain, from the batch-serve latency history.
+  int retry_hint_ms_locked() const;
   void touch_locked(Entry& entry);
   void evict_to_budget_locked();
   PoolBatchResult serve(const std::shared_ptr<Entry>& entry,
@@ -208,6 +250,12 @@ class SamplerPool {
   std::list<Fingerprint> lru_;  // front = coldest, back = hottest
   std::size_t resident_bytes_ = 0;
   PoolStats stats_;
+  /// Draws reserved (range handed out) but not yet completed, sync and
+  /// async; what max_pending_draws bounds. Guarded by mutex_.
+  std::int64_t pending_draws_ = 0;
+
+  metrics::LatencyHistogram batch_serve_hist_;
+  metrics::LatencyHistogram queue_wait_hist_;
 
   std::condition_variable queue_cv_;
   std::deque<Job> queue_;

@@ -1,15 +1,24 @@
 #include "engine/remote_service.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <iterator>
 #include <string>
 #include <utility>
+
+#include "util/rng.hpp"
 
 namespace cliquest::engine {
 namespace {
 
 [[noreturn]] void transport_error(const std::string& detail) {
   throw ServiceError(ServiceErrorCode::transport, detail);
+}
+
+std::uint64_t micros_since(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<std::uint64_t>(std::max<std::int64_t>(
+      0, std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
 }
 
 }  // namespace
@@ -24,6 +33,9 @@ struct RemoteService::Pending {
   std::promise<wire::Bytes> bytes_promise;
   std::vector<graph::TreeEdges> chunk_trees;
   std::uint32_t next_seq = 0;
+  /// When the request frame was handed to the link; the terminal reply
+  /// records request_send -> reply_decode into the client RTT histogram.
+  std::chrono::steady_clock::time_point sent_at;
 };
 
 /// One handshaken connection plus its reader thread. `alive` is guarded by
@@ -49,12 +61,27 @@ RemoteService::RemoteService(ConnectionFactory factory, RemoteOptions options)
 }
 
 RemoteService::~RemoteService() {
+  stop();  // wakes any parked backoff; waits until no dial is in progress
   std::shared_ptr<Link> link;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     link = std::move(link_);
   }
   if (link) teardown_link(std::move(link));
+}
+
+void RemoteService::stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  {
+    // Empty critical section: a dialer between checking stopping_ and
+    // parking on stop_cv_ holds stop_mutex_, so this fence guarantees the
+    // notify below is never lost.
+    std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  }
+  stop_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  connect_cv_.notify_all();  // waiters on the in-progress dial fail promptly
+  connect_cv_.wait(lock, [this] { return !connecting_; });
 }
 
 // ------------------------------------------------------------- connection
@@ -90,6 +117,9 @@ std::shared_ptr<RemoteService::Link> RemoteService::connect_once() const {
 
 void RemoteService::ensure_connected(std::unique_lock<std::mutex>& lock) const {
   for (;;) {
+    if (stopping_.load(std::memory_order_relaxed))
+      throw ServiceError(ServiceErrorCode::unavailable,
+                         "RemoteService is stopping; no new connections");
     if (link_ && link_->alive) return;
     if (!connecting_) break;
     connect_cv_.wait(lock);  // another caller is dialing; reuse its result
@@ -107,9 +137,18 @@ void RemoteService::ensure_connected(std::unique_lock<std::mutex>& lock) const {
   std::int64_t dial_failures = 0;
   for (int attempt = 0; attempt < attempts && !fresh; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(backoff);
+      // Interruptible backoff: a stop() — destruction, a cluster retiring
+      // this replica — wakes the wait immediately instead of letting the
+      // full exponential ladder run (the old sleep_for could pin teardown
+      // for the sum of every remaining backoff step).
+      std::unique_lock<std::mutex> stop_lock(stop_mutex_);
+      const bool stopped = stop_cv_.wait_for(stop_lock, backoff, [this] {
+        return stopping_.load(std::memory_order_relaxed);
+      });
+      if (stopped) break;
       backoff = std::min(backoff * 2, options_.backoff_cap);
     }
+    if (stopping_.load(std::memory_order_relaxed)) break;
     ++dials;
     try {
       fresh = connect_once();
@@ -127,6 +166,13 @@ void RemoteService::ensure_connected(std::unique_lock<std::mutex>& lock) const {
   dials_ += dials;
   dial_failures_ += dial_failures;
   connect_cv_.notify_all();
+  if (stopping_.load(std::memory_order_relaxed)) {
+    // A connection dialed while stop() was landing is never installed: its
+    // reader would have to be joined by a destructor that has already run.
+    if (fresh) fresh->connection->close();
+    throw ServiceError(ServiceErrorCode::unavailable,
+                       "RemoteService is stopping; dial abandoned");
+  }
   if (!fresh) {
     if (failure) std::rethrow_exception(failure);
     transport_error("could not connect");
@@ -207,10 +253,16 @@ void RemoteService::handle_frame(Link& link, std::uint64_t request_id,
     pending = std::move(it->second);
     pending_.erase(it);
   }
+  // Every terminal frame — success or typed failure — is a completed round
+  // trip as the client observed it; errors stay in the distribution because
+  // a shed server answering fast is exactly what the histogram should show.
+  rtt_hist_.record(micros_since(pending->sent_at));
 
   if (type == wire::MessageType::error_response) {
     const wire::ErrorResponse error = wire::decode_error_response(message);
-    auto exception = std::make_exception_ptr(ServiceError(error.code, error.detail));
+    auto exception = std::make_exception_ptr(
+        ServiceError(error.code, error.detail,
+                     static_cast<int>(error.retry_after_ms)));
     if (pending->is_batch)
       pending->batch_promise.set_exception(exception);
     else
@@ -273,6 +325,7 @@ std::uint64_t RemoteService::send_request(const wire::Bytes& message,
                            std::to_string(link_->peer_max_frame_bytes));
   const std::uint64_t id = next_request_id_++;
   pending->generation = link_->generation;
+  pending->sent_at = std::chrono::steady_clock::now();
   std::shared_ptr<Link> link = link_;
   pending_.emplace(id, std::move(pending));
   lock.unlock();
@@ -357,6 +410,25 @@ bool RemoteService::push_map(const cluster::ShardMap& map) const {
 }
 
 BatchResponse RemoteService::sample_batch(const BatchRequest& request) {
+  int retries_left = std::max(0, options_.max_unavailable_retries);
+  for (;;) {
+    try {
+      return sample_batch_once(request);
+    } catch (const ServiceError& e) {
+      // Only a *shed* — unavailable with a positive retry hint — retries:
+      // the server said "come back in a moment", and the batch consumed no
+      // draw-index range, so resending draws the identical trees. A plain
+      // unavailable is structural and retrying would spin.
+      if (e.code() != ServiceErrorCode::unavailable || e.retry_after_ms() <= 0 ||
+          retries_left <= 0)
+        throw;
+      --retries_left;
+      wait_before_retry(e.retry_after_ms());
+    }
+  }
+}
+
+BatchResponse RemoteService::sample_batch_once(const BatchRequest& request) const {
   auto [future, id] = submit_batch_traced(request);
   if (options_.request_timeout.count() <= 0) return future.get();
   if (future.wait_for(options_.request_timeout) != std::future_status::ready) {
@@ -367,6 +439,26 @@ BatchResponse RemoteService::sample_batch(const BatchRequest& request) {
                            std::to_string(options_.request_timeout.count()) + "ms");
   }
   return future.get();
+}
+
+void RemoteService::wait_before_retry(int hint_ms) const {
+  shed_retries_.fetch_add(1, std::memory_order_relaxed);
+  const std::int64_t capped = std::clamp<std::int64_t>(
+      hint_ms, 1, std::max<std::int64_t>(1, options_.retry_cap.count()));
+  std::unique_lock<std::mutex> stop_lock(stop_mutex_);
+  // Full jitter over [capped/2, capped]: a herd of clients shed together
+  // does not return together, but the server's hint still bounds the wait.
+  retry_jitter_state_ = util::splitmix64(retry_jitter_state_);
+  const std::int64_t wait_ms =
+      capped / 2 + static_cast<std::int64_t>(retry_jitter_state_ %
+                                             static_cast<std::uint64_t>(capped / 2 + 1));
+  const bool stopped =
+      stop_cv_.wait_for(stop_lock, std::chrono::milliseconds(wait_ms), [this] {
+        return stopping_.load(std::memory_order_relaxed);
+      });
+  if (stopped)
+    throw ServiceError(ServiceErrorCode::unavailable,
+                       "RemoteService is stopping; shed retry abandoned");
 }
 
 std::future<BatchResponse> RemoteService::submit_batch(const BatchRequest& request) {
@@ -383,14 +475,21 @@ std::future<BatchResponse> RemoteService::submit_batch(const BatchRequest& reque
 
 ServiceStats RemoteService::stats() const {
   ServiceStats stats = wire::decode_service_stats(rpc(wire::encode_stats_query()));
-  // The server's stats describe its serving side; the dial history lives
-  // here, at the client that made the dials. Add, don't overwrite — the peer
-  // may itself front remote children whose dials it already counted.
+  // The server's stats describe its serving side; the dial history and the
+  // client-observed RTT distribution live here, at the client. Add, don't
+  // overwrite — the peer may itself front remote children whose dials it
+  // already counted.
+  stats.metrics.remote_rtt.merge(rtt_hist_.snapshot());
+  stats.transport.shed_retries += shed_retries_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   stats.transport.dials += dials_;
   stats.transport.reconnects += reconnects_;
   stats.transport.dial_failures += dial_failures_;
   return stats;
+}
+
+std::string RemoteService::metrics_text() const {
+  return wire::decode_text_response(rpc(wire::encode_metrics_query()));
 }
 
 bool RemoteService::connected() const {
@@ -416,6 +515,10 @@ std::int64_t RemoteService::dial_count() const {
 std::int64_t RemoteService::dial_failure_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return dial_failures_;
+}
+
+std::int64_t RemoteService::shed_retry_count() const {
+  return shed_retries_.load(std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------- LoopbackShard

@@ -25,14 +25,19 @@
 //     the handshake) and are reassembled before the future resolves, so
 //     callers never see chunking.
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "engine/metrics.hpp"
 #include "engine/service.hpp"
 #include "engine/transport.hpp"
 
@@ -57,6 +62,17 @@ struct RemoteOptions {
   /// Advertised willingness to reassemble streamed batches (0 = ask the
   /// server not to chunk).
   std::uint32_t batch_chunk_trees = 512;
+
+  /// Shed handling: a synchronous sample_batch answered with
+  /// ServiceError{unavailable} carrying a positive retry_after_ms (the
+  /// server shed the batch under load) is retried this many times, waiting
+  /// a jittered interval derived from the hint between attempts. 0 turns
+  /// shed retries off. A *structural* unavailable (no hint) never retries,
+  /// and the wait is interruptible by stop().
+  int max_unavailable_retries = 2;
+
+  /// Upper bound on any single shed-retry wait, whatever the server hints.
+  std::chrono::milliseconds retry_cap{1000};
 
   /// Invoked (on the reader thread, no RemoteService lock held) whenever the
   /// server answers a request with a stale_map frame — its "your routing map
@@ -92,6 +108,17 @@ class RemoteService final : public SamplerService {
   /// every dial exactly once — at the client that made it.
   ServiceStats stats() const override;
 
+  /// Stops the service: wakes any dial backoff immediately (the wait is a
+  /// stop-interruptible condition wait, never a blind sleep), fails waiters
+  /// parked on an in-progress dial with ServiceError{unavailable}, and
+  /// refuses new calls the same way. Idempotent; the destructor calls it,
+  /// so teardown never blocks on the backoff ladder.
+  void stop();
+
+  /// Asks the server for its merged stats rendered as scrapeable plaintext
+  /// (the metrics_query/text_response pair).
+  std::string metrics_text() const;
+
   /// Asks the server for its current cluster map (map_query). Throws
   /// ServiceError{unavailable} when the server has no map to serve.
   cluster::ShardMap fetch_map() const;
@@ -117,6 +144,10 @@ class RemoteService final : public SamplerService {
   /// batch_chunk frames reassembled so far — proves streaming actually
   /// happened in the conformance tests.
   std::int64_t chunk_frames_received() const;
+
+  /// Shed (`unavailable` + retry hint) responses this client retried;
+  /// monotone, also folded into stats().transport.shed_retries.
+  std::int64_t shed_retry_count() const;
 
  private:
   struct Pending;
@@ -145,6 +176,13 @@ class RemoteService final : public SamplerService {
   std::pair<std::future<BatchResponse>, std::uint64_t> submit_batch_traced(
       const BatchRequest& request) const;
 
+  /// One sample_batch round trip (no shed retry).
+  BatchResponse sample_batch_once(const BatchRequest& request) const;
+
+  /// Jittered, stop-interruptible wait before retrying a shed batch; throws
+  /// ServiceError{unavailable} when stop() lands mid-wait.
+  void wait_before_retry(int hint_ms) const;
+
   ConnectionFactory factory_;
   RemoteOptions options_;
 
@@ -161,6 +199,18 @@ class RemoteService final : public SamplerService {
   mutable std::int64_t chunk_frames_ = 0;
   mutable std::int64_t dials_ = 0;
   mutable std::int64_t dial_failures_ = 0;
+
+  /// stop() support: the flag every backoff/retry wait watches. stop_cv_
+  /// pairs with stop_mutex_ (not mutex_) so a parked backoff never blocks
+  /// unrelated accessors, and the dial ladder holds no service lock while
+  /// it waits.
+  mutable std::atomic<bool> stopping_{false};
+  mutable std::mutex stop_mutex_;
+  mutable std::condition_variable stop_cv_;
+  mutable std::uint64_t retry_jitter_state_ = 0x9e3779b97f4a7c15ull;  // stop_mutex_
+
+  mutable metrics::LatencyHistogram rtt_hist_;
+  mutable std::atomic<std::int64_t> shed_retries_{0};
 };
 
 /// A complete in-process remote leg: a transport::Server serving `backend`

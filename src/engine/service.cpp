@@ -32,6 +32,8 @@ void merge_stats(PoolStats& into, const PoolStats& from) {
   into.peak_resident_bytes += from.peak_resident_bytes;
   into.resident_count += from.resident_count;
   into.admitted_count += from.admitted_count;
+  into.shed_batches += from.shed_batches;
+  into.shed_draws += from.shed_draws;
 }
 
 void merge_transport(TransportStats& into, const TransportStats& from) {
@@ -39,6 +41,7 @@ void merge_transport(TransportStats& into, const TransportStats& from) {
   into.reconnects += from.reconnects;
   into.dial_failures += from.dial_failures;
   into.failovers += from.failovers;
+  into.shed_retries += from.shed_retries;
 }
 
 }  // namespace
@@ -192,6 +195,7 @@ std::future<BatchResponse> LocalService::submit_batch(const BatchRequest& reques
 ServiceStats LocalService::stats() const {
   ServiceStats stats;
   stats.totals = pool_.stats();
+  stats.metrics = pool_.metrics();
   stats.shards = {stats.totals};
   return stats;
 }
@@ -297,6 +301,7 @@ ServiceStats ShardedService::stats() const {
     merge_stats(stats.totals, stats.shards.back());
     // Remote children carry their own dial history; sum it like the rest.
     merge_transport(stats.transport, child.transport);
+    stats.metrics.merge(child.metrics);
   }
   return stats;
 }

@@ -37,6 +37,7 @@
 
 #include "engine/errors.hpp"
 #include "engine/fingerprint.hpp"
+#include "engine/metrics.hpp"
 #include "engine/pool.hpp"
 
 namespace cliquest::engine {
@@ -88,11 +89,16 @@ struct TransportStats {
   std::int64_t reconnects = 0;     // live connections re-established
   std::int64_t dial_failures = 0;  // attempts that did not yield a handshake
   std::int64_t failovers = 0;      // batches re-routed to a replica
+  std::int64_t shed_retries = 0;   // shed (`unavailable` + retry_after_ms)
+                                   // responses retried on the same target
 };
 
 struct ServiceStats {
   PoolStats totals;
   TransportStats transport;
+  /// Latency histograms and queue/in-flight gauges (engine/metrics.hpp),
+  /// merged additively across shards/replicas like the counters.
+  metrics::MetricsSnapshot metrics;
   std::vector<PoolStats> shards;
 };
 

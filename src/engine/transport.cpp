@@ -6,13 +6,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "engine/metrics.hpp"
 
 namespace cliquest::engine::transport {
 namespace {
@@ -289,13 +293,27 @@ std::string error_detail(const ServiceError& e) {
 
 struct PendingBatch {
   std::uint64_t request_id = 0;
+  std::chrono::steady_clock::time_point start;
   std::future<BatchResponse> future;
 };
+
+std::uint64_t micros_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
 
 }  // namespace
 
 Server::Server(SamplerService& service, ServerOptions options)
     : service_(service), options_(options) {}
+
+void Server::fold_metrics(ServiceStats& stats) const {
+  stats.metrics.dispatch.merge(dispatch_hist_.snapshot());
+  stats.metrics.edge_shed_requests +=
+      edge_sheds_.load(std::memory_order_relaxed);
+}
 
 void Server::serve(std::shared_ptr<Connection> connection) {
   Connection& c = *connection;
@@ -328,7 +346,8 @@ void Server::serve(std::shared_ptr<Connection> connection) {
       // A foreign wire version (or a garbled hello) gets the typed rejection
       // the codec produced — version_mismatch crosses the wire as itself.
       write_frame(c, first->request_id,
-                  wire::encode(wire::ErrorResponse{e.code(), error_detail(e)}));
+                  wire::encode(wire::ErrorResponse{e.code(), e.retry_after_ms(),
+                                                   error_detail(e)}));
       c.close();
       return;
     }
@@ -358,7 +377,7 @@ void Server::serve(std::shared_ptr<Connection> connection) {
       return write_frame(
           c, id,
           wire::encode(wire::ErrorResponse{
-              ServiceErrorCode::unavailable,
+              ServiceErrorCode::unavailable, 0,
               "response of " + std::to_string(message.size()) +
                   " bytes exceeds your advertised frame limit of " +
                   std::to_string(peer_max_frame) + " (raise max_frame_bytes or "
@@ -391,9 +410,11 @@ void Server::serve(std::shared_ptr<Connection> connection) {
   };
 
   const auto write_error = [&](std::uint64_t id, ServiceErrorCode code,
-                               const std::string& detail) {
+                               const std::string& detail,
+                               std::int32_t retry_after_ms) {
     std::lock_guard<std::mutex> lock(write_mutex);
-    return write_bounded(id, wire::encode(wire::ErrorResponse{code, detail}));
+    return write_bounded(
+        id, wire::encode(wire::ErrorResponse{code, retry_after_ms, detail}));
   };
 
   std::thread responder([&] {
@@ -414,10 +435,14 @@ void Server::serve(std::shared_ptr<Connection> connection) {
         try {
           write_response(job.request_id, job.future.get());
         } catch (const ServiceError& e) {
-          write_error(job.request_id, e.code(), error_detail(e));
+          // A shed from the pool keeps its retry hint across the wire.
+          write_error(job.request_id, e.code(), error_detail(e),
+                      e.retry_after_ms());
         } catch (const std::exception& e) {
-          write_error(job.request_id, ServiceErrorCode::unavailable, e.what());
+          write_error(job.request_id, ServiceErrorCode::unavailable, e.what(),
+                      0);
         }
+        dispatch_hist_.record(micros_since(job.start));
         lock.lock();
         wrote = true;
         break;
@@ -443,6 +468,10 @@ void Server::serve(std::shared_ptr<Connection> connection) {
     }
     if (!frame) break;  // peer closed
     const std::uint64_t id = frame->request_id;
+    const auto dispatch_start = std::chrono::steady_clock::now();
+    // Batches record their dispatch latency when the responder writes the
+    // response; everything else records here when the handler returns.
+    bool deferred_timing = false;
     bool ok = true;
     try {
       switch (wire::peek_type(frame->message)) {
@@ -519,9 +548,19 @@ void Server::serve(std::shared_ptr<Connection> connection) {
         }
         case wire::MessageType::stats_query: {
           wire::decode_stats_query(frame->message);
-          const ServiceStats stats = service_.stats();
+          ServiceStats stats = service_.stats();
+          fold_metrics(stats);  // the serving edge reports itself too
           std::lock_guard<std::mutex> lock(write_mutex);
           ok = write_bounded(id, wire::encode(stats));
+          break;
+        }
+        case wire::MessageType::metrics_query: {
+          wire::decode_metrics_query(frame->message);
+          ServiceStats stats = service_.stats();
+          fold_metrics(stats);
+          std::lock_guard<std::mutex> lock(write_mutex);
+          ok = write_bounded(id,
+                             wire::encode_text_response(metrics::render_text(stats)));
           break;
         }
         case wire::MessageType::batch_request: {
@@ -529,6 +568,27 @@ void Server::serve(std::shared_ptr<Connection> connection) {
           // order fixes the streams exactly as local submission order would;
           // the response is written by the responder when the future lands.
           const BatchRequest request = wire::decode_batch_request(frame->message);
+          if (options_.max_in_flight_batches != 0) {
+            std::size_t depth = 0;
+            {
+              std::lock_guard<std::mutex> lock(pending_mutex);
+              depth = pending.size();
+            }
+            if (depth >= options_.max_in_flight_batches) {
+              // Shed at the edge, before submit_batch: no draw-index range
+              // is reserved, so the retried batch draws exactly what this
+              // serve would have. The hint scales with the backlog.
+              edge_sheds_.fetch_add(1, std::memory_order_relaxed);
+              const int hint = static_cast<int>(
+                  std::clamp<std::size_t>(depth, 10, 1000));
+              throw ServiceError(
+                  ServiceErrorCode::unavailable,
+                  "connection at its in-flight batch bound (" +
+                      std::to_string(depth) + " of " +
+                      std::to_string(options_.max_in_flight_batches) + ")",
+                  hint);
+            }
+          }
           if (options_.stale_guard) {
             // Vetoed before any range is reserved: the bounced batch leaves
             // no trace in the cursor, so the client's retry under the new
@@ -543,9 +603,10 @@ void Server::serve(std::shared_ptr<Connection> connection) {
           std::future<BatchResponse> future = service_.submit_batch(request);
           {
             std::lock_guard<std::mutex> lock(pending_mutex);
-            pending.push_back({id, std::move(future)});
+            pending.push_back({id, dispatch_start, std::move(future)});
           }
           pending_cv.notify_one();
+          deferred_timing = true;
           break;
         }
         default:
@@ -553,10 +614,11 @@ void Server::serve(std::shared_ptr<Connection> connection) {
                              "message type is not a transport request");
       }
     } catch (const ServiceError& e) {
-      ok = write_error(id, e.code(), error_detail(e));
+      ok = write_error(id, e.code(), error_detail(e), e.retry_after_ms());
     } catch (const std::exception& e) {
-      ok = write_error(id, ServiceErrorCode::unavailable, e.what());
+      ok = write_error(id, ServiceErrorCode::unavailable, e.what(), 0);
     }
+    if (!deferred_timing) dispatch_hist_.record(micros_since(dispatch_start));
     if (!ok) break;  // peer stopped reading
   }
 

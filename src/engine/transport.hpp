@@ -30,6 +30,7 @@
 // The client half — RemoteService, a SamplerService over a Connection — and
 // the in-process loopback wiring live in engine/remote_service.hpp.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -39,6 +40,7 @@
 #include <utility>
 
 #include "engine/cluster/shard_map.hpp"
+#include "engine/metrics.hpp"
 #include "engine/service.hpp"
 #include "engine/wire.hpp"
 
@@ -133,6 +135,13 @@ struct ServerOptions {
   /// smaller nonzero advertisement from the handshake.
   std::uint32_t batch_chunk_trees = 512;
 
+  /// Backpressure at the connection edge: the most batch requests one
+  /// connection may have in flight (submitted, response not yet written).
+  /// A request past the bound is shed with a typed unavailable +
+  /// retry_after_ms *without* reaching submit_batch — no draw-index range
+  /// is reserved, so shedding never perturbs replay. 0 = unbounded.
+  std::uint32_t max_in_flight_batches = 1024;
+
   // Cluster control-plane hooks (engine/cluster). All optional: a server
   // without them — every pre-cluster deployment — rejects the corresponding
   // frames with ServiceError{unavailable} and serves everything else
@@ -169,9 +178,19 @@ class Server {
 
   const ServerOptions& options() const { return options_; }
 
+  /// Folds this server's own serving-edge metrics — request dispatch
+  /// latency and edge sheds — into a stats snapshot. stats_query and
+  /// metrics_query responses pass through here, so remote clients see the
+  /// edge alongside the pool counters; `pool_server --metrics-port` calls
+  /// it for its scrape endpoint.
+  void fold_metrics(ServiceStats& stats) const;
+
  private:
   SamplerService& service_;
   ServerOptions options_;
+  /// Request handling time, read → response write, all frame kinds.
+  metrics::LatencyHistogram dispatch_hist_;
+  std::atomic<std::int64_t> edge_sheds_{0};
 };
 
 }  // namespace cliquest::engine::transport

@@ -71,7 +71,7 @@ std::uint8_t read_envelope(std::span<const std::uint8_t> bytes) {
                            ", this build speaks " + std::to_string(kVersion));
   const std::uint8_t tag = bytes[6];
   if (tag < static_cast<std::uint8_t>(MessageType::graph) ||
-      tag > static_cast<std::uint8_t>(MessageType::in_flight_query))
+      tag > static_cast<std::uint8_t>(MessageType::text_response))
     malformed("unknown message tag " + std::to_string(tag));
   return tag;
 }
@@ -357,6 +357,8 @@ void write_pool_stats(Writer& w, const PoolStats& s) {
   w.u64(s.peak_resident_bytes);
   w.i32(s.resident_count);
   w.i32(s.admitted_count);
+  w.i64(s.shed_batches);
+  w.i64(s.shed_draws);
 }
 
 /// Query tags all carry a bare fingerprint payload; everything else is a
@@ -386,7 +388,69 @@ PoolStats read_pool_stats(Reader& r) {
   s.peak_resident_bytes = static_cast<std::size_t>(r.u64());
   s.resident_count = r.i32();
   s.admitted_count = r.i32();
+  s.shed_batches = r.i64();
+  s.shed_draws = r.i64();
   return s;
+}
+
+void write_histogram(Writer& w, const metrics::HistogramSnapshot& h) {
+  w.u64(h.total);
+  w.u64(h.sum_micros);
+  w.u32(static_cast<std::uint32_t>(h.buckets.size()));
+  for (const auto& [bucket, count] : h.buckets) {
+    w.u16(bucket);
+    w.u64(count);
+  }
+}
+
+metrics::HistogramSnapshot read_histogram(Reader& r) {
+  metrics::HistogramSnapshot h;
+  h.total = r.u64();
+  h.sum_micros = r.u64();
+  const std::uint32_t pair_count = r.u32();
+  // A (bucket, count) pair costs 10 payload bytes, so a forged count fails
+  // against the bytes actually present before any allocation happens — the
+  // read_graph/read_shard_map discipline.
+  if (pair_count > r.remaining() / 10)
+    malformed("histogram bucket count " + std::to_string(pair_count) +
+              " exceeds the remaining payload");
+  h.buckets.reserve(pair_count);
+  int last_bucket = -1;
+  for (std::uint32_t i = 0; i < pair_count; ++i) {
+    const std::uint16_t bucket = r.u16();
+    const std::uint64_t count = r.u64();
+    // Indices strictly increasing and in range, counts nonzero: the sparse
+    // form is canonical, so encode(decode(bytes)) reproduces bytes exactly.
+    if (bucket >= metrics::kBucketCount || static_cast<int>(bucket) <= last_bucket)
+      malformed("histogram bucket index " + std::to_string(bucket) +
+                " out of order or out of range");
+    if (count == 0) malformed("histogram bucket with zero count");
+    last_bucket = bucket;
+    h.buckets.emplace_back(bucket, count);
+  }
+  return h;
+}
+
+void write_metrics(Writer& w, const metrics::MetricsSnapshot& m) {
+  write_histogram(w, m.batch_serve);
+  write_histogram(w, m.queue_wait);
+  write_histogram(w, m.dispatch);
+  write_histogram(w, m.remote_rtt);
+  w.i64(m.queue_depth);
+  w.i64(m.in_flight_draws);
+  w.i64(m.edge_shed_requests);
+}
+
+metrics::MetricsSnapshot read_metrics(Reader& r) {
+  metrics::MetricsSnapshot m;
+  m.batch_serve = read_histogram(r);
+  m.queue_wait = read_histogram(r);
+  m.dispatch = read_histogram(r);
+  m.remote_rtt = read_histogram(r);
+  m.queue_depth = r.i64();
+  m.in_flight_draws = r.i64();
+  m.edge_shed_requests = r.i64();
+  return m;
 }
 
 }  // namespace
@@ -491,6 +555,8 @@ Bytes encode(const ServiceStats& stats) {
   w.i64(stats.transport.reconnects);
   w.i64(stats.transport.dial_failures);
   w.i64(stats.transport.failovers);
+  w.i64(stats.transport.shed_retries);
+  write_metrics(w, stats.metrics);
   w.u32(static_cast<std::uint32_t>(stats.shards.size()));
   for (const PoolStats& shard : stats.shards) write_pool_stats(w, shard);
   return w.finish();
@@ -504,6 +570,8 @@ ServiceStats decode_service_stats(std::span<const std::uint8_t> bytes) {
   stats.transport.reconnects = r.i64();
   stats.transport.dial_failures = r.i64();
   stats.transport.failovers = r.i64();
+  stats.transport.shed_retries = r.i64();
+  stats.metrics = read_metrics(r);
   const std::uint32_t shard_count = r.u32();
   for (std::uint32_t i = 0; i < shard_count; ++i)
     stats.shards.push_back(read_pool_stats(r));
@@ -532,6 +600,7 @@ Hello decode_hello(std::span<const std::uint8_t> bytes) {
 Bytes encode(const ErrorResponse& error) {
   Writer w(MessageType::error_response);
   w.u8(static_cast<std::uint8_t>(error.code));
+  w.i32(error.retry_after_ms);
   w.str(error.detail);
   return w.finish();
 }
@@ -541,6 +610,9 @@ ErrorResponse decode_error_response(std::span<const std::uint8_t> bytes) {
   ErrorResponse error;
   error.code = read_enum<ServiceErrorCode>(
       r, static_cast<std::uint8_t>(ServiceErrorCode::stale_map), "service error code");
+  error.retry_after_ms = r.i32();
+  if (error.retry_after_ms < 0)
+    malformed("negative retry_after_ms " + std::to_string(error.retry_after_ms));
   error.detail = r.str();
   r.done();
   return error;
@@ -718,6 +790,31 @@ Bytes encode_map_query() {
 void decode_map_query(std::span<const std::uint8_t> bytes) {
   Reader r(bytes, MessageType::map_query);
   r.done();
+}
+
+// ------------------------------------------------- v5 observability messages
+
+Bytes encode_metrics_query() {
+  Writer w(MessageType::metrics_query);
+  return w.finish();
+}
+
+void decode_metrics_query(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::metrics_query);
+  r.done();
+}
+
+Bytes encode_text_response(const std::string& text) {
+  Writer w(MessageType::text_response);
+  w.str(text);
+  return w.finish();
+}
+
+std::string decode_text_response(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::text_response);
+  std::string text = r.str();
+  r.done();
+  return text;
 }
 
 }  // namespace cliquest::engine::wire

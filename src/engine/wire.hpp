@@ -49,7 +49,13 @@ namespace cliquest::engine::wire {
 /// batch_request gained first_draw_index (explicit replica-safe draw
 /// ranges), admit_request gained first_draw_index (cursor handoff), and
 /// service_stats the client-side TransportStats block.
-inline constexpr std::uint16_t kVersion = 4;
+/// v5: the serving-edge hardening set — error_response gained retry_after_ms
+/// (the load-shedding hint after the code byte), pool stats gained
+/// shed_batches/shed_draws and transport stats shed_retries, service_stats
+/// gained the metrics block (sparse latency histograms + queue gauges,
+/// engine/metrics.hpp), and the scrape pair `metrics_query`/`text_response`
+/// (a plaintext rendering of the stats for monitoring systems).
+inline constexpr std::uint16_t kVersion = 5;
 
 using Bytes = std::vector<std::uint8_t>;
 
@@ -81,6 +87,10 @@ enum class MessageType : std::uint8_t {
   cursor_query = 20,
   drop_query = 21,
   in_flight_query = 22,
+  // v5 observability messages: metrics_query asks a server for its merged
+  // stats rendered as scrapeable plaintext; text_response carries the text.
+  metrics_query = 23,
+  text_response = 24,
 };
 
 /// Handshake message, the first frame in each direction of a transport
@@ -97,9 +107,12 @@ struct Hello {
 };
 
 /// A ServiceError crossing the wire: the code survives the hop typed, the
-/// detail rides along for humans.
+/// detail rides along for humans. retry_after_ms (v5) is the load-shedding
+/// hint — positive when an `unavailable` was a shed with an estimated
+/// time-to-capacity, 0 otherwise.
 struct ErrorResponse {
   ServiceErrorCode code = ServiceErrorCode::unavailable;
+  std::int32_t retry_after_ms = 0;
   std::string detail;
 };
 
@@ -149,6 +162,8 @@ Bytes encode_bool_response(bool value);
 Bytes encode_count_response(std::int64_t value);
 Bytes encode_stats_query();
 Bytes encode_query(MessageType tag, const Fingerprint& fp);
+Bytes encode_metrics_query();
+Bytes encode_text_response(const std::string& text);
 
 graph::Graph decode_graph(std::span<const std::uint8_t> bytes);
 EngineOptions decode_options(std::span<const std::uint8_t> bytes);
@@ -167,5 +182,7 @@ Fingerprint decode_query(std::span<const std::uint8_t> bytes, MessageType tag);
 cluster::ShardMap decode_shard_map(std::span<const std::uint8_t> bytes);
 cluster::ShardMap decode_stale_map(std::span<const std::uint8_t> bytes);
 void decode_map_query(std::span<const std::uint8_t> bytes);
+void decode_metrics_query(std::span<const std::uint8_t> bytes);
+std::string decode_text_response(std::span<const std::uint8_t> bytes);
 
 }  // namespace cliquest::engine::wire

@@ -1,0 +1,361 @@
+// Serving-edge hardening tests: pool backpressure bounds shedding with
+// typed unavailable + retry_after_ms (sync and async, never consuming a
+// draw-index range), shutdown races failing typed instead of hanging, the
+// transport server's per-connection in-flight bound, the client-side shed
+// retry in RemoteService and ClusterService, and the interruptible dial
+// backoff (stop() wakes a parked reconnect ladder immediately).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/cluster/cluster_service.hpp"
+#include "engine/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning.hpp"
+#include "transport_fixtures.hpp"
+
+namespace cliquest::engine {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// A batch heavy enough to keep one worker busy for a long moment — the
+/// window the saturation tests submit into. Wilson on a 128-wheel costs
+/// microseconds per draw, so tens of thousands of draws give a window
+/// orders of magnitude wider than the few submits raced against it.
+constexpr int kHeavyDraws = 60000;
+
+/// Spins until the pool's queue is empty (the worker popped the head job).
+void wait_until_dequeued(const SamplerPool& pool) {
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (pool.metrics().queue_depth != 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "job never popped";
+    std::this_thread::sleep_for(1ms);
+  }
+}
+
+/// Decorator that sheds the first `sheds` batch calls with a typed
+/// unavailable carrying `hint_ms` (0 = structural, no hint), then forwards.
+class ShedNTimesService final : public SamplerService {
+ public:
+  ShedNTimesService(std::unique_ptr<SamplerService> inner, int sheds, int hint_ms)
+      : inner_(std::move(inner)), sheds_left_(sheds), hint_ms_(hint_ms) {}
+
+  Fingerprint admit(const AdmitRequest& request) override {
+    return inner_->admit(request);
+  }
+  bool admitted(const Fingerprint& fp) const override {
+    return inner_->admitted(fp);
+  }
+  bool resident(const Fingerprint& fp) const override {
+    return inner_->resident(fp);
+  }
+  std::int64_t prepare_count(const Fingerprint& fp) const override {
+    return inner_->prepare_count(fp);
+  }
+  std::int64_t draw_cursor(const Fingerprint& fp) const override {
+    return inner_->draw_cursor(fp);
+  }
+  std::int64_t in_flight(const Fingerprint& fp) const override {
+    return inner_->in_flight(fp);
+  }
+  bool drop(const Fingerprint& fp) override { return inner_->drop(fp); }
+
+  BatchResponse sample_batch(const BatchRequest& request) override {
+    maybe_shed();
+    return inner_->sample_batch(request);
+  }
+
+  std::future<BatchResponse> submit_batch(const BatchRequest& request) override {
+    try {
+      maybe_shed();
+    } catch (...) {
+      std::promise<BatchResponse> failed;
+      failed.set_exception(std::current_exception());
+      return failed.get_future();
+    }
+    return inner_->submit_batch(request);
+  }
+
+  ServiceStats stats() const override { return inner_->stats(); }
+
+ private:
+  void maybe_shed() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (sheds_left_ <= 0) return;
+      --sheds_left_;
+    }
+    throw ServiceError(ServiceErrorCode::unavailable, "synthetic shed", hint_ms_);
+  }
+
+  std::unique_ptr<SamplerService> inner_;
+  mutable std::mutex mutex_;
+  int sheds_left_;
+  int hint_ms_;
+};
+
+// ---------------------------------------------------------- pool shedding
+
+TEST(BackpressureTest, AsyncSubmitShedsAtPendingBatchBoundTyped) {
+  PoolOptions options;
+  options.workers = 1;
+  options.max_pending_batches = 1;
+  options.engine = wilson_engine();
+  SamplerPool pool(options);
+  const Fingerprint fp = pool.admit(graph::wheel(128), wilson_engine());
+
+  std::future<PoolBatchResult> heavy = pool.submit_batch(fp, kHeavyDraws);
+  wait_until_dequeued(pool);  // the worker is now busy on the heavy batch
+  std::future<PoolBatchResult> queued = pool.submit_batch(fp, 5);
+  std::future<PoolBatchResult> shed = pool.submit_batch(fp, 5);
+
+  // The shed batch fails typed through the future — one error channel — with
+  // a positive come-back-later hint, and never a never-completing future.
+  try {
+    shed.get();
+    FAIL() << "batch past the bound was not shed";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::unavailable);
+    EXPECT_GE(e.retry_after_ms(), 1);
+  }
+  const PoolStats mid = pool.stats();
+  EXPECT_EQ(mid.shed_batches, 1);
+  EXPECT_EQ(mid.shed_draws, 5);
+
+  // The shed batch consumed no draw-index range: the accepted batches hold
+  // exactly [0, heavy) and [heavy, heavy + 5), and the cursor stops there.
+  EXPECT_EQ(heavy.get().first_draw_index, 0);
+  EXPECT_EQ(queued.get().first_draw_index, kHeavyDraws);
+  EXPECT_EQ(pool.draw_cursor(fp), kHeavyDraws + 5);
+}
+
+TEST(BackpressureTest, SyncSampleShedsAtPendingDrawBoundAndPreservesReplay) {
+  PoolOptions options;
+  options.workers = 1;
+  options.max_pending_draws = 100;
+  options.engine = wilson_engine();
+  SamplerPool pool(options);
+  const Fingerprint heavy_fp = pool.admit(graph::wheel(128), wilson_engine());
+  const Fingerprint light_fp = pool.admit(graph::wheel(12), wilson_engine());
+
+  // The heavy batch is admitted (nothing was pending when it reserved) and
+  // holds kHeavyDraws in flight from submission to completion.
+  std::future<PoolBatchResult> heavy = pool.submit_batch(heavy_fp, kHeavyDraws);
+  ASSERT_GT(pool.metrics().in_flight_draws, 0);
+
+  try {
+    pool.sample_batch(light_fp, 10);
+    FAIL() << "sync batch past the draw bound was not shed";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::unavailable);
+    EXPECT_GE(e.retry_after_ms(), 1);
+  }
+  EXPECT_EQ(pool.draw_cursor(light_fp), 0);  // the shed reserved nothing
+  EXPECT_EQ(pool.stats().shed_draws, 10);
+
+  heavy.get();
+  const PoolBatchResult after_shed = pool.sample_batch(light_fp, 10);
+  EXPECT_EQ(after_shed.first_draw_index, 0);
+
+  // Replay equality: a pool that never shed serves the identical trees for
+  // the same (fingerprint, range) — shedding left no trace in the streams.
+  SamplerPool replay(inline_pool_options(wilson_engine()));
+  replay.admit(graph::wheel(12), wilson_engine());
+  const PoolBatchResult clean = replay.sample_batch(light_fp, 10);
+  ASSERT_EQ(clean.batch.trees.size(), after_shed.batch.trees.size());
+  for (std::size_t i = 0; i < clean.batch.trees.size(); ++i)
+    EXPECT_EQ(graph::tree_key(clean.batch.trees[i]),
+              graph::tree_key(after_shed.batch.trees[i]))
+        << "tree " << i;
+}
+
+TEST(BackpressureTest, SubmitAfterCloseFailsTypedThroughTheFuture) {
+  PoolOptions options;
+  options.workers = 2;
+  options.engine = wilson_engine();
+  SamplerPool pool(options);
+  const Fingerprint fp = pool.admit(graph::wheel(8), wilson_engine());
+  pool.sample_batch(fp, 2);
+  pool.close();
+  pool.close();  // idempotent
+
+  // The shutdown race fix: a submit after close() gets the typed structural
+  // unavailable through the future — not a hang, not a torn promise, and no
+  // retry hint (retrying a closed pool is pointless).
+  std::future<PoolBatchResult> late = pool.submit_batch(fp, 2);
+  try {
+    late.get();
+    FAIL() << "post-close submit did not fail";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::unavailable);
+    EXPECT_EQ(e.retry_after_ms(), 0);
+  }
+  try {
+    pool.sample_batch(fp, 2);
+    FAIL() << "post-close sync sample did not fail";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::unavailable);
+  }
+}
+
+// ------------------------------------------------------- server edge bound
+
+TEST(BackpressureTest, ServerShedsPastPerConnectionInFlightBound) {
+  StuckService stuck;
+  transport::ServerOptions server_options;
+  server_options.max_in_flight_batches = 2;
+  ServedPipe pipe(stuck, server_options);
+  auto connection = pipe.client();
+  RemoteService remote([connection] { return connection; });
+
+  const Fingerprint fp = remote.admit({graph::wheel(6), wilson_engine()});
+  std::future<BatchResponse> first = remote.submit_batch({fp, 4});
+  std::future<BatchResponse> second = remote.submit_batch({fp, 4});
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (stuck.submitted() < 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+    std::this_thread::sleep_for(1ms);
+  }
+
+  // Two batches wedged in flight fill the bound; the third is shed at the
+  // edge — before submit_batch, so the stuck service never sees it and no
+  // draw-index range is reserved anywhere.
+  std::future<BatchResponse> third = remote.submit_batch({fp, 4});
+  try {
+    third.get();
+    FAIL() << "batch past the connection bound was not shed";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::unavailable);
+    EXPECT_GE(e.retry_after_ms(), 10);
+    EXPECT_LE(e.retry_after_ms(), 1000);
+  }
+  EXPECT_EQ(stuck.submitted(), 2);
+
+  // The edge shed and the dispatch latencies are visible in the stats the
+  // server answers over the same connection.
+  const ServiceStats stats = remote.stats();
+  EXPECT_EQ(stats.metrics.edge_shed_requests, 1);
+  EXPECT_GT(stats.metrics.dispatch.total, 0u);
+}
+
+// ------------------------------------------------------ client shed retry
+
+TEST(BackpressureTest, RemoteClientRetriesShedsAndSucceeds) {
+  ShedNTimesService shedder(
+      std::make_unique<LocalService>(inline_pool_options(wilson_engine())),
+      /*sheds=*/2, /*hint_ms=*/20);
+  ServedPipe pipe(shedder);
+  auto connection = pipe.client();
+  RemoteService remote([connection] { return connection; });
+
+  const Fingerprint fp = remote.admit({graph::wheel(10), wilson_engine()});
+  // Two sheds cross the wire with their hints; the default retry budget (2)
+  // absorbs them and the third attempt serves. The sheds reserved nothing,
+  // so the served batch still starts at draw index 0.
+  const BatchResponse response = remote.sample_batch({fp, 4});
+  EXPECT_EQ(response.first_draw_index, 0);
+  EXPECT_EQ(remote.shed_retry_count(), 2);
+  EXPECT_GE(remote.stats().transport.shed_retries, 2);
+}
+
+TEST(BackpressureTest, StructuralUnavailableDoesNotRetry) {
+  ShedNTimesService always_down(
+      std::make_unique<LocalService>(inline_pool_options(wilson_engine())),
+      /*sheds=*/1000, /*hint_ms=*/0);
+  ServedPipe pipe(always_down);
+  auto connection = pipe.client();
+  RemoteService remote([connection] { return connection; });
+
+  const Fingerprint fp = remote.admit({graph::wheel(10), wilson_engine()});
+  try {
+    remote.sample_batch({fp, 4});
+    FAIL() << "structural unavailable should surface";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::unavailable);
+    EXPECT_EQ(e.retry_after_ms(), 0);
+  }
+  EXPECT_EQ(remote.shed_retry_count(), 0);
+}
+
+TEST(BackpressureTest, ClusterRetriesShedOnTheSameReplica) {
+  auto shedding = std::make_shared<ShedNTimesService>(
+      std::make_unique<LocalService>(inline_pool_options(wilson_engine())),
+      /*sheds=*/2, /*hint_ms=*/20);
+  cluster::ClusterOptions options;
+  options.map.version = 1;
+  options.map.replication = 1;
+  options.map.members = {{0, "", 0, 1.0}};
+  cluster::ClusterService service(
+      [shedding](const cluster::ShardDescriptor&) { return shedding; },
+      std::move(options));
+
+  const Fingerprint fp = service.admit({graph::wheel(10), wilson_engine()});
+  // A shed is waited out and retried on the SAME replica — it is load, not
+  // death — so no failover fires and the pinned range replays identically.
+  const BatchResponse response = service.sample_batch({fp, 4});
+  EXPECT_EQ(response.first_draw_index, 0);
+  EXPECT_EQ(service.shed_retry_count(), 2);
+  EXPECT_EQ(service.failover_count(), 0);
+  EXPECT_GE(service.stats().transport.shed_retries, 2);
+}
+
+// -------------------------------------------------- interruptible backoff
+
+TEST(BackpressureTest, StopInterruptsDialBackoffAndFailsWaitersPromptly) {
+  RemoteOptions options;
+  options.backoff_initial = 250ms;
+  options.backoff_cap = 10s;
+  options.max_connect_attempts = 100;  // ~16 minutes of ladder if slept out
+  RemoteService remote(
+      []() -> std::shared_ptr<transport::Connection> {
+        throw ServiceError(ServiceErrorCode::transport, "peer unreachable");
+      },
+      options);
+
+  std::atomic<int> unavailable{0};
+  const Fingerprint fp = fingerprint_graph(graph::cycle(4));
+  const auto call = [&] {
+    try {
+      remote.admitted(fp);
+    } catch (const ServiceError& e) {
+      if (e.code() == ServiceErrorCode::unavailable) ++unavailable;
+    }
+  };
+  std::thread dialer(call);           // fails attempt 0, parks in the backoff
+  std::this_thread::sleep_for(60ms);
+  std::thread waiter(call);           // parks on the in-progress dial
+  std::this_thread::sleep_for(60ms);
+
+  const auto stop_start = std::chrono::steady_clock::now();
+  remote.stop();
+  const auto stop_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - stop_start);
+  dialer.join();
+  waiter.join();
+
+  // The old uninterruptible sleep_for would hold stop() (and destruction)
+  // for the remaining ladder — minutes here. The condition wait wakes in
+  // one scheduling quantum.
+  EXPECT_LT(stop_ms.count(), 2000) << "stop() waited out the backoff ladder";
+  EXPECT_EQ(unavailable.load(), 2) << "both callers must fail typed, promptly";
+
+  // After stop, new calls refuse immediately with the same typed error.
+  try {
+    remote.admitted(fp);
+    FAIL() << "post-stop call did not fail";
+  } catch (const ServiceError& e) {
+    EXPECT_EQ(e.code(), ServiceErrorCode::unavailable);
+  }
+}
+
+}  // namespace
+}  // namespace cliquest::engine

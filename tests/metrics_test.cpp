@@ -1,0 +1,199 @@
+// Tests for the serving metrics surface (engine/metrics.hpp): bucket math
+// invariants, conservative quantiles, snapshot merge exactness, the
+// 1-shard-vs-N-shard merge equality the wire carries across deployments,
+// and the scrapeable plaintext rendering.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "graph/generators.hpp"
+
+namespace cliquest::engine {
+namespace {
+
+EngineOptions wilson_options(std::uint64_t seed = 3) {
+  EngineOptions options;
+  options.backend = Backend::wilson;
+  options.seed = seed;
+  return options;
+}
+
+// ------------------------------------------------------------ bucket math
+
+TEST(MetricsTest, BucketIndexIsMonotoneAndInRange) {
+  int last = -1;
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    const int b = metrics::bucket_index(v);
+    ASSERT_GE(b, 0) << v;
+    ASSERT_LT(b, metrics::kBucketCount) << v;
+    ASSERT_GE(b, last) << v;  // more latency never maps to a smaller bucket
+    last = b;
+  }
+  // Doubling sweep through the full range, clamping included.
+  last = -1;
+  for (std::uint64_t v = 1; v != 0; v <<= 1) {
+    const int b = metrics::bucket_index(v);
+    ASSERT_LT(b, metrics::kBucketCount) << v;
+    ASSERT_GE(b, last) << v;
+    last = b;
+  }
+  EXPECT_EQ(metrics::bucket_index(~std::uint64_t{0}), metrics::kBucketCount - 1);
+}
+
+TEST(MetricsTest, BucketFloorIsTheInverseOfBucketIndex) {
+  for (int b = 0; b < metrics::kBucketCount; ++b) {
+    const std::uint64_t floor = metrics::bucket_floor_micros(b);
+    // The floor maps back to its own bucket, and the value just below the
+    // floor maps strictly lower: the floor is exactly where b begins.
+    EXPECT_EQ(metrics::bucket_index(floor), b) << b;
+    if (b > 0) EXPECT_LT(metrics::bucket_index(floor - 1), b) << b;
+  }
+}
+
+TEST(MetricsTest, BucketRelativeErrorIsBounded) {
+  // 4 sub-buckets per octave: the bucket floor underestimates a recorded
+  // value by at most ~19% (1/2^2 of an octave, plus rounding on small e).
+  for (std::uint64_t v = 4; v < (1u << 22); v = v + v / 3 + 1) {
+    const std::uint64_t floor =
+        metrics::bucket_floor_micros(metrics::bucket_index(v));
+    ASSERT_LE(floor, v) << v;  // conservative, never overestimates
+    ASSERT_GE(floor, v - v / 4) << v;
+  }
+}
+
+// -------------------------------------------------------------- histogram
+
+TEST(MetricsTest, QuantilesAreConservativeAndOrdered) {
+  metrics::LatencyHistogram hist;
+  for (std::uint64_t v = 1; v <= 1000; ++v) hist.record(v);
+  const metrics::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.total, 1000u);
+  EXPECT_EQ(snap.sum_micros, 500500u);
+  EXPECT_DOUBLE_EQ(snap.mean_micros(), 500.5);
+
+  const std::uint64_t p50 = snap.quantile(0.5);
+  const std::uint64_t p99 = snap.quantile(0.99);
+  const std::uint64_t p999 = snap.quantile(0.999);
+  EXPECT_LE(p50, 500u);           // bucket floors never overestimate
+  EXPECT_GE(p50, 500u - 500u / 4);
+  EXPECT_LE(p99, 990u);
+  EXPECT_GE(p99, 990u - 990u / 4);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_EQ(snap.quantile(1.0), metrics::bucket_floor_micros(
+                                    metrics::bucket_index(1000)));
+
+  EXPECT_EQ(metrics::HistogramSnapshot{}.quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(metrics::HistogramSnapshot{}.mean_micros(), 0.0);
+}
+
+TEST(MetricsTest, SnapshotMergeEqualsRecordingEverythingInOne) {
+  metrics::LatencyHistogram left, right, all;
+  const std::vector<std::uint64_t> left_values = {0, 3, 17, 17, 900, 1u << 20};
+  const std::vector<std::uint64_t> right_values = {2, 17, 64, 1u << 30};
+  for (std::uint64_t v : left_values) {
+    left.record(v);
+    all.record(v);
+  }
+  for (std::uint64_t v : right_values) {
+    right.record(v);
+    all.record(v);
+  }
+  metrics::HistogramSnapshot merged = left.snapshot();
+  merged.merge(right.snapshot());
+  EXPECT_EQ(merged, all.snapshot());
+
+  // Merging an empty snapshot is the identity, both ways.
+  metrics::HistogramSnapshot empty;
+  metrics::HistogramSnapshot copy = merged;
+  copy.merge(empty);
+  EXPECT_EQ(copy, merged);
+  empty.merge(merged);
+  EXPECT_EQ(empty, merged);
+}
+
+TEST(MetricsTest, ConcurrentRecordingLosesNothing) {
+  metrics::LatencyHistogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        hist.record(static_cast<std::uint64_t>(t * 1000 + i % 97));
+    });
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(hist.snapshot().total,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// --------------------------------------------- service-level merge equality
+
+TEST(MetricsTest, OneShardAndFourShardDeploymentsCountIdentically) {
+  // The same admissions and batches through a 1-shard and a 4-shard service:
+  // latencies differ run to run, but the merged snapshot must account for
+  // every batch and draw exactly once in both deployments.
+  const auto run = [](int shard_count) {
+    PoolOptions pool;
+    pool.workers = 1;
+    pool.engine = wilson_options();
+    ShardedService service(shard_count, pool);
+    std::vector<BatchRequest> requests;
+    for (int i = 0; i < 6; ++i) {
+      const Fingerprint fp =
+          service.admit({graph::wheel(8 + i), wilson_options()});
+      requests.push_back({fp, 5});
+      requests.push_back({fp, 3});
+    }
+    std::vector<std::future<BatchResponse>> futures = service.submit_all(requests);
+    for (std::future<BatchResponse>& f : futures) f.get();
+    return service.stats();
+  };
+  const ServiceStats one = run(1);
+  const ServiceStats four = run(4);
+  EXPECT_EQ(one.metrics.batch_serve.total, 12u);
+  EXPECT_EQ(four.metrics.batch_serve.total, 12u);
+  EXPECT_EQ(one.metrics.queue_wait.total, 12u);
+  EXPECT_EQ(four.metrics.queue_wait.total, 12u);
+  EXPECT_EQ(one.totals.draws, four.totals.draws);
+  // Quiescent services: no backlog, no reserved-but-unserved draws.
+  EXPECT_EQ(one.metrics.queue_depth, 0);
+  EXPECT_EQ(four.metrics.queue_depth, 0);
+  EXPECT_EQ(one.metrics.in_flight_draws, 0);
+  EXPECT_EQ(four.metrics.in_flight_draws, 0);
+}
+
+// ---------------------------------------------------------- text rendering
+
+TEST(MetricsTest, RenderTextEmitsCountersGaugesAndQuantiles) {
+  ServiceStats stats;
+  stats.totals.draws = 4321;
+  stats.totals.shed_batches = 7;
+  stats.transport.shed_retries = 2;
+  stats.metrics.queue_depth = 5;
+  stats.metrics.edge_shed_requests = 3;
+  metrics::LatencyHistogram hist;
+  for (std::uint64_t v = 1; v <= 100; ++v) hist.record(v);
+  stats.metrics.batch_serve = hist.snapshot();
+
+  const std::string text = metrics::render_text(stats);
+  for (const char* needle :
+       {"cliquest_draws_total 4321", "cliquest_shed_batches_total 7",
+        "cliquest_shed_retries_total 2", "cliquest_queue_depth 5",
+        "cliquest_edge_shed_requests_total 3",
+        "cliquest_batch_serve_latency_us{quantile=\"0.5\"}",
+        "cliquest_batch_serve_latency_us{quantile=\"0.99\"}",
+        "cliquest_batch_serve_latency_us{quantile=\"0.999\"}",
+        "cliquest_batch_serve_latency_us_count 100"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle << "\n" << text;
+  }
+  EXPECT_EQ(text.back(), '\n');
+}
+
+}  // namespace
+}  // namespace cliquest::engine

@@ -86,8 +86,12 @@ std::vector<CorpusEntry> build_corpus() {
   add("hello", wire::encode(wire::Hello{64u << 20, 512}),
       [](auto b) { return wire::encode(wire::decode_hello(b)); });
   add("error_response",
-      wire::encode(wire::ErrorResponse{ServiceErrorCode::unknown_fingerprint,
+      wire::encode(wire::ErrorResponse{ServiceErrorCode::unknown_fingerprint, 0,
                                        "fingerprint f00d was never admitted"}),
+      [](auto b) { return wire::encode(wire::decode_error_response(b)); });
+  add("error_response_shed",
+      wire::encode(wire::ErrorResponse{ServiceErrorCode::unavailable, 180,
+                                       "pending-batch bound reached"}),
       [](auto b) { return wire::encode(wire::decode_error_response(b)); });
   add("fingerprint_response",
       wire::encode_fingerprint_response(fingerprint_graph(weighted)), [](auto b) {
@@ -127,6 +131,36 @@ std::vector<CorpusEntry> build_corpus() {
     wire::decode_map_query(b);
     return wire::encode_map_query();
   });
+
+  // v5 serving-edge frames. The histogram pair-count guard is the allocation
+  // discipline here; the canonical sparse form (strictly increasing indices,
+  // nonzero counts) is what keeps encode(decode(x)) a fixed point under
+  // mutation.
+  {
+    ServiceStats stats;
+    metrics::LatencyHistogram hist;
+    for (std::uint64_t v : {2u, 55u, 55u, 1u << 14, 1u << 26}) hist.record(v);
+    stats.metrics.batch_serve = hist.snapshot();
+    stats.metrics.queue_wait = hist.snapshot();
+    stats.metrics.remote_rtt = hist.snapshot();
+    stats.metrics.queue_depth = 9;
+    stats.metrics.in_flight_draws = 640;
+    stats.metrics.edge_shed_requests = 3;
+    stats.totals.shed_batches = 3;
+    stats.totals.shed_draws = 192;
+    stats.transport.shed_retries = 1;
+    add("service_stats_metrics", wire::encode(stats),
+        [](auto b) { return wire::encode(wire::decode_service_stats(b)); });
+  }
+  add("metrics_query", wire::encode_metrics_query(), [](auto b) {
+    wire::decode_metrics_query(b);
+    return wire::encode_metrics_query();
+  });
+  add("text_response",
+      wire::encode_text_response("cliquest_draws_total 123\ncliquest_queue_depth 4\n"),
+      [](auto b) {
+        return wire::encode_text_response(wire::decode_text_response(b));
+      });
   return corpus;
 }
 

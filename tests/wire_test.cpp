@@ -263,10 +263,20 @@ TEST(WireCodecTest, ServiceStatsRoundTrip) {
   stats.totals.peak_resident_bytes = (std::size_t{1} << 33) + 17;
   stats.totals.resident_count = 6;
   stats.totals.admitted_count = 12;
+  stats.totals.shed_batches = 21;
+  stats.totals.shed_draws = 21 * 64;
   stats.transport.dials = 5;
   stats.transport.reconnects = 2;
   stats.transport.dial_failures = 3;
   stats.transport.failovers = 1;
+  stats.transport.shed_retries = 4;
+  // v5: latency histograms and gauges travel inside the stats frame.
+  metrics::LatencyHistogram batch_hist;
+  for (std::uint64_t v : {3u, 90u, 90u, 5000u, 1u << 20}) batch_hist.record(v);
+  stats.metrics.batch_serve = batch_hist.snapshot();
+  stats.metrics.queue_depth = 7;
+  stats.metrics.in_flight_draws = 192;
+  stats.metrics.edge_shed_requests = 2;
   PoolStats shard;
   shard.hits = 50;
   stats.shards = {shard, shard, stats.totals};
@@ -279,6 +289,13 @@ TEST(WireCodecTest, ServiceStatsRoundTrip) {
   EXPECT_EQ(back.transport.reconnects, 2);
   EXPECT_EQ(back.transport.dial_failures, 3);
   EXPECT_EQ(back.transport.failovers, 1);
+  EXPECT_EQ(back.transport.shed_retries, 4);
+  EXPECT_EQ(back.totals.shed_batches, 21);
+  EXPECT_EQ(back.totals.shed_draws, 21 * 64);
+  EXPECT_EQ(back.metrics.batch_serve, stats.metrics.batch_serve);
+  EXPECT_EQ(back.metrics.queue_depth, 7);
+  EXPECT_EQ(back.metrics.in_flight_draws, 192);
+  EXPECT_EQ(back.metrics.edge_shed_requests, 2);
   EXPECT_EQ(back.totals.schur_cache_hits, 777);
   EXPECT_EQ(back.totals.schur_cache_misses, 33);
   EXPECT_EQ(back.totals.schur_cache_trims, 2);
@@ -291,6 +308,59 @@ TEST(WireCodecTest, ServiceStatsRoundTrip) {
   const ServiceStats empty_back =
       wire::decode_service_stats(wire::encode(ServiceStats{}));
   EXPECT_TRUE(empty_back.shards.empty());
+}
+
+TEST(WireCodecTest, HistogramForgeryRejectsTyped) {
+  // The encoder writes whatever snapshot it is handed, so a peer can put
+  // anything in the bucket list; the decoder enforces the canonical sparse
+  // form — strictly increasing in-range indices, nonzero counts — and
+  // re-validates the pair count against the bytes actually present.
+  const auto reject = [](std::vector<std::pair<std::uint16_t, std::uint64_t>> pairs) {
+    ServiceStats stats;
+    stats.metrics.batch_serve.total = 2;
+    stats.metrics.batch_serve.sum_micros = 10;
+    stats.metrics.batch_serve.buckets = std::move(pairs);
+    return error_code([&] { wire::decode_service_stats(wire::encode(stats)); });
+  };
+  EXPECT_EQ(reject({{5, 1}, {3, 1}}), ServiceErrorCode::malformed_message);
+  EXPECT_EQ(reject({{4, 1}, {4, 1}}), ServiceErrorCode::malformed_message);
+  EXPECT_EQ(reject({{metrics::kBucketCount, 2}}), ServiceErrorCode::malformed_message);
+  EXPECT_EQ(reject({{7, 0}}), ServiceErrorCode::malformed_message);
+
+  // Length-field forgery sweep: overwriting any aligned 4 bytes with 0xff —
+  // every pair-count field included — must reject typed or round-trip, never
+  // allocate against the forged count or crash.
+  ServiceStats stats;
+  metrics::LatencyHistogram hist;
+  for (std::uint64_t v : {1u, 40u, 40u, 900u}) hist.record(v);
+  stats.metrics.batch_serve = hist.snapshot();
+  stats.metrics.queue_wait = hist.snapshot();
+  const wire::Bytes bytes = wire::encode(stats);
+  for (std::size_t at = 0; at + 4 <= bytes.size(); ++at) {
+    wire::Bytes forged = bytes;
+    for (int i = 0; i < 4; ++i) forged[at + static_cast<std::size_t>(i)] = 0xff;
+    try {
+      const ServiceStats back = wire::decode_service_stats(forged);
+      EXPECT_EQ(wire::encode(back), forged) << "offset " << at;
+    } catch (const ServiceError& e) {
+      EXPECT_TRUE(e.code() == ServiceErrorCode::malformed_message ||
+                  e.code() == ServiceErrorCode::version_mismatch)
+          << "offset " << at << ": " << service_error_name(e.code());
+    }
+  }
+}
+
+TEST(WireCodecTest, MetricsQueryAndTextResponseRoundTrip) {
+  const wire::Bytes query = wire::encode_metrics_query();
+  EXPECT_EQ(wire::peek_type(query), wire::MessageType::metrics_query);
+  wire::decode_metrics_query(query);  // throws on anything malformed
+
+  const std::string body =
+      "cliquest_draws_total 4321\ncliquest_batch_serve_micros{quantile=\"0.99\"} 87\n";
+  const wire::Bytes response = wire::encode_text_response(body);
+  EXPECT_EQ(wire::peek_type(response), wire::MessageType::text_response);
+  EXPECT_EQ(wire::decode_text_response(response), body);
+  EXPECT_EQ(wire::encode_text_response(wire::decode_text_response(response)), response);
 }
 
 // ------------------------------------------------- v3 transport messages
@@ -313,8 +383,8 @@ TEST(WireCodecTest, ErrorResponseCarriesEveryCodeTyped) {
         ServiceErrorCode::transport, ServiceErrorCode::timeout,
         ServiceErrorCode::stale_map}) {
     SCOPED_TRACE(std::string(service_error_name(code)));
-    const wire::ErrorResponse error{code, "detail for " +
-                                              std::string(service_error_name(code))};
+    const wire::ErrorResponse error{
+        code, 0, "detail for " + std::string(service_error_name(code))};
     const wire::Bytes bytes = wire::encode(error);
     EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::error_response);
     const wire::ErrorResponse back = wire::decode_error_response(bytes);
@@ -323,9 +393,31 @@ TEST(WireCodecTest, ErrorResponseCarriesEveryCodeTyped) {
     EXPECT_EQ(wire::encode(back), bytes);
   }
   // An out-of-range code byte is a malformed message, not a silent enum.
-  wire::Bytes bad = wire::encode(wire::ErrorResponse{ServiceErrorCode::timeout, "x"});
+  wire::Bytes bad =
+      wire::encode(wire::ErrorResponse{ServiceErrorCode::timeout, 0, "x"});
   bad[7] = 200;
   EXPECT_EQ(error_code([&] { wire::decode_error_response(bad); }),
+            ServiceErrorCode::malformed_message);
+}
+
+TEST(WireCodecTest, ErrorResponseCarriesRetryAfterHint) {
+  // v5: a shed server hints when to come back; the hint survives the wire
+  // byte-exactly and a negative hint is a forgery, not a value.
+  const wire::ErrorResponse shed{ServiceErrorCode::unavailable, 250,
+                                 "queue full; retry shortly"};
+  const wire::Bytes bytes = wire::encode(shed);
+  const wire::ErrorResponse back = wire::decode_error_response(bytes);
+  EXPECT_EQ(back.code, ServiceErrorCode::unavailable);
+  EXPECT_EQ(back.retry_after_ms, 250);
+  EXPECT_EQ(back.detail, shed.detail);
+  EXPECT_EQ(wire::encode(back), bytes);
+
+  wire::Bytes forged = bytes;
+  forged[8] = 0xff;  // retry_after_ms little-endian bytes start after the code
+  forged[9] = 0xff;
+  forged[10] = 0xff;
+  forged[11] = 0xff;  // = -1
+  EXPECT_EQ(error_code([&] { wire::decode_error_response(forged); }),
             ServiceErrorCode::malformed_message);
 }
 
