@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Run clang-tidy over the library sources with the repo's .clang-tidy
+# configuration — the exact invocation the CI clang-tidy job uses, so a
+# clean local run means a clean gate.
+#
+# Usage: scripts/run-tidy.sh [build-dir]
+#
+# The build dir must contain compile_commands.json; the top-level
+# CMakeLists.txt exports it unconditionally, so any configured build works:
+#
+#   cmake -B build -S .
+#   ./scripts/run-tidy.sh build
+set -euo pipefail
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "error: $build_dir/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B $build_dir -S ." >&2
+  exit 2
+fi
+
+if ! command -v clang-tidy > /dev/null; then
+  echo "error: clang-tidy is not installed." >&2
+  exit 2
+fi
+
+# Library sources only: tests and benches lean on gtest/benchmark macros
+# that the bugprone checks dislike; the gate covers the code that ships.
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+
+echo "clang-tidy over ${#sources[@]} files (config: .clang-tidy)"
+clang-tidy -p "$build_dir" --quiet "${sources[@]}"
+echo "clang-tidy: clean"

@@ -55,7 +55,7 @@ ClusterService::ClusterService(ShardResolver resolver, ClusterOptions options)
 ClusterService::~ClusterService() {
   std::vector<std::future<void>> watchers;
   {
-    std::lock_guard<std::mutex> lock(watchers_mutex_);
+    const util::MutexLock lock(watchers_mutex_);
     watchers = std::move(watchers_);
   }
   for (std::future<void>& watcher : watchers)
@@ -67,7 +67,7 @@ ClusterService::~ClusterService() {
 std::shared_ptr<SamplerService> ClusterService::resolve(
     const ShardDescriptor& member) const {
   {
-    std::lock_guard<std::mutex> lock(map_mutex_);
+    const util::MutexLock lock(map_mutex_);
     auto it = clients_.find(member.shard_id);
     // The cache is keyed by the full descriptor: a shard id that moved hosts
     // (or changed weight) in a newer map gets a fresh client.
@@ -79,7 +79,7 @@ std::shared_ptr<SamplerService> ClusterService::resolve(
     throw ServiceError(ServiceErrorCode::transport,
                        "resolver produced no client for shard " +
                            std::to_string(member.shard_id));
-  std::lock_guard<std::mutex> lock(map_mutex_);
+  const util::MutexLock lock(map_mutex_);
   clients_[member.shard_id] = CachedClient{member, client};
   return client;
 }
@@ -118,7 +118,7 @@ auto ClusterService::with_failover(const Fingerprint& fp, Op&& op) const
           // even when the dead shard already did (unobserved) work.
           transport_failure = std::current_exception();
           if (i + 1 < replicas.size()) {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
+            const util::MutexLock lock(stats_mutex_);
             ++failovers_;
           }
           ++i;
@@ -157,7 +157,7 @@ auto ClusterService::with_failover(const Fingerprint& fp, Op&& op) const
 void ClusterService::wait_before_shed_retry(int hint_ms) const {
   std::int64_t wait_ms = 0;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    const util::MutexLock lock(stats_mutex_);
     ++shed_retries_;
     retry_jitter_state_ = util::splitmix64(retry_jitter_state_);
     // Full jitter over [capped/2, capped], so replicas shedding a herd of
@@ -178,7 +178,7 @@ Fingerprint ClusterService::admit(const AdmitRequest& request) {
   {
     // Seed the cluster-owned cursor; on re-admission it only moves forward,
     // matching the serving pools.
-    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    const util::MutexLock lock(cursors_mutex_);
     auto [it, inserted] = cursors_.try_emplace(fp, request.first_draw_index);
     if (!inserted) it->second = std::max(it->second, request.first_draw_index);
   }
@@ -229,7 +229,7 @@ std::int64_t ClusterService::in_flight(const Fingerprint& fp) const {
 
 bool ClusterService::drop(const Fingerprint& fp) {
   {
-    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    const util::MutexLock lock(cursors_mutex_);
     cursors_.erase(fp);
   }
   const ShardMap map = current_map();
@@ -256,7 +256,7 @@ std::int64_t ClusterService::reserve_range(const Fingerprint& fp, int k) {
     throw ServiceError(ServiceErrorCode::invalid_request,
                        "draw_count must be >= 0, got " + std::to_string(k));
   {
-    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    const util::MutexLock lock(cursors_mutex_);
     auto it = cursors_.find(fp);
     if (it != cursors_.end()) {
       const std::int64_t first = it->second;
@@ -269,7 +269,7 @@ std::int64_t ClusterService::reserve_range(const Fingerprint& fp, int k) {
   // new range continues where previous batches stopped.
   const std::int64_t seed =
       with_failover(fp, [&](SamplerService& s) { return s.draw_cursor(fp); });
-  std::lock_guard<std::mutex> lock(cursors_mutex_);
+  const util::MutexLock lock(cursors_mutex_);
   auto [it, inserted] = cursors_.try_emplace(fp, seed);
   const std::int64_t first = it->second;
   it->second += k;
@@ -287,7 +287,7 @@ BatchResponse ClusterService::sample_batch(const BatchRequest& request) {
     pinned.first_draw_index = reserve_range(request.fingerprint, request.draw_count);
   } else if (pinned.draw_count >= 0) {
     // Caller-pinned range: keep the cluster cursor ahead of it.
-    std::lock_guard<std::mutex> lock(cursors_mutex_);
+    const util::MutexLock lock(cursors_mutex_);
     const std::int64_t end = pinned.first_draw_index + pinned.draw_count;
     auto [it, inserted] = cursors_.try_emplace(request.fingerprint, end);
     if (!inserted) it->second = std::max(it->second, end);
@@ -307,7 +307,7 @@ std::future<BatchResponse> ClusterService::submit_batch(const BatchRequest& requ
       pinned.first_draw_index =
           reserve_range(request.fingerprint, request.draw_count);
     } else if (pinned.draw_count >= 0) {
-      std::lock_guard<std::mutex> lock(cursors_mutex_);
+      const util::MutexLock lock(cursors_mutex_);
       const std::int64_t end = pinned.first_draw_index + pinned.draw_count;
       auto [it, inserted] = cursors_.try_emplace(request.fingerprint, end);
       if (!inserted) it->second = std::max(it->second, end);
@@ -324,7 +324,7 @@ std::future<BatchResponse> ClusterService::submit_batch(const BatchRequest& requ
     }
   });
   {
-    std::lock_guard<std::mutex> lock(watchers_mutex_);
+    const util::MutexLock lock(watchers_mutex_);
     std::erase_if(watchers_, [](std::future<void>& f) {
       return f.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
     });
@@ -355,7 +355,7 @@ ServiceStats ClusterService::stats() const {
     merge_transport(stats.transport, child.transport);
     stats.metrics.merge(child.metrics);
   }
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  const util::MutexLock lock(stats_mutex_);
   stats.transport.failovers += failovers_;
   stats.transport.shed_retries += shed_retries_;
   return stats;
@@ -363,24 +363,24 @@ ServiceStats ClusterService::stats() const {
 
 bool ClusterService::update_map(const ShardMap& map) {
   if (!map.validation_errors().empty()) return false;  // never adopt a bad map
-  std::lock_guard<std::mutex> lock(map_mutex_);
+  const util::MutexLock lock(map_mutex_);
   if (map.version <= map_.version) return false;
   map_ = map;
   return true;
 }
 
 ShardMap ClusterService::current_map() const {
-  std::lock_guard<std::mutex> lock(map_mutex_);
+  const util::MutexLock lock(map_mutex_);
   return map_;
 }
 
 std::int64_t ClusterService::failover_count() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  const util::MutexLock lock(stats_mutex_);
   return failovers_;
 }
 
 std::int64_t ClusterService::shed_retry_count() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  const util::MutexLock lock(stats_mutex_);
   return shed_retries_;
 }
 

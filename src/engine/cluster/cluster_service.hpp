@@ -35,12 +35,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "engine/cluster/shard_map.hpp"
 #include "engine/service.hpp"
+#include "util/sync.hpp"
 
 namespace cliquest::engine::cluster {
 
@@ -145,21 +145,22 @@ class ClusterService final : public SamplerService {
   ClusterOptions options_;
 
   /// Guards map_ and clients_.
-  mutable std::mutex map_mutex_;
-  ShardMap map_;
-  mutable std::unordered_map<int, CachedClient> clients_;
+  mutable util::Mutex map_mutex_;
+  ShardMap map_ GUARDED_BY(map_mutex_);
+  mutable std::unordered_map<int, CachedClient> clients_ GUARDED_BY(map_mutex_);
 
   /// Guards cursors_ (never held while calling a shard).
-  mutable std::mutex cursors_mutex_;
-  std::unordered_map<Fingerprint, std::int64_t> cursors_;
+  mutable util::Mutex cursors_mutex_;
+  std::unordered_map<Fingerprint, std::int64_t> cursors_ GUARDED_BY(cursors_mutex_);
 
-  mutable std::mutex watchers_mutex_;
-  mutable std::vector<std::future<void>> watchers_;
+  mutable util::Mutex watchers_mutex_;
+  mutable std::vector<std::future<void>> watchers_ GUARDED_BY(watchers_mutex_);
 
-  mutable std::mutex stats_mutex_;
-  mutable std::int64_t failovers_ = 0;
-  mutable std::int64_t shed_retries_ = 0;
-  mutable std::uint64_t retry_jitter_state_ = 0xa0761d6478bd642full;
+  mutable util::Mutex stats_mutex_;
+  mutable std::int64_t failovers_ GUARDED_BY(stats_mutex_) = 0;
+  mutable std::int64_t shed_retries_ GUARDED_BY(stats_mutex_) = 0;
+  mutable std::uint64_t retry_jitter_state_ GUARDED_BY(stats_mutex_) =
+      0xa0761d6478bd642full;
 };
 
 }  // namespace cliquest::engine::cluster

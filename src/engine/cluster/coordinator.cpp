@@ -12,18 +12,18 @@ namespace cliquest::engine::cluster {
 MapWatch::MapWatch(ShardMap initial) : map_(std::move(initial)) {}
 
 ShardMap MapWatch::current() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return map_;
 }
 
 std::uint64_t MapWatch::version() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return map_.version;
 }
 
 bool MapWatch::update(const ShardMap& map) {
   if (!map.validation_errors().empty()) return false;  // never adopt a bad map
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (map.version <= map_.version) return false;
   map_ = map;
   return true;
@@ -64,17 +64,17 @@ Coordinator::Coordinator(ShardResolver resolver, CoordinatorOptions options)
 }
 
 ShardMap Coordinator::current_map() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return map_;
 }
 
 void Coordinator::subscribe(std::function<void(const ShardMap&)> listener) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   listeners_.push_back(std::move(listener));
 }
 
 std::vector<Fingerprint> Coordinator::cataloged() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<Fingerprint> fps;
   fps.reserve(catalog_.size());
   for (const auto& [fp, request] : catalog_) fps.push_back(fp);
@@ -103,7 +103,7 @@ void Coordinator::publish_locked(const ShardMap& map) {
 
 Fingerprint Coordinator::admit(const AdmitRequest& request) {
   const Fingerprint fp = fingerprint_graph(request.graph);
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (map_.members.empty())
     throw ServiceError(ServiceErrorCode::unavailable,
                        "cluster has no members to admit on");
@@ -126,7 +126,7 @@ Fingerprint Coordinator::admit(const AdmitRequest& request) {
 }
 
 void Coordinator::add_shard(const ShardDescriptor& member) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (map_.has_member(member.shard_id))
     throw ServiceError(ServiceErrorCode::invalid_request,
                        "shard " + std::to_string(member.shard_id) +
@@ -139,7 +139,7 @@ void Coordinator::add_shard(const ShardDescriptor& member) {
 }
 
 void Coordinator::remove_shard(int shard_id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (!map_.has_member(shard_id))
     throw ServiceError(ServiceErrorCode::invalid_request,
                        "shard " + std::to_string(shard_id) +

@@ -29,13 +29,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "engine/cluster/cluster_service.hpp"
 #include "engine/cluster/shard_map.hpp"
 #include "engine/transport.hpp"
+#include "util/sync.hpp"
 
 namespace cliquest::engine::cluster {
 
@@ -53,8 +53,8 @@ class MapWatch {
   bool update(const ShardMap& map);
 
  private:
-  mutable std::mutex mutex_;
-  ShardMap map_;
+  mutable util::Mutex mutex_;
+  ShardMap map_ GUARDED_BY(mutex_);
 };
 
 /// Wires a shard server into the cluster: `watch` answers map_query frames,
@@ -105,21 +105,26 @@ class Coordinator {
   std::vector<Fingerprint> cataloged() const;
 
  private:
-  std::shared_ptr<SamplerService> resolve(const ShardDescriptor& member) const;
-  void apply_locked(ShardMap next);
-  void publish_locked(const ShardMap& map);
+  std::shared_ptr<SamplerService> resolve(const ShardDescriptor& member) const
+      REQUIRES(mutex_);
+  void apply_locked(ShardMap next) REQUIRES(mutex_);
+  void publish_locked(const ShardMap& map) REQUIRES(mutex_);
 
   ShardResolver resolver_;
   CoordinatorOptions options_;
 
   /// One mutex serializes every membership change and admission — the
-  /// coordinator is a control plane, not a data path.
-  mutable std::mutex mutex_;
-  ShardMap map_;
-  std::unordered_map<Fingerprint, AdmitRequest> catalog_;
-  std::vector<std::function<void(const ShardMap&)>> listeners_;
-  mutable std::unordered_map<int, std::shared_ptr<SamplerService>> clients_;
-  mutable std::unordered_map<int, ShardDescriptor> client_descriptors_;
+  /// coordinator is a control plane, not a data path. It is held across
+  /// listener callbacks (publish_locked) and shard RPCs by design, so
+  /// listeners and resolvers must never call back into the coordinator.
+  mutable util::Mutex mutex_;
+  ShardMap map_ GUARDED_BY(mutex_);
+  std::unordered_map<Fingerprint, AdmitRequest> catalog_ GUARDED_BY(mutex_);
+  std::vector<std::function<void(const ShardMap&)>> listeners_ GUARDED_BY(mutex_);
+  mutable std::unordered_map<int, std::shared_ptr<SamplerService>> clients_
+      GUARDED_BY(mutex_);
+  mutable std::unordered_map<int, ShardDescriptor> client_descriptors_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace cliquest::engine::cluster

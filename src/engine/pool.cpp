@@ -23,7 +23,7 @@ struct SamplerPool::Entry {
   std::shared_ptr<const graph::Graph> graph;
   EngineOptions options;
 
-  std::mutex build_mutex;
+  util::Mutex build_mutex;
   std::shared_ptr<SpanningTreeSampler> sampler;  // null until built / after eviction
   std::size_t bytes = 0;                         // charged while resident
   bool is_resident = false;
@@ -49,7 +49,7 @@ SamplerPool::~SamplerPool() { close(); }
 void SamplerPool::close() {
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stopping_ = true;
     // Swapping the workers out makes close() idempotent and pins the
     // submit_batch dispatch: a post-close submit sees stopping_ (typed
@@ -72,7 +72,7 @@ Fingerprint SamplerPool::admit(const graph::Graph& g, EngineOptions options,
                              std::to_string(first_draw_index)});
   const Fingerprint fp = fingerprint_graph(g);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto it = entries_.find(fp);
     if (it != entries_.end()) {
       // Idempotent; first admission's options win — but a migration handoff
@@ -94,7 +94,7 @@ Fingerprint SamplerPool::admit(const graph::Graph& g, EngineOptions options,
   entry->options = std::move(options);
   entry->next_index = first_draw_index;
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto [it, inserted] = entries_.emplace(fp, std::move(entry));
   if (inserted)
     ++stats_.admissions;
@@ -104,33 +104,33 @@ Fingerprint SamplerPool::admit(const graph::Graph& g, EngineOptions options,
 }
 
 bool SamplerPool::admitted(const Fingerprint& fp) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return entries_.count(fp) > 0;
 }
 
 bool SamplerPool::resident(const Fingerprint& fp) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = entries_.find(fp);
   return it != entries_.end() && it->second->is_resident;
 }
 
 std::int64_t SamplerPool::prepare_count(const Fingerprint& fp) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return find_locked(fp)->prepares;
 }
 
 std::int64_t SamplerPool::draw_cursor(const Fingerprint& fp) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return find_locked(fp)->next_index;
 }
 
 std::int64_t SamplerPool::in_flight(const Fingerprint& fp) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return find_locked(fp)->in_flight;
 }
 
 bool SamplerPool::drop(const Fingerprint& fp) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = entries_.find(fp);
   if (it == entries_.end()) return false;
   const std::shared_ptr<Entry>& entry = it->second;
@@ -257,7 +257,7 @@ PoolBatchResult SamplerPool::serve(const std::shared_ptr<Entry>& entry,
     Entry* entry;
     int count;
     ~InFlightGuard() {
-      std::lock_guard<std::mutex> lock(pool->mutex_);
+      const util::MutexLock lock(pool->mutex_);
       --entry->in_flight;
       pool->pending_draws_ -= count;
     }
@@ -266,7 +266,7 @@ PoolBatchResult SamplerPool::serve(const std::shared_ptr<Entry>& entry,
   std::shared_ptr<SpanningTreeSampler> sampler;
   bool hit = true;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     sampler = entry->sampler;
     if (sampler != nullptr) touch_locked(*entry);
   }
@@ -274,9 +274,9 @@ PoolBatchResult SamplerPool::serve(const std::shared_ptr<Entry>& entry,
     // Cold entry: exactly one server builds and prepares it; the others wait
     // here. The pool mutex stays free, so batches on hot entries overlap
     // with this prepare.
-    std::lock_guard<std::mutex> build(entry->build_mutex);
+    const util::MutexLock build(entry->build_mutex);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       sampler = entry->sampler;
     }
     if (sampler == nullptr) {
@@ -285,7 +285,7 @@ PoolBatchResult SamplerPool::serve(const std::shared_ptr<Entry>& entry,
           make_sampler(graph::Graph(*entry->graph), entry->options));
       sampler->prepare();
       const std::size_t bytes = sampler->memory_bytes();
-      std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       // Alias the sampler's graph copy and drop ours: one copy per entry.
       entry->graph = sampler->graph_handle();
       entry->prepares += 1;
@@ -311,7 +311,7 @@ PoolBatchResult SamplerPool::serve(const std::shared_ptr<Entry>& entry,
   BatchResult batch = sampler->sample_batch_from(first_index, k);
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stats_.draws += k;
     if (hit)
       ++stats_.hits;
@@ -360,7 +360,7 @@ PoolBatchResult SamplerPool::sample_batch(const Fingerprint& fp, int k,
   std::shared_ptr<Entry> entry;
   std::int64_t first = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     // Admission (shutdown + draw bound) before reservation: a shed batch
     // never consumes a draw-index range, so replay of accepted batches is
     // untouched by shedding.
@@ -376,12 +376,17 @@ std::future<PoolBatchResult> SamplerPool::submit_batch(const Fingerprint& fp, in
   Job job;
   job.count = k;
   std::future<PoolBatchResult> future = job.promise.get_future();
+  // Whether the job went onto the worker queue, decided once under the lock.
+  // Re-reading workers_ after the lock is released raced close() swapping the
+  // workers out: the submission could queue the job AND then see an empty
+  // worker set, serving the moved-from job inline (null entry, dead promise).
+  bool queued = false;
   try {
     if (k < 0)
       throw ServiceError(
           ServiceErrorCode::invalid_request,
           "SamplerPool::submit_batch: k must be >= 0, got " + std::to_string(k));
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     // Admission before reservation — shutdown (a post-close submit fails
     // typed through the future, never a never-completing future) and the
     // backpressure bounds (a shed batch never consumes a draw-index range).
@@ -394,6 +399,7 @@ std::future<PoolBatchResult> SamplerPool::submit_batch(const Fingerprint& fp, in
     if (!workers_.empty()) {
       job.enqueued = std::chrono::steady_clock::now();
       queue_.push_back(std::move(job));
+      queued = true;
     }
   } catch (...) {
     // The async surface has one error channel: the future. Rejections
@@ -402,7 +408,7 @@ std::future<PoolBatchResult> SamplerPool::submit_batch(const Fingerprint& fp, in
     job.promise.set_exception(std::current_exception());
     return future;
   }
-  if (workers_.empty()) {
+  if (!queued) {
     // workers == 0: run inline; the future is ready on return.
     try {
       job.promise.set_value(serve(job.entry, job.first_index, job.count));
@@ -419,8 +425,8 @@ void SamplerPool::worker_loop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) queue_cv_.wait(lock);
       if (queue_.empty()) return;  // stopping, queue drained
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -438,17 +444,17 @@ void SamplerPool::worker_loop() {
 }
 
 std::vector<Fingerprint> SamplerPool::resident_order() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return {lru_.begin(), lru_.end()};
 }
 
 std::size_t SamplerPool::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return resident_bytes_;
 }
 
 PoolStats SamplerPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   PoolStats snapshot = stats_;
   snapshot.resident_bytes = resident_bytes_;
   snapshot.resident_count = static_cast<int>(lru_.size());
@@ -460,7 +466,7 @@ metrics::MetricsSnapshot SamplerPool::metrics() const {
   metrics::MetricsSnapshot m;
   m.batch_serve = batch_serve_hist_.snapshot();
   m.queue_wait = queue_wait_hist_.snapshot();
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   m.queue_depth = static_cast<std::int64_t>(queue_.size());
   m.in_flight_draws = pending_draws_;
   return m;

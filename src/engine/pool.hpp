@@ -41,12 +41,10 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +52,7 @@
 #include "engine/fingerprint.hpp"
 #include "engine/metrics.hpp"
 #include "engine/sampler.hpp"
+#include "util/sync.hpp"
 
 namespace cliquest::engine {
 
@@ -225,17 +224,18 @@ class SamplerPool {
     std::promise<PoolBatchResult> promise;
   };
 
-  std::shared_ptr<Entry> find_locked(const Fingerprint& fp) const;
-  std::int64_t reserve_locked(Entry& entry, int k, std::int64_t first_index);
+  std::shared_ptr<Entry> find_locked(const Fingerprint& fp) const REQUIRES(mutex_);
+  std::int64_t reserve_locked(Entry& entry, int k, std::int64_t first_index)
+      REQUIRES(mutex_);
   /// Throws the typed shed/shutdown errors when this submission must not
   /// reserve a range: stopping_, or a backpressure bound would be exceeded.
   /// `queued` marks the async path (max_pending_batches applies).
-  void check_admission_locked(int k, bool queued);
+  void check_admission_locked(int k, bool queued) REQUIRES(mutex_);
   /// The retry hint a shed carries: expected time for the backlog ahead of
   /// the caller to drain, from the batch-serve latency history.
-  int retry_hint_ms_locked() const;
-  void touch_locked(Entry& entry);
-  void evict_to_budget_locked();
+  int retry_hint_ms_locked() const REQUIRES(mutex_);
+  void touch_locked(Entry& entry) REQUIRES(mutex_);
+  void evict_to_budget_locked() REQUIRES(mutex_);
   PoolBatchResult serve(const std::shared_ptr<Entry>& entry,
                         std::int64_t first_index, int k);
   void worker_loop();
@@ -244,23 +244,26 @@ class SamplerPool {
 
   /// Guards entries_, lru_, every Entry field except the immutables
   /// (fingerprint/graph/options), the stats counters, and the job queue.
-  /// Never held across prepare() or a draw.
-  mutable std::mutex mutex_;
-  std::unordered_map<Fingerprint, std::shared_ptr<Entry>> entries_;
-  std::list<Fingerprint> lru_;  // front = coldest, back = hottest
-  std::size_t resident_bytes_ = 0;
-  PoolStats stats_;
+  /// Never held across prepare() or a draw. Lock order: Entry::build_mutex
+  /// may be held while taking mutex_, never the reverse.
+  mutable util::Mutex mutex_;
+  std::unordered_map<Fingerprint, std::shared_ptr<Entry>> entries_
+      GUARDED_BY(mutex_);
+  /// Front = coldest, back = hottest.
+  std::list<Fingerprint> lru_ GUARDED_BY(mutex_);
+  std::size_t resident_bytes_ GUARDED_BY(mutex_) = 0;
+  PoolStats stats_ GUARDED_BY(mutex_);
   /// Draws reserved (range handed out) but not yet completed, sync and
-  /// async; what max_pending_draws bounds. Guarded by mutex_.
-  std::int64_t pending_draws_ = 0;
+  /// async; what max_pending_draws bounds.
+  std::int64_t pending_draws_ GUARDED_BY(mutex_) = 0;
 
   metrics::LatencyHistogram batch_serve_hist_;
   metrics::LatencyHistogram queue_wait_hist_;
 
-  std::condition_variable queue_cv_;
-  std::deque<Job> queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  util::CondVar queue_cv_;
+  std::deque<Job> queue_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_ GUARDED_BY(mutex_);
 };
 
 }  // namespace cliquest::engine

@@ -32,7 +32,7 @@ SamplerRegistry& SamplerRegistry::instance() {
 }
 
 void SamplerRegistry::add(std::string name, Factory factory) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (const auto& [registered, existing] : factories_)
     if (registered == name)
       throw std::invalid_argument("SamplerRegistry: backend \"" + name +
@@ -41,7 +41,7 @@ void SamplerRegistry::add(std::string name, Factory factory) {
 }
 
 SamplerRegistry::Factory SamplerRegistry::find_factory(std::string_view name) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (const auto& [registered, factory] : factories_)
     if (registered == name) return factory;
   return nullptr;
@@ -78,7 +78,7 @@ bool SamplerRegistry::contains(std::string_view name) const {
 }
 
 std::vector<std::string> SamplerRegistry::names() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) out.push_back(name);

@@ -9,12 +9,12 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "engine/sampler.hpp"
+#include "util/sync.hpp"
 
 namespace cliquest::engine {
 
@@ -55,8 +55,8 @@ class SamplerRegistry {
  private:
   Factory find_factory(std::string_view name) const;
 
-  mutable std::mutex mutex_;
-  std::vector<std::pair<std::string, Factory>> factories_;
+  mutable util::Mutex mutex_;
+  std::vector<std::pair<std::string, Factory>> factories_ GUARDED_BY(mutex_);
 };
 
 /// Convenience: build via the global registry from options.backend.

@@ -48,7 +48,7 @@ struct RemoteService::Link {
   /// The server's advertised receive bound from its hello: no request frame
   /// may exceed it (checked before the pending call is registered).
   std::uint32_t peer_max_frame_bytes = transport::kDefaultMaxFrameBytes;
-  std::mutex write_mutex;  // serializes request frames onto the connection
+  util::Mutex write_mutex;  // serializes request frames onto the connection
   std::thread reader;
   bool alive = true;
 };
@@ -64,7 +64,7 @@ RemoteService::~RemoteService() {
   stop();  // wakes any parked backoff; waits until no dial is in progress
   std::shared_ptr<Link> link;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     link = std::move(link_);
   }
   if (link) teardown_link(std::move(link));
@@ -76,12 +76,12 @@ void RemoteService::stop() {
     // Empty critical section: a dialer between checking stopping_ and
     // parking on stop_cv_ holds stop_mutex_, so this fence guarantees the
     // notify below is never lost.
-    std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+    const util::MutexLock stop_lock(stop_mutex_);
   }
   stop_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   connect_cv_.notify_all();  // waiters on the in-progress dial fail promptly
-  connect_cv_.wait(lock, [this] { return !connecting_; });
+  while (connecting_) connect_cv_.wait(lock);
 }
 
 // ------------------------------------------------------------- connection
@@ -115,7 +115,11 @@ std::shared_ptr<RemoteService::Link> RemoteService::connect_once() const {
   return link;
 }
 
-void RemoteService::ensure_connected(std::unique_lock<std::mutex>& lock) const {
+// The body drops and retakes the caller's scoped lock mid-flight — a
+// by-reference scoped capability the analysis cannot track — so it is
+// opted out; the declaration's REQUIRES(mutex_) still checks call sites.
+void RemoteService::ensure_connected(util::MutexLock& lock) const
+    NO_THREAD_SAFETY_ANALYSIS {
   for (;;) {
     if (stopping_.load(std::memory_order_relaxed))
       throw ServiceError(ServiceErrorCode::unavailable,
@@ -141,10 +145,15 @@ void RemoteService::ensure_connected(std::unique_lock<std::mutex>& lock) const {
       // this replica — wakes the wait immediately instead of letting the
       // full exponential ladder run (the old sleep_for could pin teardown
       // for the sum of every remaining backoff step).
-      std::unique_lock<std::mutex> stop_lock(stop_mutex_);
-      const bool stopped = stop_cv_.wait_for(stop_lock, backoff, [this] {
-        return stopping_.load(std::memory_order_relaxed);
-      });
+      bool stopped;
+      {
+        util::MutexLock stop_lock(stop_mutex_);
+        const auto deadline = std::chrono::steady_clock::now() + backoff;
+        while (!stopping_.load(std::memory_order_relaxed) &&
+               stop_cv_.wait_until(stop_lock, deadline) != std::cv_status::timeout) {
+        }
+        stopped = stopping_.load(std::memory_order_relaxed);
+      }
       if (stopped) break;
       backoff = std::min(backoff * 2, options_.backoff_cap);
     }
@@ -203,7 +212,7 @@ void RemoteService::reader_loop(std::shared_ptr<Link> link) const {
   link->connection->close();
   std::vector<std::shared_ptr<Pending>> orphans;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (link_ == link) link_->alive = false;
     for (auto it = pending_.begin(); it != pending_.end();) {
       if (it->second->generation == link->generation) {
@@ -231,7 +240,7 @@ void RemoteService::handle_frame(Link& link, std::uint64_t request_id,
 
   if (type == wire::MessageType::batch_chunk) {
     wire::BatchChunk chunk = wire::decode_batch_chunk(message);
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     auto it = pending_.find(request_id);
     if (it == pending_.end()) return;  // late reply after a timeout: dropped
     Pending& pending = *it->second;
@@ -247,7 +256,7 @@ void RemoteService::handle_frame(Link& link, std::uint64_t request_id,
 
   std::shared_ptr<Pending> pending;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     auto it = pending_.find(request_id);
     if (it == pending_.end()) return;
     pending = std::move(it->second);
@@ -313,7 +322,7 @@ void RemoteService::handle_frame(Link& link, std::uint64_t request_id,
 
 std::uint64_t RemoteService::send_request(const wire::Bytes& message,
                                           std::shared_ptr<Pending> pending) const {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   ensure_connected(lock);
   // The server's hello bounded what it will read; a too-big request is the
   // caller's problem (typed, before anything is registered or sent), not a
@@ -332,7 +341,7 @@ std::uint64_t RemoteService::send_request(const wire::Bytes& message,
 
   bool ok = false;
   {
-    std::lock_guard<std::mutex> write_lock(link->write_mutex);
+    const util::MutexLock write_lock(link->write_mutex);
     ok = transport::write_frame(*link->connection, id, message);
   }
   if (!ok) {
@@ -349,7 +358,7 @@ wire::Bytes RemoteService::rpc(const wire::Bytes& request) const {
   const std::uint64_t id = send_request(request, std::move(pending));
   if (options_.request_timeout.count() <= 0) return future.get();
   if (future.wait_for(options_.request_timeout) != std::future_status::ready) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     pending_.erase(id);  // a late reply finds no pending and is dropped
     throw ServiceError(ServiceErrorCode::timeout,
                        "no response from the remote service within " +
@@ -432,7 +441,7 @@ BatchResponse RemoteService::sample_batch_once(const BatchRequest& request) cons
   auto [future, id] = submit_batch_traced(request);
   if (options_.request_timeout.count() <= 0) return future.get();
   if (future.wait_for(options_.request_timeout) != std::future_status::ready) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     pending_.erase(id);
     throw ServiceError(ServiceErrorCode::timeout,
                        "no batch response from the remote service within " +
@@ -445,18 +454,19 @@ void RemoteService::wait_before_retry(int hint_ms) const {
   shed_retries_.fetch_add(1, std::memory_order_relaxed);
   const std::int64_t capped = std::clamp<std::int64_t>(
       hint_ms, 1, std::max<std::int64_t>(1, options_.retry_cap.count()));
-  std::unique_lock<std::mutex> stop_lock(stop_mutex_);
+  util::MutexLock stop_lock(stop_mutex_);
   // Full jitter over [capped/2, capped]: a herd of clients shed together
   // does not return together, but the server's hint still bounds the wait.
   retry_jitter_state_ = util::splitmix64(retry_jitter_state_);
   const std::int64_t wait_ms =
       capped / 2 + static_cast<std::int64_t>(retry_jitter_state_ %
                                              static_cast<std::uint64_t>(capped / 2 + 1));
-  const bool stopped =
-      stop_cv_.wait_for(stop_lock, std::chrono::milliseconds(wait_ms), [this] {
-        return stopping_.load(std::memory_order_relaxed);
-      });
-  if (stopped)
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(wait_ms);
+  while (!stopping_.load(std::memory_order_relaxed) &&
+         stop_cv_.wait_until(stop_lock, deadline) != std::cv_status::timeout) {
+  }
+  if (stopping_.load(std::memory_order_relaxed))
     throw ServiceError(ServiceErrorCode::unavailable,
                        "RemoteService is stopping; shed retry abandoned");
 }
@@ -481,7 +491,7 @@ ServiceStats RemoteService::stats() const {
   // already counted.
   stats.metrics.remote_rtt.merge(rtt_hist_.snapshot());
   stats.transport.shed_retries += shed_retries_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   stats.transport.dials += dials_;
   stats.transport.reconnects += reconnects_;
   stats.transport.dial_failures += dial_failures_;
@@ -493,27 +503,27 @@ std::string RemoteService::metrics_text() const {
 }
 
 bool RemoteService::connected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return link_ != nullptr && link_->alive;
 }
 
 std::int64_t RemoteService::reconnect_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return reconnects_;
 }
 
 std::int64_t RemoteService::chunk_frames_received() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return chunk_frames_;
 }
 
 std::int64_t RemoteService::dial_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return dials_;
 }
 
 std::int64_t RemoteService::dial_failure_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return dial_failures_;
 }
 
@@ -530,7 +540,7 @@ LoopbackShard::LoopbackShard(std::unique_ptr<SamplerService> backend,
   remote_ = std::make_unique<RemoteService>(
       [this]() -> std::shared_ptr<transport::Connection> {
         auto [client_end, server_end] = transport::make_pipe();
-        std::lock_guard<std::mutex> lock(threads_mutex_);
+        const util::MutexLock lock(threads_mutex_);
         server_ends_.push_back(server_end);
         server_threads_.emplace_back(
             [this, server = server_end] { server_.serve(server); });
@@ -541,7 +551,7 @@ LoopbackShard::LoopbackShard(std::unique_ptr<SamplerService> backend,
 
 LoopbackShard::~LoopbackShard() {
   remote_.reset();  // closes the client end; serve() loops see EOF and exit
-  std::lock_guard<std::mutex> lock(threads_mutex_);
+  const util::MutexLock lock(threads_mutex_);
   for (const std::shared_ptr<transport::Connection>& end : server_ends_) end->close();
   for (std::thread& thread : server_threads_)
     if (thread.joinable()) thread.join();

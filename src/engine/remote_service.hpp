@@ -27,11 +27,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -40,6 +38,7 @@
 #include "engine/metrics.hpp"
 #include "engine/service.hpp"
 #include "engine/transport.hpp"
+#include "util/sync.hpp"
 
 namespace cliquest::engine {
 
@@ -153,10 +152,14 @@ class RemoteService final : public SamplerService {
   struct Pending;
   struct Link;
 
-  /// Establishes link_ (connect + handshake + reader spawn) under `lock`,
-  /// which it may drop and retake. Throws ServiceError{transport} after
+  /// Establishes link_ (connect + handshake + reader spawn) under `lock`
+  /// (the caller's scoped lock on mutex_), which it drops while dialing and
+  /// retakes before returning — held on entry and on exit either way, which
+  /// is what REQUIRES states; the definition opts its body out of analysis
+  /// because the mid-flight drop of a by-reference scoped lock is beyond
+  /// what the analysis tracks. Throws ServiceError{transport} after
   /// max_connect_attempts, version_mismatch immediately.
-  void ensure_connected(std::unique_lock<std::mutex>& lock) const;
+  void ensure_connected(util::MutexLock& lock) const REQUIRES(mutex_);
   std::shared_ptr<Link> connect_once() const;
   void teardown_link(std::shared_ptr<Link> link) const;
   void reader_loop(std::shared_ptr<Link> link) const;
@@ -187,27 +190,30 @@ class RemoteService final : public SamplerService {
   RemoteOptions options_;
 
   /// Guards link_, pending_, next_request_id_, and the connect gate. Never
-  /// held while blocking on the network.
-  mutable std::mutex mutex_;
-  mutable std::condition_variable connect_cv_;
-  mutable bool connecting_ = false;
-  mutable std::shared_ptr<Link> link_;
-  mutable std::uint64_t next_request_id_ = 1;  // 0 is the handshake
-  mutable std::uint64_t next_generation_ = 1;
-  mutable std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_;
-  mutable std::int64_t reconnects_ = 0;
-  mutable std::int64_t chunk_frames_ = 0;
-  mutable std::int64_t dials_ = 0;
-  mutable std::int64_t dial_failures_ = 0;
+  /// held while blocking on the network. Leaf in the lock order: neither
+  /// stop_mutex_ nor Link::write_mutex is ever taken while holding it.
+  mutable util::Mutex mutex_;
+  mutable util::CondVar connect_cv_;
+  mutable bool connecting_ GUARDED_BY(mutex_) = false;
+  mutable std::shared_ptr<Link> link_ GUARDED_BY(mutex_);
+  mutable std::uint64_t next_request_id_ GUARDED_BY(mutex_) = 1;  // 0 = handshake
+  mutable std::uint64_t next_generation_ GUARDED_BY(mutex_) = 1;
+  mutable std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_
+      GUARDED_BY(mutex_);
+  mutable std::int64_t reconnects_ GUARDED_BY(mutex_) = 0;
+  mutable std::int64_t chunk_frames_ GUARDED_BY(mutex_) = 0;
+  mutable std::int64_t dials_ GUARDED_BY(mutex_) = 0;
+  mutable std::int64_t dial_failures_ GUARDED_BY(mutex_) = 0;
 
   /// stop() support: the flag every backoff/retry wait watches. stop_cv_
   /// pairs with stop_mutex_ (not mutex_) so a parked backoff never blocks
   /// unrelated accessors, and the dial ladder holds no service lock while
   /// it waits.
   mutable std::atomic<bool> stopping_{false};
-  mutable std::mutex stop_mutex_;
-  mutable std::condition_variable stop_cv_;
-  mutable std::uint64_t retry_jitter_state_ = 0x9e3779b97f4a7c15ull;  // stop_mutex_
+  mutable util::Mutex stop_mutex_;
+  mutable util::CondVar stop_cv_;
+  mutable std::uint64_t retry_jitter_state_ GUARDED_BY(stop_mutex_) =
+      0x9e3779b97f4a7c15ull;
 
   mutable metrics::LatencyHistogram rtt_hist_;
   mutable std::atomic<std::int64_t> shed_retries_{0};
@@ -243,9 +249,10 @@ class LoopbackShard final : public SamplerService {
  private:
   std::unique_ptr<SamplerService> backend_;
   transport::Server server_;
-  std::mutex threads_mutex_;
-  std::vector<std::thread> server_threads_;
-  std::vector<std::shared_ptr<transport::Connection>> server_ends_;
+  util::Mutex threads_mutex_;
+  std::vector<std::thread> server_threads_ GUARDED_BY(threads_mutex_);
+  std::vector<std::shared_ptr<transport::Connection>> server_ends_
+      GUARDED_BY(threads_mutex_);
   std::unique_ptr<RemoteService> remote_;  // destroyed first: closes the pipe
 };
 

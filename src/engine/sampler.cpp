@@ -54,7 +54,7 @@ void SpanningTreeSampler::prepare() {
   // pool overlaps prepare() of a cold graph with draws on hot ones, so a
   // concurrent first call is a normal event, not a misuse).
   if (prepared_.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(prepare_mutex_);
+  const util::MutexLock lock(prepare_mutex_);
   if (prepared_.load(std::memory_order_relaxed)) return;
   const auto start = std::chrono::steady_clock::now();
   do_prepare();

@@ -21,7 +21,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,6 +30,7 @@
 #include "graph/graph.hpp"
 #include "graph/spanning.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace cliquest::engine {
 
@@ -158,7 +158,7 @@ class SpanningTreeSampler {
   EngineOptions options_;
   /// Serializes concurrent first-call prepare(); prepared_ is the lock-free
   /// fast path (release store after do_prepare, acquire load before use).
-  mutable std::mutex prepare_mutex_;
+  mutable util::Mutex prepare_mutex_;
   std::atomic<bool> prepared_{false};
   std::atomic<std::int64_t> prepare_builds_{0};
   std::atomic<double> prepare_seconds_{0.0};

@@ -136,7 +136,7 @@ std::vector<std::future<BatchResponse>> SamplerService::submit_all(
   });
 
   {
-    std::lock_guard<std::mutex> lock(watchers_mutex_);
+    const util::MutexLock lock(watchers_mutex_);
     // Prune watchers from completed fan-outs so long-lived services do not
     // accumulate them.
     std::erase_if(watchers_, [](std::future<void>& f) {

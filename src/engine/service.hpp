@@ -32,13 +32,13 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "engine/errors.hpp"
 #include "engine/fingerprint.hpp"
 #include "engine/metrics.hpp"
 #include "engine/pool.hpp"
+#include "util/sync.hpp"
 
 namespace cliquest::engine {
 
@@ -178,8 +178,8 @@ class SamplerService {
   /// Deadline watchers from submit_all: async tasks that forward child
   /// futures into the wrapper promises (or expire them). Finished watchers
   /// are pruned on the next call; the rest are joined in ~SamplerService.
-  std::mutex watchers_mutex_;
-  std::vector<std::future<void>> watchers_;
+  util::Mutex watchers_mutex_;
+  std::vector<std::future<void>> watchers_ GUARDED_BY(watchers_mutex_);
 };
 
 /// SamplerPool behind the service interface. The pool's semantics are the

@@ -9,14 +9,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "engine/metrics.hpp"
+#include "util/sync.hpp"
 
 namespace cliquest::engine::transport {
 namespace {
@@ -29,14 +28,14 @@ namespace {
 
 /// One direction of the loopback pipe: a byte queue both ends share.
 struct PipeBuffer {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<std::uint8_t> data;
-  bool closed = false;
+  util::Mutex mutex;
+  util::CondVar cv;
+  std::deque<std::uint8_t> data GUARDED_BY(mutex);
+  bool closed GUARDED_BY(mutex) = false;
 
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      const util::MutexLock lock(mutex);
       closed = true;
     }
     cv.notify_all();
@@ -49,8 +48,8 @@ class PipeConnection final : public Connection {
       : in_(std::move(in)), out_(std::move(out)) {}
 
   std::size_t read_some(std::uint8_t* out, std::size_t max) override {
-    std::unique_lock<std::mutex> lock(in_->mutex);
-    in_->cv.wait(lock, [&] { return !in_->data.empty() || in_->closed; });
+    util::MutexLock lock(in_->mutex);
+    while (in_->data.empty() && !in_->closed) in_->cv.wait(lock);
     // Closed with bytes still queued: drain them first, EOF after.
     const std::size_t n = std::min(max, in_->data.size());
     for (std::size_t i = 0; i < n; ++i) {
@@ -62,7 +61,7 @@ class PipeConnection final : public Connection {
 
   bool write_all(std::span<const std::uint8_t> bytes) override {
     {
-      std::lock_guard<std::mutex> lock(out_->mutex);
+      const util::MutexLock lock(out_->mutex);
       if (out_->closed) return false;
       out_->data.insert(out_->data.end(), bytes.begin(), bytes.end());
     }
@@ -361,11 +360,15 @@ void Server::serve(std::shared_ptr<Connection> connection) {
   // ---- responder: writes batch responses in completion order, so a slow
   // batch never blocks a fast one submitted after it (responses multiplex by
   // request id; the client reassembles by id, not by arrival order).
-  std::mutex write_mutex;  // serializes frames from dispatcher + responder
-  std::mutex pending_mutex;
-  std::condition_variable pending_cv;
-  std::deque<PendingBatch> pending;
-  bool done = false;
+  util::Mutex write_mutex;  // serializes frames from dispatcher + responder
+  // The dispatcher/responder handoff state, grouped so the guarded fields
+  // stay checked inside the lambdas below.
+  struct PendingQueue {
+    util::Mutex mutex;
+    util::CondVar cv;
+    std::deque<PendingBatch> batches GUARDED_BY(mutex);
+    bool done GUARDED_BY(mutex) = false;
+  } pending;
 
   // Every outgoing frame respects the peer's advertised receive bound: a
   // message that would exceed it is replaced by a (small) typed
@@ -386,7 +389,7 @@ void Server::serve(std::shared_ptr<Connection> connection) {
   };
 
   const auto write_response = [&](std::uint64_t id, const BatchResponse& response) {
-    std::lock_guard<std::mutex> lock(write_mutex);
+    const util::MutexLock lock(write_mutex);
     if (chunk_trees != 0 && response.batch.trees.size() > chunk_trees) {
       // Streamed: ship the trees in chunk frames, then the terminal
       // batch_response carrying the report with its tree list emptied.
@@ -412,25 +415,25 @@ void Server::serve(std::shared_ptr<Connection> connection) {
   const auto write_error = [&](std::uint64_t id, ServiceErrorCode code,
                                const std::string& detail,
                                std::int32_t retry_after_ms) {
-    std::lock_guard<std::mutex> lock(write_mutex);
+    const util::MutexLock lock(write_mutex);
     return write_bounded(
         id, wire::encode(wire::ErrorResponse{code, retry_after_ms, detail}));
   };
 
   std::thread responder([&] {
-    std::unique_lock<std::mutex> lock(pending_mutex);
+    util::MutexLock lock(pending.mutex);
     for (;;) {
-      pending_cv.wait(lock, [&] { return done || !pending.empty(); });
-      if (done) return;  // abandoned futures resolve in their pool; see below
+      while (!pending.done && pending.batches.empty()) pending.cv.wait(lock);
+      if (pending.done) return;  // abandoned futures resolve in their pool
       // Serve whichever in-flight batch finished, not the oldest: a stuck
       // shard must not wedge responses for batches behind it.
       bool wrote = false;
-      for (std::size_t i = 0; i < pending.size(); ++i) {
-        if (pending[i].future.wait_for(std::chrono::seconds(0)) !=
+      for (std::size_t i = 0; i < pending.batches.size(); ++i) {
+        if (pending.batches[i].future.wait_for(std::chrono::seconds(0)) !=
             std::future_status::ready)
           continue;
-        PendingBatch job = std::move(pending[i]);
-        pending.erase(pending.begin() + static_cast<long>(i));
+        PendingBatch job = std::move(pending.batches[i]);
+        pending.batches.erase(pending.batches.begin() + static_cast<long>(i));
         lock.unlock();
         try {
           write_response(job.request_id, job.future.get());
@@ -447,9 +450,11 @@ void Server::serve(std::shared_ptr<Connection> connection) {
         wrote = true;
         break;
       }
-      if (!wrote && !pending.empty()) {
+      if (!wrote && !pending.batches.empty()) {
         // Nothing ready: sleep briefly off the lock on the oldest future.
-        std::future<BatchResponse>& oldest = pending.front().future;
+        // (deque push_back never invalidates element references, so the
+        // dispatcher appending while we sleep is fine.)
+        std::future<BatchResponse>& oldest = pending.batches.front().future;
         lock.unlock();
         oldest.wait_for(std::chrono::milliseconds(1));
         lock.lock();
@@ -478,49 +483,49 @@ void Server::serve(std::shared_ptr<Connection> connection) {
         case wire::MessageType::admit_request: {
           const Fingerprint fp =
               service_.admit(wire::decode_admit_request(frame->message));
-          std::lock_guard<std::mutex> lock(write_mutex);
+          const util::MutexLock lock(write_mutex);
           ok = write_bounded(id, wire::encode_fingerprint_response(fp));
           break;
         }
         case wire::MessageType::admitted_query: {
           const bool value = service_.admitted(
               wire::decode_query(frame->message, wire::MessageType::admitted_query));
-          std::lock_guard<std::mutex> lock(write_mutex);
+          const util::MutexLock lock(write_mutex);
           ok = write_bounded(id, wire::encode_bool_response(value));
           break;
         }
         case wire::MessageType::resident_query: {
           const bool value = service_.resident(
               wire::decode_query(frame->message, wire::MessageType::resident_query));
-          std::lock_guard<std::mutex> lock(write_mutex);
+          const util::MutexLock lock(write_mutex);
           ok = write_bounded(id, wire::encode_bool_response(value));
           break;
         }
         case wire::MessageType::prepare_count_query: {
           const std::int64_t value = service_.prepare_count(wire::decode_query(
               frame->message, wire::MessageType::prepare_count_query));
-          std::lock_guard<std::mutex> lock(write_mutex);
+          const util::MutexLock lock(write_mutex);
           ok = write_bounded(id, wire::encode_count_response(value));
           break;
         }
         case wire::MessageType::cursor_query: {
           const std::int64_t value = service_.draw_cursor(
               wire::decode_query(frame->message, wire::MessageType::cursor_query));
-          std::lock_guard<std::mutex> lock(write_mutex);
+          const util::MutexLock lock(write_mutex);
           ok = write_bounded(id, wire::encode_count_response(value));
           break;
         }
         case wire::MessageType::in_flight_query: {
           const std::int64_t value = service_.in_flight(
               wire::decode_query(frame->message, wire::MessageType::in_flight_query));
-          std::lock_guard<std::mutex> lock(write_mutex);
+          const util::MutexLock lock(write_mutex);
           ok = write_bounded(id, wire::encode_count_response(value));
           break;
         }
         case wire::MessageType::drop_query: {
           const bool value = service_.drop(
               wire::decode_query(frame->message, wire::MessageType::drop_query));
-          std::lock_guard<std::mutex> lock(write_mutex);
+          const util::MutexLock lock(write_mutex);
           ok = write_bounded(id, wire::encode_bool_response(value));
           break;
         }
@@ -530,7 +535,7 @@ void Server::serve(std::shared_ptr<Connection> connection) {
             throw ServiceError(ServiceErrorCode::unavailable,
                                "this server does not serve a cluster map");
           const cluster::ShardMap map = options_.map_provider();
-          std::lock_guard<std::mutex> lock(write_mutex);
+          const util::MutexLock lock(write_mutex);
           ok = write_bounded(id, wire::encode(map));
           break;
         }
@@ -542,7 +547,7 @@ void Server::serve(std::shared_ptr<Connection> connection) {
             throw ServiceError(ServiceErrorCode::unavailable,
                                "this server does not accept cluster map pushes");
           const bool accepted = options_.map_sink(map);
-          std::lock_guard<std::mutex> lock(write_mutex);
+          const util::MutexLock lock(write_mutex);
           ok = write_bounded(id, wire::encode_bool_response(accepted));
           break;
         }
@@ -550,7 +555,7 @@ void Server::serve(std::shared_ptr<Connection> connection) {
           wire::decode_stats_query(frame->message);
           ServiceStats stats = service_.stats();
           fold_metrics(stats);  // the serving edge reports itself too
-          std::lock_guard<std::mutex> lock(write_mutex);
+          const util::MutexLock lock(write_mutex);
           ok = write_bounded(id, wire::encode(stats));
           break;
         }
@@ -558,7 +563,7 @@ void Server::serve(std::shared_ptr<Connection> connection) {
           wire::decode_metrics_query(frame->message);
           ServiceStats stats = service_.stats();
           fold_metrics(stats);
-          std::lock_guard<std::mutex> lock(write_mutex);
+          const util::MutexLock lock(write_mutex);
           ok = write_bounded(id,
                              wire::encode_text_response(metrics::render_text(stats)));
           break;
@@ -571,8 +576,8 @@ void Server::serve(std::shared_ptr<Connection> connection) {
           if (options_.max_in_flight_batches != 0) {
             std::size_t depth = 0;
             {
-              std::lock_guard<std::mutex> lock(pending_mutex);
-              depth = pending.size();
+              const util::MutexLock lock(pending.mutex);
+              depth = pending.batches.size();
             }
             if (depth >= options_.max_in_flight_batches) {
               // Shed at the edge, before submit_batch: no draw-index range
@@ -595,17 +600,17 @@ void Server::serve(std::shared_ptr<Connection> connection) {
             // map draws exactly what this serve would have.
             if (const std::optional<cluster::ShardMap> current =
                     options_.stale_guard(request.fingerprint)) {
-              std::lock_guard<std::mutex> lock(write_mutex);
+              const util::MutexLock lock(write_mutex);
               ok = write_bounded(id, wire::encode_stale_map(*current));
               break;
             }
           }
           std::future<BatchResponse> future = service_.submit_batch(request);
           {
-            std::lock_guard<std::mutex> lock(pending_mutex);
-            pending.push_back({id, dispatch_start, std::move(future)});
+            const util::MutexLock lock(pending.mutex);
+            pending.batches.push_back({id, dispatch_start, std::move(future)});
           }
-          pending_cv.notify_one();
+          pending.cv.notify_one();
           deferred_timing = true;
           break;
         }
@@ -626,10 +631,10 @@ void Server::serve(std::shared_ptr<Connection> connection) {
   // pool completes them regardless (promise-backed), and the peer that would
   // have read the responses is gone.
   {
-    std::lock_guard<std::mutex> lock(pending_mutex);
-    done = true;
+    const util::MutexLock lock(pending.mutex);
+    pending.done = true;
   }
-  pending_cv.notify_all();
+  pending.cv.notify_all();
   responder.join();
   c.close();
 }

@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace cliquest::linalg {
 namespace {
@@ -22,8 +23,8 @@ int default_threads() {
   return static_cast<int>(std::clamp(hw, 1u, 8u));
 }
 
-std::mutex config_mutex;
-ParallelConfig config_value;  // threads == 0 until first resolution
+util::Mutex config_mutex;
+ParallelConfig config_value GUARDED_BY(config_mutex);  // threads == 0 until resolved
 
 /// One parallel region: a chunked row range plus the row callback. Workers
 /// and the submitting thread pop chunks off `next` until the range drains.
@@ -41,19 +42,19 @@ struct Region {
 class Pool {
  public:
   bool run(Region& region, int threads_wanted) {
-    std::unique_lock<std::mutex> submit(submit_mutex_, std::try_to_lock);
-    if (!submit.owns_lock()) return false;
+    if (!submit_mutex_.try_lock()) return false;
+    const util::MutexLock submit(submit_mutex_, std::adopt_lock);
     ensure_workers(threads_wanted - 1);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       region_ = &region;
       ++generation_;
     }
     cv_.notify_all();
     drain(region);
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      done_cv_.wait(lock, [&] { return active_ == 0; });
+      util::MutexLock lock(mutex_);
+      while (active_ != 0) done_cv_.wait(lock);
       region_ = nullptr;
     }
     return true;
@@ -61,7 +62,7 @@ class Pool {
 
   ~Pool() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       stopping_ = true;
     }
     cv_.notify_all();
@@ -70,7 +71,7 @@ class Pool {
 
  private:
   void ensure_workers(int wanted) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     while (static_cast<int>(workers_.size()) < wanted)
       workers_.emplace_back([this] { worker_loop(); });
   }
@@ -88,8 +89,8 @@ class Pool {
     for (;;) {
       Region* region = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+        util::MutexLock lock(mutex_);
+        while (!stopping_ && generation_ == seen) cv_.wait(lock);
         if (stopping_) return;
         seen = generation_;
         region = region_;
@@ -98,21 +99,21 @@ class Pool {
       }
       drain(*region);
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         if (--active_ == 0) done_cv_.notify_all();
       }
     }
   }
 
-  std::mutex submit_mutex_;  // serializes regions; busy callers run inline
-  std::mutex mutex_;         // guards region_/generation_/active_/workers_
-  std::condition_variable cv_;
-  std::condition_variable done_cv_;
-  Region* region_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int active_ = 0;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  util::Mutex submit_mutex_;  // serializes regions; busy callers run inline
+  util::Mutex mutex_;
+  util::CondVar cv_;
+  util::CondVar done_cv_;
+  Region* region_ GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ GUARDED_BY(mutex_) = 0;
+  int active_ GUARDED_BY(mutex_) = 0;
+  bool stopping_ GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_ GUARDED_BY(mutex_);
 };
 
 Pool& pool() {
@@ -123,13 +124,13 @@ Pool& pool() {
 }  // namespace
 
 ParallelConfig matmul_parallel() {
-  std::lock_guard<std::mutex> lock(config_mutex);
+  const util::MutexLock lock(config_mutex);
   if (config_value.threads == 0) config_value.threads = default_threads();
   return config_value;
 }
 
 void set_matmul_parallel(const ParallelConfig& config) {
-  std::lock_guard<std::mutex> lock(config_mutex);
+  const util::MutexLock lock(config_mutex);
   config_value = config;
   if (config_value.threads == 0) config_value.threads = default_threads();
 }

@@ -30,7 +30,7 @@ std::shared_ptr<const PhaseDerivatives> SchurCache::get_or_build(
     std::span<const int> active, const std::function<PhaseDerivatives()>& build,
     bool* hit) {
   if (enabled()) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto it = entries_.find(active);  // transparent: no key copy
     if (it != entries_.end()) {
       lru_.splice(lru_.end(), lru_, it->second.lru_it);  // hottest position
@@ -50,7 +50,7 @@ std::shared_ptr<const PhaseDerivatives> SchurCache::get_or_build(
   const std::size_t bytes = derivatives->memory_bytes();
   if (bytes > budget_bytes_) return derivatives;  // oversized: serve, never retain
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto [it, inserted] =
       entries_.emplace(std::vector<int>(active.begin(), active.end()), Entry{});
   if (!inserted) {
@@ -78,7 +78,7 @@ void SchurCache::evict_to_budget_locked() {
 }
 
 std::size_t SchurCache::trim() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const std::size_t released = resident_bytes_;
   entries_.clear();
   lru_.clear();
@@ -88,12 +88,12 @@ std::size_t SchurCache::trim() {
 }
 
 std::size_t SchurCache::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return resident_bytes_;
 }
 
 SchurCacheStats SchurCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   SchurCacheStats snapshot = stats_;
   snapshot.resident_bytes = resident_bytes_;
   snapshot.entry_count = static_cast<int>(entries_.size());

@@ -25,12 +25,12 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "util/sync.hpp"
 #include "walk/prepared.hpp"
 
 namespace cliquest::schur {
@@ -113,15 +113,16 @@ class SchurCache {
     std::list<const std::vector<int>*>::iterator lru_it;
   };
 
-  void evict_to_budget_locked();
+  void evict_to_budget_locked() REQUIRES(mutex_);
 
   const std::size_t budget_bytes_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::vector<int>, Entry, KeyHash, KeyEqual> entries_;
+  mutable util::Mutex mutex_;
+  std::unordered_map<std::vector<int>, Entry, KeyHash, KeyEqual> entries_
+      GUARDED_BY(mutex_);
   /// Eviction order, coldest first; points at the node-stable map keys.
-  std::list<const std::vector<int>*> lru_;
-  std::size_t resident_bytes_ = 0;
-  SchurCacheStats stats_;
+  std::list<const std::vector<int>*> lru_ GUARDED_BY(mutex_);
+  std::size_t resident_bytes_ GUARDED_BY(mutex_) = 0;
+  SchurCacheStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace cliquest::schur

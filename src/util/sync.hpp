@@ -1,0 +1,140 @@
+#pragma once
+
+// Compile-time lock discipline: Clang thread-safety-annotated wrappers over
+// std::mutex / std::condition_variable, plus the annotation macros the rest
+// of the codebase attaches to guarded fields and lock-requiring helpers.
+//
+// Under Clang the annotations turn the documented lock invariants ("pendings
+// are guarded by mutex_", "*_locked() requires the pool mutex") into build
+// errors via -Wthread-safety (CMake option CLIQUEST_THREAD_SAFETY_ANALYSIS;
+// the thread-safety CI job builds the whole tree with it). Under every other
+// compiler the macros expand to nothing and the wrappers are zero-overhead
+// aliases for the std primitives, so GCC builds are unaffected.
+//
+// Conventions (see README "Correctness tooling" for the cross-module lock
+// acquisition order):
+//   - Every mutex-guarded field carries GUARDED_BY(mutex_).
+//   - Every private helper named *_locked() carries REQUIRES(mutex_).
+//   - Condition waits are explicit while-loops around CondVar::wait, never
+//     predicate lambdas: the loop body is analyzed in the enclosing function,
+//     where the capability is visibly held, so guarded reads in the predicate
+//     are checked instead of silently escaping into an unannotated lambda.
+//   - A helper that drops and retakes a caller's lock mid-flight (only
+//     RemoteService::ensure_connected today) keeps REQUIRES at the interface
+//     so call sites are checked, and opts its body out with
+//     NO_THREAD_SAFETY_ANALYSIS plus a comment saying why.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ------------------------------------------------------- annotation macros
+// Active only when the compiler understands capability attributes (Clang).
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CLIQUEST_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CLIQUEST_THREAD_ANNOTATION
+#define CLIQUEST_THREAD_ANNOTATION(x)
+#endif
+
+#define CAPABILITY(x) CLIQUEST_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY CLIQUEST_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) CLIQUEST_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) CLIQUEST_THREAD_ANNOTATION(pt_guarded_by(x))
+#define REQUIRES(...) CLIQUEST_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ACQUIRE(...) CLIQUEST_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) CLIQUEST_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) CLIQUEST_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) CLIQUEST_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ACQUIRED_BEFORE(...) CLIQUEST_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) CLIQUEST_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) CLIQUEST_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CLIQUEST_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cliquest::util {
+
+/// std::mutex carrying the `capability` attribute, so GUARDED_BY / REQUIRES
+/// expressions can name it and Clang can prove lock discipline at compile
+/// time. Same cost and semantics as std::mutex.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mutex_.lock(); }
+  void unlock() RELEASE() { mutex_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mutex_;
+};
+
+/// RAII scoped lock over Mutex (the annotated std::lock_guard /
+/// std::unique_lock replacement). Backed by a std::unique_lock so CondVar
+/// can wait on it and helpers can drop/retake it without desynchronizing the
+/// owner flag.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : lock_(mutex.mutex_) {}
+
+  /// Adopts a mutex the caller already holds (the try_lock-then-adopt
+  /// pattern; see linalg/parallel.cpp).
+  MutexLock(Mutex& mutex, std::adopt_lock_t) REQUIRES(mutex)
+      : lock_(mutex.mutex_, std::adopt_lock) {}
+
+  ~MutexLock() RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Mid-scope drop / retake (the responder pattern: write off-lock, then
+  /// resume scanning under it). Clang tracks the scoped object's state, so a
+  /// guarded access in the unlocked window is still a build error.
+  void unlock() RELEASE() { lock_.unlock(); }
+  void lock() ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable over MutexLock. wait() atomically releases the
+/// lock while parked and holds it again on return, so from the analysis's
+/// point of view the capability is continuously held across the call —
+/// exactly the caller-visible pre/postcondition. There are deliberately no
+/// predicate overloads: write the standard while-loop so the predicate's
+/// guarded reads are checked in the calling scope (see file comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& duration) {
+    return cv_.wait_for(lock.lock_, duration);
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      MutexLock& lock, const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cliquest::util

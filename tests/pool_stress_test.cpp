@@ -8,6 +8,9 @@
 //   - Concurrent first-call prepare() on one sampler must build the
 //     precomputation exactly once (regression for the unguarded prepared_
 //     flag the pool's prepare/draw overlap would have raced on).
+//   - Submissions racing close() must resolve every future — served or the
+//     typed shutdown error (regression for the post-lock worker-set re-read
+//     that could serve a moved-from job inline).
 
 #include <gtest/gtest.h>
 
@@ -184,6 +187,66 @@ TEST(PoolStressTest, ConcurrentColdBatchesPrepareOnce) {
   for (auto& future : futures) misses += future.get().hit ? 0 : 1;
   EXPECT_EQ(pool.prepare_count(fp), 1);
   EXPECT_EQ(misses, 1) << "exactly the stampede winner should record the miss";
+}
+
+TEST(PoolCloseRaceRegressionTest, SubmitRacingCloseNeverTearsAFuture) {
+  // Regression: submit_batch used to re-read the worker set *after* dropping
+  // the pool mutex to decide whether to serve inline. A close() sweeping the
+  // workers between those two points made a submitter whose job was already
+  // queued observe an empty worker set and serve the moved-from Job inline —
+  // a null entry and a dead promise. Every future from a submission racing
+  // close() must now either deliver its batch (the queue drains before the
+  // workers join) or fail with the typed shutdown error; none may hang,
+  // crash, or surface std::future_error.
+  EngineOptions engine;
+  engine.backend = Backend::wilson;
+  engine.seed = 11;
+  util::Rng gen(3);
+  const graph::Graph g = graph::gnp_connected(12, 0.5, gen);
+
+  for (int round = 0; round < 25; ++round) {
+    PoolOptions options;
+    options.engine = engine;
+    options.workers = 2;
+    SamplerPool pool(options);
+    const Fingerprint fp = pool.admit(g);
+
+    const int clients = 4;
+    const int per_client = 8;
+    std::vector<std::vector<std::future<PoolBatchResult>>> futures(clients);
+    std::atomic<int> started{0};
+    std::vector<std::thread> client_threads;
+    for (int c = 0; c < clients; ++c) {
+      client_threads.emplace_back([&, c] {
+        started.fetch_add(1);
+        for (int s = 0; s < per_client; ++s)
+          futures[static_cast<std::size_t>(c)].push_back(pool.submit_batch(fp, 1));
+      });
+    }
+    // Close while the submitters are mid-hammer so the swap of the worker
+    // set lands between a submission's queue push and its post-lock check.
+    while (started.load() < clients) std::this_thread::yield();
+    pool.close();
+    for (std::thread& t : client_threads) t.join();
+
+    int served = 0;
+    int rejected = 0;
+    for (auto& client : futures) {
+      for (std::future<PoolBatchResult>& future : client) {
+        ASSERT_TRUE(future.valid());
+        try {
+          const PoolBatchResult r = future.get();
+          ASSERT_EQ(r.batch.trees.size(), 1u);
+          EXPECT_TRUE(graph::is_spanning_tree(g, r.batch.trees[0]));
+          ++served;
+        } catch (const ServiceError& e) {
+          EXPECT_EQ(e.code(), ServiceErrorCode::unavailable);
+          ++rejected;
+        }
+      }
+    }
+    EXPECT_EQ(served + rejected, clients * per_client);
+  }
 }
 
 TEST(PrepareRaceRegressionTest, ConcurrentFirstCallPreparesExactlyOnce) {

@@ -1,0 +1,47 @@
+# Configure-time proof that Clang's thread-safety analysis is live over the
+# util/sync.hpp annotations. Included from the top-level CMakeLists.txt when
+# the compiler is Clang:
+#
+#   - guarded_write.cpp (correct locking) must COMPILE — a sanity check that
+#     the probe flags and include paths are right;
+#   - unguarded_write.cpp (GUARDED_BY field written lock-free) must NOT
+#     compile under -Wthread-safety -Werror=thread-safety.
+#
+# Either probe going the wrong way is a FATAL_ERROR: a broken annotation
+# macro (e.g. GUARDED_BY silently expanding to nothing under Clang) would
+# otherwise make the CI thread-safety job vacuously green.
+
+set(_ts_probe_dir ${CMAKE_CURRENT_LIST_DIR})
+set(_ts_flags "-Wthread-safety" "-Werror=thread-safety")
+
+try_compile(CLIQUEST_TS_POSITIVE_OK
+  ${CMAKE_BINARY_DIR}/thread_safety_probe_positive
+  ${_ts_probe_dir}/guarded_write.cpp
+  COMPILE_DEFINITIONS "${_ts_flags}"
+  CMAKE_FLAGS
+    "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+    "-DCMAKE_CXX_STANDARD=${CMAKE_CXX_STANDARD}"
+  OUTPUT_VARIABLE _ts_positive_output)
+if(NOT CLIQUEST_TS_POSITIVE_OK)
+  message(FATAL_ERROR
+    "thread-safety probe: guarded_write.cpp (correct locking) failed to "
+    "compile — the probe setup is broken, so the negative check below would "
+    "be meaningless.\n${_ts_positive_output}")
+endif()
+
+try_compile(CLIQUEST_TS_NEGATIVE_OK
+  ${CMAKE_BINARY_DIR}/thread_safety_probe_negative
+  ${_ts_probe_dir}/unguarded_write.cpp
+  COMPILE_DEFINITIONS "${_ts_flags}"
+  CMAKE_FLAGS
+    "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+    "-DCMAKE_CXX_STANDARD=${CMAKE_CXX_STANDARD}")
+if(CLIQUEST_TS_NEGATIVE_OK)
+  message(FATAL_ERROR
+    "thread-safety probe: unguarded_write.cpp (GUARDED_BY field written "
+    "without its mutex) compiled cleanly — Clang's thread-safety analysis "
+    "is not rejecting unguarded access, so the annotations are inert.")
+endif()
+
+message(STATUS
+  "Thread-safety annotations verified: guarded probe compiles, unguarded probe rejected")

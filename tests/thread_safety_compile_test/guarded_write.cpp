@@ -1,0 +1,28 @@
+// Positive compile probe paired with unguarded_write.cpp: the same guarded
+// field written correctly under a MutexLock. This one MUST compile — it
+// proves a failure of the negative probe comes from the analysis rejecting
+// the unguarded write, not from an include path or flag problem that would
+// fail any translation unit.
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    const cliquest::util::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+ private:
+  cliquest::util::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return 0;
+}

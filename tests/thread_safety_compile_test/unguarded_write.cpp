@@ -1,0 +1,26 @@
+// Negative compile probe for the util/sync.hpp annotations: writes a
+// GUARDED_BY field without holding its mutex. Under Clang with
+// -Wthread-safety -Werror=thread-safety this MUST fail to compile — the
+// configure step (check.cmake) asserts that it does, so a toolchain or
+// macro regression that silently disables the analysis breaks configure
+// instead of letting unguarded code through CI.
+#include "util/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump_unguarded() { ++value_; }  // analysis error: mutex_ not held
+
+ private:
+  cliquest::util::Mutex mutex_;
+  int value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump_unguarded();
+  return 0;
+}
