@@ -198,22 +198,23 @@ int run_cluster_smoke(const char* host, int port0, int port1,
 
   CoordinatorOptions coordinator_options;
   coordinator_options.replication = 2;
-  Coordinator coordinator(resolver, coordinator_options);
-  coordinator.add_shard({0, host, static_cast<std::uint16_t>(port0), 1.0});
-  coordinator.add_shard({1, host, static_cast<std::uint16_t>(port1), 2.0});
-  push_all(coordinator.current_map());
+  auto coordinator = std::make_unique<Coordinator>(resolver, coordinator_options);
+  coordinator->add_shard({0, host, static_cast<std::uint16_t>(port0), 1.0});
+  coordinator->add_shard({1, host, static_cast<std::uint16_t>(port1), 2.0});
+  push_all(coordinator->current_map());
 
   util::Rng gen(5);
   const graph::Graph g = graph::gnp_connected(36, 0.3, gen);
-  const engine::Fingerprint fp = coordinator.admit({g, engine_options});
+  const engine::Fingerprint fp = coordinator->admit({g, engine_options});
 
   ClusterOptions cluster_options;
-  cluster_options.map = coordinator.current_map();
+  cluster_options.map = coordinator->current_map();
   ClusterService cluster(resolver, cluster_options);
-  coordinator.subscribe([&](const ShardMap& map) {
+  const auto subscriber = [&](const ShardMap& map) {
     push_all(map);
     cluster.update_map(map);
-  });
+  };
+  coordinator->subscribe(subscriber);
 
   // The replay oracle: the same admission served by one in-process pool.
   engine::PoolOptions reference_pool;
@@ -258,7 +259,33 @@ int run_cluster_smoke(const char* host, int port0, int port1,
       return 1;
     }
     ++batches;
-    if (cluster.failover_count() > 0) ++batches_after_failover;
+    if (cluster.failover_count() > 0) {
+      if (batches_after_failover == 0) {
+        // The harness's kill doubles as a coordinator kill: the primary
+        // coordinator dies un-released with the shard it ran beside, and a
+        // standby re-derives the map from whoever answers, claims the next
+        // lease epoch, and fences the corpse. Routing never misses a batch.
+        const std::vector<ShardDescriptor> seeds =
+            coordinator->current_map().members;
+        coordinator.reset();
+        coordinator = std::make_unique<Coordinator>(resolver);
+        coordinator->subscribe(subscriber);
+        std::uint64_t epoch = 0;
+        try {
+          epoch = coordinator->takeover(seeds);
+        } catch (const engine::ServiceError& e) {
+          std::fprintf(stderr, "FAIL: standby takeover surfaced %s\n",
+                       e.what());
+          return 1;
+        }
+        cluster.update_map(coordinator->current_map());
+        // The harness greps this line: the standby holds the new lease.
+        std::printf("SMOKE coordinator_epoch=%llu\n",
+                    static_cast<unsigned long long>(epoch));
+        std::fflush(stdout);
+      }
+      ++batches_after_failover;
+    }
     // Pace the stream so the harness's kill lands inside it.
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }

@@ -1,0 +1,163 @@
+#include "engine/chaos.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "engine/errors.hpp"
+#include "util/rng.hpp"
+
+namespace cliquest::engine::chaos {
+
+namespace {
+
+/// Validates one probability knob.
+double checked_rate(double rate, const char* name) {
+  if (rate < 0.0 || rate > 1.0)
+    throw ServiceError(ServiceErrorCode::invalid_config,
+                       std::string("FaultPlan: ") + name +
+                           " must be in [0, 1]");
+  return rate;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultPlanOptions options)
+    : options_(options), state_(options.seed) {
+  checked_rate(options_.drop_write, "drop_write");
+  checked_rate(options_.duplicate_write, "duplicate_write");
+  checked_rate(options_.truncate_write, "truncate_write");
+  checked_rate(options_.sever, "sever");
+  checked_rate(options_.delay_read, "delay_read");
+  if (options_.drop_write + options_.duplicate_write +
+          options_.truncate_write + options_.sever >
+      1.0)
+    throw ServiceError(ServiceErrorCode::invalid_config,
+                       "FaultPlan: write fault probabilities sum past 1");
+  if (options_.max_delay < std::chrono::milliseconds::zero())
+    throw ServiceError(ServiceErrorCode::invalid_config,
+                       "FaultPlan: max_delay must be >= 0");
+}
+
+double FaultPlan::next_unit_locked() {
+  // Iterate the splitmix64 finalizer with the golden-gamma increment — the
+  // same stream construction as the retry jitter — and map the top 53 bits
+  // to [0, 1).
+  state_ = util::splitmix64(state_ + 0x9e3779b97f4a7c15ull);
+  return static_cast<double>(state_ >> 11) * 0x1.0p-53;
+}
+
+WriteFault FaultPlan::next_write_fault() {
+  const util::MutexLock lock(mutex_);
+  if (injected_ >= options_.max_faults) return WriteFault::none;
+  const double u = next_unit_locked();
+  double edge = options_.drop_write;
+  WriteFault fault = WriteFault::none;
+  if (u < edge) {
+    fault = WriteFault::drop;
+  } else if (u < (edge += options_.duplicate_write)) {
+    fault = WriteFault::duplicate;
+  } else if (u < (edge += options_.truncate_write)) {
+    fault = WriteFault::truncate;
+  } else if (u < (edge += options_.sever)) {
+    fault = WriteFault::sever;
+  }
+  if (fault != WriteFault::none) ++injected_;
+  return fault;
+}
+
+std::chrono::milliseconds FaultPlan::next_read_delay() {
+  const util::MutexLock lock(mutex_);
+  if (options_.delay_read <= 0.0 ||
+      options_.max_delay <= std::chrono::milliseconds::zero())
+    return std::chrono::milliseconds::zero();
+  if (next_unit_locked() >= options_.delay_read)
+    return std::chrono::milliseconds::zero();
+  const auto span = static_cast<std::int64_t>(
+      next_unit_locked() * static_cast<double>(options_.max_delay.count()));
+  return std::chrono::milliseconds(std::max<std::int64_t>(1, span));
+}
+
+void FaultPlan::pause() {
+  const util::MutexLock lock(mutex_);
+  paused_ = true;
+  pause_deadline_ = std::chrono::steady_clock::now() + kMaxPause;
+}
+
+void FaultPlan::resume() {
+  {
+    const util::MutexLock lock(mutex_);
+    paused_ = false;
+  }
+  pause_cv_.notify_all();
+}
+
+void FaultPlan::wait_while_paused() {
+  util::MutexLock lock(mutex_);
+  while (paused_) {
+    // The deadline was set by pause(): a forgotten resume() lapses instead
+    // of wedging readers (and with them, teardown) forever.
+    if (pause_cv_.wait_until(lock, pause_deadline_) ==
+        std::cv_status::timeout) {
+      paused_ = false;
+      break;
+    }
+  }
+}
+
+std::int64_t FaultPlan::faults_injected() const {
+  const util::MutexLock lock(mutex_);
+  return injected_;
+}
+
+// ------------------------------------------------------ ChaoticConnection
+
+ChaoticConnection::ChaoticConnection(
+    std::shared_ptr<transport::Connection> inner,
+    std::shared_ptr<FaultPlan> plan)
+    : inner_(std::move(inner)), plan_(std::move(plan)) {}
+
+std::size_t ChaoticConnection::read_some(std::uint8_t* out, std::size_t max) {
+  plan_->wait_while_paused();
+  const std::chrono::milliseconds delay = plan_->next_read_delay();
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  return inner_->read_some(out, max);
+}
+
+bool ChaoticConnection::write_all(std::span<const std::uint8_t> bytes) {
+  plan_->wait_while_paused();
+  switch (plan_->next_write_fault()) {
+    case WriteFault::none:
+      return inner_->write_all(bytes);
+    case WriteFault::drop:
+      // The frame vanishes but the stream stays healthy: the sender sees
+      // success and must rely on its deadline, not the transport, to
+      // notice nothing comes back.
+      return true;
+    case WriteFault::duplicate:
+      if (!inner_->write_all(bytes)) return false;
+      return inner_->write_all(bytes);
+    case WriteFault::truncate: {
+      // Half the frame, then a dead stream: the reader tears mid-frame.
+      inner_->write_all(bytes.subspan(0, bytes.size() / 2));
+      inner_->close();
+      return false;
+    }
+    case WriteFault::sever:
+      inner_->close();
+      return false;
+  }
+  return inner_->write_all(bytes);  // unreachable; keeps -Wreturn-type quiet
+}
+
+void ChaoticConnection::close() { inner_->close(); }
+
+std::shared_ptr<transport::Connection> inject(
+    std::shared_ptr<transport::Connection> inner,
+    std::shared_ptr<FaultPlan> plan) {
+  if (!plan) return inner;
+  return std::make_shared<ChaoticConnection>(std::move(inner),
+                                             std::move(plan));
+}
+
+}  // namespace cliquest::engine::chaos

@@ -1,0 +1,129 @@
+#pragma once
+
+// Seeded chaos injection for the transport layer (PR 9).
+//
+// The unit of injection is the Connection seam: ChaoticConnection decorates
+// any transport::Connection (loopback pipe or TCP socket) and consults a
+// FaultPlan — a splitmix64-seeded decision stream — on every write and
+// read. The same seed always produces the same fault schedule, so a chaos
+// run that finds a bug is a reproducer, not an anecdote.
+//
+// Fault classes, and what the stack above must turn them into:
+//
+//   drop       the request frame vanishes (write swallowed, stream stays
+//              up). The caller's deadline converts the silence into a typed
+//              ServiceError{timeout} — never a hung future.
+//   duplicate  the frame is written twice. The server executes the request
+//              twice and answers twice; pinned draw ranges make the replays
+//              byte-identical and the client drops the unmatched response.
+//   truncate   half the frame, then close: a stream torn mid-frame. Both
+//              ends surface ServiceError{transport}; the client re-dials.
+//   sever      the connection closes before the frame leaves. Same typed
+//              transport path, exercised at a different point in the
+//              protocol.
+//   delay      reads stall for a bounded jittered interval — reordering and
+//              latency without loss.
+//   pause      a test-driven gate (FaultPlan::pause / resume) that freezes
+//              the connection's I/O, e.g. while a standby coordinator takes
+//              over around a frozen primary. The gate self-releases after
+//              kMaxPause so no schedule can wedge a teardown.
+//
+// FaultPlan::max_faults bounds the total injected faults, so every schedule
+// eventually goes quiet and the system's convergence — not its luck — is
+// what the chaos suite asserts.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "engine/transport.hpp"
+#include "util/sync.hpp"
+
+namespace cliquest::engine::chaos {
+
+struct FaultPlanOptions {
+  /// Seed of the decision stream. Equal seeds (and equal call sequences)
+  /// produce equal fault schedules.
+  std::uint64_t seed = 1;
+
+  /// Per-write fault probabilities in [0, 1], evaluated cumulatively in
+  /// this order from one uniform draw per write.
+  double drop_write = 0.0;
+  double duplicate_write = 0.0;
+  double truncate_write = 0.0;
+  double sever = 0.0;
+
+  /// Probability a read is delayed, and the bound on the jittered delay.
+  double delay_read = 0.0;
+  std::chrono::milliseconds max_delay{20};
+
+  /// Total faults (drop/duplicate/truncate/sever — delays are benign and
+  /// uncounted) this plan injects before going permanently quiet.
+  int max_faults = 4;
+};
+
+enum class WriteFault { none, drop, duplicate, truncate, sever };
+
+/// Thread-safe seeded fault decision stream, shared by every connection of
+/// one chaos schedule (a re-dialed connection continues the stream, it does
+/// not restart it).
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanOptions options = {});
+
+  /// The fault to apply to the next write (none once max_faults is spent).
+  WriteFault next_write_fault();
+
+  /// The delay to apply before the next read (zero for most reads).
+  std::chrono::milliseconds next_read_delay();
+
+  /// Freezes / releases every ChaoticConnection consulting this plan. A
+  /// pause outlasting kMaxPause lapses on its own so teardown never wedges.
+  void pause();
+  void resume();
+
+  /// Blocks while paused (bounded by kMaxPause past the pause() call).
+  void wait_while_paused();
+
+  /// Faults injected so far (monotone; delays excluded).
+  std::int64_t faults_injected() const;
+
+  static constexpr std::chrono::milliseconds kMaxPause{2000};
+
+ private:
+  double next_unit_locked() REQUIRES(mutex_);
+
+  const FaultPlanOptions options_;
+  mutable util::Mutex mutex_;
+  util::CondVar pause_cv_;
+  std::uint64_t state_ GUARDED_BY(mutex_);
+  std::int64_t injected_ GUARDED_BY(mutex_) = 0;
+  bool paused_ GUARDED_BY(mutex_) = false;
+  std::chrono::steady_clock::time_point pause_deadline_ GUARDED_BY(mutex_){};
+};
+
+/// A Connection decorator that applies a FaultPlan's schedule to an
+/// otherwise healthy inner connection. Concurrency contract matches
+/// Connection: one reader thread, one writer thread, close() from anywhere.
+class ChaoticConnection final : public transport::Connection {
+ public:
+  ChaoticConnection(std::shared_ptr<transport::Connection> inner,
+                    std::shared_ptr<FaultPlan> plan);
+
+  std::size_t read_some(std::uint8_t* out, std::size_t max) override;
+  bool write_all(std::span<const std::uint8_t> bytes) override;
+  void close() override;
+
+ private:
+  std::shared_ptr<transport::Connection> inner_;
+  std::shared_ptr<FaultPlan> plan_;
+};
+
+/// Convenience: wrap `inner` under `plan` (nullptr plan = no wrapping, the
+/// inner connection passes through untouched).
+std::shared_ptr<transport::Connection> inject(
+    std::shared_ptr<transport::Connection> inner,
+    std::shared_ptr<FaultPlan> plan);
+
+}  // namespace cliquest::engine::chaos

@@ -38,6 +38,8 @@ void merge_transport(TransportStats& into, const TransportStats& from) {
   into.dial_failures += from.dial_failures;
   into.failovers += from.failovers;
   into.shed_retries += from.shed_retries;
+  into.map_refreshes += from.map_refreshes;
+  into.map_pulls += from.map_pulls;
 }
 
 }  // namespace
@@ -138,6 +140,13 @@ auto ClusterService::with_failover(const Fingerprint& fp, Op&& op) const
           bounced = true;
           break;
         }
+        if (e.code() == ServiceErrorCode::unknown_fingerprint) {
+          // The entry was dropped cluster-wide behind this client's back (a
+          // coordinator retiring a fingerprint talks to the shards, not to
+          // every client): forget the cluster-owned cursor so the table
+          // tracks the admitted population instead of growing forever.
+          evict_cursor(fp);
+        }
         throw;
       }
     }
@@ -152,6 +161,11 @@ auto ClusterService::with_failover(const Fingerprint& fp, Op&& op) const
     }
     std::rethrow_exception(transport_failure);
   }
+}
+
+void ClusterService::evict_cursor(const Fingerprint& fp) const {
+  const util::MutexLock lock(cursors_mutex_);
+  cursors_.erase(fp);
 }
 
 void ClusterService::wait_before_shed_retry(int hint_ms) const {
@@ -358,13 +372,14 @@ ServiceStats ClusterService::stats() const {
   const util::MutexLock lock(stats_mutex_);
   stats.transport.failovers += failovers_;
   stats.transport.shed_retries += shed_retries_;
+  stats.transport.map_refreshes += map_refreshes_;
   return stats;
 }
 
 bool ClusterService::update_map(const ShardMap& map) {
   if (!map.validation_errors().empty()) return false;  // never adopt a bad map
   const util::MutexLock lock(map_mutex_);
-  if (map.version <= map_.version) return false;
+  if (!map.supersedes(map_)) return false;
   map_ = map;
   return true;
 }
@@ -372,6 +387,48 @@ bool ClusterService::update_map(const ShardMap& map) {
 ShardMap ClusterService::current_map() const {
   const util::MutexLock lock(map_mutex_);
   return map_;
+}
+
+ShardMap ClusterService::fetch_map() const { return current_map(); }
+
+bool ClusterService::push_map(const ShardMap& map) const {
+  // push_map is const on the SamplerService interface (servers push through
+  // const references); adoption is internally synchronized.
+  return const_cast<ClusterService*>(this)->update_map(map);
+}
+
+bool ClusterService::note_map_version(std::uint64_t version,
+                                      std::uint64_t epoch) {
+  {
+    const util::MutexLock lock(map_mutex_);
+    // Behind iff the announcement supersedes the held (epoch, version),
+    // lexicographically — the same order update_map adopts by.
+    const bool behind = epoch != map_.epoch ? epoch > map_.epoch
+                                            : version > map_.version;
+    if (!behind) return false;
+  }
+  if (!options_.map_fetch) return false;  // nothing to pull through
+  {
+    const util::MutexLock lock(stats_mutex_);
+    ++map_refreshes_;
+  }
+  ShardMap fetched;
+  try {
+    fetched = options_.map_fetch();
+  } catch (const ServiceError&) {
+    return false;  // the refresh is advisory; the next announcement retries
+  }
+  return update_map(fetched);
+}
+
+std::int64_t ClusterService::map_refresh_count() const {
+  const util::MutexLock lock(stats_mutex_);
+  return map_refreshes_;
+}
+
+std::size_t ClusterService::cursor_count() const {
+  const util::MutexLock lock(cursors_mutex_);
+  return cursors_.size();
 }
 
 std::int64_t ClusterService::failover_count() const {

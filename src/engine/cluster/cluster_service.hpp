@@ -24,7 +24,13 @@
 //     on_map_push hook has usually already delivered the newer map carried
 //     by the veto; ClusterOptions::map_fetch covers resolvers without one)
 //     and the request re-routes under the new version. update_map only ever
-//     adopts strictly newer versions, so pushes and bounces can race freely.
+//     adopts superseding (epoch, version) maps, so pushes, bounces, and the
+//     anti-entropy paths can race freely.
+//   - Anti-entropy: servers piggyback the (version, epoch) they route by on
+//     every response (wire map_version frames); note_map_version() compares
+//     the announcement against the held map and pulls a fresh one through
+//     map_fetch when behind, so convergence does not wait for the next
+//     stale_map bounce. Refreshes are counted in stats().transport.
 //
 // Admission and drop address the whole replica set (a batch can only fail
 // over to a replica that knows the graph); reads and batches address one
@@ -98,12 +104,36 @@ class ClusterService final : public SamplerService {
   /// skipped, not fatal), plus this client's own failover count.
   ServiceStats stats() const override;
 
-  /// Adopts `map` when it is strictly newer than the current one; returns
-  /// whether it was adopted. Safe from any thread — this is the push target
-  /// for RemoteOptions::on_map_push and coordinator subscriptions.
+  /// Adopts `map` when it supersedes the current one (lexicographic
+  /// (epoch, version), ShardMap::supersedes); returns whether it was
+  /// adopted. Safe from any thread — this is the push target for
+  /// RemoteOptions::on_map_push and coordinator subscriptions.
   bool update_map(const ShardMap& map);
 
   ShardMap current_map() const;
+
+  /// The map this client routes by / absorb a pushed one — the same
+  /// update_map adoption rule behind the SamplerService virtuals, so a
+  /// ClusterService can stand in wherever a map-speaking service is needed.
+  ShardMap fetch_map() const override;
+  bool push_map(const ShardMap& map) const override;
+
+  /// Anti-entropy: a server announced the (version, epoch) it routes by
+  /// (RemoteOptions::on_map_version wires the piggybacked frames here).
+  /// When the announcement supersedes the held map, pulls a fresh map
+  /// through ClusterOptions::map_fetch. Returns whether a newer map was
+  /// adopted; counts every triggered refresh in stats().transport.
+  bool note_map_version(std::uint64_t version, std::uint64_t epoch);
+
+  /// Map refreshes triggered by anti-entropy announcements (monotone; also
+  /// in stats().transport.map_refreshes).
+  std::int64_t map_refresh_count() const;
+
+  /// Live entries in the cluster-owned cursor table. Cursors are evicted on
+  /// drop() and when a routed call surfaces unknown_fingerprint (the entry
+  /// was dropped cluster-wide behind this client's back), so the table
+  /// tracks the admitted population instead of growing without bound.
+  std::size_t cursor_count() const;
 
   /// Batches re-routed to a replica after a transport failure (monotone;
   /// also reported in stats().transport.failovers).
@@ -130,6 +160,10 @@ class ClusterService final : public SamplerService {
 
   void refresh_map_after_stale() const;
 
+  /// Forgets the cluster-owned cursor for fp (the unknown_fingerprint
+  /// eviction path; drop() erases inline).
+  void evict_cursor(const Fingerprint& fp) const;
+
   /// Jittered wait before retrying a shed request on the same replica;
   /// bumps shed_retries_.
   void wait_before_shed_retry(int hint_ms) const;
@@ -151,7 +185,8 @@ class ClusterService final : public SamplerService {
 
   /// Guards cursors_ (never held while calling a shard).
   mutable util::Mutex cursors_mutex_;
-  std::unordered_map<Fingerprint, std::int64_t> cursors_ GUARDED_BY(cursors_mutex_);
+  mutable std::unordered_map<Fingerprint, std::int64_t> cursors_
+      GUARDED_BY(cursors_mutex_);
 
   mutable util::Mutex watchers_mutex_;
   mutable std::vector<std::future<void>> watchers_ GUARDED_BY(watchers_mutex_);
@@ -159,6 +194,7 @@ class ClusterService final : public SamplerService {
   mutable util::Mutex stats_mutex_;
   mutable std::int64_t failovers_ GUARDED_BY(stats_mutex_) = 0;
   mutable std::int64_t shed_retries_ GUARDED_BY(stats_mutex_) = 0;
+  mutable std::int64_t map_refreshes_ GUARDED_BY(stats_mutex_) = 0;
   mutable std::uint64_t retry_jitter_state_ GUARDED_BY(stats_mutex_) =
       0xa0761d6478bd642full;
 };

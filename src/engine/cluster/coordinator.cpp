@@ -5,11 +5,15 @@
 #include <thread>
 #include <utility>
 
+#include "util/rng.hpp"
+
 namespace cliquest::engine::cluster {
 
 // ---------------------------------------------------------------- MapWatch
 
 MapWatch::MapWatch(ShardMap initial) : map_(std::move(initial)) {}
+
+MapWatch::~MapWatch() { stop_periodic_pull(); }
 
 ShardMap MapWatch::current() const {
   const util::MutexLock lock(mutex_);
@@ -21,20 +25,109 @@ std::uint64_t MapWatch::version() const {
   return map_.version;
 }
 
+std::uint64_t MapWatch::epoch() const {
+  const util::MutexLock lock(mutex_);
+  return map_.epoch;
+}
+
+std::pair<std::uint64_t, std::uint64_t> MapWatch::version_epoch() const {
+  const util::MutexLock lock(mutex_);
+  return {map_.version, map_.epoch};
+}
+
 bool MapWatch::update(const ShardMap& map) {
   if (!map.validation_errors().empty()) return false;  // never adopt a bad map
   const util::MutexLock lock(mutex_);
-  if (map.version <= map_.version) return false;
+  if (!map.supersedes(map_)) return false;
   map_ = map;
   return true;
+}
+
+void MapWatch::start_periodic_pull(
+    std::function<std::optional<ShardMap>()> fetch,
+    std::chrono::milliseconds period, std::uint64_t seed) {
+  if (!fetch || period <= std::chrono::milliseconds::zero())
+    throw ServiceError(ServiceErrorCode::invalid_config,
+                       "MapWatch: periodic pull needs a fetch callback and a "
+                       "positive period");
+  stop_periodic_pull();
+  {
+    const util::MutexLock lock(mutex_);
+    pull_stop_ = false;
+    pull_jitter_state_ = seed;
+  }
+  pull_thread_ = std::thread([this, fetch = std::move(fetch), period] {
+    util::MutexLock lock(mutex_);
+    for (;;) {
+      // Full jitter in [period/2, period]: iterate the splitmix64 finalizer
+      // as the decision stream (same scheme as ClusterService's retry
+      // jitter), so equally seeded watchers still decorrelate over time.
+      pull_jitter_state_ =
+          util::splitmix64(pull_jitter_state_ + 0x9e3779b97f4a7c15ull);
+      const auto half = period / 2;
+      const auto span =
+          half + std::chrono::milliseconds(static_cast<std::int64_t>(
+                     pull_jitter_state_ %
+                     static_cast<std::uint64_t>(half.count() + 1)));
+      const auto deadline = std::chrono::steady_clock::now() + span;
+      while (!pull_stop_) {
+        if (pull_cv_.wait_until(lock, deadline) == std::cv_status::timeout)
+          break;
+      }
+      if (pull_stop_) return;
+      ++pulls_;
+      lock.unlock();
+      std::optional<ShardMap> pulled;
+      try {
+        pulled = fetch();
+      } catch (...) {
+        pulled = std::nullopt;  // an unreachable peer is a skipped tick
+      }
+      lock.lock();
+      if (pull_stop_) return;
+      if (pulled && pulled->validation_errors().empty() &&
+          pulled->supersedes(map_)) {
+        map_ = *pulled;
+        ++pull_adoptions_;
+      }
+    }
+  });
+}
+
+void MapWatch::stop_periodic_pull() {
+  {
+    const util::MutexLock lock(mutex_);
+    pull_stop_ = true;
+  }
+  pull_cv_.notify_all();
+  if (pull_thread_.joinable()) pull_thread_.join();
+}
+
+std::int64_t MapWatch::pull_count() const {
+  const util::MutexLock lock(mutex_);
+  return pulls_;
+}
+
+std::int64_t MapWatch::pull_adopted_count() const {
+  const util::MutexLock lock(mutex_);
+  return pull_adoptions_;
 }
 
 void install_cluster_hooks(transport::ServerOptions& options,
                            std::shared_ptr<MapWatch> watch, int shard_id) {
   options.map_provider = [watch] { return watch->current(); };
   // Accepting a push means "this server now routes by the pushed map or a
-  // newer one it already held" — both count as accepted.
+  // newer one it already held" — both count as accepted. A push from an
+  // older lease epoch is different: the sender is a superseded zombie
+  // coordinator, and the veto must be loud so it stands down.
   options.map_sink = [watch](const ShardMap& map) {
+    const std::uint64_t held = watch->epoch();
+    if (map.epoch < held)
+      throw ServiceError(ServiceErrorCode::stale_epoch,
+                         "map push from coordinator epoch " +
+                             std::to_string(map.epoch) +
+                             "; this shard adopted epoch " +
+                             std::to_string(held));
     watch->update(map);
     return true;
   };
@@ -46,6 +139,20 @@ void install_cluster_hooks(transport::ServerOptions& options,
     // the map the client should have routed by.
     if (map.members.empty() || map.owns(fp, shard_id)) return std::nullopt;
     return map;
+  };
+  options.epoch_guard =
+      [watch](std::uint64_t claimed) -> std::optional<std::uint64_t> {
+    const std::uint64_t held = watch->epoch();
+    if (claimed < held) return held;
+    return std::nullopt;
+  };
+  options.map_version_provider = [watch] {
+    const auto [version, epoch] = watch->version_epoch();
+    return wire::MapVersion{version, epoch};
+  };
+  options.stats_augment = [watch](ServiceStats& stats) {
+    stats.transport.map_pulls += watch->pull_count();
+    stats.transport.map_refreshes += watch->pull_adopted_count();
   };
 }
 
@@ -61,11 +168,23 @@ Coordinator::Coordinator(ShardResolver resolver, CoordinatorOptions options)
                        "Coordinator: replication must be >= 1, got " +
                            std::to_string(options_.replication));
   map_.replication = options_.replication;
+  epoch_ = options_.epoch;
+  map_.epoch = epoch_;
 }
 
 ShardMap Coordinator::current_map() const {
   const util::MutexLock lock(mutex_);
   return map_;
+}
+
+std::uint64_t Coordinator::epoch() const {
+  const util::MutexLock lock(mutex_);
+  return epoch_;
+}
+
+bool Coordinator::fenced() const {
+  const util::MutexLock lock(mutex_);
+  return fenced_;
 }
 
 void Coordinator::subscribe(std::function<void(const ShardMap&)> listener) {
@@ -96,7 +215,35 @@ std::shared_ptr<SamplerService> Coordinator::resolve(
   return client;
 }
 
+void Coordinator::ensure_live_locked() const {
+  if (fenced_)
+    throw ServiceError(ServiceErrorCode::stale_epoch,
+                       "coordinator epoch " + std::to_string(epoch_) +
+                           " was fenced by a newer lease holder");
+}
+
+void Coordinator::note_shard_error_locked(const ServiceError& error) {
+  if (error.code() == ServiceErrorCode::stale_epoch) {
+    // A shard holds a newer lease: some standby took over. Stand down for
+    // good — a fenced coordinator must never touch the cluster again.
+    fenced_ = true;
+    throw error;
+  }
+}
+
 void Coordinator::publish_locked(const ShardMap& map) {
+  // Push straight to the members first: subscribed listeners normally do
+  // this too, but the direct push is what lets a zombie coordinator learn it
+  // was fenced even in deployments that never subscribed a pusher. Members
+  // that do not speak push_map (in-process LocalServices) or are unreachable
+  // converge through listeners and the anti-entropy pull instead.
+  for (const ShardDescriptor& member : map.members) {
+    try {
+      resolve(member)->push_map(map);
+    } catch (const ServiceError& e) {
+      note_shard_error_locked(e);
+    }
+  }
   for (const std::function<void(const ShardMap&)>& listener : listeners_)
     listener(map);
 }
@@ -104,19 +251,23 @@ void Coordinator::publish_locked(const ShardMap& map) {
 Fingerprint Coordinator::admit(const AdmitRequest& request) {
   const Fingerprint fp = fingerprint_graph(request.graph);
   const util::MutexLock lock(mutex_);
+  ensure_live_locked();
   if (map_.members.empty())
     throw ServiceError(ServiceErrorCode::unavailable,
                        "cluster has no members to admit on");
   // First admission wins the catalog slot (pool idempotency); the catalog is
-  // what a later migration re-admits from.
+  // what a later migration or standby takeover re-admits from.
   catalog_.try_emplace(fp, request);
+  AdmitRequest stamped = request;
+  stamped.coordinator_epoch = static_cast<std::int64_t>(epoch_);
   std::exception_ptr failure;
   bool any = false;
   for (const ShardDescriptor& member : map_.owners(fp)) {
     try {
-      resolve(member)->admit(request);
+      resolve(member)->admit(stamped);
       any = true;
     } catch (const ServiceError& e) {
+      note_shard_error_locked(e);
       if (e.code() != ServiceErrorCode::transport) throw;
       failure = std::current_exception();
     }
@@ -127,6 +278,7 @@ Fingerprint Coordinator::admit(const AdmitRequest& request) {
 
 void Coordinator::add_shard(const ShardDescriptor& member) {
   const util::MutexLock lock(mutex_);
+  ensure_live_locked();
   if (map_.has_member(member.shard_id))
     throw ServiceError(ServiceErrorCode::invalid_request,
                        "shard " + std::to_string(member.shard_id) +
@@ -140,6 +292,7 @@ void Coordinator::add_shard(const ShardDescriptor& member) {
 
 void Coordinator::remove_shard(int shard_id) {
   const util::MutexLock lock(mutex_);
+  ensure_live_locked();
   if (!map_.has_member(shard_id))
     throw ServiceError(ServiceErrorCode::invalid_request,
                        "shard " + std::to_string(shard_id) +
@@ -151,9 +304,98 @@ void Coordinator::remove_shard(int shard_id) {
   apply_locked(std::move(next));
 }
 
+std::uint64_t Coordinator::takeover(const std::vector<ShardDescriptor>& seeds) {
+  const util::MutexLock lock(mutex_);
+  // 1 — probe every seed for the newest (epoch, version) map in the cluster
+  // and the highest epoch anyone has witnessed.
+  ShardMap best = map_;
+  std::uint64_t ceiling = std::max(epoch_, map_.epoch);
+  std::size_t reachable = 0;
+  for (const ShardDescriptor& seed : seeds) {
+    try {
+      const ShardMap held = resolve(seed)->fetch_map();
+      ++reachable;
+      ceiling = std::max(ceiling, held.epoch);
+      if (held.supersedes(best)) best = held;
+    } catch (const ServiceError&) {
+      // A dead seed cannot vote; takeover works with whoever answers.
+    }
+  }
+  if (reachable == 0)
+    throw ServiceError(ServiceErrorCode::unavailable,
+                       "takeover reached none of " +
+                           std::to_string(seeds.size()) + " seed shards");
+  epoch_ = ceiling + 1;
+  fenced_ = false;
+  if (!best.members.empty()) options_.replication = best.replication;
+
+  // 2 — rebuild the admission catalog from the live members' own entries.
+  // The dead primary's catalog died with it; the shards collectively hold
+  // every graph the cluster still serves.
+  for (const ShardDescriptor& member : best.members) {
+    std::shared_ptr<SamplerService> client;
+    std::vector<Fingerprint> held;
+    try {
+      client = resolve(member);
+      held = client->catalog_fingerprints();
+    } catch (const ServiceError&) {
+      continue;
+    }
+    for (const Fingerprint& fp : held) {
+      if (catalog_.contains(fp)) continue;
+      try {
+        catalog_.emplace(fp, client->export_admit(fp));
+      } catch (const ServiceError&) {
+        // Raced a drop or lost the member mid-handoff; another replica may
+        // still donate this entry on a later iteration.
+      }
+    }
+  }
+
+  // 3 — repair half-done migrations: the dead primary may have seeded some
+  // owners and not others. Re-admit every cataloged fingerprint on every
+  // owner under the adopted map at the max cursor any replica reached —
+  // admits are idempotent on shards that already hold the entry, and the
+  // max cursor never replays a reserved range.
+  map_ = best;
+  for (auto& [fp, request] : catalog_) {
+    std::int64_t cursor = request.first_draw_index;
+    const std::vector<ShardDescriptor> owners = map_.owners(fp);
+    for (const ShardDescriptor& owner : owners) {
+      try {
+        cursor = std::max(cursor, resolve(owner)->draw_cursor(fp));
+      } catch (const ServiceError&) {
+        // Unreachable or not holding the entry: best effort.
+      }
+    }
+    request.first_draw_index = cursor;
+    AdmitRequest admit = request;
+    admit.coordinator_epoch = static_cast<std::int64_t>(epoch_);
+    for (const ShardDescriptor& owner : owners) {
+      try {
+        resolve(owner)->admit(admit);
+      } catch (const ServiceError& e) {
+        note_shard_error_locked(e);
+        // An unreachable owner is repaired by the next membership change.
+      }
+    }
+  }
+
+  // 4 — publish the repaired map under the new lease. From here every
+  // shard's epoch_guard fences the old primary.
+  ShardMap next = map_;
+  next.version = map_.version + 1;
+  next.epoch = epoch_;
+  map_ = std::move(next);
+  publish_locked(map_);
+  return epoch_;
+}
+
 void Coordinator::apply_locked(ShardMap next) {
+  const ShardMap previous = map_;
   next.version = map_.version + 1;
   next.replication = options_.replication;
+  next.epoch = epoch_;
 
   // Ownership diff per cataloged fingerprint under old vs. new map.
   struct Migration {
@@ -199,10 +441,12 @@ void Coordinator::apply_locked(ShardMap next) {
     }
     AdmitRequest request = catalog_.at(migration.fp);
     request.first_draw_index = cursor;
+    request.coordinator_epoch = static_cast<std::int64_t>(epoch_);
     for (const ShardDescriptor& joiner : migration.joiners) {
       try {
         resolve(joiner)->admit(request);
       } catch (const ServiceError& e) {
+        note_shard_error_locked(e);
         if (e.code() != ServiceErrorCode::transport) throw;
         // An unreachable joiner serves unknown_fingerprint until it comes
         // back and is re-admitted; routing still has the other replicas.
@@ -215,9 +459,13 @@ void Coordinator::apply_locked(ShardMap next) {
   map_ = std::move(next);
   publish_locked(map_);
 
-  // Phase 3 — drain and drop the leavers. Draining first means no in-flight
-  // batch is ever torn; the timeout bounds a wedged shard (in-flight batches
-  // hold their own sampler references, so a timed-out drop is still safe).
+  // Phase 3a — drain every leaver before dropping anything, so a drain
+  // failure can still roll the whole change back without having torn an
+  // entry. A leaver that is gone (killed shard) has nothing to drain; a
+  // reachable one that will not reach zero in-flight within drain_timeout
+  // aborts the change.
+  int wedged_shard = 0;
+  bool timed_out = false;
   for (const Migration& migration : migrations) {
     for (const ShardDescriptor& leaver : migration.leavers) {
       try {
@@ -227,9 +475,58 @@ void Coordinator::apply_locked(ShardMap next) {
         while (client->in_flight(migration.fp) > 0 &&
                std::chrono::steady_clock::now() < deadline)
           std::this_thread::sleep_for(options_.drain_poll);
-        client->drop(migration.fp);
+        if (client->in_flight(migration.fp) > 0) {
+          wedged_shard = leaver.shard_id;
+          timed_out = true;
+        }
       } catch (const ServiceError&) {
-        // A leaver that is gone (killed shard) has nothing to drain or drop.
+        // Dead leaver: nothing to drain or drop.
+      }
+      if (timed_out) break;
+    }
+    if (timed_out) break;
+  }
+
+  if (timed_out) {
+    // Roll back: drop the phase-1 joiner admissions (in-flight batches hold
+    // their own sampler references, so a drop is always safe) and publish
+    // the old membership under a version past the aborted one, so every
+    // party that adopted the aborted map converges back. The typed timeout
+    // tells the caller the change did not happen.
+    for (const Migration& migration : migrations) {
+      for (const ShardDescriptor& joiner : migration.joiners) {
+        try {
+          resolve(joiner)->drop_fenced(migration.fp, epoch_);
+        } catch (const ServiceError& e) {
+          note_shard_error_locked(e);
+          // An unreachable joiner's stray entry is fenced off by the
+          // rolled-back map's stale guard and cleaned by a later change.
+        }
+      }
+    }
+    ShardMap rollback = previous;
+    rollback.version = map_.version + 1;
+    rollback.epoch = epoch_;
+    map_ = std::move(rollback);
+    publish_locked(map_);
+    throw ServiceError(ServiceErrorCode::timeout,
+                       "membership change rolled back: shard " +
+                           std::to_string(wedged_shard) +
+                           " did not drain within " +
+                           std::to_string(options_.drain_timeout.count()) +
+                           "ms");
+  }
+
+  // Phase 3b — every leaver drained (or died): retire the entries. Drops are
+  // epoch-fenced so a zombie coordinator replaying this path cannot tear a
+  // successor's migration.
+  for (const Migration& migration : migrations) {
+    for (const ShardDescriptor& leaver : migration.leavers) {
+      try {
+        resolve(leaver)->drop_fenced(migration.fp, epoch_);
+      } catch (const ServiceError& e) {
+        note_shard_error_locked(e);
+        // A leaver that is gone (killed shard) has nothing to drop.
       }
     }
   }

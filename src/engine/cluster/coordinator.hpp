@@ -21,15 +21,33 @@
 //
 // Steps 1–2 before the publish mean a client routed by the new map never
 // reaches a shard that lacks the graph; draining before the drop means no
-// in-flight batch is ever torn. Trees drawn before, during, and after a
+// in-flight batch is ever torn. A reachable leaver that refuses to drain
+// within drain_timeout rolls the whole change back (typed timeout) instead
+// of wedging or tearing it. Trees drawn before, during, and after a
 // migration are byte-identical to an unmigrated run — the replay-equality
 // property cluster_test pins down.
+//
+// High availability (PR 9): coordinators hold an epoch-numbered lease.
+// Every map they publish and every admit/drop they originate carries the
+// epoch; shards adopt the highest (epoch, version) they have seen
+// (ShardMap::supersedes) and veto frames from older epochs with
+// ServiceError{stale_epoch}. A standby takes over with takeover(): it
+// probes the live shards for the newest map, claims epoch max+1, rebuilds
+// the catalog from the shards' own entries (catalog_fingerprints /
+// export_admit), repairs half-done migrations by re-seeding every owner at
+// the max cursor any replica reached, and publishes under the new lease.
+// From that point the old primary — even one that comes back mid-write — is
+// a zombie: its first fenced operation earns stale_epoch, it marks itself
+// fenced() and refuses everything after.
 
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "engine/cluster/cluster_service.hpp"
@@ -39,28 +57,63 @@
 
 namespace cliquest::engine::cluster {
 
-/// Thread-safe newest-wins holder of a ShardMap. update() adopts strictly
-/// newer versions only, so pushes, fetches, and bounces can race freely.
+/// Thread-safe newest-wins holder of a ShardMap. update() adopts by
+/// lexicographic (epoch, version) supersession only, so pushes, fetches,
+/// bounces, and the periodic anti-entropy pull can race freely.
 class MapWatch {
  public:
   explicit MapWatch(ShardMap initial = {});
+  ~MapWatch();  // stops the periodic pull, if running
+
+  MapWatch(const MapWatch&) = delete;
+  MapWatch& operator=(const MapWatch&) = delete;
 
   ShardMap current() const;
   std::uint64_t version() const;
+  std::uint64_t epoch() const;
+  /// (version, epoch) read under one lock — the cheap pair the server's
+  /// map_version_provider piggybacks on every response.
+  std::pair<std::uint64_t, std::uint64_t> version_epoch() const;
 
-  /// Adopts `map` when strictly newer (and structurally valid); returns
-  /// whether it was adopted.
+  /// Adopts `map` when it supersedes the held one (and is structurally
+  /// valid); returns whether it was adopted.
   bool update(const ShardMap& map);
+
+  /// Anti-entropy backstop: a background thread that calls `fetch` roughly
+  /// every `period` (full jitter in [period/2, period], seeded, so a fleet
+  /// of watchers never thunders in lockstep) and adopts the result when it
+  /// supersedes. A fetch that throws or returns nullopt is a skipped tick —
+  /// the peer being down is exactly when the pull matters later. Restart-safe
+  /// (an earlier pull is stopped first).
+  void start_periodic_pull(std::function<std::optional<ShardMap>()> fetch,
+                           std::chrono::milliseconds period,
+                           std::uint64_t seed = 1);
+  void stop_periodic_pull();
+
+  /// Convergence counters: pull attempts and pulls that adopted a newer map.
+  std::int64_t pull_count() const;
+  std::int64_t pull_adopted_count() const;
 
  private:
   mutable util::Mutex mutex_;
   ShardMap map_ GUARDED_BY(mutex_);
+  util::CondVar pull_cv_;
+  bool pull_stop_ GUARDED_BY(mutex_) = false;
+  std::uint64_t pull_jitter_state_ GUARDED_BY(mutex_) = 0;
+  std::int64_t pulls_ GUARDED_BY(mutex_) = 0;
+  std::int64_t pull_adoptions_ GUARDED_BY(mutex_) = 0;
+  /// Started/joined only from start_periodic_pull / stop_periodic_pull /
+  /// the destructor, which deployments call from one thread.
+  std::thread pull_thread_;
 };
 
 /// Wires a shard server into the cluster: `watch` answers map_query frames,
-/// absorbs shard_map pushes, and vetoes batch_request frames for
-/// fingerprints `shard_id` does not own under the current map (empty map =
-/// pre-cluster, no vetoes).
+/// absorbs shard_map pushes (vetoing pushes from fenced coordinator epochs
+/// with stale_epoch), vetoes batch_request frames for fingerprints
+/// `shard_id` does not own under the current map (empty map = pre-cluster,
+/// no vetoes), fences coordinator-originated admits/drops from older
+/// epochs, piggybacks the watch's (version, epoch) on responses, and folds
+/// the watch's pull counters into stats responses.
 void install_cluster_hooks(transport::ServerOptions& options,
                            std::shared_ptr<MapWatch> watch, int shard_id);
 
@@ -68,11 +121,18 @@ struct CoordinatorOptions {
   /// Owners per fingerprint in the maps this coordinator publishes.
   int replication = 1;
 
-  /// Drain poll cadence and bound: a leaving owner whose in-flight count
-  /// will not reach zero within drain_timeout is dropped anyway (its batches
-  /// hold their own sampler references and complete unharmed).
+  /// Drain poll cadence and bound: a reachable leaving owner whose
+  /// in-flight count does not reach zero within drain_timeout rolls the
+  /// membership change back with a typed timeout (see apply_locked) rather
+  /// than wedging the control plane or tearing the batch.
   std::chrono::milliseconds drain_poll{2};
   std::chrono::milliseconds drain_timeout{10000};
+
+  /// Lease epoch this coordinator starts with. 0 is the pre-HA value: maps
+  /// with epoch 0 compare purely by version, so single-coordinator
+  /// deployments behave exactly as before. A standby calls takeover() to
+  /// claim a higher epoch instead of configuring one.
+  std::uint64_t epoch = 0;
 };
 
 class Coordinator {
@@ -83,23 +143,45 @@ class Coordinator {
 
   ShardMap current_map() const;
 
+  /// The lease epoch this coordinator stamps on everything it originates.
+  std::uint64_t epoch() const;
+
+  /// True once a shard has vetoed this coordinator with stale_epoch: a
+  /// newer lease holder exists, and every further operation fails fast with
+  /// stale_epoch without touching the cluster.
+  bool fenced() const;
+
   /// Registers a listener invoked with every newly published map, on the
   /// thread that mutated membership. Deployments subscribe the pushes: to
   /// each shard server's MapWatch (directly or via RemoteService::push_map)
-  /// and to each client's ClusterService::update_map.
+  /// and to each client's ClusterService::update_map. Independently of
+  /// listeners, every publish is also pushed straight to the member shards
+  /// (best effort), which is how a zombie coordinator learns it was fenced.
   void subscribe(std::function<void(const ShardMap&)> listener);
 
   /// Admits cluster-wide: catalogs the request (migrations re-admit from the
-  /// catalog) and admits on every owner under the current map. The first
-  /// admission of a fingerprint wins the catalog slot, matching pool
-  /// idempotency.
+  /// catalog) and admits on every owner under the current map, stamped with
+  /// this coordinator's epoch. The first admission of a fingerprint wins the
+  /// catalog slot, matching pool idempotency.
   Fingerprint admit(const AdmitRequest& request);
 
   /// Membership changes: bump the version, migrate every cataloged
   /// fingerprint whose replica set changed, publish. add_shard rejects
-  /// duplicate ids, remove_shard unknown ids (invalid_request).
+  /// duplicate ids, remove_shard unknown ids (invalid_request). Throws
+  /// ServiceError{timeout} after rolling the map back when a reachable
+  /// leaver would not drain within drain_timeout.
   void add_shard(const ShardDescriptor& member);
   void remove_shard(int shard_id);
+
+  /// Standby takeover. Probes `seeds` (typically the last known member
+  /// set) for the newest (epoch, version) map, claims epoch = max seen + 1,
+  /// rebuilds the admission catalog from the live members, repairs
+  /// partially applied migrations (every owner under the adopted map is
+  /// re-admitted at the max draw cursor any replica reached — replay-safe
+  /// by the pinned-range protocol), and publishes the repaired map under
+  /// the new lease. Returns the claimed epoch. Throws
+  /// ServiceError{unavailable} when no seed answers.
+  std::uint64_t takeover(const std::vector<ShardDescriptor>& seeds);
 
   /// Fingerprints currently cataloged (admitted through this coordinator).
   std::vector<Fingerprint> cataloged() const;
@@ -107,8 +189,13 @@ class Coordinator {
  private:
   std::shared_ptr<SamplerService> resolve(const ShardDescriptor& member) const
       REQUIRES(mutex_);
+  void ensure_live_locked() const REQUIRES(mutex_);
   void apply_locked(ShardMap next) REQUIRES(mutex_);
   void publish_locked(const ShardMap& map) REQUIRES(mutex_);
+  /// Routes a ServiceError from a shard RPC through the fencing rule:
+  /// stale_epoch marks this coordinator fenced and rethrows; everything
+  /// else returns for the caller to handle.
+  void note_shard_error_locked(const ServiceError& error) REQUIRES(mutex_);
 
   ShardResolver resolver_;
   CoordinatorOptions options_;
@@ -119,6 +206,8 @@ class Coordinator {
   /// listeners and resolvers must never call back into the coordinator.
   mutable util::Mutex mutex_;
   ShardMap map_ GUARDED_BY(mutex_);
+  std::uint64_t epoch_ GUARDED_BY(mutex_) = 0;
+  bool fenced_ GUARDED_BY(mutex_) = false;
   std::unordered_map<Fingerprint, AdmitRequest> catalog_ GUARDED_BY(mutex_);
   std::vector<std::function<void(const ShardMap&)>> listeners_ GUARDED_BY(mutex_);
   mutable std::unordered_map<int, std::shared_ptr<SamplerService>> clients_

@@ -51,8 +51,15 @@ struct ShardDescriptor {
 
 struct ShardMap {
   /// Monotone per cluster; a map with a higher version supersedes any lower
-  /// one. Version 0 is the empty pre-cluster map.
+  /// one under the same epoch. Version 0 is the empty pre-cluster map.
   std::uint64_t version = 0;
+
+  /// The coordinator lease epoch that published this map. Supersession is
+  /// lexicographic on (epoch, version): a standby coordinator takes over by
+  /// bumping the epoch, and anything the fenced predecessor publishes later
+  /// — whatever its version — loses. Epoch 0 is the pre-HA single
+  /// coordinator.
+  std::uint64_t epoch = 0;
 
   /// Owners per fingerprint (replica set size). Clamped to the member count
   /// when the cluster is smaller.
@@ -61,6 +68,14 @@ struct ShardMap {
   std::vector<ShardDescriptor> members;
 
   bool operator==(const ShardMap&) const = default;
+
+  /// True when this map wins adoption over `other`: (epoch, version)
+  /// strictly greater lexicographically. The one comparison every party —
+  /// MapWatch, ClusterService, a probing standby — uses to pick between two
+  /// map copies.
+  bool supersedes(const ShardMap& other) const {
+    return epoch != other.epoch ? epoch > other.epoch : version > other.version;
+  }
 
   /// Validation errors (duplicate ids, non-finite/non-positive weights,
   /// replication < 1); empty means well-formed. An empty member list is

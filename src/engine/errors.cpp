@@ -22,6 +22,8 @@ std::string_view service_error_name(ServiceErrorCode code) {
       return "timeout";
     case ServiceErrorCode::stale_map:
       return "stale_map";
+    case ServiceErrorCode::stale_epoch:
+      return "stale_epoch";
   }
   return "unknown";
 }

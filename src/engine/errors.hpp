@@ -41,6 +41,12 @@ enum class ServiceErrorCode {
   /// current map rides the wire alongside this code (a stale_map frame), so
   /// the client converges and retries without a coordinator round-trip.
   stale_map,
+  /// A coordinator-originated frame carried a lease epoch older than the one
+  /// the shard has already adopted: the sender was fenced by a standby
+  /// takeover. Unlike stale_map this is not retried — the fenced coordinator
+  /// must stand down; a zombie primary returning from a pause cannot tear a
+  /// migration the new epoch's coordinator owns.
+  stale_epoch,
 };
 
 /// Stable lowercase token, e.g. "unknown_fingerprint"; the code's wire name.

@@ -160,6 +160,8 @@ std::string render_text(const ServiceStats& stats) {
   append_counter(out, "cliquest_dial_failures_total", transport.dial_failures);
   append_counter(out, "cliquest_failovers_total", transport.failovers);
   append_counter(out, "cliquest_shed_retries_total", transport.shed_retries);
+  append_counter(out, "cliquest_map_refreshes_total", transport.map_refreshes);
+  append_counter(out, "cliquest_map_pulls_total", transport.map_pulls);
 
   const MetricsSnapshot& m = stats.metrics;
   append_counter(out, "cliquest_queue_depth", m.queue_depth);

@@ -147,6 +147,23 @@ bool SamplerPool::drop(const Fingerprint& fp) {
   return true;
 }
 
+std::vector<Fingerprint> SamplerPool::admitted_fingerprints() const {
+  const util::MutexLock lock(mutex_);
+  std::vector<Fingerprint> fingerprints;
+  fingerprints.reserve(entries_.size());
+  for (const auto& [fp, entry] : entries_) fingerprints.push_back(fp);
+  return fingerprints;
+}
+
+std::pair<graph::Graph, EngineOptions> SamplerPool::admitted_entry(
+    const Fingerprint& fp) const {
+  const util::MutexLock lock(mutex_);
+  const std::shared_ptr<Entry> entry = find_locked(fp);
+  // graph and options are immutable after admission (see Entry), so copying
+  // them out under mutex_ is safe even while a build holds build_mutex.
+  return {*entry->graph, entry->options};
+}
+
 std::shared_ptr<SamplerPool::Entry> SamplerPool::find_locked(
     const Fingerprint& fp) const {
   const auto it = entries_.find(fp);

@@ -47,6 +47,7 @@
 #include <memory>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "engine/fingerprint.hpp"
@@ -174,6 +175,15 @@ class SamplerPool {
   /// returns false when fp was never admitted. In-flight batches hold their
   /// own sampler reference and complete unharmed.
   bool drop(const Fingerprint& fp);
+
+  /// Every admitted fingerprint, resident or not — the catalog a standby
+  /// coordinator rebuilds from the live shards during takeover.
+  std::vector<Fingerprint> admitted_fingerprints() const;
+
+  /// The entry's admitted graph and options, copied out so the entry can be
+  /// re-admitted elsewhere (the coordinator catalog handoff). Throws
+  /// ServiceError{unknown_fingerprint}.
+  std::pair<graph::Graph, EngineOptions> admitted_entry(const Fingerprint& fp) const;
 
   /// Draws k trees synchronously, preparing (and possibly evicting) on a
   /// cold entry. Throws ServiceError{unknown_fingerprint} on unknown

@@ -238,6 +238,14 @@ void RemoteService::handle_frame(Link& link, std::uint64_t request_id,
                                  wire::Bytes message) const {
   const wire::MessageType type = wire::peek_type(message);
 
+  if (type == wire::MessageType::map_version) {
+    // The server's unsolicited anti-entropy announce (request id 0): no
+    // pending request names it — route it to the hook and move on.
+    const wire::MapVersion announce = wire::decode_map_version(message);
+    if (options_.on_map_version) options_.on_map_version(announce);
+    return;
+  }
+
   if (type == wire::MessageType::batch_chunk) {
     wire::BatchChunk chunk = wire::decode_batch_chunk(message);
     const util::MutexLock lock(mutex_);
@@ -408,6 +416,19 @@ std::int64_t RemoteService::in_flight(const Fingerprint& fp) const {
 bool RemoteService::drop(const Fingerprint& fp) {
   return wire::decode_bool_response(
       rpc(wire::encode_query(wire::MessageType::drop_query, fp)));
+}
+
+bool RemoteService::drop_fenced(const Fingerprint& fp, std::uint64_t epoch) {
+  return wire::decode_bool_response(rpc(wire::encode_fenced_drop(fp, epoch)));
+}
+
+std::vector<Fingerprint> RemoteService::catalog_fingerprints() const {
+  return wire::decode_catalog_response(rpc(wire::encode_catalog_query()));
+}
+
+AdmitRequest RemoteService::export_admit(const Fingerprint& fp) const {
+  return wire::decode_admit_request(
+      rpc(wire::encode_query(wire::MessageType::admit_export_query, fp)));
 }
 
 cluster::ShardMap RemoteService::fetch_map() const {
@@ -582,6 +603,24 @@ std::int64_t LoopbackShard::in_flight(const Fingerprint& fp) const {
 }
 
 bool LoopbackShard::drop(const Fingerprint& fp) { return remote_->drop(fp); }
+
+bool LoopbackShard::drop_fenced(const Fingerprint& fp, std::uint64_t epoch) {
+  return remote_->drop_fenced(fp, epoch);
+}
+
+std::vector<Fingerprint> LoopbackShard::catalog_fingerprints() const {
+  return remote_->catalog_fingerprints();
+}
+
+AdmitRequest LoopbackShard::export_admit(const Fingerprint& fp) const {
+  return remote_->export_admit(fp);
+}
+
+cluster::ShardMap LoopbackShard::fetch_map() const { return remote_->fetch_map(); }
+
+bool LoopbackShard::push_map(const cluster::ShardMap& map) const {
+  return remote_->push_map(map);
+}
 
 BatchResponse LoopbackShard::sample_batch(const BatchRequest& request) {
   return remote_->sample_batch(request);

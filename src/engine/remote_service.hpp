@@ -79,6 +79,13 @@ struct RemoteOptions {
   /// fails with ServiceError{stale_map}; a cluster client installs this hook
   /// to adopt the newer map before retrying.
   std::function<void(const cluster::ShardMap&)> on_map_push;
+
+  /// Invoked (on the reader thread, no RemoteService lock held) when the
+  /// server piggybacks a map_version announce (request id 0) ahead of a
+  /// response — its map advanced past what this connection last heard. A
+  /// cluster client compares against its own map and pulls the full map
+  /// with fetch_map when behind (anti-entropy without polling).
+  std::function<void(const wire::MapVersion&)> on_map_version;
 };
 
 class RemoteService final : public SamplerService {
@@ -98,6 +105,15 @@ class RemoteService final : public SamplerService {
   std::int64_t draw_cursor(const Fingerprint& fp) const override;
   std::int64_t in_flight(const Fingerprint& fp) const override;
   bool drop(const Fingerprint& fp) override;
+
+  /// Epoch-fenced drop (fenced_drop_query): the server vetoes it with
+  /// ServiceError{stale_epoch} when `epoch` is behind the map it adopted.
+  bool drop_fenced(const Fingerprint& fp, std::uint64_t epoch) override;
+
+  /// The peer's admission catalog and per-entry admission state — what a
+  /// standby coordinator rebuilds from during takeover.
+  std::vector<Fingerprint> catalog_fingerprints() const override;
+  AdmitRequest export_admit(const Fingerprint& fp) const override;
   BatchResponse sample_batch(const BatchRequest& request) override;
   std::future<BatchResponse> submit_batch(const BatchRequest& request) override;
 
@@ -120,12 +136,13 @@ class RemoteService final : public SamplerService {
 
   /// Asks the server for its current cluster map (map_query). Throws
   /// ServiceError{unavailable} when the server has no map to serve.
-  cluster::ShardMap fetch_map() const;
+  cluster::ShardMap fetch_map() const override;
 
   /// Pushes a map to the server (a coordinator's view change); true when the
   /// server accepted it. Throws ServiceError{unavailable} when the server
-  /// does not accept pushes.
-  bool push_map(const cluster::ShardMap& map) const;
+  /// does not accept pushes and ServiceError{stale_epoch} when the map's
+  /// epoch is behind the one the server adopted (the pusher was fenced).
+  bool push_map(const cluster::ShardMap& map) const override;
 
   /// True while a handshaken connection is up (a failed peer is only
   /// noticed when a call touches it).
@@ -239,6 +256,11 @@ class LoopbackShard final : public SamplerService {
   std::int64_t draw_cursor(const Fingerprint& fp) const override;
   std::int64_t in_flight(const Fingerprint& fp) const override;
   bool drop(const Fingerprint& fp) override;
+  bool drop_fenced(const Fingerprint& fp, std::uint64_t epoch) override;
+  std::vector<Fingerprint> catalog_fingerprints() const override;
+  AdmitRequest export_admit(const Fingerprint& fp) const override;
+  cluster::ShardMap fetch_map() const override;
+  bool push_map(const cluster::ShardMap& map) const override;
   BatchResponse sample_batch(const BatchRequest& request) override;
   std::future<BatchResponse> submit_batch(const BatchRequest& request) override;
   ServiceStats stats() const override;

@@ -42,6 +42,8 @@ void merge_transport(TransportStats& into, const TransportStats& from) {
   into.dial_failures += from.dial_failures;
   into.failovers += from.failovers;
   into.shed_retries += from.shed_retries;
+  into.map_refreshes += from.map_refreshes;
+  into.map_pulls += from.map_pulls;
 }
 
 }  // namespace
@@ -64,6 +66,33 @@ bool SamplerService::drop(const Fingerprint& fp) {
   throw ServiceError(ServiceErrorCode::unavailable,
                      "this service does not support drop (fingerprint " +
                          fp.to_string() + ")");
+}
+
+bool SamplerService::drop_fenced(const Fingerprint& fp, std::uint64_t /*epoch*/) {
+  // In-process there is no fencing edge — the epoch guard lives on the
+  // transport server. Forwarding keeps the coordinator's drop path uniform.
+  return drop(fp);
+}
+
+std::vector<Fingerprint> SamplerService::catalog_fingerprints() const {
+  throw ServiceError(ServiceErrorCode::unavailable,
+                     "this service does not export its admission catalog");
+}
+
+AdmitRequest SamplerService::export_admit(const Fingerprint& fp) const {
+  throw ServiceError(ServiceErrorCode::unavailable,
+                     "this service does not export admissions (fingerprint " +
+                         fp.to_string() + ")");
+}
+
+cluster::ShardMap SamplerService::fetch_map() const {
+  throw ServiceError(ServiceErrorCode::unavailable,
+                     "this service holds no cluster shard map");
+}
+
+bool SamplerService::push_map(const cluster::ShardMap&) const {
+  throw ServiceError(ServiceErrorCode::unavailable,
+                     "this service accepts no cluster shard map");
 }
 
 std::vector<std::future<BatchResponse>> SamplerService::submit_all(
@@ -179,6 +208,21 @@ std::int64_t LocalService::in_flight(const Fingerprint& fp) const {
 
 bool LocalService::drop(const Fingerprint& fp) { return pool_.drop(fp); }
 
+std::vector<Fingerprint> LocalService::catalog_fingerprints() const {
+  return pool_.admitted_fingerprints();
+}
+
+AdmitRequest LocalService::export_admit(const Fingerprint& fp) const {
+  auto [graph, options] = pool_.admitted_entry(fp);
+  AdmitRequest request;
+  request.graph = std::move(graph);
+  request.options = options;
+  // Export the live cursor so a re-admission elsewhere continues the
+  // (seed, index) streams exactly where this entry stopped.
+  request.first_draw_index = pool_.draw_cursor(fp);
+  return request;
+}
+
 BatchResponse LocalService::sample_batch(const BatchRequest& request) {
   return pool_.sample_batch(request.fingerprint, request.draw_count,
                             request.first_draw_index);
@@ -276,6 +320,19 @@ std::int64_t ShardedService::in_flight(const Fingerprint& fp) const {
 
 bool ShardedService::drop(const Fingerprint& fp) {
   return shards_[static_cast<std::size_t>(shard_for(fp))]->drop(fp);
+}
+
+std::vector<Fingerprint> ShardedService::catalog_fingerprints() const {
+  std::vector<Fingerprint> all;
+  for (const std::unique_ptr<SamplerService>& shard : shards_) {
+    std::vector<Fingerprint> child = shard->catalog_fingerprints();
+    all.insert(all.end(), child.begin(), child.end());
+  }
+  return all;
+}
+
+AdmitRequest ShardedService::export_admit(const Fingerprint& fp) const {
+  return shards_[static_cast<std::size_t>(shard_for(fp))]->export_admit(fp);
 }
 
 BatchResponse ShardedService::sample_batch(const BatchRequest& request) {

@@ -34,6 +34,7 @@
 #include <memory>
 #include <vector>
 
+#include "engine/cluster/shard_map.hpp"
 #include "engine/errors.hpp"
 #include "engine/fingerprint.hpp"
 #include "engine/metrics.hpp"
@@ -51,6 +52,12 @@ struct AdmitRequest {
   graph::Graph graph;
   EngineOptions options;
   std::int64_t first_draw_index = 0;
+  /// The coordinator lease epoch this admission was issued under, or -1 for
+  /// an admission that is not coordinator-originated (a client admit, a
+  /// local pool). Shards with an epoch guard veto admissions from a lower
+  /// epoch than the map they already adopted (ServiceError{stale_epoch}), so
+  /// a fenced coordinator cannot seed entries mid-zombie.
+  std::int64_t coordinator_epoch = -1;
 };
 
 /// Serving message: draw draw_count trees against an admitted fingerprint.
@@ -91,6 +98,10 @@ struct TransportStats {
   std::int64_t failovers = 0;      // batches re-routed to a replica
   std::int64_t shed_retries = 0;   // shed (`unavailable` + retry_after_ms)
                                    // responses retried on the same target
+  std::int64_t map_refreshes = 0;  // shard maps adopted after an anti-entropy
+                                   // signal (piggybacked map_version announce)
+  std::int64_t map_pulls = 0;      // periodic backstop map pulls attempted
+                                   // (MapWatch's jittered timer)
 };
 
 struct ServiceStats {
@@ -144,6 +155,38 @@ class SamplerService {
   /// still complete (they hold their own references).
   virtual bool drop(const Fingerprint& fp);
 
+  /// Epoch-fenced drop: a coordinator retiring a migrated entry passes its
+  /// lease epoch so a shard that already adopted a newer epoch can veto the
+  /// call (ServiceError{stale_epoch}) — a fenced zombie coordinator must not
+  /// tear entries it no longer owns. The default forwards to drop(): an
+  /// in-process service has no fencing edge, the veto lives on the
+  /// transport server (ServerOptions::epoch_guard); RemoteService carries
+  /// the epoch across the wire.
+  virtual bool drop_fenced(const Fingerprint& fp, std::uint64_t epoch);
+
+  /// Every admitted fingerprint — the catalog a standby coordinator rebuilds
+  /// from live shards during takeover. Default throws
+  /// ServiceError{unavailable}.
+  virtual std::vector<Fingerprint> catalog_fingerprints() const;
+
+  /// The entry's admission message, re-exported: graph + options with
+  /// first_draw_index at the entry's live cursor, so re-admitting it
+  /// elsewhere continues the (seed, index) streams. Throws
+  /// ServiceError{unknown_fingerprint}; default throws
+  /// ServiceError{unavailable}.
+  virtual AdmitRequest export_admit(const Fingerprint& fp) const;
+
+  /// The cluster shard map this service routes by (a server answers its
+  /// MapWatch's copy; ClusterService answers its own). Default throws
+  /// ServiceError{unavailable} — pre-cluster services have no map.
+  virtual cluster::ShardMap fetch_map() const;
+
+  /// Offers a map for adoption; returns true when the map superseded the
+  /// held one. A shard behind an epoch guard throws
+  /// ServiceError{stale_epoch} on a push from a fenced coordinator. Default
+  /// throws ServiceError{unavailable}.
+  virtual bool push_map(const cluster::ShardMap& map) const;
+
   /// Draws request.draw_count trees synchronously. Throws
   /// ServiceError{unknown_fingerprint, invalid_request}.
   virtual BatchResponse sample_batch(const BatchRequest& request) = 0;
@@ -196,6 +239,8 @@ class LocalService : public SamplerService {
   std::int64_t draw_cursor(const Fingerprint& fp) const override;
   std::int64_t in_flight(const Fingerprint& fp) const override;
   bool drop(const Fingerprint& fp) override;
+  std::vector<Fingerprint> catalog_fingerprints() const override;
+  AdmitRequest export_admit(const Fingerprint& fp) const override;
   BatchResponse sample_batch(const BatchRequest& request) override;
   std::future<BatchResponse> submit_batch(const BatchRequest& request) override;
   ServiceStats stats() const override;
@@ -238,6 +283,8 @@ class ShardedService : public SamplerService {
   std::int64_t draw_cursor(const Fingerprint& fp) const override;
   std::int64_t in_flight(const Fingerprint& fp) const override;
   bool drop(const Fingerprint& fp) override;
+  std::vector<Fingerprint> catalog_fingerprints() const override;
+  AdmitRequest export_admit(const Fingerprint& fp) const override;
   BatchResponse sample_batch(const BatchRequest& request) override;
   std::future<BatchResponse> submit_batch(const BatchRequest& request) override;
   ServiceStats stats() const override;

@@ -370,12 +370,28 @@ void Server::serve(std::shared_ptr<Connection> connection) {
     bool done GUARDED_BY(mutex) = false;
   } pending;
 
+  // The (version, epoch) this connection last heard about the server's map;
+  // write_bounded piggybacks an announce whenever it advances. Only touched
+  // under write_mutex.
+  wire::MapVersion announced;
+
   // Every outgoing frame respects the peer's advertised receive bound: a
   // message that would exceed it is replaced by a (small) typed
   // error_response, so the peer sees a clean per-request failure instead of
   // a frame its reader must classify as hostile and poison the connection
   // over. Callers hold write_mutex.
   const auto write_bounded = [&](std::uint64_t id, const wire::Bytes& message) {
+    if (options_.map_version_provider) {
+      // Anti-entropy piggyback: announce the current map (version, epoch)
+      // ahead of the response when it moved since this connection last
+      // heard. Request id 0 never names a pending request, so the client
+      // routes the frame out of band (RemoteOptions::on_map_version).
+      const wire::MapVersion current = options_.map_version_provider();
+      if (current != announced) {
+        if (!write_frame(c, 0, wire::encode(current))) return false;
+        announced = current;
+      }
+    }
     if (12 + message.size() > peer_max_frame)
       return write_frame(
           c, id,
@@ -481,8 +497,20 @@ void Server::serve(std::shared_ptr<Connection> connection) {
     try {
       switch (wire::peek_type(frame->message)) {
         case wire::MessageType::admit_request: {
-          const Fingerprint fp =
-              service_.admit(wire::decode_admit_request(frame->message));
+          const AdmitRequest request = wire::decode_admit_request(frame->message);
+          if (request.coordinator_epoch >= 0 && options_.epoch_guard) {
+            // A coordinator-originated admission: veto it when the claimed
+            // lease epoch is behind the map this shard already adopted — a
+            // fenced zombie must not seed entries.
+            if (const std::optional<std::uint64_t> current = options_.epoch_guard(
+                    static_cast<std::uint64_t>(request.coordinator_epoch)))
+              throw ServiceError(
+                  ServiceErrorCode::stale_epoch,
+                  "admit from fenced coordinator epoch " +
+                      std::to_string(request.coordinator_epoch) +
+                      "; this shard adopted epoch " + std::to_string(*current));
+          }
+          const Fingerprint fp = service_.admit(request);
           const util::MutexLock lock(write_mutex);
           ok = write_bounded(id, wire::encode_fingerprint_response(fp));
           break;
@@ -529,6 +557,37 @@ void Server::serve(std::shared_ptr<Connection> connection) {
           ok = write_bounded(id, wire::encode_bool_response(value));
           break;
         }
+        case wire::MessageType::fenced_drop_query: {
+          const std::pair<Fingerprint, std::uint64_t> fenced =
+              wire::decode_fenced_drop(frame->message);
+          if (options_.epoch_guard) {
+            if (const std::optional<std::uint64_t> current =
+                    options_.epoch_guard(fenced.second))
+              throw ServiceError(
+                  ServiceErrorCode::stale_epoch,
+                  "drop from fenced coordinator epoch " +
+                      std::to_string(fenced.second) +
+                      "; this shard adopted epoch " + std::to_string(*current));
+          }
+          const bool value = service_.drop(fenced.first);
+          const util::MutexLock lock(write_mutex);
+          ok = write_bounded(id, wire::encode_bool_response(value));
+          break;
+        }
+        case wire::MessageType::catalog_query: {
+          wire::decode_catalog_query(frame->message);
+          const std::vector<Fingerprint> catalog = service_.catalog_fingerprints();
+          const util::MutexLock lock(write_mutex);
+          ok = write_bounded(id, wire::encode_catalog_response(catalog));
+          break;
+        }
+        case wire::MessageType::admit_export_query: {
+          const AdmitRequest exported = service_.export_admit(wire::decode_query(
+              frame->message, wire::MessageType::admit_export_query));
+          const util::MutexLock lock(write_mutex);
+          ok = write_bounded(id, wire::encode(exported));
+          break;
+        }
         case wire::MessageType::map_query: {
           wire::decode_map_query(frame->message);
           if (!options_.map_provider)
@@ -555,6 +614,7 @@ void Server::serve(std::shared_ptr<Connection> connection) {
           wire::decode_stats_query(frame->message);
           ServiceStats stats = service_.stats();
           fold_metrics(stats);  // the serving edge reports itself too
+          if (options_.stats_augment) options_.stats_augment(stats);
           const util::MutexLock lock(write_mutex);
           ok = write_bounded(id, wire::encode(stats));
           break;
@@ -563,6 +623,7 @@ void Server::serve(std::shared_ptr<Connection> connection) {
           wire::decode_metrics_query(frame->message);
           ServiceStats stats = service_.stats();
           fold_metrics(stats);
+          if (options_.stats_augment) options_.stats_augment(stats);
           const util::MutexLock lock(write_mutex);
           ok = write_bounded(id,
                              wire::encode_text_response(metrics::render_text(stats)));

@@ -161,6 +161,28 @@ struct ServerOptions {
   /// shard that lost ownership of a fingerprint turns misrouted batches into
   /// convergence instead of stale draws.
   std::function<std::optional<cluster::ShardMap>(const Fingerprint&)> stale_guard;
+
+  // v6 HA / anti-entropy hooks, wired by cluster::install_cluster_hooks.
+
+  /// Coordinator lease fencing: given the epoch a coordinator-originated
+  /// frame (admit_request with coordinator_epoch >= 0, fenced_drop_query)
+  /// claims, return the shard's current epoch to veto the frame with
+  /// ServiceError{stale_epoch} — the sender was superseded by a standby
+  /// takeover — or nullopt to let it through.
+  std::function<std::optional<std::uint64_t>(std::uint64_t claimed_epoch)>
+      epoch_guard;
+
+  /// The (version, epoch) of the map this server currently routes by —
+  /// cheap, no full map copy. When set, the server piggybacks a map_version
+  /// frame (request id 0) ahead of the next response on every connection
+  /// whose last announcement is out of date, so clients detect staleness
+  /// without polling (anti-entropy).
+  std::function<wire::MapVersion()> map_version_provider;
+
+  /// Lets the control plane fold its own convergence counters (MapWatch
+  /// pulls) into stats_query / metrics_query responses, after the server's
+  /// edge metrics.
+  std::function<void(ServiceStats&)> stats_augment;
 };
 
 /// The server side of the RPC protocol over one SamplerService. serve()

@@ -71,7 +71,7 @@ std::uint8_t read_envelope(std::span<const std::uint8_t> bytes) {
                            ", this build speaks " + std::to_string(kVersion));
   const std::uint8_t tag = bytes[6];
   if (tag < static_cast<std::uint8_t>(MessageType::graph) ||
-      tag > static_cast<std::uint8_t>(MessageType::text_response))
+      tag > static_cast<std::uint8_t>(MessageType::admit_export_query))
     malformed("unknown message tag " + std::to_string(tag));
   return tag;
 }
@@ -367,7 +367,8 @@ void write_pool_stats(Writer& w, const PoolStats& s) {
 void require_query_tag(MessageType tag) {
   if (tag != MessageType::admitted_query && tag != MessageType::resident_query &&
       tag != MessageType::prepare_count_query && tag != MessageType::cursor_query &&
-      tag != MessageType::drop_query && tag != MessageType::in_flight_query)
+      tag != MessageType::drop_query && tag != MessageType::in_flight_query &&
+      tag != MessageType::admit_export_query)
     throw ServiceError(ServiceErrorCode::invalid_request,
                        "message tag " + std::to_string(static_cast<int>(tag)) +
                            " is not a fingerprint query");
@@ -490,6 +491,7 @@ Bytes encode(const AdmitRequest& request) {
   write_graph(w, request.graph);
   write_options(w, request.options);
   w.i64(request.first_draw_index);
+  w.i64(request.coordinator_epoch);
   return w.finish();
 }
 
@@ -499,6 +501,10 @@ AdmitRequest decode_admit_request(std::span<const std::uint8_t> bytes) {
   request.graph = read_graph(r);
   request.options = read_options(r);
   request.first_draw_index = r.i64();
+  request.coordinator_epoch = r.i64();
+  if (request.coordinator_epoch < -1)
+    malformed("coordinator_epoch " + std::to_string(request.coordinator_epoch) +
+              " (must be -1 or a lease epoch)");
   r.done();
   return request;
 }
@@ -556,6 +562,8 @@ Bytes encode(const ServiceStats& stats) {
   w.i64(stats.transport.dial_failures);
   w.i64(stats.transport.failovers);
   w.i64(stats.transport.shed_retries);
+  w.i64(stats.transport.map_refreshes);
+  w.i64(stats.transport.map_pulls);
   write_metrics(w, stats.metrics);
   w.u32(static_cast<std::uint32_t>(stats.shards.size()));
   for (const PoolStats& shard : stats.shards) write_pool_stats(w, shard);
@@ -571,6 +579,8 @@ ServiceStats decode_service_stats(std::span<const std::uint8_t> bytes) {
   stats.transport.dial_failures = r.i64();
   stats.transport.failovers = r.i64();
   stats.transport.shed_retries = r.i64();
+  stats.transport.map_refreshes = r.i64();
+  stats.transport.map_pulls = r.i64();
   stats.metrics = read_metrics(r);
   const std::uint32_t shard_count = r.u32();
   for (std::uint32_t i = 0; i < shard_count; ++i)
@@ -609,7 +619,8 @@ ErrorResponse decode_error_response(std::span<const std::uint8_t> bytes) {
   Reader r(bytes, MessageType::error_response);
   ErrorResponse error;
   error.code = read_enum<ServiceErrorCode>(
-      r, static_cast<std::uint8_t>(ServiceErrorCode::stale_map), "service error code");
+      r, static_cast<std::uint8_t>(ServiceErrorCode::stale_epoch),
+      "service error code");
   error.retry_after_ms = r.i32();
   if (error.retry_after_ms < 0)
     malformed("negative retry_after_ms " + std::to_string(error.retry_after_ms));
@@ -719,6 +730,7 @@ namespace {
 
 void write_shard_map(Writer& w, const cluster::ShardMap& map) {
   w.u64(map.version);
+  w.u64(map.epoch);
   w.i32(map.replication);
   w.u32(static_cast<std::uint32_t>(map.members.size()));
   for (const cluster::ShardDescriptor& member : map.members) {
@@ -732,6 +744,7 @@ void write_shard_map(Writer& w, const cluster::ShardMap& map) {
 cluster::ShardMap read_shard_map(Reader& r) {
   cluster::ShardMap map;
   map.version = r.u64();
+  map.epoch = r.u64();
   map.replication = r.i32();
   const std::uint32_t member_count = r.u32();
   // A member costs at least 18 payload bytes (id + empty-host length + port
@@ -815,6 +828,74 @@ std::string decode_text_response(std::span<const std::uint8_t> bytes) {
   std::string text = r.str();
   r.done();
   return text;
+}
+
+// ---------------------------------------- v6 HA / anti-entropy messages
+
+Bytes encode(const MapVersion& announce) {
+  Writer w(MessageType::map_version);
+  w.u64(announce.version);
+  w.u64(announce.epoch);
+  return w.finish();
+}
+
+MapVersion decode_map_version(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::map_version);
+  MapVersion announce;
+  announce.version = r.u64();
+  announce.epoch = r.u64();
+  r.done();
+  return announce;
+}
+
+Bytes encode_fenced_drop(const Fingerprint& fp, std::uint64_t epoch) {
+  Writer w(MessageType::fenced_drop_query);
+  write_fingerprint(w, fp);
+  w.u64(epoch);
+  return w.finish();
+}
+
+std::pair<Fingerprint, std::uint64_t> decode_fenced_drop(
+    std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::fenced_drop_query);
+  const Fingerprint fp = read_fingerprint(r);
+  const std::uint64_t epoch = r.u64();
+  r.done();
+  return {fp, epoch};
+}
+
+Bytes encode_catalog_query() {
+  Writer w(MessageType::catalog_query);
+  return w.finish();
+}
+
+void decode_catalog_query(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::catalog_query);
+  r.done();
+}
+
+Bytes encode_catalog_response(const std::vector<Fingerprint>& fingerprints) {
+  Writer w(MessageType::catalog_response);
+  w.u32(static_cast<std::uint32_t>(fingerprints.size()));
+  for (const Fingerprint& fp : fingerprints) write_fingerprint(w, fp);
+  return w.finish();
+}
+
+std::vector<Fingerprint> decode_catalog_response(
+    std::span<const std::uint8_t> bytes) {
+  Reader r(bytes, MessageType::catalog_response);
+  const std::uint32_t count = r.u32();
+  // A fingerprint costs 16 payload bytes, so a forged count fails against
+  // the bytes actually present before any allocation happens.
+  if (count > r.remaining() / 16)
+    malformed("catalog fingerprint count " + std::to_string(count) +
+              " exceeds the remaining payload");
+  std::vector<Fingerprint> fingerprints;
+  fingerprints.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i)
+    fingerprints.push_back(read_fingerprint(r));
+  r.done();
+  return fingerprints;
 }
 
 }  // namespace cliquest::engine::wire

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "engine/cluster/shard_map.hpp"
@@ -55,7 +56,19 @@ namespace cliquest::engine::wire {
 /// gained the metrics block (sparse latency histograms + queue gauges,
 /// engine/metrics.hpp), and the scrape pair `metrics_query`/`text_response`
 /// (a plaintext rendering of the stats for monitoring systems).
-inline constexpr std::uint16_t kVersion = 5;
+/// v6: coordinator HA + anti-entropy — shard_map gained the coordinator
+/// lease `epoch` (after version; supersession is lexicographic on
+/// (epoch, version)), admit_request gained coordinator_epoch (-1 = not
+/// coordinator-originated), the error codes gained stale_epoch (a fenced
+/// coordinator's veto), transport stats gained map_refreshes/map_pulls
+/// (anti-entropy convergence counters), and the message set gained
+/// `map_version` (a server's piggybacked map announce, request id 0),
+/// `fenced_drop_query` (drop carrying the coordinator's epoch),
+/// `catalog_query`/`catalog_response` (the admitted-fingerprint list a
+/// standby coordinator rebuilds its catalog from), and
+/// `admit_export_query` (an entry's graph + options + cursor, answered with
+/// an admit_request frame).
+inline constexpr std::uint16_t kVersion = 6;
 
 using Bytes = std::vector<std::uint8_t>;
 
@@ -91,6 +104,19 @@ enum class MessageType : std::uint8_t {
   // stats rendered as scrapeable plaintext; text_response carries the text.
   metrics_query = 23,
   text_response = 24,
+  // v6 HA / anti-entropy messages. map_version is the only unsolicited
+  // frame in the protocol: a server piggybacks it (request id 0) ahead of a
+  // response whenever its map advanced since it last told this connection,
+  // so clients detect staleness without polling. fenced_drop_query is the
+  // coordinator's epoch-fenced drop; catalog_query/catalog_response and
+  // admit_export_query are the standby-takeover catalog handoff
+  // (admit_export_query is answered with an admit_request frame whose
+  // first_draw_index is the entry's live cursor).
+  map_version = 25,
+  fenced_drop_query = 26,
+  catalog_query = 27,
+  catalog_response = 28,
+  admit_export_query = 29,
 };
 
 /// Handshake message, the first frame in each direction of a transport
@@ -114,6 +140,18 @@ struct ErrorResponse {
   ServiceErrorCode code = ServiceErrorCode::unavailable;
   std::int32_t retry_after_ms = 0;
   std::string detail;
+};
+
+/// A server's piggybacked map announce (v6): just the (version, epoch) pair
+/// of the map the server currently routes by, cheap enough to ride ahead of
+/// any response. A client whose own map is behind pulls the full map with
+/// map_query from whoever announced — anti-entropy without a coordinator
+/// round-trip.
+struct MapVersion {
+  std::uint64_t version = 0;
+  std::uint64_t epoch = 0;
+
+  bool operator==(const MapVersion&) const = default;
 };
 
 /// One slice of a streamed BatchResponse: `seq` counts chunks within the
@@ -164,6 +202,10 @@ Bytes encode_stats_query();
 Bytes encode_query(MessageType tag, const Fingerprint& fp);
 Bytes encode_metrics_query();
 Bytes encode_text_response(const std::string& text);
+Bytes encode(const MapVersion& announce);
+Bytes encode_fenced_drop(const Fingerprint& fp, std::uint64_t epoch);
+Bytes encode_catalog_query();
+Bytes encode_catalog_response(const std::vector<Fingerprint>& fingerprints);
 
 graph::Graph decode_graph(std::span<const std::uint8_t> bytes);
 EngineOptions decode_options(std::span<const std::uint8_t> bytes);
@@ -184,5 +226,13 @@ cluster::ShardMap decode_stale_map(std::span<const std::uint8_t> bytes);
 void decode_map_query(std::span<const std::uint8_t> bytes);
 void decode_metrics_query(std::span<const std::uint8_t> bytes);
 std::string decode_text_response(std::span<const std::uint8_t> bytes);
+MapVersion decode_map_version(std::span<const std::uint8_t> bytes);
+
+/// Decodes a fenced_drop_query into its (fingerprint, epoch) pair.
+std::pair<Fingerprint, std::uint64_t> decode_fenced_drop(
+    std::span<const std::uint8_t> bytes);
+void decode_catalog_query(std::span<const std::uint8_t> bytes);
+std::vector<Fingerprint> decode_catalog_response(
+    std::span<const std::uint8_t> bytes);
 
 }  // namespace cliquest::engine::wire

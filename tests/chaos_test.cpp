@@ -1,0 +1,667 @@
+// Seeded chaos suite (PR 9): a replication-2 cluster of real transport
+// servers driven through seeded fault schedules injected at the Connection
+// seam (engine/chaos.hpp). Every schedule asserts the same three invariants:
+//
+//   1. Liveness  — every submitted future resolves within its deadline,
+//      valued or with a typed ServiceError. Never a hung future.
+//   2. Replay    — every batch that was accepted is byte-identical to the
+//      fault-free LocalService oracle at its pinned draw range, whatever
+//      drops, duplicates, severs, or failovers happened on the way.
+//   3. Convergence — once the plan goes quiet, every shard's MapWatch and
+//      the client agree on one (version, epoch).
+//
+// The suite also covers the control-plane chaos the ISSUE calls out:
+// coordinator kill mid-migration with a standby takeover completing the
+// half-done change, a fenced zombie coordinator vetoed end-to-end over the
+// wire, a frozen data plane (pause gate) across a takeover, and one
+// schedule over real TCP sockets — the CI chaos smoke.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "engine/chaos.hpp"
+#include "engine/cluster/cluster_service.hpp"
+#include "engine/cluster/coordinator.hpp"
+#include "engine/cluster/shard_map.hpp"
+#include "engine/engine.hpp"
+#include "graph/generators.hpp"
+#include "graph/spanning.hpp"
+#include "transport_fixtures.hpp"
+
+using namespace std::chrono_literals;
+
+namespace cliquest::engine {
+namespace {
+
+using cluster::ClusterOptions;
+using cluster::ClusterService;
+using cluster::Coordinator;
+using cluster::MapWatch;
+using cluster::ShardDescriptor;
+using cluster::ShardMap;
+
+/// The ServiceError code `fn` fails with, or nullopt.
+template <typename Fn>
+std::optional<ServiceErrorCode> error_code(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ServiceError& e) {
+    return e.code();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "failed with a non-ServiceError exception: " << e.what();
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> tree_keys(const BatchResponse& response) {
+  std::vector<std::string> keys;
+  keys.reserve(response.batch.trees.size());
+  for (const graph::TreeEdges& tree : response.batch.trees)
+    keys.push_back(graph::tree_key(tree));
+  return keys;
+}
+
+/// The fault-free oracle: one LocalService drawing [0, total). An accepted
+/// chaos batch pinned at [first, first + k) must equal this slice exactly.
+std::vector<std::string> oracle_keys(const graph::Graph& g, int total,
+                                     const EngineOptions& engine) {
+  LocalService service(inline_pool_options(engine));
+  const Fingerprint fp = service.admit({g, engine});
+  return tree_keys(service.sample_batch({fp, total}));
+}
+
+std::vector<std::string> slice(const std::vector<std::string>& keys,
+                               std::size_t first, std::size_t count) {
+  return {keys.begin() + first, keys.begin() + first + count};
+}
+
+/// One shard "process": a LocalService behind a transport::Server wired with
+/// install_cluster_hooks. dial() hands out the client end of a fresh pipe
+/// (or a fresh TCP socket) and serves the other end on its own thread —
+/// exactly what a RemoteService ConnectionFactory wants.
+class ChaosShard {
+ public:
+  ChaosShard(int id, const EngineOptions& engine, bool over_tcp)
+      : backend_(inline_pool_options(engine, id)),
+        watch_(std::make_shared<MapWatch>()) {
+    cluster::install_cluster_hooks(server_options_, watch_, id);
+    server_ = std::make_unique<transport::Server>(backend_, server_options_);
+    if (over_tcp) listener_ = std::make_unique<transport::TcpListener>(0);
+  }
+
+  ~ChaosShard() {
+    std::vector<std::shared_ptr<transport::Connection>> ends;
+    std::vector<std::thread> threads;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ends.swap(ends_);
+      threads.swap(threads_);
+    }
+    for (const auto& end : ends) end->close();
+    for (std::thread& t : threads) t.join();
+  }
+
+  std::shared_ptr<transport::Connection> dial() {
+    if (listener_) {
+      // Dials are 1:1 with accepts, so the accept thread never waits for a
+      // connection that is not already on its way.
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        threads_.emplace_back([this] {
+          std::shared_ptr<transport::Connection> conn;
+          try {
+            conn = listener_->accept();
+          } catch (...) {
+            return;
+          }
+          {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ends_.push_back(conn);
+          }
+          server_->serve(conn);
+        });
+      }
+      return transport::tcp_connect("127.0.0.1", listener_->port());
+    }
+    auto [client_end, server_end] = transport::make_pipe();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ends_.push_back(server_end);
+      threads_.emplace_back(
+          [this, conn = server_end] { server_->serve(conn); });
+    }
+    return client_end;
+  }
+
+  std::shared_ptr<MapWatch> watch() const { return watch_; }
+  LocalService& backend() { return backend_; }
+
+ private:
+  LocalService backend_;
+  transport::ServerOptions server_options_;
+  std::shared_ptr<MapWatch> watch_;
+  std::unique_ptr<transport::Server> server_;
+  std::unique_ptr<transport::TcpListener> listener_;
+  std::mutex mutex_;
+  std::vector<std::shared_ptr<transport::Connection>> ends_;
+  std::vector<std::thread> threads_;
+};
+
+/// The cluster under chaos: N shards behind real transport servers, a
+/// coordinator and per-shard control clients on clean connections (the
+/// control plane is the *subject* of the coordinator-kill tests, not of the
+/// frame-level fault schedules), and a ClusterService whose every data
+/// connection runs under the shared FaultPlan.
+class ChaosCluster {
+ public:
+  ChaosCluster(int shard_count, int replication,
+               std::shared_ptr<chaos::FaultPlan> plan,
+               const EngineOptions& engine, bool over_tcp = false,
+               std::chrono::milliseconds request_timeout = 2500ms)
+      : plan_(std::move(plan)), engine_(engine), over_tcp_(over_tcp) {
+    cluster_slot_ = std::make_shared<std::atomic<ClusterService*>>(nullptr);
+    coordinator_slot_ = std::make_shared<std::atomic<Coordinator*>>(nullptr);
+    data_options_.request_timeout = request_timeout;
+    data_options_.max_connect_attempts = 2;
+    data_options_.backoff_initial = 1ms;
+    data_options_.on_map_push = [slot = cluster_slot_](const ShardMap& map) {
+      if (ClusterService* service = slot->load()) service->update_map(map);
+    };
+    data_options_.on_map_version =
+        [slot = cluster_slot_](const wire::MapVersion& seen) {
+          if (ClusterService* service = slot->load())
+            service->note_map_version(seen.version, seen.epoch);
+        };
+
+    for (int id = 0; id < shard_count; ++id) add_spare_shard(id);
+
+    cluster::CoordinatorOptions coordinator_options;
+    coordinator_options.replication = replication;
+    coordinator_ =
+        std::make_unique<Coordinator>(control_resolver(), coordinator_options);
+    coordinator_slot_->store(coordinator_.get());
+    for (int id = 0; id < shard_count; ++id)
+      coordinator_->add_shard({id, "", 0, 1.0});
+
+    ClusterOptions options;
+    options.map = coordinator_->current_map();
+    // The anti-entropy pull must never RPC back over the connection whose
+    // reader thread runs the hook: fetch from the live coordinator instead.
+    options.map_fetch = [slot = coordinator_slot_]() -> ShardMap {
+      if (Coordinator* coordinator = slot->load())
+        return coordinator->current_map();
+      return {};
+    };
+    client_ = std::make_unique<ClusterService>(
+        [this](const ShardDescriptor& member)
+            -> std::shared_ptr<SamplerService> {
+          auto it = data_.find(member.shard_id);
+          if (it == data_.end())
+            throw ServiceError(ServiceErrorCode::transport,
+                               "no data client for shard " +
+                                   std::to_string(member.shard_id));
+          return it->second;
+        },
+        options);
+    coordinator_->subscribe(subscriber());
+    cluster_slot_->store(client_.get());
+  }
+
+  ~ChaosCluster() {
+    cluster_slot_->store(nullptr);
+    coordinator_slot_->store(nullptr);
+    plan_->resume();  // never tear down through a closed pause gate
+  }
+
+  /// A shard process not (yet) in the map — a joiner or a rejoining node.
+  void add_spare_shard(int id) {
+    if (static_cast<std::size_t>(id) >= shards_.size())
+      shards_.resize(id + 1);
+    shards_[id] = std::make_unique<ChaosShard>(id, engine_, over_tcp_);
+    RemoteOptions control_options;
+    control_options.max_connect_attempts = 3;
+    control_options.backoff_initial = 1ms;
+    control_[id] = std::make_shared<RemoteService>(
+        [shard = shards_[id].get()] { return shard->dial(); },
+        control_options);
+    data_[id] = std::make_shared<RemoteService>(
+        [shard = shards_[id].get(), plan = plan_] {
+          return chaos::inject(shard->dial(), plan);
+        },
+        data_options_);
+  }
+
+  /// The primary coordinator dies; a fresh standby takes over from the last
+  /// known member set over the (clean) control plane. Returns the epoch the
+  /// standby claimed.
+  std::uint64_t failover_coordinator() {
+    const std::vector<ShardDescriptor> seeds =
+        coordinator_->current_map().members;
+    coordinator_slot_->store(nullptr);
+    coordinator_.reset();  // the lease dies un-released — fencing, not luck
+    coordinator_ = std::make_unique<Coordinator>(control_resolver());
+    coordinator_->subscribe(subscriber());
+    const std::uint64_t epoch = coordinator_->takeover(seeds);
+    coordinator_slot_->store(coordinator_.get());
+    return epoch;
+  }
+
+  cluster::ShardResolver control_resolver() {
+    return [this](const ShardDescriptor& member)
+               -> std::shared_ptr<SamplerService> {
+      auto it = control_.find(member.shard_id);
+      if (it == control_.end())
+        throw ServiceError(ServiceErrorCode::transport,
+                           "no control client for shard " +
+                               std::to_string(member.shard_id));
+      return it->second;
+    };
+  }
+
+  std::function<void(const ShardMap&)> subscriber() {
+    return [slot = cluster_slot_](const ShardMap& map) {
+      if (ClusterService* service = slot->load()) service->update_map(map);
+    };
+  }
+
+  Coordinator& coordinator() { return *coordinator_; }
+  ClusterService& client() { return *client_; }
+  ChaosShard& shard(int id) { return *shards_.at(id); }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  RemoteService& control(int id) { return *control_.at(id); }
+  chaos::FaultPlan& plan() { return *plan_; }
+
+ private:
+  std::shared_ptr<chaos::FaultPlan> plan_;
+  EngineOptions engine_;
+  bool over_tcp_ = false;
+  RemoteOptions data_options_;
+  std::vector<std::unique_ptr<ChaosShard>> shards_;
+  std::unordered_map<int, std::shared_ptr<RemoteService>> control_;
+  std::shared_ptr<std::atomic<ClusterService*>> cluster_slot_;
+  std::shared_ptr<std::atomic<Coordinator*>> coordinator_slot_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<ClusterService> client_;
+  /// Declared last: the data readers (which run the map hooks into client_)
+  /// die before anything they point at.
+  std::unordered_map<int, std::shared_ptr<RemoteService>> data_;
+};
+
+struct ChaosRunStats {
+  int valued = 0;
+  int typed = 0;
+};
+
+/// Submits `batches` explicitly pinned batches concurrently and requires
+/// every future to resolve — valued batches replay byte-equal against the
+/// oracle at their pinned range, failed ones carry one of the typed codes
+/// the stack is allowed to turn a fault into.
+ChaosRunStats run_pinned_workload(ClusterService& client, const Fingerprint& fp,
+                                  int first_batch, int batches, int k,
+                                  const std::vector<std::string>& oracle) {
+  std::vector<std::future<BatchResponse>> futures;
+  futures.reserve(batches);
+  for (int b = first_batch; b < first_batch + batches; ++b)
+    futures.push_back(
+        client.submit_batch({fp, k, static_cast<std::int64_t>(b) * k}));
+
+  ChaosRunStats stats;
+  for (int i = 0; i < batches; ++i) {
+    const int b = first_batch + i;
+    if (futures[i].wait_for(30s) != std::future_status::ready) {
+      ADD_FAILURE() << "batch " << b << " hung under chaos — futures must "
+                    << "resolve typed or valued, never wedge";
+      continue;
+    }
+    try {
+      const BatchResponse response = futures[i].get();
+      EXPECT_EQ(response.first_draw_index, static_cast<std::int64_t>(b) * k);
+      EXPECT_EQ(tree_keys(response),
+                slice(oracle, static_cast<std::size_t>(b) * k, k))
+          << "batch " << b << " diverged from the fault-free oracle";
+      ++stats.valued;
+    } catch (const ServiceError& e) {
+      const ServiceErrorCode code = e.code();
+      EXPECT_TRUE(code == ServiceErrorCode::timeout ||
+                  code == ServiceErrorCode::transport ||
+                  code == ServiceErrorCode::unavailable ||
+                  code == ServiceErrorCode::stale_map)
+          << "batch " << b << " failed with an unexpected code: " << e.what();
+      ++stats.typed;
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "batch " << b << " failed untyped: " << e.what();
+    }
+  }
+  return stats;
+}
+
+/// Once the plan is quiet: every shard's watch and the client converge on
+/// the coordinator's (version, epoch).
+void expect_converged(ChaosCluster& cluster) {
+  const ShardMap want = cluster.coordinator().current_map();
+  const std::pair<std::uint64_t, std::uint64_t> target{want.version,
+                                                       want.epoch};
+  auto agreed = [&] {
+    for (int id = 0; id < cluster.shard_count(); ++id)
+      if (cluster.shard(id).watch()->version_epoch() != target) return false;
+    const ShardMap held = cluster.client().current_map();
+    return held.version == want.version && held.epoch == want.epoch;
+  };
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (!agreed() && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(2ms);
+  EXPECT_TRUE(agreed()) << "cluster did not converge to one (version, epoch) "
+                        << "= (" << want.version << ", " << want.epoch << ")";
+}
+
+// ------------------------------------------------- seeded fault schedules
+
+struct Schedule {
+  const char* name;
+  chaos::FaultPlanOptions faults;
+};
+
+std::vector<Schedule> fault_schedules() {
+  std::vector<Schedule> schedules;
+  {
+    chaos::FaultPlanOptions f;
+    f.seed = 11;
+    f.drop_write = 0.20;
+    f.max_faults = 5;
+    schedules.push_back({"drop", f});
+  }
+  {
+    chaos::FaultPlanOptions f;
+    f.seed = 12;
+    f.duplicate_write = 0.25;
+    f.max_faults = 6;
+    schedules.push_back({"duplicate", f});
+  }
+  {
+    chaos::FaultPlanOptions f;
+    f.seed = 13;
+    f.truncate_write = 0.15;
+    f.max_faults = 4;
+    schedules.push_back({"truncate", f});
+  }
+  {
+    chaos::FaultPlanOptions f;
+    f.seed = 14;
+    f.sever = 0.15;
+    f.max_faults = 4;
+    schedules.push_back({"sever", f});
+  }
+  {
+    chaos::FaultPlanOptions f;
+    f.seed = 15;
+    f.delay_read = 0.5;
+    f.max_delay = 10ms;
+    f.max_faults = 0;  // delays are benign and uncounted; pure latency chaos
+    schedules.push_back({"delay", f});
+  }
+  {
+    chaos::FaultPlanOptions f;
+    f.seed = 16;
+    f.drop_write = 0.05;
+    f.duplicate_write = 0.05;
+    f.truncate_write = 0.05;
+    f.sever = 0.05;
+    f.delay_read = 0.2;
+    f.max_delay = 5ms;
+    f.max_faults = 8;
+    schedules.push_back({"mixed_16", f});
+  }
+  {
+    chaos::FaultPlanOptions f = schedules.back().faults;
+    f.seed = 17;  // same mix, different decision stream
+    schedules.push_back({"mixed_17", f});
+  }
+  {
+    chaos::FaultPlanOptions f;
+    f.seed = 18;
+    f.drop_write = 0.10;
+    f.delay_read = 0.3;
+    f.max_delay = 8ms;
+    f.max_faults = 6;
+    schedules.push_back({"drop_delay", f});
+  }
+  return schedules;
+}
+
+TEST(ChaosScheduleTest, SeededFaultSchedulesResolveTypedAndReplayEqual) {
+  const graph::Graph g = graph::wheel(7);
+  const EngineOptions engine = wilson_engine();
+  constexpr int kBatches = 10;
+  constexpr int kDraws = 6;
+  const std::vector<std::string> oracle =
+      oracle_keys(g, kBatches * kDraws, engine);
+
+  for (const Schedule& schedule : fault_schedules()) {
+    SCOPED_TRACE(schedule.name);
+    auto plan = std::make_shared<chaos::FaultPlan>(schedule.faults);
+    ChaosCluster cluster(3, 2, plan, engine);
+    const Fingerprint fp = cluster.coordinator().admit({g, engine});
+
+    const ChaosRunStats run =
+        run_pinned_workload(cluster.client(), fp, 0, kBatches, kDraws, oracle);
+    EXPECT_EQ(run.valued + run.typed, kBatches);
+    // A plan with faults must actually have injected some (delay-only plans
+    // have max_faults = 0 by construction).
+    if (schedule.faults.max_faults > 0) {
+      EXPECT_GT(plan->faults_injected(), 0) << "schedule injected nothing";
+    }
+    EXPECT_LE(plan->faults_injected(), schedule.faults.max_faults);
+
+    // The plan is bounded, so the cluster outlives it: a final fault-free
+    // probe (the plan is spent or quiet) and one agreed (version, epoch).
+    expect_converged(cluster);
+  }
+}
+
+TEST(ChaosScheduleTest, FaultPlanValidatesItsRates) {
+  chaos::FaultPlanOptions bad;
+  bad.drop_write = 1.5;
+  EXPECT_EQ(error_code([&] { chaos::FaultPlan plan(bad); }),
+            ServiceErrorCode::invalid_config);
+  chaos::FaultPlanOptions sum;
+  sum.drop_write = 0.6;
+  sum.sever = 0.6;
+  EXPECT_EQ(error_code([&] { chaos::FaultPlan plan(sum); }),
+            ServiceErrorCode::invalid_config);
+}
+
+// --------------------------------------------------- control-plane chaos
+
+TEST(ChaosTest, CoordinatorKillMidMigrationStandbyCompletesIt) {
+  // The primary seeded a joiner (phase 1 of add_shard) and died before
+  // publishing — the exact half-done state a kill mid-migration leaves. The
+  // standby must take over, fence the corpse's lease, and leave a state it
+  // can complete: re-running the membership change lands the joiner, and
+  // every draw before, across, and after the takeover is replay-equal. The
+  // data plane is frozen (pause gate) across the takeover, so in-flight
+  // batches ride through it.
+  const graph::Graph g = graph::wheel(7);
+  const EngineOptions engine = wilson_engine();
+  constexpr int kDraws = 6;
+  const std::vector<std::string> oracle = oracle_keys(g, 16 * kDraws, engine);
+
+  chaos::FaultPlanOptions quiet;  // pause gate only — deterministic control
+  quiet.seed = 21;
+  auto plan = std::make_shared<chaos::FaultPlan>(quiet);
+  ChaosCluster cluster(3, 2, plan, engine);
+  const Fingerprint fp = cluster.coordinator().admit({g, engine});
+
+  ChaosRunStats run =
+      run_pinned_workload(cluster.client(), fp, 0, 4, kDraws, oracle);
+  EXPECT_EQ(run.valued, 4);
+
+  // Phase 1 of the migration the primary will never finish: the joiner is
+  // seeded (cursor-pinned export, over the wire) but no map was published.
+  cluster.add_spare_shard(3);
+  const AdmitRequest seeded = cluster.control(0).export_admit(fp);
+  cluster.control(3).admit(seeded);
+
+  // Freeze the data plane, kill the primary, take over, thaw. In-flight
+  // futures stall on the gate and must complete after it lifts.
+  cluster.plan().pause();
+  std::future<BatchResponse> in_flight =
+      cluster.client().submit_batch({fp, kDraws, 4 * kDraws});
+  EXPECT_EQ(cluster.failover_coordinator(), 1u);
+  EXPECT_EQ(cluster.coordinator().epoch(), 1u);
+  cluster.plan().resume();
+
+  ASSERT_EQ(in_flight.wait_for(30s), std::future_status::ready);
+  EXPECT_EQ(tree_keys(in_flight.get()), slice(oracle, 4 * kDraws, kDraws));
+
+  // The standby rebuilt the catalog from the shards and completes the
+  // half-done change under its own lease.
+  const std::vector<Fingerprint> cataloged = cluster.coordinator().cataloged();
+  ASSERT_EQ(cataloged.size(), 1u);
+  EXPECT_EQ(cataloged[0], fp);
+  cluster.coordinator().add_shard({3, "", 0, 1.0});
+  EXPECT_TRUE(cluster.coordinator().current_map().has_member(3));
+
+  run = run_pinned_workload(cluster.client(), fp, 5, 11, kDraws, oracle);
+  EXPECT_EQ(run.valued, 11);
+  expect_converged(cluster);
+}
+
+TEST(ChaosTest, FencedZombieCoordinatorIsVetoedOverTheWire) {
+  // A standby takes over behind the primary's back. From then on the old
+  // primary is a zombie: every coordinator-originated frame it sends — an
+  // admit stamped with its epoch, a fenced drop, a map push — is vetoed by
+  // the shard servers' epoch guard with a typed stale_epoch, end-to-end
+  // over the wire, and the zombie marks itself fenced on first contact.
+  const graph::Graph g = graph::wheel(7);
+  const EngineOptions engine = wilson_engine();
+  const std::vector<std::string> oracle = oracle_keys(g, 12, engine);
+
+  chaos::FaultPlanOptions quiet;
+  quiet.seed = 22;
+  auto plan = std::make_shared<chaos::FaultPlan>(quiet);
+  ChaosCluster cluster(3, 2, plan, engine);
+  Coordinator& zombie = cluster.coordinator();
+  const Fingerprint fp = zombie.admit({g, engine});
+  ChaosRunStats run = run_pinned_workload(cluster.client(), fp, 0, 1, 6, oracle);
+  EXPECT_EQ(run.valued, 1);
+
+  Coordinator standby(cluster.control_resolver());
+  standby.subscribe(cluster.subscriber());
+  EXPECT_EQ(standby.takeover(zombie.current_map().members), 1u);
+
+  // The zombie's next operation dies on the shard's epoch guard.
+  EXPECT_EQ(error_code([&] { zombie.admit({graph::complete(5), engine}); }),
+            ServiceErrorCode::stale_epoch);
+  EXPECT_TRUE(zombie.fenced());
+  EXPECT_EQ(error_code([&] { zombie.add_shard({9, "", 0, 1.0}); }),
+            ServiceErrorCode::stale_epoch);
+
+  // Raw old-epoch frames are vetoed by the servers themselves — the entry
+  // the successor serves cannot be torn by a replayed drop, admit, or push.
+  const std::vector<ShardDescriptor> owners =
+      standby.current_map().owners(fp);
+  ASSERT_EQ(owners.size(), 2u);
+  EXPECT_EQ(error_code([&] {
+              cluster.control(owners[0].shard_id).drop_fenced(fp, 0);
+            }),
+            ServiceErrorCode::stale_epoch);
+  AdmitRequest stale = cluster.control(owners[0].shard_id).export_admit(fp);
+  stale.coordinator_epoch = 0;
+  EXPECT_EQ(error_code([&] {
+              cluster.control(owners[1].shard_id).admit(stale);
+            }),
+            ServiceErrorCode::stale_epoch);
+  ShardMap old_map = standby.current_map();
+  old_map.epoch = 0;
+  old_map.version = 99;
+  EXPECT_EQ(error_code([&] { cluster.control(2).push_map(old_map); }),
+            ServiceErrorCode::stale_epoch);
+
+  // The successor's cluster never noticed.
+  run = run_pinned_workload(cluster.client(), fp, 1, 1, 6, oracle);
+  EXPECT_EQ(run.valued, 1);
+  for (int id = 0; id < 3; ++id)
+    EXPECT_EQ(cluster.shard(id).watch()->epoch(), 1u) << "shard " << id;
+}
+
+TEST(ChaosTest, RejoiningShardCatchesUpThroughPeriodicPull) {
+  // Anti-entropy backstop over the wire: a node that missed every push (it
+  // was not a member when the maps went out) converges by periodically
+  // pulling a peer's map through a real fetch_map RPC.
+  const EngineOptions engine = wilson_engine();
+  chaos::FaultPlanOptions quiet;
+  quiet.seed = 23;
+  auto plan = std::make_shared<chaos::FaultPlan>(quiet);
+  ChaosCluster cluster(3, 2, plan, engine);
+  cluster.add_spare_shard(3);  // never in the map: its watch is empty
+
+  auto watch = cluster.shard(3).watch();
+  EXPECT_EQ(watch->version(), 0u);
+  watch->start_periodic_pull(
+      [&]() -> std::optional<ShardMap> {
+        return cluster.control(0).fetch_map();
+      },
+      5ms, /*seed=*/9);
+
+  const ShardMap want = cluster.coordinator().current_map();
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (watch->version() < want.version &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(2ms);
+  watch->stop_periodic_pull();
+  EXPECT_EQ(watch->current(), want);
+  EXPECT_GE(watch->pull_adopted_count(), 1);
+
+  // The convergence counters surface through the shard's stats endpoint.
+  const ServiceStats stats = cluster.control(3).stats();
+  EXPECT_GE(stats.transport.map_pulls, 1);
+  EXPECT_GE(stats.transport.map_refreshes, 1);
+}
+
+// ----------------------------------------------------------- TCP schedule
+
+TEST(ChaosTcpTest, CoordinatorKillOverTcpResolvesAndConverges) {
+  // The CI chaos smoke: a seeded mixed-fault schedule over real TCP
+  // sockets, with the coordinator killed (and a standby taking over) in the
+  // middle of the run. Same three invariants as every schedule.
+  const graph::Graph g = graph::wheel(7);
+  const EngineOptions engine = wilson_engine();
+  constexpr int kDraws = 6;
+  const std::vector<std::string> oracle = oracle_keys(g, 12 * kDraws, engine);
+
+  chaos::FaultPlanOptions faults;
+  faults.seed = 31;
+  faults.drop_write = 0.08;
+  faults.duplicate_write = 0.05;
+  faults.delay_read = 0.2;
+  faults.max_delay = 5ms;
+  faults.max_faults = 4;
+  auto plan = std::make_shared<chaos::FaultPlan>(faults);
+  ChaosCluster cluster(3, 2, plan, engine, /*over_tcp=*/true);
+  const Fingerprint fp = cluster.coordinator().admit({g, engine});
+
+  ChaosRunStats run =
+      run_pinned_workload(cluster.client(), fp, 0, 6, kDraws, oracle);
+  EXPECT_EQ(run.valued + run.typed, 6);
+
+  EXPECT_EQ(cluster.failover_coordinator(), 1u);
+
+  run = run_pinned_workload(cluster.client(), fp, 6, 6, kDraws, oracle);
+  EXPECT_EQ(run.valued + run.typed, 6);
+  expect_converged(cluster);
+}
+
+}  // namespace
+}  // namespace cliquest::engine

@@ -16,6 +16,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -24,9 +25,11 @@
 #include "engine/cluster/coordinator.hpp"
 #include "engine/cluster/shard_map.hpp"
 #include "engine/engine.hpp"
+#include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "graph/spanning.hpp"
 #include "transport_fixtures.hpp"
+#include "util/statistics.hpp"
 
 using namespace std::chrono_literals;
 
@@ -72,19 +75,58 @@ Fingerprint synthetic_fp(std::uint64_t i) {
 /// unreachable peer. fail_next_batch_after_serving() emulates a shard dying
 /// mid-batch: the pool does the work (its own cursor advances — work the
 /// client never observes), then the "connection" drops.
+///
+/// For the HA tests the shard also carries the cluster surface a real
+/// transport server gets from install_cluster_hooks: a MapWatch absorbing
+/// pushes and answering fetches, plus the epoch fences — admits and drops
+/// stamped with a coordinator epoch below the watch's are vetoed with
+/// stale_epoch, exactly as the wire epoch_guard would.
 class KillableShard final : public SamplerService {
  public:
-  explicit KillableShard(PoolOptions options) : local_(std::move(options)) {}
+  explicit KillableShard(PoolOptions options)
+      : local_(std::move(options)),
+        watch_(std::make_shared<MapWatch>()) {}
 
   void kill() { down_ = true; }
   void revive() { down_ = false; }
   void fail_next_batch_after_serving() { fail_next_batch_ = true; }
 
   LocalService& local() { return local_; }
+  std::shared_ptr<MapWatch> watch() const { return watch_; }
 
   Fingerprint admit(const AdmitRequest& request) override {
     check();
+    veto_fenced_epoch(request.coordinator_epoch);
     return local_.admit(request);
+  }
+  bool drop_fenced(const Fingerprint& fp, std::uint64_t epoch) override {
+    check();
+    veto_fenced_epoch(static_cast<std::int64_t>(epoch));
+    return local_.drop(fp);
+  }
+  std::vector<Fingerprint> catalog_fingerprints() const override {
+    check();
+    return local_.catalog_fingerprints();
+  }
+  AdmitRequest export_admit(const Fingerprint& fp) const override {
+    check();
+    return local_.export_admit(fp);
+  }
+  ShardMap fetch_map() const override {
+    check();
+    return watch_->current();
+  }
+  bool push_map(const ShardMap& map) const override {
+    check();
+    const std::uint64_t held = watch_->epoch();
+    if (map.epoch < held)
+      throw ServiceError(ServiceErrorCode::stale_epoch,
+                         "map push from coordinator epoch " +
+                             std::to_string(map.epoch) +
+                             "; this shard adopted epoch " +
+                             std::to_string(held));
+    watch_->update(map);
+    return true;
   }
   bool admitted(const Fingerprint& fp) const override {
     check();
@@ -134,8 +176,20 @@ class KillableShard final : public SamplerService {
     if (down_)
       throw ServiceError(ServiceErrorCode::transport, "shard is down");
   }
+  void veto_fenced_epoch(std::int64_t claimed) const {
+    // -1 = not coordinator-originated; epoch fencing only applies to frames
+    // a coordinator stamped.
+    if (claimed < 0) return;
+    const std::uint64_t held = watch_->epoch();
+    if (static_cast<std::uint64_t>(claimed) < held)
+      throw ServiceError(ServiceErrorCode::stale_epoch,
+                         "coordinator epoch " + std::to_string(claimed) +
+                             " was fenced; this shard adopted epoch " +
+                             std::to_string(held));
+  }
 
   LocalService local_;
+  std::shared_ptr<MapWatch> watch_;
   std::atomic<bool> down_{false};
   std::atomic<bool> fail_next_batch_{false};
 };
@@ -854,6 +908,489 @@ TEST(CoordinatorTest, MigrationAndFailoverReplayEqualForEveryBackend) {
     keys.insert(keys.end(), chunk.begin(), chunk.end());
 
     EXPECT_EQ(keys, reference_keys(g, 9, engine));
+  }
+}
+
+// -------------------------------------------- map watch / anti-entropy (PR 9)
+
+TEST(MapWatchTest, SupersessionIsLexicographicInEpochThenVersion) {
+  ShardMap base;
+  base.version = 5;
+  base.epoch = 1;
+  base.members = {{0, "", 0, 1.0}};
+  MapWatch watch(base);
+  EXPECT_EQ(watch.epoch(), 1u);
+
+  ShardMap newer_version = base;
+  newer_version.version = 6;
+  EXPECT_TRUE(watch.update(newer_version));
+
+  // A fenced coordinator's map loses whatever its version says.
+  ShardMap older_epoch = base;
+  older_epoch.version = 99;
+  older_epoch.epoch = 0;
+  EXPECT_FALSE(watch.update(older_epoch));
+  EXPECT_EQ(watch.version(), 6u);
+
+  // A newer lease wins even at a lower version (the takeover republish).
+  ShardMap newer_epoch = base;
+  newer_epoch.version = 1;
+  newer_epoch.epoch = 2;
+  EXPECT_TRUE(watch.update(newer_epoch));
+  const auto [version, epoch] = watch.version_epoch();
+  EXPECT_EQ(version, 1u);
+  EXPECT_EQ(epoch, 2u);
+
+  // Equal (epoch, version) is not an update; a malformed map never lands.
+  EXPECT_FALSE(watch.update(newer_epoch));
+  ShardMap malformed = newer_epoch;
+  malformed.version = 50;
+  malformed.members = {{0, "", 0, 1.0}, {0, "", 0, 1.0}};  // duplicate id
+  EXPECT_FALSE(watch.update(malformed));
+  EXPECT_EQ(watch.version(), 1u);
+}
+
+TEST(MapWatchTest, PeriodicPullConvergesAStaleWatch) {
+  ShardMap v1;
+  v1.version = 1;
+  v1.members = {{0, "", 0, 1.0}};
+  ShardMap v2 = v1;
+  v2.version = 2;
+  v2.members.push_back({1, "", 0, 1.0});
+
+  MapWatch watch(v1);
+  std::atomic<bool> peer_has_newer{false};
+  watch.start_periodic_pull(
+      [&]() -> std::optional<ShardMap> {
+        if (!peer_has_newer) return std::nullopt;  // peer down: skipped tick
+        return v2;
+      },
+      5ms, /*seed=*/7);
+
+  // Skipped ticks count as pulls but never adopt anything.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (watch.pull_count() < 2 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(1ms);
+  EXPECT_GE(watch.pull_count(), 2);
+  EXPECT_EQ(watch.version(), 1u);
+  EXPECT_EQ(watch.pull_adopted_count(), 0);
+
+  // The peer comes back with a newer map: the next tick adopts it.
+  peer_has_newer = true;
+  while (watch.version() < 2 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(1ms);
+  watch.stop_periodic_pull();
+  EXPECT_EQ(watch.version(), 2u);
+  EXPECT_EQ(watch.pull_adopted_count(), 1);
+}
+
+TEST(ClusterServiceTest, MapVersionAnnouncementsTriggerAntiEntropyRefresh) {
+  Fleet fleet;
+  fleet.add(0);
+  fleet.add(1);
+  ShardMap v1;
+  v1.version = 1;
+  v1.members = {{0, "", 0, 1.0}};
+  ShardMap v2 = v1;
+  v2.version = 2;
+  v2.members.push_back({1, "", 0, 1.0});
+
+  auto authoritative = std::make_shared<ShardMap>(v2);
+  ClusterOptions options;
+  options.map = v1;
+  options.map_fetch = [authoritative] { return *authoritative; };
+  ClusterService service(fleet.resolver(), options);
+
+  // Announcements at or below the held (version, epoch) are no-ops — no
+  // fetch, no counter.
+  EXPECT_FALSE(service.note_map_version(1, 0));
+  EXPECT_FALSE(service.note_map_version(0, 0));
+  EXPECT_EQ(service.map_refresh_count(), 0);
+
+  // A newer announced version pulls through map_fetch and adopts.
+  EXPECT_TRUE(service.note_map_version(2, 0));
+  EXPECT_EQ(service.current_map().version, 2u);
+  EXPECT_EQ(service.map_refresh_count(), 1);
+  EXPECT_GE(service.stats().transport.map_refreshes, 1);
+
+  // A newer epoch is "behind" even at a lower version: takeover republish.
+  ShardMap promoted = v2;
+  promoted.version = 1;
+  promoted.epoch = 3;
+  *authoritative = promoted;
+  EXPECT_TRUE(service.note_map_version(1, 3));
+  EXPECT_EQ(service.current_map().epoch, 3u);
+
+  // A fenced publisher's announcement never rolls the client back.
+  EXPECT_FALSE(service.note_map_version(99, 0));
+  EXPECT_EQ(service.current_map().epoch, 3u);
+  EXPECT_EQ(service.map_refresh_count(), 2);
+}
+
+TEST(ClusterServiceTest, WireLevelMapVersionPiggybackConvergesWithoutABounce) {
+  // The anti-entropy announce end to end: the server holds map v2 and the
+  // client routes by v1, but shard 0 owns the fingerprint under both maps,
+  // so the stale_map bounce never fires. Convergence must come purely from
+  // the (version, epoch) the server piggybacks on each response: the
+  // RemoteService on_map_version hook feeds note_map_version, which pulls a
+  // fresh map. (map_fetch here is a local copy — the hook runs on the reader
+  // thread, which must never issue an RPC back over the same connection.)
+  ShardMap v1;
+  v1.version = 1;
+  v1.members = {{0, "", 0, 1.0}};
+  ShardMap v2 = v1;
+  v2.version = 2;
+  v2.members[0].weight = 2.0;  // same single owner, newer version
+
+  auto cluster_slot = std::make_shared<std::atomic<ClusterService*>>(nullptr);
+  RemoteOptions remote_options;
+  remote_options.on_map_version = [cluster_slot](const wire::MapVersion& seen) {
+    if (ClusterService* service = cluster_slot->load())
+      service->note_map_version(seen.version, seen.epoch);
+  };
+
+  auto watch = std::make_shared<MapWatch>(v2);
+  transport::ServerOptions server_options;
+  cluster::install_cluster_hooks(server_options, watch, 0);
+  auto shard = std::make_shared<LoopbackShard>(
+      std::make_unique<LocalService>(inline_pool_options(wilson_engine(), 0)),
+      server_options, remote_options);
+
+  ClusterOptions options;
+  options.map = v1;
+  options.map_fetch = [v2] { return v2; };
+  ClusterService service(
+      [&](const ShardDescriptor&) -> std::shared_ptr<SamplerService> {
+        return shard;
+      },
+      options);
+  cluster_slot->store(&service);
+
+  const graph::Graph g = test_graph();
+  const Fingerprint fp = service.admit({g, wilson_engine()});
+  std::vector<std::string> keys = tree_keys(service.sample_batch({fp, 5}));
+
+  // The announce rode back on those responses; the hook fires on the reader
+  // thread, so poll for the adoption instead of asserting it synchronously.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (service.current_map().version < 2 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(1ms);
+  EXPECT_EQ(service.current_map().version, 2u);
+  EXPECT_GE(service.map_refresh_count(), 1);
+
+  // Draws under the refreshed map continue the same stream.
+  const std::vector<std::string> chunk = tree_keys(service.sample_batch({fp, 5}));
+  keys.insert(keys.end(), chunk.begin(), chunk.end());
+  EXPECT_EQ(keys, reference_keys(g, 10));
+  cluster_slot->store(nullptr);
+}
+
+TEST(ClusterServiceTest, CursorTableTracksTheAdmittedPopulation) {
+  Fleet fleet;
+  fleet.add(0);
+  ShardMap v1;
+  v1.version = 1;
+  v1.members = {{0, "", 0, 1.0}};
+  ClusterOptions options;
+  options.map = v1;
+  ClusterService service(fleet.resolver(), options);
+
+  const graph::Graph g1 = test_graph();
+  const graph::Graph g2 = graph::complete(5);
+  const Fingerprint fp1 = service.admit({g1, wilson_engine()});
+  const Fingerprint fp2 = service.admit({g2, wilson_engine()});
+  service.sample_batch({fp1, 3});
+  service.sample_batch({fp2, 3});
+  EXPECT_EQ(service.cursor_count(), 2u);
+
+  // A drop through this client evicts its cursor inline.
+  EXPECT_TRUE(service.drop(fp1));
+  EXPECT_EQ(service.cursor_count(), 1u);
+
+  // A coordinator dropped fp2 cluster-wide behind this client's back. The
+  // next routed call surfaces unknown_fingerprint — and must evict the stale
+  // cursor instead of leaking it until process exit.
+  fleet.shards[0]->local().drop(fp2);
+  EXPECT_EQ(error_code([&] { service.sample_batch({fp2, 3}); }),
+            ServiceErrorCode::unknown_fingerprint);
+  EXPECT_EQ(service.cursor_count(), 0u);
+}
+
+// -------------------------------------------------- coordinator HA (PR 9)
+
+TEST(CoordinatorHATest, TakeoverRebuildsCatalogAndFencesTheOldPrimary) {
+  Fleet fleet;
+  fleet.add(0);
+  fleet.add(1);
+  fleet.add(2);
+  CoordinatorOptions primary_options;
+  primary_options.replication = 2;
+  Coordinator primary(fleet.resolver(), primary_options);
+  primary.add_shard({0, "", 0, 1.0});
+  primary.add_shard({1, "", 0, 1.0});
+  primary.add_shard({2, "", 0, 1.0});
+  EXPECT_EQ(primary.epoch(), 0u);
+
+  const graph::Graph g = test_graph();
+  const Fingerprint fp = primary.admit({g, wilson_engine()});
+
+  ClusterOptions options;
+  options.map = primary.current_map();
+  ClusterService service(fleet.resolver(), options);
+  std::vector<std::string> keys = tree_keys(service.sample_batch({fp, 5}));
+
+  // The primary dies (we simply stop calling it — its catalog is gone with
+  // it). A fresh standby takes over from the last known member set: probes
+  // the shards for the newest map, claims epoch 1, rebuilds the catalog from
+  // the shards' own entries, and republishes under the new lease.
+  const std::vector<ShardDescriptor> seeds = primary.current_map().members;
+  Coordinator standby(fleet.resolver());
+  standby.subscribe([&](const ShardMap& map) { service.update_map(map); });
+  EXPECT_EQ(standby.takeover(seeds), 1u);
+  EXPECT_EQ(standby.epoch(), 1u);
+  EXPECT_FALSE(standby.fenced());
+
+  const std::vector<Fingerprint> cataloged = standby.cataloged();
+  ASSERT_EQ(cataloged.size(), 1u);
+  EXPECT_EQ(cataloged[0], fp);
+
+  const ShardMap adopted = standby.current_map();
+  EXPECT_EQ(adopted.epoch, 1u);
+  EXPECT_EQ(adopted.version, 4u);  // v3 (last publish) + takeover republish
+  EXPECT_EQ(adopted.replication, 2);
+  for (const auto& [id, shard] : fleet.shards)
+    EXPECT_EQ(shard->watch()->epoch(), 1u) << "shard " << id;
+  EXPECT_EQ(service.current_map().epoch, 1u);
+
+  // Draws continue replay-equal under the new lease.
+  const std::vector<std::string> chunk = tree_keys(service.sample_batch({fp, 5}));
+  keys.insert(keys.end(), chunk.begin(), chunk.end());
+  EXPECT_EQ(keys, reference_keys(g, 10));
+
+  // The old primary comes back as a zombie: its first fenced operation earns
+  // stale_epoch (without touching any shard), it marks itself fenced, and
+  // everything after fails fast.
+  const graph::Graph stray = graph::complete(5);
+  EXPECT_EQ(error_code([&] { primary.admit({stray, wilson_engine()}); }),
+            ServiceErrorCode::stale_epoch);
+  EXPECT_TRUE(primary.fenced());
+  const Fingerprint stray_fp = fingerprint_graph(stray);
+  for (const auto& [id, shard] : fleet.shards)
+    EXPECT_FALSE(shard->local().admitted(stray_fp)) << "shard " << id;
+  EXPECT_EQ(error_code([&] { primary.add_shard({3, "", 0, 1.0}); }),
+            ServiceErrorCode::stale_epoch);
+  EXPECT_EQ(error_code([&] { primary.admit({g, wilson_engine()}); }),
+            ServiceErrorCode::stale_epoch);
+}
+
+TEST(CoordinatorHATest, FencedZombieCannotTearAMigration) {
+  // The hardest interleaving: a standby took over while the old primary
+  // believes it still holds the lease and starts a membership change. The
+  // zombie's phase-1 admit is vetoed before it mutates anything, the change
+  // never publishes, and the successor's cluster keeps serving replay-equal.
+  Fleet fleet;
+  fleet.add(0);
+  fleet.add(1);
+  Coordinator primary(fleet.resolver());
+  primary.add_shard({0, "", 0, 1.0});
+  primary.add_shard({1, "", 0, 1.0});
+  const graph::Graph g = test_graph();
+  const Fingerprint fp = primary.admit({g, wilson_engine()});
+
+  ClusterOptions options;
+  options.map = primary.current_map();
+  ClusterService service(fleet.resolver(), options);
+  Coordinator standby(fleet.resolver());
+  standby.subscribe([&](const ShardMap& map) { service.update_map(map); });
+  std::vector<std::string> keys = tree_keys(service.sample_batch({fp, 5}));
+
+  standby.takeover(primary.current_map().members);
+  const ShardMap settled = standby.current_map();
+
+  const int owner = settled.owner(fp);
+  const int other = 1 - owner;
+  EXPECT_EQ(error_code([&] { primary.remove_shard(owner); }),
+            ServiceErrorCode::stale_epoch);
+  EXPECT_TRUE(primary.fenced());
+
+  // Nothing was torn: the owner still serves, the would-be joiner never got
+  // the phase-1 admission, and every party still routes by the successor's
+  // map.
+  EXPECT_TRUE(fleet.shards[owner]->local().admitted(fp));
+  EXPECT_FALSE(fleet.shards[other]->local().admitted(fp));
+  EXPECT_EQ(service.current_map(), settled);
+  for (const auto& [id, shard] : fleet.shards)
+    EXPECT_EQ(shard->watch()->current(), settled) << "shard " << id;
+
+  const std::vector<std::string> chunk = tree_keys(service.sample_batch({fp, 5}));
+  keys.insert(keys.end(), chunk.begin(), chunk.end());
+  EXPECT_EQ(keys, reference_keys(g, 10));
+}
+
+/// A shard that always reports one in-flight batch: a reachable leaver that
+/// will never drain, for the migration rollback path.
+class NeverDrainsShard final : public SamplerService {
+ public:
+  explicit NeverDrainsShard(PoolOptions options) : local_(std::move(options)) {}
+
+  LocalService& local() { return local_; }
+
+  Fingerprint admit(const AdmitRequest& request) override {
+    return local_.admit(request);
+  }
+  bool admitted(const Fingerprint& fp) const override {
+    return local_.admitted(fp);
+  }
+  bool resident(const Fingerprint& fp) const override {
+    return local_.resident(fp);
+  }
+  std::int64_t prepare_count(const Fingerprint& fp) const override {
+    return local_.prepare_count(fp);
+  }
+  std::int64_t draw_cursor(const Fingerprint& fp) const override {
+    return local_.draw_cursor(fp);
+  }
+  std::int64_t in_flight(const Fingerprint&) const override { return 1; }
+  bool drop(const Fingerprint& fp) override { return local_.drop(fp); }
+  BatchResponse sample_batch(const BatchRequest& request) override {
+    return local_.sample_batch(request);
+  }
+  std::future<BatchResponse> submit_batch(const BatchRequest& request) override {
+    return local_.submit_batch(request);
+  }
+  ServiceStats stats() const override { return local_.stats(); }
+
+ private:
+  LocalService local_;
+};
+
+TEST(CoordinatorTest, WedgedLeaverRollsTheChangeBackWithTypedTimeout) {
+  // A reachable leaver whose in-flight count never drains must not wedge the
+  // control plane forever or tear the entry out from under the batch: the
+  // change rolls back (joiner admissions dropped, previous membership
+  // republished at a higher version) and surfaces a typed timeout.
+  std::unordered_map<int, std::shared_ptr<NeverDrainsShard>> shards;
+  shards[0] = std::make_shared<NeverDrainsShard>(
+      inline_pool_options(wilson_engine(), 0));
+  shards[1] = std::make_shared<NeverDrainsShard>(
+      inline_pool_options(wilson_engine(), 1));
+  auto resolver = [&](const ShardDescriptor& member)
+      -> std::shared_ptr<SamplerService> { return shards.at(member.shard_id); };
+
+  CoordinatorOptions coordinator_options;
+  coordinator_options.drain_poll = 5ms;
+  coordinator_options.drain_timeout = 50ms;
+  Coordinator coordinator(resolver, coordinator_options);
+  coordinator.add_shard({0, "", 0, 1.0});
+  coordinator.add_shard({1, "", 0, 1.0});
+
+  const graph::Graph g = test_graph();
+  const Fingerprint fp = coordinator.admit({g, wilson_engine()});
+
+  ClusterOptions options;
+  options.map = coordinator.current_map();
+  ClusterService service(resolver, options);
+  coordinator.subscribe([&](const ShardMap& map) { service.update_map(map); });
+  std::vector<std::string> keys = tree_keys(service.sample_batch({fp, 5}));
+
+  const int owner = coordinator.current_map().owner(fp);
+  const int other = 1 - owner;
+  EXPECT_EQ(error_code([&] { coordinator.remove_shard(owner); }),
+            ServiceErrorCode::timeout);
+
+  // Membership restored under a version past the aborted one, so every party
+  // that adopted the aborted map converges back.
+  const ShardMap after = coordinator.current_map();
+  EXPECT_EQ(after.version, 4u);  // v2 members, v3 aborted, v4 rollback
+  EXPECT_TRUE(after.has_member(owner));
+  EXPECT_TRUE(after.has_member(other));
+  EXPECT_EQ(after.owner(fp), owner);
+  EXPECT_EQ(service.current_map(), after);
+
+  // The phase-1 joiner admission was rolled back; the wedged owner kept its
+  // entry and cursor.
+  EXPECT_FALSE(shards[other]->admitted(fp));
+  EXPECT_TRUE(shards[owner]->admitted(fp));
+  EXPECT_EQ(shards[owner]->draw_cursor(fp), 5);
+
+  const std::vector<std::string> chunk = tree_keys(service.sample_batch({fp, 5}));
+  keys.insert(keys.end(), chunk.begin(), chunk.end());
+  EXPECT_EQ(keys, reference_keys(g, 10));
+}
+
+TEST(CoordinatorHATest, FailoverStormKeepsUniformityAndReplayEquality) {
+  // The PR 9 soak: repeated primary-shard kills (and revivals) while a
+  // chi-square uniformity run streams batches, with a standby coordinator
+  // takeover dropped in the middle — for every backend. Replay equality
+  // against the unmigrated reference is the strong form of the uniformity
+  // claim: byte-identical trees inherit the single-pool law.
+  const graph::Graph g = graph::complete(4);
+  const auto trees = graph::enumerate_spanning_trees(g);
+
+  for (const Backend backend :
+       {Backend::congested_clique, Backend::doubling, Backend::wilson,
+        Backend::aldous_broder}) {
+    SCOPED_TRACE(backend_name(backend));
+    EngineOptions engine;
+    engine.backend = backend;
+    engine.seed = 31;
+
+    Fleet fleet;
+    fleet.add(0, engine);
+    fleet.add(1, engine);
+    fleet.add(2, engine);
+    CoordinatorOptions coordinator_options;
+    coordinator_options.replication = 2;
+    Coordinator primary(fleet.resolver(), coordinator_options);
+    primary.add_shard({0, "", 0, 1.0});
+    primary.add_shard({1, "", 0, 1.0});
+    primary.add_shard({2, "", 0, 1.0});
+    const Fingerprint fp = primary.admit({g, engine});
+
+    ClusterOptions options;
+    options.map = primary.current_map();
+    ClusterService service(fleet.resolver(), options);
+
+    constexpr int kBatches = 60;
+    constexpr int kDraws = 50;
+    util::FrequencyTable freq;
+    std::vector<std::string> keys;
+    std::optional<Coordinator> standby;
+    for (int b = 0; b < kBatches; ++b) {
+      if (b % 5 == 0)
+        for (const auto& [id, shard] : fleet.shards) shard->revive();
+      if (b == kBatches / 2) {
+        // Mid-storm the coordinator dies too: a standby takes over (epoch 1)
+        // and the stream must not notice.
+        standby.emplace(fleet.resolver());
+        standby->subscribe(
+            [&](const ShardMap& map) { service.update_map(map); });
+        EXPECT_EQ(standby->takeover(primary.current_map().members), 1u);
+        EXPECT_EQ(service.current_map().epoch, 1u);
+      }
+      if (b % 5 == 2)
+        fleet.shards[service.current_map().owner(fp)]->kill();
+      const BatchResponse response = service.sample_batch({fp, kDraws});
+      EXPECT_EQ(response.first_draw_index, b * kDraws);
+      for (const graph::TreeEdges& tree : response.batch.trees) {
+        ASSERT_TRUE(graph::is_spanning_tree(g, tree));
+        freq.add(graph::tree_key(tree));
+      }
+      const std::vector<std::string> chunk = tree_keys(response);
+      keys.insert(keys.end(), chunk.begin(), chunk.end());
+    }
+
+    EXPECT_GE(service.failover_count(), 5);
+    EXPECT_EQ(keys, reference_keys(g, kBatches * kDraws, engine));
+
+    std::vector<std::int64_t> counts;
+    for (const auto& tree : trees) counts.push_back(freq.count(graph::tree_key(tree)));
+    const std::vector<double> uniform(trees.size(), 1.0);
+    EXPECT_LT(util::chi_square(counts, uniform),
+              util::chi_square_critical(static_cast<int>(trees.size()) - 1))
+        << backend_name(backend)
+        << " deviates from the uniform tree law under the failover storm";
   }
 }
 

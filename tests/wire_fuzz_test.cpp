@@ -119,6 +119,7 @@ std::vector<CorpusEntry> build_corpus() {
   // allocation guard the length-field sweep exercises here.
   cluster::ShardMap map;
   map.version = 7;
+  map.epoch = 2;
   map.replication = 2;
   map.members = {{0, "10.0.0.1", 9001, 1.0},
                  {3, "10.0.0.2", 9002, 2.0},
@@ -131,6 +132,34 @@ std::vector<CorpusEntry> build_corpus() {
     wire::decode_map_query(b);
     return wire::encode_map_query();
   });
+
+  // v6 HA / anti-entropy frames. catalog_response carries the
+  // forged-fingerprint-count guard the length-field sweep exercises.
+  add("map_version", wire::encode(wire::MapVersion{9, 2}),
+      [](auto b) { return wire::encode(wire::decode_map_version(b)); });
+  add("fenced_drop", wire::encode_fenced_drop(fingerprint_graph(random_graph), 4),
+      [](auto b) {
+        const auto [fp, epoch] = wire::decode_fenced_drop(b);
+        return wire::encode_fenced_drop(fp, epoch);
+      });
+  add("catalog_query", wire::encode_catalog_query(), [](auto b) {
+    wire::decode_catalog_query(b);
+    return wire::encode_catalog_query();
+  });
+  add("catalog_response",
+      wire::encode_catalog_response({fingerprint_graph(random_graph),
+                                     fingerprint_graph(weighted)}),
+      [](auto b) {
+        return wire::encode_catalog_response(wire::decode_catalog_response(b));
+      });
+  add("admit_export_query",
+      wire::encode_query(wire::MessageType::admit_export_query,
+                         fingerprint_graph(random_graph)),
+      [](auto b) {
+        return wire::encode_query(
+            wire::MessageType::admit_export_query,
+            wire::decode_query(b, wire::MessageType::admit_export_query));
+      });
 
   // v5 serving-edge frames. The histogram pair-count guard is the allocation
   // discipline here; the canonical sparse form (strictly increasing indices,

@@ -381,7 +381,7 @@ TEST(WireCodecTest, ErrorResponseCarriesEveryCodeTyped) {
         ServiceErrorCode::invalid_config, ServiceErrorCode::malformed_message,
         ServiceErrorCode::version_mismatch, ServiceErrorCode::unavailable,
         ServiceErrorCode::transport, ServiceErrorCode::timeout,
-        ServiceErrorCode::stale_map}) {
+        ServiceErrorCode::stale_map, ServiceErrorCode::stale_epoch}) {
     SCOPED_TRACE(std::string(service_error_name(code)));
     const wire::ErrorResponse error{
         code, 0, "detail for " + std::string(service_error_name(code))};
@@ -503,6 +503,7 @@ TEST(WireCodecTest, SingleValueResponsesAndQueriesRoundTrip) {
 cluster::ShardMap demo_map() {
   cluster::ShardMap map;
   map.version = 42;
+  map.epoch = 3;
   map.replication = 2;
   map.members = {{0, "127.0.0.1", 9001, 1.0},
                  {1, "127.0.0.1", 9002, 2.5},
@@ -552,13 +553,13 @@ TEST(WireCodecTest, MapQueryRoundTrips) {
 TEST(WireRejectTest, ForgedAndInvalidShardMapsAreRejected) {
   const wire::Bytes bytes = wire::encode(demo_map());
   // Forged member count: checked against the bytes actually present before
-  // anything is allocated (payload layout: version(8) replication(4)
-  // count(4) ...).
+  // anything is allocated (payload layout: version(8) epoch(8)
+  // replication(4) count(4) ...).
   wire::Bytes forged = bytes;
-  forged[7 + 12] = 0xff;
-  forged[7 + 13] = 0xff;
-  forged[7 + 14] = 0xff;
-  forged[7 + 15] = 0xff;
+  forged[7 + 20] = 0xff;
+  forged[7 + 21] = 0xff;
+  forged[7 + 22] = 0xff;
+  forged[7 + 23] = 0xff;
   EXPECT_EQ(error_code([&] { wire::decode_shard_map(forged); }),
             ServiceErrorCode::malformed_message);
 
@@ -576,6 +577,73 @@ TEST(WireRejectTest, ForgedAndInvalidShardMapsAreRejected) {
   cluster::ShardMap unreplicated = demo_map();
   unreplicated.replication = 0;
   EXPECT_EQ(error_code([&] { wire::decode_shard_map(wire::encode(unreplicated)); }),
+            ServiceErrorCode::malformed_message);
+}
+
+// ------------------------------------------------ v6 HA / anti-entropy
+
+TEST(WireCodecTest, MapVersionAnnounceRoundTrips) {
+  const wire::MapVersion announce{42, 7};
+  const wire::Bytes bytes = wire::encode(announce);
+  EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::map_version);
+  EXPECT_EQ(wire::decode_map_version(bytes), announce);
+  EXPECT_EQ(wire::encode(wire::decode_map_version(bytes)), bytes);
+
+  wire::Bytes trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_EQ(error_code([&] { wire::decode_map_version(trailing); }),
+            ServiceErrorCode::malformed_message);
+}
+
+TEST(WireCodecTest, FencedDropCarriesFingerprintAndEpoch) {
+  const Fingerprint fp = fingerprint_graph(graph::grid(3, 4));
+  const wire::Bytes bytes = wire::encode_fenced_drop(fp, 9);
+  EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::fenced_drop_query);
+  const auto [back_fp, back_epoch] = wire::decode_fenced_drop(bytes);
+  EXPECT_EQ(back_fp, fp);
+  EXPECT_EQ(back_epoch, 9u);
+}
+
+TEST(WireCodecTest, CatalogHandoffRoundTrips) {
+  wire::decode_catalog_query(wire::encode_catalog_query());
+
+  const std::vector<Fingerprint> fps = {
+      fingerprint_graph(graph::grid(3, 4)), fingerprint_graph(graph::cycle(5)),
+      fingerprint_graph(graph::complete(4))};
+  const wire::Bytes bytes = wire::encode_catalog_response(fps);
+  EXPECT_EQ(wire::peek_type(bytes), wire::MessageType::catalog_response);
+  EXPECT_EQ(wire::decode_catalog_response(bytes), fps);
+  EXPECT_EQ(wire::decode_catalog_response(wire::encode_catalog_response({})),
+            std::vector<Fingerprint>{});
+
+  // Forged fingerprint count: checked against the bytes actually present
+  // before anything is allocated (payload layout: count(4) fp(16)...).
+  wire::Bytes forged = bytes;
+  forged[7 + 0] = 0xff;
+  forged[7 + 1] = 0xff;
+  forged[7 + 2] = 0xff;
+  forged[7 + 3] = 0xff;
+  EXPECT_EQ(error_code([&] { wire::decode_catalog_response(forged); }),
+            ServiceErrorCode::malformed_message);
+}
+
+TEST(WireCodecTest, AdmitRequestCarriesCoordinatorEpoch) {
+  AdmitRequest request;
+  request.graph = graph::grid(3, 4);
+  request.first_draw_index = 12;
+  request.coordinator_epoch = 5;
+  const AdmitRequest back =
+      wire::decode_admit_request(wire::encode(request));
+  EXPECT_EQ(back.coordinator_epoch, 5);
+  EXPECT_EQ(back.first_draw_index, 12);
+
+  // Default (-1) means "not coordinator-originated": round-trips, and the
+  // decoder rejects anything below it.
+  request.coordinator_epoch = -1;
+  EXPECT_EQ(wire::decode_admit_request(wire::encode(request)).coordinator_epoch,
+            -1);
+  request.coordinator_epoch = -2;
+  EXPECT_EQ(error_code([&] { wire::decode_admit_request(wire::encode(request)); }),
             ServiceErrorCode::malformed_message);
 }
 
