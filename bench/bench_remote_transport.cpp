@@ -2,7 +2,9 @@
 // LocalService directly and by the identical service behind the full remote
 // leg — RemoteService -> framed wire codec -> loopback pipe ->
 // transport::Server — plus a chunked-streaming point with a small
-// negotiated chunk size.
+// negotiated chunk size, the same leg over the shared-memory ring, and a
+// head-of-line section measuring small-query latency under a concurrent
+// chunked batch at one stripe vs several (--stripes N, default 2).
 //
 // What to look for:
 //   1. per-batch overhead (remote ms - local ms) is roughly flat in k for
@@ -11,11 +13,19 @@
 //   2. replay equality — the remote leg returns byte-identical trees, so
 //      the overhead column is the whole story, not a different sampler;
 //   3. chunked streaming (chunk=64) costs little over the single-frame
-//      response while bounding frame sizes for large k.
+//      response while bounding frame sizes for large k;
+//   4. shm_ms at or below remote_ms — the futex-backed ring's hot path
+//      makes no syscall, so the same frames cost no more than the pipe;
+//   5. the stall section: small-query p99 at stripes=1 is dominated by the
+//      concurrent streaming batch (head-of-line blocking on the single
+//      connection); at --stripes N the p99 is unaffected because the query
+//      rides a quiet stripe.
 //
 // With --json, the table is suppressed and stdout carries one JSON document.
 
+#include <algorithm>
 #include <chrono>
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,8 +44,15 @@ struct Point {
   double local_ms = 0.0;
   double remote_ms = 0.0;
   double chunked_ms = 0.0;
+  double shm_ms = 0.0;
   bool replay_ok = true;
   std::int64_t chunk_frames = 0;
+};
+
+struct StallPoint {
+  int stripes = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
 };
 
 double run_batches(engine::SamplerService& service, const engine::Fingerprint& fp,
@@ -51,15 +68,65 @@ double run_batches(engine::SamplerService& service, const engine::Fingerprint& f
   return bench::seconds_since(start) * 1e3 / batches;
 }
 
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = q * static_cast<double>(samples.size() - 1);
+  return samples[static_cast<std::size_t>(rank + 0.5)];
+}
+
+/// Small-query latency while a large chunked batch streams concurrently:
+/// the head-of-line experiment. With one stripe the query's response frame
+/// queues behind the batch on the single connection; with several it rides
+/// a quiet stripe.
+StallPoint measure_stall(int stripes, const engine::PoolOptions& pool,
+                         const graph::Graph& g,
+                         const engine::EngineOptions& engine_options,
+                         int rounds) {
+  engine::transport::ServerOptions server_options;
+  server_options.batch_chunk_trees = 32;  // many chunk frames per batch
+  engine::RemoteOptions client;
+  client.stripes = stripes;
+  engine::LoopbackShard shard(std::make_unique<engine::LocalService>(pool),
+                              server_options, client);
+  const engine::Fingerprint fp = shard.admit({g, engine_options});
+  shard.sample_batch({fp, 1});  // pay prepare() outside the timed region
+
+  std::vector<double> samples;
+  for (int round = 0; round < rounds; ++round) {
+    std::future<engine::BatchResponse> streaming = shard.submit_batch({fp, 1024});
+    for (int q = 0; q < 20; ++q) {
+      const auto start = std::chrono::steady_clock::now();
+      shard.admitted(fp);
+      samples.push_back(bench::seconds_since(start) * 1e6);
+    }
+    streaming.get();
+  }
+  StallPoint point;
+  point.stripes = stripes;
+  point.p50_us = percentile(samples, 0.5);
+  point.p99_us = percentile(samples, 0.99);
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool emit_json = bench::has_flag(argc, argv, "--json");
   bench::quiet() = emit_json;
+  int stripes = 2;
+  if (const char* value = bench::flag_value(argc, argv, "--stripes"))
+    stripes = std::atoi(value);
+  if (stripes < 1 || stripes > 64) {
+    std::fprintf(stderr, "--stripes must be in [1, 64]\n");
+    return 1;
+  }
   bench::header("bench_remote_transport",
                 "the remote leg (RemoteService -> wire codec -> loopback pipe "
                 "-> transport::Server) adds bounded per-batch overhead over "
-                "LocalService and returns byte-identical trees");
+                "LocalService and returns byte-identical trees; the shm ring "
+                "costs no more than the pipe; striping removes head-of-line "
+                "blocking");
 
   engine::EngineOptions engine_options;
   engine_options.backend = engine::Backend::wilson;
@@ -72,7 +139,7 @@ int main(int argc, char** argv) {
               batches);
 
   bench::row({"k", "local_ms", "remote_ms", "overhead_ms", "chunk64_ms",
-              "chunk_frames", "replay_ok"});
+              "shm_ms", "chunk_frames", "replay_ok"});
   std::vector<Point> points;
   for (const int k : {1, 16, 256}) {
     Point point;
@@ -113,18 +180,52 @@ int main(int argc, char** argv) {
       point.chunk_frames = remote.remote().chunk_frames_received();
     }
 
+    // The same single-frame leg over the shared-memory ring: identical
+    // frames, no pipe condvar — the per-batch cost must not exceed the pipe.
+    {
+      std::vector<std::string> shm_keys;
+      engine::LoopbackShard remote(std::make_unique<engine::LocalService>(pool),
+                                   engine::transport::ServerOptions{},
+                                   engine::RemoteOptions{},
+                                   engine::LoopbackTransport::shm_ring);
+      const engine::Fingerprint fp = remote.admit({g, engine_options});
+      remote.sample_batch({fp, 1});
+      point.shm_ms = run_batches(remote, fp, batches, k, &shm_keys);
+      point.replay_ok = point.replay_ok && local_keys == shm_keys;
+    }
+
     bench::row({bench::fmt_int(k), bench::fmt(point.local_ms),
                 bench::fmt(point.remote_ms),
                 bench::fmt(point.remote_ms - point.local_ms),
-                bench::fmt(point.chunked_ms), bench::fmt_int(point.chunk_frames),
+                bench::fmt(point.chunked_ms), bench::fmt(point.shm_ms),
+                bench::fmt_int(point.chunk_frames),
                 point.replay_ok ? "yes" : "NO"});
     points.push_back(point);
   }
 
+  // Head-of-line section: stripes=1 baseline vs --stripes N.
+  engine::PoolOptions stall_pool;
+  stall_pool.workers = 0;
+  stall_pool.engine = engine_options;
+  const int stall_rounds = bench::scaled(10);
+  std::vector<StallPoint> stall;
+  stall.push_back(measure_stall(1, stall_pool, g, engine_options, stall_rounds));
+  if (stripes > 1)
+    stall.push_back(
+        measure_stall(stripes, stall_pool, g, engine_options, stall_rounds));
+
+  bench::note("\nsmall-query latency under a concurrent chunked 1024-draw batch:\n\n");
+  bench::row({"stripes", "query_p50_us", "query_p99_us"});
+  for (const StallPoint& p : stall)
+    bench::row({bench::fmt_int(p.stripes), bench::fmt(p.p50_us, 1),
+                bench::fmt(p.p99_us, 1)});
+
   bench::note(
       "\nexpected shape: replay_ok = yes at every k; overhead_ms is flat for\n"
       "small k (fixed codec+framing+hop cost) and grows with the serialized\n"
-      "tree payload at k=256; chunk_frames > 0 only at k > 64.\n");
+      "tree payload at k=256; chunk_frames > 0 only at k > 64; shm_ms <=\n"
+      "remote_ms; query_p99_us collapses from stripes=1 to stripes=%d.\n",
+      stripes);
 
   if (emit_json) {
     std::string sweep = "[";
@@ -134,14 +235,24 @@ int main(int argc, char** argv) {
                ",\"local_ms\":" + bench::fmt(p.local_ms) +
                ",\"remote_ms\":" + bench::fmt(p.remote_ms) +
                ",\"chunk64_ms\":" + bench::fmt(p.chunked_ms) +
+               ",\"shm_ms\":" + bench::fmt(p.shm_ms) +
                ",\"chunk_frames\":" + std::to_string(p.chunk_frames) +
                ",\"replay_ok\":" + (p.replay_ok ? "true" : "false") + "}";
     }
     sweep += "]";
+    std::string stall_json = "[";
+    for (const StallPoint& p : stall) {
+      if (stall_json.size() > 1) stall_json += ',';
+      stall_json += "{\"stripes\":" + std::to_string(p.stripes) +
+                    ",\"p50_us\":" + bench::fmt(p.p50_us, 1) +
+                    ",\"p99_us\":" + bench::fmt(p.p99_us, 1) + "}";
+    }
+    stall_json += "]";
     std::printf(
         "{\"bench\":\"bench_remote_transport\",\"quick\":%d,\"batches\":%d,"
-        "\"sweep\":%s}\n",
-        bench::quick() ? 1 : 0, batches, sweep.c_str());
+        "\"stripes\":%d,\"sweep\":%s,\"stall\":%s}\n",
+        bench::quick() ? 1 : 0, batches, stripes, sweep.c_str(),
+        stall_json.c_str());
   }
   return 0;
 }

@@ -32,6 +32,13 @@
 //       demo workload against the remote shards and printing the stats it
 //       reads back over the wire.
 //
+//   ./pool_server --shm-ring [shards] [budget_kib] [workers] [backend]
+//       The in-process demo served through the full remote leg over the
+//       shared-memory ring transport: a transport::Server serving the
+//       ShardedService over make_shm_ring, with a RemoteService client in
+//       front. Every request crosses the framed RPC protocol through the
+//       futex-backed SPSC rings — the CI smoke for the shm transport.
+//
 //   ./pool_server --cluster HOST PORT0 PORT1 [backend]
 //       The cluster smoke client + coordinator: forms a 2-member,
 //       replication-2 cluster over two --listen servers, admits a graph
@@ -148,8 +155,9 @@ int run_workload(engine::SamplerService& service, const engine::EngineOptions& e
                "       %s --listen PORT [--once] [--shard-id N] [--weight W] "
                "[--metrics-port P] [shards] [budget_kib] [workers] [backend]\n"
                "       %s --connect HOST PORT [backend]\n"
+               "       %s --shm-ring [shards] [budget_kib] [workers] [backend]\n"
                "       %s --cluster HOST PORT0 PORT1 [backend]\n",
-               argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0);
   std::exit(1);
 }
 
@@ -310,6 +318,7 @@ int main(int argc, char** argv) {
   const bool listen_mode = argc > 1 && std::strcmp(argv[1], "--listen") == 0;
   const bool connect_mode = argc > 1 && std::strcmp(argv[1], "--connect") == 0;
   const bool cluster_mode = argc > 1 && std::strcmp(argv[1], "--cluster") == 0;
+  const bool shm_mode = argc > 1 && std::strcmp(argv[1], "--shm-ring") == 0;
 
   if (cluster_mode) {
     if (argc < 5) usage(argv[0]);
@@ -360,7 +369,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  int arg = listen_mode ? 2 : 1;
+  int arg = (listen_mode || shm_mode) ? 2 : 1;
   int listen_port = 0;
   bool once = false;
   int cluster_shard_id = 0;
@@ -405,6 +414,32 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "configuration error:\n%s\n", e.what());
     return 1;
   }
+  if (shm_mode) {
+    // The demo workload through the full remote leg over the shared-memory
+    // ring: handshake, request-id multiplexing, chunked streaming — with
+    // the futex-backed SPSC rings instead of a socket. Exits nonzero when
+    // any returned tree fails validation, so CI can smoke the transport.
+    std::printf(
+        "service: %d shards x (%ld KiB budget, %d workers), backend %s, "
+        "served over the shared-memory ring\n\n",
+        shards, budget_kib, workers, backend);
+    try {
+      engine::LoopbackShard shard(
+          std::make_unique<engine::ShardedService>(shards, options),
+          engine::transport::ServerOptions{}, engine::RemoteOptions{},
+          engine::LoopbackTransport::shm_ring);
+      const int rc = run_workload(shard, options.engine);
+      const engine::ServiceStats stats = shard.stats();
+      std::printf("transport: %lld dial(s), %lld timeout(s) over the ring\n",
+                  static_cast<long long>(stats.transport.dials),
+                  static_cast<long long>(stats.transport.timeouts));
+      return rc;
+    } catch (const engine::ServiceError& e) {
+      std::fprintf(stderr, "shm-ring serving failed: %s\n", e.what());
+      return 1;
+    }
+  }
+
   engine::ShardedService service(shards, options);
   std::printf("service: %d shards x (%ld KiB budget, %d workers), backend %s\n",
               shards, budget_kib, workers, backend);

@@ -162,6 +162,7 @@ std::string render_text(const ServiceStats& stats) {
   append_counter(out, "cliquest_shed_retries_total", transport.shed_retries);
   append_counter(out, "cliquest_map_refreshes_total", transport.map_refreshes);
   append_counter(out, "cliquest_map_pulls_total", transport.map_pulls);
+  append_counter(out, "cliquest_timeouts_total", transport.timeouts);
 
   const MetricsSnapshot& m = stats.metrics;
   append_counter(out, "cliquest_queue_depth", m.queue_depth);

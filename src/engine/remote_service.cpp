@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <future>
 #include <iterator>
 #include <string>
 #include <utility>
@@ -25,14 +26,19 @@ std::uint64_t micros_since(std::chrono::steady_clock::time_point start) {
 
 /// One in-flight request. Exactly one of the two promises is used
 /// (is_batch picks it); chunk_trees accumulates streamed trees until the
-/// terminal batch_response lands.
+/// terminal batch_response lands, bounded by the request's own draw count
+/// (max_trees) — a server streaming past it is answered with a typed
+/// malformed_message and a poisoned connection, never an OOM.
 struct RemoteService::Pending {
   bool is_batch = false;
   std::uint64_t generation = 0;
+  std::size_t stripe = 0;
   std::promise<BatchResponse> batch_promise;
   std::promise<wire::Bytes> bytes_promise;
   std::vector<graph::TreeEdges> chunk_trees;
+  std::size_t max_trees = 0;  // the request's draw count: chunk bound
   std::uint32_t next_seq = 0;
+  bool streaming = false;  // at least one chunk landed (stripe bypass signal)
   /// When the request frame was handed to the link; the terminal reply
   /// records request_send -> reply_decode into the client RTT histogram.
   std::chrono::steady_clock::time_point sent_at;
@@ -45,6 +51,7 @@ struct RemoteService::Pending {
 struct RemoteService::Link {
   std::shared_ptr<transport::Connection> connection;
   std::uint64_t generation = 0;
+  std::size_t stripe = 0;  // the slot in stripes_ this link serves
   /// The server's advertised receive bound from its hello: no request frame
   /// may exceed it (checked before the pending call is registered).
   std::uint32_t peer_max_frame_bytes = transport::kDefaultMaxFrameBytes;
@@ -58,16 +65,23 @@ RemoteService::RemoteService(ConnectionFactory factory, RemoteOptions options)
   if (!factory_)
     throw ServiceError(ServiceErrorCode::invalid_config,
                        "RemoteService needs a connection factory");
+  if (options_.stripes < 1 || options_.stripes > 64)
+    throw ServiceError(ServiceErrorCode::invalid_config,
+                       "RemoteOptions::stripes must be in [1, 64], got " +
+                           std::to_string(options_.stripes));
+  const util::MutexLock lock(mutex_);
+  stripes_.resize(static_cast<std::size_t>(options_.stripes));
 }
 
 RemoteService::~RemoteService() {
   stop();  // wakes any parked backoff; waits until no dial is in progress
-  std::shared_ptr<Link> link;
+  std::vector<std::shared_ptr<Link>> links;
   {
     const util::MutexLock lock(mutex_);
-    link = std::move(link_);
+    for (Stripe& stripe : stripes_)
+      if (stripe.link) links.push_back(std::move(stripe.link));
   }
-  if (link) teardown_link(std::move(link));
+  for (std::shared_ptr<Link>& link : links) teardown_link(std::move(link));
 }
 
 void RemoteService::stop() {
@@ -80,8 +94,13 @@ void RemoteService::stop() {
   }
   stop_cv_.notify_all();
   util::MutexLock lock(mutex_);
-  connect_cv_.notify_all();  // waiters on the in-progress dial fail promptly
-  while (connecting_) connect_cv_.wait(lock);
+  connect_cv_.notify_all();  // waiters on in-progress dials fail promptly
+  for (;;) {
+    bool any_connecting = false;
+    for (const Stripe& stripe : stripes_) any_connecting |= stripe.connecting;
+    if (!any_connecting) break;
+    connect_cv_.wait(lock);
+  }
 }
 
 // ------------------------------------------------------------- connection
@@ -89,8 +108,13 @@ void RemoteService::stop() {
 std::shared_ptr<RemoteService::Link> RemoteService::connect_once() const {
   std::shared_ptr<transport::Connection> connection = factory_();
   if (!connection) transport_error("connection factory returned no connection");
-  wire::Hello peer;
-  try {
+  // The hello exchange runs under the same deadline as any other call: a
+  // handshake frame lost in flight (or a peer that accepted the connection
+  // but never answers) must fail this dial typed. An unbounded read here
+  // would wedge the stripe's connecting flag forever, parking every later
+  // caller on connect_cv_ with no timeout ever reached — the one client
+  // wait request_timeout did not cover.
+  auto exchange = [this, connection]() -> wire::Hello {
     const wire::Hello mine{options_.max_frame_bytes, options_.batch_chunk_trees};
     if (!transport::write_frame(*connection, 0, wire::encode(mine)))
       transport_error("peer closed during handshake");
@@ -104,7 +128,30 @@ std::shared_ptr<RemoteService::Link> RemoteService::connect_once() const {
       const wire::ErrorResponse error = wire::decode_error_response(reply->message);
       throw ServiceError(error.code, error.detail);
     }
-    peer = wire::decode_hello(reply->message);
+    return wire::decode_hello(reply->message);
+  };
+  wire::Hello peer;
+  try {
+    if (options_.request_timeout.count() <= 0) {
+      peer = exchange();
+    } else {
+      std::future<wire::Hello> pending_hello =
+          std::async(std::launch::async, exchange);
+      if (pending_hello.wait_for(options_.request_timeout) !=
+          std::future_status::ready) {
+        // Close first: the blocked exchange wakes with a typed error and the
+        // future's destructor-join below cannot hang.
+        connection->close();
+        try {
+          pending_hello.get();
+        } catch (...) {
+        }
+        transport_error("no hello from the peer within " +
+                        std::to_string(options_.request_timeout.count()) +
+                        "ms");
+      }
+      peer = pending_hello.get();
+    }
   } catch (...) {
     connection->close();
     throw;
@@ -118,18 +165,19 @@ std::shared_ptr<RemoteService::Link> RemoteService::connect_once() const {
 // The body drops and retakes the caller's scoped lock mid-flight — a
 // by-reference scoped capability the analysis cannot track — so it is
 // opted out; the declaration's REQUIRES(mutex_) still checks call sites.
-void RemoteService::ensure_connected(util::MutexLock& lock) const
+void RemoteService::ensure_connected(util::MutexLock& lock, std::size_t stripe) const
     NO_THREAD_SAFETY_ANALYSIS {
   for (;;) {
     if (stopping_.load(std::memory_order_relaxed))
       throw ServiceError(ServiceErrorCode::unavailable,
                          "RemoteService is stopping; no new connections");
-    if (link_ && link_->alive) return;
-    if (!connecting_) break;
-    connect_cv_.wait(lock);  // another caller is dialing; reuse its result
+    Stripe& slot = stripes_[stripe];
+    if (slot.link && slot.link->alive) return;
+    if (!slot.connecting) break;
+    connect_cv_.wait(lock);  // another caller is dialing this stripe; reuse
   }
-  connecting_ = true;
-  std::shared_ptr<Link> dead = std::move(link_);
+  stripes_[stripe].connecting = true;
+  std::shared_ptr<Link> dead = std::move(stripes_[stripe].link);
   lock.unlock();
   if (dead) teardown_link(std::move(dead));
 
@@ -171,7 +219,8 @@ void RemoteService::ensure_connected(util::MutexLock& lock) const
   }
 
   lock.lock();
-  connecting_ = false;
+  Stripe& slot = stripes_[stripe];
+  slot.connecting = false;
   dials_ += dials;
   dial_failures_ += dial_failures;
   connect_cv_.notify_all();
@@ -186,10 +235,15 @@ void RemoteService::ensure_connected(util::MutexLock& lock) const
     if (failure) std::rethrow_exception(failure);
     transport_error("could not connect");
   }
-  if (next_generation_ > 1) ++reconnects_;
+  // A reconnect is a stripe re-establishing its own live connection — the
+  // first dial of each stripe is not one, so stripes=N starts with N dials
+  // and zero reconnects, exactly like N independent clients.
+  if (slot.ever_connected) ++reconnects_;
+  slot.ever_connected = true;
   fresh->generation = next_generation_++;
-  link_ = fresh;
-  link_->reader = std::thread([this, fresh] { reader_loop(fresh); });
+  fresh->stripe = stripe;
+  slot.link = fresh;
+  slot.link->reader = std::thread([this, fresh] { reader_loop(fresh); });
 }
 
 void RemoteService::teardown_link(std::shared_ptr<Link> link) const {
@@ -213,11 +267,14 @@ void RemoteService::reader_loop(std::shared_ptr<Link> link) const {
   std::vector<std::shared_ptr<Pending>> orphans;
   {
     const util::MutexLock lock(mutex_);
-    if (link_ == link) link_->alive = false;
+    if (stripes_[link->stripe].link == link) link->alive = false;
+    // Sweep only this link's generation: in-flight calls on other stripes
+    // are untouched — a dead stripe fails its own futures and nothing else.
     for (auto it = pending_.begin(); it != pending_.end();) {
       if (it->second->generation == link->generation) {
-        orphans.push_back(std::move(it->second));
-        it = pending_.erase(it);
+        auto next = std::next(it);
+        orphans.push_back(take_pending(it));
+        it = next;
       } else {
         ++it;
       }
@@ -234,6 +291,34 @@ void RemoteService::reader_loop(std::shared_ptr<Link> link) const {
   }
 }
 
+std::shared_ptr<RemoteService::Pending> RemoteService::take_pending(
+    PendingMap::iterator it) const {
+  std::shared_ptr<Pending> pending = std::move(it->second);
+  pending_.erase(it);
+  Stripe& stripe = stripes_[pending->stripe];
+  --stripe.inflight;
+  if (pending->streaming) --stripe.chunk_streams;
+  return pending;
+}
+
+std::size_t RemoteService::pick_stripe(bool is_batch) const {
+  // Rank = (busy-streaming-and-caller-is-small, inflight, index); the
+  // minimum wins. Least-loaded spreads work across stripes and dials cold
+  // ones lazily (an undialed stripe has zero inflight, so the second
+  // concurrent call already opens the second connection); a small query
+  // additionally prefers a stripe that is not mid-chunk-stream, so one
+  // large streamed batch cannot head-of-line-block unrelated queries.
+  std::size_t best = 0;
+  auto rank = [&](std::size_t i) {
+    const Stripe& stripe = stripes_[i];
+    const bool bypass = !is_batch && stripe.chunk_streams > 0;
+    return std::make_tuple(bypass ? 1 : 0, stripe.inflight, i);
+  };
+  for (std::size_t i = 1; i < stripes_.size(); ++i)
+    if (rank(i) < rank(best)) best = i;
+  return best;
+}
+
 void RemoteService::handle_frame(Link& link, std::uint64_t request_id,
                                  wire::Bytes message) const {
   const wire::MessageType type = wire::peek_type(message);
@@ -248,17 +333,44 @@ void RemoteService::handle_frame(Link& link, std::uint64_t request_id,
 
   if (type == wire::MessageType::batch_chunk) {
     wire::BatchChunk chunk = wire::decode_batch_chunk(message);
-    const util::MutexLock lock(mutex_);
-    auto it = pending_.find(request_id);
-    if (it == pending_.end()) return;  // late reply after a timeout: dropped
-    Pending& pending = *it->second;
-    if (!pending.is_batch || chunk.seq != pending.next_seq)
-      transport_error("batch chunk out of sequence");
-    ++pending.next_seq;
-    ++chunk_frames_;
-    pending.chunk_trees.insert(pending.chunk_trees.end(),
-                               std::make_move_iterator(chunk.trees.begin()),
-                               std::make_move_iterator(chunk.trees.end()));
+    std::shared_ptr<Pending> overflow;
+    {
+      const util::MutexLock lock(mutex_);
+      auto it = pending_.find(request_id);
+      if (it == pending_.end()) return;  // late reply after a timeout: dropped
+      // Pendings are keyed by (stripe generation, id): a frame for an id
+      // this link never carried — a confused or hostile server answering
+      // another stripe's request — is dropped, never mis-delivered.
+      if (it->second->generation != link.generation) return;
+      Pending& pending = *it->second;
+      if (!pending.is_batch || chunk.seq != pending.next_seq)
+        transport_error("batch chunk out of sequence");
+      if (pending.chunk_trees.size() + chunk.trees.size() > pending.max_trees) {
+        // The stream exceeded the request's own draw count: a buggy or
+        // malicious server could otherwise feed chunks until the client
+        // OOMs. Fail the call typed and poison the connection below.
+        overflow = take_pending(it);
+      } else {
+        ++pending.next_seq;
+        ++chunk_frames_;
+        if (!pending.streaming) {
+          pending.streaming = true;
+          ++stripes_[pending.stripe].chunk_streams;
+        }
+        pending.chunk_trees.insert(pending.chunk_trees.end(),
+                                   std::make_move_iterator(chunk.trees.begin()),
+                                   std::make_move_iterator(chunk.trees.end()));
+      }
+    }
+    if (overflow) {
+      overflow->batch_promise.set_exception(
+          std::make_exception_ptr(ServiceError(
+              ServiceErrorCode::malformed_message,
+              "server streamed more trees than the request's draw count of " +
+                  std::to_string(overflow->max_trees))));
+      throw ServiceError(ServiceErrorCode::malformed_message,
+                         "chunk stream exceeded the request's draw bound");
+    }
     return;
   }
 
@@ -267,8 +379,8 @@ void RemoteService::handle_frame(Link& link, std::uint64_t request_id,
     const util::MutexLock lock(mutex_);
     auto it = pending_.find(request_id);
     if (it == pending_.end()) return;
-    pending = std::move(it->second);
-    pending_.erase(it);
+    if (it->second->generation != link.generation) return;  // wrong stripe
+    pending = take_pending(it);
   }
   // Every terminal frame — success or typed failure — is a completed round
   // trip as the client observed it; errors stay in the distribution because
@@ -322,7 +434,6 @@ void RemoteService::handle_frame(Link& link, std::uint64_t request_id,
     return;
   }
 
-  (void)link;
   pending->bytes_promise.set_value(std::move(message));
 }
 
@@ -331,19 +442,25 @@ void RemoteService::handle_frame(Link& link, std::uint64_t request_id,
 std::uint64_t RemoteService::send_request(const wire::Bytes& message,
                                           std::shared_ptr<Pending> pending) const {
   util::MutexLock lock(mutex_);
-  ensure_connected(lock);
+  // Pick before dialing: the least-loaded stripe may be cold or dead, in
+  // which case ensure_connected dials exactly that stripe (its own backoff
+  // ladder) while the other stripes keep serving their traffic untouched.
+  const std::size_t stripe = pick_stripe(pending->is_batch);
+  ensure_connected(lock, stripe);
+  std::shared_ptr<Link> link = stripes_[stripe].link;
   // The server's hello bounded what it will read; a too-big request is the
   // caller's problem (typed, before anything is registered or sent), not a
   // poisoned connection.
-  if (12 + message.size() > link_->peer_max_frame_bytes)
+  if (12 + message.size() > link->peer_max_frame_bytes)
     throw ServiceError(ServiceErrorCode::invalid_request,
                        "request of " + std::to_string(message.size()) +
                            " bytes exceeds the peer's frame limit of " +
-                           std::to_string(link_->peer_max_frame_bytes));
+                           std::to_string(link->peer_max_frame_bytes));
   const std::uint64_t id = next_request_id_++;
-  pending->generation = link_->generation;
+  pending->generation = link->generation;
+  pending->stripe = stripe;
   pending->sent_at = std::chrono::steady_clock::now();
-  std::shared_ptr<Link> link = link_;
+  ++stripes_[stripe].inflight;
   pending_.emplace(id, std::move(pending));
   lock.unlock();
 
@@ -366,11 +483,26 @@ wire::Bytes RemoteService::rpc(const wire::Bytes& request) const {
   const std::uint64_t id = send_request(request, std::move(pending));
   if (options_.request_timeout.count() <= 0) return future.get();
   if (future.wait_for(options_.request_timeout) != std::future_status::ready) {
-    const util::MutexLock lock(mutex_);
-    pending_.erase(id);  // a late reply finds no pending and is dropped
-    throw ServiceError(ServiceErrorCode::timeout,
-                       "no response from the remote service within " +
-                           std::to_string(options_.request_timeout.count()) + "ms");
+    bool expired = false;
+    {
+      const util::MutexLock lock(mutex_);
+      auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        (void)take_pending(it);  // a late reply finds no pending, is dropped
+        ++timeouts_;
+        expired = true;
+      }
+      // else: the reply raced the deadline — the reader already took the
+      // pending and is completing the future right now. The answer exists;
+      // fall through and hand it over instead of reporting a timeout that
+      // did not happen. (A reader that died instead swept the pending with
+      // a transport error; get() rethrows that, the truer story too.)
+    }
+    if (expired)
+      throw ServiceError(ServiceErrorCode::timeout,
+                         "no response from the remote service within " +
+                             std::to_string(options_.request_timeout.count()) +
+                             "ms");
   }
   return future.get();
 }
@@ -379,6 +511,8 @@ std::pair<std::future<BatchResponse>, std::uint64_t> RemoteService::submit_batch
     const BatchRequest& request) const {
   auto pending = std::make_shared<Pending>();
   pending->is_batch = true;
+  pending->max_trees =
+      static_cast<std::size_t>(std::max(0, request.draw_count));
   std::future<BatchResponse> future = pending->batch_promise.get_future();
   const std::uint64_t id = send_request(wire::encode(request), std::move(pending));
   return {std::move(future), id};
@@ -462,11 +596,23 @@ BatchResponse RemoteService::sample_batch_once(const BatchRequest& request) cons
   auto [future, id] = submit_batch_traced(request);
   if (options_.request_timeout.count() <= 0) return future.get();
   if (future.wait_for(options_.request_timeout) != std::future_status::ready) {
-    const util::MutexLock lock(mutex_);
-    pending_.erase(id);
-    throw ServiceError(ServiceErrorCode::timeout,
-                       "no batch response from the remote service within " +
-                           std::to_string(options_.request_timeout.count()) + "ms");
+    bool expired = false;
+    {
+      const util::MutexLock lock(mutex_);
+      auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        (void)take_pending(it);
+        ++timeouts_;
+        expired = true;
+      }
+      // else: the terminal frame raced the deadline; deliver it (or its
+      // typed failure) below rather than inventing a timeout.
+    }
+    if (expired)
+      throw ServiceError(ServiceErrorCode::timeout,
+                         "no batch response from the remote service within " +
+                             std::to_string(options_.request_timeout.count()) +
+                             "ms");
   }
   return future.get();
 }
@@ -516,6 +662,7 @@ ServiceStats RemoteService::stats() const {
   stats.transport.dials += dials_;
   stats.transport.reconnects += reconnects_;
   stats.transport.dial_failures += dial_failures_;
+  stats.transport.timeouts += timeouts_;
   return stats;
 }
 
@@ -525,7 +672,9 @@ std::string RemoteService::metrics_text() const {
 
 bool RemoteService::connected() const {
   const util::MutexLock lock(mutex_);
-  return link_ != nullptr && link_->alive;
+  for (const Stripe& stripe : stripes_)
+    if (stripe.link && stripe.link->alive) return true;
+  return false;
 }
 
 std::int64_t RemoteService::reconnect_count() const {
@@ -552,30 +701,68 @@ std::int64_t RemoteService::shed_retry_count() const {
   return shed_retries_.load(std::memory_order_relaxed);
 }
 
+std::int64_t RemoteService::timeout_count() const {
+  const util::MutexLock lock(mutex_);
+  return timeouts_;
+}
+
 // ---------------------------------------------------------- LoopbackShard
 
 LoopbackShard::LoopbackShard(std::unique_ptr<SamplerService> backend,
                              transport::ServerOptions server_options,
-                             RemoteOptions client_options)
-    : backend_(std::move(backend)), server_(*backend_, server_options) {
+                             RemoteOptions client_options,
+                             LoopbackTransport transport_kind)
+    : backend_(std::move(backend)),
+      server_(*backend_, server_options),
+      transport_kind_(transport_kind) {
   remote_ = std::make_unique<RemoteService>(
       [this]() -> std::shared_ptr<transport::Connection> {
-        auto [client_end, server_end] = transport::make_pipe();
+        auto [client_end, server_end] =
+            transport_kind_ == LoopbackTransport::shm_ring
+                ? transport::make_shm_ring()
+                : transport::make_pipe();
         const util::MutexLock lock(threads_mutex_);
-        server_ends_.push_back(server_end);
-        server_threads_.emplace_back(
-            [this, server = server_end] { server_.serve(server); });
+        // Reap serve threads whose connections already ended: reconnect
+        // churn (chaos schedules dial dozens of times) must not grow the
+        // slot list by one thread per dial forever. `done` flips after
+        // serve() returns, so every join here is immediate.
+        for (auto it = slots_.begin(); it != slots_.end();) {
+          if (it->done->load(std::memory_order_acquire)) {
+            if (it->thread.joinable()) it->thread.join();
+            it = slots_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        ServeSlot slot;
+        slot.end = server_end;
+        slot.done = std::make_shared<std::atomic<bool>>(false);
+        slot.thread = std::thread([this, server = server_end, done = slot.done] {
+          server_.serve(server);
+          done->store(true, std::memory_order_release);
+        });
+        slots_.push_back(std::move(slot));
         return client_end;
       },
       client_options);
 }
 
 LoopbackShard::~LoopbackShard() {
-  remote_.reset();  // closes the client end; serve() loops see EOF and exit
+  remote_.reset();  // closes the client ends; serve() loops see EOF and exit
   const util::MutexLock lock(threads_mutex_);
-  for (const std::shared_ptr<transport::Connection>& end : server_ends_) end->close();
-  for (std::thread& thread : server_threads_)
-    if (thread.joinable()) thread.join();
+  for (ServeSlot& slot : slots_) slot.end->close();
+  for (ServeSlot& slot : slots_)
+    if (slot.thread.joinable()) slot.thread.join();
+}
+
+std::size_t LoopbackShard::tracked_server_threads() const {
+  const util::MutexLock lock(threads_mutex_);
+  return slots_.size();
+}
+
+void LoopbackShard::sever_server_connections() {
+  const util::MutexLock lock(threads_mutex_);
+  for (ServeSlot& slot : slots_) slot.end->close();
 }
 
 Fingerprint LoopbackShard::admit(const AdmitRequest& request) {

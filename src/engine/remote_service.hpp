@@ -14,12 +14,21 @@
 //     speaking a foreign wire version fails immediately with the codec's
 //     typed version_mismatch — no retry, the peer will not change its mind.
 //   - Multiplexing: every request carries a fresh request id; one reader
-//     thread routes response frames back to their caller, so any number of
-//     submit_batch futures share the connection and responses may arrive in
-//     any order (the server completes batches out of order by design).
-//   - Failure: when the connection drops, every in-flight request fails with
-//     ServiceError{transport} through its future — never a hang, never a
-//     torn future. Sync calls additionally honor request_timeout with
+//     thread per stripe routes response frames back to their caller, so any
+//     number of submit_batch futures share the connections and responses may
+//     arrive in any order (the server completes batches out of order by
+//     design).
+//   - Striping: RemoteOptions::stripes > 1 maintains that many independently
+//     handshaken connections, each with its own reader thread, generation,
+//     and backoff ladder. Requests go to the least-loaded live stripe, and
+//     small (non-batch) queries skip stripes busy streaming chunk frames, so
+//     one large batch never head-of-line-blocks unrelated calls. Pendings
+//     are keyed by (stripe generation, id): a frame arriving on the wrong
+//     stripe is dropped, never mis-delivered.
+//   - Failure: when a connection drops, every in-flight request on *that
+//     stripe* fails with ServiceError{transport} through its future — never
+//     a hang, never a torn future, and never a casualty on a healthy
+//     stripe. Sync calls additionally honor request_timeout with
 //     ServiceError{timeout}.
 //   - Streaming: large batches arrive as batch_chunk frames (negotiated in
 //     the handshake) and are reassembled before the future resolves, so
@@ -57,6 +66,13 @@ struct RemoteOptions {
   std::chrono::milliseconds backoff_cap{1000};
 
   std::uint32_t max_frame_bytes = transport::kDefaultMaxFrameBytes;
+
+  /// Independently handshaken connections this client stripes requests
+  /// over. Each stripe has its own reader thread, generation, and backoff
+  /// ladder; a dead stripe fails only its own in-flight calls. 1 (the
+  /// default) is exactly the historical single-connection behavior.
+  /// Validated to [1, 64] at construction.
+  int stripes = 1;
 
   /// Advertised willingness to reassemble streamed batches (0 = ask the
   /// server not to chunk).
@@ -118,9 +134,11 @@ class RemoteService final : public SamplerService {
   std::future<BatchResponse> submit_batch(const BatchRequest& request) override;
 
   /// The peer's stats plus this client's own connection history: dials,
-  /// reconnects, and dial failures are added into the transport block, so a
-  /// stats roll-up across layers (ShardedService, ClusterService) counts
-  /// every dial exactly once — at the client that made it.
+  /// reconnects, dial failures, and client-side timeouts are added into the
+  /// transport block, so a stats roll-up across layers (ShardedService,
+  /// ClusterService) counts every dial exactly once — at the client that
+  /// made it. With stripes > 1 the per-stripe counts fold into the same
+  /// totals.
   ServiceStats stats() const override;
 
   /// Stops the service: wakes any dial backoff immediately (the wait is a
@@ -144,8 +162,8 @@ class RemoteService final : public SamplerService {
   /// epoch is behind the one the server adopted (the pusher was fenced).
   bool push_map(const cluster::ShardMap& map) const override;
 
-  /// True while a handshaken connection is up (a failed peer is only
-  /// noticed when a call touches it).
+  /// True while at least one stripe's handshaken connection is up (a failed
+  /// peer is only noticed when a call touches it).
   bool connected() const;
 
   /// Times a live connection was re-established after the first (tests and
@@ -165,22 +183,52 @@ class RemoteService final : public SamplerService {
   /// monotone, also folded into stats().transport.shed_retries.
   std::int64_t shed_retry_count() const;
 
+  /// Synchronous calls that expired client-side (request_timeout elapsed
+  /// with no reply); monotone, also folded into stats().transport.timeouts.
+  std::int64_t timeout_count() const;
+
  private:
   struct Pending;
   struct Link;
 
-  /// Establishes link_ (connect + handshake + reader spawn) under `lock`
-  /// (the caller's scoped lock on mutex_), which it drops while dialing and
-  /// retakes before returning — held on entry and on exit either way, which
-  /// is what REQUIRES states; the definition opts its body out of analysis
-  /// because the mid-flight drop of a by-reference scoped lock is beyond
-  /// what the analysis tracks. Throws ServiceError{transport} after
+  /// One connection slot: its current link (null until the first dial),
+  /// the per-stripe connect gate, and the load counters the stripe picker
+  /// reads. All fields are guarded by mutex_ (the vector itself carries the
+  /// annotation; elements are only reached through it).
+  struct Stripe {
+    std::shared_ptr<Link> link;
+    bool connecting = false;
+    bool ever_connected = false;     // distinguishes first dial from reconnect
+    std::int64_t inflight = 0;       // pendings registered on this stripe
+    std::int64_t chunk_streams = 0;  // pendings mid-chunk-stream
+  };
+
+  using PendingMap = std::unordered_map<std::uint64_t, std::shared_ptr<Pending>>;
+
+  /// Establishes stripes_[stripe].link (connect + handshake + reader spawn)
+  /// under `lock` (the caller's scoped lock on mutex_), which it drops while
+  /// dialing and retakes before returning — held on entry and on exit either
+  /// way, which is what REQUIRES states; the definition opts its body out of
+  /// analysis because the mid-flight drop of a by-reference scoped lock is
+  /// beyond what the analysis tracks. Throws ServiceError{transport} after
   /// max_connect_attempts, version_mismatch immediately.
-  void ensure_connected(util::MutexLock& lock) const REQUIRES(mutex_);
+  void ensure_connected(util::MutexLock& lock, std::size_t stripe) const
+      REQUIRES(mutex_);
   std::shared_ptr<Link> connect_once() const;
   void teardown_link(std::shared_ptr<Link> link) const;
   void reader_loop(std::shared_ptr<Link> link) const;
   void handle_frame(Link& link, std::uint64_t request_id, wire::Bytes message) const;
+
+  /// Assignment policy: least-loaded stripe wins (cold stripes count as
+  /// empty, so concurrency dials them lazily); a small (non-batch) query
+  /// additionally bypasses stripes busy streaming chunks when a quiet one
+  /// exists. Ties break on the lowest index.
+  std::size_t pick_stripe(bool is_batch) const REQUIRES(mutex_);
+
+  /// Detaches a pending from the map, keeping the owning stripe's
+  /// inflight/chunk_streams accounting exact. Every erase goes through here.
+  std::shared_ptr<Pending> take_pending(PendingMap::iterator it) const
+      REQUIRES(mutex_);
 
   /// Registers a pending call and writes its request frame; returns the
   /// request id. Caller holds no lock.
@@ -206,21 +254,21 @@ class RemoteService final : public SamplerService {
   ConnectionFactory factory_;
   RemoteOptions options_;
 
-  /// Guards link_, pending_, next_request_id_, and the connect gate. Never
-  /// held while blocking on the network. Leaf in the lock order: neither
-  /// stop_mutex_ nor Link::write_mutex is ever taken while holding it.
+  /// Guards stripes_, pending_, next_request_id_, and the per-stripe
+  /// connect gates. Never held while blocking on the network. Leaf in the
+  /// lock order: neither stop_mutex_ nor Link::write_mutex is ever taken
+  /// while holding it.
   mutable util::Mutex mutex_;
   mutable util::CondVar connect_cv_;
-  mutable bool connecting_ GUARDED_BY(mutex_) = false;
-  mutable std::shared_ptr<Link> link_ GUARDED_BY(mutex_);
+  mutable std::vector<Stripe> stripes_ GUARDED_BY(mutex_);
   mutable std::uint64_t next_request_id_ GUARDED_BY(mutex_) = 1;  // 0 = handshake
   mutable std::uint64_t next_generation_ GUARDED_BY(mutex_) = 1;
-  mutable std::unordered_map<std::uint64_t, std::shared_ptr<Pending>> pending_
-      GUARDED_BY(mutex_);
+  mutable PendingMap pending_ GUARDED_BY(mutex_);
   mutable std::int64_t reconnects_ GUARDED_BY(mutex_) = 0;
   mutable std::int64_t chunk_frames_ GUARDED_BY(mutex_) = 0;
   mutable std::int64_t dials_ GUARDED_BY(mutex_) = 0;
   mutable std::int64_t dial_failures_ GUARDED_BY(mutex_) = 0;
+  mutable std::int64_t timeouts_ GUARDED_BY(mutex_) = 0;
 
   /// stop() support: the flag every backoff/retry wait watches. stop_cv_
   /// pairs with stop_mutex_ (not mutex_) so a parked backoff never blocks
@@ -236,17 +284,25 @@ class RemoteService final : public SamplerService {
   mutable std::atomic<std::int64_t> shed_retries_{0};
 };
 
+/// Which Connection flavor a LoopbackShard dials for each stripe.
+enum class LoopbackTransport {
+  pipe,      // transport::make_pipe(): condvar-backed byte queue
+  shm_ring,  // transport::make_shm_ring(): futex-backed SPSC shared ring
+};
+
 /// A complete in-process remote leg: a transport::Server serving `backend`
-/// over the loopback pipe, with a RemoteService client in front — all
-/// behind the SamplerService interface, so it plugs into ShardedService as
-/// a shard. This is the wiring the conformance suite, the fault harness,
-/// and bench_remote_transport measure; production deployments do the same
-/// with tcp_connect/TcpListener across real processes.
+/// over the loopback pipe or the shared-memory ring, with a RemoteService
+/// client in front — all behind the SamplerService interface, so it plugs
+/// into ShardedService as a shard. This is the wiring the conformance
+/// suite, the fault harness, and bench_remote_transport measure; production
+/// deployments do the same with tcp_connect/TcpListener across real
+/// processes (or make_shm_ring for same-host shards).
 class LoopbackShard final : public SamplerService {
  public:
   explicit LoopbackShard(std::unique_ptr<SamplerService> backend,
                          transport::ServerOptions server_options = {},
-                         RemoteOptions client_options = {});
+                         RemoteOptions client_options = {},
+                         LoopbackTransport transport_kind = LoopbackTransport::pipe);
   ~LoopbackShard() override;
 
   Fingerprint admit(const AdmitRequest& request) override;
@@ -268,13 +324,33 @@ class LoopbackShard final : public SamplerService {
   RemoteService& remote() { return *remote_; }
   SamplerService& backend() { return *backend_; }
 
+  /// Serve threads currently tracked (live plus not-yet-reaped). Every dial
+  /// reaps the threads whose connections already ended before spawning a new
+  /// one, so this stays bounded under reconnect storms instead of growing by
+  /// one per dial — the reconnect-storm test pins the bound.
+  std::size_t tracked_server_threads() const;
+
+  /// Severs every live server-side connection end, forcing the client to
+  /// re-dial on its next call. Test hook: the reconnect-storm and
+  /// per-stripe failover tests drive this instead of reaching into the
+  /// transport.
+  void sever_server_connections();
+
  private:
+  /// One serve() invocation: its connection end, the thread running it, and
+  /// the flag the thread sets on exit so a later dial can reap it without
+  /// blocking on a live connection.
+  struct ServeSlot {
+    std::shared_ptr<transport::Connection> end;
+    std::shared_ptr<std::atomic<bool>> done;
+    std::thread thread;
+  };
+
   std::unique_ptr<SamplerService> backend_;
   transport::Server server_;
-  util::Mutex threads_mutex_;
-  std::vector<std::thread> server_threads_ GUARDED_BY(threads_mutex_);
-  std::vector<std::shared_ptr<transport::Connection>> server_ends_
-      GUARDED_BY(threads_mutex_);
+  LoopbackTransport transport_kind_;
+  mutable util::Mutex threads_mutex_;
+  std::vector<ServeSlot> slots_ GUARDED_BY(threads_mutex_);
   std::unique_ptr<RemoteService> remote_;  // destroyed first: closes the pipe
 };
 

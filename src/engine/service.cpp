@@ -44,6 +44,7 @@ void merge_transport(TransportStats& into, const TransportStats& from) {
   into.shed_retries += from.shed_retries;
   into.map_refreshes += from.map_refreshes;
   into.map_pulls += from.map_pulls;
+  into.timeouts += from.timeouts;
 }
 
 }  // namespace

@@ -102,6 +102,10 @@ struct TransportStats {
                                    // signal (piggybacked map_version announce)
   std::int64_t map_pulls = 0;      // periodic backstop map pulls attempted
                                    // (MapWatch's jittered timer)
+  std::int64_t timeouts = 0;       // synchronous calls that expired
+                                   // client-side (request_timeout elapsed
+                                   // with no reply) — silent expiry is
+                                   // otherwise invisible in any counter
 };
 
 struct ServiceStats {

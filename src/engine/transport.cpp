@@ -3,14 +3,22 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/mman.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#endif
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <climits>
 #include <cstring>
 #include <deque>
+#include <new>
 #include <thread>
 #include <vector>
 
@@ -79,6 +87,210 @@ class PipeConnection final : public Connection {
   std::shared_ptr<PipeBuffer> out_;
 };
 
+// --------------------------------------------------------------- shm ring
+//
+// The same-host fast path: one lock-free SPSC byte ring per direction in
+// anonymous MAP_SHARED memory. Cursors are monotone u64 publish counters
+// (tail = bytes the writer published, head = bytes the reader consumed;
+// buffer index is cursor & (capacity - 1)), so the hot path is two atomic
+// loads, a memcpy, and a release store — no lock, and no syscall unless the
+// other side is actually parked (a waiter count gates every futex wake).
+// Blocking uses a doorbell word per wait condition: the sleeper snapshots
+// the word, re-checks the cursors, then futex-waits on the snapshot — a
+// publish or close in the gap bumps the word first, so the kernel's own
+// compare turns the stale wait into an immediate return (no lost wakeup).
+
+#ifdef __linux__
+void futex_wait_on(std::atomic<std::uint32_t>& word, std::uint32_t expected) {
+  ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word), FUTEX_WAIT,
+            expected, nullptr, nullptr, 0);
+}
+void futex_wake_waiters(std::atomic<std::uint32_t>& word) {
+  ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(&word), FUTEX_WAKE,
+            INT_MAX, nullptr, nullptr, 0);
+}
+#else
+/// Portable fallback: the doorbell stays a version counter; waiting is a
+/// yield-then-sleep poll until the word moves past the snapshot.
+void futex_wait_on(std::atomic<std::uint32_t>& word, std::uint32_t expected) {
+  for (int spin = 0; word.load(std::memory_order_seq_cst) == expected; ++spin) {
+    if (spin < 64)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+void futex_wake_waiters(std::atomic<std::uint32_t>&) {}
+#endif
+
+/// A doorbell: a version word sleepers futex on, plus the waiter count that
+/// lets the ringing side skip the wake syscall when nobody is parked.
+struct RingDoorbell {
+  std::atomic<std::uint32_t> word{0};
+  std::atomic<std::uint32_t> waiters{0};
+};
+
+/// Rings the bell: bump first (so a concurrent sleeper's kernel-side
+/// compare fails), then wake only if someone is (or is racing to be)
+/// parked. Both RMW/seq_cst ops, so bump-then-check here and
+/// register-then-recheck in ring_wait form the usual Dekker pair.
+void ring_bell(RingDoorbell& bell) {
+  bell.word.fetch_add(1, std::memory_order_seq_cst);
+  if (bell.waiters.load(std::memory_order_seq_cst) > 0)
+    futex_wake_waiters(bell.word);
+}
+
+void ring_wait(RingDoorbell& bell, std::uint32_t ticket) {
+  bell.waiters.fetch_add(1, std::memory_order_seq_cst);
+  futex_wait_on(bell.word, ticket);
+  bell.waiters.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+/// One direction of the ring. Cache-line padding keeps the writer-owned
+/// tail, the reader-owned head, and the two doorbells off each other's
+/// lines — cursor ping-pong would otherwise dominate the ~µs budget.
+struct RingDirection {
+  alignas(64) std::atomic<std::uint64_t> tail{0};  // bytes published
+  alignas(64) std::atomic<std::uint64_t> head{0};  // bytes consumed
+  alignas(64) RingDoorbell data;                   // rung on publish + close
+  alignas(64) RingDoorbell space;                  // rung on consume + close
+  /// close() landed after part of a write_all was published: the reader
+  /// drains what exists, then gets a typed transport error, not EOF.
+  std::atomic<std::uint32_t> torn{0};
+};
+
+struct RingHeader {
+  std::atomic<std::uint32_t> closed{0};
+  RingDirection dirs[2];
+};
+
+/// The mmap'd region both ends share: RingHeader then the two byte buffers
+/// back to back. MAP_SHARED | MAP_ANONYMOUS, so a forked child inherits the
+/// same physical pages and the pair keeps working across the process split.
+class ShmRegion {
+ public:
+  explicit ShmRegion(std::size_t capacity) : capacity_(capacity) {
+    bytes_ = sizeof(RingHeader) + 2 * capacity_;
+    void* mem = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (mem == MAP_FAILED)
+      transport_error(std::string("mmap for the shm ring failed: ") +
+                      std::strerror(errno));
+    header_ = new (mem) RingHeader();
+  }
+
+  ~ShmRegion() { ::munmap(header_, bytes_); }
+
+  ShmRegion(const ShmRegion&) = delete;
+  ShmRegion& operator=(const ShmRegion&) = delete;
+
+  RingHeader& header() const { return *header_; }
+  std::uint8_t* buffer(int dir) const {
+    return reinterpret_cast<std::uint8_t*>(header_ + 1) +
+           static_cast<std::size_t>(dir) * capacity_;
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t bytes_;
+  RingHeader* header_;
+};
+
+class ShmRingConnection final : public Connection {
+ public:
+  ShmRingConnection(std::shared_ptr<ShmRegion> region, int read_dir)
+      : region_(std::move(region)), read_dir_(read_dir) {}
+
+  std::size_t read_some(std::uint8_t* out, std::size_t max) override {
+    RingHeader& h = region_->header();
+    RingDirection& ring = h.dirs[read_dir_];
+    const std::uint8_t* buf = region_->buffer(read_dir_);
+    const std::size_t cap = region_->capacity();
+    for (;;) {
+      const std::uint64_t head = ring.head.load(std::memory_order_relaxed);
+      const std::uint64_t tail = ring.tail.load(std::memory_order_acquire);
+      if (tail != head) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(max, tail - head));
+        const std::size_t start = static_cast<std::size_t>(head) & (cap - 1);
+        const std::size_t contiguous = std::min(n, cap - start);
+        std::memcpy(out, buf + start, contiguous);
+        std::memcpy(out + contiguous, buf, n - contiguous);
+        ring.head.store(head + n, std::memory_order_release);
+        ring_bell(ring.space);
+        return n;
+      }
+      // Empty. Closed-with-nothing-queued is end of stream — torn if the
+      // final write was cut mid-frame — otherwise park on the data bell.
+      if (h.closed.load(std::memory_order_acquire)) {
+        if (ring.torn.load(std::memory_order_acquire))
+          transport_error("shared-memory ring closed mid-write (torn frame)");
+        return 0;
+      }
+      const std::uint32_t ticket = ring.data.word.load(std::memory_order_seq_cst);
+      if (ring.tail.load(std::memory_order_acquire) != head ||
+          h.closed.load(std::memory_order_acquire))
+        continue;  // published or closed while we took the ticket
+      ring_wait(ring.data, ticket);
+    }
+  }
+
+  bool write_all(std::span<const std::uint8_t> bytes) override {
+    RingHeader& h = region_->header();
+    const int dir = 1 - read_dir_;
+    RingDirection& ring = h.dirs[dir];
+    std::uint8_t* buf = region_->buffer(dir);
+    const std::size_t cap = region_->capacity();
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      if (h.closed.load(std::memory_order_acquire)) {
+        if (written > 0) {
+          // Part of this call's bytes are already published: mark the
+          // stream torn so the peer's drain ends typed, not as clean EOF.
+          ring.torn.store(1, std::memory_order_release);
+          ring_bell(ring.data);
+        }
+        return false;
+      }
+      const std::uint64_t tail = ring.tail.load(std::memory_order_relaxed);
+      const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+      const std::size_t space = cap - static_cast<std::size_t>(tail - head);
+      if (space == 0) {
+        const std::uint32_t ticket =
+            ring.space.word.load(std::memory_order_seq_cst);
+        if (ring.head.load(std::memory_order_acquire) != head ||
+            h.closed.load(std::memory_order_acquire))
+          continue;  // consumed or closed while we took the ticket
+        ring_wait(ring.space, ticket);
+        continue;
+      }
+      const std::size_t n = std::min(space, bytes.size() - written);
+      const std::size_t start = static_cast<std::size_t>(tail) & (cap - 1);
+      const std::size_t contiguous = std::min(n, cap - start);
+      std::memcpy(buf + start, bytes.data() + written, contiguous);
+      std::memcpy(buf, bytes.data() + written + contiguous, n - contiguous);
+      ring.tail.store(tail + n, std::memory_order_release);
+      ring_bell(ring.data);
+      written += n;
+    }
+    return true;
+  }
+
+  void close() override {
+    RingHeader& h = region_->header();
+    h.closed.store(1, std::memory_order_seq_cst);
+    for (RingDirection& ring : h.dirs) {
+      ring_bell(ring.data);   // wakes readers to drain-then-EOF
+      ring_bell(ring.space);  // wakes writers to observe the close
+    }
+  }
+
+ private:
+  std::shared_ptr<ShmRegion> region_;
+  int read_dir_;
+};
+
 // -------------------------------------------------------------------- tcp
 
 class TcpConnection final : public Connection {
@@ -133,6 +345,18 @@ std::pair<std::shared_ptr<Connection>, std::shared_ptr<Connection>> make_pipe() 
   auto b_to_a = std::make_shared<PipeBuffer>();
   return {std::make_shared<PipeConnection>(b_to_a, a_to_b),
           std::make_shared<PipeConnection>(a_to_b, b_to_a)};
+}
+
+std::pair<std::shared_ptr<Connection>, std::shared_ptr<Connection>> make_shm_ring(
+    std::size_t ring_bytes) {
+  // Power-of-two capacity (the cursor masks depend on it), at least a page,
+  // capped at 1 GiB per direction.
+  std::size_t capacity = 4096;
+  while (capacity < ring_bytes && capacity < (std::size_t{1} << 30)) capacity <<= 1;
+  auto region = std::make_shared<ShmRegion>(capacity);
+  // End 0 reads direction 0 and writes direction 1; end 1 the reverse.
+  return {std::make_shared<ShmRingConnection>(region, 0),
+          std::make_shared<ShmRingConnection>(region, 1)};
 }
 
 TcpListener::TcpListener(std::uint16_t port) {

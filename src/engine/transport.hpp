@@ -71,6 +71,26 @@ class Connection {
 /// transport the conformance and fault-injection suites run on.
 std::pair<std::shared_ptr<Connection>, std::shared_ptr<Connection>> make_pipe();
 
+/// A same-host shared-memory ring pair: one lock-free SPSC byte ring per
+/// direction in anonymous shared memory (MAP_SHARED, so the pair also works
+/// across a fork), with futex-backed blocking on Linux and a yield/sleep
+/// fallback elsewhere. Cursors are monotone 64-bit publish counters — the
+/// writer bumps `tail` after copying bytes in, the reader bumps `head`
+/// after copying them out, and each side parks on a doorbell word only
+/// after re-checking the cursors, so the hot path (space available, data
+/// available) takes no lock and makes no syscall. ring_bytes is rounded up
+/// to a power of two of at least 4 KiB per direction.
+///
+/// Same contract as make_pipe(): close() on either end closes both
+/// directions and wakes blocked readers and writers. One addition: a close
+/// that lands mid-write_all — after part of the call's bytes were published
+/// — marks the stream *torn*, and the reader, after draining what was
+/// published, gets ServiceError{transport} instead of a clean end-of-stream
+/// (0), so a half-written frame can never be mistaken for an orderly
+/// shutdown.
+std::pair<std::shared_ptr<Connection>, std::shared_ptr<Connection>> make_shm_ring(
+    std::size_t ring_bytes = 1u << 20);
+
 /// A TCP listener bound to the loopback interface. port 0 picks an
 /// ephemeral port (read it back with port()).
 class TcpListener {

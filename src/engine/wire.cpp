@@ -564,6 +564,7 @@ Bytes encode(const ServiceStats& stats) {
   w.i64(stats.transport.shed_retries);
   w.i64(stats.transport.map_refreshes);
   w.i64(stats.transport.map_pulls);
+  w.i64(stats.transport.timeouts);
   write_metrics(w, stats.metrics);
   w.u32(static_cast<std::uint32_t>(stats.shards.size()));
   for (const PoolStats& shard : stats.shards) write_pool_stats(w, shard);
@@ -581,6 +582,7 @@ ServiceStats decode_service_stats(std::span<const std::uint8_t> bytes) {
   stats.transport.shed_retries = r.i64();
   stats.transport.map_refreshes = r.i64();
   stats.transport.map_pulls = r.i64();
+  stats.transport.timeouts = r.i64();
   stats.metrics = read_metrics(r);
   const std::uint32_t shard_count = r.u32();
   for (std::uint32_t i = 0; i < shard_count; ++i)

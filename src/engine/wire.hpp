@@ -68,7 +68,12 @@ namespace cliquest::engine::wire {
 /// standby coordinator rebuilds its catalog from), and
 /// `admit_export_query` (an entry's graph + options + cursor, answered with
 /// an admit_request frame).
-inline constexpr std::uint16_t kVersion = 6;
+/// v7: the striped-data-plane sweep — transport stats gained `timeouts`
+/// (synchronous calls that expired client-side; silent expiry was
+/// previously invisible in every counter). Connection striping and the
+/// shared-memory ring are byte-compatible otherwise: a striped client
+/// speaks the same frames per connection, just over several of them.
+inline constexpr std::uint16_t kVersion = 7;
 
 using Bytes = std::vector<std::uint8_t>;
 

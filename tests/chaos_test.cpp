@@ -87,18 +87,26 @@ std::vector<std::string> slice(const std::vector<std::string>& keys,
   return {keys.begin() + first, keys.begin() + first + count};
 }
 
+/// Which Connection flavor a ChaosShard's dial() hands out. The schedules
+/// run on the pipe by default; one schedule each runs over real TCP sockets
+/// and over the shared-memory ring, whose close-mid-write tear is the
+/// transport-specific failure mode worth chaos coverage of its own.
+enum class ChaosTransport { pipe, tcp, shm_ring };
+
 /// One shard "process": a LocalService behind a transport::Server wired with
 /// install_cluster_hooks. dial() hands out the client end of a fresh pipe
-/// (or a fresh TCP socket) and serves the other end on its own thread —
-/// exactly what a RemoteService ConnectionFactory wants.
+/// (or shm ring, or a fresh TCP socket) and serves the other end on its own
+/// thread — exactly what a RemoteService ConnectionFactory wants.
 class ChaosShard {
  public:
-  ChaosShard(int id, const EngineOptions& engine, bool over_tcp)
+  ChaosShard(int id, const EngineOptions& engine, ChaosTransport transport)
       : backend_(inline_pool_options(engine, id)),
-        watch_(std::make_shared<MapWatch>()) {
+        watch_(std::make_shared<MapWatch>()),
+        transport_(transport) {
     cluster::install_cluster_hooks(server_options_, watch_, id);
     server_ = std::make_unique<transport::Server>(backend_, server_options_);
-    if (over_tcp) listener_ = std::make_unique<transport::TcpListener>(0);
+    if (transport == ChaosTransport::tcp)
+      listener_ = std::make_unique<transport::TcpListener>(0);
   }
 
   ~ChaosShard() {
@@ -135,7 +143,9 @@ class ChaosShard {
       }
       return transport::tcp_connect("127.0.0.1", listener_->port());
     }
-    auto [client_end, server_end] = transport::make_pipe();
+    auto [client_end, server_end] = transport_ == ChaosTransport::shm_ring
+                                        ? transport::make_shm_ring()
+                                        : transport::make_pipe();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       ends_.push_back(server_end);
@@ -152,6 +162,7 @@ class ChaosShard {
   LocalService backend_;
   transport::ServerOptions server_options_;
   std::shared_ptr<MapWatch> watch_;
+  ChaosTransport transport_ = ChaosTransport::pipe;
   std::unique_ptr<transport::Server> server_;
   std::unique_ptr<transport::TcpListener> listener_;
   std::mutex mutex_;
@@ -168,9 +179,10 @@ class ChaosCluster {
  public:
   ChaosCluster(int shard_count, int replication,
                std::shared_ptr<chaos::FaultPlan> plan,
-               const EngineOptions& engine, bool over_tcp = false,
+               const EngineOptions& engine,
+               ChaosTransport transport = ChaosTransport::pipe,
                std::chrono::milliseconds request_timeout = 2500ms)
-      : plan_(std::move(plan)), engine_(engine), over_tcp_(over_tcp) {
+      : plan_(std::move(plan)), engine_(engine), transport_(transport) {
     cluster_slot_ = std::make_shared<std::atomic<ClusterService*>>(nullptr);
     coordinator_slot_ = std::make_shared<std::atomic<Coordinator*>>(nullptr);
     data_options_.request_timeout = request_timeout;
@@ -229,7 +241,7 @@ class ChaosCluster {
   void add_spare_shard(int id) {
     if (static_cast<std::size_t>(id) >= shards_.size())
       shards_.resize(id + 1);
-    shards_[id] = std::make_unique<ChaosShard>(id, engine_, over_tcp_);
+    shards_[id] = std::make_unique<ChaosShard>(id, engine_, transport_);
     RemoteOptions control_options;
     control_options.max_connect_attempts = 3;
     control_options.backoff_initial = 1ms;
@@ -286,7 +298,7 @@ class ChaosCluster {
  private:
   std::shared_ptr<chaos::FaultPlan> plan_;
   EngineOptions engine_;
-  bool over_tcp_ = false;
+  ChaosTransport transport_ = ChaosTransport::pipe;
   RemoteOptions data_options_;
   std::vector<std::unique_ptr<ChaosShard>> shards_;
   std::unordered_map<int, std::shared_ptr<RemoteService>> control_;
@@ -445,8 +457,9 @@ TEST(ChaosScheduleTest, SeededFaultSchedulesResolveTypedAndReplayEqual) {
   const EngineOptions engine = wilson_engine();
   constexpr int kBatches = 10;
   constexpr int kDraws = 6;
+  constexpr int kMaxRounds = 8;
   const std::vector<std::string> oracle =
-      oracle_keys(g, kBatches * kDraws, engine);
+      oracle_keys(g, kMaxRounds * kBatches * kDraws, engine);
 
   for (const Schedule& schedule : fault_schedules()) {
     SCOPED_TRACE(schedule.name);
@@ -457,6 +470,19 @@ TEST(ChaosScheduleTest, SeededFaultSchedulesResolveTypedAndReplayEqual) {
     const ChaosRunStats run =
         run_pinned_workload(cluster.client(), fp, 0, kBatches, kDraws, oracle);
     EXPECT_EQ(run.valued + run.typed, kBatches);
+    // Each write draws a fault decision independently, so a short workload
+    // can (rarely) draw none at all from an unlucky stream. Feed the plan
+    // more traffic — fresh pinned ranges, still replay-checked — until it
+    // has provably injected; normally zero extra rounds run, and ~100
+    // decisions at the lowest scheduled rate make a blank sweep vanishingly
+    // unlikely.
+    for (int round = 1; round < kMaxRounds && schedule.faults.max_faults > 0 &&
+                        plan->faults_injected() == 0;
+         ++round) {
+      const ChaosRunStats more = run_pinned_workload(
+          cluster.client(), fp, round * kBatches, kBatches, kDraws, oracle);
+      EXPECT_EQ(more.valued + more.typed, kBatches);
+    }
     // A plan with faults must actually have injected some (delay-only plans
     // have max_faults = 0 by construction).
     if (schedule.faults.max_faults > 0) {
@@ -649,7 +675,7 @@ TEST(ChaosTcpTest, CoordinatorKillOverTcpResolvesAndConverges) {
   faults.max_delay = 5ms;
   faults.max_faults = 4;
   auto plan = std::make_shared<chaos::FaultPlan>(faults);
-  ChaosCluster cluster(3, 2, plan, engine, /*over_tcp=*/true);
+  ChaosCluster cluster(3, 2, plan, engine, ChaosTransport::tcp);
   const Fingerprint fp = cluster.coordinator().admit({g, engine});
 
   ChaosRunStats run =
@@ -660,6 +686,41 @@ TEST(ChaosTcpTest, CoordinatorKillOverTcpResolvesAndConverges) {
 
   run = run_pinned_workload(cluster.client(), fp, 6, 6, kDraws, oracle);
   EXPECT_EQ(run.valued + run.typed, 6);
+  expect_converged(cluster);
+}
+
+// ------------------------------------------------------ shm-ring schedule
+
+TEST(ChaosShmRingTest, MixedFaultScheduleOverSharedMemoryRingResolvesTyped) {
+  // The mixed seeded schedule re-run with every data connection a
+  // shared-memory ring. Severs here exercise the ring's torn-close contract
+  // — a close landing mid-write must surface as a typed transport error and
+  // never as a clean EOF the framing layer would trust — under the same
+  // three invariants as every other schedule.
+  const graph::Graph g = graph::wheel(7);
+  const EngineOptions engine = wilson_engine();
+  constexpr int kBatches = 10;
+  constexpr int kDraws = 6;
+  const std::vector<std::string> oracle =
+      oracle_keys(g, kBatches * kDraws, engine);
+
+  chaos::FaultPlanOptions faults;
+  faults.seed = 21;
+  faults.drop_write = 0.05;
+  faults.duplicate_write = 0.05;
+  faults.sever = 0.10;
+  faults.delay_read = 0.2;
+  faults.max_delay = 5ms;
+  faults.max_faults = 8;
+  auto plan = std::make_shared<chaos::FaultPlan>(faults);
+  ChaosCluster cluster(3, 2, plan, engine, ChaosTransport::shm_ring);
+  const Fingerprint fp = cluster.coordinator().admit({g, engine});
+
+  const ChaosRunStats run =
+      run_pinned_workload(cluster.client(), fp, 0, kBatches, kDraws, oracle);
+  EXPECT_EQ(run.valued + run.typed, kBatches);
+  EXPECT_GT(plan->faults_injected(), 0) << "schedule injected nothing";
+  EXPECT_LE(plan->faults_injected(), faults.max_faults);
   expect_converged(cluster);
 }
 

@@ -262,6 +262,89 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, RemoteReplayEquality,
                            return std::string(backend_name(info.param));
                          });
 
+// Striping is a concurrency knob, not a semantics knob: at every stripe
+// width, for every backend, the remote draws are byte-identical to the
+// local ones — frames fan out over several connections but draw order,
+// cursors, and tree bytes never notice.
+class StripedReplayEquality : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(StripedReplayEquality, EveryStripeWidthDrawsTheLocalTrees) {
+  EngineOptions engine;
+  engine.backend = GetParam();
+  engine.seed = 101;
+  const graph::Graph g = graph::complete(5);
+
+  for (int stripes : {1, 2, 4}) {
+    SCOPED_TRACE("stripes " + std::to_string(stripes));
+    LocalService local(inline_pool_options(engine));
+    RemoteOptions client;
+    client.stripes = stripes;
+    transport::ServerOptions server_options;
+    server_options.batch_chunk_trees = 2;  // stream at every width too
+    LoopbackShard remote(
+        std::make_unique<LocalService>(inline_pool_options(engine)),
+        server_options, client);
+    const Fingerprint fp = local.admit({g, engine});
+    ASSERT_EQ(remote.admit({g, engine}), fp);
+
+    for (int round = 0; round < 3; ++round) {
+      const BatchResponse a = local.sample_batch({fp, 4});
+      const BatchResponse b = remote.sample_batch({fp, 4});
+      SCOPED_TRACE("round " + std::to_string(round));
+      EXPECT_EQ(a.first_draw_index, b.first_draw_index);
+      ASSERT_EQ(a.batch.trees.size(), b.batch.trees.size());
+      for (std::size_t t = 0; t < a.batch.trees.size(); ++t)
+        EXPECT_EQ(graph::tree_key(a.batch.trees[t]),
+                  graph::tree_key(b.batch.trees[t]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, StripedReplayEquality,
+                         ::testing::ValuesIn(all_backends()),
+                         [](const auto& info) {
+                           return std::string(backend_name(info.param));
+                         });
+
+TEST(RemoteConformanceTest, SharedMemoryRingReplaysByteIdenticallyWithChunking) {
+  // The ring is a transport decision like the pipe: a striped client over
+  // shm rings, with chunking forced, draws the same bytes as the pipe and
+  // as the local twin.
+  const EngineOptions engine = wilson_engine(103);
+  transport::ServerOptions server_options;
+  server_options.batch_chunk_trees = 2;
+  RemoteOptions client;
+  client.stripes = 2;
+  LoopbackShard ring(std::make_unique<LocalService>(inline_pool_options(engine)),
+                     server_options, client, LoopbackTransport::shm_ring);
+  LoopbackShard pipe(std::make_unique<LocalService>(inline_pool_options(engine)),
+                     server_options, client, LoopbackTransport::pipe);
+  LocalService local(inline_pool_options(engine));
+
+  const graph::Graph g = graph::wheel(7);
+  const Fingerprint fp = local.admit({g, engine});
+  ASSERT_EQ(ring.admit({g, engine}), fp);
+  ASSERT_EQ(pipe.admit({g, engine}), fp);
+  for (int round = 0; round < 2; ++round) {
+    const BatchResponse a = local.sample_batch({fp, 7});
+    const BatchResponse b = ring.sample_batch({fp, 7});
+    const BatchResponse c = pipe.sample_batch({fp, 7});
+    SCOPED_TRACE("round " + std::to_string(round));
+    EXPECT_EQ(a.first_draw_index, b.first_draw_index);
+    EXPECT_EQ(a.first_draw_index, c.first_draw_index);
+    ASSERT_EQ(b.batch.trees.size(), a.batch.trees.size());
+    ASSERT_EQ(c.batch.trees.size(), a.batch.trees.size());
+    for (std::size_t t = 0; t < a.batch.trees.size(); ++t) {
+      EXPECT_EQ(graph::tree_key(b.batch.trees[t]),
+                graph::tree_key(a.batch.trees[t]));
+      EXPECT_EQ(graph::tree_key(c.batch.trees[t]),
+                graph::tree_key(a.batch.trees[t]));
+    }
+  }
+  // The chunked path really ran over the ring.
+  EXPECT_GE(ring.remote().chunk_frames_received(), 3);
+}
+
 // Chi-square uniformity with a remote shard in the async path: the
 // transport must not perturb any backend's tree law.
 class RemoteUniformity : public ::testing::TestWithParam<Backend> {};

@@ -9,8 +9,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -458,13 +463,46 @@ TEST(RemoteServiceTest, SyncTimeoutIsTypedAndLateRepliesAreDropped) {
                 [&] { remote.admitted(fingerprint_graph(graph::cycle(4))); }),
             ServiceErrorCode::timeout);
   timed_out = true;
+  EXPECT_EQ(remote.timeout_count(), 1);
   // The follow-up call gets its own reply; the stale one is dropped on the
   // floor by request id.
   ServiceStats stats{};
   ASSERT_EQ(error_code([&] { stats = remote.stats(); }), std::nullopt);
   EXPECT_EQ(stats.totals.draws, 42);
+  // The expiry is visible in the merged stats, not just the accessor.
+  EXPECT_EQ(stats.transport.timeouts, 1);
   client_end->close();
   script.join();
+}
+
+TEST(RemoteServiceTest, SilentHandshakePeerFailsTypedWithinTheDeadline) {
+  // A peer that accepts the connection but never answers the hello — a
+  // wedged server, or the handshake frame itself lost in flight — must fail
+  // the dial typed within request_timeout. An unbounded handshake read
+  // wedges the stripe's connecting flag forever, parking every later caller
+  // on an untimed wait no request deadline can reach.
+  auto [client_end, server_end] = transport::make_pipe();
+  std::atomic<int> factory_calls{0};
+  RemoteOptions options;
+  options.request_timeout = 200ms;
+  options.max_connect_attempts = 1;
+  RemoteService remote(
+      [conn = client_end, &factory_calls] {
+        ++factory_calls;
+        return conn;
+      },
+      options);
+
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(error_code(
+                [&] { remote.admitted(fingerprint_graph(graph::cycle(4))); }),
+            ServiceErrorCode::transport);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, 190ms);  // the deadline ran; the dial did not spin-fail
+  EXPECT_LT(elapsed, 5s);     // ...and it expired instead of wedging
+  EXPECT_EQ(factory_calls.load(), 1);
+  EXPECT_FALSE(remote.connected());
+  server_end->close();
 }
 
 TEST(RemoteServiceTest, OversizedRequestFailsTypedBeforeSending) {
@@ -609,6 +647,405 @@ TEST(TransportTcpTest, EndToEndOverRealSockets) {
   }
   listener->close();
   serving.join();
+}
+
+// ----------------------------------------------------------------- shm ring
+
+TEST(ShmRingTest, FramesCrossTheRingAndSurviveWrapAround) {
+  // A 4 KiB ring (the minimum) under ~16 KiB of frames: the cursors lap the
+  // buffer several times, and one frame is larger than the whole ring, so
+  // both the wrap-around copy and the blocked-writer path are exercised.
+  auto [a, b] = transport::make_shm_ring(1);  // rounds up to the 4 KiB floor
+  std::vector<std::string> sent;
+  for (int i = 0; i < 10; ++i)
+    sent.push_back(std::string(i == 5 ? 5000 : 1200, static_cast<char>('a' + i)));
+
+  std::vector<std::string> received(sent.size());
+  std::thread reader([&received, conn = b] {
+    for (std::size_t i = 0; i < received.size(); ++i) {
+      std::optional<transport::Frame> frame = transport::read_frame(*conn);
+      ASSERT_TRUE(frame.has_value());
+      EXPECT_EQ(frame->request_id, i);
+      received[i] = wire::decode_text_response(frame->message);
+    }
+  });
+  for (std::size_t i = 0; i < sent.size(); ++i)
+    ASSERT_TRUE(transport::write_frame(*a, i, wire::encode_text_response(sent[i])));
+  reader.join();
+  EXPECT_EQ(received, sent);
+
+  // The reverse direction is its own independent ring.
+  ASSERT_TRUE(transport::write_frame(*b, 99, wire::encode_stats_query()));
+  std::optional<transport::Frame> back = transport::read_frame(*a);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->request_id, 99u);
+  a->close();
+}
+
+TEST(ShmRingTest, CloseWakesABlockedReaderAsCleanEndOfStream) {
+  auto [a, b] = transport::make_shm_ring(4096);
+  std::thread reader([conn = b] {
+    std::uint8_t byte = 0;
+    // Parks on the data doorbell; a clean close (no write in flight) must
+    // wake it with end-of-stream, not the torn-stream error.
+    EXPECT_EQ(conn->read_some(&byte, 1), 0u);
+  });
+  std::this_thread::sleep_for(20ms);
+  a->close();
+  reader.join();
+}
+
+TEST(ShmRingTest, WriterBlockedOnAFullRingResumesWhenDrained) {
+  auto [a, b] = transport::make_shm_ring(4096);
+  std::vector<std::uint8_t> payload(64 * 1024);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::uint8_t>(i * 31);
+  std::thread writer([&payload, conn = a] { EXPECT_TRUE(conn->write_all(payload)); });
+
+  std::vector<std::uint8_t> got;
+  std::uint8_t buffer[1024];
+  while (got.size() < payload.size()) {
+    const std::size_t n = b->read_some(buffer, sizeof buffer);
+    ASSERT_GT(n, 0u);
+    got.insert(got.end(), buffer, buffer + n);
+  }
+  writer.join();
+  EXPECT_EQ(got, payload);
+  b->close();
+}
+
+TEST(ShmRingTest, CloseMidWriteTearsTheStreamTyped) {
+  // 8 KiB into a 4 KiB ring: the writer publishes one ring's worth and
+  // parks on the space doorbell. Reading a single byte proves it published
+  // (so the close provably lands mid-call, after partial progress), then
+  // the close must fail the write AND poison the drain: the reader gets the
+  // published prefix followed by the typed tear — never the clean
+  // end-of-stream that would let a half frame pass as an orderly shutdown.
+  auto [a, b] = transport::make_shm_ring(4096);
+  std::vector<std::uint8_t> payload(8 * 1024, 0x5a);
+  std::thread writer([&payload, conn = a] { EXPECT_FALSE(conn->write_all(payload)); });
+
+  std::uint8_t buffer[1024];
+  ASSERT_EQ(b->read_some(buffer, 1), 1u);  // the write is provably mid-flight
+  b->close();
+  writer.join();  // torn is set before write_all returns — no detection race
+
+  std::size_t drained = 1;
+  const auto code = error_code([&] {
+    while (true) {
+      const std::size_t n = b->read_some(buffer, sizeof buffer);
+      if (n == 0) break;
+      drained += n;
+    }
+  });
+  EXPECT_EQ(code, ServiceErrorCode::transport);
+  // Exactly the published prefix: one ring of bytes, plus at most one more
+  // byte if the writer won the race for the slot the first read freed.
+  EXPECT_GE(drained, 4096u);
+  EXPECT_LE(drained, 4097u);
+}
+
+TEST(RemoteServiceTest, LoopbackShardServesOverTheSharedMemoryRing) {
+  // End-to-end over the ring with streaming on: handshake, chunked batch
+  // reassembly, and stats all behave exactly as over the pipe.
+  transport::ServerOptions server_options;
+  server_options.batch_chunk_trees = 2;
+  LoopbackShard shard(
+      std::make_unique<LocalService>(inline_pool_options(wilson_engine(61))),
+      server_options, RemoteOptions{}, LoopbackTransport::shm_ring);
+  const graph::Graph g = graph::complete(6);
+  const Fingerprint fp = shard.admit({g, wilson_engine(61)});
+  const BatchResponse response = shard.sample_batch({fp, 7});
+  ASSERT_EQ(response.batch.trees.size(), 7u);
+  EXPECT_GE(shard.remote().chunk_frames_received(), 3);
+
+  auto replay = make_sampler(g, wilson_engine(61));
+  const BatchResult straight = replay->sample_batch(7);
+  for (std::size_t t = 0; t < 7; ++t)
+    EXPECT_EQ(graph::tree_key(response.batch.trees[t]),
+              graph::tree_key(straight.trees[t]));
+  EXPECT_EQ(shard.stats().totals.draws, 7);
+}
+
+// ----------------------------------------------------------------- striping
+
+TEST(StripedRemoteServiceTest, StripeCountIsValidatedAtConstruction) {
+  auto factory = [] { return transport::make_pipe().first; };
+  RemoteOptions zero;
+  zero.stripes = 0;
+  EXPECT_EQ(error_code([&] { RemoteService remote(factory, zero); }),
+            ServiceErrorCode::invalid_config);
+  RemoteOptions many;
+  many.stripes = 65;
+  EXPECT_EQ(error_code([&] { RemoteService remote(factory, many); }),
+            ServiceErrorCode::invalid_config);
+}
+
+TEST(StripedRemoteServiceTest, DeadStripeFailsOnlyItsOwnInFlightCalls) {
+  // Two stripes, one in-flight batch on each (least-loaded assignment puts
+  // the second batch on the cold stripe, which dials lazily). Killing the
+  // first connection may fail only the batch it carried: the neighbor stays
+  // pending and the client stays connected through the surviving stripe.
+  StuckService stuck;
+  transport::Server server(stuck);
+  std::mutex wiring_mutex;
+  std::vector<std::shared_ptr<transport::Connection>> client_ends;
+  std::vector<std::thread> serving;
+
+  RemoteOptions options;
+  options.stripes = 2;
+  RemoteService remote(
+      [&] {
+        auto [client_end, server_end] = transport::make_pipe();
+        const std::lock_guard<std::mutex> lock(wiring_mutex);
+        client_ends.push_back(client_end);
+        serving.emplace_back([&server, end = server_end] { server.serve(end); });
+        return client_end;
+      },
+      options);
+
+  const graph::Graph g = graph::cycle(5);
+  const Fingerprint fp = remote.admit({g, wilson_engine()});  // dials stripe 0
+
+  std::future<BatchResponse> on_stripe0 = remote.submit_batch({fp, 1});
+  ASSERT_TRUE(eventually([&] { return stuck.submitted() == 1; }));
+  std::future<BatchResponse> on_stripe1 = remote.submit_batch({fp, 1});
+  ASSERT_TRUE(eventually([&] { return stuck.submitted() == 2; }));
+  std::shared_ptr<transport::Connection> first_end;
+  {
+    const std::lock_guard<std::mutex> lock(wiring_mutex);
+    ASSERT_EQ(client_ends.size(), 2u) << "the second batch did not dial its own stripe";
+    first_end = client_ends[0];
+  }
+
+  first_end->close();
+  EXPECT_EQ(error_code([&] { on_stripe0.get(); }), ServiceErrorCode::transport);
+  EXPECT_EQ(on_stripe1.wait_for(100ms), std::future_status::timeout)
+      << "a healthy stripe's in-flight call died with its neighbor";
+  EXPECT_TRUE(remote.connected());  // stripe 1 is still up
+  // New calls keep serving (the dead stripe re-dials on demand).
+  EXPECT_TRUE(remote.admitted(fp));
+
+  remote.stop();
+  {
+    const std::lock_guard<std::mutex> lock(wiring_mutex);
+    for (const auto& end : client_ends) end->close();
+    for (std::thread& t : serving) t.join();
+  }
+}
+
+TEST(StripedRemoteServiceTest, SmallQueryBypassesAStripeBusyStreamingChunks) {
+  // Stripe 0's server answers its batch with one chunk frame and then
+  // stalls mid-stream; stripe 1's server holds its batch silently but
+  // answers queries. Both stripes carry one in-flight call, so pure
+  // least-loaded ranking ties — the query must land on stripe 1 anyway,
+  // because only stripe 0 is mid-chunk-stream.
+  const graph::Graph g = graph::complete(5);
+  const Fingerprint fp = fingerprint_graph(g);
+  const std::vector<graph::TreeEdges> trees =
+      make_sampler(g, wilson_engine())->sample_batch(1).trees;
+
+  auto [client0, server0] = transport::make_pipe();
+  auto [client1, server1] = transport::make_pipe();
+  std::thread staller([server = server0, fp, &trees] {
+    std::optional<transport::Frame> hello = transport::read_frame(*server);
+    if (!hello.has_value()) return;
+    transport::write_frame(*server, 0, wire::encode(wire::Hello{1 << 20, 4}));
+    std::optional<transport::Frame> batch = transport::read_frame(*server);
+    if (!batch.has_value()) return;
+    transport::write_frame(
+        *server, batch->request_id,
+        wire::encode_batch_chunk(
+            fp, 0, std::span<const graph::TreeEdges>(trees.data(), 1)));
+    try {
+      transport::read_frame(*server);  // stall until the client tears down
+    } catch (const ServiceError&) {
+    }
+  });
+  std::thread responder([server = server1] {
+    std::optional<transport::Frame> hello = transport::read_frame(*server);
+    if (!hello.has_value()) return;
+    transport::write_frame(*server, 0, wire::encode(wire::Hello{1 << 20, 4}));
+    std::optional<transport::Frame> batch = transport::read_frame(*server);
+    if (!batch.has_value()) return;  // held, never answered
+    std::optional<transport::Frame> query = transport::read_frame(*server);
+    if (!query.has_value()) return;
+    EXPECT_EQ(wire::peek_type(query->message), wire::MessageType::admitted_query);
+    transport::write_frame(*server, query->request_id,
+                           wire::encode_bool_response(true));
+    try {
+      transport::read_frame(*server);
+    } catch (const ServiceError&) {
+    }
+  });
+
+  {
+    std::vector<std::shared_ptr<transport::Connection>> ends{client0, client1};
+    std::atomic<std::size_t> next{0};
+    RemoteOptions options;
+    options.stripes = 2;
+    RemoteService remote([&] { return ends.at(next.fetch_add(1)); }, options);
+
+    std::future<BatchResponse> stalled = remote.submit_batch({fp, 4});
+    ASSERT_TRUE(eventually([&] { return remote.chunk_frames_received() == 1; }));
+    std::future<BatchResponse> held = remote.submit_batch({fp, 4});
+
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_TRUE(remote.admitted(fp));
+    EXPECT_LT(std::chrono::steady_clock::now() - start, 2s)
+        << "the small query queued behind the stalled chunk stream";
+    EXPECT_EQ(remote.timeout_count(), 0);
+  }  // ~RemoteService closes both pipes and fails the parked futures
+  staller.join();
+  responder.join();
+}
+
+TEST(StripedRemoteServiceTest, SingleStripeBaselineStallsBehindTheStream) {
+  // The head-of-line bug striping fixes, pinned as a baseline: with one
+  // connection, the same small query parks behind the stalled chunk stream
+  // until the deadline expires — typed, counted, but slow.
+  const graph::Graph g = graph::complete(5);
+  const Fingerprint fp = fingerprint_graph(g);
+  const std::vector<graph::TreeEdges> trees =
+      make_sampler(g, wilson_engine())->sample_batch(1).trees;
+
+  auto [client_end, server_end] = transport::make_pipe();
+  std::thread staller([server = server_end, fp, &trees] {
+    std::optional<transport::Frame> hello = transport::read_frame(*server);
+    if (!hello.has_value()) return;
+    transport::write_frame(*server, 0, wire::encode(wire::Hello{1 << 20, 4}));
+    std::optional<transport::Frame> batch = transport::read_frame(*server);
+    if (!batch.has_value()) return;
+    transport::write_frame(
+        *server, batch->request_id,
+        wire::encode_batch_chunk(
+            fp, 0, std::span<const graph::TreeEdges>(trees.data(), 1)));
+    try {
+      transport::read_frame(*server);
+    } catch (const ServiceError&) {
+    }
+  });
+
+  {
+    RemoteOptions options;
+    options.request_timeout = 300ms;
+    RemoteService remote([conn = client_end] { return conn; }, options);
+    std::future<BatchResponse> stalled = remote.submit_batch({fp, 4});
+    ASSERT_TRUE(eventually([&] { return remote.chunk_frames_received() == 1; }));
+    EXPECT_EQ(error_code([&] { remote.admitted(fp); }), ServiceErrorCode::timeout);
+    EXPECT_EQ(remote.timeout_count(), 1);
+  }
+  staller.join();
+}
+
+// ------------------------------------------------- timeout / chunk hardening
+
+TEST(RemoteServiceTest, TimeoutRacingLateReplyStaysCoherent) {
+  // Every reply lands at ~the deadline: whichever side wins each race, the
+  // call either delivers the value or throws the typed timeout — never a
+  // hang or a crossed reply — and the thrown count matches the counter
+  // exactly (an expiry is counted iff the caller saw it).
+  auto [client_end, server_end] = transport::make_pipe();
+  std::thread script([server = server_end] {
+    std::optional<transport::Frame> hello = transport::read_frame(*server);
+    if (!hello.has_value()) return;
+    transport::write_frame(*server, 0, wire::encode(wire::Hello{1 << 20, 0}));
+    while (true) {
+      std::optional<transport::Frame> frame;
+      try {
+        frame = transport::read_frame(*server);
+      } catch (const ServiceError&) {
+        return;
+      }
+      if (!frame.has_value()) return;
+      std::this_thread::sleep_for(2ms);
+      transport::write_frame(*server, frame->request_id,
+                             wire::encode_bool_response(true));
+    }
+  });
+
+  RemoteOptions options;
+  options.request_timeout = 2ms;
+  RemoteService remote([conn = client_end] { return conn; }, options);
+  const Fingerprint fp = fingerprint_graph(graph::cycle(4));
+  std::int64_t thrown = 0;
+  std::int64_t valued = 0;
+  for (int i = 0; i < 40; ++i) {
+    const std::optional<ServiceErrorCode> code =
+        error_code([&] { remote.admitted(fp); });
+    if (!code.has_value()) {
+      ++valued;
+      continue;
+    }
+    EXPECT_EQ(*code, ServiceErrorCode::timeout);
+    ++thrown;
+  }
+  EXPECT_EQ(thrown + valued, 40);
+  EXPECT_EQ(remote.timeout_count(), thrown);
+  client_end->close();
+  script.join();
+}
+
+TEST(RemoteServiceTest, ChunkStreamExceedingDrawBoundIsMalformedAndPoisons) {
+  // A peer streaming more trees than the request drew is protocol-broken:
+  // the chunk buffer is bounded by the request's own draw count, the future
+  // fails typed the moment the bound is crossed (no unbounded buffering),
+  // and the connection is poisoned rather than trusted for the next call.
+  const graph::Graph g = graph::complete(5);
+  const Fingerprint fp = fingerprint_graph(g);
+  const std::vector<graph::TreeEdges> trees =
+      make_sampler(g, wilson_engine())->sample_batch(3).trees;
+
+  auto [client_end, server_end] = transport::make_pipe();
+  std::thread script([server = server_end, fp, &trees] {
+    std::optional<transport::Frame> hello = transport::read_frame(*server);
+    ASSERT_TRUE(hello.has_value());
+    transport::write_frame(*server, 0, wire::encode(wire::Hello{1 << 20, 8}));
+    std::optional<transport::Frame> request = transport::read_frame(*server);
+    ASSERT_TRUE(request.has_value());
+    // Three trees against a two-draw request: the second chunk crosses the
+    // request's own bound.
+    transport::write_frame(
+        *server, request->request_id,
+        wire::encode_batch_chunk(
+            fp, 0, std::span<const graph::TreeEdges>(trees.data(), 2)));
+    transport::write_frame(
+        *server, request->request_id,
+        wire::encode_batch_chunk(
+            fp, 1, std::span<const graph::TreeEdges>(trees.data() + 2, 1)));
+    try {
+      transport::read_frame(*server);  // hold until the client tears down
+    } catch (const ServiceError&) {
+    }
+  });
+
+  RemoteService remote([conn = client_end] { return conn; });
+  std::future<BatchResponse> future = remote.submit_batch({fp, 2});
+  EXPECT_EQ(error_code([&] { future.get(); }),
+            ServiceErrorCode::malformed_message);
+  EXPECT_TRUE(eventually([&] { return !remote.connected(); }))
+      << "an overflowing peer's connection survived";
+  client_end->close();
+  script.join();
+}
+
+TEST(LoopbackShardTest, ReapsServeThreadsUnderReconnectStorm) {
+  // 25 forced reconnects: every dial reaps the serve threads whose
+  // connections already ended, so the tracked-thread ledger stays bounded
+  // instead of growing by one per dial.
+  LoopbackShard shard(
+      std::make_unique<LocalService>(inline_pool_options(wilson_engine())));
+  const graph::Graph g = graph::wheel(6);
+  const Fingerprint fp = shard.admit({g, wilson_engine()});
+
+  for (int round = 0; round < 25; ++round) {
+    shard.sever_server_connections();
+    ASSERT_TRUE(eventually([&] { return !shard.remote().connected(); }));
+    EXPECT_TRUE(shard.admitted(fp));  // re-dials through the factory
+  }
+  EXPECT_GE(shard.remote().reconnect_count(), 25);
+  EXPECT_LE(shard.tracked_server_threads(), 5u)
+      << "serve threads accumulated across the reconnect storm";
 }
 
 }  // namespace

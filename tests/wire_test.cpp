@@ -270,6 +270,7 @@ TEST(WireCodecTest, ServiceStatsRoundTrip) {
   stats.transport.dial_failures = 3;
   stats.transport.failovers = 1;
   stats.transport.shed_retries = 4;
+  stats.transport.timeouts = 6;  // v7: client-side sync expiries
   // v5: latency histograms and gauges travel inside the stats frame.
   metrics::LatencyHistogram batch_hist;
   for (std::uint64_t v : {3u, 90u, 90u, 5000u, 1u << 20}) batch_hist.record(v);
@@ -290,6 +291,7 @@ TEST(WireCodecTest, ServiceStatsRoundTrip) {
   EXPECT_EQ(back.transport.dial_failures, 3);
   EXPECT_EQ(back.transport.failovers, 1);
   EXPECT_EQ(back.transport.shed_retries, 4);
+  EXPECT_EQ(back.transport.timeouts, 6);
   EXPECT_EQ(back.totals.shed_batches, 21);
   EXPECT_EQ(back.totals.shed_draws, 21 * 64);
   EXPECT_EQ(back.metrics.batch_serve, stats.metrics.batch_serve);
